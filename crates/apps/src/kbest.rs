@@ -1,0 +1,142 @@
+//! A bounded set of the k smallest squared distances, the per-point state
+//! of the kNN benchmark.
+//!
+//! Stored as a sorted insertion list: k is small (the paper's kNN uses a
+//! handful of neighbors), so `O(k)` insertion into a fixed array beats a
+//! heap on both CPU and (modeled) GPU — no dynamic allocation per visit.
+
+/// The k smallest squared distances seen so far, ascending, each with the
+/// index of the point that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KBest {
+    k: usize,
+    d2: Vec<f32>,
+    ids: Vec<u32>,
+}
+
+impl KBest {
+    /// Empty set of capacity `k`.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "kNN with k = 0");
+        KBest {
+            k,
+            d2: Vec::with_capacity(k),
+            ids: Vec::with_capacity(k),
+        }
+    }
+
+    /// Capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of neighbors collected so far.
+    pub fn len(&self) -> usize {
+        self.d2.len()
+    }
+
+    /// Nothing collected yet?
+    pub fn is_empty(&self) -> bool {
+        self.d2.is_empty()
+    }
+
+    /// Has the set reached capacity? Pruning is only sound once it has.
+    pub fn full(&self) -> bool {
+        self.d2.len() == self.k
+    }
+
+    /// Current pruning bound: the k-th best squared distance, or infinity
+    /// while the set is not yet full.
+    pub fn bound(&self) -> f32 {
+        if self.full() {
+            *self.d2.last().expect("full implies non-empty")
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// Offer a squared distance from point `id`; keeps the k smallest.
+    /// Returns whether it was admitted.
+    pub fn offer(&mut self, d2: f32, id: u32) -> bool {
+        if self.full() && d2 >= self.bound() {
+            return false;
+        }
+        let pos = self.d2.partition_point(|&x| x <= d2);
+        self.d2.insert(pos, d2);
+        self.ids.insert(pos, id);
+        if self.d2.len() > self.k {
+            self.d2.pop();
+            self.ids.pop();
+        }
+        true
+    }
+
+    /// The collected squared distances, ascending.
+    pub fn distances(&self) -> &[f32] {
+        &self.d2
+    }
+
+    /// The neighbor indices, aligned with [`KBest::distances`]. Indices
+    /// refer to the tree's (reordered) point array; map back through the
+    /// tree's `perm` for original dataset indices.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest_sorted_with_ids() {
+        let mut kb = KBest::new(3);
+        for (i, d) in [5.0, 1.0, 9.0, 3.0, 2.0].into_iter().enumerate() {
+            kb.offer(d, i as u32);
+        }
+        assert_eq!(kb.distances(), &[1.0, 2.0, 3.0]);
+        assert_eq!(kb.ids(), &[1, 4, 3]);
+        assert_eq!(kb.bound(), 3.0);
+    }
+
+    #[test]
+    fn bound_is_infinite_until_full() {
+        let mut kb = KBest::new(2);
+        assert_eq!(kb.bound(), f32::INFINITY);
+        kb.offer(4.0, 0);
+        assert_eq!(kb.bound(), f32::INFINITY);
+        kb.offer(7.0, 1);
+        assert_eq!(kb.bound(), 7.0);
+        assert!(kb.full());
+    }
+
+    #[test]
+    fn rejects_worse_than_bound() {
+        let mut kb = KBest::new(1);
+        assert!(kb.offer(2.0, 0));
+        assert!(!kb.offer(3.0, 1));
+        assert!(kb.offer(1.0, 2));
+        assert_eq!(kb.distances(), &[1.0]);
+        assert_eq!(kb.ids(), &[2]);
+    }
+
+    #[test]
+    fn duplicates_allowed() {
+        let mut kb = KBest::new(3);
+        for i in 0..5 {
+            kb.offer(1.0, i);
+        }
+        assert_eq!(kb.distances(), &[1.0, 1.0, 1.0]);
+        // First-come kept on ties.
+        assert_eq!(kb.ids(), &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 0")]
+    fn zero_k_rejected() {
+        let _ = KBest::new(0);
+    }
+}

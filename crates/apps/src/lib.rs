@@ -1,0 +1,38 @@
+//! # gts-apps — the paper's five traversal benchmarks
+//!
+//! Each benchmark (paper §6.1.2) is one module providing:
+//!
+//! * a **point type** (query state mutated during traversal),
+//! * a [`gts_runtime::TraversalKernel`] implementation — the Figure 1
+//!   pseudocode with the application's `truncate?`/`update` filled in and
+//!   its structural facts (call sets, argument variance) declared,
+//! * a **brute-force oracle** used by the tests to verify that every
+//!   executor computes exactly the right answer.
+//!
+//! | Module | Tree | Guided? | Call sets | Notes |
+//! |---|---|---|---|---|
+//! | [`bh`] | oct-tree | no | 1 | traversal-variant `dsq` argument rides the rope stack |
+//! | [`pc`] | kd (median) | no | 1 | radius count, bbox truncation |
+//! | [`knn`] | kd (median) | yes | 2 | bounded k-best set, bbox pruning |
+//! | [`nn`] | kd (midpoint) | yes | 2 | split-plane pruning, variant argument |
+//! | [`vp`] | vantage-point | yes | 2 | metric-shell pruning |
+//!
+//! All three guided kernels carry the §4.3 `CALL_SETS_EQUIVALENT`
+//! annotation: their call sets reorder the search but cannot change the
+//! final nearest-neighbor answer, which the property tests verify.
+//!
+//! [`ray`] adds a sixth application beyond the paper's benchmark set — the
+//! ray–BVH traversal its introduction motivates — to demonstrate the
+//! kernel abstraction on a workload the authors did not evaluate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bh;
+pub mod kbest;
+pub mod knn;
+pub mod nn;
+pub mod oracle;
+pub mod pc;
+pub mod ray;
+pub mod vp;

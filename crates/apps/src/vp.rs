@@ -1,0 +1,247 @@
+//! Nearest-neighbor search over a vantage-point tree (paper §6.1.2,
+//! Yianilos \[27\]).
+//!
+//! At each interior node the query's distance `d` to the vantage point
+//! both updates the current best (the vantage is a data point) and decides
+//! which shell — inner (`≤ t`) or outer (`> t`) — to search first: a
+//! guided traversal with two semantically equivalent call sets. The child
+//! visits carry a lower bound on any distance inside the shell
+//! (`max(0, d − t)` for inner, `max(0, t − d)` for outer), a
+//! traversal-variant argument that rides the rope stack.
+//!
+//! Like [`crate::nn`], self-matches (distance exactly zero) are excluded:
+//! the benchmark finds the nearest *distinct-position* neighbor.
+
+use gts_runtime::{Child, ChildBuf, TraversalKernel, VisitOutcome};
+use gts_trees::layout::NodeBytes;
+use gts_trees::{NodeId, PointN, VpTree};
+
+/// Traversal state of one VP query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VpPoint<const D: usize> {
+    /// Query position.
+    pub pos: PointN<D>,
+    /// Best (non-squared) distance found so far.
+    pub best_d: f32,
+}
+
+impl<const D: usize> VpPoint<D> {
+    /// Fresh query at `pos`.
+    pub fn new(pos: PointN<D>) -> Self {
+        VpPoint {
+            pos,
+            best_d: f32::INFINITY,
+        }
+    }
+}
+
+/// The VP nearest-neighbor kernel.
+pub struct VpKernel<'t, const D: usize> {
+    tree: &'t VpTree<D>,
+    depth: usize,
+}
+
+impl<'t, const D: usize> VpKernel<'t, D> {
+    /// Kernel over `tree`.
+    pub fn new(tree: &'t VpTree<D>) -> Self {
+        let mut depth = 0;
+        // Depth by walk (VpTree stores no depth): inner chain is n+1.
+        fn rec<const D: usize>(t: &VpTree<D>, n: NodeId, d: usize, out: &mut usize) {
+            *out = (*out).max(d);
+            if !t.is_leaf(n) {
+                rec(t, t.inner(n), d + 1, out);
+                rec(t, t.outer[n as usize], d + 1, out);
+            }
+        }
+        rec(tree, 0, 0, &mut depth);
+        VpKernel { tree, depth }
+    }
+}
+
+impl<const D: usize> TraversalKernel for VpKernel<'_, D> {
+    type Point = VpPoint<D>;
+    /// Lower bound on any distance within this subtree's shell.
+    type Args = f32;
+    const MAX_KIDS: usize = 2;
+    const CALL_SETS: usize = 2;
+    const CALL_SETS_EQUIVALENT: bool = true;
+    const ARGS_VARIANT: bool = true;
+    const ARG_BYTES: u64 = 4;
+
+    fn n_nodes(&self) -> usize {
+        self.tree.n_nodes()
+    }
+    fn is_leaf(&self, node: NodeId) -> bool {
+        self.tree.is_leaf(node)
+    }
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        self.tree
+            .is_leaf(node)
+            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+    }
+    fn node_bytes(&self) -> NodeBytes {
+        NodeBytes::vp(D)
+    }
+    fn max_depth(&self) -> usize {
+        self.depth
+    }
+    fn root_args(&self) -> f32 {
+        0.0
+    }
+
+    fn choose(&self, p: &VpPoint<D>, node: NodeId, _args: f32) -> usize {
+        let d = p.pos.dist(&self.tree.vantage[node as usize]);
+        usize::from(d > self.tree.threshold[node as usize])
+    }
+
+    fn visit(
+        &self,
+        p: &mut VpPoint<D>,
+        node: NodeId,
+        shell_bound: f32,
+        forced: Option<usize>,
+        kids: &mut ChildBuf<f32>,
+    ) -> VisitOutcome {
+        if shell_bound > p.best_d {
+            return VisitOutcome::Truncated;
+        }
+        if self.tree.is_leaf(node) {
+            for q in self.tree.leaf_points(node) {
+                let d = q.dist(&p.pos);
+                if d > 0.0 && d < p.best_d {
+                    p.best_d = d;
+                }
+            }
+            return VisitOutcome::Leaf;
+        }
+        let vantage = self.tree.vantage[node as usize];
+        let t = self.tree.threshold[node as usize];
+        let d = p.pos.dist(&vantage);
+        // The vantage point is itself a candidate (`update_closest`),
+        // self-matches excluded.
+        if d > 0.0 && d < p.best_d {
+            p.best_d = d;
+        }
+        let inner_bound = shell_bound.max(d - t);
+        let outer_bound = shell_bound.max(t - d);
+        let inner = Child { node: self.tree.inner(node), args: inner_bound.max(0.0) };
+        let outer = Child { node: self.tree.outer[node as usize], args: outer_bound.max(0.0) };
+        let set = forced.unwrap_or_else(|| self.choose(p, node, shell_bound));
+        if set == 0 {
+            kids.push(inner);
+            kids.push(outer);
+        } else {
+            kids.push(outer);
+            kids.push(inner);
+        }
+        VisitOutcome::Descended { call_set: set }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use gts_points::gen::{geocity_like, uniform};
+    use gts_runtime::cpu;
+    use gts_runtime::gpu::{autoropes, lockstep, recursive, GpuConfig};
+    use proptest::prelude::*;
+
+    fn check<const D: usize>(pts: &[PointN<D>], results: &[VpPoint<D>]) {
+        for (i, r) in results.iter().enumerate() {
+            let want = oracle::nn_dist2_nonself(pts, &pts[i]).sqrt();
+            if !want.is_finite() {
+                assert!(r.best_d.is_infinite(), "point {i}");
+                continue;
+            }
+            assert!(
+                (r.best_d - want).abs() <= 1e-4 * want.max(1e-5) + 1e-6,
+                "point {i}: {} vs {}",
+                r.best_d,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_matches_oracle() {
+        let pts = uniform::<7>(250, 51);
+        let tree = VpTree::build(&pts, 8);
+        let kernel = VpKernel::new(&tree);
+        let mut qs: Vec<VpPoint<7>> = pts.iter().map(|&p| VpPoint::new(p)).collect();
+        cpu::run_sequential(&kernel, &mut qs);
+        check(&pts, &qs);
+    }
+
+    #[test]
+    fn clustered_geocity_input_works() {
+        let pts = geocity_like(300, 52);
+        let tree = VpTree::build(&pts, 8);
+        let kernel = VpKernel::new(&tree);
+        let mut qs: Vec<VpPoint<2>> = pts.iter().map(|&p| VpPoint::new(p)).collect();
+        cpu::run_sequential(&kernel, &mut qs);
+        check(&pts, &qs);
+    }
+
+    #[test]
+    fn gpu_executors_exact() {
+        let pts = uniform::<3>(140, 53);
+        let tree = VpTree::build(&pts, 4);
+        let kernel = VpKernel::new(&tree);
+        let cfg = GpuConfig::default();
+        let make = || pts.iter().map(|&p| VpPoint::new(p)).collect::<Vec<_>>();
+
+        let mut a = make();
+        autoropes::run(&kernel, &mut a, &cfg);
+        check(&pts, &a);
+        let mut l = make();
+        lockstep::run(&kernel, &mut l, &cfg);
+        check(&pts, &l);
+        let mut r = make();
+        recursive::run(&kernel, &mut r, &cfg, false);
+        check(&pts, &r);
+        let mut rl = make();
+        recursive::run(&kernel, &mut rl, &cfg, true);
+        check(&pts, &rl);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let pts = [PointN([1.0, 2.0])];
+        let tree = VpTree::build(&pts, 4);
+        let kernel = VpKernel::new(&tree);
+        let mut qs = vec![VpPoint::new(PointN([0.0, 0.0]))];
+        cpu::run_sequential(&kernel, &mut qs);
+        assert!((qs[0].best_d - pts[0].dist(&qs[0].pos)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_coincident_points_find_no_distinct_neighbor() {
+        let pts = vec![PointN([3.0, 3.0]); 40];
+        let tree = VpTree::build(&pts, 4);
+        let kernel = VpKernel::new(&tree);
+        let mut qs: Vec<VpPoint<2>> = pts.iter().map(|&p| VpPoint::new(p)).collect();
+        cpu::run_sequential(&kernel, &mut qs);
+        assert!(qs.iter().all(|q| q.best_d.is_infinite()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_vp_exact_lockstep(n in 1usize..100, seed in 0u64..50) {
+            let pts = uniform::<3>(n, seed);
+            let tree = VpTree::build(&pts, 4);
+            let kernel = VpKernel::new(&tree);
+            let mut qs: Vec<VpPoint<3>> = pts.iter().map(|&p| VpPoint::new(p)).collect();
+            lockstep::run(&kernel, &mut qs, &GpuConfig::default());
+            for (i, q) in qs.iter().enumerate() {
+                let want = oracle::nn_dist2_nonself(&pts, &pts[i]).sqrt();
+                if want.is_finite() {
+                    prop_assert!((q.best_d - want).abs() <= 1e-4 * want.max(1e-5) + 1e-6);
+                } else {
+                    prop_assert!(q.best_d.is_infinite());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Ablations of the paper's §5 implementation choices, as modeled-time
+//! benches:
+//!
+//! * rope-stack layout: interleaved vs. contiguous global memory vs.
+//!   per-warp shared memory (paper §5.2, stack layout discussion),
+//! * node layout: hot/cold field split vs. monolithic records (paper
+//!   §5.2, `nodes0`/`nodes1`),
+//! * point sorting: Morton order vs. kd-tree leaf order vs. none
+//!   (paper §4.4).
+//!
+//! ```text
+//! cargo bench -p gts-bench --bench ablations
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gts_apps::bh::{BhKernel, BhPoint};
+use gts_apps::pc::{PcKernel, PcPoint};
+use gts_bench::{bh_workload, kd_workload, modeled};
+use gts_points::sort::{apply_perm, tree_order};
+use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
+use gts_runtime::{cpu, cpu_blocked};
+use gts_runtime::StackLayout;
+use gts_trees::layout::NodeLayout;
+
+fn stack_layouts(c: &mut Criterion) {
+    let bh = bh_workload();
+    let kernel = BhKernel::new(&bh.tree, 0.5, 0.05);
+    let mut group = c.benchmark_group("ablations/stack_layout_bh_lockstep");
+    group.sample_size(10);
+    for (name, layout) in [
+        ("shared_per_warp", StackLayout::SharedPerWarp),
+        ("interleaved_global", StackLayout::InterleavedGlobal),
+        ("contiguous_global", StackLayout::ContiguousGlobal),
+    ] {
+        let cfg = GpuConfig::default().with_stack_layout(layout);
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut pts: Vec<BhPoint> = bh.sorted.iter().map(|&p| BhPoint::new(p)).collect();
+                let r = lockstep::run(&kernel, &mut pts, &cfg);
+                modeled(r.ms(), iters)
+            })
+        });
+    }
+    group.finish();
+
+    // The non-lockstep case is where interleaving matters most: per-lane
+    // stacks at (mostly) equal depths.
+    let mut group = c.benchmark_group("ablations/stack_layout_bh_autoropes");
+    group.sample_size(10);
+    for (name, layout) in [
+        ("interleaved_global", StackLayout::InterleavedGlobal),
+        ("contiguous_global", StackLayout::ContiguousGlobal),
+    ] {
+        let cfg = GpuConfig::default().with_stack_layout(layout);
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut pts: Vec<BhPoint> = bh.sorted.iter().map(|&p| BhPoint::new(p)).collect();
+                let r = autoropes::run(&kernel, &mut pts, &cfg);
+                modeled(r.ms(), iters)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn node_layouts(c: &mut Criterion) {
+    let kd = kd_workload();
+    let kernel = PcKernel::new(&kd.tree, kd.radius);
+    let mut group = c.benchmark_group("ablations/node_layout_pc_autoropes");
+    group.sample_size(10);
+    for (name, layout) in [
+        ("hot_cold_split", NodeLayout::HotColdSplit),
+        ("monolithic", NodeLayout::Monolithic),
+    ] {
+        let cfg = GpuConfig::default().with_node_layout(layout);
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut pts: Vec<PcPoint<7>> = kd.sorted.iter().map(|&p| PcPoint::new(p)).collect();
+                let r = autoropes::run(&kernel, &mut pts, &cfg);
+                modeled(r.ms(), iters)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn l2_cache(c: &mut Criterion) {
+    // Paper §2.2 mentions the hardware L2; the headline model omits it.
+    // With the L2 slice enabled, the hot tree top caches and the
+    // lockstep-vs-autoropes gap narrows but persists.
+    let kd = kd_workload();
+    let kernel = PcKernel::new(&kd.tree, kd.radius);
+    let mut group = c.benchmark_group("ablations/l2_cache_pc");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("autoropes_dram_only", GpuConfig::default()),
+        ("autoropes_with_l2", GpuConfig::default().with_l2()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut pts: Vec<PcPoint<7>> = kd.sorted.iter().map(|&p| PcPoint::new(p)).collect();
+                let r = autoropes::run(&kernel, &mut pts, &cfg);
+                modeled(r.ms(), iters)
+            })
+        });
+    }
+    for (name, cfg) in [
+        ("lockstep_dram_only", GpuConfig::default()),
+        ("lockstep_with_l2", GpuConfig::default().with_l2()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut pts: Vec<PcPoint<7>> = kd.sorted.iter().map(|&p| PcPoint::new(p)).collect();
+                let r = lockstep::run(&kernel, &mut pts, &cfg);
+                modeled(r.ms(), iters)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn point_sorting(c: &mut Criterion) {
+    let kd = kd_workload();
+    let kernel = PcKernel::new(&kd.tree, kd.radius);
+    let cfg = GpuConfig::default();
+    // Tree-order sort: sort queries by the preorder id of the leaf each
+    // lands in — the structure-aware alternative to the Morton curve.
+    let tree_sorted = {
+        let order = tree_order(&kd.unsorted, |p| kd.tree.locate(p));
+        apply_perm(&kd.unsorted, &order)
+    };
+    let mut group = c.benchmark_group("ablations/point_sorting_pc_lockstep");
+    group.sample_size(10);
+    for (name, queries) in [
+        ("morton_sorted", &kd.sorted),
+        ("tree_order_sorted", &tree_sorted),
+        ("unsorted", &kd.unsorted),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut pts: Vec<PcPoint<7>> = queries.iter().map(|&p| PcPoint::new(p)).collect();
+                let r = lockstep::run(&kernel, &mut pts, &cfg);
+                modeled(r.ms(), iters)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cpu_blocking(c: &mut Criterion) {
+    // The Jo & Kulkarni point-blocking locality transformation on the CPU
+    // side (real wall time, not modeled): one tree-node load per block
+    // instead of per point.
+    let kd = kd_workload();
+    let kernel = PcKernel::new(&kd.tree, kd.radius);
+    let mut group = c.benchmark_group("ablations/cpu_point_blocking_pc");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut pts: Vec<PcPoint<7>> = kd.sorted.iter().map(|&p| PcPoint::new(p)).collect();
+            cpu::run_sequential(&kernel, &mut pts)
+        })
+    });
+    for block in [32usize, 128, 512] {
+        group.bench_function(format!("blocked_{block}"), |b| {
+            b.iter(|| {
+                let mut pts: Vec<PcPoint<7>> = kd.sorted.iter().map(|&p| PcPoint::new(p)).collect();
+                cpu_blocked::run_blocked(&kernel, &mut pts, block)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Modeled times are deterministic (zero variance); the plotting
+    // backend cannot draw degenerate ranges, so plots are disabled.
+    config = Criterion::default().without_plots();
+    targets = stack_layouts, node_layouts, point_sorting, l2_cache, cpu_blocking
+}
+criterion_main!(benches);

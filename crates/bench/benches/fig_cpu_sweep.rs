@@ -1,0 +1,51 @@
+//! Figures 10/11 as a Criterion bench: the CPU side of the comparison —
+//! real wall time of the multithreaded point loop at each thread count of
+//! the paper's sweep (normalize against the `table1` GPU benches to
+//! reconstruct the figures' y-axis).
+//!
+//! ```text
+//! cargo bench -p gts-bench --bench fig_cpu_sweep
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gts_apps::pc::{PcKernel, PcPoint};
+use gts_bench::kd_workload;
+use gts_runtime::cpu;
+
+/// Thread counts actually measured: capped at the host's parallelism
+/// (oversubscribed sweeps measure scheduler noise, not scaling — the
+/// harness models the paper's 48-core box instead; see DESIGN.md §2).
+fn thread_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    [1usize, 2, 4, 8, 12, 16, 20, 24, 32]
+        .into_iter()
+        .filter(|&t| t <= cores.max(1))
+        .collect()
+}
+
+fn cpu_sweep(c: &mut Criterion) {
+    let kd = kd_workload();
+    let kernel = PcKernel::new(&kd.tree, kd.radius);
+
+    let mut group = c.benchmark_group("fig10_11/pc_cpu");
+    group.sample_size(10);
+    for t in thread_counts() {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let mut pts: Vec<PcPoint<7>> = kd.sorted.iter().map(|&p| PcPoint::new(p)).collect();
+                cpu::run_parallel(&kernel, &mut pts, t)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Modeled times are deterministic (zero variance); the plotting
+    // backend cannot draw degenerate ranges, so plots are disabled.
+    config = Criterion::default().without_plots();
+    targets = cpu_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Table 1 as a Criterion bench: modeled GPU traversal time of every
+//! variant (lockstep / non-lockstep autoropes / naïve recursion) for each
+//! benchmark, sorted and unsorted.
+//!
+//! ```text
+//! cargo bench -p gts-bench --bench table1
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gts_apps::bh::{BhKernel, BhPoint};
+use gts_apps::knn::{KnnKernel, KnnPoint};
+use gts_apps::nn::{NnKernel, NnPoint};
+use gts_apps::pc::{PcKernel, PcPoint};
+use gts_apps::vp::{VpKernel, VpPoint};
+use gts_bench::{bh_workload, kd_workload, modeled, vp_workload};
+use gts_runtime::gpu::{autoropes, lockstep, recursive, GpuConfig};
+use gts_runtime::TraversalKernel;
+
+/// Bench one (kernel, queries) cell under all eligible variants.
+fn bench_cell<K, P>(
+    c: &mut Criterion,
+    group_name: &str,
+    kernel: &K,
+    fresh: impl Fn() -> Vec<P> + Copy,
+    lockstep_gpu: &GpuConfig,
+) where
+    K: TraversalKernel<Point = P>,
+    P: Send + Clone,
+{
+    let gpu = GpuConfig::default();
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+
+    group.bench_function("autoropes_n", |b| {
+        b.iter_custom(|iters| {
+            let mut pts = fresh();
+            let r = autoropes::run(kernel, &mut pts, &gpu);
+            modeled(r.ms(), iters)
+        })
+    });
+    group.bench_function("recursive_n", |b| {
+        b.iter_custom(|iters| {
+            let mut pts = fresh();
+            let r = recursive::run(kernel, &mut pts, &gpu, false);
+            modeled(r.ms(), iters)
+        })
+    });
+    if K::CALL_SETS == 1 || K::CALL_SETS_EQUIVALENT {
+        group.bench_function("lockstep_l", |b| {
+            b.iter_custom(|iters| {
+                let mut pts = fresh();
+                let r = lockstep::run(kernel, &mut pts, lockstep_gpu);
+                modeled(r.ms(), iters)
+            })
+        });
+        group.bench_function("recursive_l", |b| {
+            b.iter_custom(|iters| {
+                let mut pts = fresh();
+                let r = recursive::run(kernel, &mut pts, &gpu, true);
+                modeled(r.ms(), iters)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table1(c: &mut Criterion) {
+    let kd = kd_workload();
+    let vp = vp_workload();
+    let bh = bh_workload();
+    let default_gpu = GpuConfig::default();
+    let shared_gpu = GpuConfig::default().with_shared_stack();
+
+    // Barnes-Hut (unguided; shared-memory warp stack per the paper).
+    let bh_kernel = BhKernel::new(&bh.tree, 0.5, 0.05);
+    for (order, qs) in [("sorted", &bh.sorted), ("unsorted", &bh.unsorted)] {
+        bench_cell(
+            c,
+            &format!("table1/bh/{order}"),
+            &bh_kernel,
+            || qs.iter().map(|&p| BhPoint::new(p)).collect(),
+            &shared_gpu,
+        );
+    }
+
+    // Point Correlation (unguided).
+    let pc_kernel = PcKernel::new(&kd.tree, kd.radius);
+    for (order, qs) in [("sorted", &kd.sorted), ("unsorted", &kd.unsorted)] {
+        bench_cell(
+            c,
+            &format!("table1/pc/{order}"),
+            &pc_kernel,
+            || qs.iter().map(|&p| PcPoint::new(p)).collect(),
+            &default_gpu,
+        );
+    }
+
+    // kNN (guided, annotated).
+    let knn_kernel = KnnKernel::new(&kd.tree);
+    for (order, qs) in [("sorted", &kd.sorted), ("unsorted", &kd.unsorted)] {
+        bench_cell(
+            c,
+            &format!("table1/knn/{order}"),
+            &knn_kernel,
+            || qs.iter().map(|&p| KnnPoint::new(p, 8)).collect(),
+            &default_gpu,
+        );
+    }
+
+    // NN (guided, midpoint tree, variant argument).
+    let nn_kernel = NnKernel::new(&kd.tree_mid);
+    for (order, qs) in [("sorted", &kd.sorted), ("unsorted", &kd.unsorted)] {
+        bench_cell(
+            c,
+            &format!("table1/nn/{order}"),
+            &nn_kernel,
+            || qs.iter().map(|&p| NnPoint::new(p)).collect(),
+            &default_gpu,
+        );
+    }
+
+    // Vantage Point (guided, metric tree).
+    let vp_kernel = VpKernel::new(&vp.tree);
+    for (order, qs) in [("sorted", &vp.sorted), ("unsorted", &vp.unsorted)] {
+        bench_cell(
+            c,
+            &format!("table1/vp/{order}"),
+            &vp_kernel,
+            || qs.iter().map(|&p| VpPoint::new(p)).collect(),
+            &default_gpu,
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Modeled times are deterministic (zero variance); the plotting
+    // backend cannot draw degenerate ranges, so plots are disabled.
+    config = Criterion::default().without_plots();
+    targets = table1
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Table 2 as a Criterion bench: the *work expansion* of lockstep
+//! traversal, reported as modeled extra time — the lockstep run's modeled
+//! time is measured for sorted and unsorted inputs, whose ratio tracks the
+//! expansion ratio of the paper's Table 2 (the work-expansion statistics
+//! themselves are printed to stderr once per group for inspection).
+//!
+//! ```text
+//! cargo bench -p gts-bench --bench table2
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gts_apps::pc::{PcKernel, PcPoint};
+use gts_apps::vp::{VpKernel, VpPoint};
+use gts_bench::{kd_workload, modeled, vp_workload};
+use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
+use gts_runtime::report::work_expansion;
+
+fn table2(c: &mut Criterion) {
+    let kd = kd_workload();
+    let vp = vp_workload();
+    let gpu = GpuConfig::default();
+
+    // Point Correlation — the paper's low-expansion, unguided exemplar.
+    let pc_kernel = PcKernel::new(&kd.tree, kd.radius);
+    let mut group = c.benchmark_group("table2/pc_lockstep");
+    group.sample_size(10);
+    for (order, qs) in [("sorted", &kd.sorted), ("unsorted", &kd.unsorted)] {
+        group.bench_function(order, |b| {
+            b.iter_custom(|iters| {
+                let mut n_pts: Vec<PcPoint<7>> = qs.iter().map(|&p| PcPoint::new(p)).collect();
+                let n = autoropes::run(&pc_kernel, &mut n_pts, &gpu);
+                let mut l_pts: Vec<PcPoint<7>> = qs.iter().map(|&p| PcPoint::new(p)).collect();
+                let l = lockstep::run(&pc_kernel, &mut l_pts, &gpu);
+                let (mean, sd) = work_expansion(&l.per_warp_nodes, &n.stats.per_point_nodes);
+                eprintln!("table2 pc {order}: expansion {mean:.2} ({sd:.2})");
+                modeled(l.ms(), iters)
+            })
+        });
+    }
+    group.finish();
+
+    // Vantage Point — the paper's high-expansion, guided exemplar.
+    let vp_kernel = VpKernel::new(&vp.tree);
+    let mut group = c.benchmark_group("table2/vp_lockstep");
+    group.sample_size(10);
+    for (order, qs) in [("sorted", &vp.sorted), ("unsorted", &vp.unsorted)] {
+        group.bench_function(order, |b| {
+            b.iter_custom(|iters| {
+                let mut n_pts: Vec<VpPoint<7>> = qs.iter().map(|&p| VpPoint::new(p)).collect();
+                let n = autoropes::run(&vp_kernel, &mut n_pts, &gpu);
+                let mut l_pts: Vec<VpPoint<7>> = qs.iter().map(|&p| VpPoint::new(p)).collect();
+                let l = lockstep::run(&vp_kernel, &mut l_pts, &gpu);
+                let (mean, sd) = work_expansion(&l.per_warp_nodes, &n.stats.per_point_nodes);
+                eprintln!("table2 vp {order}: expansion {mean:.2} ({sd:.2})");
+                modeled(l.ms(), iters)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Modeled times are deterministic (zero variance); the plotting
+    // backend cannot draw degenerate ranges, so plots are disabled.
+    config = Criterion::default().without_plots();
+    targets = table2
+}
+criterion_main!(benches);

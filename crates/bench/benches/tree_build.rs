@@ -1,0 +1,45 @@
+//! Substrate benches: construction throughput of every tree type (real
+//! wall time — tree builds run on the host in the paper's system too; the
+//! GPU gets a linearized copy).
+//!
+//! ```text
+//! cargo bench -p gts-bench --bench tree_build
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gts_bench::{N_BODIES, N_POINTS, SEED};
+use gts_points::gen;
+use gts_trees::{Bvh, KdTree, Octree, SplitPolicy, Triangle, VpTree};
+
+fn tree_builds(c: &mut Criterion) {
+    let pts7 = gen::covtype_like(N_POINTS, SEED);
+    let bodies = gen::plummer(N_BODIES, SEED);
+    let pos: Vec<_> = bodies.iter().map(|b| b.pos).collect();
+    let mass: Vec<_> = bodies.iter().map(|b| b.mass).collect();
+    let tris: Vec<Triangle> = pos
+        .windows(3)
+        .step_by(3)
+        .map(|w| Triangle { a: w[0], b: w[1], c: w[2] })
+        .collect();
+
+    let mut group = c.benchmark_group("tree_build");
+    group.sample_size(10);
+    group.bench_function("kd_median_7d", |b| {
+        b.iter(|| KdTree::build(&pts7, 8, SplitPolicy::MedianCycle))
+    });
+    group.bench_function("kd_midpoint_7d", |b| {
+        b.iter(|| KdTree::build(&pts7, 8, SplitPolicy::MidpointWidest))
+    });
+    group.bench_function("vp_7d", |b| b.iter(|| VpTree::build(&pts7, 8)));
+    group.bench_function("octree_plummer", |b| b.iter(|| Octree::build(&pos, &mass, 8)));
+    group.bench_function("bvh", |b| b.iter(|| Bvh::build(&tris, 4)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = tree_builds
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Shared setup for the Criterion benches.
+//!
+//! Bench inputs are smaller than the harness defaults (Criterion runs each
+//! measurement many times); the *relative* ordering of variants — the
+//! paper's actual claims — is preserved at this size.
+//!
+//! The GPU benches use `iter_custom` to report **modeled GPU time** (the
+//! simulator's cycle count at the C2070 clock) rather than host wall time,
+//! so `cargo bench` output lines up with the harness tables and the paper:
+//! a bench labeled `table1/pc/sorted/lockstep` reports the modeled
+//! traversal time of that Table 1 cell.
+
+use std::time::Duration;
+
+use gts_points::gen;
+use gts_points::sort::{apply_perm, morton_order, shuffle};
+use gts_trees::{Aabb, KdTree, Octree, PointN, SplitPolicy, VpTree};
+
+/// Points for the data-mining benches.
+pub const N_POINTS: usize = 4_000;
+/// Bodies for the BH benches.
+pub const N_BODIES: usize = 8_000;
+/// Shared seed.
+pub const SEED: u64 = 1309;
+
+/// Convert a modeled millisecond figure into the `Duration` Criterion
+/// records for `iters` iterations.
+pub fn modeled(ms: f64, iters: u64) -> Duration {
+    Duration::from_secs_f64((ms / 1e3).max(1e-12) * iters as f64)
+}
+
+/// A prepared kd-tree workload: data, tree, and a paper-shaped radius.
+pub struct KdWorkload {
+    /// Query/tree points in sorted order.
+    pub sorted: Vec<PointN<7>>,
+    /// Query points in shuffled order.
+    pub unsorted: Vec<PointN<7>>,
+    /// Median-split tree (PC/kNN).
+    pub tree: KdTree<7>,
+    /// Midpoint-split tree (NN).
+    pub tree_mid: KdTree<7>,
+    /// PC radius.
+    pub radius: f32,
+}
+
+/// Build the standard clustered workload used by most benches.
+pub fn kd_workload() -> KdWorkload {
+    let data = gen::covtype_like(N_POINTS, SEED);
+    let tree = KdTree::build(&data, 8, SplitPolicy::MedianCycle);
+    let tree_mid = KdTree::build(&data, 8, SplitPolicy::MidpointWidest);
+    let bbox = Aabb::of_points(&data);
+    let radius = 0.04 * bbox.lo.dist(&bbox.hi);
+    let sorted = apply_perm(&data, &morton_order(&data));
+    let mut unsorted = data;
+    shuffle(&mut unsorted, SEED);
+    KdWorkload {
+        sorted,
+        unsorted,
+        tree,
+        tree_mid,
+        radius,
+    }
+}
+
+/// A prepared VP workload over the MNIST surrogate.
+pub struct VpWorkload {
+    /// Sorted queries.
+    pub sorted: Vec<PointN<7>>,
+    /// Shuffled queries.
+    pub unsorted: Vec<PointN<7>>,
+    /// The vantage-point tree.
+    pub tree: VpTree<7>,
+}
+
+/// Build the VP workload.
+pub fn vp_workload() -> VpWorkload {
+    let data = gen::mnist_like(N_POINTS, SEED);
+    let tree = VpTree::build(&data, 8);
+    let sorted = apply_perm(&data, &morton_order(&data));
+    let mut unsorted = data;
+    shuffle(&mut unsorted, SEED);
+    VpWorkload {
+        sorted,
+        unsorted,
+        tree,
+    }
+}
+
+/// A prepared BH workload over the Plummer model.
+pub struct BhWorkload {
+    /// Body positions, Morton-sorted.
+    pub sorted: Vec<PointN<3>>,
+    /// Body positions, shuffled.
+    pub unsorted: Vec<PointN<3>>,
+    /// The oct-tree.
+    pub tree: Octree,
+}
+
+/// Build the BH workload.
+pub fn bh_workload() -> BhWorkload {
+    let bodies = gen::plummer(N_BODIES, SEED);
+    let pos: Vec<PointN<3>> = bodies.iter().map(|b| b.pos).collect();
+    let mass: Vec<f32> = bodies.iter().map(|b| b.mass).collect();
+    let tree = Octree::build(&pos, &mass, 8);
+    let sorted = apply_perm(&pos, &morton_order(&pos));
+    let mut unsorted = pos;
+    shuffle(&mut unsorted, SEED);
+    BhWorkload {
+        sorted,
+        unsorted,
+        tree,
+    }
+}

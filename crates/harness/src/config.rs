@@ -1,0 +1,102 @@
+//! Harness configuration.
+
+use gts_runtime::gpu::GpuConfig;
+
+/// The paper's CPU thread sweep (Figures 10/11 x-axis).
+pub const PAPER_THREADS: &[usize] = &[1, 2, 4, 8, 12, 16, 20, 24, 32];
+
+/// Everything one full suite run needs. Defaults reproduce the paper's
+/// configuration at `scale` of the original input sizes (the simulator is
+/// a few orders of magnitude slower than silicon; `--scale 1.0` restores
+/// 1 M bodies / 200 k points).
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Fraction of the paper's input sizes (1 M bodies, 200 k points).
+    pub scale: f64,
+    /// RNG seed for generators and shuffles.
+    pub seed: u64,
+    /// Neighbors for kNN.
+    pub k: usize,
+    /// Barnes-Hut opening angle θ.
+    pub theta: f32,
+    /// Barnes-Hut softening ε.
+    pub eps: f32,
+    /// Point-correlation radius, as a fraction of the dataset's bounding
+    /// diagonal (the paper's “adjustable correlation radius”, §6.3).
+    pub radius_frac: f32,
+    /// kd/vp leaf bucket size.
+    pub leaf_size: usize,
+    /// CPU thread counts to measure.
+    pub threads: Vec<usize>,
+    /// GPU configuration (device + cost model + layouts).
+    pub gpu: GpuConfig,
+}
+
+impl HarnessConfig {
+    /// Paper-shaped defaults at the given input scale.
+    pub fn at_scale(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        HarnessConfig {
+            scale,
+            seed: 20130901, // SC'13
+            k: 8,
+            theta: 0.5,
+            eps: 0.05,
+            radius_frac: 0.03,
+            leaf_size: 8,
+            threads: PAPER_THREADS.to_vec(),
+            gpu: GpuConfig::default(),
+        }
+    }
+
+    /// Bodies for the n-body inputs (paper: 1 M).
+    pub fn n_bodies(&self) -> usize {
+        (1_000_000_f64 * self.scale).round().max(64.0) as usize
+    }
+
+    /// Points for the data-mining inputs (paper: 200 k).
+    pub fn n_points(&self) -> usize {
+        (200_000_f64 * self.scale).round().max(64.0) as usize
+    }
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        // Default scale keeps a full suite run in minutes on a laptop
+        // while preserving every qualitative trend; see EXPERIMENTS.md.
+        Self::at_scale(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_controls_sizes() {
+        let c = HarnessConfig::at_scale(1.0);
+        assert_eq!(c.n_bodies(), 1_000_000);
+        assert_eq!(c.n_points(), 200_000);
+        let s = HarnessConfig::at_scale(0.1);
+        assert_eq!(s.n_bodies(), 100_000);
+        assert_eq!(s.n_points(), 20_000);
+    }
+
+    #[test]
+    fn tiny_scale_clamps_to_minimum() {
+        let c = HarnessConfig::at_scale(0.0001);
+        assert!(c.n_points() >= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        let _ = HarnessConfig::at_scale(0.0);
+    }
+
+    #[test]
+    fn paper_thread_sweep() {
+        assert_eq!(PAPER_THREADS.first(), Some(&1));
+        assert_eq!(PAPER_THREADS.last(), Some(&32));
+    }
+}

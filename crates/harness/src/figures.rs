@@ -1,0 +1,175 @@
+//! Figures 10 and 11: CPU performance vs. GPU as the thread count sweeps,
+//! normalized so GPU = 1.0 — values above 1.0 mean the CPU wins.
+//!
+//! Rendered as aligned text series (one panel per benchmark × variant),
+//! the same data the paper plots.
+
+use crate::row::CellResult;
+use crate::suite::SuiteResult;
+
+/// One plotted series: an input's normalized CPU performance per thread
+/// count.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Input name.
+    pub input: String,
+    /// `(threads, cpu_perf / gpu_perf)` — `gpu_ms / cpu_ms(threads)`.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// One panel: a benchmark × {lockstep, non-lockstep} sub-figure.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Lockstep variant?
+    pub lockstep: bool,
+    /// One series per input.
+    pub series: Vec<Series>,
+}
+
+fn series_for(cell: &CellResult, lockstep: bool) -> Option<Series> {
+    let gpu_ms = if lockstep {
+        cell.lockstep.as_ref()?.traversal_ms
+    } else {
+        cell.non_lockstep.traversal_ms
+    };
+    Some(Series {
+        input: cell.non_lockstep.input.clone(),
+        points: cell
+            .cpu_sweep
+            .iter()
+            .map(|&(t, cpu_ms)| (t, gpu_ms / cpu_ms))
+            .collect(),
+    })
+}
+
+/// Build every panel of Figure 10 (`sorted = true`) or Figure 11
+/// (`sorted = false`).
+pub fn panels(suite: &SuiteResult, sorted: bool) -> Vec<Panel> {
+    let mut out: Vec<Panel> = Vec::new();
+    for cell in &suite.cells {
+        if cell.non_lockstep.sorted != sorted {
+            continue;
+        }
+        for lockstep in [true, false] {
+            let Some(series) = series_for(cell, lockstep) else { continue };
+            let benchmark = cell.non_lockstep.benchmark.clone();
+            match out
+                .iter_mut()
+                .find(|p| p.benchmark == benchmark && p.lockstep == lockstep)
+            {
+                Some(p) => p.series.push(series),
+                None => out.push(Panel {
+                    benchmark,
+                    lockstep,
+                    series: vec![series],
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Render the figure's panels as aligned text.
+pub fn render(suite: &SuiteResult, sorted: bool) -> String {
+    let figure = if sorted { "Figure 10" } else { "Figure 11" };
+    let mut out = String::new();
+    for panel in panels(suite, sorted) {
+        out.push_str(&format!(
+            "\n{figure}: {} — {} (CPU perf vs GPU; >1 means CPU faster)\n",
+            panel.benchmark,
+            if panel.lockstep { "Lockstep" } else { "Non-Lockstep" }
+        ));
+        if let Some(first) = panel.series.first() {
+            out.push_str(&format!("{:<10}", "threads"));
+            for (t, _) in &first.points {
+                out.push_str(&format!("{t:>8}"));
+            }
+            out.push('\n');
+        }
+        for s in &panel.series {
+            out.push_str(&format!("{:<10}", s.input));
+            for (_, v) in &s.points {
+                out.push_str(&format!("{v:>8.3}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Write each panel as a CSV file under `dir`
+/// (`fig10_barnes_hut_lockstep.csv`, ...): first column threads, one
+/// column per input — ready for gnuplot/matplotlib.
+pub fn write_csv(suite: &SuiteResult, sorted: bool, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let fig = if sorted { "fig10" } else { "fig11" };
+    let mut written = Vec::new();
+    for panel in panels(suite, sorted) {
+        let slug = panel.benchmark.to_lowercase().replace(' ', "_").replace('-', "_");
+        let variant = if panel.lockstep { "lockstep" } else { "nonlockstep" };
+        let path = dir.join(format!("{fig}_{slug}_{variant}.csv"));
+        let mut body = String::from("threads");
+        for s in &panel.series {
+            body.push(',');
+            body.push_str(&s.input);
+        }
+        body.push('\n');
+        if let Some(first) = panel.series.first() {
+            for (row, &(t, _)) in first.points.iter().enumerate() {
+                body.push_str(&t.to_string());
+                for s in &panel.series {
+                    body.push_str(&format!(",{:.6}", s.points[row].1));
+                }
+                body.push('\n');
+            }
+        }
+        std::fs::write(&path, body)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HarnessConfig;
+    use crate::suite::run_suite;
+
+    #[test]
+    fn panels_split_by_variant_and_sortedness() {
+        let mut cfg = HarnessConfig::at_scale(0.002);
+        cfg.threads = vec![1, 4];
+        let suite = run_suite(&cfg, Some("Nearest Neighbor"));
+        // "Nearest Neighbor" matches kNN and NN: 2 benchmarks × L/N.
+        let p10 = panels(&suite, true);
+        assert_eq!(p10.len(), 4);
+        for p in &p10 {
+            assert_eq!(p.series.len(), 4, "one series per input");
+            for s in &p.series {
+                assert_eq!(s.points.len(), 2);
+                assert!(s.points.iter().all(|(_, v)| v.is_finite() && *v > 0.0));
+            }
+        }
+        let text = render(&suite, false);
+        assert!(text.contains("Figure 11"));
+        assert!(text.contains("Non-Lockstep"));
+    }
+
+    #[test]
+    fn csv_export_writes_panel_files() {
+        let mut cfg = HarnessConfig::at_scale(0.002);
+        cfg.threads = vec![1, 8];
+        let suite = run_suite(&cfg, Some("Vantage"));
+        let dir = std::env::temp_dir().join("gts_fig_csv_test");
+        let files = write_csv(&suite, true, &dir).expect("csv export");
+        assert_eq!(files.len(), 2, "L and N panels");
+        let body = std::fs::read_to_string(&files[0]).unwrap();
+        assert!(body.starts_with("threads,"));
+        assert_eq!(body.lines().count(), 1 + 2, "header + 2 thread rows");
+        for f in files {
+            std::fs::remove_file(f).ok();
+        }
+    }
+}

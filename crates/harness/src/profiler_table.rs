@@ -1,0 +1,70 @@
+//! The §4.4 variant-selection table: what the run-time sortedness profiler
+//! decided for each cell, and whether it agreed with the measured winner.
+//!
+//! Not a paper exhibit — the paper applies the decision silently — but it
+//! makes the adaptive pipeline auditable: “If the points are sorted, we use
+//! the lockstep implementation; otherwise we use the non-lockstep version.”
+
+use crate::suite::SuiteResult;
+
+/// Render the decision table.
+pub fn render(suite: &SuiteResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:<8} {:<8} {:>10} {:>12} {:>10} {:>8}\n",
+        "Benchmark", "Input", "Order", "Similarity", "Pick", "Faster", "Right?"
+    ));
+    let mut right = 0usize;
+    let mut total = 0usize;
+    for cell in &suite.cells {
+        let Some(pick) = cell.profiler_picks_lockstep else { continue };
+        let Some(sim) = cell.profiler_similarity else { continue };
+        let l_ms = cell.lockstep.as_ref().map(|r| r.traversal_ms).unwrap_or(f64::INFINITY);
+        let faster_is_l = l_ms < cell.non_lockstep.traversal_ms;
+        let ok = cell.profiler_was_right().unwrap_or(false);
+        total += 1;
+        right += usize::from(ok);
+        out.push_str(&format!(
+            "{:<20} {:<8} {:<8} {:>10.2} {:>12} {:>10} {:>8}\n",
+            cell.non_lockstep.benchmark,
+            cell.non_lockstep.input,
+            if cell.non_lockstep.sorted { "sorted" } else { "unsorted" },
+            sim,
+            if pick { "lockstep" } else { "non-lock" },
+            if faster_is_l { "lockstep" } else { "non-lock" },
+            if ok { "yes" } else { "NO" },
+        ));
+    }
+    if total > 0 {
+        out.push_str(&format!("\nprofiler agreed with the measured winner in {right}/{total} cells\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HarnessConfig;
+    use crate::suite::run_suite;
+
+    #[test]
+    fn decision_table_renders_and_mostly_agrees() {
+        let mut cfg = HarnessConfig::at_scale(0.01);
+        cfg.threads = vec![1, 32];
+        let suite = run_suite(&cfg, Some("Point Correlation"));
+        let text = render(&suite);
+        // 4 inputs × 2 orders = 8 decision lines + header + summary.
+        assert!(text.lines().count() >= 10, "{text}");
+        assert!(text.contains("profiler agreed"));
+        // The profiler should get the clear-cut cells right: sorted PC is
+        // lockstep territory, shuffled PC on clustered inputs is not
+        // guaranteed either way, so just require a majority.
+        let right: usize = suite
+            .cells
+            .iter()
+            .filter_map(|c| c.profiler_was_right())
+            .map(usize::from)
+            .sum();
+        assert!(right * 2 >= 8, "profiler right in only {right}/8 cells\n{text}");
+    }
+}

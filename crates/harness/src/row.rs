@@ -1,0 +1,130 @@
+//! Result records for one benchmark × input × sortedness cell.
+
+use serde::{Deserialize, Serialize};
+
+/// One line of the paper's Table 1 (either the L or the N row of a cell).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Benchmark name ("Barnes Hut", "Point Correlation", ...).
+    pub benchmark: String,
+    /// Input name ("Plummer", "Covtype", ...).
+    pub input: String,
+    /// Sorted input?
+    pub sorted: bool,
+    /// Lockstep (L) or non-lockstep (N)?
+    pub lockstep: bool,
+    /// Modeled GPU traversal time in ms.
+    pub traversal_ms: f64,
+    /// Average nodes accessed per point (lockstep: the warp union, as in
+    /// the paper's L rows).
+    pub avg_nodes: f64,
+    /// Speedup vs. the 1-thread CPU run.
+    pub speedup_vs_1: f64,
+    /// Speedup vs. the 32-thread CPU run.
+    pub speedup_vs_32: f64,
+    /// Improvement over the matching recursive-GPU variant, in percent
+    /// (`(recursive_ms / ours − 1) × 100`).
+    pub improv_vs_recurse_pct: f64,
+    /// Table 2's work expansion `(mean, std dev)`; lockstep rows only.
+    pub work_expansion: Option<(f64, f64)>,
+}
+
+/// All measurements of one cell: both Table 1 rows, plus the CPU sweep
+/// that Figures 10/11 plot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The lockstep row, when the kernel is lockstep-eligible.
+    pub lockstep: Option<Row>,
+    /// The non-lockstep (autoropes) row.
+    pub non_lockstep: Row,
+    /// `(threads, wall ms)` for the CPU sweep.
+    pub cpu_sweep: Vec<(usize, f64)>,
+    /// Modeled ms of the recursive-GPU lockstep variant.
+    pub recursive_l_ms: Option<f64>,
+    /// Modeled ms of the recursive-GPU non-lockstep variant.
+    pub recursive_n_ms: f64,
+    /// The §4.4 sortedness profiler's decision (`Some(true)` = lockstep),
+    /// when the kernel is lockstep-eligible.
+    pub profiler_picks_lockstep: Option<bool>,
+    /// Mean traversal similarity the profiler measured.
+    pub profiler_similarity: Option<f64>,
+}
+
+impl CellResult {
+    /// Did the profiler's §4.4 decision select the variant that actually
+    /// measured faster? `None` when the kernel is not lockstep-eligible.
+    pub fn profiler_was_right(&self) -> Option<bool> {
+        let pick = self.profiler_picks_lockstep?;
+        let l = self.lockstep.as_ref()?.traversal_ms;
+        let n = self.non_lockstep.traversal_ms;
+        Some(pick == (l < n))
+    }
+}
+
+impl CellResult {
+    /// CPU wall ms at exactly `threads` threads, if measured.
+    pub fn cpu_ms(&self, threads: usize) -> Option<f64> {
+        self.cpu_sweep.iter().find(|(t, _)| *t == threads).map(|(_, ms)| *ms)
+    }
+
+    /// The faster of the two GPU variants — “the best variant for each
+    /// benchmark/input pair” (§6.2).
+    pub fn best(&self) -> &Row {
+        match &self.lockstep {
+            Some(l) if l.traversal_ms <= self.non_lockstep.traversal_ms => l,
+            _ => &self.non_lockstep,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(lockstep: bool, ms: f64) -> Row {
+        Row {
+            benchmark: "b".into(),
+            input: "i".into(),
+            sorted: true,
+            lockstep,
+            traversal_ms: ms,
+            avg_nodes: 0.0,
+            speedup_vs_1: 0.0,
+            speedup_vs_32: 0.0,
+            improv_vs_recurse_pct: 0.0,
+            work_expansion: None,
+        }
+    }
+
+    #[test]
+    fn best_picks_faster_variant() {
+        let cell = CellResult {
+            lockstep: Some(row(true, 5.0)),
+            non_lockstep: row(false, 10.0),
+            cpu_sweep: vec![(1, 100.0), (32, 8.0)],
+            recursive_l_ms: None,
+            recursive_n_ms: 0.0,
+            profiler_picks_lockstep: Some(true),
+            profiler_similarity: Some(0.8),
+        };
+        assert_eq!(cell.profiler_was_right(), Some(true));
+        assert!(cell.best().lockstep);
+        assert_eq!(cell.cpu_ms(32), Some(8.0));
+        assert_eq!(cell.cpu_ms(7), None);
+    }
+
+    #[test]
+    fn best_falls_back_to_non_lockstep() {
+        let cell = CellResult {
+            lockstep: None,
+            non_lockstep: row(false, 10.0),
+            cpu_sweep: vec![],
+            recursive_l_ms: None,
+            recursive_n_ms: 0.0,
+            profiler_picks_lockstep: None,
+            profiler_similarity: None,
+        };
+        assert_eq!(cell.profiler_was_right(), None);
+        assert!(!cell.best().lockstep);
+    }
+}

@@ -1,0 +1,74 @@
+//! Table 1 formatting: performance summary of transformed traversals.
+
+use crate::row::{CellResult, Row};
+use crate::suite::SuiteResult;
+
+/// Render the suite as the paper's Table 1: one L row and one N row per
+/// benchmark/input, sorted columns then unsorted columns.
+pub fn render(suite: &SuiteResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:<8} {:<4} | {:>12} {:>10} {:>8} {:>8} {:>10} | {:>12} {:>10} {:>8} {:>8} {:>10}\n",
+        "Benchmark", "Input", "Type",
+        "Trav.(ms)", "Avg.#Nodes", "vs 1", "vs 32", "vs Recurse",
+        "Trav.(ms)", "Avg.#Nodes", "vs 1", "vs 32", "vs Recurse",
+    ));
+    out.push_str(&format!(
+        "{:<20} {:<8} {:<4} | {:^52} | {:^52}\n",
+        "", "", "", "--- Sorted ---", "--- Unsorted ---"
+    ));
+
+    // Cells come in (sorted, unsorted) pairs per benchmark/input.
+    let mut pairs: Vec<(&CellResult, &CellResult)> = Vec::new();
+    let mut iter = suite.cells.iter();
+    while let (Some(a), Some(b)) = (iter.next(), iter.next()) {
+        debug_assert!(a.non_lockstep.sorted && !b.non_lockstep.sorted);
+        pairs.push((a, b));
+    }
+
+    for (sorted_cell, unsorted_cell) in pairs {
+        let rows: Vec<(Option<&Row>, Option<&Row>, &str)> = vec![
+            (sorted_cell.lockstep.as_ref(), unsorted_cell.lockstep.as_ref(), "L"),
+            (Some(&sorted_cell.non_lockstep), Some(&unsorted_cell.non_lockstep), "N"),
+        ];
+        for (s, u, ty) in rows {
+            let (Some(s), Some(u)) = (s, u) else { continue };
+            out.push_str(&format!(
+                "{:<20} {:<8} {:<4} | {:>12.2} {:>10.0} {:>8.2} {:>8.2} {:>9.0}% | {:>12.2} {:>10.0} {:>8.2} {:>8.2} {:>9.0}%\n",
+                s.benchmark,
+                s.input,
+                ty,
+                s.traversal_ms,
+                s.avg_nodes,
+                s.speedup_vs_1,
+                s.speedup_vs_32,
+                s.improv_vs_recurse_pct,
+                u.traversal_ms,
+                u.avg_nodes,
+                u.speedup_vs_1,
+                u.speedup_vs_32,
+                u.improv_vs_recurse_pct,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HarnessConfig;
+    use crate::suite::run_suite;
+
+    #[test]
+    fn render_produces_l_and_n_rows() {
+        let mut cfg = HarnessConfig::at_scale(0.002);
+        cfg.threads = vec![1, 32];
+        let suite = run_suite(&cfg, Some("Vantage"));
+        let text = render(&suite);
+        // 4 inputs × (L + N) = 8 data lines + 2 header lines.
+        assert_eq!(text.lines().count(), 10, "{text}");
+        assert!(text.contains("Vantage Point"));
+        assert!(text.contains("Geocity"));
+    }
+}

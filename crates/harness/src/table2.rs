@@ -1,0 +1,41 @@
+//! Table 2 formatting: average work expansion per warp of lockstep
+//! traversals (standard deviation in parentheses).
+
+use crate::suite::SuiteResult;
+
+/// Render the suite's lockstep work-expansion statistics as Table 2.
+pub fn render(suite: &SuiteResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:<8} {:>16} {:>16}\n",
+        "Benchmark", "Input", "Sorted", "Unsorted"
+    ));
+    let mut iter = suite.cells.iter();
+    while let (Some(sorted), Some(unsorted)) = (iter.next(), iter.next()) {
+        let s = sorted.lockstep.as_ref().and_then(|r| r.work_expansion);
+        let u = unsorted.lockstep.as_ref().and_then(|r| r.work_expansion);
+        let (Some((sm, ss)), Some((um, us))) = (s, u) else { continue };
+        out.push_str(&format!(
+            "{:<20} {:<8} {:>8.2} ({:>5.2}) {:>8.2} ({:>5.2})\n",
+            sorted.non_lockstep.benchmark, sorted.non_lockstep.input, sm, ss, um, us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HarnessConfig;
+    use crate::suite::run_suite;
+
+    #[test]
+    fn render_has_one_line_per_input() {
+        let mut cfg = HarnessConfig::at_scale(0.002);
+        cfg.threads = vec![1, 32];
+        let suite = run_suite(&cfg, Some("Point Correlation"));
+        let text = render(&suite);
+        assert_eq!(text.lines().count(), 1 + 4, "{text}");
+        assert!(text.contains("Covtype"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Bridge from compiled IR programs to the simulated-GPU executors.
+//!
+//! [`IrKernel`] wraps a [`RopeProgram`] + [`KernelOps`] pair as a
+//! [`gts_runtime::TraversalKernel`], so a kernel that went through the
+//! compiler pipeline (analysis → transformation) runs on the *same*
+//! autoropes/lockstep/recursive executors — and the same simulator — as
+//! the hand-written benchmarks. Call-set count and the §4.3 annotation are
+//! const parameters because the runtime trait consumes them as constants;
+//! the constructor cross-checks them against the analysis results.
+
+use gts_runtime::{Child, ChildBuf, TraversalKernel, VisitOutcome};
+use gts_trees::layout::NodeBytes;
+use gts_trees::NodeId;
+
+use crate::interp::exec_body;
+use crate::ir::KernelOps;
+use crate::transform::RopeProgram;
+
+/// A compiled IR program executable by `gts-runtime`.
+///
+/// `CS` = number of static call sets, `EQ` = §4.3 annotation, `NARGS` =
+/// argument slots (the IR's `f32` vector becomes the fixed-size stacked
+/// argument).
+pub struct IrKernel<O: KernelOps, const CS: usize, const EQ: bool, const NARGS: usize> {
+    prog: RopeProgram,
+    ops: O,
+    bytes: NodeBytes,
+    depth: usize,
+    root_args: [f32; NARGS],
+}
+
+impl<O: KernelOps, const CS: usize, const EQ: bool, const NARGS: usize> IrKernel<O, CS, EQ, NARGS> {
+    /// Wrap a transformed program. Panics if the const parameters disagree
+    /// with the analysis (wrong call-set count, annotation mismatch, or
+    /// argument arity).
+    pub fn new(prog: RopeProgram, ops: O, bytes: NodeBytes, root_args: [f32; NARGS]) -> Self {
+        assert_eq!(prog.call_sets.len(), CS, "CS const disagrees with call-set analysis");
+        assert_eq!(prog.annotated_equivalent, EQ, "EQ const disagrees with the annotation");
+        assert_eq!(prog.ir.n_args, NARGS, "NARGS disagrees with the IR's argument arity");
+        let depth = tree_depth(&ops);
+        IrKernel {
+            prog,
+            ops,
+            bytes,
+            depth,
+            root_args,
+        }
+    }
+
+    /// The wrapped program (for inspecting analysis results).
+    pub fn program(&self) -> &RopeProgram {
+        &self.prog
+    }
+
+    #[allow(dead_code)]
+    fn max_kids(&self) -> usize {
+        self.prog.call_sets.iter().map(Vec::len).max().unwrap_or(1)
+    }
+}
+
+/// Depth of the tree exposed by `ops`, by DFS over `child`.
+fn tree_depth<O: KernelOps>(ops: &O) -> usize {
+    fn rec<O: KernelOps>(ops: &O, n: NodeId, d: usize, out: &mut usize) {
+        *out = (*out).max(d);
+        // Trees in this workspace have out-degree at most 8 (the oct-tree).
+        for slot in 0..8u8 {
+            if let Some(c) = ops.child(n, slot) {
+                rec(ops, c, d + 1, out);
+            }
+        }
+    }
+    let mut depth = 0;
+    rec(ops, 0, 0, &mut depth);
+    depth
+}
+
+impl<O, const CS: usize, const EQ: bool, const NARGS: usize> TraversalKernel for IrKernel<O, CS, EQ, NARGS>
+where
+    O: KernelOps + Sync,
+    O::Point: Send + Clone,
+{
+    type Point = O::Point;
+    type Args = [f32; NARGS];
+    // Conservative: the widest call set of our kernels is BH's 8.
+    const MAX_KIDS: usize = 8;
+    const CALL_SETS: usize = CS;
+    const CALL_SETS_EQUIVALENT: bool = EQ;
+    const ARGS_VARIANT: bool = NARGS > 0;
+    const ARG_BYTES: u64 = (NARGS * 4) as u64;
+
+    fn n_nodes(&self) -> usize {
+        self.ops.n_nodes()
+    }
+    fn is_leaf(&self, node: NodeId) -> bool {
+        self.ops.is_leaf(node)
+    }
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        self.ops.leaf_range(node)
+    }
+    fn node_bytes(&self) -> NodeBytes {
+        self.bytes
+    }
+    fn max_depth(&self) -> usize {
+        self.depth
+    }
+    fn root_args(&self) -> [f32; NARGS] {
+        self.root_args
+    }
+
+    fn choose(&self, p: &Self::Point, node: NodeId, args: [f32; NARGS]) -> usize {
+        if CS <= 1 {
+            return 0;
+        }
+        // Probe on a clone: which call set would this point take?
+        let mut probe = p.clone();
+        let out = exec_body(&self.prog.ir, &self.ops, &mut probe, node, &args, None);
+        self.prog
+            .call_sets
+            .iter()
+            .position(|s| *s == out.calls)
+            .unwrap_or(0)
+    }
+
+    fn visit(
+        &self,
+        p: &mut Self::Point,
+        node: NodeId,
+        args: [f32; NARGS],
+        forced: Option<usize>,
+        kids: &mut ChildBuf<[f32; NARGS]>,
+    ) -> VisitOutcome {
+        let force = forced.filter(|_| CS > 1).map(|s| (s, &self.prog));
+        let out = exec_body(&self.prog.ir, &self.ops, p, node, &args, force);
+        if out.emits.is_empty() {
+            return if self.ops.is_leaf(node) {
+                VisitOutcome::Leaf
+            } else {
+                VisitOutcome::Truncated
+            };
+        }
+        let call_set = self
+            .prog
+            .call_sets
+            .iter()
+            .position(|s| *s == out.calls)
+            .unwrap_or(0);
+        for e in out.emits {
+            let mut a = [0.0f32; NARGS];
+            a.copy_from_slice(&e.args[..NARGS]);
+            kids.push(Child { node: e.node, args: a });
+        }
+        VisitOutcome::Descended { call_set }
+    }
+
+    fn visit_insts(&self) -> u64 {
+        // The interpreter models the same body the hand-written kernel
+        // would execute; keep the default arithmetic estimate.
+        12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_ir::*;
+    use crate::transform::transform;
+    use gts_points::gen::uniform;
+    use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
+    use gts_runtime::cpu;
+    use gts_trees::{KdTree, SplitPolicy};
+
+    #[test]
+    fn compiled_pc_runs_on_all_executors() {
+        let pts = uniform::<3>(128, 81);
+        let tree = KdTree::build(&pts, 4, SplitPolicy::MedianCycle);
+        let radius = 0.35f32;
+        let prog = transform(&figure4_pc(), false).unwrap();
+        let kernel: IrKernel<_, 1, false, 0> = IrKernel::new(
+            prog,
+            PcOps { tree: &tree, radius2: radius * radius },
+            NodeBytes::kd(3),
+            [],
+        );
+        let cfg = GpuConfig::default();
+        let make = || {
+            pts.iter()
+                .map(|&p| PcState { pos: p, count: 0 })
+                .collect::<Vec<_>>()
+        };
+        let mut c = make();
+        cpu::run_sequential(&kernel, &mut c);
+        let mut a = make();
+        autoropes::run(&kernel, &mut a, &cfg);
+        let mut l = make();
+        lockstep::run(&kernel, &mut l, &cfg);
+        for (i, q) in pts.iter().enumerate() {
+            let want = gts_apps::oracle::pc_count(&pts, q, radius);
+            assert_eq!(c[i].count, want, "cpu {i}");
+            assert_eq!(a[i].count, want, "autoropes {i}");
+            assert_eq!(l[i].count, want, "lockstep {i}");
+        }
+    }
+
+    #[test]
+    fn compiled_pc_matches_handwritten_counts_and_visits() {
+        let pts = uniform::<3>(96, 82);
+        let tree = KdTree::build(&pts, 4, SplitPolicy::MedianCycle);
+        let radius = 0.3f32;
+        let prog = transform(&figure4_pc(), false).unwrap();
+        let ir_kernel: IrKernel<_, 1, false, 0> = IrKernel::new(
+            prog,
+            PcOps { tree: &tree, radius2: radius * radius },
+            NodeBytes::kd(3),
+            [],
+        );
+        let hand = gts_apps::pc::PcKernel::new(&tree, radius);
+
+        let mut ir_pts: Vec<PcState<3>> = pts.iter().map(|&p| PcState { pos: p, count: 0 }).collect();
+        let mut hand_pts: Vec<gts_apps::pc::PcPoint<3>> =
+            pts.iter().map(|p| gts_apps::pc::PcPoint::new(*p)).collect();
+        let ir_r = cpu::run_sequential(&ir_kernel, &mut ir_pts);
+        let hand_r = cpu::run_sequential(&hand, &mut hand_pts);
+        // Same visit counts per point: the compiled kernel is the
+        // hand-written kernel, node for node.
+        assert_eq!(ir_r.stats.per_point_nodes, hand_r.stats.per_point_nodes);
+        for (a, b) in ir_pts.iter().zip(&hand_pts) {
+            assert_eq!(a.count, b.count);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CS const disagrees")]
+    fn wrong_cs_const_rejected() {
+        let pts = uniform::<3>(16, 83);
+        let tree = KdTree::build(&pts, 4, SplitPolicy::MedianCycle);
+        let prog = transform(&figure5_guided(), true).unwrap();
+        let _: IrKernel<_, 1, true, 0> =
+            IrKernel::new(prog, PcOps { tree: &tree, radius2: 1.0 }, NodeBytes::kd(3), []);
+    }
+}

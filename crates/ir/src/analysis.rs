@@ -1,0 +1,373 @@
+//! Static analyses over the reduced CFG (paper §3.2.1).
+
+use std::collections::BTreeSet;
+
+use crate::ir::{ChildSel, KernelIr, Stmt, Terminator};
+
+/// A reference to one `Recurse` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallRef {
+    /// Block containing the call.
+    pub block: usize,
+    /// Statement index within the block.
+    pub stmt: usize,
+    /// The call's child selector.
+    pub child: ChildSel,
+}
+
+/// A static call set: the sequence of recursive calls executed along one
+/// path through the function (§3.2.1).
+pub type CallSet = Vec<CallRef>;
+
+/// Analysis failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The reduced CFG has a cycle — recursive-call loops must be unrolled
+    /// before analysis (§3.2.1 footnote 1).
+    CyclicCfg {
+        /// A block on the cycle.
+        block: usize,
+    },
+    /// Structural validation failed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::CyclicCfg { block } => {
+                write!(f, "reduced CFG is cyclic (block {block} reaches itself); unroll child loops first")
+            }
+            AnalysisError::Malformed(m) => write!(f, "malformed kernel IR: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Guided vs. unguided classification (§3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guidance {
+    /// One call set, point-independent children: every point linearizes
+    /// the tree in the same (canonical) order. Lockstep applies directly.
+    Unguided,
+    /// Multiple call sets, or point-dependent child selection: points may
+    /// traverse in different orders.
+    Guided {
+        /// Number of static call sets.
+        n_sets: usize,
+    },
+}
+
+/// Enumerate every entry→exit path of the (acyclic) reduced CFG.
+/// Returns the block sequences.
+pub fn paths(ir: &KernelIr) -> Result<Vec<Vec<usize>>, AnalysisError> {
+    ir.validate().map_err(AnalysisError::Malformed)?;
+    // Cycle check first: DFS with colors.
+    let n = ir.blocks.len();
+    let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+    fn dfs(ir: &KernelIr, b: usize, color: &mut [u8]) -> Result<(), AnalysisError> {
+        color[b] = 1;
+        for s in ir.successors(b) {
+            match color[s] {
+                0 => dfs(ir, s, color)?,
+                1 => return Err(AnalysisError::CyclicCfg { block: s }),
+                _ => {}
+            }
+        }
+        color[b] = 2;
+        Ok(())
+    }
+    dfs(ir, 0, &mut color)?;
+
+    // Path enumeration by DFS over the DAG.
+    let mut out = Vec::new();
+    let mut cur = vec![0usize];
+    fn walk(ir: &KernelIr, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        let b = *cur.last().expect("non-empty path");
+        let succs = ir.successors(b);
+        if succs.is_empty() {
+            out.push(cur.clone());
+            return;
+        }
+        for s in succs {
+            cur.push(s);
+            walk(ir, cur, out);
+            cur.pop();
+        }
+    }
+    walk(ir, &mut cur, &mut out);
+    Ok(out)
+}
+
+/// Collect the call sequence along one block path.
+fn calls_on_path(ir: &KernelIr, path: &[usize]) -> CallSet {
+    let mut set = Vec::new();
+    for &b in path {
+        for (i, s) in ir.blocks[b].stmts.iter().enumerate() {
+            if let Stmt::Recurse(child) = s {
+                set.push(CallRef {
+                    block: b,
+                    stmt: i,
+                    child: *child,
+                });
+            }
+        }
+    }
+    set
+}
+
+/// Compute the static call sets: the distinct non-empty call sequences
+/// over all paths (§3.2.1: “computing all possible paths through the
+/// reduced CFG that contain at least one recursive call”).
+pub fn call_sets(ir: &KernelIr) -> Result<Vec<CallSet>, AnalysisError> {
+    let mut sets: Vec<CallSet> = Vec::new();
+    for p in paths(ir)? {
+        let cs = calls_on_path(ir, &p);
+        if !cs.is_empty() && !sets.contains(&cs) {
+            sets.push(cs);
+        }
+    }
+    Ok(sets)
+}
+
+/// Pseudo-tail-recursion violations (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PtrViolation {
+    /// Block of the offending non-call statement.
+    pub block: usize,
+    /// Statement index.
+    pub stmt: usize,
+    /// Human-readable description.
+    pub reason: String,
+}
+
+/// Check that the kernel is pseudo-tail-recursive: “along every path from
+/// a recursive function call to an exit of the control flow graph, there
+/// are only recursive function calls” (§3.2). Returns the first violation
+/// found, if any.
+pub fn check_pseudo_tail_recursive(ir: &KernelIr) -> Result<(), PtrViolation> {
+    let all_paths = paths(ir).map_err(|e| PtrViolation {
+        block: 0,
+        stmt: 0,
+        reason: e.to_string(),
+    })?;
+    for p in &all_paths {
+        let mut seen_call = false;
+        for &b in p {
+            for (i, s) in ir.blocks[b].stmts.iter().enumerate() {
+                match s {
+                    Stmt::Recurse(_) => seen_call = true,
+                    Stmt::Update(_) if seen_call => {
+                        return Err(PtrViolation {
+                            block: b,
+                            stmt: i,
+                            reason: "update executes after a recursive call on some path".into(),
+                        });
+                    }
+                    Stmt::SetArg { .. } if seen_call => {
+                        return Err(PtrViolation {
+                            block: b,
+                            stmt: i,
+                            reason: "argument mutation after a recursive call on some path".into(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Conservative guided/unguided classification (§3.2.1): unguided requires
+/// a single call set whose calls are all slot-based (node arguments not
+/// dependent on point properties).
+pub fn classify(ir: &KernelIr) -> Result<Guidance, AnalysisError> {
+    let sets = call_sets(ir)?;
+    let n_sets = sets.len();
+    if n_sets <= 1 {
+        let point_dependent = sets
+            .iter()
+            .flatten()
+            .any(|c| matches!(c.child, ChildSel::Dynamic(_)));
+        if !point_dependent {
+            return Ok(Guidance::Unguided);
+        }
+    }
+    Ok(Guidance::Guided { n_sets: n_sets.max(1) })
+}
+
+/// For each two-way branch, the indices (into the [`call_sets`] list) of
+/// call sets producible via each side. Drives the §4.3 forced execution:
+/// when the warp has voted call set `s`, a *guiding branch* — one whose
+/// sides reach different call sets — is steered toward the side that can
+/// still produce `s`.
+#[derive(Debug, Clone, Default)]
+pub struct BranchMap {
+    /// `(block, took_then) → call-set indices reachable`.
+    entries: Vec<(usize, bool, BTreeSet<usize>)>,
+}
+
+impl BranchMap {
+    /// Call sets producible when `block`'s branch takes `then`/`else`.
+    pub fn reachable(&self, block: usize, took_then: bool) -> Option<&BTreeSet<usize>> {
+        self.entries
+            .iter()
+            .find(|(b, t, _)| *b == block && *t == took_then)
+            .map(|(_, _, s)| s)
+    }
+
+    /// Is `block`'s branch guiding — does it choose *between* call sets?
+    /// Both sides must reach at least one call set (a branch with a
+    /// truncation/leaf side is not guiding: forcing it would override the
+    /// pruning condition, not the traversal order).
+    pub fn is_guiding(&self, block: usize) -> bool {
+        match (self.reachable(block, true), self.reachable(block, false)) {
+            (Some(a), Some(b)) => !a.is_empty() && !b.is_empty() && a != b,
+            _ => false,
+        }
+    }
+}
+
+/// Build the [`BranchMap`] for a kernel.
+pub fn branch_map(ir: &KernelIr, sets: &[CallSet]) -> Result<BranchMap, AnalysisError> {
+    let all_paths = paths(ir)?;
+    let mut map = BranchMap::default();
+    for (bi, b) in ir.blocks.iter().enumerate() {
+        if let Terminator::Branch { then_blk, else_blk, .. } = b.term {
+            for (side_blk, took_then) in [(then_blk, true), (else_blk, false)] {
+                let mut reach = BTreeSet::new();
+                for p in &all_paths {
+                    // Path takes this side iff bi is immediately followed
+                    // by side_blk somewhere on the path.
+                    let takes = p.windows(2).any(|w| w[0] == bi && w[1] == side_blk);
+                    if takes {
+                        let cs = calls_on_path(ir, p);
+                        if let Some(idx) = sets.iter().position(|s| *s == cs) {
+                            reach.insert(idx);
+                        }
+                    }
+                }
+                map.entries.push((bi, took_then, reach));
+            }
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_ir::{bh_ir, figure4_pc, figure5_guided, non_ptr_kernel};
+    use crate::ir::{Block, CondId, KernelIr, Terminator};
+
+    #[test]
+    fn figure4_has_one_call_set() {
+        let ir = figure4_pc();
+        let sets = call_sets(&ir).unwrap();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].len(), 2); // left, right
+        assert!(matches!(sets[0][0].child, ChildSel::Slot(0)));
+        assert!(matches!(sets[0][1].child, ChildSel::Slot(1)));
+    }
+
+    #[test]
+    fn figure4_is_unguided_and_ptr() {
+        let ir = figure4_pc();
+        assert_eq!(classify(&ir).unwrap(), Guidance::Unguided);
+        assert!(check_pseudo_tail_recursive(&ir).is_ok());
+    }
+
+    #[test]
+    fn figure5_has_two_call_sets_and_is_guided() {
+        let ir = figure5_guided();
+        let sets = call_sets(&ir).unwrap();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(classify(&ir).unwrap(), Guidance::Guided { n_sets: 2 });
+        assert!(check_pseudo_tail_recursive(&ir).is_ok());
+    }
+
+    #[test]
+    fn bh_is_unguided_with_eight_calls() {
+        let ir = bh_ir();
+        let sets = call_sets(&ir).unwrap();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].len(), 8);
+        assert_eq!(classify(&ir).unwrap(), Guidance::Unguided);
+        assert!(check_pseudo_tail_recursive(&ir).is_ok());
+    }
+
+    #[test]
+    fn non_ptr_kernel_rejected() {
+        let ir = non_ptr_kernel();
+        let v = check_pseudo_tail_recursive(&ir).unwrap_err();
+        assert!(v.reason.contains("after a recursive call"));
+    }
+
+    #[test]
+    fn cyclic_cfg_rejected() {
+        let ir = KernelIr {
+            name: "cyclic".into(),
+            blocks: vec![
+                Block { stmts: vec![], term: Terminator::Goto(1) },
+                Block { stmts: vec![], term: Terminator::Goto(0) },
+            ],
+            n_args: 0,
+        };
+        assert!(matches!(call_sets(&ir), Err(AnalysisError::CyclicCfg { .. })));
+    }
+
+    #[test]
+    fn branch_map_marks_guiding_branch() {
+        let ir = figure5_guided();
+        let sets = call_sets(&ir).unwrap();
+        let map = branch_map(&ir, &sets).unwrap();
+        // The closer_to_left branch is guiding; the truncation and leaf
+        // branches are not.
+        let guiding: Vec<usize> = (0..ir.blocks.len())
+            .filter(|&b| matches!(ir.blocks[b].term, Terminator::Branch { .. }) && map.is_guiding(b))
+            .collect();
+        assert_eq!(guiding.len(), 1);
+        let g = guiding[0];
+        let then_sets = map.reachable(g, true).unwrap();
+        let else_sets = map.reachable(g, false).unwrap();
+        assert_eq!(then_sets.len(), 1);
+        assert_eq!(else_sets.len(), 1);
+        assert_ne!(then_sets, else_sets);
+    }
+
+    #[test]
+    fn branch_map_truncation_branch_not_guiding() {
+        let ir = figure4_pc();
+        let sets = call_sets(&ir).unwrap();
+        let map = branch_map(&ir, &sets).unwrap();
+        for b in 0..ir.blocks.len() {
+            assert!(!map.is_guiding(b), "block {b} wrongly guiding");
+        }
+    }
+
+    #[test]
+    fn paths_counts() {
+        // Figure 4 shape: truncate-exit, leaf-exit, recurse-exit → 3 paths.
+        assert_eq!(paths(&figure4_pc()).unwrap().len(), 3);
+        // Figure 5 adds the guided fork → 4 paths.
+        assert_eq!(paths(&figure5_guided()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn classify_single_dynamic_call_is_guided() {
+        // One call set but point-dependent child → conservatively guided.
+        use crate::ir::{SelId, Stmt};
+        let ir = KernelIr {
+            name: "dyn".into(),
+            blocks: vec![Block {
+                stmts: vec![Stmt::Recurse(ChildSel::Dynamic(SelId(0)))],
+                term: Terminator::Return,
+            }],
+            n_args: 0,
+        };
+        assert_eq!(classify(&ir).unwrap(), Guidance::Guided { n_sets: 1 });
+        let _ = CondId(0); // keep import used in all cfgs
+    }
+}

@@ -1,0 +1,413 @@
+//! The paper's running examples as IR, plus the [`KernelOps`]
+//! implementations that bind them to real trees.
+//!
+//! * [`figure4_pc`] — the unguided Point Correlation body of Figure 4.
+//! * [`figure5_guided`] — the guided two-call-set body of Figure 5.
+//! * [`bh_ir`] — the Barnes-Hut body of Figure 9a with the child loop
+//!   unrolled (footnote 1) and the `dsq * 0.25` argument transform.
+//! * [`non_ptr_kernel`] — a deliberately non-pseudo-tail-recursive body
+//!   (an update after a recursive call) for negative tests.
+//!
+//! Well-known condition/action/selector ids used by these kernels are the
+//! `C_*`, `A_*`, `S_*`, `X_*` constants; [`KernelOps`] implementations
+//! dispatch on them.
+
+use crate::ir::{
+    ActionId, Block, ChildSel, CondId, KernelIr, KernelOps, SelId, Stmt, Terminator, XformId,
+};
+use gts_trees::{Aabb, KdTree, NodeId, Octree, PointN};
+
+/// Truncation predicate (`can_correlate` / `!far_enough`): true = continue.
+pub const C_CONTINUE: CondId = CondId(0);
+/// Leaf predicate.
+pub const C_IS_LEAF: CondId = CondId(1);
+/// Guided order predicate (`closer_to_left`).
+pub const C_CLOSER_LEFT: CondId = CondId(2);
+/// The node update (`update_correlation` / force accumulation).
+pub const A_UPDATE: ActionId = ActionId(0);
+/// Near-child selector (guided).
+pub const S_NEAR: SelId = SelId(0);
+/// Far-child selector (guided).
+pub const S_FAR: SelId = SelId(1);
+/// `dsq * 0.25` (Figure 9).
+pub const X_QUARTER: XformId = XformId(0);
+
+/// Figure 4: the unguided PC body.
+///
+/// ```text
+/// b0: if !can_correlate → return        (branch C_CONTINUE: b1 / ret)
+/// b1: if is_leaf → { update; return }
+/// b2: recurse(left); recurse(right); return
+/// ```
+pub fn figure4_pc() -> KernelIr {
+    KernelIr {
+        name: "figure4_pc".into(),
+        blocks: vec![
+            Block {
+                stmts: vec![],
+                term: Terminator::Branch { cond: C_CONTINUE, then_blk: 1, else_blk: 4 },
+            },
+            Block {
+                stmts: vec![],
+                term: Terminator::Branch { cond: C_IS_LEAF, then_blk: 2, else_blk: 3 },
+            },
+            Block {
+                stmts: vec![Stmt::Update(A_UPDATE)],
+                term: Terminator::Return,
+            },
+            Block {
+                stmts: vec![Stmt::Recurse(ChildSel::Slot(0)), Stmt::Recurse(ChildSel::Slot(1))],
+                term: Terminator::Return,
+            },
+            Block { stmts: vec![], term: Terminator::Return },
+        ],
+        n_args: 0,
+    }
+}
+
+/// Figure 5: the guided body with two call sets ordered by
+/// `closer_to_left`. The near/far calls use dynamic selectors, and an
+/// argument transform runs *before* the calls (pseudo-tail-recursion
+/// allows that).
+pub fn figure5_guided() -> KernelIr {
+    KernelIr {
+        name: "figure5_guided".into(),
+        blocks: vec![
+            Block {
+                stmts: vec![],
+                term: Terminator::Branch { cond: C_CONTINUE, then_blk: 1, else_blk: 6 },
+            },
+            Block {
+                stmts: vec![],
+                term: Terminator::Branch { cond: C_IS_LEAF, then_blk: 2, else_blk: 3 },
+            },
+            Block {
+                stmts: vec![Stmt::Update(A_UPDATE)],
+                term: Terminator::Return,
+            },
+            Block {
+                stmts: vec![],
+                term: Terminator::Branch { cond: C_CLOSER_LEFT, then_blk: 4, else_blk: 5 },
+            },
+            Block {
+                stmts: vec![
+                    Stmt::Recurse(ChildSel::Slot(0)),
+                    Stmt::Recurse(ChildSel::Slot(1)),
+                ],
+                term: Terminator::Return,
+            },
+            Block {
+                stmts: vec![
+                    Stmt::Recurse(ChildSel::Slot(1)),
+                    Stmt::Recurse(ChildSel::Slot(0)),
+                ],
+                term: Terminator::Return,
+            },
+            Block { stmts: vec![], term: Terminator::Return },
+        ],
+        n_args: 0,
+    }
+}
+
+/// Figure 9a: Barnes-Hut with the 8-octant loop unrolled and the
+/// `dsq * 0.25` transform before the calls (`SetArg` precedes the call
+/// group, as the paper's pseudo-tail-recursive form requires).
+pub fn bh_ir() -> KernelIr {
+    let mut rec_block = Block {
+        stmts: vec![Stmt::SetArg { slot: 0, xform: X_QUARTER }],
+        term: Terminator::Return,
+    };
+    for o in 0..8 {
+        rec_block.stmts.push(Stmt::Recurse(ChildSel::Slot(o)));
+    }
+    KernelIr {
+        name: "bh_figure9".into(),
+        blocks: vec![
+            // if !far_enough && !leaf → recurse else update.
+            Block {
+                stmts: vec![],
+                term: Terminator::Branch { cond: C_CONTINUE, then_blk: 1, else_blk: 2 },
+            },
+            rec_block,
+            Block {
+                stmts: vec![Stmt::Update(A_UPDATE)],
+                term: Terminator::Return,
+            },
+        ],
+        n_args: 1,
+    }
+}
+
+/// A body that is *not* pseudo-tail-recursive: it updates the point after
+/// returning from the left child (classic post-order work).
+pub fn non_ptr_kernel() -> KernelIr {
+    KernelIr {
+        name: "non_ptr".into(),
+        blocks: vec![
+            Block {
+                stmts: vec![],
+                term: Terminator::Branch { cond: C_IS_LEAF, then_blk: 1, else_blk: 2 },
+            },
+            Block {
+                stmts: vec![Stmt::Update(A_UPDATE)],
+                term: Terminator::Return,
+            },
+            Block {
+                stmts: vec![
+                    Stmt::Recurse(ChildSel::Slot(0)),
+                    Stmt::Update(A_UPDATE), // <-- intervening work
+                    Stmt::Recurse(ChildSel::Slot(1)),
+                ],
+                term: Terminator::Return,
+            },
+        ],
+        n_args: 0,
+    }
+}
+
+/// [`KernelOps`] binding [`figure4_pc`] to a real kd-tree: the Point
+/// Correlation application.
+pub struct PcOps<'t, const D: usize> {
+    /// The kd-tree.
+    pub tree: &'t KdTree<D>,
+    /// Squared correlation radius.
+    pub radius2: f32,
+}
+
+/// Per-point state for [`PcOps`]: query position and hit count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcState<const D: usize> {
+    /// Query position.
+    pub pos: PointN<D>,
+    /// Neighbors found within the radius.
+    pub count: u32,
+}
+
+impl<const D: usize> KernelOps for PcOps<'_, D> {
+    type Point = PcState<D>;
+
+    fn cond(&self, c: CondId, p: &PcState<D>, node: NodeId, _args: &[f32]) -> bool {
+        match c {
+            C_CONTINUE => {
+                let b = Aabb {
+                    lo: self.tree.bbox_lo[node as usize],
+                    hi: self.tree.bbox_hi[node as usize],
+                };
+                b.dist2_to(&p.pos) <= self.radius2
+            }
+            C_IS_LEAF => self.tree.is_leaf(node),
+            other => panic!("PcOps: unknown condition {other:?}"),
+        }
+    }
+
+    fn update(&self, a: ActionId, p: &mut PcState<D>, node: NodeId, _args: &[f32]) {
+        assert_eq!(a, A_UPDATE, "PcOps: unknown action {a:?}");
+        for q in self.tree.leaf_points(node) {
+            if q.dist2(&p.pos) <= self.radius2 {
+                p.count += 1;
+            }
+        }
+    }
+
+    fn select_child(&self, s: SelId, _p: &PcState<D>, _node: NodeId, _args: &[f32]) -> u8 {
+        panic!("PcOps: unguided kernel has no selector {s:?}")
+    }
+
+    fn xform(&self, x: XformId, _args: &[f32], _node: NodeId) -> f32 {
+        panic!("PcOps: no argument transforms ({x:?})")
+    }
+
+    fn child(&self, node: NodeId, slot: u8) -> Option<NodeId> {
+        if self.tree.is_leaf(node) {
+            return None;
+        }
+        match slot {
+            0 => Some(self.tree.left(node)),
+            1 => Some(self.tree.right[node as usize]),
+            _ => None,
+        }
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.tree.n_nodes()
+    }
+
+    fn is_leaf(&self, node: NodeId) -> bool {
+        self.tree.is_leaf(node)
+    }
+
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        self.tree
+            .is_leaf(node)
+            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+    }
+}
+
+/// [`KernelOps`] binding [`figure5_guided`] to a real kd-tree: nearest
+/// neighbor with bounding-box pruning — the guided two-call-set
+/// application of the paper's Figure 5.
+pub struct NnBboxOps<'t, const D: usize> {
+    /// The kd-tree.
+    pub tree: &'t KdTree<D>,
+}
+
+/// Per-point state for [`NnBboxOps`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnState<const D: usize> {
+    /// Query position.
+    pub pos: PointN<D>,
+    /// Best squared distance so far.
+    pub best: f32,
+}
+
+impl<const D: usize> KernelOps for NnBboxOps<'_, D> {
+    type Point = NnState<D>;
+
+    fn cond(&self, c: CondId, p: &NnState<D>, node: NodeId, _args: &[f32]) -> bool {
+        match c {
+            C_CONTINUE => {
+                let b = Aabb {
+                    lo: self.tree.bbox_lo[node as usize],
+                    hi: self.tree.bbox_hi[node as usize],
+                };
+                b.dist2_to(&p.pos) <= p.best
+            }
+            C_IS_LEAF => self.tree.is_leaf(node),
+            C_CLOSER_LEFT => {
+                let axis = self.tree.split_dim[node as usize] as usize;
+                p.pos[axis] < self.tree.split_val[node as usize]
+            }
+            other => panic!("NnBboxOps: unknown condition {other:?}"),
+        }
+    }
+
+    fn update(&self, a: ActionId, p: &mut NnState<D>, node: NodeId, _args: &[f32]) {
+        assert_eq!(a, A_UPDATE);
+        for q in self.tree.leaf_points(node) {
+            let d2 = q.dist2(&p.pos);
+            if d2 > 0.0 && d2 < p.best {
+                p.best = d2;
+            }
+        }
+    }
+
+    fn select_child(&self, s: SelId, _p: &NnState<D>, _node: NodeId, _args: &[f32]) -> u8 {
+        panic!("NnBboxOps: Figure 5 uses slot-based calls, not selector {s:?}")
+    }
+
+    fn xform(&self, x: XformId, _args: &[f32], _node: NodeId) -> f32 {
+        panic!("NnBboxOps: no argument transforms ({x:?})")
+    }
+
+    fn child(&self, node: NodeId, slot: u8) -> Option<NodeId> {
+        if self.tree.is_leaf(node) {
+            None
+        } else if slot == 0 {
+            Some(self.tree.left(node))
+        } else {
+            Some(self.tree.right[node as usize])
+        }
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.tree.n_nodes()
+    }
+
+    fn is_leaf(&self, node: NodeId) -> bool {
+        self.tree.is_leaf(node)
+    }
+
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        self.tree
+            .is_leaf(node)
+            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+    }
+}
+
+/// [`KernelOps`] binding [`bh_ir`] to a real oct-tree: Barnes-Hut force
+/// computation via the IR pipeline.
+pub struct BhOps<'t> {
+    /// The oct-tree.
+    pub tree: &'t Octree,
+    /// Squared softening.
+    pub eps2: f32,
+}
+
+/// Per-point state for [`BhOps`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BhState {
+    /// Body position.
+    pub pos: PointN<3>,
+    /// Accumulated acceleration.
+    pub acc: PointN<3>,
+}
+
+impl BhOps<'_> {
+    fn add_accel(&self, p: &mut BhState, source: &PointN<3>, mass: f32) {
+        let d2 = source.dist2(&p.pos) + self.eps2;
+        if d2 <= 0.0 {
+            return;
+        }
+        let inv_d3 = 1.0 / (d2 * d2.sqrt());
+        p.acc = p.acc.add_scaled(
+            &PointN([source[0] - p.pos[0], source[1] - p.pos[1], source[2] - p.pos[2]]),
+            mass * inv_d3,
+        );
+    }
+}
+
+impl KernelOps for BhOps<'_> {
+    type Point = BhState;
+
+    fn cond(&self, c: CondId, p: &BhState, node: NodeId, args: &[f32]) -> bool {
+        match c {
+            // Figure 9a line 2: continue iff !far_enough && !leaf.
+            C_CONTINUE => {
+                let dsq = args[0];
+                !self.tree.is_leaf(node) && self.tree.com[node as usize].dist2(&p.pos) < dsq
+            }
+            C_IS_LEAF => self.tree.is_leaf(node),
+            other => panic!("BhOps: unknown condition {other:?}"),
+        }
+    }
+
+    fn update(&self, a: ActionId, p: &mut BhState, node: NodeId, _args: &[f32]) {
+        assert_eq!(a, A_UPDATE);
+        if self.tree.is_leaf(node) {
+            let (bodies, masses) = self.tree.leaf_bodies(node);
+            for (b, &m) in bodies.iter().zip(masses) {
+                self.add_accel(p, b, m);
+            }
+        } else {
+            self.add_accel(p, &self.tree.com[node as usize], self.tree.mass[node as usize]);
+        }
+    }
+
+    fn select_child(&self, s: SelId, _p: &BhState, _node: NodeId, _args: &[f32]) -> u8 {
+        panic!("BhOps: unguided kernel has no selector {s:?}")
+    }
+
+    fn xform(&self, x: XformId, args: &[f32], _node: NodeId) -> f32 {
+        assert_eq!(x, X_QUARTER);
+        args[0] * 0.25
+    }
+
+    fn child(&self, node: NodeId, slot: u8) -> Option<NodeId> {
+        let c = self.tree.children[node as usize][slot as usize];
+        (c != gts_trees::NO_NODE).then_some(c)
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.tree.n_nodes()
+    }
+
+    fn is_leaf(&self, node: NodeId) -> bool {
+        self.tree.is_leaf(node)
+    }
+
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        self.tree
+            .is_leaf(node)
+            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+    }
+}

@@ -1,0 +1,512 @@
+//! IR interpreters: recursive reference, autoropes, lockstep.
+//!
+//! All three execute the *same* block body ([`exec_body`]); they differ
+//! only in what happens to the recursive calls the body emits —
+//!
+//! * [`run_recursive`] descends immediately (Figure 1 semantics),
+//! * [`run_autoropes`] pushes the emitted children onto an explicit rope
+//!   stack **in reverse** and loops (Figure 6/7 semantics),
+//! * [`run_lockstep`] keeps one rope stack per warp with a mask
+//!   bit-vector and the §4.3 majority vote (Figure 8 semantics).
+//!
+//! Each run records the exact sequence of visited nodes, so the §3.3
+//! correctness claim — the transformation leaves the traversal order
+//! unchanged — is a testable equality between traces.
+
+use gts_trees::NodeId;
+
+use crate::analysis::CallSet;
+use crate::ir::{ChildSel, KernelIr, KernelOps, Stmt, Terminator};
+use crate::restructure::{decode_node, decode_pending, encode_node, encode_pending};
+use crate::transform::RopeProgram;
+
+/// Maximum lanes per warp (mirrors the simulator's warp size).
+pub const WARP: usize = 32;
+
+/// The visit sequence of one traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Visited nodes, in visit order.
+    pub visits: Vec<NodeId>,
+}
+
+/// A recursive call emitted by one body execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emit {
+    /// The resolved child node.
+    pub node: NodeId,
+    /// The argument vector passed to it.
+    pub args: Vec<f32>,
+}
+
+/// Result of executing a kernel body once at one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BodyOut {
+    /// Emitted recursive calls, in execution order.
+    pub emits: Vec<Emit>,
+    /// The call statements executed (identifies the call set taken).
+    pub calls: CallSet,
+}
+
+/// Execute the kernel body for `p` at `node`. When `force` is provided,
+/// guiding branches are steered toward the side that can still produce the
+/// target call set (§4.3 forced execution); non-guiding branches always
+/// evaluate their real condition.
+pub fn exec_body<O: KernelOps>(
+    ir: &KernelIr,
+    ops: &O,
+    p: &mut O::Point,
+    node: NodeId,
+    args: &[f32],
+    force: Option<(usize, &RopeProgram)>,
+) -> BodyOut {
+    let mut args = args.to_vec();
+    let mut out = BodyOut {
+        emits: Vec::new(),
+        calls: Vec::new(),
+    };
+    let mut blk = 0usize;
+    let mut steps = 0usize;
+    loop {
+        steps += 1;
+        assert!(steps <= ir.blocks.len() + 1, "body execution looped; CFG not acyclic?");
+        let b = &ir.blocks[blk];
+        for (i, s) in b.stmts.iter().enumerate() {
+            match s {
+                Stmt::Update(a) => ops.update(*a, p, node, &args),
+                Stmt::SetArg { slot, xform } => {
+                    args[*slot] = ops.xform(*xform, &args, node);
+                }
+                Stmt::Recurse(child) => {
+                    out.calls.push(crate::analysis::CallRef {
+                        block: blk,
+                        stmt: i,
+                        child: *child,
+                    });
+                    let slot = match child {
+                        ChildSel::Slot(s) => *s,
+                        ChildSel::Dynamic(sel) => ops.select_child(*sel, p, node, &args),
+                    };
+                    match ops.child(node, slot) {
+                        Some(c) => out.emits.push(Emit {
+                            node: c,
+                            args: args.clone(),
+                        }),
+                        None => {
+                            // A pruned/absent child cannot carry pending
+                            // work downward: run it here so the pushed-down
+                            // update still executes exactly once (§3.2
+                            // push-down with partial children).
+                            if let Some((pslot, nslot)) = pending_slots(ir) {
+                                if let Some(action) = decode_pending(args[pslot]) {
+                                    let parent = decode_node(args[nslot]);
+                                    ops.update(action, p, parent, &args);
+                                    args[pslot] = 0.0;
+                                }
+                            }
+                        }
+                    }
+                }
+                Stmt::AttachPending { action, slot } => {
+                    args[*slot] = encode_pending(*action);
+                    args[*slot + 1] = encode_node(node);
+                }
+                Stmt::ClearPending { slot } => {
+                    args[*slot] = 0.0;
+                }
+                Stmt::RunPending { slot, node_slot } => {
+                    if let Some(action) = decode_pending(args[*slot]) {
+                        let parent = decode_node(args[*node_slot]);
+                        ops.update(action, p, parent, &args);
+                        args[*slot] = 0.0;
+                    }
+                }
+            }
+        }
+        match b.term {
+            Terminator::Return => return out,
+            Terminator::Goto(t) => blk = t,
+            Terminator::Branch { cond, then_blk, else_blk } => {
+                let take_then = if let Some((target, prog)) = force {
+                    if prog.branches.is_guiding(blk) {
+                        let then_reach = prog.branches.reachable(blk, true);
+                        let else_reach = prog.branches.reachable(blk, false);
+                        match (
+                            then_reach.is_some_and(|s| s.contains(&target)),
+                            else_reach.is_some_and(|s| s.contains(&target)),
+                        ) {
+                            (true, false) => true,
+                            (false, true) => false,
+                            // Ambiguous or impossible: fall back to the
+                            // real condition.
+                            _ => ops.cond(cond, p, node, &args),
+                        }
+                    } else {
+                        ops.cond(cond, p, node, &args)
+                    }
+                } else {
+                    ops.cond(cond, p, node, &args)
+                };
+                blk = if take_then { then_blk } else { else_blk };
+            }
+        }
+    }
+}
+
+/// Locate the pending-work slots of a restructured kernel by scanning the
+/// prologue for its `RunPending` statement.
+fn pending_slots(ir: &KernelIr) -> Option<(usize, usize)> {
+    ir.blocks[0].stmts.iter().find_map(|s| match s {
+        Stmt::RunPending { slot, node_slot } => Some((*slot, *node_slot)),
+        _ => None,
+    })
+}
+
+/// *True* recursive execution: recursive calls are made **inline**, at the
+/// call site, exactly like the original C code of Figure 1 — including
+/// non-pseudo-tail-recursive bodies whose work between calls runs after
+/// the earlier subtree completes. This is the oracle for the §3.2
+/// restructuring transformation ([`crate::restructure`]); for
+/// pseudo-tail-recursive kernels it coincides with [`run_recursive`].
+pub fn run_recursive_inline<O: KernelOps>(
+    ir: &KernelIr,
+    ops: &O,
+    p: &mut O::Point,
+    root_args: &[f32],
+) -> Trace {
+    let mut trace = Trace { visits: Vec::new() };
+    fn body<O: KernelOps>(
+        ir: &KernelIr,
+        ops: &O,
+        p: &mut O::Point,
+        node: gts_trees::NodeId,
+        args: &[f32],
+        t: &mut Trace,
+    ) {
+        t.visits.push(node);
+        let mut args = args.to_vec();
+        let mut blk = 0usize;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            assert!(steps <= ir.blocks.len() + 1, "inline execution looped");
+            let b = &ir.blocks[blk];
+            for s in &b.stmts {
+                match s {
+                    Stmt::Update(a) => ops.update(*a, p, node, &args),
+                    Stmt::SetArg { slot, xform } => args[*slot] = ops.xform(*xform, &args, node),
+                    Stmt::Recurse(child) => {
+                        let slot = match child {
+                            ChildSel::Slot(s) => *s,
+                            ChildSel::Dynamic(sel) => ops.select_child(*sel, p, node, &args),
+                        };
+                        if let Some(c) = ops.child(node, slot) {
+                            body(ir, ops, p, c, &args, t);
+                        }
+                    }
+                    Stmt::AttachPending { .. } | Stmt::ClearPending { .. } | Stmt::RunPending { .. } => {
+                        panic!("inline reference runs original (unrestructured) kernels only")
+                    }
+                }
+            }
+            match b.term {
+                Terminator::Return => return,
+                Terminator::Goto(t2) => blk = t2,
+                Terminator::Branch { cond, then_blk, else_blk } => {
+                    blk = if ops.cond(cond, p, node, &args) { then_blk } else { else_blk };
+                }
+            }
+        }
+    }
+    body(ir, ops, p, 0, root_args, &mut trace);
+    trace
+}
+
+/// Direct recursive execution (the paper's Figure 1), recording the visit
+/// trace. The reference all transformed executions are compared against.
+pub fn run_recursive<O: KernelOps>(ir: &KernelIr, ops: &O, p: &mut O::Point, root_args: &[f32]) -> Trace {
+    let mut trace = Trace { visits: Vec::new() };
+    fn rec<O: KernelOps>(ir: &KernelIr, ops: &O, p: &mut O::Point, node: NodeId, args: &[f32], t: &mut Trace) {
+        t.visits.push(node);
+        let out = exec_body(ir, ops, p, node, args, None);
+        for e in out.emits {
+            rec(ir, ops, p, e.node, &e.args, t);
+        }
+    }
+    rec(ir, ops, p, 0, root_args, &mut trace);
+    trace
+}
+
+/// Autoropes execution (Figure 6/7): replace recursive calls with stack
+/// pushes **in reverse order** so pops preserve the original visit order;
+/// returns become `continue`.
+pub fn run_autoropes<O: KernelOps>(
+    prog: &RopeProgram,
+    ops: &O,
+    p: &mut O::Point,
+    root_args: &[f32],
+) -> Trace {
+    let mut trace = Trace { visits: Vec::new() };
+    let mut stack: Vec<(NodeId, Vec<f32>)> = vec![(0, root_args.to_vec())];
+    while let Some((node, args)) = stack.pop() {
+        trace.visits.push(node);
+        let out = exec_body(&prog.ir, ops, p, node, &args, None);
+        for e in out.emits.into_iter().rev() {
+            stack.push((e.node, e.args));
+        }
+    }
+    trace
+}
+
+/// Result of a lockstep warp run.
+#[derive(Debug, Clone)]
+pub struct LockstepTrace {
+    /// Nodes visited by the warp, in order (the union traversal).
+    pub warp_visits: Vec<NodeId>,
+    /// Per lane: the nodes at which the lane was *live* (mask bit set).
+    pub lane_visits: Vec<Vec<NodeId>>,
+}
+
+/// Lockstep execution of up to 32 points (Figure 8), with the §4.3
+/// majority vote for guided programs.
+///
+/// # Panics
+/// Panics if the program is not lockstep-eligible (guided without the
+/// annotation, or dynamic child selectors) or if more than 32 points are
+/// supplied.
+pub fn run_lockstep<O: KernelOps>(
+    prog: &RopeProgram,
+    ops: &O,
+    points: &mut [O::Point],
+    root_args: &[f32],
+) -> LockstepTrace {
+    assert!(
+        prog.lockstep_eligible,
+        "program is not lockstep-eligible (guided without the §4.3 annotation?)"
+    );
+    assert!(points.len() <= WARP, "one warp holds at most {WARP} points");
+    let n = points.len();
+    let guided = prog.call_sets.len() > 1;
+    let mut trace = LockstepTrace {
+        warp_visits: Vec::new(),
+        lane_visits: vec![Vec::new(); n],
+    };
+    if n == 0 {
+        return trace;
+    }
+    // Stack entries: node, mask, per-lane args.
+    let full: u32 = if n == WARP { u32::MAX } else { (1u32 << n) - 1 };
+    let mut stack: Vec<(NodeId, u32, Vec<Vec<f32>>)> =
+        vec![(0, full, vec![root_args.to_vec(); n])];
+    while let Some((node, mask, args)) = stack.pop() {
+        trace.warp_visits.push(node);
+        for (l, lane_trace) in trace.lane_visits.iter_mut().enumerate() {
+            if mask & (1 << l) != 0 {
+                lane_trace.push(node);
+            }
+        }
+        // §4.3 vote between active lanes (probe on clones so voting does
+        // not perturb point state).
+        let force = if guided && !ops.is_leaf(node) {
+            let mut counts = vec![0usize; prog.call_sets.len()];
+            for l in 0..n {
+                if mask & (1 << l) != 0 {
+                    let mut probe = points[l].clone();
+                    let out = exec_body(&prog.ir, ops, &mut probe, node, &args[l], None);
+                    if let Some(idx) = prog.call_sets.iter().position(|s| *s == out.calls) {
+                        counts[idx] += 1;
+                    }
+                }
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+                .map(|(i, _)| i)
+        } else {
+            None
+        };
+
+        let mut new_mask = mask;
+        let mut slot_nodes: Vec<NodeId> = Vec::new();
+        let mut slot_args: Vec<Vec<Vec<f32>>> = Vec::new();
+        for l in 0..n {
+            if mask & (1 << l) == 0 {
+                continue;
+            }
+            let out = exec_body(
+                &prog.ir,
+                ops,
+                &mut points[l],
+                node,
+                &args[l],
+                force.map(|s| (s, prog)),
+            );
+            if out.emits.is_empty() {
+                new_mask &= !(1 << l);
+            } else {
+                if slot_nodes.is_empty() {
+                    slot_nodes = out.emits.iter().map(|e| e.node).collect();
+                    slot_args = vec![args.clone(); out.emits.len()];
+                } else {
+                    assert_eq!(
+                        slot_nodes,
+                        out.emits.iter().map(|e| e.node).collect::<Vec<_>>(),
+                        "lockstep lanes disagreed on children despite the forced call set"
+                    );
+                }
+                for (j, e) in out.emits.into_iter().enumerate() {
+                    slot_args[j][l] = e.args;
+                }
+            }
+        }
+        if new_mask != 0 && !slot_nodes.is_empty() {
+            for j in (0..slot_nodes.len()).rev() {
+                stack.push((slot_nodes[j], new_mask, slot_args[j].clone()));
+            }
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_ir::*;
+    use crate::transform::transform;
+    use gts_points::gen::uniform;
+    use gts_trees::{KdTree, Octree, PointN, SplitPolicy};
+    use proptest::prelude::*;
+
+    fn pc_setup(n: usize, seed: u64) -> (Vec<PointN<3>>, KdTree<3>) {
+        let pts = uniform::<3>(n, seed);
+        let tree = KdTree::build(&pts, 4, SplitPolicy::MedianCycle);
+        (pts, tree)
+    }
+
+    #[test]
+    fn autoropes_trace_equals_recursive_trace_pc() {
+        // §3.3: the transformation preserves the traversal order exactly.
+        let (pts, tree) = pc_setup(200, 71);
+        let ops = PcOps { tree: &tree, radius2: 0.15 };
+        let prog = transform(&figure4_pc(), false).unwrap();
+        for q in pts.iter().take(40) {
+            let mut p1 = PcState { pos: *q, count: 0 };
+            let mut p2 = PcState { pos: *q, count: 0 };
+            let rec = run_recursive(&prog.ir, &ops, &mut p1, &[]);
+            let rope = run_autoropes(&prog, &ops, &mut p2, &[]);
+            assert_eq!(rec, rope, "traces diverged for query {q:?}");
+            assert_eq!(p1.count, p2.count);
+        }
+    }
+
+    #[test]
+    fn ir_pc_matches_handwritten_kernel() {
+        // The compiled pipeline computes the same counts as gts-apps' PC.
+        let (pts, tree) = pc_setup(150, 72);
+        let radius = 0.4f32;
+        let ops = PcOps { tree: &tree, radius2: radius * radius };
+        let prog = transform(&figure4_pc(), false).unwrap();
+        for q in pts.iter().take(30) {
+            let mut st = PcState { pos: *q, count: 0 };
+            run_autoropes(&prog, &ops, &mut st, &[]);
+            let expect = gts_apps::oracle::pc_count(&pts, q, radius);
+            assert_eq!(st.count, expect);
+        }
+    }
+
+    #[test]
+    fn bh_ir_traces_match_and_args_ride_the_stack() {
+        let pts = uniform::<3>(120, 73);
+        let masses = vec![1.0f32; 120];
+        let tree = Octree::build(&pts, &masses, 4);
+        let ops = BhOps { tree: &tree, eps2: 1e-4 };
+        let prog = transform(&bh_ir(), false).unwrap();
+        let root_size = tree.size[0];
+        let dsq = (root_size / 0.5) * (root_size / 0.5);
+        for q in pts.iter().take(20) {
+            let mut p1 = BhState { pos: *q, acc: PointN::zero() };
+            let mut p2 = p1.clone();
+            let rec = run_recursive(&prog.ir, &ops, &mut p1, &[dsq]);
+            let rope = run_autoropes(&prog, &ops, &mut p2, &[dsq]);
+            assert_eq!(rec, rope);
+            assert_eq!(p1.acc, p2.acc);
+            assert!(rec.visits.len() > 1);
+        }
+    }
+
+    #[test]
+    fn lockstep_warp_visits_union_and_lane_subset() {
+        let (pts, tree) = pc_setup(64, 74);
+        let ops = PcOps { tree: &tree, radius2: 0.1 };
+        let prog = transform(&figure4_pc(), false).unwrap();
+        let mut warp: Vec<PcState<3>> = pts.iter().take(32).map(|&p| PcState { pos: p, count: 0 }).collect();
+        let ls = run_lockstep(&prog, &ops, &mut warp, &[]);
+        // Per-lane live visits must equal the lane's individual traversal.
+        for (l, q) in pts.iter().take(32).enumerate() {
+            let mut solo = PcState { pos: *q, count: 0 };
+            let solo_trace = run_recursive(&prog.ir, &ops, &mut solo, &[]);
+            assert_eq!(
+                ls.lane_visits[l], solo_trace.visits,
+                "lane {l} live-visit sequence differs from its own traversal"
+            );
+            assert_eq!(warp[l].count, solo.count, "lane {l} wrong count");
+        }
+        // Warp visits at least the longest lane traversal.
+        let longest = ls.lane_visits.iter().map(Vec::len).max().unwrap();
+        assert!(ls.warp_visits.len() >= longest);
+    }
+
+    #[test]
+    fn guided_lockstep_forces_single_call_set() {
+        let (pts, tree) = pc_setup(96, 75);
+        let ops = NnBboxOps { tree: &tree };
+        let prog = transform(&figure5_guided(), true).unwrap();
+        assert!(prog.lockstep_eligible);
+        let mut warp: Vec<NnState<3>> = pts
+            .iter()
+            .take(32)
+            .map(|&p| NnState { pos: p, best: f32::INFINITY })
+            .collect();
+        run_lockstep(&prog, &ops, &mut warp, &[]);
+        // §4.3 correctness: even outvoted lanes find their exact NN
+        // (self-matches excluded, as in the NN benchmark).
+        for (l, q) in pts.iter().take(32).enumerate() {
+            let want = gts_apps::oracle::nn_dist2_nonself(&pts, q);
+            assert!(
+                (warp[l].best - want).abs() <= 1e-5 * want.max(1e-6),
+                "lane {l}: {} vs {want}",
+                warp[l].best
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not lockstep-eligible")]
+    fn lockstep_refuses_unannotated_guided() {
+        let (pts, tree) = pc_setup(8, 76);
+        let ops = PcOps { tree: &tree, radius2: 0.1 };
+        let prog = transform(&figure5_guided(), false).unwrap();
+        let mut warp: Vec<PcState<3>> = pts.iter().map(|&p| PcState { pos: p, count: 0 }).collect();
+        let _ = run_lockstep(&prog, &ops, &mut warp, &[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_autoropes_equals_recursive(n in 2usize..150, seed in 0u64..40, r in 0.01f32..1.0) {
+            let pts = uniform::<3>(n, seed);
+            let tree = KdTree::build(&pts, 4, SplitPolicy::MedianCycle);
+            let ops = PcOps { tree: &tree, radius2: r * r };
+            let prog = transform(&figure4_pc(), false).unwrap();
+            for q in pts.iter().take(8) {
+                let mut p1 = PcState { pos: *q, count: 0 };
+                let mut p2 = PcState { pos: *q, count: 0 };
+                let a = run_recursive(&prog.ir, &ops, &mut p1, &[]);
+                let b = run_autoropes(&prog, &ops, &mut p2, &[]);
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(p1.count, p2.count);
+            }
+        }
+    }
+}

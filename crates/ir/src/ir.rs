@@ -1,0 +1,292 @@
+//! The reduced-CFG kernel representation.
+//!
+//! A kernel body is a DAG of basic blocks. Statements are the three things
+//! a traversal body can do — update the point, transform a call argument,
+//! or recurse into a child — with the application-specific computations
+//! (truncation predicates, updates, child selection) abstracted behind
+//! opaque ids resolved by a [`KernelOps`] implementation at run time. This
+//! is exactly the paper's reduced CFG: “all recursive calls and any
+//! control flow that determines which recursive calls are made” (§3.2.1);
+//! everything else is an uninterpreted action.
+
+use gts_trees::NodeId;
+
+/// Index of a basic block within a [`KernelIr`]. Block 0 is the entry.
+pub type BlockId = usize;
+
+/// Opaque id of an application predicate (e.g. `can_correlate`,
+/// `is_leaf`, `closer_to_left`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CondId(pub u32);
+
+/// Opaque id of an application update action (e.g. `update_correlation`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActionId(pub u32);
+
+/// Opaque id of a point-dependent child selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SelId(pub u32);
+
+/// Opaque id of an argument transform (e.g. `dsq * 0.25`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XformId(pub u32);
+
+/// How a recursive call names the child it descends into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChildSel {
+    /// A fixed child slot (left = 0, right = 1, octant i, ...). Slot-based
+    /// calls are point-independent — the unguided case.
+    Slot(u8),
+    /// A point-dependent selector, resolved by
+    /// [`KernelOps::select_child`]. Any call set containing one of these
+    /// makes the traversal guided.
+    Dynamic(SelId),
+}
+
+/// One statement of a kernel body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stmt {
+    /// Run an application update against the current node.
+    Update(ActionId),
+    /// Replace argument slot `slot` with a transformed value.
+    SetArg {
+        /// Which argument slot to write.
+        slot: usize,
+        /// The transform to apply.
+        xform: XformId,
+    },
+    /// Recurse into a child, passing the current argument vector.
+    Recurse(ChildSel),
+    /// (Inserted by [`crate::restructure`].) Load pending work into the
+    /// argument slots: `args[slot] = action + 1`, `args[slot + 1] = this
+    /// node's id` — the “arguments identifying the call set and current
+    /// child” of §3.2's push-down transformation.
+    AttachPending {
+        /// The update being pushed down.
+        action: ActionId,
+        /// Argument slot of the encoded action (`slot + 1` holds the node).
+        slot: usize,
+    },
+    /// (Inserted by [`crate::restructure`].) Clear the pending slot so
+    /// later calls do not re-run the pushed-down work.
+    ClearPending {
+        /// Argument slot of the encoded action.
+        slot: usize,
+    },
+    /// (Inserted by [`crate::restructure`].) Prologue statement: if the
+    /// pending slot is non-zero, run the encoded action against the parent
+    /// node recorded in `node_slot`, then clear the slot.
+    RunPending {
+        /// Argument slot of the encoded action.
+        slot: usize,
+        /// Argument slot of the encoded parent node id.
+        node_slot: usize,
+    },
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Two-way branch on an application predicate.
+    Branch {
+        /// The predicate.
+        cond: CondId,
+        /// Successor when the predicate holds.
+        then_blk: BlockId,
+        /// Successor when it does not.
+        else_blk: BlockId,
+    },
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Function exit.
+    Return,
+}
+
+/// A basic block: straight-line statements plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements, in order.
+    pub stmts: Vec<Stmt>,
+    /// Terminator.
+    pub term: Terminator,
+}
+
+/// A traversal kernel as a reduced CFG.
+///
+/// Loops over children are assumed fully unrolled (§3.2.1, footnote 1:
+/// tree nodes have a maximum out-degree), so a valid kernel's CFG is
+/// acyclic — [`crate::analysis`] rejects cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelIr {
+    /// Human-readable name for diagnostics.
+    pub name: String,
+    /// Basic blocks; index 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Number of `f32` argument slots threaded through recursive calls.
+    pub n_args: usize,
+}
+
+impl KernelIr {
+    /// Basic structural sanity: non-empty, every referenced block exists,
+    /// argument slots in range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("kernel has no blocks".into());
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in &b.stmts {
+                let bad_slot = match s {
+                    Stmt::SetArg { slot, .. } => (*slot >= self.n_args).then_some(*slot),
+                    Stmt::AttachPending { slot, .. } | Stmt::ClearPending { slot } => {
+                        (slot + 1 >= self.n_args).then_some(*slot)
+                    }
+                    Stmt::RunPending { slot, node_slot } => {
+                        (*slot >= self.n_args || *node_slot >= self.n_args).then_some(*slot)
+                    }
+                    _ => None,
+                };
+                if let Some(slot) = bad_slot {
+                    return Err(format!("block {i}: argument slot {slot} out of range"));
+                }
+            }
+            let check = |t: BlockId| {
+                if t >= self.blocks.len() {
+                    Err(format!("block {i}: successor {t} out of range"))
+                } else {
+                    Ok(())
+                }
+            };
+            match b.term {
+                Terminator::Branch { then_blk, else_blk, .. } => {
+                    check(then_blk)?;
+                    check(else_blk)?;
+                }
+                Terminator::Goto(t) => check(t)?,
+                Terminator::Return => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Successors of a block.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        match self.blocks[b].term {
+            Terminator::Branch { then_blk, else_blk, .. } => vec![then_blk, else_blk],
+            Terminator::Goto(t) => vec![t],
+            Terminator::Return => vec![],
+        }
+    }
+}
+
+/// Resolves the opaque application pieces of a [`KernelIr`] at run time —
+/// the role the application's C++ definitions play for the paper's
+/// compiler output.
+pub trait KernelOps {
+    /// Per-traversal point state.
+    type Point: Clone + Send;
+
+    /// Evaluate predicate `c` for `p` at `node` with arguments `args`.
+    fn cond(&self, c: CondId, p: &Self::Point, node: NodeId, args: &[f32]) -> bool;
+
+    /// Run update `a` for `p` at `node`.
+    fn update(&self, a: ActionId, p: &mut Self::Point, node: NodeId, args: &[f32]);
+
+    /// Resolve a dynamic child selector to a child slot.
+    fn select_child(&self, s: SelId, p: &Self::Point, node: NodeId, args: &[f32]) -> u8;
+
+    /// Apply argument transform `x`.
+    fn xform(&self, x: XformId, args: &[f32], node: NodeId) -> f32;
+
+    /// The tree: child of `node` at `slot`, or `None` if absent (pruned
+    /// octant, or `node` is a leaf).
+    fn child(&self, node: NodeId, slot: u8) -> Option<NodeId>;
+
+    /// Number of tree nodes (ids are `0..n_nodes`).
+    fn n_nodes(&self) -> usize;
+
+    /// Is `node` a leaf?
+    fn is_leaf(&self, node: NodeId) -> bool;
+
+    /// Leaf bucket `(first, count)` in leaf-element coordinates, if the
+    /// tree exposes buckets (drives the simulator's memory model; the
+    /// default opts out).
+    fn leaf_range(&self, _node: NodeId) -> Option<(u32, u32)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_only() -> KernelIr {
+        KernelIr {
+            name: "leaf".into(),
+            blocks: vec![Block {
+                stmts: vec![Stmt::Update(ActionId(0))],
+                term: Terminator::Return,
+            }],
+            n_args: 0,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_minimal() {
+        assert!(leaf_only().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let ir = KernelIr {
+            name: "empty".into(),
+            blocks: vec![],
+            n_args: 0,
+        };
+        assert!(ir.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_dangling_successor() {
+        let ir = KernelIr {
+            name: "dangling".into(),
+            blocks: vec![Block {
+                stmts: vec![],
+                term: Terminator::Goto(7),
+            }],
+            n_args: 0,
+        };
+        assert!(ir.validate().unwrap_err().contains("successor"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_arg_slot() {
+        let ir = KernelIr {
+            name: "args".into(),
+            blocks: vec![Block {
+                stmts: vec![Stmt::SetArg { slot: 2, xform: XformId(0) }],
+                term: Terminator::Return,
+            }],
+            n_args: 1,
+        };
+        assert!(ir.validate().unwrap_err().contains("slot"));
+    }
+
+    #[test]
+    fn successors_by_terminator() {
+        let ir = KernelIr {
+            name: "succ".into(),
+            blocks: vec![
+                Block {
+                    stmts: vec![],
+                    term: Terminator::Branch { cond: CondId(0), then_blk: 1, else_blk: 2 },
+                },
+                Block { stmts: vec![], term: Terminator::Goto(2) },
+                Block { stmts: vec![], term: Terminator::Return },
+            ],
+            n_args: 0,
+        };
+        assert_eq!(ir.successors(0), vec![1, 2]);
+        assert_eq!(ir.successors(1), vec![2]);
+        assert!(ir.successors(2).is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! Pseudocode rendering of kernels and their transformed forms.
+//!
+//! The paper presents its transformation as source-to-source: Figure 4
+//! (recursive) becomes Figure 6 (autoropes), Figure 8 (lockstep). These
+//! printers produce the same shapes from the IR, so the compiler's output
+//! can be *read*, not just executed — `examples/compiler_pipeline.rs`
+//! prints them, and golden tests pin the structure.
+
+use std::fmt::Write as _;
+
+use crate::analysis::CallSet;
+use crate::ir::{ChildSel, KernelIr, Stmt, Terminator};
+use crate::transform::RopeProgram;
+
+fn cond_name(c: crate::ir::CondId) -> String {
+    match c.0 {
+        0 => "can_continue".into(),
+        1 => "is_leaf".into(),
+        2 => "closer_to_left".into(),
+        n => format!("cond_{n}"),
+    }
+}
+
+fn stmt_text(s: &Stmt) -> String {
+    match s {
+        Stmt::Update(a) => format!("update_{}(node, pt);", a.0),
+        Stmt::SetArg { slot, xform } => format!("arg{slot} = xform_{}(args);", xform.0),
+        Stmt::Recurse(ChildSel::Slot(k)) => format!("recurse(child[{k}], pt, args);"),
+        Stmt::Recurse(ChildSel::Dynamic(sel)) => format!("recurse(select_{}(node, pt), pt, args);", sel.0),
+        Stmt::AttachPending { action, slot } => {
+            format!("/* push-down */ arg{slot} = pending(update_{}); arg{} = node;", action.0, slot + 1)
+        }
+        Stmt::ClearPending { slot } => format!("arg{slot} = no_pending;"),
+        Stmt::RunPending { slot, node_slot } => {
+            format!("if (arg{slot} != no_pending) run_pending(arg{slot}, arg{node_slot}, pt);")
+        }
+    }
+}
+
+/// Render the kernel as recursive pseudocode (the Figure 4/5 shape).
+pub fn recursive(ir: &KernelIr) -> String {
+    let mut out = format!("void {}(node, pt, args) {{\n", ir.name);
+    for (i, b) in ir.blocks.iter().enumerate() {
+        let _ = writeln!(out, "  b{i}:");
+        for s in &b.stmts {
+            let _ = writeln!(out, "    {}", stmt_text(s));
+        }
+        match b.term {
+            Terminator::Return => out.push_str("    return;\n"),
+            Terminator::Goto(t) => {
+                let _ = writeln!(out, "    goto b{t};");
+            }
+            Terminator::Branch { cond, then_blk, else_blk } => {
+                let _ = writeln!(out, "    if ({}(node, pt, args)) goto b{then_blk}; else goto b{else_blk};", cond_name(cond));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Statement text inside the rope loop: recursive calls become pushes
+/// (the caller reverses the order, so annotate each push with its place).
+fn rope_stmt_text(s: &Stmt) -> String {
+    match s {
+        Stmt::Recurse(ChildSel::Slot(k)) => format!("stk.push(child[{k}], args);  // was: recurse"),
+        Stmt::Recurse(ChildSel::Dynamic(sel)) => {
+            format!("stk.push(select_{}(node, pt), args);  // was: recurse", sel.0)
+        }
+        other => stmt_text(other),
+    }
+}
+
+/// Render the autoropes-transformed kernel (the Figure 6/7 shape):
+/// an explicit stack, the body inside a pop loop, returns as `continue`,
+/// pushes in reverse call order.
+pub fn autoropes(prog: &RopeProgram) -> String {
+    let ir = &prog.ir;
+    let mut out = format!(
+        "void {}_autoropes(root, pt, root_args) {{\n  stack stk;\n  stk.push(root, root_args);\n  while (!stk.is_empty()) {{\n    (node, args) = stk.pop();\n",
+        ir.name
+    );
+    render_loop_body(ir, &mut out, false);
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Render the lockstep-transformed kernel (the Figure 8 shape): the mask
+/// bit-vector rides the stack, lanes clear their bit on truncation, and a
+/// warp vote combines masks before the (reversed) pushes.
+pub fn lockstep(prog: &RopeProgram) -> String {
+    assert!(
+        prog.lockstep_eligible,
+        "cannot render a lockstep form for a non-eligible program"
+    );
+    let ir = &prog.ir;
+    let mut out = format!(
+        "void {}_lockstep(root, pt, root_args) {{\n  stack stk;\n  stk.push(root, ~0 /* all lanes */, root_args);\n  while (!stk.is_empty()) {{\n    (node, mask, args) = stk.pop();\n    if (bit_set(mask, threadId)) {{\n",
+        ir.name
+    );
+    render_loop_body(ir, &mut out, true);
+    out.push_str("    }\n    mask = warp_and(mask);      // ballot: who is still active?\n    // pushes above execute only if (mask != 0)\n  }\n}\n");
+    out
+}
+
+/// Shared body renderer: each block, with returns→continue and calls→
+/// pushes (noting the reversal), and — for lockstep — truncation rendered
+/// as mask-bit clearing.
+fn render_loop_body(ir: &KernelIr, out: &mut String, lockstep: bool) {
+    let pad = if lockstep { "      " } else { "    " };
+    for (i, b) in ir.blocks.iter().enumerate() {
+        let _ = writeln!(out, "{pad}b{i}:");
+        // Reversal note once per block containing 2+ calls.
+        let calls = b.stmts.iter().filter(|s| matches!(s, Stmt::Recurse(_))).count();
+        let mut emitted_note = false;
+        for s in &b.stmts {
+            if matches!(s, Stmt::Recurse(_)) && calls > 1 && !emitted_note {
+                let _ = writeln!(out, "{pad}  // pushes below execute in REVERSE source order");
+                emitted_note = true;
+            }
+            let _ = writeln!(out, "{pad}  {}", rope_stmt_text(s));
+        }
+        match b.term {
+            Terminator::Return => {
+                if lockstep {
+                    let _ = writeln!(out, "{pad}  bit_clear(mask, threadId); continue;");
+                } else {
+                    let _ = writeln!(out, "{pad}  continue;");
+                }
+            }
+            Terminator::Goto(t) => {
+                let _ = writeln!(out, "{pad}  goto b{t};");
+            }
+            Terminator::Branch { cond, then_blk, else_blk } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}  if ({}(node, pt, args)) goto b{then_blk}; else goto b{else_blk};",
+                    cond_name(cond)
+                );
+            }
+        }
+    }
+}
+
+/// Render the call sets as the analysis report (§3.2.1).
+pub fn call_sets_report(name: &str, sets: &[CallSet]) -> String {
+    let mut out = format!("{name}: {} static call set(s)\n", sets.len());
+    for (i, set) in sets.iter().enumerate() {
+        let desc: Vec<String> = set
+            .iter()
+            .map(|c| match c.child {
+                ChildSel::Slot(k) => format!("child[{k}]"),
+                ChildSel::Dynamic(s) => format!("select_{}", s.0),
+            })
+            .collect();
+        let _ = writeln!(out, "  set {i}: {}", desc.join(" → "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::call_sets;
+    use crate::examples_ir::{figure4_pc, figure5_guided};
+    use crate::transform::transform;
+
+    #[test]
+    fn figure4_recursive_form_reads_like_the_paper() {
+        let text = recursive(&figure4_pc());
+        assert!(text.contains("if (can_continue(node, pt, args))"));
+        assert!(text.contains("recurse(child[0], pt, args);"));
+        assert!(text.contains("recurse(child[1], pt, args);"));
+        assert!(text.contains("return;"));
+    }
+
+    #[test]
+    fn figure6_shape_for_autoropes() {
+        let prog = transform(&figure4_pc(), false).unwrap();
+        let text = autoropes(&prog);
+        // The Figure 6 signature: stack init, pop loop, pushes, continue.
+        assert!(text.contains("stk.push(root, root_args);"));
+        assert!(text.contains("while (!stk.is_empty())"));
+        assert!(text.contains("(node, args) = stk.pop();"));
+        assert!(text.contains("stk.push(child[0], args);"));
+        assert!(text.contains("REVERSE source order"));
+        assert!(text.contains("continue;"));
+        assert!(!text.contains("recurse("), "no recursive calls may remain");
+    }
+
+    #[test]
+    fn figure8_shape_for_lockstep() {
+        let prog = transform(&figure4_pc(), false).unwrap();
+        let text = lockstep(&prog);
+        assert!(text.contains("~0 /* all lanes */"));
+        assert!(text.contains("bit_set(mask, threadId)"));
+        assert!(text.contains("bit_clear(mask, threadId)"));
+        assert!(text.contains("warp_and(mask)"));
+    }
+
+    #[test]
+    fn lockstep_render_refuses_ineligible() {
+        let prog = transform(&figure5_guided(), false).unwrap();
+        assert!(!prog.lockstep_eligible);
+        let r = std::panic::catch_unwind(|| lockstep(&prog));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn call_sets_report_lists_orders() {
+        let ir = figure5_guided();
+        let sets = call_sets(&ir).unwrap();
+        let text = call_sets_report(&ir.name, &sets);
+        assert!(text.contains("2 static call set(s)"));
+        assert!(text.contains("child[0] → child[1]"));
+        assert!(text.contains("child[1] → child[0]"));
+    }
+}

@@ -1,0 +1,290 @@
+//! The §3.2 restructuring transformation: make an arbitrary traversal body
+//! pseudo-tail-recursive by pushing intervening work down into children.
+//!
+//! *“At a high level, the transformation proceeds by turning intervening
+//! code between a pair of recursive calls into code that executes at the
+//! beginning of the latter call's execution. In essence, computation
+//! intended to be performed at a particular node is ‘pushed’ down to one
+//! of its children. By passing arguments identifying the call set and
+//! current child to the recursive method, a check at the beginning of the
+//! method can determine whether any computation needs to be performed on
+//! behalf of a node's parent.”* (§3.2; details in the tech report \[4\].)
+//!
+//! ## What this implementation handles
+//!
+//! `Update` statements *between* two `Recurse` statements in the same
+//! block — the classic in-order/post-order-between-children pattern that
+//! breaks pseudo-tail-recursion. Each such update is detached from its
+//! own node and attached to the *next* call as **pending work**: two extra
+//! argument slots carry `(action + 1, parent node)` down to the child,
+//! and an injected prologue runs the pending action against the parent
+//! before the child's own body.
+//!
+//! ## What it rejects (documented limitations, matching the paper's
+//! pseudo-tail-recursive target form)
+//!
+//! * work *after the last* recursive call of a path (no later call exists
+//!   to carry it; the tech report's continuation-passing generalization is
+//!   out of scope),
+//! * `SetArg` between calls (it would change later calls' arguments, which
+//!   push-down cannot emulate),
+//! * calls through *dynamic* child selectors carrying pending work (the
+//!   pending update must execute exactly once; see
+//!   [`crate::interp::exec_body`]'s missing-child handling for slot-based
+//!   calls).
+
+use crate::analysis::{check_pseudo_tail_recursive, PtrViolation};
+use crate::ir::{ActionId, Block, KernelIr, Stmt, Terminator};
+
+/// Argument-slot layout appended by [`restructure`]: `args[base]` holds
+/// `action + 1` (`0.0` = no pending work) and `args[base + 1]` holds the
+/// parent node id, bit-preserved through `f32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingSlots {
+    /// Slot of the encoded action id.
+    pub action: usize,
+    /// Slot of the encoded parent node id.
+    pub node: usize,
+}
+
+/// Outcome of restructuring.
+#[derive(Debug, Clone)]
+pub struct Restructured {
+    /// The pseudo-tail-recursive kernel.
+    pub ir: KernelIr,
+    /// Where the pending-work arguments live.
+    pub slots: PendingSlots,
+    /// Updates that were pushed down `(block, stmt index in the original)`.
+    pub pushed: Vec<(usize, usize)>,
+}
+
+/// Why restructuring failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestructureError {
+    /// Work after the final recursive call of a block — nothing to carry it.
+    TrailingWork {
+        /// Offending block.
+        block: usize,
+        /// Offending statement.
+        stmt: usize,
+    },
+    /// `SetArg` between recursive calls.
+    ArgMutationBetweenCalls {
+        /// Offending block.
+        block: usize,
+        /// Offending statement.
+        stmt: usize,
+    },
+    /// The kernel was malformed.
+    Malformed(String),
+}
+
+impl std::fmt::Display for RestructureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestructureError::TrailingWork { block, stmt } => write!(
+                f,
+                "block {block} stmt {stmt}: work after the last recursive call cannot be pushed down"
+            ),
+            RestructureError::ArgMutationBetweenCalls { block, stmt } => write!(
+                f,
+                "block {block} stmt {stmt}: argument mutation between recursive calls is not supported"
+            ),
+            RestructureError::Malformed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RestructureError {}
+
+/// Encode an action id into the pending-slot `f32`.
+pub fn encode_pending(action: ActionId) -> f32 {
+    f32::from_bits(action.0 + 1)
+}
+
+/// Decode the pending slot: `None` when no work is pending.
+pub fn decode_pending(raw: f32) -> Option<ActionId> {
+    let bits = raw.to_bits();
+    (bits != 0).then(|| ActionId(bits - 1))
+}
+
+/// Encode a node id for the pending-node slot.
+pub fn encode_node(node: u32) -> f32 {
+    f32::from_bits(node)
+}
+
+/// Decode the pending-node slot.
+pub fn decode_node(raw: f32) -> u32 {
+    raw.to_bits()
+}
+
+/// Make `ir` pseudo-tail-recursive by pushing updates between recursive
+/// calls down into the next call's child. Returns the kernel unchanged
+/// (modulo the appended argument slots and prologue) when it is already
+/// pseudo-tail-recursive.
+pub fn restructure(ir: &KernelIr) -> Result<Restructured, RestructureError> {
+    ir.validate().map_err(RestructureError::Malformed)?;
+    let slots = PendingSlots {
+        action: ir.n_args,
+        node: ir.n_args + 1,
+    };
+
+    let mut out = ir.clone();
+    out.n_args += 2;
+    let mut pushed = Vec::new();
+
+    for (bi, block) in ir.blocks.iter().enumerate() {
+        // Walk statements; once a Recurse is seen, Updates become pending
+        // work attached to the next Recurse. Validate as we go.
+        let mut new_stmts: Vec<Stmt> = Vec::with_capacity(block.stmts.len());
+        let mut pending: Vec<(usize, ActionId)> = Vec::new(); // (orig stmt idx, action)
+        let mut seen_call = false;
+        for (si, s) in block.stmts.iter().enumerate() {
+            match s {
+                Stmt::Update(a) if seen_call => pending.push((si, *a)),
+                Stmt::SetArg { .. } if seen_call => {
+                    return Err(RestructureError::ArgMutationBetweenCalls { block: bi, stmt: si });
+                }
+                Stmt::Recurse(child) => {
+                    if let Some(&(orig, action)) = pending.first() {
+                        assert!(
+                            pending.len() == 1,
+                            "multiple pending updates between one call pair collapse into one \
+                             child; compose them into a single action first"
+                        );
+                        // Attach: set the pending slots, make the call,
+                        // clear the slots for any later calls.
+                        new_stmts.push(Stmt::AttachPending { action, slot: slots.action });
+                        new_stmts.push(Stmt::Recurse(*child));
+                        new_stmts.push(Stmt::ClearPending { slot: slots.action });
+                        pushed.push((bi, orig));
+                        pending.clear();
+                    } else {
+                        new_stmts.push(Stmt::Recurse(*child));
+                    }
+                    seen_call = true;
+                }
+                other => new_stmts.push(*other),
+            }
+        }
+        if let Some(&(si, _)) = pending.first() {
+            return Err(RestructureError::TrailingWork { block: bi, stmt: si });
+        }
+        out.blocks[bi].stmts = new_stmts;
+    }
+
+    // Prologue: a new entry block that runs pending work (if any) against
+    // the parent node before the original body.
+    let old_entry_moved_to = out.blocks.len();
+    let mut blocks = Vec::with_capacity(out.blocks.len() + 1);
+    blocks.push(Block {
+        stmts: vec![Stmt::RunPending { slot: slots.action, node_slot: slots.node }],
+        term: Terminator::Goto(old_entry_moved_to),
+    });
+    // Shift all successor ids by one... instead, append the old blocks
+    // unchanged and let the prologue Goto the old entry's *new* position:
+    // keep ids stable by appending the prologue last and swapping.
+    blocks = Vec::new();
+    let prologue = Block {
+        stmts: vec![Stmt::RunPending { slot: slots.action, node_slot: slots.node }],
+        term: Terminator::Goto(1),
+    };
+    blocks.push(prologue);
+    for b in &out.blocks {
+        let mut nb = b.clone();
+        nb.term = match nb.term {
+            Terminator::Branch { cond, then_blk, else_blk } => Terminator::Branch {
+                cond,
+                then_blk: then_blk + 1,
+                else_blk: else_blk + 1,
+            },
+            Terminator::Goto(t) => Terminator::Goto(t + 1),
+            Terminator::Return => Terminator::Return,
+        };
+        blocks.push(nb);
+    }
+    out.blocks = blocks;
+    out.name = format!("{}+restructured", ir.name);
+
+    // The result must now be pseudo-tail-recursive.
+    if let Err(PtrViolation { block, stmt, reason }) = check_pseudo_tail_recursive(&out) {
+        return Err(RestructureError::Malformed(format!(
+            "restructuring left a violation at block {block} stmt {stmt}: {reason}"
+        )));
+    }
+    Ok(Restructured { ir: out, slots, pushed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::check_pseudo_tail_recursive;
+    use crate::examples_ir::{figure4_pc, non_ptr_kernel};
+
+    #[test]
+    fn pending_encoding_roundtrips() {
+        assert_eq!(decode_pending(0.0), None);
+        assert_eq!(decode_pending(encode_pending(ActionId(0))), Some(ActionId(0)));
+        assert_eq!(decode_pending(encode_pending(ActionId(41))), Some(ActionId(41)));
+        assert_eq!(decode_node(encode_node(123456)), 123456);
+    }
+
+    #[test]
+    fn already_ptr_kernel_gains_only_prologue() {
+        let r = restructure(&figure4_pc()).expect("restructure");
+        assert!(r.pushed.is_empty());
+        assert_eq!(r.ir.n_args, 2);
+        assert!(check_pseudo_tail_recursive(&r.ir).is_ok());
+        assert_eq!(r.ir.blocks.len(), figure4_pc().blocks.len() + 1);
+    }
+
+    #[test]
+    fn in_order_update_is_pushed_down() {
+        let ir = non_ptr_kernel();
+        assert!(check_pseudo_tail_recursive(&ir).is_err());
+        let r = restructure(&ir).expect("restructure");
+        assert_eq!(r.pushed, vec![(2, 1)]);
+        assert!(check_pseudo_tail_recursive(&r.ir).is_ok(), "{:?}", check_pseudo_tail_recursive(&r.ir));
+    }
+
+    #[test]
+    fn trailing_work_rejected() {
+        use crate::ir::{ChildSel, KernelIr};
+        let ir = KernelIr {
+            name: "trailing".into(),
+            blocks: vec![Block {
+                stmts: vec![
+                    Stmt::Recurse(ChildSel::Slot(0)),
+                    Stmt::Update(ActionId(0)), // after the LAST call
+                ],
+                term: Terminator::Return,
+            }],
+            n_args: 0,
+        };
+        assert!(matches!(
+            restructure(&ir),
+            Err(RestructureError::TrailingWork { block: 0, stmt: 1 })
+        ));
+    }
+
+    #[test]
+    fn setarg_between_calls_rejected() {
+        use crate::ir::{ChildSel, KernelIr, XformId};
+        let ir = KernelIr {
+            name: "mut".into(),
+            blocks: vec![Block {
+                stmts: vec![
+                    Stmt::Recurse(ChildSel::Slot(0)),
+                    Stmt::SetArg { slot: 0, xform: XformId(0) },
+                    Stmt::Recurse(ChildSel::Slot(1)),
+                ],
+                term: Terminator::Return,
+            }],
+            n_args: 1,
+        };
+        assert!(matches!(
+            restructure(&ir),
+            Err(RestructureError::ArgMutationBetweenCalls { block: 0, stmt: 1 })
+        ));
+    }
+}

@@ -1,0 +1,158 @@
+//! The autoropes + lockstep transformation driver (paper §3.2.2, §4.3).
+//!
+//! `transform` is the compiler pipeline entry: it validates the kernel
+//! (structure, acyclicity, pseudo-tail-recursion), runs the analyses, and
+//! packages the result as a [`RopeProgram`] — the IR plus the metadata the
+//! iterative executors need. The actual call-site rewrite (recursive call
+//! → reversed stack push, return → continue) is realized by the rope-stack
+//! interpreters in [`crate::interp`], which execute the *same* block body
+//! and differ only in what they do with emitted calls — exactly the
+//! transformation's semantics, checked against direct recursion by tests.
+
+use crate::analysis::{
+    branch_map, call_sets, check_pseudo_tail_recursive, classify, AnalysisError, BranchMap, CallSet,
+    Guidance, PtrViolation,
+};
+use crate::ir::{ChildSel, KernelIr};
+
+/// Why a kernel could not be transformed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// The kernel is not pseudo-tail-recursive; §3.2's restructuring
+    /// transformation (pushing intervening work into children) must be
+    /// applied first.
+    NotPseudoTailRecursive(PtrViolation),
+    /// Analysis failed (cyclic CFG, malformed IR).
+    Analysis(AnalysisError),
+    /// The kernel makes no recursive calls — nothing to transform.
+    NoRecursiveCalls,
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::NotPseudoTailRecursive(v) => write!(
+                f,
+                "not pseudo-tail-recursive at block {} stmt {}: {}",
+                v.block, v.stmt, v.reason
+            ),
+            TransformError::Analysis(e) => write!(f, "{e}"),
+            TransformError::NoRecursiveCalls => write!(f, "kernel makes no recursive calls"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// A transformed, executable rope program: the kernel body plus everything
+/// the iterative executors need.
+#[derive(Debug, Clone)]
+pub struct RopeProgram {
+    /// The (unchanged) kernel body.
+    pub ir: KernelIr,
+    /// The static call sets, in analysis order; indices into this list are
+    /// the vote values of the §4.3 reduction.
+    pub call_sets: Vec<CallSet>,
+    /// Guided or unguided.
+    pub guidance: Guidance,
+    /// Which branches steer between call sets (guides forced execution).
+    pub branches: BranchMap,
+    /// Did the programmer annotate the call sets semantically equivalent
+    /// (§4.3)?
+    pub annotated_equivalent: bool,
+    /// May this program run lockstep? Unguided kernels always may; guided
+    /// kernels require the annotation (and slot-based calls, so a forced
+    /// call set resolves to identical children on every lane).
+    pub lockstep_eligible: bool,
+}
+
+/// Run the full pipeline. `annotated_equivalent` is the programmer's §4.3
+/// annotation; it is ignored (and recorded as false) for unguided kernels,
+/// which need no annotation.
+pub fn transform(ir: &KernelIr, annotated_equivalent: bool) -> Result<RopeProgram, TransformError> {
+    check_pseudo_tail_recursive(ir).map_err(TransformError::NotPseudoTailRecursive)?;
+    let sets = call_sets(ir).map_err(TransformError::Analysis)?;
+    if sets.is_empty() {
+        return Err(TransformError::NoRecursiveCalls);
+    }
+    let guidance = classify(ir).map_err(TransformError::Analysis)?;
+    let branches = branch_map(ir, &sets).map_err(TransformError::Analysis)?;
+    let all_slot_calls = sets
+        .iter()
+        .flatten()
+        .all(|c| matches!(c.child, ChildSel::Slot(_)));
+    let (annotated, lockstep_eligible) = match guidance {
+        Guidance::Unguided => (false, true),
+        Guidance::Guided { .. } => (annotated_equivalent, annotated_equivalent && all_slot_calls),
+    };
+    Ok(RopeProgram {
+        ir: ir.clone(),
+        call_sets: sets,
+        guidance,
+        branches,
+        annotated_equivalent: annotated,
+        lockstep_eligible,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_ir::{bh_ir, figure4_pc, figure5_guided, non_ptr_kernel};
+    use crate::ir::{Block, Terminator};
+
+    #[test]
+    fn figure4_transforms_lockstep_eligible() {
+        let p = transform(&figure4_pc(), false).unwrap();
+        assert_eq!(p.guidance, Guidance::Unguided);
+        assert!(p.lockstep_eligible);
+        assert!(!p.annotated_equivalent);
+        assert_eq!(p.call_sets.len(), 1);
+    }
+
+    #[test]
+    fn figure5_needs_annotation_for_lockstep() {
+        let without = transform(&figure5_guided(), false).unwrap();
+        assert!(!without.lockstep_eligible, "§4.3: no annotation → no lockstep");
+        let with = transform(&figure5_guided(), true).unwrap();
+        assert!(with.lockstep_eligible);
+        assert!(with.annotated_equivalent);
+    }
+
+    #[test]
+    fn bh_transforms_with_eight_call_set() {
+        let p = transform(&bh_ir(), false).unwrap();
+        assert_eq!(p.call_sets[0].len(), 8);
+        assert!(p.lockstep_eligible);
+    }
+
+    #[test]
+    fn non_ptr_rejected_with_location() {
+        let e = transform(&non_ptr_kernel(), false).unwrap_err();
+        match e {
+            TransformError::NotPseudoTailRecursive(v) => {
+                assert_eq!(v.block, 2);
+                assert_eq!(v.stmt, 1);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_calls_rejected() {
+        let ir = crate::ir::KernelIr {
+            name: "leafy".into(),
+            blocks: vec![Block { stmts: vec![], term: Terminator::Return }],
+            n_args: 0,
+        };
+        assert_eq!(transform(&ir, false).unwrap_err(), TransformError::NoRecursiveCalls);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = transform(&non_ptr_kernel(), false).unwrap_err();
+        let msg = format!("{e}");
+        assert!(msg.contains("pseudo-tail-recursive"));
+        assert!(msg.contains("block 2"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Child-loop unrolling (paper §3.2.1, footnote 1).
+//!
+//! *“As recursive calls in tree traversals are used to visit children, we
+//! are essentially assuming that tree nodes have a maximum out-degree”* —
+//! the analyses operate on an acyclic reduced CFG, so a source-level loop
+//! over children (`for i in 0..8 recurse(child[i], …)`, Figure 9a) must be
+//! fully unrolled first. This pass is that front-end step: kernels may be
+//! written with [`LoopStmt::Loop`] bodies, and [`unroll`] lowers them to
+//! the straight-line [`Stmt`] form the rest of the pipeline consumes.
+
+use crate::ir::{Block, ChildSel, KernelIr, Stmt, Terminator};
+
+/// A statement in the pre-unrolling surface form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopStmt {
+    /// An ordinary statement, loop-invariant.
+    Plain(Stmt),
+    /// Recurse into the child slot named by the nearest enclosing loop's
+    /// index (`recurse(children[i], …)`).
+    RecurseIndexed,
+    /// A counted loop over child slots `0..count`.
+    Loop {
+        /// Trip count — the tree's maximum out-degree.
+        count: u8,
+        /// Loop body.
+        body: Vec<LoopStmt>,
+    },
+}
+
+/// A block in surface form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopBlock {
+    /// Statements, possibly containing loops.
+    pub stmts: Vec<LoopStmt>,
+    /// Terminator (loops never span blocks in the surface form).
+    pub term: Terminator,
+}
+
+/// Errors from unrolling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnrollError {
+    /// `RecurseIndexed` appeared outside any loop.
+    IndexedRecurseOutsideLoop {
+        /// Offending block.
+        block: usize,
+    },
+    /// A zero-trip loop (no children to visit) is almost certainly a bug.
+    ZeroTripLoop {
+        /// Offending block.
+        block: usize,
+    },
+}
+
+impl std::fmt::Display for UnrollError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnrollError::IndexedRecurseOutsideLoop { block } => {
+                write!(f, "block {block}: indexed recurse outside a child loop")
+            }
+            UnrollError::ZeroTripLoop { block } => write!(f, "block {block}: loop with count 0"),
+        }
+    }
+}
+
+impl std::error::Error for UnrollError {}
+
+/// Fully unroll all child loops, producing an ordinary [`KernelIr`] ready
+/// for the analysis pipeline.
+pub fn unroll(name: &str, blocks: &[LoopBlock], n_args: usize) -> Result<KernelIr, UnrollError> {
+    let mut out_blocks = Vec::with_capacity(blocks.len());
+    for (bi, b) in blocks.iter().enumerate() {
+        let mut stmts = Vec::new();
+        unroll_stmts(&b.stmts, None, bi, &mut stmts)?;
+        out_blocks.push(Block { stmts, term: b.term });
+    }
+    Ok(KernelIr {
+        name: format!("{name}+unrolled"),
+        blocks: out_blocks,
+        n_args,
+    })
+}
+
+fn unroll_stmts(
+    stmts: &[LoopStmt],
+    loop_index: Option<u8>,
+    block: usize,
+    out: &mut Vec<Stmt>,
+) -> Result<(), UnrollError> {
+    for s in stmts {
+        match s {
+            LoopStmt::Plain(p) => out.push(*p),
+            LoopStmt::RecurseIndexed => match loop_index {
+                Some(i) => out.push(Stmt::Recurse(ChildSel::Slot(i))),
+                None => return Err(UnrollError::IndexedRecurseOutsideLoop { block }),
+            },
+            LoopStmt::Loop { count, body } => {
+                if *count == 0 {
+                    return Err(UnrollError::ZeroTripLoop { block });
+                }
+                for i in 0..*count {
+                    unroll_stmts(body, Some(i), block, out)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_ir::{bh_ir, A_UPDATE, C_CONTINUE, X_QUARTER};
+    use crate::transform::transform;
+
+    /// Barnes-Hut written the way Figure 9a reads — with the child loop —
+    /// then unrolled.
+    fn bh_with_loop() -> Vec<LoopBlock> {
+        vec![
+            LoopBlock {
+                stmts: vec![],
+                term: Terminator::Branch { cond: C_CONTINUE, then_blk: 1, else_blk: 2 },
+            },
+            LoopBlock {
+                stmts: vec![
+                    LoopStmt::Plain(Stmt::SetArg { slot: 0, xform: X_QUARTER }),
+                    LoopStmt::Loop {
+                        count: 8,
+                        body: vec![LoopStmt::RecurseIndexed],
+                    },
+                ],
+                term: Terminator::Return,
+            },
+            LoopBlock {
+                stmts: vec![LoopStmt::Plain(Stmt::Update(A_UPDATE))],
+                term: Terminator::Return,
+            },
+        ]
+    }
+
+    #[test]
+    fn unrolled_bh_equals_handwritten_ir() {
+        let unrolled = unroll("bh_figure9", &bh_with_loop(), 1).expect("unrolls");
+        let hand = bh_ir();
+        assert_eq!(unrolled.blocks, hand.blocks, "unrolled IR differs from Figure 9a's hand-unrolled form");
+    }
+
+    #[test]
+    fn unrolled_kernel_transforms() {
+        let ir = unroll("bh", &bh_with_loop(), 1).expect("unrolls");
+        let prog = transform(&ir, false).expect("transforms");
+        assert_eq!(prog.call_sets.len(), 1);
+        assert_eq!(prog.call_sets[0].len(), 8);
+    }
+
+    #[test]
+    fn indexed_recurse_outside_loop_rejected() {
+        let blocks = vec![LoopBlock {
+            stmts: vec![LoopStmt::RecurseIndexed],
+            term: Terminator::Return,
+        }];
+        assert_eq!(
+            unroll("bad", &blocks, 0).unwrap_err(),
+            UnrollError::IndexedRecurseOutsideLoop { block: 0 }
+        );
+    }
+
+    #[test]
+    fn zero_trip_loop_rejected() {
+        let blocks = vec![LoopBlock {
+            stmts: vec![LoopStmt::Loop { count: 0, body: vec![] }],
+            term: Terminator::Return,
+        }];
+        assert_eq!(unroll("bad", &blocks, 0).unwrap_err(), UnrollError::ZeroTripLoop { block: 0 });
+    }
+
+    #[test]
+    fn nested_loop_uses_innermost_index() {
+        // A (contrived) 2×2 nest: inner RecurseIndexed binds inner index.
+        let blocks = vec![LoopBlock {
+            stmts: vec![LoopStmt::Loop {
+                count: 2,
+                body: vec![LoopStmt::Loop { count: 2, body: vec![LoopStmt::RecurseIndexed] }],
+            }],
+            term: Terminator::Return,
+        }];
+        let ir = unroll("nest", &blocks, 0).expect("unrolls");
+        let slots: Vec<u8> = ir.blocks[0]
+            .stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::Recurse(ChildSel::Slot(k)) => *k,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(slots, vec![0, 1, 0, 1]);
+    }
+}

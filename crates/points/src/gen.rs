@@ -1,0 +1,321 @@
+//! Dataset generators.
+//!
+//! All generators are deterministic given a seed (ChaCha8), so every
+//! experiment in the harness is exactly reproducible.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use gts_trees::PointN;
+
+use crate::project::random_projection;
+
+/// The paper's input sets (§6.1.2). `Covtype`, `Mnist` and `Geocity` are
+/// surrogates — synthetic data with the same dimensionality and clustering
+/// structure as the originals (see DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// 1M bodies from the Plummer model (Lonestar class C input).
+    Plummer,
+    /// Uniform random bodies / points.
+    Random,
+    /// Forest-cover surrogate: 54-d Gaussian mixture → 7-d random projection.
+    Covtype,
+    /// Handwritten-digit surrogate: 784-d sparse blobs → 7-d projection.
+    Mnist,
+    /// City-location surrogate: 2-d power-law clustered points.
+    Geocity,
+}
+
+impl Dataset {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Plummer => "Plummer",
+            Dataset::Random => "Random",
+            Dataset::Covtype => "Covtype",
+            Dataset::Mnist => "Mnist",
+            Dataset::Geocity => "Geocity",
+        }
+    }
+}
+
+/// A body for the Barnes-Hut benchmark: position, velocity, mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: PointN<3>,
+    /// Velocity.
+    pub vel: PointN<3>,
+    /// Mass.
+    pub mass: f32,
+}
+
+/// Sample `n` bodies from the Plummer model (Aarseth, Hénon & Wielen
+/// inversion), unit total mass, scale radius 1 — the construction behind
+/// the Lonestar suite's class C input the paper uses.
+pub fn plummer(n: usize, seed: u64) -> Vec<Body> {
+    assert!(n > 0, "plummer model needs at least one body");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = 1.0 / n as f32;
+    (0..n)
+        .map(|_| {
+            // Radius from the inverse cumulative mass profile, clipped at
+            // the conventional 99th percentile to avoid far outliers.
+            let x1: f32 = rng.gen_range(1e-6..0.999);
+            let r = 1.0 / (x1.powf(-2.0 / 3.0) - 1.0).sqrt();
+            let pos = random_direction(&mut rng, r);
+            // Velocity via von Neumann rejection on g(q) = q²(1-q²)^3.5.
+            let q = loop {
+                let q: f32 = rng.gen_range(0.0..1.0);
+                let g: f32 = rng.gen_range(0.0..0.1);
+                if g < q * q * (1.0 - q * q).powf(3.5) {
+                    break q;
+                }
+            };
+            let vesc = std::f32::consts::SQRT_2 * (1.0 + r * r).powf(-0.25);
+            let vel = random_direction(&mut rng, q * vesc);
+            Body { pos, vel, mass: m }
+        })
+        .collect()
+}
+
+/// `n` bodies with uniform random position and velocity, equal mass — the
+/// paper's Random n-body input.
+pub fn random_bodies(n: usize, seed: u64) -> Vec<Body> {
+    assert!(n > 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let m = 1.0 / n as f32;
+    (0..n)
+        .map(|_| Body {
+            pos: PointN(std::array::from_fn(|_| rng.gen_range(-1.0..1.0))),
+            vel: PointN(std::array::from_fn(|_| rng.gen_range(-0.1..0.1))),
+            mass: m,
+        })
+        .collect()
+}
+
+/// `n` uniform random points in `[-1, 1]^D` — the paper's Random
+/// data-mining input (200 k × 7-d).
+pub fn uniform<const D: usize>(n: usize, seed: u64) -> Vec<PointN<D>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| PointN(std::array::from_fn(|_| rng.gen_range(-1.0..1.0))))
+        .collect()
+}
+
+/// Covtype surrogate: 7 anisotropic Gaussian clusters in 54-d (one per
+/// forest cover class), random-projected to 7-d — the same reduction
+/// pipeline the paper applies to the real dataset.
+pub fn covtype_like(n: usize, seed: u64) -> Vec<PointN<7>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    const D_IN: usize = 54;
+    const K: usize = 7;
+    // Cluster centers and per-axis scales.
+    let centers: Vec<[f32; D_IN]> =
+        (0..K).map(|_| std::array::from_fn(|_| rng.gen_range(-5.0..5.0))).collect();
+    let scales: Vec<[f32; D_IN]> =
+        (0..K).map(|_| std::array::from_fn(|_| rng.gen_range(0.05..1.5))).collect();
+    // Cover classes are imbalanced; weight clusters geometrically.
+    let weights: Vec<f32> = (0..K).map(|k| 0.6f32.powi(k as i32)).collect();
+    let total: f32 = weights.iter().sum();
+    let raw: Vec<[f32; D_IN]> = (0..n)
+        .map(|_| {
+            let mut pick: f32 = rng.gen_range(0.0..total);
+            let mut k = 0;
+            while pick > weights[k] && k + 1 < K {
+                pick -= weights[k];
+                k += 1;
+            }
+            std::array::from_fn(|a| centers[k][a] + gaussian(&mut rng) * scales[k][a])
+        })
+        .collect();
+    random_projection::<D_IN, 7>(&raw, seed ^ 0x9e3779b97f4a7c15)
+}
+
+/// MNIST surrogate: 10 digit-like sparse blobs in 784-d (each class
+/// activates a contiguous band of ~150 "pixels"), projected to 7-d.
+pub fn mnist_like(n: usize, seed: u64) -> Vec<PointN<7>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    const D_IN: usize = 784;
+    const K: usize = 10;
+    let bands: Vec<(usize, usize)> = (0..K)
+        .map(|k| {
+            let start = k * 60;
+            (start, (start + 150).min(D_IN))
+        })
+        .collect();
+    let raw: Vec<[f32; D_IN]> = (0..n)
+        .map(|_| {
+            let k = rng.gen_range(0..K);
+            let (lo, hi) = bands[k];
+            std::array::from_fn(|a| {
+                if a >= lo && a < hi {
+                    // "Ink": bright with stroke noise.
+                    (0.8 + 0.2 * gaussian(&mut rng)).clamp(0.0, 1.0)
+                } else if rng.gen_bool(0.02) {
+                    // Background speckle.
+                    rng.gen_range(0.0..0.3)
+                } else {
+                    0.0
+                }
+            })
+        })
+        .collect();
+    random_projection::<D_IN, 7>(&raw, seed ^ 0x517cc1b727220a95)
+}
+
+/// Geocity surrogate: `n` 2-d points clustered into "cities" whose sizes
+/// follow a Zipf law and whose spreads are small relative to the map —
+/// reproducing the extreme clustering (and hence very short traversals and
+/// extreme lockstep work expansion) the paper observes on this input.
+pub fn geocity_like(n: usize, seed: u64) -> Vec<PointN<2>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n_cities = (n / 500).clamp(1, 400);
+    let centers: Vec<PointN<2>> = (0..n_cities)
+        .map(|_| PointN([rng.gen_range(-90.0..90.0), rng.gen_range(-180.0..180.0)]))
+        .collect();
+    // Zipf weights: city k has weight 1/(k+1).
+    let weights: Vec<f32> = (0..n_cities).map(|k| 1.0 / (k + 1) as f32).collect();
+    let total: f32 = weights.iter().sum();
+    (0..n)
+        .map(|_| {
+            let mut pick: f32 = rng.gen_range(0.0..total);
+            let mut k = 0;
+            while pick > weights[k] && k + 1 < n_cities {
+                pick -= weights[k];
+                k += 1;
+            }
+            let c = centers[k];
+            // Dense core with a light sprawl tail.
+            let sigma = if rng.gen_bool(0.9) { 0.05 } else { 0.5 };
+            PointN([c[0] + gaussian(&mut rng) * sigma, c[1] + gaussian(&mut rng) * sigma])
+        })
+        .collect()
+}
+
+/// Build the 7-d data-mining input for `ds` (`Covtype`/`Mnist`/`Random`).
+/// Panics for `Geocity` (2-d; use [`geocity_like`]) and `Plummer` (bodies).
+pub fn dataset_7d(ds: Dataset, n: usize, seed: u64) -> Vec<PointN<7>> {
+    match ds {
+        Dataset::Covtype => covtype_like(n, seed),
+        Dataset::Mnist => mnist_like(n, seed),
+        Dataset::Random => uniform::<7>(n, seed),
+        other => panic!("{other:?} is not a 7-d dataset"),
+    }
+}
+
+/// Standard normal deviate via Box-Muller.
+fn gaussian(rng: &mut ChaCha8Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    (-2.0 * u1.ln()).sqrt() * u2.cos()
+}
+
+/// Uniform random direction scaled to length `r`.
+fn random_direction(rng: &mut ChaCha8Rng, r: f32) -> PointN<3> {
+    loop {
+        let v = PointN([
+            rng.gen_range(-1.0f32..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        ]);
+        let len2 = v.dist2(&PointN::zero());
+        if len2 > 1e-12 && len2 <= 1.0 {
+            let s = r / len2.sqrt();
+            return PointN([v[0] * s, v[1] * s, v[2] * s]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(plummer(50, 42), plummer(50, 42));
+        assert_eq!(uniform::<7>(50, 42), uniform::<7>(50, 42));
+        assert_eq!(covtype_like(50, 42), covtype_like(50, 42));
+        assert_eq!(mnist_like(20, 42), mnist_like(20, 42));
+        assert_eq!(geocity_like(50, 42), geocity_like(50, 42));
+        assert_ne!(uniform::<7>(50, 42), uniform::<7>(50, 43));
+    }
+
+    #[test]
+    fn plummer_total_mass_is_one() {
+        let bodies = plummer(1000, 7);
+        let m: f32 = bodies.iter().map(|b| b.mass).sum();
+        assert!((m - 1.0).abs() < 1e-3);
+        assert!(bodies.iter().all(|b| b.pos.is_finite() && b.vel.is_finite()));
+    }
+
+    #[test]
+    fn plummer_is_centrally_concentrated() {
+        // Half-mass radius of the Plummer model is ~1.3 scale radii; check
+        // more than half the bodies sit within r = 2.
+        let bodies = plummer(2000, 8);
+        let o = PointN::zero();
+        let inside = bodies.iter().filter(|b| b.pos.dist(&o) < 2.0).count();
+        assert!(inside > 1000, "only {inside}/2000 within r=2");
+    }
+
+    #[test]
+    fn covtype_like_is_clustered() {
+        // Clusteredness is scale-free: mean nearest-neighbor distance
+        // relative to the dataset diameter is much lower for clustered data
+        // than for uniform data of the same size.
+        let clustered = covtype_like(400, 9);
+        let flat = uniform::<7>(400, 9);
+        assert!(relative_nn_dist(&clustered) < 0.8 * relative_nn_dist(&flat));
+    }
+
+    fn relative_nn_dist<const D: usize>(pts: &[PointN<D>]) -> f32 {
+        let bbox = gts_trees::Aabb::of_points(pts);
+        let diag = bbox.lo.dist(&bbox.hi);
+        mean_nn_dist(pts) / diag
+    }
+
+    #[test]
+    fn geocity_like_is_extremely_clustered() {
+        let city = geocity_like(1000, 10);
+        let flat: Vec<PointN<2>> = uniform::<2>(1000, 10)
+            .iter()
+            .map(|p| PointN([p[0] * 90.0, p[1] * 180.0]))
+            .collect();
+        assert!(relative_nn_dist(&city) < 0.1 * relative_nn_dist(&flat));
+    }
+
+    #[test]
+    fn mnist_like_finite_and_sized() {
+        let pts = mnist_like(100, 11);
+        assert_eq!(pts.len(), 100);
+        assert!(pts.iter().all(PointN::is_finite));
+    }
+
+    #[test]
+    fn dataset_names_match_paper() {
+        assert_eq!(Dataset::Covtype.name(), "Covtype");
+        assert_eq!(Dataset::Geocity.name(), "Geocity");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a 7-d dataset")]
+    fn dataset_7d_rejects_geocity() {
+        let _ = dataset_7d(Dataset::Geocity, 10, 0);
+    }
+
+    fn mean_nn_dist<const D: usize>(pts: &[PointN<D>]) -> f32 {
+        let mut acc = 0.0;
+        for (i, p) in pts.iter().enumerate() {
+            let mut best = f32::INFINITY;
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    best = best.min(p.dist2(q));
+                }
+            }
+            acc += best.sqrt();
+        }
+        acc / pts.len() as f32
+    }
+}

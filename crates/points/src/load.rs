@@ -1,0 +1,164 @@
+//! Loading real datasets from disk.
+//!
+//! The suite's surrogates (DESIGN.md §2) stand in for Covtype, MNIST and
+//! Geocity when the originals are unavailable. When you *do* have the
+//! files, these loaders feed them straight into the same pipeline:
+//!
+//! * [`load_points`] — whitespace- or comma-separated numeric rows, one
+//!   point per line (the UCI Covtype format after label-stripping, or any
+//!   `x y` city list). Rows with the wrong arity are reported, not
+//!   silently skipped.
+//! * [`project_rows`] — reduce higher-dimensional rows to `D` dimensions
+//!   by seeded Gaussian random projection, the paper's reduction recipe
+//!   (“reduced to 200,000 7-dimensional points by random projection”).
+
+use std::io::BufRead;
+use std::path::Path;
+
+use gts_trees::PointN;
+
+/// Errors from dataset loading.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A row had the wrong number of columns.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+        /// Columns found.
+        found: usize,
+        /// Columns expected.
+        expected: usize,
+    },
+    /// A field failed to parse as a float.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::BadArity { line, found, expected } => {
+                write!(f, "line {line}: {found} columns, expected {expected}")
+            }
+            LoadError::BadNumber { line, token } => write!(f, "line {line}: bad number {token:?}"),
+            LoadError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parse numeric rows from a reader: one point per line, fields separated
+/// by commas and/or whitespace; blank lines and `#` comments skipped.
+pub fn parse_points<const D: usize, R: BufRead>(reader: R) -> Result<Vec<PointN<D>>, LoadError> {
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if fields.len() != D {
+            return Err(LoadError::BadArity { line: i + 1, found: fields.len(), expected: D });
+        }
+        let mut coords = [0.0f32; D];
+        for (a, tok) in fields.iter().enumerate() {
+            coords[a] = tok.parse().map_err(|_| LoadError::BadNumber {
+                line: i + 1,
+                token: tok.to_string(),
+            })?;
+        }
+        out.push(PointN(coords));
+    }
+    if out.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    Ok(out)
+}
+
+/// Load `D`-dimensional points from a file.
+pub fn load_points<const D: usize>(path: impl AsRef<Path>) -> Result<Vec<PointN<D>>, LoadError> {
+    let f = std::fs::File::open(path)?;
+    parse_points(std::io::BufReader::new(f))
+}
+
+/// Reduce `D_IN`-dimensional points to `D_OUT` dimensions by seeded
+/// Gaussian random projection (the paper's Covtype/MNIST recipe).
+pub fn project_rows<const D_IN: usize, const D_OUT: usize>(
+    rows: &[PointN<D_IN>],
+    seed: u64,
+) -> Vec<PointN<D_OUT>> {
+    let raw: Vec<[f32; D_IN]> = rows.iter().map(|p| p.0).collect();
+    crate::project::random_projection::<D_IN, D_OUT>(&raw, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_mixed_separators_and_comments() {
+        let data = "# city list\n1.0, 2.0\n3.5\t-4.5\n\n0 0\n";
+        let pts = parse_points::<2, _>(Cursor::new(data)).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], PointN([1.0, 2.0]));
+        assert_eq!(pts[1], PointN([3.5, -4.5]));
+    }
+
+    #[test]
+    fn wrong_arity_reported_with_line() {
+        let data = "1 2\n3 4 5\n";
+        match parse_points::<2, _>(Cursor::new(data)) {
+            Err(LoadError::BadArity { line: 2, found: 3, expected: 2 }) => {}
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let data = "1 fish\n";
+        match parse_points::<2, _>(Cursor::new(data)) {
+            Err(LoadError::BadNumber { line: 1, token }) => assert_eq!(token, "fish"),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(matches!(parse_points::<2, _>(Cursor::new("# nothing\n")), Err(LoadError::Empty)));
+    }
+
+    #[test]
+    fn file_roundtrip_and_projection() {
+        let dir = std::env::temp_dir().join("gts_points_load_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pts.csv");
+        std::fs::write(&path, "1,2,3,4\n5,6,7,8\n").unwrap();
+        let pts = load_points::<4>(&path).unwrap();
+        assert_eq!(pts.len(), 2);
+        let projected = project_rows::<4, 2>(&pts, 9);
+        assert_eq!(projected.len(), 2);
+        assert!(projected.iter().all(|p| p.is_finite()));
+        std::fs::remove_file(&path).ok();
+    }
+}

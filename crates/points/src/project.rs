@@ -1,0 +1,92 @@
+//! Random projection for dimensionality reduction.
+//!
+//! The paper reduces Covtype (54-d) and MNIST (784-d) to 7 dimensions “by
+//! random projection” (§6.1.2). We use the classic Gaussian projection
+//! matrix with entries `N(0, 1/D_OUT)`, which approximately preserves
+//! pairwise distances (Johnson–Lindenstrauss) — preserving cluster
+//! structure, which is what the traversal benchmarks care about.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use gts_trees::PointN;
+
+/// Project `D_IN`-dimensional rows to `D_OUT` dimensions with a seeded
+/// Gaussian matrix.
+pub fn random_projection<const D_IN: usize, const D_OUT: usize>(
+    rows: &[[f32; D_IN]],
+    seed: u64,
+) -> Vec<PointN<D_OUT>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let scale = 1.0 / (D_OUT as f32).sqrt();
+    // Column-major matrix: one column per output dimension.
+    let matrix: Vec<[f32; D_IN]> = (0..D_OUT)
+        .map(|_| {
+            std::array::from_fn(|_| {
+                // Box-Muller normal.
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+                (-2.0 * u1.ln()).sqrt() * u2.cos() * scale
+            })
+        })
+        .collect();
+    rows.iter()
+        .map(|row| {
+            PointN(std::array::from_fn(|o| {
+                matrix[o].iter().zip(row).map(|(m, r)| m * r).sum()
+            }))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_is_linear() {
+        let a = [1.0f32; 10];
+        let b = [2.0f32; 10];
+        let out = random_projection::<10, 3>(&[a, b], 5);
+        for (x, y) in out[1].0.iter().zip(out[0].0.iter()) {
+            assert!((x - 2.0 * y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn projection_roughly_preserves_relative_distances() {
+        // JL with D_OUT = 7 is loose; assert only that a far pair stays
+        // meaningfully farther than a near pair, averaged over seeds.
+        let near_a = [0.0f32; 54];
+        let mut near_b = [0.0f32; 54];
+        near_b[0] = 0.1;
+        let mut far = [0.0f32; 54];
+        for v in far.iter_mut() {
+            *v = 3.0;
+        }
+        let mut wins = 0;
+        for seed in 0..10 {
+            let out = random_projection::<54, 7>(&[near_a, near_b, far], seed);
+            if out[0].dist2(&out[2]) > out[0].dist2(&out[1]) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 9, "projection inverted distances in {} of 10 seeds", 10 - wins);
+    }
+
+    #[test]
+    fn projection_deterministic_per_seed() {
+        let rows = [[1.0f32, -2.0, 0.5, 3.0]; 4];
+        let a = random_projection::<4, 2>(&rows, 77);
+        let b = random_projection::<4, 2>(&rows, 77);
+        let c = random_projection::<4, 2>(&rows, 78);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out = random_projection::<5, 2>(&[], 1);
+        assert!(out.is_empty());
+    }
+}

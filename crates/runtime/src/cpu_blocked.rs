@@ -1,0 +1,168 @@
+//! Point-blocked CPU traversal — the locality transformation of Jo &
+//! Kulkarni (the paper's references \[10, 11\]), which the paper builds on:
+//! its §4.4 sortedness profiler is lifted from this line of work, and
+//! lockstep traversal is its warp-granularity analogue.
+//!
+//! Instead of one point traversing the whole tree at a time (poor temporal
+//! locality: by the time the second point starts, the root's subtrees have
+//! been evicted), a *block* of points moves through the tree together:
+//! at each node the block is partitioned into the points that continue and
+//! the points that truncate, and only the continuing sub-block descends.
+//! Each tree node is then loaded once per block instead of once per point
+//! — “analogous to loop tiling in regular programs” (§7).
+//!
+//! The visit order seen by each individual point is exactly its depth-first
+//! traversal order, so results are bit-identical to [`crate::cpu`] — the
+//! same §3.3-style argument, checked by tests. Guided kernels take their
+//! *own* child order per point, so blocking splits the block at guided
+//! nodes (each call-set group descends separately), preserving per-point
+//! order exactly.
+
+use std::time::Instant;
+
+use crate::kernel::{ChildBuf, TraversalKernel, VisitOutcome};
+use crate::report::{CpuReport, TraversalStats};
+
+/// Default number of points per block: big enough to amortize node loads,
+/// small enough that a block's working set stays in L1/L2 — the regime
+/// Jo & Kulkarni's tuning identifies.
+pub const DEFAULT_BLOCK: usize = 128;
+
+/// Run the point-blocked traversal over all points with blocks of
+/// `block_size`. Results (point states and per-point visit counts) are
+/// identical to [`crate::cpu::run_sequential`]; only the memory access
+/// *order* differs.
+pub fn run_blocked<K: TraversalKernel>(kernel: &K, points: &mut [K::Point], block_size: usize) -> CpuReport {
+    assert!(block_size > 0, "block size must be positive");
+    let start = Instant::now();
+    let mut per_point_nodes = vec![0u32; points.len()];
+    for (block_idx, block) in points.chunks_mut(block_size).enumerate() {
+        let base = block_idx * block_size;
+        let ids: Vec<usize> = (0..block.len()).collect();
+        let root_args = vec![kernel.root_args(); block.len()];
+        block_recurse(kernel, block, &ids, &root_args, 0, base, &mut per_point_nodes);
+    }
+    CpuReport {
+        stats: TraversalStats { per_point_nodes },
+        wall: start.elapsed(),
+        threads: 1,
+    }
+}
+
+/// Visit `node` with the sub-block `ids` (indices into `block`), each with
+/// its own argument. Partition by outcome, group continuing points by the
+/// child order they chose, and descend group by group.
+fn block_recurse<K: TraversalKernel>(
+    kernel: &K,
+    block: &mut [K::Point],
+    ids: &[usize],
+    args: &[K::Args],
+    node: gts_trees::NodeId,
+    base: usize,
+    per_point_nodes: &mut [u32],
+) {
+    debug_assert_eq!(ids.len(), args.len());
+    // One visit per point at this node, recording each point's children.
+    // Groups keyed by call set: (set, member ids, per-member child args).
+    struct Group<A> {
+        set: usize,
+        members: Vec<usize>,
+        kid_nodes: Vec<gts_trees::NodeId>,
+        kid_args: Vec<Vec<A>>, // [child slot][member]
+    }
+    let mut groups: Vec<Group<K::Args>> = Vec::new();
+    let mut kids: ChildBuf<K::Args> = Vec::with_capacity(K::MAX_KIDS);
+    for (&id, &arg) in ids.iter().zip(args) {
+        per_point_nodes[base + id] += 1;
+        kids.clear();
+        match kernel.visit(&mut block[id], node, arg, None, &mut kids) {
+            VisitOutcome::Truncated | VisitOutcome::Leaf => {}
+            VisitOutcome::Descended { call_set } => {
+                let kid_nodes: Vec<_> = kids.iter().map(|c| c.node).collect();
+                let group = match groups.iter_mut().find(|g| g.set == call_set && g.kid_nodes == kid_nodes) {
+                    Some(g) => g,
+                    None => {
+                        groups.push(Group {
+                            set: call_set,
+                            members: Vec::new(),
+                            kid_args: vec![Vec::new(); kid_nodes.len()],
+                            kid_nodes,
+                        });
+                        groups.last_mut().expect("just pushed")
+                    }
+                };
+                group.members.push(id);
+                for (j, c) in kids.iter().enumerate() {
+                    group.kid_args[j].push(c.args);
+                }
+            }
+        }
+    }
+    // Descend: within a group every member visits the same children in the
+    // same order, so the group's sub-block stays together — each member's
+    // own DFS order is preserved because the children are visited in the
+    // group's (each member's) chosen order.
+    for g in groups {
+        for (j, &child) in g.kid_nodes.iter().enumerate() {
+            block_recurse(kernel, block, &g.members, &g.kid_args[j], child, base, per_point_nodes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu;
+    use crate::test_kernels::{BinKernel, GuidedKernel, GuidedPoint};
+
+    #[test]
+    fn blocked_matches_sequential_unguided() {
+        let kernel = BinKernel::new(7, 101);
+        let mut seq: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        let mut blk = seq.clone();
+        let rs = cpu::run_sequential(&kernel, &mut seq);
+        let rb = run_blocked(&kernel, &mut blk, 64);
+        assert_eq!(seq, blk, "blocking changed results");
+        assert_eq!(
+            rs.stats.per_point_nodes, rb.stats.per_point_nodes,
+            "blocking changed per-point visit counts"
+        );
+    }
+
+    #[test]
+    fn blocked_matches_sequential_guided() {
+        // Guided: points in one block take different child orders; the
+        // group split must keep every point's own traversal order.
+        let kernel = GuidedKernel::new(6);
+        let mut seq: Vec<GuidedPoint> = (0..200).map(|i| GuidedPoint { id: i, acc: 0 }).collect();
+        let mut blk = seq.clone();
+        cpu::run_sequential(&kernel, &mut seq);
+        run_blocked(&kernel, &mut blk, 32);
+        assert_eq!(seq, blk);
+    }
+
+    #[test]
+    fn block_size_one_equals_sequential() {
+        let kernel = BinKernel::new(5, 23);
+        let mut a = vec![0u64; 50];
+        let mut b = a.clone();
+        cpu::run_sequential(&kernel, &mut a);
+        run_blocked(&kernel, &mut b, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn block_larger_than_input() {
+        let kernel = BinKernel::new(4, u32::MAX);
+        let mut pts = vec![0u64; 10];
+        let r = run_blocked(&kernel, &mut pts, 1024);
+        assert_eq!(r.stats.per_point_nodes.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_rejected() {
+        let kernel = BinKernel::new(3, 1);
+        let _ = run_blocked(&kernel, &mut vec![0u64; 4], 0);
+    }
+}

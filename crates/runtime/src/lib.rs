@@ -1,0 +1,38 @@
+//! # gts-runtime — traversal executors
+//!
+//! This crate is the paper's §3–§5 made executable. A benchmark describes
+//! its per-node work once, as a [`TraversalKernel`]; the executors then run
+//! it under every strategy the paper evaluates:
+//!
+//! | Executor | Paper section | What it models |
+//! |---|---|---|
+//! | [`cpu::run_sequential`] | baseline | plain recursive traversal (Figure 1) |
+//! | [`cpu::run_parallel`] | §6 CPU rows | multithreaded point loop, real wall time |
+//! | [`cpu_blocked::run_blocked`] | §7 refs \[10, 11\] | point-blocked CPU traversal (the Jo & Kulkarni locality transformation the paper builds on) |
+//! | [`gpu::recursive`] | §6 “naïve GPU” | CUDA-recursion baseline: call overhead, frame traffic, call-site serialization |
+//! | [`gpu::autoropes`] | §3 | iterative rope-stack traversal, per-lane stacks, non-lockstep |
+//! | [`gpu::lockstep`] | §4 | per-warp rope stack with mask bit-vectors, warp votes, optional shared-memory stack |
+//!
+//! The GPU executors perform the *real* computation (points end up with
+//! exactly the values the CPU baseline computes — tests depend on it) while
+//! mirroring every warp step into `gts-sim` for cycle/transaction
+//! accounting. Host-side, independent warps are simulated on multiple
+//! threads (crossbeam scoped threads, deterministic in-order merge), per
+//! the Rayon-style chunking idiom.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cpu;
+pub mod cpu_blocked;
+pub mod gpu;
+pub mod kernel;
+pub mod report;
+pub mod stack;
+
+pub use kernel::{Child, ChildBuf, TraversalKernel, VisitOutcome};
+pub use report::{CpuReport, GpuReport, TraversalStats};
+pub use stack::StackLayout;
+
+#[cfg(test)]
+pub(crate) mod test_kernels;

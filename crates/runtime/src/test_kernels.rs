@@ -1,0 +1,184 @@
+//! Synthetic kernels over implicit complete binary trees, used by the
+//! executor tests. Production kernels (real trees, real queries) live in
+//! `gts-apps`; these exist so the executors can be tested for *exact*
+//! equivalence against hand-computable traversals.
+
+use gts_trees::layout::NodeBytes;
+use gts_trees::NodeId;
+
+use crate::kernel::{Child, ChildBuf, TraversalKernel, VisitOutcome};
+
+/// Unguided kernel over a complete binary tree with `depth + 1` levels:
+/// every point accumulates the ids it visits; nodes with id ≥ `limit`
+/// truncate. One call set (left, right) — lockstep-eligible.
+pub struct BinKernel {
+    /// Levels below the root.
+    pub depth: usize,
+    /// First id that truncates.
+    pub limit: u32,
+}
+
+impl BinKernel {
+    /// Construct with `depth` levels below the root and truncation at
+    /// `limit`.
+    pub fn new(depth: usize, limit: u32) -> Self {
+        BinKernel { depth, limit }
+    }
+
+    fn n(&self) -> usize {
+        (1usize << (self.depth + 1)) - 1
+    }
+}
+
+impl TraversalKernel for BinKernel {
+    type Point = u64;
+    type Args = ();
+    const MAX_KIDS: usize = 2;
+    const CALL_SETS: usize = 1;
+
+    fn n_nodes(&self) -> usize {
+        self.n()
+    }
+    fn is_leaf(&self, node: NodeId) -> bool {
+        (node as usize) >= self.n() / 2
+    }
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        self.is_leaf(node).then(|| (node - (self.n() / 2) as u32, 1))
+    }
+    fn node_bytes(&self) -> NodeBytes {
+        NodeBytes::kd(2)
+    }
+    fn max_depth(&self) -> usize {
+        self.depth
+    }
+    fn root_args(&self) {}
+
+    fn visit(
+        &self,
+        p: &mut u64,
+        node: NodeId,
+        _args: (),
+        _forced: Option<usize>,
+        kids: &mut ChildBuf<()>,
+    ) -> VisitOutcome {
+        if node >= self.limit {
+            return VisitOutcome::Truncated;
+        }
+        *p += node as u64;
+        if self.is_leaf(node) {
+            return VisitOutcome::Leaf;
+        }
+        kids.push(Child { node: 2 * node + 1, args: () });
+        kids.push(Child { node: 2 * node + 2, args: () });
+        VisitOutcome::Descended { call_set: 0 }
+    }
+}
+
+/// Guided kernel with two semantically equivalent call sets over the same
+/// implicit tree: each point visits (left, right) or (right, left)
+/// depending on the parity of `point ^ node`. The accumulated value is a
+/// *commutative* sum, so any visit order yields the same result — the
+/// §4.3 annotation (`CALL_SETS_EQUIVALENT`) is genuinely true.
+///
+/// `stop_after` bounds how many nodes a point visits before truncating
+/// everywhere (simulating per-point early termination such as kNN's
+/// shrinking radius): the set of visited nodes *does* depend on order, but
+/// the sum of the first `stop_after` ids along the canonical DFS does not
+/// need to match between variants — so equivalence tests with
+/// `stop_after = u32::MAX` (pure order change) assert exact equality, and
+/// bounded runs only assert count sanity.
+pub struct GuidedKernel {
+    /// Levels below the root.
+    pub depth: usize,
+}
+
+impl GuidedKernel {
+    /// Construct with `depth` levels below the root.
+    pub fn new(depth: usize) -> Self {
+        GuidedKernel { depth }
+    }
+
+    fn n(&self) -> usize {
+        (1usize << (self.depth + 1)) - 1
+    }
+}
+
+/// Point state for [`GuidedKernel`]: an identity (drives call-set choice)
+/// and an accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuidedPoint {
+    /// Identity; parity of `id ^ node` selects the call set.
+    pub id: u32,
+    /// Sum of visited node ids.
+    pub acc: u64,
+}
+
+impl TraversalKernel for GuidedKernel {
+    type Point = GuidedPoint;
+    type Args = ();
+    const MAX_KIDS: usize = 2;
+    const CALL_SETS: usize = 2;
+    const CALL_SETS_EQUIVALENT: bool = true;
+
+    fn n_nodes(&self) -> usize {
+        self.n()
+    }
+    fn is_leaf(&self, node: NodeId) -> bool {
+        (node as usize) >= self.n() / 2
+    }
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        self.is_leaf(node).then(|| (node - (self.n() / 2) as u32, 1))
+    }
+    fn node_bytes(&self) -> NodeBytes {
+        NodeBytes::kd(2)
+    }
+    fn max_depth(&self) -> usize {
+        self.depth
+    }
+    fn root_args(&self) {}
+
+    fn choose(&self, p: &GuidedPoint, node: NodeId, _args: ()) -> usize {
+        ((p.id ^ node) & 1) as usize
+    }
+
+    fn visit(
+        &self,
+        p: &mut GuidedPoint,
+        node: NodeId,
+        _args: (),
+        forced: Option<usize>,
+        kids: &mut ChildBuf<()>,
+    ) -> VisitOutcome {
+        p.acc += node as u64;
+        if self.is_leaf(node) {
+            return VisitOutcome::Leaf;
+        }
+        let set = forced.unwrap_or_else(|| self.choose(p, node, ()));
+        let (l, r) = (2 * node + 1, 2 * node + 2);
+        if set == 0 {
+            kids.push(Child { node: l, args: () });
+            kids.push(Child { node: r, args: () });
+        } else {
+            kids.push(Child { node: r, args: () });
+            kids.push(Child { node: l, args: () });
+        }
+        VisitOutcome::Descended { call_set: set }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu;
+
+    #[test]
+    fn guided_point_order_does_not_change_sum() {
+        let k = GuidedKernel::new(5);
+        let mut a = vec![GuidedPoint { id: 0, acc: 0 }];
+        let mut b = vec![GuidedPoint { id: 1, acc: 0 }];
+        cpu::run_sequential(&k, &mut a);
+        cpu::run_sequential(&k, &mut b);
+        // Different ids → different orders, same full-tree sum.
+        assert_eq!(a[0].acc, b[0].acc);
+    }
+}

@@ -1,0 +1,148 @@
+//! Device configuration: SM count, warp capacity, shared memory size.
+//!
+//! The default configuration mirrors the paper's evaluation GPU, an nVidia
+//! Tesla C2070 (Fermi): 14 SMs × 32 SPs, 64 KB configurable shared memory
+//! per SM, 1.15 GHz SP clock, 6 GB GDDR5.
+
+use serde::{Deserialize, Serialize};
+
+use crate::WARP_SIZE;
+
+/// Static description of the simulated device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Maximum warps resident on one SM at a time (occupancy ceiling).
+    /// Fermi allows 48 resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Shared memory per SM in bytes (64 KB configurable on Fermi; we model
+    /// the full 64 KB dedicated to shared memory, as the traversal kernels
+    /// do not benefit from L1 configuration).
+    pub shared_mem_per_sm: usize,
+    /// Core clock in GHz, used to convert cycles to milliseconds.
+    pub clock_ghz: f64,
+    /// Width of a global-memory coalescing segment in bytes (128 on Fermi).
+    pub segment_bytes: u64,
+    /// Threads per block used when launching traversal kernels.
+    pub threads_per_block: usize,
+    /// Peak DRAM bandwidth in bytes per core cycle. The scheduler applies
+    /// a roofline: a launch can never finish faster than
+    /// `bus_bytes / mem_bytes_per_cycle` — this is what makes coalescing
+    /// matter at scale (an uncoalesced warp load moves 32 segments across
+    /// the bus where a broadcast moves one).
+    pub mem_bytes_per_cycle: f64,
+}
+
+impl DeviceConfig {
+    /// The paper's evaluation GPU: Tesla C2070 (Fermi, compute 2.0).
+    pub fn tesla_c2070() -> Self {
+        DeviceConfig {
+            num_sms: 14,
+            max_warps_per_sm: 48,
+            shared_mem_per_sm: 64 * 1024,
+            clock_ghz: 1.15,
+            segment_bytes: 128,
+            threads_per_block: 256,
+            // C2070: 144 GB/s at 1.15 GHz ≈ 125 B/cycle.
+            mem_bytes_per_cycle: 125.0,
+        }
+    }
+
+    /// A deliberately tiny device for tests: 2 SMs, 4 resident warps each.
+    /// Small enough that scheduling corner cases (more warps than slots,
+    /// uneven SM loads) show up with handfuls of points.
+    pub fn tiny() -> Self {
+        DeviceConfig {
+            num_sms: 2,
+            max_warps_per_sm: 4,
+            shared_mem_per_sm: 16 * 1024,
+            clock_ghz: 1.0,
+            segment_bytes: 128,
+            threads_per_block: 64,
+            // Effectively unlimited: tiny-device tests exercise the
+            // issue/stall arithmetic, not the roofline.
+            mem_bytes_per_cycle: 1.0e12,
+        }
+    }
+
+    /// Warps per block under this configuration.
+    pub fn warps_per_block(&self) -> usize {
+        self.threads_per_block.div_ceil(WARP_SIZE)
+    }
+
+    /// Number of warps needed to cover `n_points` traversals, one lane per
+    /// point (the strip-mined grid-stride loop of paper §5.2 maps surplus
+    /// points back onto the same warps; the scheduler accounts for that by
+    /// cycling warps, so the *logical* warp count is what matters here).
+    pub fn warps_for(&self, n_points: usize) -> usize {
+        n_points.div_ceil(WARP_SIZE)
+    }
+
+    /// Occupancy: how many warps can actually be resident per SM given that
+    /// each warp consumes `shared_bytes_per_warp` bytes of shared memory.
+    /// Paper §2.2: "if too much is used per thread, fewer thread blocks can
+    /// occupy an SM simultaneously, reducing parallelism".
+    pub fn resident_warps(&self, shared_bytes_per_warp: usize) -> usize {
+        if shared_bytes_per_warp == 0 {
+            return self.max_warps_per_sm;
+        }
+        let fit = self.shared_mem_per_sm / shared_bytes_per_warp;
+        fit.clamp(1, self.max_warps_per_sm)
+    }
+
+    /// Convert a cycle count to modeled milliseconds at this device's clock.
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1.0e6)
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::tesla_c2070()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2070_matches_paper_platform() {
+        let d = DeviceConfig::tesla_c2070();
+        assert_eq!(d.num_sms, 14);
+        assert_eq!(d.shared_mem_per_sm, 64 * 1024);
+        assert_eq!(d.segment_bytes, 128);
+    }
+
+    #[test]
+    fn warps_for_rounds_up() {
+        let d = DeviceConfig::default();
+        assert_eq!(d.warps_for(0), 0);
+        assert_eq!(d.warps_for(1), 1);
+        assert_eq!(d.warps_for(32), 1);
+        assert_eq!(d.warps_for(33), 2);
+        assert_eq!(d.warps_for(1_000_000), 31_250);
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        let d = DeviceConfig::tesla_c2070();
+        // No shared memory use: full occupancy.
+        assert_eq!(d.resident_warps(0), 48);
+        // 1 KB per warp: 64 warps would fit, clamped at the hardware max.
+        assert_eq!(d.resident_warps(1024), 48);
+        // 4 KB per warp: only 16 warps fit.
+        assert_eq!(d.resident_warps(4 * 1024), 16);
+        // Oversized request still leaves one resident warp (kernel runs,
+        // just without any latency hiding).
+        assert_eq!(d.resident_warps(128 * 1024), 1);
+    }
+
+    #[test]
+    fn cycles_to_ms_uses_clock() {
+        let d = DeviceConfig::tesla_c2070();
+        let ms = d.cycles_to_ms(1.15e9); // one second of cycles
+        assert!((ms - 1000.0).abs() < 1e-6);
+    }
+}

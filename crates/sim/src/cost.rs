@@ -1,0 +1,139 @@
+//! The cycle cost model.
+//!
+//! The simulator is event-counting: executors report what a warp step *did*
+//! (instructions issued, memory transactions, divergent replays) and this
+//! model prices those events in cycles. Constants default to published
+//! Fermi-generation figures; they live in one struct so ablation benches
+//! can sweep them and EXPERIMENTS.md can state exactly what was assumed.
+//!
+//! The model deliberately separates *issue* cycles (always serialized
+//! within an SM's warp scheduler) from *memory stall* cycles (overlapped
+//! across resident warps by the scheduler in [`crate::sched`]). That split
+//! is what makes coalescing matter: a step with 32 transactions carries
+//! 32× the stall weight of a broadcast load, which multithreading can only
+//! partially hide.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle prices for simulated events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cycles to issue one warp instruction (SIMD over 32 lanes).
+    pub issue: f64,
+    /// Issue cost of one warp-step's worth of traversal bookkeeping
+    /// (pop, branch, compare) — multiplies per-step `compute_insts`.
+    pub alu_per_inst: f64,
+    /// Cycles of latency for a global memory transaction (Fermi: ~400–600).
+    pub global_latency: f64,
+    /// Additional pipeline cycles per extra transaction of the same warp
+    /// request (serialization at the memory controller).
+    pub global_per_transaction: f64,
+    /// Cycles for a shared-memory access (Fermi: ~30 including conflicts;
+    /// we charge the conflict-free figure).
+    pub shared_latency: f64,
+    /// Cycles charged per *divergent replay*: a branch whose lanes split
+    /// forces the warp to execute both sides; each replayed side costs this
+    /// on top of normal issue.
+    pub divergence_replay: f64,
+    /// Call/return overhead in cycles for the naïve recursive baseline:
+    /// the ABI prologue/epilogue of a device-side call (register spill and
+    /// reload around the call, computed branch). Fermi device recursion is
+    /// expensive — this is precisely the overhead autoropes removes
+    /// (paper §3).
+    pub call_overhead: f64,
+    /// Kernel launch fixed overhead in cycles (amortized once per launch).
+    pub launch_overhead: f64,
+}
+
+impl CostModel {
+    /// Fermi-calibrated defaults (Tesla C2070 era).
+    pub fn fermi() -> Self {
+        CostModel {
+            issue: 1.0,
+            alu_per_inst: 1.0,
+            global_latency: 450.0,
+            global_per_transaction: 32.0,
+            shared_latency: 30.0,
+            divergence_replay: 8.0,
+            call_overhead: 300.0,
+            launch_overhead: 5_000.0,
+        }
+    }
+
+    /// A unit-cost model for tests: every event costs 1 cycle, launch is
+    /// free. Makes cycle totals equal to event totals, so tests can assert
+    /// exact arithmetic.
+    pub fn unit() -> Self {
+        CostModel {
+            issue: 1.0,
+            alu_per_inst: 1.0,
+            global_latency: 1.0,
+            global_per_transaction: 1.0,
+            shared_latency: 1.0,
+            divergence_replay: 1.0,
+            call_overhead: 1.0,
+            launch_overhead: 0.0,
+        }
+    }
+
+    /// Issue cycles for a step executing `compute_insts` arithmetic
+    /// instructions plus fixed issue.
+    pub fn issue_cycles(&self, compute_insts: u64) -> f64 {
+        self.issue + self.alu_per_inst * compute_insts as f64
+    }
+
+    /// Stall cycles for a warp request that coalesced into `transactions`
+    /// global transactions: one full latency, plus a serialization term for
+    /// each additional transaction.
+    pub fn global_stall(&self, transactions: u64) -> f64 {
+        if transactions == 0 {
+            0.0
+        } else {
+            self.global_latency + self.global_per_transaction * (transactions - 1) as f64
+        }
+    }
+
+    /// Stall cycles for a shared-memory access.
+    pub fn shared_stall(&self, transactions: u64) -> f64 {
+        self.shared_latency * transactions as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::fermi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_defaults_are_plausible() {
+        let c = CostModel::fermi();
+        assert!(c.global_latency >= 400.0 && c.global_latency <= 600.0);
+        assert!(c.shared_latency < c.global_latency / 10.0);
+    }
+
+    #[test]
+    fn global_stall_scales_with_transactions() {
+        let c = CostModel::fermi();
+        assert_eq!(c.global_stall(0), 0.0);
+        let one = c.global_stall(1);
+        let thirty_two = c.global_stall(32);
+        assert_eq!(one, c.global_latency);
+        // 32-way serialized access is much more expensive than a broadcast,
+        // but not 32 × latency — the controller pipelines.
+        assert!(thirty_two > 2.0 * one);
+        assert!(thirty_two < 32.0 * one);
+    }
+
+    #[test]
+    fn unit_model_is_unit() {
+        let c = CostModel::unit();
+        assert_eq!(c.issue_cycles(3), 4.0);
+        assert_eq!(c.global_stall(5), 5.0);
+        assert_eq!(c.shared_stall(2), 2.0);
+    }
+}

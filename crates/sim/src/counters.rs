@@ -1,0 +1,130 @@
+//! Event counters accumulated during simulated execution.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Everything the simulator counted for one kernel launch (or one warp,
+/// before aggregation). All counts are exact, deterministic, and
+/// hardware-independent; cycles are derived from them by the cost model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Warp instructions issued (every step, regardless of active lanes —
+    /// masked-out lanes still occupy issue slots; this is the SIMT tax).
+    pub warp_steps: u64,
+    /// Arithmetic instructions issued (warp-wide).
+    pub compute_insts: u64,
+    /// Global-memory transactions after coalescing.
+    pub global_transactions: u64,
+    /// Bytes moved over the DRAM bus (transactions × segment size).
+    pub global_bus_bytes: u64,
+    /// Bytes lanes actually asked for; `useful / bus` is coalescing
+    /// efficiency.
+    pub global_useful_bytes: u64,
+    /// Shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Global accesses served by the (optional) L2 cache model.
+    pub l2_hits: u64,
+    /// Divergent branch replays (both-sides execution).
+    pub divergent_replays: u64,
+    /// Call/return pairs executed (nonzero only for the naïve recursive
+    /// baseline; autoropes eliminates them, paper §3.2.2).
+    pub calls: u64,
+    /// Tree-node visits summed over lanes: the paper's “Avg. # Nodes”
+    /// column is `node_visits / n_points`.
+    pub node_visits: u64,
+    /// Node visits counted once per *warp* step that touched a node —
+    /// lockstep work-expansion numerator (paper §6.3 / Table 2).
+    pub warp_node_visits: u64,
+    /// Per-region transaction breakdown, keyed by region name.
+    pub per_region_transactions: BTreeMap<String, u64>,
+    /// Accumulated issue cycles (priced at record time).
+    pub issue_cycles: f64,
+    /// Accumulated memory-stall cycles (priced at record time; the
+    /// scheduler decides how much of this is hidden).
+    pub stall_cycles: f64,
+}
+
+impl SimCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge another counter set into this one (e.g. fold warps into a
+    /// launch total).
+    pub fn merge(&mut self, other: &SimCounters) {
+        self.warp_steps += other.warp_steps;
+        self.compute_insts += other.compute_insts;
+        self.global_transactions += other.global_transactions;
+        self.global_bus_bytes += other.global_bus_bytes;
+        self.global_useful_bytes += other.global_useful_bytes;
+        self.shared_accesses += other.shared_accesses;
+        self.l2_hits += other.l2_hits;
+        self.divergent_replays += other.divergent_replays;
+        self.calls += other.calls;
+        self.node_visits += other.node_visits;
+        self.warp_node_visits += other.warp_node_visits;
+        self.issue_cycles += other.issue_cycles;
+        self.stall_cycles += other.stall_cycles;
+        for (k, v) in &other.per_region_transactions {
+            *self.per_region_transactions.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Useful bytes delivered per byte moved over the DRAM bus. 1.0 means
+    /// perfectly coalesced; below 1.0 means scattered accesses wasted bus
+    /// segments; *above* 1.0 means broadcast amplification — one
+    /// transaction served many lanes (the lockstep node-load pattern).
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.global_bus_bytes == 0 {
+            1.0
+        } else {
+            self.global_useful_bytes as f64 / self.global_bus_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = SimCounters {
+            warp_steps: 10,
+            global_transactions: 5,
+            node_visits: 7,
+            issue_cycles: 2.5,
+            ..Default::default()
+        };
+        a.per_region_transactions.insert("nodes0".into(), 3);
+        let mut b = SimCounters {
+            warp_steps: 1,
+            global_transactions: 2,
+            node_visits: 3,
+            issue_cycles: 0.5,
+            ..Default::default()
+        };
+        b.per_region_transactions.insert("nodes0".into(), 1);
+        b.per_region_transactions.insert("stack".into(), 9);
+        a.merge(&b);
+        assert_eq!(a.warp_steps, 11);
+        assert_eq!(a.global_transactions, 7);
+        assert_eq!(a.node_visits, 10);
+        assert_eq!(a.issue_cycles, 3.0);
+        assert_eq!(a.per_region_transactions["nodes0"], 4);
+        assert_eq!(a.per_region_transactions["stack"], 9);
+    }
+
+    #[test]
+    fn coalescing_efficiency_bounds() {
+        let c = SimCounters {
+            global_bus_bytes: 1280,
+            global_useful_bytes: 128,
+            ..Default::default()
+        };
+        assert!((c.coalescing_efficiency() - 0.1).abs() < 1e-12);
+        assert_eq!(SimCounters::default().coalescing_efficiency(), 1.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The per-warp event recorder and the launch-level accumulator.
+//!
+//! Executors in `gts-runtime` drive real computation lane-by-lane; every
+//! warp step they perform is mirrored into a [`WarpSim`], which prices the
+//! step's events via the [`CostModel`] and tallies [`SimCounters`]. When a
+//! warp finishes, its counters fold into a [`KernelLaunch`]; when all warps
+//! have run, [`KernelLaunch::finish`] applies the SM scheduling model to
+//! produce the device-level execution time.
+
+use crate::cost::CostModel;
+use crate::counters::SimCounters;
+use crate::l2::{L2Cache, L2Config};
+use crate::memory::{coalesce, touched_segments, AddressMap, MemSpace, RegionId, WarpAccess};
+use crate::sched::{LaunchReport, Schedule};
+use crate::{DeviceConfig, WarpMask};
+
+/// Records the events of a single warp's execution.
+///
+/// A `WarpSim` borrows the launch's [`AddressMap`] so region lookups stay
+/// cheap; it owns its own counters so independent warps can be simulated on
+/// host threads concurrently and folded back in warp order (keeping totals
+/// deterministic).
+pub struct WarpSim<'a> {
+    cost: &'a CostModel,
+    map: &'a AddressMap,
+    segment_bytes: u64,
+    l2: Option<(L2Cache, L2Config)>,
+    /// Event tallies for this warp so far.
+    pub counters: SimCounters,
+}
+
+impl<'a> WarpSim<'a> {
+    /// Start recording a warp against `map` with prices from `cost`.
+    pub fn new(map: &'a AddressMap, cost: &'a CostModel, segment_bytes: u64) -> Self {
+        WarpSim {
+            cost,
+            map,
+            segment_bytes,
+            l2: None,
+            counters: SimCounters::new(),
+        }
+    }
+
+    /// Like [`WarpSim::new`], with this warp's slice of the optional L2
+    /// cache model (see [`crate::l2`]).
+    pub fn with_l2(
+        map: &'a AddressMap,
+        cost: &'a CostModel,
+        segment_bytes: u64,
+        l2: Option<&L2Config>,
+    ) -> Self {
+        let mut sim = Self::new(map, cost, segment_bytes);
+        sim.l2 = l2.map(|cfg| (L2Cache::new(cfg.slice_lines(segment_bytes)), cfg.clone()));
+        sim
+    }
+
+    /// Issue one warp instruction bundle of `compute_insts` ALU ops.
+    /// Every traversal-loop iteration calls this once; masked-out lanes
+    /// still pay (SIMT issue is warp-wide).
+    pub fn step(&mut self, compute_insts: u64) {
+        self.counters.warp_steps += 1;
+        self.counters.compute_insts += compute_insts;
+        self.counters.issue_cycles += self.cost.issue_cycles(compute_insts);
+    }
+
+    /// Record a memory request, coalescing it into transactions.
+    pub fn access(&mut self, region: RegionId, access: &WarpAccess) {
+        let out = coalesce(access, self.segment_bytes);
+        if out.transactions == 0 {
+            return;
+        }
+        let name = &self.map.region(region).name;
+        *self
+            .counters
+            .per_region_transactions
+            .entry(name.clone())
+            .or_insert(0) += out.transactions;
+        match access.space {
+            MemSpace::Global => match &mut self.l2 {
+                Some((cache, l2_cfg)) => {
+                    // Classify each touched segment as an L2 hit or a DRAM
+                    // transaction; hits skip the bus entirely.
+                    let mut misses = 0u64;
+                    let mut hits = 0u64;
+                    for seg in touched_segments(access, self.segment_bytes) {
+                        if cache.access(seg) {
+                            hits += 1;
+                        } else {
+                            misses += 1;
+                        }
+                    }
+                    self.counters.l2_hits += hits;
+                    self.counters.global_transactions += misses;
+                    self.counters.global_bus_bytes += misses * self.segment_bytes;
+                    self.counters.global_useful_bytes += out.useful_bytes;
+                    self.counters.stall_cycles +=
+                        self.cost.global_stall(misses) + l2_cfg.hit_stall(hits);
+                }
+                None => {
+                    self.counters.global_transactions += out.transactions;
+                    self.counters.global_bus_bytes += out.bus_bytes;
+                    self.counters.global_useful_bytes += out.useful_bytes;
+                    self.counters.stall_cycles += self.cost.global_stall(out.transactions);
+                }
+            },
+            MemSpace::Shared => {
+                self.counters.shared_accesses += out.transactions;
+                self.counters.stall_cycles += self.cost.shared_stall(out.transactions);
+            }
+        }
+    }
+
+    /// Convenience: per-lane load of `region[index(lane)]` for lanes in
+    /// `mask` (non-lockstep pattern: each lane at its own tree node).
+    pub fn load(&mut self, region: RegionId, mask: WarpMask, index: impl Fn(usize) -> u64) {
+        let acc = WarpAccess::per_lane(self.map, region, mask, index);
+        self.access(region, &acc);
+    }
+
+    /// Convenience: broadcast load of `region[index]` to all lanes in
+    /// `mask` (lockstep pattern: one transaction).
+    pub fn load_broadcast(&mut self, region: RegionId, mask: WarpMask, index: u64) {
+        let acc = WarpAccess::broadcast(self.map, region, mask, index);
+        self.access(region, &acc);
+    }
+
+    /// Record a divergent branch: the warp's lanes split over `sides`
+    /// distinct control paths, so `sides - 1` replays are issued.
+    pub fn diverge(&mut self, sides: u64) {
+        if sides > 1 {
+            let replays = sides - 1;
+            self.counters.divergent_replays += replays;
+            self.counters.issue_cycles += self.cost.divergence_replay * replays as f64;
+        }
+    }
+
+    /// Record a call/return pair (naïve recursive baseline only).
+    pub fn call(&mut self) {
+        self.counters.calls += 1;
+        self.counters.issue_cycles += self.cost.call_overhead;
+    }
+
+    /// Record a node visit performed by `active_lanes` lanes at once.
+    /// `node_visits` counts lane-visits (paper Table 1's Avg. # Nodes);
+    /// `warp_node_visits` counts warp-visits (Table 2's work-expansion
+    /// numerator).
+    pub fn visit_node(&mut self, active_lanes: u64) {
+        self.counters.node_visits += active_lanes;
+        self.counters.warp_node_visits += 1;
+    }
+}
+
+/// Accumulates per-warp results for one kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelLaunch {
+    /// The simulated device.
+    pub device: DeviceConfig,
+    /// Cycle prices used by all warps of this launch.
+    pub cost: CostModel,
+    /// Per-warp (issue, stall) cycle pairs in warp order.
+    warp_cycles: Vec<(f64, f64)>,
+    /// Launch-wide event totals.
+    pub totals: SimCounters,
+}
+
+impl KernelLaunch {
+    /// New empty launch on `device` with `cost` prices.
+    pub fn new(device: DeviceConfig, cost: CostModel) -> Self {
+        KernelLaunch {
+            device,
+            cost,
+            warp_cycles: Vec::new(),
+            totals: SimCounters::new(),
+        }
+    }
+
+    /// Fold a finished warp's counters into the launch.
+    pub fn absorb(&mut self, warp: SimCounters) {
+        self.warp_cycles.push((warp.issue_cycles, warp.stall_cycles));
+        self.totals.merge(&warp);
+    }
+
+    /// Number of warps absorbed so far.
+    pub fn warps(&self) -> usize {
+        self.warp_cycles.len()
+    }
+
+    /// Apply the SM scheduling model and produce the launch report.
+    /// `shared_bytes_per_warp` is the shared-memory footprint each warp
+    /// pins (0 when stacks live in global memory), which caps occupancy.
+    pub fn finish(self, shared_bytes_per_warp: usize) -> LaunchReport {
+        Schedule::run(&self.device, &self.cost, &self.warp_cycles, shared_bytes_per_warp, self.totals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemSpace;
+
+    fn setup() -> (AddressMap, CostModel) {
+        let mut map = AddressMap::new();
+        map.alloc("nodes", MemSpace::Global, 1000, 16);
+        (map, CostModel::unit())
+    }
+
+    #[test]
+    fn step_accumulates_issue() {
+        let (map, cost) = setup();
+        let mut w = WarpSim::new(&map, &cost, 128);
+        w.step(3);
+        w.step(0);
+        assert_eq!(w.counters.warp_steps, 2);
+        assert_eq!(w.counters.compute_insts, 3);
+        // unit model: issue_cycles = (1+3) + (1+0)
+        assert_eq!(w.counters.issue_cycles, 5.0);
+    }
+
+    #[test]
+    fn broadcast_vs_scattered_transactions() {
+        let (map, cost) = setup();
+        let region = RegionId(0);
+        let mut w = WarpSim::new(&map, &cost, 128);
+        w.load_broadcast(region, WarpMask::ALL, 5);
+        assert_eq!(w.counters.global_transactions, 1);
+        let before = w.counters.stall_cycles;
+        // Scatter: every lane 8 elements (128 B) apart → 32 segments.
+        w.load(region, WarpMask::ALL, |l| (l as u64) * 8);
+        assert_eq!(w.counters.global_transactions, 33);
+        assert!(w.counters.stall_cycles > before);
+        assert_eq!(w.counters.per_region_transactions["nodes"], 33);
+    }
+
+    #[test]
+    fn divergence_counts_replays() {
+        let (map, cost) = setup();
+        let mut w = WarpSim::new(&map, &cost, 128);
+        w.diverge(1); // convergent: free
+        assert_eq!(w.counters.divergent_replays, 0);
+        w.diverge(3);
+        assert_eq!(w.counters.divergent_replays, 2);
+    }
+
+    #[test]
+    fn visit_node_tracks_both_granularities() {
+        let (map, cost) = setup();
+        let mut w = WarpSim::new(&map, &cost, 128);
+        w.visit_node(32);
+        w.visit_node(1);
+        assert_eq!(w.counters.node_visits, 33);
+        assert_eq!(w.counters.warp_node_visits, 2);
+    }
+
+    #[test]
+    fn l2_hits_skip_the_bus() {
+        let (map, cost) = setup();
+        let region = RegionId(0);
+        let l2 = crate::l2::L2Config::fermi();
+        let mut w = WarpSim::with_l2(&map, &cost, 128, Some(&l2));
+        // First broadcast: miss (1 transaction); repeat: hit (0 bus bytes).
+        w.load_broadcast(region, WarpMask::ALL, 3);
+        assert_eq!(w.counters.global_transactions, 1);
+        assert_eq!(w.counters.l2_hits, 0);
+        w.load_broadcast(region, WarpMask::ALL, 3);
+        assert_eq!(w.counters.global_transactions, 1, "second touch must hit");
+        assert_eq!(w.counters.l2_hits, 1);
+        assert_eq!(w.counters.global_bus_bytes, 128);
+    }
+
+    #[test]
+    fn launch_absorbs_in_order() {
+        let (map, cost) = setup();
+        let mut launch = KernelLaunch::new(DeviceConfig::tiny(), cost.clone());
+        for i in 0..3 {
+            let mut w = WarpSim::new(&map, &cost, 128);
+            w.step(i);
+            launch.absorb(w.counters);
+        }
+        assert_eq!(launch.warps(), 3);
+        assert_eq!(launch.totals.warp_steps, 3);
+        assert_eq!(launch.totals.compute_insts, 1 + 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Optional L2 cache model.
+//!
+//! Paper §2.2: *“The SMs are connected to a large high-latency,
+//! high-throughput global DRAM memory with a hardware-managed level 2
+//! cache.”* The default cost model omits the L2 (DRAM-only), which is the
+//! conservative configuration the headline results use; enabling the L2
+//! (`GpuConfig::with_l2`) shows how caching of the hot tree top levels
+//! narrows — but does not close — the coalescing gap between lockstep and
+//! non-lockstep traversal. The ablation bench sweeps it.
+//!
+//! Model: an LRU over 128-byte segments. The real L2 is shared by all SMs
+//! and time-interleaved between warps; simulating that faithfully would
+//! serialize warp simulation, so each warp sees a *proportional slice* of
+//! the cache (capacity ÷ expected resident warps), a standard
+//! approximation that keeps the simulation deterministic and parallel.
+//! Hits cost [`L2Config::hit_latency`] and do not consume DRAM bandwidth.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// L2 configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct L2Config {
+    /// Total cache capacity in bytes (Fermi C2070: 768 KB).
+    pub bytes: u64,
+    /// Number of concurrent warps the capacity is divided between when
+    /// deriving each warp's slice. Fermi: 14 SMs × ~32 hot warps; the
+    /// default (448) makes a slice of ~13 segments — only the very top of
+    /// the tree stays resident, which is what profiling of traversal
+    /// kernels shows.
+    pub shared_between_warps: u64,
+    /// Cycles for an L2 hit (Fermi ≈ 120, vs. ~450 to DRAM).
+    pub hit_latency: f64,
+    /// Pipelined cost of each additional hit in the same warp request —
+    /// like DRAM transactions, L2 hits overlap; only the first pays full
+    /// latency.
+    pub per_extra_hit: f64,
+}
+
+impl L2Config {
+    /// Fermi C2070 defaults.
+    pub fn fermi() -> Self {
+        L2Config {
+            bytes: 768 * 1024,
+            shared_between_warps: 448,
+            hit_latency: 120.0,
+            per_extra_hit: 8.0,
+        }
+    }
+
+    /// Pipelined stall cycles for `hits` L2 hits in one warp request.
+    pub fn hit_stall(&self, hits: u64) -> f64 {
+        if hits == 0 {
+            0.0
+        } else {
+            self.hit_latency + self.per_extra_hit * (hits - 1) as f64
+        }
+    }
+
+    /// Segments in one warp's slice (at least 1).
+    pub fn slice_lines(&self, segment_bytes: u64) -> usize {
+        ((self.bytes / self.shared_between_warps.max(1)) / segment_bytes.max(1)).max(1) as usize
+    }
+}
+
+/// A per-warp LRU over segment ids.
+#[derive(Debug, Clone)]
+pub struct L2Cache {
+    capacity: usize,
+    tick: u64,
+    /// segment id → last-use tick.
+    lines: HashMap<u64, u64>,
+}
+
+impl L2Cache {
+    /// Cache with room for `capacity` segments.
+    pub fn new(capacity: usize) -> Self {
+        L2Cache {
+            capacity: capacity.max(1),
+            tick: 0,
+            lines: HashMap::with_capacity(capacity + 8),
+        }
+    }
+
+    /// Touch a segment: returns `true` on a hit. Misses insert the segment,
+    /// evicting the least-recently-used line if full.
+    pub fn access(&mut self, segment: u64) -> bool {
+        self.tick += 1;
+        if let Some(t) = self.lines.get_mut(&segment) {
+            *t = self.tick;
+            return true;
+        }
+        if self.lines.len() >= self.capacity {
+            // Evict the LRU line. Linear scan: slices are tens of lines.
+            if let Some((&victim, _)) = self.lines.iter().min_by_key(|(_, &t)| t) {
+                self.lines.remove(&victim);
+            }
+        }
+        self.lines.insert(segment, self.tick);
+        false
+    }
+
+    /// Lines currently resident.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_first_touch() {
+        let mut c = L2Cache::new(4);
+        assert!(!c.access(1));
+        assert!(c.access(1));
+        assert!(c.access(1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = L2Cache::new(2);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1)); // 1 is now MRU
+        assert!(!c.access(3)); // evicts 2
+        assert!(c.access(1));
+        assert!(!c.access(2)); // 2 was evicted
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = L2Cache::new(8);
+        for s in 0..100 {
+            c.access(s);
+        }
+        assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn slice_lines_arithmetic() {
+        let cfg = L2Config::fermi();
+        // 768 KB / 448 warps / 128 B = 13 lines.
+        assert_eq!(cfg.slice_lines(128), 13);
+        assert!(
+            L2Config { bytes: 1, shared_between_warps: 1000, hit_latency: 1.0, per_extra_hit: 1.0 }
+                .slice_lines(128)
+                >= 1
+        );
+    }
+
+    #[test]
+    fn hit_stall_is_pipelined() {
+        let cfg = L2Config::fermi();
+        assert_eq!(cfg.hit_stall(0), 0.0);
+        assert_eq!(cfg.hit_stall(1), 120.0);
+        // 32 pipelined hits cost far less than 32 serial ones.
+        assert!(cfg.hit_stall(32) < 32.0 * 120.0 / 2.0);
+    }
+
+    #[test]
+    fn loop_over_small_working_set_hits() {
+        // A working set within capacity hits forever after warm-up: the
+        // "hot tree top" effect.
+        let mut c = L2Cache::new(13);
+        let mut hits = 0;
+        for round in 0..10 {
+            for seg in 0..10u64 {
+                if c.access(seg) {
+                    hits += 1;
+                }
+                let _ = round;
+            }
+        }
+        assert_eq!(hits, 90); // everything after the first round
+    }
+}

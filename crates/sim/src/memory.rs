@@ -1,0 +1,357 @@
+//! Global-memory address space and the coalescing model.
+//!
+//! Paper §2.2: *“Global memory is capable of achieving very high throughput
+//! as long as threads of a warp access elements from the same 128-byte
+//! segment. If memory accesses are coalesced then each request will be
+//! merged into a single global memory transaction; otherwise the hardware
+//! will group accesses into as few transactions as possible.”*
+//!
+//! Executors allocate [`Region`]s for every array the kernel touches (tree
+//! node arrays, point arrays, interleaved rope stacks) from an
+//! [`AddressMap`], then report each warp-step's per-lane addresses. The
+//! coalescer counts the number of distinct segments touched — that count is
+//! the number of memory transactions the step costs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{WarpMask, WARP_SIZE};
+
+/// Which memory a transaction targets. Shared memory (paper §2.2's
+/// software-controlled cache) has its own, much cheaper cost and is not
+/// subject to segment coalescing — banks are modeled as conflict-free for
+/// the broadcast/per-lane-contiguous patterns the rope stack produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Device DRAM behind the coalescer.
+    Global,
+    /// Per-SM scratchpad.
+    Shared,
+}
+
+/// Identifies an allocated region; indexes into the [`AddressMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+/// A named, contiguous allocation in the simulated address space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Region {
+    /// Human-readable name ("kd.nodes0", "stack.interleaved", ...), used in
+    /// traffic breakdowns.
+    pub name: String,
+    /// Base address. Regions are segment-aligned so that cross-region
+    /// accesses never share a transaction (matches `cudaMalloc` alignment).
+    pub base: u64,
+    /// Element stride in bytes.
+    pub stride: u64,
+    /// Number of elements.
+    pub len: u64,
+    /// Which space the region lives in.
+    pub space: MemSpace,
+}
+
+impl Region {
+    /// Address of element `index`.
+    pub fn addr(&self, index: u64) -> u64 {
+        debug_assert!(
+            index < self.len,
+            "region {} index {index} out of bounds (len {})",
+            self.name,
+            self.len
+        );
+        self.base + index * self.stride
+    }
+
+    /// Total footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.stride * self.len
+    }
+}
+
+/// Allocates regions and resolves element addresses.
+///
+/// Two address spaces are kept: one for global memory and one for shared
+/// memory (the GPU keeps them separate; so do we, so a shared-memory region
+/// can never be confused with a global one in the coalescer).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AddressMap {
+    regions: Vec<Region>,
+    global_top: u64,
+    shared_top: u64,
+}
+
+/// Alignment for region bases; one coalescing segment.
+const REGION_ALIGN: u64 = 128;
+
+impl AddressMap {
+    /// Fresh, empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a region of `len` elements of `stride` bytes each.
+    pub fn alloc(&mut self, name: impl Into<String>, space: MemSpace, len: u64, stride: u64) -> RegionId {
+        assert!(stride > 0, "zero-stride region");
+        let top = match space {
+            MemSpace::Global => &mut self.global_top,
+            MemSpace::Shared => &mut self.shared_top,
+        };
+        let base = (*top).next_multiple_of(REGION_ALIGN);
+        *top = base + len.max(1) * stride;
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(Region {
+            name: name.into(),
+            base,
+            stride,
+            len: len.max(1),
+            space,
+        });
+        id
+    }
+
+    /// Look up a region.
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.0 as usize]
+    }
+
+    /// Total bytes allocated in shared memory; the scheduler divides this
+    /// by warps to derive occupancy.
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_top
+    }
+
+    /// Total bytes allocated in global memory.
+    pub fn global_bytes(&self) -> u64 {
+        self.global_top
+    }
+
+    /// All regions, for traffic breakdowns.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+/// One warp-step memory request: for each lane, the address it reads or
+/// writes (or `None` if the lane is inactive / not participating), plus the
+/// access width in bytes.
+#[derive(Debug, Clone)]
+pub struct WarpAccess {
+    /// Per-lane byte addresses.
+    pub addrs: [Option<u64>; WARP_SIZE],
+    /// Bytes moved per lane (a node-fragment load, a stack slot, ...).
+    pub bytes_per_lane: u64,
+    /// Target space.
+    pub space: MemSpace,
+}
+
+impl WarpAccess {
+    /// Build a request where every lane active in `mask` accesses
+    /// `region[index(lane)]`.
+    pub fn per_lane(
+        map: &AddressMap,
+        region: RegionId,
+        mask: WarpMask,
+        index: impl Fn(usize) -> u64,
+    ) -> WarpAccess {
+        let r = map.region(region);
+        let mut addrs = [None; WARP_SIZE];
+        for lane in mask.iter_active() {
+            addrs[lane] = Some(r.addr(index(lane)));
+        }
+        WarpAccess {
+            addrs,
+            bytes_per_lane: r.stride,
+            space: r.space,
+        }
+    }
+
+    /// Build a broadcast request: all lanes active in `mask` access the
+    /// same element. This is the pattern lockstep traversal produces for
+    /// node loads — “all threads in the warp will be loading from the same
+    /// memory location” (paper §4.2) — and it coalesces to one transaction.
+    pub fn broadcast(map: &AddressMap, region: RegionId, mask: WarpMask, index: u64) -> WarpAccess {
+        let r = map.region(region);
+        let mut addrs = [None; WARP_SIZE];
+        let a = r.addr(index);
+        for lane in mask.iter_active() {
+            addrs[lane] = Some(a);
+        }
+        WarpAccess {
+            addrs,
+            bytes_per_lane: r.stride,
+            space: r.space,
+        }
+    }
+
+    /// Number of active lanes in the request.
+    pub fn active_lanes(&self) -> usize {
+        self.addrs.iter().filter(|a| a.is_some()).count()
+    }
+}
+
+/// Result of coalescing one [`WarpAccess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceOutcome {
+    /// Number of memory transactions issued (distinct 128 B segments for
+    /// global memory; 1 for any shared-memory access under our bank model).
+    pub transactions: u64,
+    /// Bytes actually moved across the memory interface
+    /// (`transactions × segment_bytes` for global, useful bytes for shared).
+    pub bus_bytes: u64,
+    /// Useful bytes requested by lanes.
+    pub useful_bytes: u64,
+}
+
+/// The deduplicated list of 128-byte segments a warp access touches.
+/// (An access spanning a segment boundary touches both segments.)
+pub fn touched_segments(access: &WarpAccess, segment_bytes: u64) -> Vec<u64> {
+    let mut segs: Vec<u64> = Vec::with_capacity(WARP_SIZE);
+    for addr in access.addrs.iter().flatten() {
+        let first = addr / segment_bytes;
+        let last = (addr + access.bytes_per_lane.max(1) - 1) / segment_bytes;
+        for s in first..=last {
+            segs.push(s);
+        }
+    }
+    segs.sort_unstable();
+    segs.dedup();
+    segs
+}
+
+/// Coalesce a warp access into transactions, given the device segment size.
+///
+/// All touched segments across all lanes are deduplicated — the hardware
+/// groups accesses “into as few transactions as possible” (paper §2.2).
+pub fn coalesce(access: &WarpAccess, segment_bytes: u64) -> CoalesceOutcome {
+    let active = access.active_lanes() as u64;
+    let useful = active * access.bytes_per_lane;
+    if active == 0 {
+        return CoalesceOutcome {
+            transactions: 0,
+            bus_bytes: 0,
+            useful_bytes: 0,
+        };
+    }
+    match access.space {
+        MemSpace::Shared => CoalesceOutcome {
+            transactions: 1,
+            bus_bytes: useful,
+            useful_bytes: useful,
+        },
+        MemSpace::Global => {
+            let transactions = touched_segments(access, segment_bytes).len() as u64;
+            CoalesceOutcome {
+                transactions,
+                bus_bytes: transactions * segment_bytes,
+                useful_bytes: useful,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_with(name: &str, len: u64, stride: u64) -> (AddressMap, RegionId) {
+        let mut m = AddressMap::new();
+        let r = m.alloc(name, MemSpace::Global, len, stride);
+        (m, r)
+    }
+
+    #[test]
+    fn regions_are_segment_aligned_and_disjoint() {
+        let mut m = AddressMap::new();
+        let a = m.alloc("a", MemSpace::Global, 3, 20);
+        let b = m.alloc("b", MemSpace::Global, 5, 16);
+        let (ra, rb) = (m.region(a).clone(), m.region(b).clone());
+        assert_eq!(ra.base % 128, 0);
+        assert_eq!(rb.base % 128, 0);
+        assert!(rb.base >= ra.base + ra.bytes());
+    }
+
+    #[test]
+    fn shared_and_global_spaces_are_independent() {
+        let mut m = AddressMap::new();
+        let g = m.alloc("g", MemSpace::Global, 4, 32);
+        let s = m.alloc("s", MemSpace::Shared, 4, 32);
+        // Both may start at address 0 of their own space.
+        assert_eq!(m.region(g).base, 0);
+        assert_eq!(m.region(s).base, 0);
+        assert_eq!(m.shared_bytes(), 128);
+    }
+
+    #[test]
+    fn broadcast_coalesces_to_one_transaction() {
+        let (m, r) = map_with("nodes", 100, 16);
+        let acc = WarpAccess::broadcast(&m, r, WarpMask::ALL, 7);
+        let out = coalesce(&acc, 128);
+        assert_eq!(out.transactions, 1);
+        assert_eq!(out.useful_bytes, 32 * 16);
+    }
+
+    #[test]
+    fn contiguous_lanes_coalesce() {
+        // 32 lanes × 4-byte elements = 128 bytes = exactly one segment
+        // when the region is segment-aligned.
+        let (m, r) = map_with("vals", 64, 4);
+        let acc = WarpAccess::per_lane(&m, r, WarpMask::ALL, |l| l as u64);
+        assert_eq!(coalesce(&acc, 128).transactions, 1);
+    }
+
+    #[test]
+    fn scattered_lanes_serialize() {
+        // Each lane hits its own segment: 32 transactions.
+        let (m, r) = map_with("tree", 10_000, 16);
+        let acc = WarpAccess::per_lane(&m, r, WarpMask::ALL, |l| (l as u64) * 64);
+        assert_eq!(coalesce(&acc, 128).transactions, 32);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_segments() {
+        // One lane reading 64 bytes starting 96 bytes into a segment.
+        let (m, r) = map_with("wide", 100, 64);
+        let lane0 = WarpMask::lane(0);
+        // element 0 at base (aligned) → 1 segment; craft a straddle by
+        // using stride 64 and element index such that addr % 128 = 96:
+        // index-based addressing cannot produce that with stride 64 from an
+        // aligned base (offsets 0 or 64), so test the raw path instead.
+        let mut acc = WarpAccess::per_lane(&m, r, lane0, |_| 0);
+        acc.addrs[0] = Some(m.region(r).base + 96);
+        assert_eq!(coalesce(&acc, 128).transactions, 2);
+    }
+
+    #[test]
+    fn inactive_warp_costs_nothing() {
+        let (m, r) = map_with("x", 8, 8);
+        let acc = WarpAccess::per_lane(&m, r, WarpMask::NONE, |l| l as u64);
+        let out = coalesce(&acc, 128);
+        assert_eq!(out.transactions, 0);
+        assert_eq!(out.bus_bytes, 0);
+    }
+
+    #[test]
+    fn shared_access_is_single_transaction() {
+        let mut m = AddressMap::new();
+        let r = m.alloc("stk", MemSpace::Shared, 1024, 8);
+        let acc = WarpAccess::per_lane(&m, r, WarpMask::ALL, |l| (l as u64) * 17);
+        let out = coalesce(&acc, 128);
+        assert_eq!(out.transactions, 1);
+        assert_eq!(out.bus_bytes, 32 * 8);
+    }
+
+    #[test]
+    fn partial_mask_counts_only_active_lanes() {
+        let (m, r) = map_with("p", 64, 4);
+        let acc = WarpAccess::per_lane(&m, r, WarpMask::first(5), |l| l as u64);
+        assert_eq!(acc.active_lanes(), 5);
+        assert_eq!(coalesce(&acc, 128).useful_bytes, 20);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn region_bounds_checked_in_debug() {
+        let (m, r) = map_with("small", 4, 8);
+        let _ = m.region(r).addr(4);
+    }
+}

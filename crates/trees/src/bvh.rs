@@ -1,0 +1,262 @@
+//! Bounding-volume hierarchy over triangles.
+//!
+//! The paper's introduction motivates tree traversals with graphics:
+//! “various structures such as kd-trees and bounding volume hierarchies
+//! are used to capture the locations of objects in a scene, and then rays
+//! traverse the tree to determine which object(s) they intersect” — and
+//! much of the related work on ropes targets exactly BVH/kd ray traversal
+//! [5, 6, 21]. The BVH is not in the paper's benchmark set; it is included
+//! here as the canonical *downstream* workload for the transformations.
+//!
+//! Median-split over centroids on the widest axis, buckets in the leaves,
+//! left-biased preorder linearization like every other tree in this crate.
+
+use crate::geom::{Aabb, PointN};
+use crate::{NodeId, NO_NODE};
+
+/// A triangle, by its three vertices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: PointN<3>,
+    /// Second vertex.
+    pub b: PointN<3>,
+    /// Third vertex.
+    pub c: PointN<3>,
+}
+
+impl Triangle {
+    /// The triangle's bounding box.
+    pub fn bbox(&self) -> Aabb<3> {
+        Aabb::point(self.a).grow(self.b).grow(self.c)
+    }
+
+    /// Centroid.
+    pub fn centroid(&self) -> PointN<3> {
+        PointN(std::array::from_fn(|i| (self.a[i] + self.b[i] + self.c[i]) / 3.0))
+    }
+}
+
+/// A linearized BVH, structure-of-arrays; interior node `n` has its left
+/// child at `n + 1` and its right child at `right[n]`.
+#[derive(Debug, Clone)]
+pub struct Bvh {
+    /// Per-node bounding-box minimum corner.
+    pub bbox_lo: Vec<PointN<3>>,
+    /// Per-node bounding-box maximum corner.
+    pub bbox_hi: Vec<PointN<3>>,
+    /// Right child, or [`NO_NODE`] for leaves.
+    pub right: Vec<NodeId>,
+    /// First triangle of the leaf bucket.
+    pub first: Vec<u32>,
+    /// Bucket length; 0 for interior nodes.
+    pub count: Vec<u32>,
+    /// Triangles, reordered so leaf buckets are contiguous.
+    pub triangles: Vec<Triangle>,
+    /// `perm[i]` = original index of `triangles[i]`.
+    pub perm: Vec<u32>,
+    /// Maximum bucket size.
+    pub leaf_size: usize,
+}
+
+impl Bvh {
+    /// Build over `tris` with buckets of at most `leaf_size`.
+    ///
+    /// # Panics
+    /// Panics on empty input, zero `leaf_size`, or non-finite vertices.
+    pub fn build(tris: &[Triangle], leaf_size: usize) -> Self {
+        assert!(!tris.is_empty(), "BVH over zero triangles");
+        assert!(leaf_size > 0, "leaf_size must be positive");
+        assert!(
+            tris.iter().all(|t| t.a.is_finite() && t.b.is_finite() && t.c.is_finite()),
+            "BVH input contains non-finite vertices"
+        );
+        let n = tris.len();
+        let centroids: Vec<PointN<3>> = tris.iter().map(Triangle::centroid).collect();
+        let mut bvh = Bvh {
+            bbox_lo: Vec::new(),
+            bbox_hi: Vec::new(),
+            right: Vec::new(),
+            first: Vec::new(),
+            count: Vec::new(),
+            triangles: tris.to_vec(),
+            perm: (0..n as u32).collect(),
+            leaf_size,
+        };
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        bvh.build_rec(tris, &centroids, &mut idx, 0);
+        bvh.triangles = idx.iter().map(|&i| tris[i as usize]).collect();
+        bvh.perm = idx;
+        bvh
+    }
+
+    fn build_rec(&mut self, tris: &[Triangle], cents: &[PointN<3>], idx: &mut [u32], offset: u32) -> NodeId {
+        let id = self.bbox_lo.len() as NodeId;
+        let bbox = idx
+            .iter()
+            .fold(Aabb::empty(), |b, &i| b.union(&tris[i as usize].bbox()));
+        self.bbox_lo.push(bbox.lo);
+        self.bbox_hi.push(bbox.hi);
+        self.right.push(NO_NODE);
+        self.first.push(offset);
+        self.count.push(0);
+
+        if idx.len() <= self.leaf_size {
+            self.count[id as usize] = idx.len() as u32;
+            return id;
+        }
+
+        // Median split of centroids along the centroid-bbox's widest axis.
+        let cb = idx.iter().fold(Aabb::empty(), |b, &i| b.grow(cents[i as usize]));
+        let axis = cb.widest_axis();
+        let mid = idx.len() / 2;
+        idx.select_nth_unstable_by(mid, |&a, &b| {
+            cents[a as usize][axis].total_cmp(&cents[b as usize][axis])
+        });
+
+        let (l, r) = idx.split_at_mut(mid);
+        let left = self.build_rec(tris, cents, l, offset);
+        debug_assert_eq!(left, id + 1, "left-biased preorder violated");
+        let right = self.build_rec(tris, cents, r, offset + mid as u32);
+        self.right[id as usize] = right;
+        id
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.bbox_lo.len()
+    }
+
+    /// Is `n` a leaf?
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.right[n as usize] == NO_NODE
+    }
+
+    /// Left child of interior node `n`.
+    pub fn left(&self, n: NodeId) -> NodeId {
+        n + 1
+    }
+
+    /// Triangles in leaf `n`'s bucket, with their position in the
+    /// reordered array (so hits can be reported by triangle id).
+    pub fn leaf_triangles(&self, n: NodeId) -> (&[Triangle], u32) {
+        let f = self.first[n as usize] as usize;
+        let c = self.count[n as usize] as usize;
+        (&self.triangles[f..f + c], f as u32)
+    }
+
+    /// Maximum depth (root = 0).
+    pub fn depth(&self) -> usize {
+        fn rec(t: &Bvh, n: NodeId, d: usize) -> usize {
+            if t.is_leaf(n) {
+                d
+            } else {
+                rec(t, t.left(n), d + 1).max(rec(t, t.right[n as usize], d + 1))
+            }
+        }
+        rec(self, 0, 0)
+    }
+
+    /// Structural invariants, for tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut covered = 0usize;
+        let mut stack = vec![0 as NodeId];
+        while let Some(id) = stack.pop() {
+            let i = id as usize;
+            let bbox = Aabb { lo: self.bbox_lo[i], hi: self.bbox_hi[i] };
+            if !bbox.is_valid() {
+                return Err(format!("node {id} invalid bbox"));
+            }
+            if self.is_leaf(id) {
+                let (tris, _) = self.leaf_triangles(id);
+                if tris.is_empty() && self.n_nodes() > 1 {
+                    return Err(format!("leaf {id} empty"));
+                }
+                for t in tris {
+                    let tb = t.bbox();
+                    if bbox.union(&tb) != bbox {
+                        return Err(format!("leaf {id} bbox does not contain its triangles"));
+                    }
+                }
+                covered += tris.len();
+            } else {
+                for c in [self.left(id), self.right[i]] {
+                    let cb = Aabb {
+                        lo: self.bbox_lo[c as usize],
+                        hi: self.bbox_hi[c as usize],
+                    };
+                    if bbox.union(&cb) != bbox {
+                        return Err(format!("child {c} of {id} escapes parent bbox"));
+                    }
+                    stack.push(c);
+                }
+            }
+        }
+        if covered != self.triangles.len() {
+            return Err(format!("leaves cover {covered} of {} triangles", self.triangles.len()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tris(n: usize, seed: u64) -> Vec<Triangle> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let base = PointN(std::array::from_fn(|_| rng.gen_range(-10.0f32..10.0)));
+                let e1 = PointN(std::array::from_fn(|_| rng.gen_range(-0.5f32..0.5)));
+                let e2 = PointN(std::array::from_fn(|_| rng.gen_range(-0.5f32..0.5)));
+                Triangle {
+                    a: base,
+                    b: base.add_scaled(&e1, 1.0),
+                    c: base.add_scaled(&e2, 1.0),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bvh_validates() {
+        let tris = random_tris(500, 91);
+        let bvh = Bvh::build(&tris, 4);
+        bvh.validate().unwrap();
+        assert!(bvh.n_nodes() > 100);
+    }
+
+    #[test]
+    fn single_triangle() {
+        let tris = random_tris(1, 92);
+        let bvh = Bvh::build(&tris, 4);
+        assert_eq!(bvh.n_nodes(), 1);
+        bvh.validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_coincident_triangles() {
+        let t = random_tris(1, 93)[0];
+        let tris = vec![t; 60];
+        let bvh = Bvh::build(&tris, 4);
+        bvh.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero triangles")]
+    fn empty_rejected() {
+        let _ = Bvh::build(&[], 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bvh_invariants(n in 1usize..200, leaf in 1usize..12, seed in 0u64..200) {
+            let tris = random_tris(n, seed);
+            let bvh = Bvh::build(&tris, leaf);
+            prop_assert!(bvh.validate().is_ok(), "{:?}", bvh.validate());
+        }
+    }
+}

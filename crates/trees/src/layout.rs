@@ -1,0 +1,196 @@
+//! GPU memory layout of linearized trees: hot/cold field splitting.
+//!
+//! Paper §5.2: *“We have found that the optimal way to organize nodes is to
+//! split the original structure into sets of fields based on usage patterns
+//! in the traversal. For example, in our transformed Barnes-Hut kernel we
+//! load a partial node that only contains the position vector of the
+//! current node and its type (line 9). If the termination condition is not
+//! met then we continue with the traversal and load another partial node
+//! (line 11) that contains the indices of the nodes' children.”*
+//!
+//! Every traversal executor loads the **hot fragment** (`nodes0`) at each
+//! visit and the **cold fragment** (`nodes1`) only when it actually
+//! recurses. [`NodeLayout::Monolithic`] is the ablation baseline: one fat
+//! record holding everything, loaded whole at every visit.
+
+use serde::{Deserialize, Serialize};
+
+use gts_sim::{AddressMap, MemSpace, RegionId};
+
+/// How node records are laid out in simulated global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeLayout {
+    /// One record per node containing every field; each visit loads it all.
+    Monolithic,
+    /// Hot fields (`nodes0`: truncation-test data + type) separate from
+    /// cold fields (`nodes1`: children indices, bucket ranges); visits load
+    /// `nodes0`, only non-truncated visits load `nodes1`. The paper's
+    /// chosen layout.
+    HotColdSplit,
+}
+
+/// Byte sizes of a tree's node fragments and leaf payload elements.
+///
+/// These are what the *GPU copy* of the tree would occupy — computed from
+/// field counts, not from Rust struct sizes (the host-side SoA layout is a
+/// build-time convenience and is not what the kernel addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeBytes {
+    /// Hot fragment bytes per node.
+    pub hot: u64,
+    /// Cold fragment bytes per node.
+    pub cold: u64,
+    /// Bytes per leaf-bucket element (a point, or a body record).
+    pub leaf_elem: u64,
+}
+
+impl NodeBytes {
+    /// kd-tree fragments for `D`-dimensional points: hot = bbox (2·D·4) +
+    /// split value + packed split-dim/leaf flag; cold = right-child index +
+    /// bucket first/count (left child is implicit, `n + 1`).
+    pub fn kd(d: usize) -> NodeBytes {
+        NodeBytes {
+            hot: (2 * d as u64) * 4 + 4 + 4,
+            cold: 4 + 4 + 4,
+            leaf_elem: d as u64 * 4,
+        }
+    }
+
+    /// Oct-tree fragments: hot = center of mass (12) + mass (4) + cell size
+    /// (4) + type (4), matching Figure 9b's `nodes0`; cold = eight child
+    /// indices (32) + bucket first/count, Figure 9b's `nodes1`.
+    pub fn oct() -> NodeBytes {
+        NodeBytes {
+            hot: 12 + 4 + 4 + 4,
+            cold: 32 + 8,
+            leaf_elem: 16, // position + mass
+        }
+    }
+
+    /// VP-tree fragments: hot = vantage point (D·4) + threshold + type;
+    /// cold = outer-child index + bucket first/count.
+    pub fn vp(d: usize) -> NodeBytes {
+        NodeBytes {
+            hot: d as u64 * 4 + 4 + 4,
+            cold: 4 + 4 + 4,
+            leaf_elem: d as u64 * 4,
+        }
+    }
+
+    /// Bytes loaded at a visit that truncates, under `layout`.
+    pub fn visit_bytes(&self, layout: NodeLayout) -> u64 {
+        match layout {
+            NodeLayout::Monolithic => self.hot + self.cold,
+            NodeLayout::HotColdSplit => self.hot,
+        }
+    }
+}
+
+/// The simulated-memory regions of one tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeRegions {
+    /// Hot node fragments (or the whole record when monolithic).
+    pub nodes0: RegionId,
+    /// Cold node fragments (`None` when monolithic — everything came in
+    /// with the `nodes0` load).
+    pub nodes1: Option<RegionId>,
+    /// Leaf-bucket payload elements.
+    pub leaf_elems: RegionId,
+    /// The layout these regions encode.
+    pub layout: NodeLayout,
+}
+
+impl TreeRegions {
+    /// Allocate regions for a tree of `n_nodes` nodes and `n_leaf_elems`
+    /// leaf payload elements with fragment sizes `bytes`, under `layout`.
+    /// `prefix` names the regions ("kd", "oct", ...).
+    pub fn alloc(
+        map: &mut AddressMap,
+        prefix: &str,
+        bytes: NodeBytes,
+        layout: NodeLayout,
+        n_nodes: u64,
+        n_leaf_elems: u64,
+    ) -> TreeRegions {
+        match layout {
+            NodeLayout::Monolithic => {
+                let nodes0 = map.alloc(
+                    format!("{prefix}.nodes"),
+                    MemSpace::Global,
+                    n_nodes,
+                    bytes.hot + bytes.cold,
+                );
+                let leaf_elems = map.alloc(
+                    format!("{prefix}.leaf_elems"),
+                    MemSpace::Global,
+                    n_leaf_elems,
+                    bytes.leaf_elem,
+                );
+                TreeRegions {
+                    nodes0,
+                    nodes1: None,
+                    leaf_elems,
+                    layout,
+                }
+            }
+            NodeLayout::HotColdSplit => {
+                let nodes0 = map.alloc(format!("{prefix}.nodes0"), MemSpace::Global, n_nodes, bytes.hot);
+                let nodes1 = map.alloc(format!("{prefix}.nodes1"), MemSpace::Global, n_nodes, bytes.cold);
+                let leaf_elems = map.alloc(
+                    format!("{prefix}.leaf_elems"),
+                    MemSpace::Global,
+                    n_leaf_elems,
+                    bytes.leaf_elem,
+                );
+                TreeRegions {
+                    nodes0,
+                    nodes1: Some(nodes1),
+                    leaf_elems,
+                    layout,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kd_fragment_sizes() {
+        let b = NodeBytes::kd(7);
+        assert_eq!(b.hot, 7 * 8 + 8); // 64
+        assert_eq!(b.cold, 12);
+        assert_eq!(b.leaf_elem, 28);
+        assert_eq!(b.visit_bytes(NodeLayout::HotColdSplit), 64);
+        assert_eq!(b.visit_bytes(NodeLayout::Monolithic), 76);
+    }
+
+    #[test]
+    fn oct_fragments_match_figure_9() {
+        let b = NodeBytes::oct();
+        // nodes0: position vector + type (+mass/size), one 24 B record —
+        // under the 128 B segment, five hot nodes share a segment.
+        assert_eq!(b.hot, 24);
+        assert_eq!(b.cold, 40);
+    }
+
+    #[test]
+    fn hot_cold_alloc_creates_two_node_regions() {
+        let mut map = AddressMap::new();
+        let r = TreeRegions::alloc(&mut map, "kd", NodeBytes::kd(2), NodeLayout::HotColdSplit, 100, 500);
+        assert!(r.nodes1.is_some());
+        let names: Vec<&str> = map.regions().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["kd.nodes0", "kd.nodes1", "kd.leaf_elems"]);
+        assert_eq!(map.region(r.nodes0).stride, NodeBytes::kd(2).hot);
+    }
+
+    #[test]
+    fn monolithic_alloc_folds_fragments() {
+        let mut map = AddressMap::new();
+        let r = TreeRegions::alloc(&mut map, "oct", NodeBytes::oct(), NodeLayout::Monolithic, 10, 10);
+        assert!(r.nodes1.is_none());
+        assert_eq!(map.region(r.nodes0).stride, 64);
+    }
+}

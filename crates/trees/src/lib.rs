@@ -1,0 +1,47 @@
+//! # gts-trees — the tree substrates traversed by every benchmark
+//!
+//! The paper's five benchmarks traverse four different spatial trees:
+//!
+//! * a **median-split kd-tree** ([`kdtree`]) — Point Correlation and
+//!   k-Nearest Neighbor,
+//! * a **midpoint-split kd-tree variant** (same module, different
+//!   [`kdtree::SplitPolicy`]) — the paper's Nearest Neighbor benchmark is
+//!   “a variation of nearest neighbor search with a different
+//!   implementation of the kd-tree structure” (§6.1.2),
+//! * a **Barnes-Hut oct-tree** ([`octree`]) with centers of mass,
+//! * a **vantage-point tree** ([`vptree`]) after Yianilos \[27\].
+//!
+//! All builders emit nodes directly in **left-biased DFS (preorder)
+//! linearization** — the order the paper copies trees to the GPU in (§5.2)
+//! — as index-based structure-of-arrays. [`layout`] maps those arrays onto
+//! the simulator's address space, including the **hot/cold field split**
+//! (`nodes0`/`nodes1`) the paper found optimal: the hot fragment holds what
+//! every visit reads (position/bounds + node type), the cold fragment holds
+//! what only non-truncated visits read (children indices, leaf buckets).
+//!
+//! [`geom`] provides the `f32` point/box types shared by all crates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bvh;
+pub mod geom;
+pub mod kdtree;
+pub mod layout;
+pub mod linearize;
+pub mod octree;
+pub mod vptree;
+
+pub use bvh::{Bvh, Triangle};
+pub use geom::{Aabb, PointN};
+pub use kdtree::{KdTree, SplitPolicy};
+pub use layout::{NodeLayout, TreeRegions};
+pub use linearize::check_left_biased;
+pub use octree::Octree;
+pub use vptree::VpTree;
+
+/// Node identifier within a linearized tree. Index 0 is always the root.
+pub type NodeId = u32;
+
+/// Sentinel for "no child".
+pub const NO_NODE: NodeId = u32::MAX;

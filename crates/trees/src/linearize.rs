@@ -1,0 +1,145 @@
+//! Left-biased linearization checking.
+//!
+//! Paper §5.2: before the traversal kernel launches, *“an identical
+//! linearized copy of the tree is constructed using a left-biased
+//! linearization”*. Every builder in this crate emits nodes directly in
+//! that order — node ids are a preorder enumeration where each interior
+//! node's **first child is `id + 1`** — because the GPU executors' layout
+//! arithmetic (`gts-sim` regions indexed by node id) depends on it, and
+//! because preorder ids make sorted traversals touch contiguous node
+//! ranges (coalescing-friendly).
+//!
+//! [`check_left_biased`] verifies the invariant for *any* tree shape given
+//! its children function — use it when adding a new tree substrate.
+
+use crate::NodeId;
+
+/// Verify that node ids `0..n_nodes` form a left-biased preorder: the DFS
+/// from the root that always takes children in order assigns exactly the
+/// ids `0, 1, 2, …`, and each node's first child is its own id + 1.
+pub fn check_left_biased(
+    n_nodes: usize,
+    children_of: impl Fn(NodeId) -> Vec<NodeId>,
+) -> Result<(), String> {
+    if n_nodes == 0 {
+        return Err("empty tree".into());
+    }
+    let mut next_expected: NodeId = 0;
+    let mut stack: Vec<NodeId> = vec![0];
+    let mut visited = 0usize;
+    while let Some(id) = stack.pop() {
+        if id != next_expected {
+            return Err(format!(
+                "preorder violated: visited node {id} where {next_expected} was expected"
+            ));
+        }
+        next_expected += 1;
+        visited += 1;
+        let kids = children_of(id);
+        if let Some(&first) = kids.first() {
+            if first != id + 1 {
+                return Err(format!("node {id}: first child is {first}, not {}", id + 1));
+            }
+        }
+        for &k in kids.iter().rev() {
+            if k as usize >= n_nodes {
+                return Err(format!("node {id}: child {k} out of range"));
+            }
+            stack.push(k);
+        }
+    }
+    if visited != n_nodes {
+        return Err(format!("DFS reached {visited} of {n_nodes} nodes"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bvh, KdTree, Octree, PointN, SplitPolicy, VpTree, NO_NODE};
+    use rand::{Rng, SeedableRng};
+
+    fn pts(n: usize, seed: u64) -> Vec<PointN<3>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PointN(std::array::from_fn(|_| rng.gen_range(-5.0f32..5.0))))
+            .collect()
+    }
+
+    #[test]
+    fn kd_trees_are_left_biased() {
+        for policy in [SplitPolicy::MedianCycle, SplitPolicy::MidpointWidest] {
+            let t = KdTree::build(&pts(300, 1), 4, policy);
+            check_left_biased(t.n_nodes(), |n| {
+                if t.is_leaf(n) {
+                    vec![]
+                } else {
+                    vec![t.left(n), t.right[n as usize]]
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn octree_is_left_biased() {
+        let p = pts(300, 2);
+        let mass = vec![1.0f32; 300];
+        let t = Octree::build(&p, &mass, 4);
+        check_left_biased(t.n_nodes(), |n| t.present_children(n).collect()).unwrap();
+    }
+
+    #[test]
+    fn vp_tree_is_left_biased() {
+        let t = VpTree::build(&pts(300, 3), 4);
+        check_left_biased(t.n_nodes(), |n| {
+            if t.is_leaf(n) {
+                vec![]
+            } else {
+                vec![t.inner(n), t.outer[n as usize]]
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn bvh_is_left_biased() {
+        let p = pts(200, 4);
+        let tris: Vec<crate::bvh::Triangle> = p
+            .windows(3)
+            .map(|w| crate::bvh::Triangle { a: w[0], b: w[1], c: w[2] })
+            .collect();
+        let t = Bvh::build(&tris, 4);
+        check_left_biased(t.n_nodes(), |n| {
+            if t.is_leaf(n) {
+                vec![]
+            } else {
+                vec![t.left(n), t.right[n as usize]]
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn detects_right_biased_tree() {
+        // 3 nodes where the *right* child is id+1: wrong bias.
+        let children = |n: NodeId| -> Vec<NodeId> {
+            if n == 0 {
+                vec![2, 1] // first child is 2, not 1
+            } else {
+                vec![]
+            }
+        };
+        let err = check_left_biased(3, children).unwrap_err();
+        assert!(err.contains("first child is 2"), "{err}");
+        let _ = NO_NODE;
+    }
+
+    #[test]
+    fn detects_gap_in_preorder() {
+        // Node ids skip 1: 0 → [2], 2 → [].
+        let children = |n: NodeId| -> Vec<NodeId> { if n == 0 { vec![2] } else { vec![] } };
+        assert!(check_left_biased(3, children).is_err());
+    }
+}

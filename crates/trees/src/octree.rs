@@ -1,0 +1,365 @@
+//! Barnes-Hut oct-tree over 3-d bodies.
+//!
+//! The tree is built over cubic cells: the root cell is the smallest cube
+//! containing all bodies; each interior node owns up to eight octant
+//! children (absent octants are [`NO_NODE`]). Interior nodes carry their
+//! subtree's total mass and center of mass, which is what the Barnes-Hut
+//! force traversal reads at every visit (the `far_enough` test against
+//! `dsq`, paper Figure 9a). Nodes are emitted in left-biased preorder:
+//! child octants are visited in index order 0..8 and the first present
+//! child of node `n` is node `n + 1` — the canonical traversal order that
+//! makes Barnes-Hut an *unguided* algorithm (§3.2.1).
+
+
+use crate::geom::PointN;
+use crate::{NodeId, NO_NODE};
+
+/// A linearized Barnes-Hut oct-tree, structure-of-arrays.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    /// Center of mass of the subtree.
+    pub com: Vec<PointN<3>>,
+    /// Total mass of the subtree.
+    pub mass: Vec<f32>,
+    /// Side length of the node's cubic cell.
+    pub size: Vec<f32>,
+    /// Eight octant children ([`NO_NODE`] where empty); leaves have none.
+    pub children: Vec<[NodeId; 8]>,
+    /// First body of the leaf bucket (leaves only).
+    pub first: Vec<u32>,
+    /// Bucket length; 0 for interior nodes.
+    pub count: Vec<u32>,
+    /// Body positions, reordered so leaf buckets are contiguous.
+    pub bodies: Vec<PointN<3>>,
+    /// Body masses in the same order as `bodies`.
+    pub masses: Vec<f32>,
+    /// `perm[i]` = original index of `bodies[i]`.
+    pub perm: Vec<u32>,
+    /// Maximum bucket size.
+    pub leaf_size: usize,
+}
+
+impl Octree {
+    /// Build over `positions` with per-body `masses`.
+    ///
+    /// # Panics
+    /// Panics on empty input, mismatched lengths, zero `leaf_size`, or
+    /// non-finite coordinates.
+    pub fn build(positions: &[PointN<3>], masses: &[f32], leaf_size: usize) -> Self {
+        assert!(!positions.is_empty(), "oct-tree over zero bodies");
+        assert_eq!(positions.len(), masses.len(), "positions/masses length mismatch");
+        assert!(leaf_size > 0, "leaf_size must be positive");
+        assert!(
+            positions.iter().all(PointN::is_finite),
+            "oct-tree input contains non-finite coordinates"
+        );
+
+        // Root cube: center of the bounding box, side = max extent (plus a
+        // hair so boundary bodies land strictly inside an octant).
+        let bbox = crate::geom::Aabb::of_points(positions);
+        let center = bbox.center();
+        let side = (0..3)
+            .map(|a| bbox.extent(a))
+            .fold(0.0f32, f32::max)
+            .max(f32::MIN_POSITIVE)
+            * 1.0001;
+
+        let mut tree = Octree {
+            com: Vec::new(),
+            mass: Vec::new(),
+            size: Vec::new(),
+            children: Vec::new(),
+            first: Vec::new(),
+            count: Vec::new(),
+            bodies: positions.to_vec(),
+            masses: masses.to_vec(),
+            perm: (0..positions.len() as u32).collect(),
+            leaf_size,
+        };
+        let mut idx: Vec<u32> = (0..positions.len() as u32).collect();
+        tree.build_rec(positions, masses, &mut idx, 0, center, side, 0);
+        tree.bodies = idx.iter().map(|&i| positions[i as usize]).collect();
+        tree.masses = idx.iter().map(|&i| masses[i as usize]).collect();
+        tree.perm = idx;
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_rec(
+        &mut self,
+        pos: &[PointN<3>],
+        mass: &[f32],
+        idx: &mut [u32],
+        offset: u32,
+        center: PointN<3>,
+        side: f32,
+        depth: usize,
+    ) -> NodeId {
+        let id = self.com.len() as NodeId;
+        // Aggregate mass and center of mass over the slice.
+        let mut m_total = 0.0f64;
+        let mut c = [0.0f64; 3];
+        for &i in idx.iter() {
+            let w = mass[i as usize] as f64;
+            m_total += w;
+            for a in 0..3 {
+                c[a] += pos[i as usize][a] as f64 * w;
+            }
+        }
+        let com = if m_total > 0.0 {
+            PointN([
+                (c[0] / m_total) as f32,
+                (c[1] / m_total) as f32,
+                (c[2] / m_total) as f32,
+            ])
+        } else {
+            center
+        };
+        self.com.push(com);
+        self.mass.push(m_total as f32);
+        self.size.push(side);
+        self.children.push([NO_NODE; 8]);
+        self.first.push(offset);
+        self.count.push(0);
+
+        // Bodies at identical positions cannot be separated by subdivision;
+        // the depth cap turns pathological spots into (oversized) leaves,
+        // matching production BH codes.
+        if idx.len() <= self.leaf_size || depth >= 64 {
+            self.count[id as usize] = idx.len() as u32;
+            return id;
+        }
+
+        // Partition the slice into the eight octants around `center`.
+        let octant = |p: &PointN<3>| -> usize {
+            (usize::from(p[0] >= center[0]))
+                | (usize::from(p[1] >= center[1]) << 1)
+                | (usize::from(p[2] >= center[2]) << 2)
+        };
+        // Counting sort over 8 buckets, stable enough for our purposes.
+        let mut counts = [0usize; 8];
+        for &i in idx.iter() {
+            counts[octant(&pos[i as usize])] += 1;
+        }
+        let mut starts = [0usize; 8];
+        let mut acc = 0;
+        for o in 0..8 {
+            starts[o] = acc;
+            acc += counts[o];
+        }
+        let mut scratch = vec![0u32; idx.len()];
+        let mut cursors = starts;
+        for &i in idx.iter() {
+            let o = octant(&pos[i as usize]);
+            scratch[cursors[o]] = i;
+            cursors[o] += 1;
+        }
+        idx.copy_from_slice(&scratch);
+
+        let half = side * 0.5;
+        let quarter = side * 0.25;
+        for o in 0..8 {
+            if counts[o] == 0 {
+                continue;
+            }
+            let child_center = PointN([
+                center[0] + if o & 1 != 0 { quarter } else { -quarter },
+                center[1] + if o & 2 != 0 { quarter } else { -quarter },
+                center[2] + if o & 4 != 0 { quarter } else { -quarter },
+            ]);
+            let child = self.build_rec(
+                pos,
+                mass,
+                &mut idx[starts[o]..starts[o] + counts[o]],
+                offset + starts[o] as u32,
+                child_center,
+                half,
+                depth + 1,
+            );
+            self.children[id as usize][o] = child;
+        }
+        id
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.com.len()
+    }
+
+    /// Number of bodies.
+    pub fn n_bodies(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Is `n` a leaf?
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.count[n as usize] > 0 || self.children[n as usize] == [NO_NODE; 8]
+    }
+
+    /// Present children of `n`, in canonical octant order.
+    pub fn present_children(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children[n as usize]
+            .into_iter()
+            .filter(|&c| c != NO_NODE)
+    }
+
+    /// The bodies of leaf `n`'s bucket, with their masses.
+    pub fn leaf_bodies(&self, n: NodeId) -> (&[PointN<3>], &[f32]) {
+        let f = self.first[n as usize] as usize;
+        let c = self.count[n as usize] as usize;
+        (&self.bodies[f..f + c], &self.masses[f..f + c])
+    }
+
+    /// Structural invariant check for tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_nodes();
+        let mut stack = vec![0 as NodeId];
+        let mut visited = vec![false; n];
+        let mut covered = 0usize;
+        while let Some(id) = stack.pop() {
+            let i = id as usize;
+            if i >= n {
+                return Err(format!("node {id} out of range"));
+            }
+            if visited[i] {
+                return Err(format!("node {id} reachable twice"));
+            }
+            visited[i] = true;
+            if self.mass[i] < 0.0 || !self.mass[i].is_finite() {
+                return Err(format!("node {id} has bad mass {}", self.mass[i]));
+            }
+            if self.is_leaf(id) {
+                covered += self.count[i] as usize;
+            } else {
+                // Child masses must sum to this node's mass.
+                let child_mass: f32 = self.present_children(id).map(|c| self.mass[c as usize]).sum();
+                if (child_mass - self.mass[i]).abs() > 1e-3 * self.mass[i].max(1.0) {
+                    return Err(format!(
+                        "node {id} mass {} != children sum {child_mass}",
+                        self.mass[i]
+                    ));
+                }
+                // Preorder: first present child is id + 1.
+                if let Some(first_child) = self.present_children(id).next() {
+                    if first_child != id + 1 {
+                        return Err(format!("node {id} first child {first_child} != {}", id + 1));
+                    }
+                }
+                for c in self.present_children(id) {
+                    if self.size[c as usize] > self.size[i] * 0.5 + 1e-6 {
+                        return Err(format!("child {c} cell not halved"));
+                    }
+                    stack.push(c);
+                }
+            }
+        }
+        if covered != self.n_bodies() {
+            return Err(format!("leaves cover {covered} of {} bodies", self.n_bodies()));
+        }
+        if !visited.iter().all(|&v| v) {
+            return Err("unreachable nodes".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bodies(n: usize, seed: u64) -> (Vec<PointN<3>>, Vec<f32>) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let pos = (0..n)
+            .map(|_| PointN(std::array::from_fn(|_| rng.gen_range(-10.0..10.0))))
+            .collect();
+        let mass = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
+        (pos, mass)
+    }
+
+    #[test]
+    fn single_body() {
+        let t = Octree::build(&[PointN([1.0, 2.0, 3.0])], &[5.0], 4);
+        assert_eq!(t.n_nodes(), 1);
+        assert!(t.is_leaf(0));
+        assert_eq!(t.mass[0], 5.0);
+        assert_eq!(t.com[0], PointN([1.0, 2.0, 3.0]));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn mass_conservation() {
+        let (pos, mass) = random_bodies(1000, 7);
+        let t = Octree::build(&pos, &mass, 8);
+        let total: f32 = mass.iter().sum();
+        assert!((t.mass[0] - total).abs() < 1e-2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn com_matches_direct_computation() {
+        let pos = vec![PointN([0.0, 0.0, 0.0]), PointN([2.0, 0.0, 0.0])];
+        let mass = vec![1.0, 3.0];
+        let t = Octree::build(&pos, &mass, 1);
+        assert!((t.com[0][0] - 1.5).abs() < 1e-6);
+        assert_eq!(t.mass[0], 4.0);
+    }
+
+    #[test]
+    fn coincident_bodies_terminate() {
+        let pos = vec![PointN([1.0, 1.0, 1.0]); 50];
+        let mass = vec![1.0; 50];
+        let t = Octree::build(&pos, &mass, 4);
+        t.validate().unwrap();
+        assert_eq!(t.n_bodies(), 50);
+    }
+
+    #[test]
+    fn children_in_octant_order_and_preorder() {
+        let (pos, mass) = random_bodies(200, 8);
+        let t = Octree::build(&pos, &mass, 4);
+        t.validate().unwrap();
+        for nid in 0..t.n_nodes() as NodeId {
+            if !t.is_leaf(nid) {
+                let kids: Vec<NodeId> = t.present_children(nid).collect();
+                // Present children have strictly increasing ids (preorder).
+                for w in kids.windows(2) {
+                    assert!(w[0] < w[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_buckets_partition_bodies() {
+        let (pos, mass) = random_bodies(300, 9);
+        let t = Octree::build(&pos, &mass, 8);
+        let mut covered = vec![false; 300];
+        for nid in 0..t.n_nodes() as NodeId {
+            if t.is_leaf(nid) {
+                let f = t.first[nid as usize] as usize;
+                for c in covered.iter_mut().skip(f).take(t.count[nid as usize] as usize) {
+                    assert!(!*c);
+                    *c = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bodies")]
+    fn empty_rejected() {
+        let _ = Octree::build(&[], &[], 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_octree_invariants(n in 1usize..300, leaf in 1usize..16, seed in 0u64..500) {
+            let (pos, mass) = random_bodies(n, seed);
+            let t = Octree::build(&pos, &mass, leaf);
+            prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+        }
+    }
+}

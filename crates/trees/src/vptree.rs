@@ -1,0 +1,307 @@
+//! Vantage-point tree (Yianilos, SODA '93 — the paper's reference \[27\]).
+//!
+//! Each interior node holds a *vantage point* and a *threshold radius*
+//! `t` — the median distance from the vantage to the node's points. Points
+//! with `dist ≤ t` go to the **inner** child, the rest to the **outer**
+//! child. Nearest-neighbor search prunes a child when the query's distance
+//! to the vantage proves the child's shell cannot contain a closer point;
+//! which child is searched *first* depends on the query, making VP a
+//! guided, two-call-set algorithm (paper §6.1.2).
+//!
+//! Preorder, inner-child-first linearization: `inner(n) == n + 1`.
+
+
+use crate::geom::PointN;
+use crate::{NodeId, NO_NODE};
+
+/// A linearized vantage-point tree, structure-of-arrays.
+#[derive(Debug, Clone)]
+pub struct VpTree<const D: usize> {
+    /// Vantage point of each node (for leaves: unused placeholder).
+    pub vantage: Vec<PointN<D>>,
+    /// Median-distance threshold (interior nodes).
+    pub threshold: Vec<f32>,
+    /// Outer child, or [`NO_NODE`] for leaves. Inner child is `n + 1`.
+    pub outer: Vec<NodeId>,
+    /// First point of the leaf bucket (leaves only).
+    pub first: Vec<u32>,
+    /// Bucket length; 0 for interior nodes.
+    pub count: Vec<u32>,
+    /// Points reordered so leaf buckets are contiguous. The vantage point
+    /// of every interior node is also stored here (it stays in its
+    /// subtree's point set, inner side).
+    pub points: Vec<PointN<D>>,
+    /// `perm[i]` = original index of `points[i]`.
+    pub perm: Vec<u32>,
+    /// Maximum bucket size.
+    pub leaf_size: usize,
+}
+
+impl<const D: usize> VpTree<D> {
+    /// Build over `pts` with buckets of at most `leaf_size`.
+    ///
+    /// The vantage point of each node is chosen deterministically as the
+    /// point farthest from the subtree's centroid — a cheap, seedless
+    /// stand-in for Yianilos' sampled selection that gives well-spread
+    /// shells on clustered data.
+    ///
+    /// # Panics
+    /// Panics on empty input, zero `leaf_size`, or non-finite coordinates.
+    pub fn build(pts: &[PointN<D>], leaf_size: usize) -> Self {
+        assert!(!pts.is_empty(), "vp-tree over zero points");
+        assert!(leaf_size > 0, "leaf_size must be positive");
+        assert!(
+            pts.iter().all(PointN::is_finite),
+            "vp-tree input contains non-finite coordinates"
+        );
+        let n = pts.len();
+        let mut tree = VpTree {
+            vantage: Vec::new(),
+            threshold: Vec::new(),
+            outer: Vec::new(),
+            first: Vec::new(),
+            count: Vec::new(),
+            points: pts.to_vec(),
+            perm: (0..n as u32).collect(),
+            leaf_size,
+        };
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        tree.build_rec(pts, &mut idx, 0, 0);
+        tree.points = idx.iter().map(|&i| pts[i as usize]).collect();
+        tree.perm = idx;
+        tree
+    }
+
+    fn build_rec(&mut self, pts: &[PointN<D>], idx: &mut [u32], offset: u32, depth: usize) -> NodeId {
+        let id = self.vantage.len() as NodeId;
+        self.vantage.push(PointN::zero());
+        self.threshold.push(0.0);
+        self.outer.push(NO_NODE);
+        self.first.push(offset);
+        self.count.push(0);
+
+        // Depth cap guards the all-coincident case, where every distance is
+        // zero and the median split cannot separate points.
+        if idx.len() <= self.leaf_size || depth >= 64 {
+            self.count[id as usize] = idx.len() as u32;
+            return id;
+        }
+
+        // Vantage = farthest point from centroid.
+        let mut centroid = [0.0f64; D];
+        for &i in idx.iter() {
+            for a in 0..D {
+                centroid[a] += pts[i as usize][a] as f64;
+            }
+        }
+        let inv = 1.0 / idx.len() as f64;
+        let centroid = PointN(std::array::from_fn(|a| (centroid[a] * inv) as f32));
+        let (vslot, _) = idx
+            .iter()
+            .enumerate()
+            .map(|(slot, &i)| (slot, pts[i as usize].dist2(&centroid)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty slice");
+        let vantage = pts[idx[vslot] as usize];
+        self.vantage[id as usize] = vantage;
+
+        // Median distance threshold: order idx by distance to the vantage;
+        // the low half (including the vantage itself at distance 0) goes
+        // inner.
+        let mid = idx.len() / 2;
+        idx.select_nth_unstable_by(mid, |&a, &b| {
+            pts[a as usize].dist2(&vantage).total_cmp(&pts[b as usize].dist2(&vantage))
+        });
+        let threshold = pts[idx[mid] as usize].dist(&vantage);
+        self.threshold[id as usize] = threshold;
+
+        let (inner_idx, outer_idx) = idx.split_at_mut(mid);
+        let inner = self.build_rec(pts, inner_idx, offset, depth + 1);
+        debug_assert_eq!(inner, id + 1, "inner-first preorder violated");
+        let outer = self.build_rec(pts, outer_idx, offset + mid as u32, depth + 1);
+        self.outer[id as usize] = outer;
+        id
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.vantage.len()
+    }
+
+    /// Number of points.
+    pub fn n_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Is `n` a leaf?
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.outer[n as usize] == NO_NODE
+    }
+
+    /// Inner child of interior node `n` (always `n + 1`).
+    pub fn inner(&self, n: NodeId) -> NodeId {
+        n + 1
+    }
+
+    /// The points of leaf `n`'s bucket.
+    pub fn leaf_points(&self, n: NodeId) -> &[PointN<D>] {
+        let f = self.first[n as usize] as usize;
+        let c = self.count[n as usize] as usize;
+        &self.points[f..f + c]
+    }
+
+    /// Leaf a query would reach following thresholds (for tree-order
+    /// sorting).
+    pub fn locate(&self, p: &PointN<D>) -> NodeId {
+        let mut n = 0 as NodeId;
+        while !self.is_leaf(n) {
+            let d = p.dist(&self.vantage[n as usize]);
+            n = if d <= self.threshold[n as usize] {
+                self.inner(n)
+            } else {
+                self.outer[n as usize]
+            };
+        }
+        n
+    }
+
+    /// Structural invariant check for tests: inner points within threshold
+    /// of the vantage, outer points beyond it, leaves partition the set.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_nodes();
+        let mut covered = 0usize;
+        // Walk with explicit subtree point-ranges.
+        let mut stack = vec![(0 as NodeId, 0u32, self.n_points() as u32)];
+        let mut visited = vec![false; n];
+        while let Some((id, lo, hi)) = stack.pop() {
+            let i = id as usize;
+            if i >= n {
+                return Err(format!("node {id} out of range"));
+            }
+            if visited[i] {
+                return Err(format!("node {id} reachable twice"));
+            }
+            visited[i] = true;
+            if self.is_leaf(id) {
+                let f = self.first[i];
+                let c = self.count[i];
+                if f != lo || f + c != hi {
+                    return Err(format!("leaf {id} bucket [{f}, {}) != subtree range [{lo}, {hi})", f + c));
+                }
+                covered += c as usize;
+            } else {
+                let t = self.threshold[i];
+                if !t.is_finite() || t < 0.0 {
+                    return Err(format!("node {id} bad threshold {t}"));
+                }
+                let v = self.vantage[i];
+                let mid = lo + (hi - lo) / 2;
+                for k in lo..mid {
+                    if self.points[k as usize].dist(&v) > t + 1e-4 {
+                        return Err(format!("inner point of {id} beyond threshold"));
+                    }
+                }
+                for k in mid..hi {
+                    if self.points[k as usize].dist(&v) < t - 1e-4 {
+                        return Err(format!("outer point of {id} inside threshold"));
+                    }
+                }
+                stack.push((self.inner(id), lo, mid));
+                stack.push((self.outer[i], mid, hi));
+            }
+        }
+        if covered != self.n_points() {
+            return Err(format!("leaves cover {covered} of {} points", self.n_points()));
+        }
+        if !visited.iter().all(|&v| v) {
+            return Err("unreachable nodes".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<PointN<D>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PointN(std::array::from_fn(|_| rng.gen_range(-50.0..50.0))))
+            .collect()
+    }
+
+    #[test]
+    fn single_point() {
+        let t = VpTree::build(&[PointN([1.0, 2.0])], 4);
+        assert_eq!(t.n_nodes(), 1);
+        assert!(t.is_leaf(0));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn vp_tree_validates() {
+        let pts = random_points::<7>(400, 11);
+        let t = VpTree::build(&pts, 8);
+        t.validate().unwrap();
+        assert!(t.n_nodes() > 50);
+    }
+
+    #[test]
+    fn inner_child_is_next_node() {
+        let pts = random_points::<2>(200, 12);
+        let t = VpTree::build(&pts, 4);
+        for id in 0..t.n_nodes() as NodeId {
+            if !t.is_leaf(id) {
+                assert_eq!(t.inner(id), id + 1);
+                assert!(t.outer[id as usize] > id + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn coincident_points_terminate() {
+        let pts = vec![PointN([0.5, 0.5]); 64];
+        let t = VpTree::build(&pts, 4);
+        t.validate().unwrap();
+        assert_eq!(t.n_points(), 64);
+    }
+
+    #[test]
+    fn locate_reaches_a_leaf() {
+        let pts = random_points::<3>(300, 13);
+        let t = VpTree::build(&pts, 8);
+        for p in &pts {
+            assert!(t.is_leaf(t.locate(p)));
+        }
+    }
+
+    #[test]
+    fn perm_is_permutation() {
+        let pts = random_points::<2>(150, 14);
+        let t = VpTree::build(&pts, 4);
+        let mut seen = vec![false; pts.len()];
+        for (&p, pt) in t.perm.iter().zip(&t.points) {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+            assert_eq!(*pt, pts[p as usize]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn empty_rejected() {
+        let _ = VpTree::<2>::build(&[], 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_vp_invariants(n in 1usize..300, leaf in 1usize..16, seed in 0u64..500) {
+            let pts = random_points::<3>(n, seed);
+            let t = VpTree::build(&pts, leaf);
+            prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+        }
+    }
+}

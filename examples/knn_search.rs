@@ -1,0 +1,65 @@
+//! Guided traversal in practice: k-nearest-neighbor search, sorted vs
+//! unsorted inputs, lockstep vs non-lockstep, with the run-time sortedness
+//! profiler (paper §4.4) making the variant decision.
+//!
+//! ```text
+//! cargo run --release --example knn_search [n_points] [k]
+//! ```
+
+use gpu_tree_traversals::prelude::*;
+use gts_apps::knn::{KnnKernel, KnnPoint};
+use gts_points::profile::{profile_sortedness, DEFAULT_THRESHOLD};
+use gts_points::sort::{apply_perm, morton_order, shuffle};
+use gts_runtime::cpu::trace_one;
+use gts_runtime::gpu::{autoropes, lockstep};
+
+fn run_variants<const D: usize>(label: &str, queries: &[PointN<D>], kernel: &KnnKernel<'_, D>, k: usize) {
+    let cfg = GpuConfig::default();
+    let fresh = || queries.iter().map(|&p| KnnPoint::new(p, k)).collect::<Vec<_>>();
+
+    // Profiler: sample neighboring queries, compare traversal similarity,
+    // decide lockstep vs non-lockstep (§4.4).
+    let report = profile_sortedness(queries.len(), 16, DEFAULT_THRESHOLD, 99, |i| {
+        // Record the visit list of query i by running its own traversal
+        // (cheap: a handful of samples).
+        let mut p = KnnPoint::new(queries[i], k);
+        trace_one(kernel, &mut p)
+    });
+
+    let mut n_pts = fresh();
+    let n_run = autoropes::run(kernel, &mut n_pts, &cfg);
+    let mut l_pts = fresh();
+    let l_run = lockstep::run(kernel, &mut l_pts, &cfg);
+
+    let chosen = if report.use_lockstep { "lockstep" } else { "non-lockstep" };
+    let actually_faster = if l_run.ms() < n_run.ms() { "lockstep" } else { "non-lockstep" };
+    println!(
+        "{label:<10} similarity {:.2} → profiler picks {chosen:<13} | L {:>8.2} ms, N {:>8.2} ms (faster: {actually_faster})",
+        report.mean_similarity,
+        l_run.ms(),
+        n_run.ms(),
+    );
+
+    // Both variants return identical neighbor sets (§4.3 equivalence).
+    for (a, b) in n_pts.iter().zip(&l_pts) {
+        assert_eq!(a.best.distances(), b.best.distances());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let data = gts_points::gen::covtype_like(n, 3);
+    let tree = KdTree::build(&data, 8, SplitPolicy::MedianCycle);
+    let kernel = KnnKernel::new(&tree);
+    println!("kNN, {n} points, k = {k}, kd-tree depth {}\n", tree.depth());
+
+    let sorted = apply_perm(&data, &morton_order(&data));
+    run_variants("sorted", &sorted, &kernel, k);
+
+    let mut unsorted = data.clone();
+    shuffle(&mut unsorted, 5);
+    run_variants("unsorted", &unsorted, &kernel, k);
+}

@@ -1,0 +1,170 @@
+//! Every benchmark × every executor returns exactly the right answer.
+//!
+//! The apps' own unit tests cover uniform data; these integration tests
+//! sweep the *surrogate* inputs (clustered, projected, power-law) where
+//! degenerate geometry is most likely to break pruning logic.
+
+use gts_apps::knn::{KnnKernel, KnnPoint};
+use gts_apps::nn::{NnKernel, NnPoint};
+use gts_apps::oracle;
+use gts_apps::pc::{PcKernel, PcPoint};
+use gts_apps::vp::{VpKernel, VpPoint};
+use gts_points::gen;
+use gts_runtime::gpu::{autoropes, lockstep, recursive, GpuConfig};
+use gts_trees::{Aabb, KdTree, PointN, SplitPolicy, VpTree};
+
+const N: usize = 700;
+
+fn all_inputs_7d() -> Vec<(&'static str, Vec<PointN<7>>)> {
+    vec![
+        ("covtype", gen::covtype_like(N, 41)),
+        ("mnist", gen::mnist_like(N, 42)),
+        ("random", gen::uniform::<7>(N, 43)),
+    ]
+}
+
+#[test]
+fn pc_exact_on_all_surrogates() {
+    let cfg = GpuConfig::default();
+    for (name, data) in all_inputs_7d() {
+        let tree = KdTree::build(&data, 4, SplitPolicy::MedianCycle);
+        let bbox = Aabb::of_points(&data);
+        let radius = 0.05 * bbox.lo.dist(&bbox.hi);
+        let kernel = PcKernel::new(&tree, radius);
+        for run in 0..3 {
+            let mut pts: Vec<PcPoint<7>> = data.iter().map(|&p| PcPoint::new(p)).collect();
+            match run {
+                0 => drop(autoropes::run(&kernel, &mut pts, &cfg)),
+                1 => drop(lockstep::run(&kernel, &mut pts, &cfg)),
+                _ => drop(recursive::run(&kernel, &mut pts, &cfg, false)),
+            }
+            for (i, p) in pts.iter().enumerate() {
+                assert_eq!(
+                    p.count,
+                    oracle::pc_count(&data, &data[i], radius),
+                    "{name} run {run} point {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_exact_on_all_surrogates() {
+    let cfg = GpuConfig::default();
+    let k = 5;
+    for (name, data) in all_inputs_7d() {
+        let tree = KdTree::build(&data, 4, SplitPolicy::MedianCycle);
+        let kernel = KnnKernel::new(&tree);
+        for run in 0..2 {
+            let mut pts: Vec<KnnPoint<7>> = data.iter().map(|&p| KnnPoint::new(p, k)).collect();
+            match run {
+                0 => drop(autoropes::run(&kernel, &mut pts, &cfg)),
+                _ => drop(lockstep::run(&kernel, &mut pts, &cfg)),
+            }
+            for (i, p) in pts.iter().enumerate() {
+                let want = oracle::knn_dists(&data, &data[i], k);
+                for (g, w) in p.best.distances().iter().zip(&want) {
+                    assert!(
+                        (g - w).abs() <= 1e-4 * w.max(1.0),
+                        "{name} run {run} point {i}: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn nn_exact_on_geocity_clusters() {
+    // Geocity's extreme clustering stresses midpoint splits (empty-side
+    // fallbacks) and the split-plane bounds.
+    let data = gen::geocity_like(N, 44);
+    let tree = KdTree::build(&data, 4, SplitPolicy::MidpointWidest);
+    let kernel = NnKernel::new(&tree);
+    let cfg = GpuConfig::default();
+    let mut pts: Vec<NnPoint<2>> = data.iter().map(|&p| NnPoint::new(p)).collect();
+    lockstep::run(&kernel, &mut pts, &cfg);
+    for (i, p) in pts.iter().enumerate() {
+        let want = oracle::nn_dist2_nonself(&data, &data[i]);
+        assert!(
+            (p.best_d2 - want).abs() <= 1e-4 * want.max(1e-6),
+            "point {i}: {} vs {want}",
+            p.best_d2
+        );
+    }
+}
+
+#[test]
+fn vp_exact_on_mnist_surrogate() {
+    let data = gen::mnist_like(N, 45);
+    let tree = VpTree::build(&data, 4);
+    let kernel = VpKernel::new(&tree);
+    let cfg = GpuConfig::default();
+    for lockstep_run in [false, true] {
+        let mut pts: Vec<VpPoint<7>> = data.iter().map(|&p| VpPoint::new(p)).collect();
+        if lockstep_run {
+            lockstep::run(&kernel, &mut pts, &cfg);
+        } else {
+            recursive::run(&kernel, &mut pts, &cfg, true);
+        }
+        for (i, p) in pts.iter().enumerate() {
+            let want = oracle::nn_dist2_nonself(&data, &data[i]).sqrt();
+            assert!(
+                (p.best_d - want).abs() <= 1e-3 * want.max(1e-4) + 1e-5,
+                "lockstep={lockstep_run} point {i}: {} vs {want}",
+                p.best_d
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs_do_not_break_executors() {
+    // All-coincident points: zero distances everywhere, zero-extent boxes.
+    let data = vec![PointN([1.0f32, 2.0]); 100];
+    let tree = KdTree::build(&data, 4, SplitPolicy::MedianCycle);
+    let kernel = PcKernel::new(&tree, 0.0);
+    let cfg = GpuConfig::default();
+    let mut pts: Vec<PcPoint<2>> = data.iter().map(|&p| PcPoint::new(p)).collect();
+    lockstep::run(&kernel, &mut pts, &cfg);
+    assert!(pts.iter().all(|p| p.count == 100));
+}
+
+#[test]
+fn tail_warp_with_partial_mask() {
+    // 33 points = one full warp + a 1-lane tail warp: the tail's partial
+    // mask must flow through pops, ballots and leaf scans in every
+    // executor.
+    let data = gen::uniform::<2>(33, 46);
+    let tree = KdTree::build(&data, 4, SplitPolicy::MedianCycle);
+    let kernel = PcKernel::new(&tree, 0.5);
+    let cfg = GpuConfig::default();
+    let mk = || data.iter().map(|&p| PcPoint::new(p)).collect::<Vec<_>>();
+    let mut a = mk();
+    let ar = autoropes::run(&kernel, &mut a, &cfg);
+    let mut l = mk();
+    let lr = lockstep::run(&kernel, &mut l, &cfg);
+    let mut r = mk();
+    recursive::run(&kernel, &mut r, &cfg, true);
+    assert_eq!(ar.per_warp_nodes.len(), 2);
+    assert_eq!(lr.per_warp_nodes.len(), 2);
+    for (i, p) in data.iter().enumerate() {
+        let want = oracle::pc_count(&data, p, 0.5);
+        assert_eq!(a[i].count, want);
+        assert_eq!(l[i].count, want);
+        assert_eq!(r[i].count, want);
+    }
+}
+
+#[test]
+fn single_point_single_lane() {
+    let data = vec![PointN([5.0f32, -3.0])];
+    let tree = KdTree::build(&data, 4, SplitPolicy::MedianCycle);
+    let kernel = PcKernel::new(&tree, 1.0);
+    let cfg = GpuConfig::default();
+    let mut pts = vec![PcPoint::new(data[0])];
+    let r = autoropes::run(&kernel, &mut pts, &cfg);
+    assert_eq!(pts[0].count, 1);
+    assert_eq!(r.per_warp_nodes.len(), 1);
+}

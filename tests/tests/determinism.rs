@@ -1,0 +1,58 @@
+//! Determinism: everything except wall-clock CPU timings is exactly
+//! reproducible — same inputs, same seeds, same counters, same modeled
+//! cycles, regardless of how many host threads simulate the warps.
+
+use gts_apps::pc::{PcKernel, PcPoint};
+use gts_apps::vp::{VpKernel, VpPoint};
+use gts_points::gen;
+use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
+use gts_trees::{KdTree, SplitPolicy, VpTree};
+
+#[test]
+fn gpu_reports_identical_across_host_thread_counts() {
+    let data = gen::covtype_like(3_000, 61);
+    let tree = KdTree::build(&data, 8, SplitPolicy::MedianCycle);
+    let kernel = PcKernel::new(&tree, 2.0);
+
+    let mut results = Vec::new();
+    for host_threads in [1, 2, 7] {
+        let cfg = GpuConfig::default().with_host_threads(host_threads);
+        let mut pts: Vec<PcPoint<7>> = data.iter().map(|&p| PcPoint::new(p)).collect();
+        let r = autoropes::run(&kernel, &mut pts, &cfg);
+        results.push((
+            r.launch.cycles,
+            r.launch.counters.global_transactions,
+            r.launch.counters.warp_steps,
+            r.stats.per_point_nodes.clone(),
+            pts.iter().map(|p| p.count).collect::<Vec<_>>(),
+        ));
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[0], results[2]);
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let data = gen::geocity_like(2_000, 62);
+    let tree = VpTree::build(&data, 8);
+    let kernel = VpKernel::new(&tree);
+    let cfg = GpuConfig::default();
+    let run = || {
+        let mut pts: Vec<VpPoint<2>> = data.iter().map(|&p| VpPoint::new(p)).collect();
+        let r = lockstep::run(&kernel, &mut pts, &cfg);
+        (
+            r.launch.cycles,
+            r.per_warp_nodes.clone(),
+            pts.iter().map(|p| p.best_d.to_bits()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn generators_reproducible_across_calls() {
+    assert_eq!(gen::covtype_like(500, 7), gen::covtype_like(500, 7));
+    assert_eq!(gen::plummer(500, 7), gen::plummer(500, 7));
+    // Different seeds must differ (catching seed plumbing mistakes).
+    assert_ne!(gen::covtype_like(500, 7), gen::covtype_like(500, 8));
+}

@@ -1,0 +1,87 @@
+//! Property tests over the executor matrix: for randomly drawn workloads,
+//! the §3.3 equivalences hold across all execution strategies.
+
+use gts_apps::pc::{PcKernel, PcPoint};
+use gts_apps::vp::{VpKernel, VpPoint};
+use gts_points::gen::uniform;
+use gts_runtime::cpu;
+use gts_runtime::gpu::{autoropes, lockstep, recursive, GpuConfig};
+use gts_runtime::report::work_expansion;
+use gts_trees::{KdTree, SplitPolicy, VpTree};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Unguided kernels: every executor computes identical counts and the
+    /// two iterative executors agree with the recursive baseline on
+    /// per-point visit counts.
+    #[test]
+    fn prop_pc_executor_matrix(n in 2usize..250, seed in 0u64..100, r in 0.05f32..1.2) {
+        let data = uniform::<3>(n, seed);
+        let tree = KdTree::build(&data, 4, SplitPolicy::MedianCycle);
+        let kernel = PcKernel::new(&tree, r);
+        let cfg = GpuConfig::default();
+        let fresh = || data.iter().map(|&p| PcPoint::new(p)).collect::<Vec<_>>();
+
+        let mut c = fresh();
+        let cr = cpu::run_sequential(&kernel, &mut c);
+        let mut a = fresh();
+        let ar = autoropes::run(&kernel, &mut a, &cfg);
+        let mut l = fresh();
+        let lr = lockstep::run(&kernel, &mut l, &cfg);
+        let mut g = fresh();
+        let _gr = recursive::run(&kernel, &mut g, &cfg, false);
+
+        // Identical results everywhere.
+        prop_assert_eq!(&c, &a);
+        prop_assert_eq!(&c, &l);
+        prop_assert_eq!(&c, &g);
+        // Autoropes preserves per-point visit counts exactly (§3.3).
+        prop_assert_eq!(&cr.stats.per_point_nodes, &ar.stats.per_point_nodes);
+        // Work expansion is always ≥ 1 and finite.
+        if !lr.per_warp_nodes.is_empty() {
+            let (mean, sd) = work_expansion(&lr.per_warp_nodes, &ar.stats.per_point_nodes);
+            prop_assert!(mean >= 1.0 - 1e-9);
+            prop_assert!(sd.is_finite());
+        }
+    }
+
+    /// Guided kernels under lockstep: the §4.3 vote may change traversal
+    /// orders but never the computed nearest neighbor.
+    #[test]
+    fn prop_vp_lockstep_vote_preserves_answers(n in 2usize..200, seed in 0u64..100) {
+        let data = uniform::<3>(n, seed);
+        let tree = VpTree::build(&data, 4);
+        let kernel = VpKernel::new(&tree);
+        let cfg = GpuConfig::default();
+
+        let mut reference: Vec<VpPoint<3>> = data.iter().map(|&p| VpPoint::new(p)).collect();
+        cpu::run_sequential(&kernel, &mut reference);
+        let mut voted: Vec<VpPoint<3>> = data.iter().map(|&p| VpPoint::new(p)).collect();
+        lockstep::run(&kernel, &mut voted, &cfg);
+        for (r, v) in reference.iter().zip(&voted) {
+            prop_assert_eq!(r.best_d.to_bits(), v.best_d.to_bits());
+        }
+    }
+
+    /// Simulated *work* is monotone in problem size: a superset of points
+    /// issues at least as many warp steps, transactions, and node visits.
+    /// (Modeled *time* is deliberately not monotone — extra resident warps
+    /// unlock latency hiding, as on real hardware.)
+    #[test]
+    fn prop_simulated_work_grows_with_points(seed in 0u64..50) {
+        let data = uniform::<3>(512, seed);
+        let tree = KdTree::build(&data, 8, SplitPolicy::MedianCycle);
+        let kernel = PcKernel::new(&tree, 0.4);
+        let cfg = GpuConfig::default();
+        let mut small: Vec<PcPoint<3>> = data.iter().take(64).map(|&p| PcPoint::new(p)).collect();
+        let mut large: Vec<PcPoint<3>> = data.iter().map(|&p| PcPoint::new(p)).collect();
+        let rs = autoropes::run(&kernel, &mut small, &cfg);
+        let rl = autoropes::run(&kernel, &mut large, &cfg);
+        prop_assert!(rl.launch.counters.warp_steps >= rs.launch.counters.warp_steps);
+        prop_assert!(rl.launch.counters.global_transactions >= rs.launch.counters.global_transactions);
+        prop_assert!(rl.launch.counters.node_visits >= rs.launch.counters.node_visits);
+        prop_assert!(rl.launch.counters.issue_cycles >= rs.launch.counters.issue_cycles);
+    }
+}

@@ -1,0 +1,67 @@
+//! Harness output contracts: JSON serialization of cell results round-trips
+//! and the table renderers stay consistent with the underlying cells.
+
+use gts_harness::config::HarnessConfig;
+use gts_harness::row::CellResult;
+use gts_harness::suite::run_suite;
+use gts_harness::{figures, table1, table2};
+
+fn tiny_suite() -> gts_harness::suite::SuiteResult {
+    let mut cfg = HarnessConfig::at_scale(0.002);
+    cfg.threads = vec![1, 8, 32];
+    run_suite(&cfg, Some("Point Correlation"))
+}
+
+#[test]
+fn cells_roundtrip_through_json() {
+    let suite = tiny_suite();
+    let json = serde_json::to_string(&suite.cells).expect("serialize");
+    let back: Vec<CellResult> = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.len(), suite.cells.len());
+    // serde_json's float printing is not guaranteed ULP-exact; compare
+    // within a relative epsilon.
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(1.0);
+    for (a, b) in suite.cells.iter().zip(&back) {
+        assert!(close(a.non_lockstep.traversal_ms, b.non_lockstep.traversal_ms));
+        assert_eq!(a.non_lockstep.benchmark, b.non_lockstep.benchmark);
+        for ((ta, ma), (tb, mb)) in a.cpu_sweep.iter().zip(&b.cpu_sweep) {
+            assert_eq!(ta, tb);
+            assert!(close(*ma, *mb), "{ma} vs {mb}");
+        }
+        if let (Some(la), Some(lb)) = (&a.lockstep, &b.lockstep) {
+            assert!(close(la.avg_nodes, lb.avg_nodes));
+        }
+        assert_eq!(a.profiler_picks_lockstep, b.profiler_picks_lockstep);
+    }
+}
+
+#[test]
+fn renderers_agree_with_cells() {
+    let suite = tiny_suite();
+    let t1 = table1::render(&suite);
+    let t2 = table2::render(&suite);
+    // Every input appears in both tables.
+    for input in ["Covtype", "Mnist", "Random", "Geocity"] {
+        assert!(t1.contains(input), "table1 missing {input}");
+        assert!(t2.contains(input), "table2 missing {input}");
+    }
+    // Figure panels exist for both sortedness values and both variants.
+    assert_eq!(figures::panels(&suite, true).len(), 2);
+    assert_eq!(figures::panels(&suite, false).len(), 2);
+    // The rendered traversal time of the first L row matches the cell.
+    let first_l = suite.cells[0].lockstep.as_ref().expect("PC has L rows");
+    assert!(
+        t1.contains(&format!("{:.2}", first_l.traversal_ms)),
+        "table1 does not show the cell's modeled time"
+    );
+}
+
+#[test]
+fn sorted_and_unsorted_cells_alternate() {
+    let suite = tiny_suite();
+    for pair in suite.cells.chunks(2) {
+        assert!(pair[0].non_lockstep.sorted);
+        assert!(!pair[1].non_lockstep.sorted);
+        assert_eq!(pair[0].non_lockstep.input, pair[1].non_lockstep.input);
+    }
+}

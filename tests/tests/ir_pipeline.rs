@@ -1,0 +1,124 @@
+//! The compiler pipeline against the hand-written kernels: transformed IR
+//! programs must be node-for-node and bit-for-bit equivalent to the
+//! benchmarks they describe, on every executor.
+
+use gts_ir::adapter::IrKernel;
+use gts_ir::examples_ir::{bh_ir, figure4_pc, BhOps, BhState, PcOps, PcState};
+use gts_ir::interp::{run_autoropes, run_recursive};
+use gts_ir::transform::transform;
+use gts_points::gen;
+use gts_runtime::cpu;
+use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
+use gts_trees::layout::NodeBytes;
+use gts_trees::{KdTree, Octree, PointN, SplitPolicy};
+
+#[test]
+fn compiled_bh_matches_handwritten_bitwise() {
+    let bodies = gen::plummer(800, 51);
+    let pos: Vec<PointN<3>> = bodies.iter().map(|b| b.pos).collect();
+    let mass: Vec<f32> = bodies.iter().map(|b| b.mass).collect();
+    let tree = Octree::build(&pos, &mass, 4);
+    let theta = 0.5f32;
+    let eps = 0.05f32;
+
+    // Hand-written kernel.
+    let hand = gts_apps::bh::BhKernel::new(&tree, theta, eps);
+    let mut hand_pts: Vec<gts_apps::bh::BhPoint> =
+        pos.iter().map(|&p| gts_apps::bh::BhPoint::new(p)).collect();
+    let hand_r = cpu::run_sequential(&hand, &mut hand_pts);
+
+    // Compiled IR kernel with the same parameters.
+    let prog = transform(&bh_ir(), false).expect("BH transforms");
+    let root_size = tree.size[0];
+    let dsq = (root_size / theta) * (root_size / theta);
+    let ir_kernel: IrKernel<_, 1, false, 1> = IrKernel::new(
+        prog,
+        BhOps { tree: &tree, eps2: eps * eps },
+        NodeBytes::oct(),
+        [dsq],
+    );
+    let mut ir_pts: Vec<BhState> = pos
+        .iter()
+        .map(|&p| BhState { pos: p, acc: PointN::zero() })
+        .collect();
+    let ir_r = cpu::run_sequential(&ir_kernel, &mut ir_pts);
+
+    assert_eq!(
+        hand_r.stats.per_point_nodes, ir_r.stats.per_point_nodes,
+        "visit counts differ between compiled and hand-written BH"
+    );
+    for (h, i) in hand_pts.iter().zip(&ir_pts) {
+        assert_eq!(h.acc, i.acc, "bitwise accumulation mismatch");
+    }
+}
+
+#[test]
+fn compiled_bh_runs_lockstep_on_simulator() {
+    let bodies = gen::random_bodies(500, 52);
+    let pos: Vec<PointN<3>> = bodies.iter().map(|b| b.pos).collect();
+    let mass: Vec<f32> = bodies.iter().map(|b| b.mass).collect();
+    let tree = Octree::build(&pos, &mass, 4);
+    let prog = transform(&bh_ir(), false).expect("transform");
+    let dsq = (tree.size[0] / 0.5) * (tree.size[0] / 0.5);
+    let ir_kernel: IrKernel<_, 1, false, 1> =
+        IrKernel::new(prog, BhOps { tree: &tree, eps2: 2.5e-3 }, NodeBytes::oct(), [dsq]);
+
+    let mk = || {
+        pos.iter()
+            .map(|&p| BhState { pos: p, acc: PointN::zero() })
+            .collect::<Vec<_>>()
+    };
+    let mut cpu_pts = mk();
+    cpu::run_sequential(&ir_kernel, &mut cpu_pts);
+    let mut ls_pts = mk();
+    let report = lockstep::run(&ir_kernel, &mut ls_pts, &GpuConfig::default());
+    assert_eq!(cpu_pts, ls_pts, "lockstep execution of the compiled kernel diverged");
+    assert!(report.launch.counters.global_transactions > 0);
+}
+
+#[test]
+fn ir_interpreter_and_runtime_agree_on_visit_counts() {
+    let data = gen::uniform::<3>(600, 53);
+    let tree = KdTree::build(&data, 4, SplitPolicy::MedianCycle);
+    let radius = 0.3f32;
+    let prog = transform(&figure4_pc(), false).expect("transform");
+    let ops = PcOps { tree: &tree, radius2: radius * radius };
+
+    // Interpreter trace lengths vs. runtime per-point counts, per query.
+    let kernel: IrKernel<_, 1, false, 0> = IrKernel::new(
+        prog.clone(),
+        PcOps { tree: &tree, radius2: radius * radius },
+        NodeBytes::kd(3),
+        [],
+    );
+    let mut rt_pts: Vec<PcState<3>> = data.iter().map(|&p| PcState { pos: p, count: 0 }).collect();
+    let rt = autoropes::run(&kernel, &mut rt_pts, &GpuConfig::default());
+    for (i, q) in data.iter().enumerate().take(64) {
+        let mut st = PcState { pos: *q, count: 0 };
+        let trace = run_autoropes(&prog, &ops, &mut st, &[]);
+        assert_eq!(
+            trace.visits.len() as u32,
+            rt.stats.per_point_nodes[i],
+            "query {i}: interpreter and runtime disagree on visit count"
+        );
+        assert_eq!(st.count, rt_pts[i].count);
+    }
+}
+
+#[test]
+fn recursive_and_autoropes_interp_traces_match_for_bh() {
+    let bodies = gen::plummer(300, 54);
+    let pos: Vec<PointN<3>> = bodies.iter().map(|b| b.pos).collect();
+    let mass: Vec<f32> = bodies.iter().map(|b| b.mass).collect();
+    let tree = Octree::build(&pos, &mass, 2);
+    let ops = BhOps { tree: &tree, eps2: 1e-4 };
+    let prog = transform(&bh_ir(), false).expect("transform");
+    let dsq = (tree.size[0] / 0.4) * (tree.size[0] / 0.4);
+    for q in pos.iter().take(32) {
+        let mut a = BhState { pos: *q, acc: PointN::zero() };
+        let mut b = a.clone();
+        let t1 = run_recursive(&prog.ir, &ops, &mut a, &[dsq]);
+        let t2 = run_autoropes(&prog, &ops, &mut b, &[dsq]);
+        assert_eq!(t1, t2, "§3.3 violated for query at {q:?}");
+    }
+}

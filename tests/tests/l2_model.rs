@@ -1,0 +1,71 @@
+//! Behavior of the optional L2 cache model across executors.
+
+use gts_apps::pc::{PcKernel, PcPoint};
+use gts_points::gen;
+use gts_points::sort::{apply_perm, morton_order};
+use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
+use gts_trees::{Aabb, KdTree, PointN, SplitPolicy};
+
+fn setup() -> (Vec<PointN<7>>, KdTree<7>, f32) {
+    let data = gen::covtype_like(4_000, 77);
+    let sorted = apply_perm(&data, &morton_order(&data));
+    let tree = KdTree::build(&data, 8, SplitPolicy::MedianCycle);
+    let bbox = Aabb::of_points(&data);
+    let radius = 0.04 * bbox.lo.dist(&bbox.hi);
+    (sorted, tree, radius)
+}
+
+#[test]
+fn l2_never_changes_results_only_costs() {
+    let (queries, tree, radius) = setup();
+    let kernel = PcKernel::new(&tree, radius);
+    let mut a: Vec<PcPoint<7>> = queries.iter().map(|&p| PcPoint::new(p)).collect();
+    let mut b = a.clone();
+    let dram = autoropes::run(&kernel, &mut a, &GpuConfig::default());
+    let l2 = autoropes::run(&kernel, &mut b, &GpuConfig::default().with_l2());
+    assert_eq!(a, b, "cache model must not affect computed values");
+    assert_eq!(dram.stats.per_point_nodes, l2.stats.per_point_nodes);
+    assert!(l2.launch.counters.l2_hits > 0, "hot tree top should hit");
+    assert_eq!(dram.launch.counters.l2_hits, 0);
+}
+
+#[test]
+fn l2_reduces_bus_traffic_and_modeled_time() {
+    let (queries, tree, radius) = setup();
+    let kernel = PcKernel::new(&tree, radius);
+    let mut a: Vec<PcPoint<7>> = queries.iter().map(|&p| PcPoint::new(p)).collect();
+    let mut b = a.clone();
+    let dram = autoropes::run(&kernel, &mut a, &GpuConfig::default());
+    let l2 = autoropes::run(&kernel, &mut b, &GpuConfig::default().with_l2());
+    assert!(
+        l2.launch.counters.global_bus_bytes < dram.launch.counters.global_bus_bytes,
+        "hits must come off the DRAM bus"
+    );
+    assert!(
+        l2.launch.cycles <= dram.launch.cycles,
+        "L2 {} should not exceed DRAM-only {}",
+        l2.launch.cycles,
+        dram.launch.cycles
+    );
+}
+
+#[test]
+fn lockstep_still_wins_with_l2_on_sorted_input() {
+    // The paper's coalescing argument survives a hardware cache: lockstep
+    // node loads are broadcasts (1 access, hit or miss), while scattered
+    // per-lane loads still touch many distinct lines of the (much larger
+    // than one warp-slice) tree.
+    let (queries, tree, radius) = setup();
+    let kernel = PcKernel::new(&tree, radius);
+    let cfg = GpuConfig::default().with_l2();
+    let mut n_pts: Vec<PcPoint<7>> = queries.iter().map(|&p| PcPoint::new(p)).collect();
+    let mut l_pts = n_pts.clone();
+    let n = autoropes::run(&kernel, &mut n_pts, &cfg);
+    let l = lockstep::run(&kernel, &mut l_pts, &cfg);
+    assert!(
+        l.ms() < n.ms(),
+        "lockstep {:.3} ms should still beat non-lockstep {:.3} ms with L2 enabled",
+        l.ms(),
+        n.ms()
+    );
+}

@@ -1,0 +1,114 @@
+//! End-to-end test of the §3.2 restructuring transformation: an *in-order*
+//! traversal (update between the two recursive calls — not
+//! pseudo-tail-recursive) is restructured into PTR form and executed with
+//! autoropes; its results must match true inline recursion on the original
+//! kernel, with a deliberately non-commutative update so any reordering
+//! shows up.
+
+use gts_ir::analysis::check_pseudo_tail_recursive;
+use gts_ir::examples_ir::{non_ptr_kernel, A_UPDATE, C_IS_LEAF};
+use gts_ir::interp::{run_autoropes, run_recursive_inline};
+use gts_ir::ir::{ActionId, CondId, KernelOps, SelId, XformId};
+use gts_ir::restructure::restructure;
+use gts_ir::transform::transform;
+use gts_trees::NodeId;
+
+/// Implicit complete binary tree with an order-sensitive accumulator.
+struct InOrderOps {
+    depth: usize,
+}
+
+impl InOrderOps {
+    fn n(&self) -> usize {
+        (1usize << (self.depth + 1)) - 1
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Acc(u64);
+
+impl KernelOps for InOrderOps {
+    type Point = Acc;
+    fn cond(&self, c: CondId, _p: &Acc, node: NodeId, _args: &[f32]) -> bool {
+        assert_eq!(c, C_IS_LEAF);
+        (node as usize) >= self.n() / 2
+    }
+    fn update(&self, a: ActionId, p: &mut Acc, node: NodeId, _args: &[f32]) {
+        assert_eq!(a, A_UPDATE);
+        // Non-commutative: ordering changes the result.
+        p.0 = p.0.wrapping_mul(31).wrapping_add(node as u64 + 1);
+    }
+    fn select_child(&self, _s: SelId, _p: &Acc, _n: NodeId, _a: &[f32]) -> u8 {
+        unreachable!()
+    }
+    fn xform(&self, _x: XformId, _a: &[f32], _n: NodeId) -> f32 {
+        unreachable!()
+    }
+    fn child(&self, node: NodeId, slot: u8) -> Option<NodeId> {
+        if (node as usize) >= self.n() / 2 || slot > 1 {
+            None
+        } else {
+            Some(2 * node + 1 + slot as u32)
+        }
+    }
+    fn n_nodes(&self) -> usize {
+        self.n()
+    }
+    fn is_leaf(&self, node: NodeId) -> bool {
+        (node as usize) >= self.n() / 2
+    }
+}
+
+#[test]
+fn restructured_inorder_traversal_matches_true_recursion() {
+    let original = non_ptr_kernel();
+    assert!(
+        check_pseudo_tail_recursive(&original).is_err(),
+        "the test subject must start out non-PTR"
+    );
+    let ops = InOrderOps { depth: 6 };
+
+    // Oracle: true inline recursion on the original kernel — the classic
+    // in-order traversal.
+    let mut oracle = Acc(0);
+    let oracle_trace = run_recursive_inline(&original, &ops, &mut oracle, &[]);
+
+    // Pipeline: restructure → (now PTR) → autoropes transform → execute.
+    let restructured = restructure(&original).expect("restructure succeeds");
+    assert_eq!(restructured.pushed.len(), 1, "one in-order update pushed down");
+    let prog = transform(&restructured.ir, false).expect("restructured kernel transforms");
+
+    let mut result = Acc(0);
+    let rope_trace = run_autoropes(&prog, &ops, &mut result, &[0.0, 0.0]);
+
+    // Same node-visit order (§3.3) and — the §3.2 payoff — the same
+    // non-commutative accumulation: the pushed-down update ran at exactly
+    // the point the original in-order code ran it.
+    assert_eq!(oracle_trace.visits, rope_trace.visits);
+    assert_eq!(oracle, result, "in-order update sequence was reordered");
+}
+
+#[test]
+fn restructured_kernel_handles_single_node_tree() {
+    // depth 0: the root is a leaf; the pushed-down path never runs.
+    let ops = InOrderOps { depth: 0 };
+    let restructured = restructure(&non_ptr_kernel()).expect("restructure");
+    let prog = transform(&restructured.ir, false);
+    // A single-leaf tree makes no recursive calls at runtime, but the
+    // *static* kernel still has them; the transform succeeds.
+    let prog = prog.expect("transform");
+    let mut acc = Acc(0);
+    run_autoropes(&prog, &ops, &mut acc, &[0.0, 0.0]);
+    let mut oracle = Acc(0);
+    run_recursive_inline(&non_ptr_kernel(), &ops, &mut oracle, &[]);
+    assert_eq!(acc, oracle);
+}
+
+#[test]
+fn pipeline_error_message_guides_to_restructure() {
+    // transform() on the raw non-PTR kernel fails with a pointed error;
+    // restructure() is the documented fix.
+    let err = transform(&non_ptr_kernel(), false).unwrap_err();
+    assert!(format!("{err}").contains("pseudo-tail-recursive"));
+    assert!(restructure(&non_ptr_kernel()).is_ok());
+}
