@@ -247,8 +247,8 @@ mod tests {
                 let base = PointN(std::array::from_fn(|_| rng.gen_range(-5.0f32..5.0)));
                 Triangle {
                     a: base,
-                    b: PointN([base[0] + rng.gen_range(0.1..0.8), base[1], base[2]]),
-                    c: PointN([base[0], base[1] + rng.gen_range(0.1..0.8), base[2]]),
+                    b: PointN([base[0] + rng.gen_range(0.1f32..0.8), base[1], base[2]]),
+                    c: PointN([base[0], base[1] + rng.gen_range(0.1f32..0.8), base[2]]),
                 }
             })
             .collect()

@@ -107,7 +107,7 @@ pub fn write_csv(suite: &SuiteResult, sorted: bool, dir: &std::path::Path) -> st
     let fig = if sorted { "fig10" } else { "fig11" };
     let mut written = Vec::new();
     for panel in panels(suite, sorted) {
-        let slug = panel.benchmark.to_lowercase().replace(' ', "_").replace('-', "_");
+        let slug = panel.benchmark.to_lowercase().replace([' ', '-'], "_");
         let variant = if panel.lockstep { "lockstep" } else { "nonlockstep" };
         let path = dir.join(format!("{fig}_{slug}_{variant}.csv"));
         let mut body = String::from("threads");

@@ -16,6 +16,11 @@
 //! cargo run --release -p gts-harness -- all --json results.json
 //! ```
 //!
+//! Beyond the paper's exhibits, [`loadgen`] drives the `gts-service`
+//! batched query engine with a seeded synthetic client mix
+//! (`gts-harness loadgen`), and [`serve`] exposes it as a line-oriented
+//! interactive server (`gts-harness serve`).
+//!
 //! Caveats and calibration notes live in EXPERIMENTS.md: GPU times are
 //! model-derived (DESIGN.md §5.2); orderings, ratios and crossovers are
 //! the reproduction target, not absolute milliseconds.
@@ -26,9 +31,11 @@
 pub mod config;
 pub mod counters_view;
 pub mod figures;
+pub mod loadgen;
 pub mod profiler_table;
 pub mod row;
 pub mod runner;
+pub mod serve;
 pub mod suite;
 pub mod table1;
 pub mod table2;

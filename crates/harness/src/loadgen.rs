@@ -1,0 +1,358 @@
+//! `gts-harness loadgen`: drive the query service with a seeded synthetic
+//! client mix and report modeled throughput + latency.
+//!
+//! Two phases over the same seeded query stream:
+//!
+//! 1. **batched** — queries flow through the service (size-triggered
+//!    warp-multiple flushes, Morton sort, §4.4 profiler choosing lockstep
+//!    vs autoropes per batch);
+//! 2. **single** — every query dispatched alone, one warp with one live
+//!    lane, the way a naive one-request-one-launch server would run it.
+//!
+//! The comparison metric is *modeled GPU milliseconds* from the simulator,
+//! which is deterministic under a fixed `--seed`; wall-clock latency
+//! percentiles are reported alongside but naturally vary run to run.
+//! Results are written to `BENCH_service.json` (`--out` to override).
+
+use gts_points::gen::{geocity_like, uniform};
+use gts_service::{
+    Backend, ExecPolicy, KdIndex, MetricsSnapshot, Query, QueryKind, Service, ServiceConfig,
+    TreeIndex,
+};
+use gts_trees::{PointN, SplitPolicy};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Loadgen knobs (see `gts-harness loadgen --help` in the binary).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total queries in the client mix.
+    pub queries: usize,
+    /// Dataset points per index.
+    pub points: usize,
+    /// RNG seed for datasets and the client mix.
+    pub seed: u64,
+    /// Service worker threads.
+    pub workers: usize,
+    /// Batch size target.
+    pub batch: usize,
+    /// Output JSON path.
+    pub out: String,
+    /// Skip the (slow) one-query-at-a-time baseline.
+    pub skip_single: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            queries: 2048,
+            points: 4096,
+            seed: 20130901,
+            workers: 2,
+            batch: 256,
+            out: "BENCH_service.json".into(),
+            skip_single: false,
+        }
+    }
+}
+
+/// Machine-readable loadgen result, the serving-trajectory benchmark
+/// later PRs track.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Queries driven through the service.
+    pub queries: u64,
+    /// Seed the run used (datasets + client mix).
+    pub seed: u64,
+    /// Registered indices.
+    pub indices: u64,
+    /// Total modeled GPU ms across batched dispatches.
+    pub batched_model_ms: f64,
+    /// Modeled queries/second of the batched path.
+    pub batched_qps_model: f64,
+    /// Total modeled GPU ms when each query launches alone (0 when
+    /// the baseline is skipped).
+    pub single_model_ms: f64,
+    /// Modeled queries/second of the one-at-a-time path.
+    pub single_qps_model: f64,
+    /// batched vs single modeled-throughput ratio.
+    pub modeled_speedup: f64,
+    /// Wall-clock ms for the batched phase (machine-dependent).
+    pub wall_ms: f64,
+    /// Wall-clock p50 submit-to-result latency, ms.
+    pub latency_p50_ms: f64,
+    /// Wall-clock p99 submit-to-result latency, ms.
+    pub latency_p99_ms: f64,
+    /// Batches the profiler sent to lockstep.
+    pub lockstep_batches: u64,
+    /// Batches the profiler sent to autoropes.
+    pub autoropes_batches: u64,
+    /// Mean queries per batch.
+    pub mean_batch_size: f64,
+    /// Mean lockstep work expansion across batches.
+    pub mean_work_expansion: f64,
+}
+
+/// One pre-generated client request.
+struct Request {
+    index: usize,
+    pos: Vec<f32>,
+    kind: QueryKind,
+}
+
+/// Clustered client mix: each query lands near a dataset point of its
+/// target index (the workload batching is supposed to win on).
+fn synth_mix(
+    datasets: &[Vec<Vec<f32>>],
+    radii: &[f32],
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<Request> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x10adc11e);
+    (0..n)
+        .map(|_| {
+            let index = rng.gen_range(0..datasets.len());
+            let data = &datasets[index];
+            let anchor = &data[rng.gen_range(0..data.len())];
+            let jitter = radii[index] * 0.5;
+            let pos: Vec<f32> = anchor
+                .iter()
+                .map(|&c| c + rng.gen_range(-jitter..jitter))
+                .collect();
+            let kind = match rng.gen_range(0..10u32) {
+                0..=4 => QueryKind::Nn,
+                5..=7 => QueryKind::Knn { k },
+                _ => QueryKind::Pc { radius: radii[index] },
+            };
+            Request { index, pos, kind }
+        })
+        .collect()
+}
+
+fn bbox_diag(points: &[Vec<f32>]) -> f32 {
+    let dim = points[0].len();
+    let mut lo = vec![f32::INFINITY; dim];
+    let mut hi = vec![f32::NEG_INFINITY; dim];
+    for p in points {
+        for d in 0..dim {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    (0..dim).map(|d| (hi[d] - lo[d]).powi(2)).sum::<f32>().sqrt()
+}
+
+/// Run the loadgen and return (human report, machine report).
+pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
+    // Two indices of different dimension and split policy.
+    let pts3: Vec<PointN<3>> = uniform::<3>(cfg.points, cfg.seed);
+    let pts2: Vec<PointN<2>> = geocity_like(cfg.points, cfg.seed + 1);
+    let data3: Vec<Vec<f32>> = pts3.iter().map(|p| p.0.to_vec()).collect();
+    let data2: Vec<Vec<f32>> = pts2.iter().map(|p| p.0.to_vec()).collect();
+    let radii = [0.04 * bbox_diag(&data3), 0.04 * bbox_diag(&data2)];
+
+    let indices: Vec<Arc<dyn TreeIndex>> = vec![
+        Arc::new(KdIndex::build("uniform3d", &pts3, 8, SplitPolicy::MedianCycle)),
+        Arc::new(KdIndex::build("geocity2d", &pts2, 8, SplitPolicy::MidpointWidest)),
+    ];
+    let requests = synth_mix(&[data3, data2], &radii, cfg.queries, 8, cfg.seed);
+
+    // Batched phase. A long deadline makes flushes size-triggered, so the
+    // batch composition — and therefore the modeled totals — depend only
+    // on the seeded arrival order; the shutdown drain flushes the tail.
+    let service = Service::start(ServiceConfig {
+        batch_queries: cfg.batch,
+        max_wait: Duration::from_secs(3600),
+        workers: cfg.workers,
+        policy: ExecPolicy::default(),
+        ..ServiceConfig::default()
+    });
+    for index in &indices {
+        service.register_index(Arc::clone(index));
+    }
+    let wall_start = Instant::now();
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|r| {
+            service
+                .submit(Query {
+                    index: r.index,
+                    pos: r.pos.clone(),
+                    kind: r.kind,
+                })
+                .expect("loadgen submits are valid")
+        })
+        .collect();
+    // Shutdown drains every in-flight batch; then all tickets are ready.
+    let snapshot: MetricsSnapshot = service.shutdown();
+    for t in &tickets {
+        t.wait().expect("loadgen queries succeed");
+    }
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+
+    // Single-query baseline: same stream, one launch per query.
+    let policy = ExecPolicy::forced(Backend::Autoropes);
+    let single_model_ms = if cfg.skip_single {
+        0.0
+    } else {
+        requests
+            .iter()
+            .map(|r| {
+                let op = r.kind.op_key().expect("valid kinds");
+                indices[r.index]
+                    .run_batch(op, std::slice::from_ref(&r.pos), &policy)
+                    .model_ms
+            })
+            .sum()
+    };
+
+    let batched_qps = cfg.queries as f64 / (snapshot.model_ms / 1e3);
+    let single_qps = if single_model_ms > 0.0 {
+        cfg.queries as f64 / (single_model_ms / 1e3)
+    } else {
+        0.0
+    };
+    let report = BenchReport {
+        queries: cfg.queries as u64,
+        seed: cfg.seed,
+        indices: indices.len() as u64,
+        batched_model_ms: snapshot.model_ms,
+        batched_qps_model: batched_qps,
+        single_model_ms,
+        single_qps_model: single_qps,
+        modeled_speedup: if single_model_ms > 0.0 {
+            single_model_ms / snapshot.model_ms
+        } else {
+            0.0
+        },
+        wall_ms,
+        latency_p50_ms: snapshot.latency_p50_ms,
+        latency_p99_ms: snapshot.latency_p99_ms,
+        lockstep_batches: snapshot.lockstep_batches,
+        autoropes_batches: snapshot.autoropes_batches,
+        mean_batch_size: snapshot.mean_batch_size,
+        mean_work_expansion: snapshot.mean_work_expansion,
+    };
+
+    let mut text = String::new();
+    text.push_str(&format!(
+        "loadgen: {} queries over {} indices ({} pts each), seed {}, batch {}, {} workers\n",
+        cfg.queries,
+        indices.len(),
+        cfg.points,
+        cfg.seed,
+        cfg.batch,
+        cfg.workers
+    ));
+    text.push_str(&format!(
+        "  batched: {:8.2} modeled ms → {:9.0} q/s modeled  (wall {:.0} ms, p50 {:.2} ms, p99 {:.2} ms)\n",
+        report.batched_model_ms, report.batched_qps_model, wall_ms,
+        report.latency_p50_ms, report.latency_p99_ms
+    ));
+    if !cfg.skip_single {
+        text.push_str(&format!(
+            "  single : {:8.2} modeled ms → {:9.0} q/s modeled\n",
+            report.single_model_ms, report.single_qps_model
+        ));
+        text.push_str(&format!("  modeled speedup: {:.1}x\n", report.modeled_speedup));
+    }
+    text.push_str(&format!(
+        "  batches: {} ({} lockstep / {} autoropes), mean size {:.1}, mean work expansion {:.2}\n",
+        snapshot.batches,
+        snapshot.lockstep_batches,
+        snapshot.autoropes_batches,
+        snapshot.mean_batch_size,
+        snapshot.mean_work_expansion
+    ));
+    (text, report)
+}
+
+/// CLI entry: parse `args` (everything after the subcommand) and run.
+pub fn main_loadgen(args: &[String]) {
+    let mut cfg = LoadgenConfig::default();
+    let usage = || -> ! {
+        eprintln!(
+            "usage: gts-harness loadgen [--queries N] [--points N] [--seed N] \
+             [--workers N] [--batch N] [--out PATH] [--skip-single]"
+        );
+        std::process::exit(2)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--queries" => {
+                cfg.queries = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--points" => {
+                cfg.points = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--batch" => {
+                cfg.batch = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--out" => {
+                cfg.out = need(i).to_string();
+                i += 2;
+            }
+            "--skip-single" => {
+                cfg.skip_single = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+
+    let (text, report) = run(&cfg);
+    print!("{text}");
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    let mut f = std::fs::File::create(&cfg.out).expect("create bench json");
+    f.write_all(json.as_bytes()).expect("write bench json");
+    eprintln!("wrote {}", cfg.out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_loadgen_is_deterministic_and_batched_wins() {
+        let cfg = LoadgenConfig {
+            queries: 256,
+            points: 512,
+            batch: 64,
+            workers: 2,
+            ..LoadgenConfig::default()
+        };
+        let (_, a) = run(&cfg);
+        let (_, b) = run(&cfg);
+        // Modeled numbers are reproducible under a fixed seed.
+        assert_eq!(a.batched_model_ms, b.batched_model_ms);
+        assert_eq!(a.single_model_ms, b.single_model_ms);
+        assert_eq!(a.lockstep_batches, b.lockstep_batches);
+        // Warp-coalesced batching beats one-query-per-launch on modeled
+        // throughput.
+        assert!(
+            a.modeled_speedup > 2.0,
+            "expected batching to win, got {:.2}x",
+            a.modeled_speedup
+        );
+    }
+}

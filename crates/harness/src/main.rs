@@ -10,6 +10,10 @@
 //!   --k N            kNN neighbor count (default 8)
 //!   --json PATH      also dump every cell as JSON
 //!   --csv DIR        write Figure 10/11 panels as CSV files into DIR
+//!
+//! gts-harness loadgen [--queries N] [--points N] [--seed N] [--workers N]
+//!                     [--batch N] [--out PATH] [--skip-single]
+//! gts-harness serve   [--points N] [--seed N]
 //! ```
 
 use std::io::Write as _;
@@ -18,7 +22,7 @@ use gts_harness::{config::HarnessConfig, counters_view, figures, profiler_table,
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gts-harness <table1|table2|fig10|fig11|profiler|counters|all> \
+        "usage: gts-harness <table1|table2|fig10|fig11|profiler|counters|all|loadgen|serve> \
          [--scale F] [--seed N] [--only NAME] [--threads a,b,c] [--k N] [--json PATH]"
     );
     std::process::exit(2)
@@ -28,6 +32,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { usage() };
     let command = command.as_str();
+    if command == "loadgen" {
+        gts_harness::loadgen::main_loadgen(&args[1..]);
+        return;
+    }
+    if command == "serve" {
+        gts_harness::serve::main_serve(&args[1..]);
+        return;
+    }
     if !matches!(command, "table1" | "table2" | "fig10" | "fig11" | "profiler" | "counters" | "all") {
         usage();
     }

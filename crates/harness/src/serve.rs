@@ -1,0 +1,180 @@
+//! `gts-harness serve`: a line-oriented front-end over the query service.
+//!
+//! Reads one request per line from stdin, answers on stdout — the minimal
+//! interactive shape of a query server (the ROADMAP's async front-end
+//! would replace stdin with a socket, not the service underneath).
+//!
+//! ```text
+//! nn  <index> <x> <y> [...]      nearest neighbor
+//! knn <index> <k> <x> <y> [...]  k nearest neighbors
+//! pc  <index> <r> <x> <y> [...]  count points within radius r
+//! metrics                        print the JSON metrics snapshot
+//! quit                           drain and exit (EOF works too)
+//! ```
+
+use gts_points::gen::{geocity_like, uniform};
+use gts_service::{
+    KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, TreeIndex,
+};
+use gts_trees::SplitPolicy;
+use std::io::BufRead as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn parse_floats(tokens: &[&str]) -> Option<Vec<f32>> {
+    tokens.iter().map(|t| t.parse().ok()).collect()
+}
+
+fn parse_request(line: &str) -> Result<Option<Query>, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let (cmd, rest) = tokens.split_first().ok_or("empty line")?;
+    let parse_index = |t: &str| -> Result<usize, String> {
+        t.parse().map_err(|_| format!("bad index `{t}`"))
+    };
+    match *cmd {
+        "nn" => {
+            let (idx, pos) = rest.split_first().ok_or("nn needs: index x y ...")?;
+            Ok(Some(Query {
+                index: parse_index(idx)?,
+                pos: parse_floats(pos).ok_or("bad coordinate")?,
+                kind: QueryKind::Nn,
+            }))
+        }
+        "knn" => {
+            if rest.len() < 3 {
+                return Err("knn needs: index k x y ...".into());
+            }
+            Ok(Some(Query {
+                index: parse_index(rest[0])?,
+                pos: parse_floats(&rest[2..]).ok_or("bad coordinate")?,
+                kind: QueryKind::Knn {
+                    k: rest[1].parse().map_err(|_| format!("bad k `{}`", rest[1]))?,
+                },
+            }))
+        }
+        "pc" => {
+            if rest.len() < 3 {
+                return Err("pc needs: index r x y ...".into());
+            }
+            Ok(Some(Query {
+                index: parse_index(rest[0])?,
+                pos: parse_floats(&rest[2..]).ok_or("bad coordinate")?,
+                kind: QueryKind::Pc {
+                    radius: rest[1].parse().map_err(|_| format!("bad radius `{}`", rest[1]))?,
+                },
+            }))
+        }
+        _ => Err(format!("unknown command `{cmd}`")),
+    }
+}
+
+fn render(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Nn { dist2, id } => format!("nn d2={dist2} id={id}"),
+        QueryResult::Knn { dist2, ids } => format!("knn d2={dist2:?} ids={ids:?}"),
+        QueryResult::Pc { count } => format!("pc count={count}"),
+    }
+}
+
+/// CLI entry: build demo indices, serve stdin until EOF/`quit`.
+pub fn main_serve(args: &[String]) {
+    let mut points = 4096usize;
+    let mut seed = 20130901u64;
+    let usage = || -> ! {
+        eprintln!("usage: gts-harness serve [--points N] [--seed N]");
+        std::process::exit(2)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--points" => {
+                points = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let service = Service::start(ServiceConfig {
+        // Interactive trickle: flush fast rather than waiting for a warp.
+        max_wait: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    });
+    let pts3 = uniform::<3>(points, seed);
+    let pts2 = geocity_like(points, seed + 1);
+    let id3 = service.register_index(Arc::new(KdIndex::build(
+        "uniform3d",
+        &pts3,
+        8,
+        SplitPolicy::MedianCycle,
+    )) as Arc<dyn TreeIndex>);
+    let id2 = service.register_index(Arc::new(KdIndex::build(
+        "geocity2d",
+        &pts2,
+        8,
+        SplitPolicy::MidpointWidest,
+    )) as Arc<dyn TreeIndex>);
+    eprintln!(
+        "serving: index {id3} = uniform3d ({points} pts, 3-d), index {id2} = geocity2d ({points} pts, 2-d)"
+    );
+    eprintln!("commands: nn <idx> <x..> | knn <idx> <k> <x..> | pc <idx> <r> <x..> | metrics | quit");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "quit" {
+            break;
+        }
+        if trimmed == "metrics" {
+            println!("{}", service.metrics().to_json());
+            continue;
+        }
+        match parse_request(trimmed) {
+            Ok(Some(query)) => match service.query(query) {
+                Ok(result) => println!("{}", render(&result)),
+                Err(err) => println!("error: {err}"),
+            },
+            Ok(None) => {}
+            Err(err) => println!("error: {err}"),
+        }
+    }
+    let snapshot = service.shutdown();
+    eprintln!(
+        "served {} queries in {} batches",
+        snapshot.completed, snapshot.batches
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_request_shape() {
+        let q = parse_request("nn 0 0.1 0.2 0.3").unwrap().unwrap();
+        assert_eq!(q.index, 0);
+        assert_eq!(q.pos, vec![0.1, 0.2, 0.3]);
+        assert_eq!(q.kind, QueryKind::Nn);
+
+        let q = parse_request("knn 1 5 0.5 0.5").unwrap().unwrap();
+        assert_eq!(q.kind, QueryKind::Knn { k: 5 });
+        assert_eq!(q.pos.len(), 2);
+
+        let q = parse_request("pc 0 0.25 1 2 3").unwrap().unwrap();
+        assert_eq!(q.kind, QueryKind::Pc { radius: 0.25 });
+
+        assert!(parse_request("frobnicate 1 2").is_err());
+        assert!(parse_request("knn 0 x 1 2").is_err());
+    }
+}

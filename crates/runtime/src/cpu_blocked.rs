@@ -163,6 +163,6 @@ mod tests {
     #[should_panic(expected = "block size")]
     fn zero_block_rejected() {
         let kernel = BinKernel::new(3, 1);
-        let _ = run_blocked(&kernel, &mut vec![0u64; 4], 0);
+        let _ = run_blocked(&kernel, &mut [0u64; 4], 0);
     }
 }

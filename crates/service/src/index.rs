@@ -1,0 +1,342 @@
+//! Registered indices: dimension-erased handles over concrete kd-trees.
+//!
+//! Each batch execution is the paper's pipeline in miniature: Morton-sort
+//! the batch's query points (§4.4), sample neighboring traversals with the
+//! sortedness profiler, run the whole batch on the executor the profiler
+//! picks (lockstep when neighbors traverse alike, autoropes otherwise),
+//! then undo the sort so callers see results in submission order.
+
+use crate::policy::{Backend, ExecPolicy};
+use crate::query::{OpKey, QueryResult};
+use gts_apps::knn::{KnnKernel, KnnPoint};
+use gts_apps::nn::{NnKernel, NnPoint};
+use gts_apps::pc::{PcKernel, PcPoint};
+use gts_points::profile::profile_sortedness;
+use gts_points::sort::{apply_perm, morton_order};
+use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
+use gts_runtime::{cpu, TraversalKernel};
+use gts_trees::{KdTree, PointN, SplitPolicy};
+
+/// Execution record of one dispatched batch.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-query results, in the order the batch was handed in.
+    pub results: Vec<QueryResult>,
+    /// Executor that ran the batch.
+    pub backend: Backend,
+    /// Profiler's mean Jaccard similarity, when profiling ran.
+    pub mean_similarity: Option<f64>,
+    /// Total tree-node visits across the batch (traversal work).
+    pub node_visits: u64,
+    /// Modeled GPU milliseconds (0 for the CPU backend).
+    pub model_ms: f64,
+    /// Warps launched (0 for the CPU backend).
+    pub warps: usize,
+    /// Lockstep work expansion vs the longest lane per warp (GPU runs on
+    /// at least one full warp; otherwise 1.0).
+    pub work_expansion: f64,
+}
+
+/// A queryable index the service can dispatch batches to.
+///
+/// `Send + Sync` is part of the contract: implementations are shared
+/// across the worker pool behind `Arc<dyn TreeIndex>`.
+pub trait TreeIndex: Send + Sync {
+    /// Human-readable name (used in metrics and reports).
+    fn name(&self) -> &str;
+    /// Point dimension; submitted query positions must match.
+    fn dim(&self) -> usize;
+    /// Number of dataset points in the index.
+    fn n_points(&self) -> usize;
+    /// Execute one homogeneous batch. `positions` all have length
+    /// [`TreeIndex::dim`]; results come back in the same order.
+    fn run_batch(&self, op: OpKey, positions: &[Vec<f32>], policy: &ExecPolicy) -> BatchOutcome;
+}
+
+/// A kd-tree index over `D`-dimensional points.
+pub struct KdIndex<const D: usize> {
+    name: String,
+    tree: KdTree<D>,
+}
+
+impl<const D: usize> KdIndex<D> {
+    /// Build an index named `name` over `points`.
+    ///
+    /// `MidpointWidest` matches the paper's NN tree; `MedianCycle` its
+    /// kNN/PC tree. Either serves all three query kinds.
+    pub fn build(
+        name: impl Into<String>,
+        points: &[PointN<D>],
+        leaf_size: usize,
+        policy: SplitPolicy,
+    ) -> Self {
+        KdIndex {
+            name: name.into(),
+            tree: KdTree::build(points, leaf_size, policy),
+        }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &KdTree<D> {
+        &self.tree
+    }
+
+    /// Convert an erased position (validated upstream) to a `PointN`.
+    fn to_point(&self, pos: &[f32]) -> PointN<D> {
+        debug_assert_eq!(pos.len(), D);
+        PointN(std::array::from_fn(|i| pos[i]))
+    }
+
+    /// Map a tree-internal point index to the original dataset index.
+    fn original_id(&self, idx: u32) -> u32 {
+        if idx == u32::MAX {
+            u32::MAX
+        } else {
+            self.tree.perm[idx as usize]
+        }
+    }
+}
+
+impl<const D: usize> TreeIndex for KdIndex<D> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dim(&self) -> usize {
+        D
+    }
+
+    fn n_points(&self) -> usize {
+        self.tree.points.len()
+    }
+
+    fn run_batch(&self, op: OpKey, positions: &[Vec<f32>], policy: &ExecPolicy) -> BatchOutcome {
+        let pts: Vec<PointN<D>> = positions.iter().map(|p| self.to_point(p)).collect();
+        match op {
+            OpKey::Nn => {
+                let kernel = NnKernel::new(&self.tree);
+                let make = |p: PointN<D>| NnPoint::new(p);
+                let conv = |r: &NnPoint<D>| QueryResult::Nn {
+                    dist2: r.best_d2,
+                    id: self.original_id(r.best_idx),
+                };
+                execute(&kernel, &pts, policy, make, conv)
+            }
+            OpKey::Knn(k) => {
+                // KBest panics on k == 0 (the batch key already excludes
+                // it); k > n is fine — the set just never fills.
+                let kernel = KnnKernel::new(&self.tree);
+                let make = |p: PointN<D>| KnnPoint::new(p, k);
+                let conv = |r: &KnnPoint<D>| QueryResult::Knn {
+                    dist2: r.best.distances().to_vec(),
+                    ids: r.best.ids().iter().map(|&i| self.original_id(i)).collect(),
+                };
+                execute(&kernel, &pts, policy, make, conv)
+            }
+            OpKey::Pc(radius_bits) => {
+                let kernel = PcKernel::new(&self.tree, f32::from_bits(radius_bits));
+                let make = |p: PointN<D>| PcPoint::new(p);
+                let conv = |r: &PcPoint<D>| QueryResult::Pc { count: r.count };
+                execute(&kernel, &pts, policy, make, conv)
+            }
+        }
+    }
+}
+
+/// Shared execution path: sort → profile → run → un-sort.
+fn execute<const D: usize, K, M, C>(
+    kernel: &K,
+    pts: &[PointN<D>],
+    policy: &ExecPolicy,
+    make: M,
+    conv: C,
+) -> BatchOutcome
+where
+    K: TraversalKernel,
+    K::Point: Clone,
+    M: Fn(PointN<D>) -> K::Point,
+    C: Fn(&K::Point) -> QueryResult,
+{
+    let n = pts.len();
+    // §4.4 step 1: spatial sort, so nearby queries share warps.
+    let perm = if policy.sort && n >= 2 {
+        Some(morton_order(pts))
+    } else {
+        None
+    };
+    let mut work: Vec<K::Point> = match &perm {
+        Some(p) => apply_perm(pts, p).into_iter().map(&make).collect(),
+        None => pts.iter().map(|&p| make(p)).collect(),
+    };
+
+    // §4.4 step 2: sample neighboring traversals; lockstep only when they
+    // overlap enough to amortize the per-warp rope stack.
+    let mut mean_similarity = None;
+    let backend = match policy.force {
+        Some(b) => b,
+        None if n < 2 => Backend::Autoropes,
+        None => {
+            let report = profile_sortedness(
+                n,
+                policy.profile_pairs,
+                policy.threshold,
+                policy.profile_seed,
+                |i| cpu::trace_one(kernel, &mut work[i].clone()),
+            );
+            mean_similarity = Some(report.mean_similarity);
+            if report.use_lockstep {
+                Backend::Lockstep
+            } else {
+                Backend::Autoropes
+            }
+        }
+    };
+
+    // §4.4 step 3: run the whole batch on the chosen executor.
+    let cfg = GpuConfig::default().with_host_threads(policy.sim_threads());
+    let (node_visits, model_ms, warps, work_expansion) = match backend {
+        Backend::Lockstep | Backend::Autoropes => {
+            // Table 2's work expansion compares each warp's lockstep pops
+            // against its longest *independent* traversal — lockstep's own
+            // per-lane stats count every warp pop, so measure solo lengths
+            // first (one cheap CPU pass, dwarfed by the warp simulation).
+            let solo: Option<Vec<u32>> = (backend == Backend::Lockstep).then(|| {
+                work.iter()
+                    .map(|p| cpu::traverse_one(kernel, &mut p.clone()))
+                    .collect()
+            });
+            let rep = if backend == Backend::Lockstep {
+                lockstep::run(kernel, &mut work, &cfg)
+            } else {
+                autoropes::run(kernel, &mut work, &cfg)
+            };
+            let visits: u64 = rep.stats.per_point_nodes.iter().map(|&v| v as u64).sum();
+            let expansion = match &solo {
+                Some(solo) if !rep.per_warp_nodes.is_empty() => {
+                    gts_runtime::report::work_expansion(&rep.per_warp_nodes, solo).0
+                }
+                _ => 1.0,
+            };
+            (visits, rep.ms(), rep.launch.warps, expansion)
+        }
+        Backend::Cpu => {
+            let rep = cpu::run_parallel(kernel, &mut work, cfg.host_threads);
+            let visits: u64 = rep.stats.per_point_nodes.iter().map(|&v| v as u64).sum();
+            (visits, 0.0, 0, 1.0)
+        }
+    };
+
+    // Undo the sort: callers see submission order.
+    let mut results: Vec<Option<QueryResult>> = vec![None; n];
+    match &perm {
+        Some(p) => {
+            for (sorted_i, point) in work.iter().enumerate() {
+                results[p[sorted_i] as usize] = Some(conv(point));
+            }
+        }
+        None => {
+            for (i, point) in work.iter().enumerate() {
+                results[i] = Some(conv(point));
+            }
+        }
+    }
+    BatchOutcome {
+        results: results.into_iter().map(|r| r.expect("permutation covers all")).collect(),
+        backend,
+        mean_similarity,
+        node_visits,
+        model_ms,
+        warps,
+        work_expansion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_apps::oracle;
+    use gts_points::gen::uniform;
+
+    fn index3(n: usize, seed: u64) -> KdIndex<3> {
+        let pts = uniform::<3>(n, seed);
+        KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle)
+    }
+
+    #[test]
+    fn nn_batch_matches_oracle_in_submission_order() {
+        let pts = uniform::<3>(128, 7);
+        let idx = KdIndex::build("t", &pts, 8, SplitPolicy::MidpointWidest);
+        let queries: Vec<Vec<f32>> = pts.iter().map(|p| p.0.to_vec()).collect();
+        let out = idx.run_batch(OpKey::Nn, &queries, &ExecPolicy::default());
+        assert_eq!(out.results.len(), queries.len());
+        for (i, r) in out.results.iter().enumerate() {
+            let QueryResult::Nn { dist2, id } = r else { panic!("wrong variant") };
+            let want = oracle::nn_dist2_nonself(&pts, &pts[i]);
+            assert!((dist2 - want).abs() <= 1e-5 * want.max(1e-6), "query {i}");
+            // The id names a real dataset point at that distance.
+            let d = pts[*id as usize].dist2(&pts[i]);
+            assert!((d - dist2).abs() <= 1e-6 * dist2.max(1e-9));
+        }
+    }
+
+    #[test]
+    fn knn_with_k_exceeding_n_returns_all_points() {
+        let idx = index3(5, 11);
+        let q = vec![vec![0.5, 0.5, 0.5]];
+        let out = idx.run_batch(OpKey::Knn(32), &q, &ExecPolicy::default());
+        let QueryResult::Knn { dist2, ids } = &out.results[0] else { panic!() };
+        assert_eq!(dist2.len(), 5, "k > n yields every point");
+        assert_eq!(ids.len(), 5);
+        assert!(dist2.windows(2).all(|w| w[0] <= w[1]), "ascending");
+    }
+
+    #[test]
+    fn pc_batch_matches_oracle() {
+        let pts = uniform::<3>(200, 13);
+        let idx = KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle);
+        let radius = 0.2f32;
+        let queries: Vec<Vec<f32>> = pts.iter().take(64).map(|p| p.0.to_vec()).collect();
+        let out = idx.run_batch(OpKey::Pc(radius.to_bits()), &queries, &ExecPolicy::default());
+        for (i, r) in out.results.iter().enumerate() {
+            let QueryResult::Pc { count } = r else { panic!() };
+            assert_eq!(*count, oracle::pc_count(&pts, &pts[i], radius), "query {i}");
+        }
+    }
+
+    #[test]
+    fn forced_backends_agree_on_results() {
+        let pts = uniform::<3>(96, 17);
+        let idx = KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle);
+        let queries: Vec<Vec<f32>> = pts.iter().map(|p| p.0.to_vec()).collect();
+        let lock = idx.run_batch(OpKey::Knn(4), &queries, &ExecPolicy::forced(Backend::Lockstep));
+        let auto = idx.run_batch(OpKey::Knn(4), &queries, &ExecPolicy::forced(Backend::Autoropes));
+        let cpu = idx.run_batch(OpKey::Knn(4), &queries, &ExecPolicy::forced(Backend::Cpu));
+        assert_eq!(lock.results, auto.results);
+        assert_eq!(lock.results, cpu.results);
+        assert_eq!(lock.backend, Backend::Lockstep);
+        assert!(lock.model_ms > 0.0);
+        assert_eq!(cpu.model_ms, 0.0);
+    }
+
+    #[test]
+    fn single_query_batch_skips_profiling() {
+        let idx = index3(64, 19);
+        let out = idx.run_batch(OpKey::Nn, &[vec![0.1, 0.2, 0.3]], &ExecPolicy::default());
+        assert_eq!(out.results.len(), 1);
+        assert!(out.mean_similarity.is_none());
+        assert_eq!(out.backend, Backend::Autoropes);
+    }
+
+    #[test]
+    fn sorted_clustered_batch_profiles_into_lockstep() {
+        // Clustered queries, Morton-sorted: neighbors traverse alike, the
+        // profiler should clear the threshold and pick lockstep.
+        let pts = uniform::<3>(512, 23);
+        let idx = KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle);
+        let queries: Vec<Vec<f32>> = pts.iter().map(|p| p.0.to_vec()).collect();
+        let out = idx.run_batch(OpKey::Pc(0.15f32.to_bits()), &queries, &ExecPolicy::default());
+        assert_eq!(out.backend, Backend::Lockstep, "similarity {:?}", out.mean_similarity);
+        assert!(out.mean_similarity.unwrap() >= 0.35);
+        assert!(out.work_expansion >= 1.0);
+    }
+}

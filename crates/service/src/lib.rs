@@ -1,0 +1,50 @@
+//! `gts-service`: a warp-aware batched traversal query service.
+//!
+//! The offline pipeline this repo reproduces (Goldfarb/Jo/Kulkarni SC'13)
+//! makes two decisions per input set: *sort* the points so neighbors
+//! traverse alike (§4.4), and *profile* a sample of neighboring traversals
+//! to pick the lockstep executor only when their node visits overlap. This
+//! crate turns that offline heuristic into an online scheduling policy:
+//!
+//! * clients submit NN / kNN / point-correlation queries against
+//!   registered tree indices through a bounded queue (backpressure);
+//! * a batcher coalesces them per (index, kernel-parameters) key into
+//!   warp-multiple batches under a time-or-size flush policy;
+//! * a worker pool Morton-sorts each batch, runs the sortedness profiler,
+//!   and dispatches to lockstep or autoropes (or the CPU executor when
+//!   forced) — results return in submission order through tickets;
+//! * a metrics registry tracks queue wait, batch sizes, backend choices,
+//!   node visits, work expansion, and p50/p99 latency, exportable as JSON.
+//!
+//! ```no_run
+//! use gts_service::{Backend, KdIndex, Query, QueryKind, Service, ServiceConfig};
+//! use gts_trees::{PointN, SplitPolicy};
+//! use std::sync::Arc;
+//!
+//! let pts: Vec<PointN<3>> = (0..1000)
+//!     .map(|i| PointN([i as f32 * 0.001, 0.5, 0.5]))
+//!     .collect();
+//! let service = Service::start(ServiceConfig::default());
+//! let id = service.register_index(Arc::new(KdIndex::build(
+//!     "demo", &pts, 8, SplitPolicy::MedianCycle,
+//! )));
+//! let ticket = service
+//!     .submit(Query { index: id, pos: vec![0.1, 0.5, 0.5], kind: QueryKind::Knn { k: 4 } })
+//!     .unwrap();
+//! let result = ticket.wait().unwrap();
+//! println!("{result:?}\n{}", service.shutdown().to_json());
+//! ```
+
+pub mod batcher;
+pub mod index;
+pub mod metrics;
+pub mod policy;
+pub mod query;
+pub mod service;
+
+pub use batcher::{BatchEntry, Batcher, ReadyBatch, WARP};
+pub use index::{BatchOutcome, KdIndex, TreeIndex};
+pub use metrics::{percentile, Metrics, MetricsSnapshot};
+pub use policy::{Backend, ExecPolicy};
+pub use query::{BatchKey, IndexId, OpKey, Query, QueryKind, QueryResult};
+pub use service::{Service, ServiceConfig, ServiceError, Ticket};

@@ -1,0 +1,226 @@
+//! Service metrics: counters and latency samples, exportable as JSON.
+//!
+//! One mutex over the whole registry — recording happens once per *batch*
+//! (plus once per completed query for latency), far off any hot path the
+//! simulated executors dominate.
+
+use crate::policy::Backend;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Inner {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    batches: u64,
+    batch_size_sum: u64,
+    batch_size_max: u64,
+    lockstep_batches: u64,
+    autoropes_batches: u64,
+    cpu_batches: u64,
+    node_visits: u64,
+    // Per-batch samples, not running sums: workers record in a
+    // nondeterministic order, and f64 addition is order-sensitive.
+    // Summing the sorted samples at snapshot time makes the totals a
+    // function of the batch multiset alone, so a deterministic workload
+    // yields bit-identical totals across runs.
+    model_ms: Vec<f64>,
+    work_expansion: Vec<f64>,
+    queue_wait_ms: Vec<f64>,
+    latency_ms: Vec<f64>,
+}
+
+/// Sum in ascending order — deterministic for a fixed multiset.
+fn sorted_sum(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted.iter().sum()
+}
+
+/// Shared metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl Metrics {
+    /// One query accepted into the submission queue.
+    pub fn on_submit(&self) {
+        self.lock().submitted += 1;
+    }
+
+    /// One query rejected at submission (validation or shutdown).
+    pub fn on_reject(&self) {
+        self.lock().rejected += 1;
+    }
+
+    /// One batch dispatched and executed.
+    pub fn on_batch(
+        &self,
+        size: usize,
+        backend: Backend,
+        node_visits: u64,
+        model_ms: f64,
+        work_expansion: f64,
+        queue_wait: Duration,
+    ) {
+        let mut m = self.lock();
+        m.batches += 1;
+        m.batch_size_sum += size as u64;
+        m.batch_size_max = m.batch_size_max.max(size as u64);
+        match backend {
+            Backend::Lockstep => m.lockstep_batches += 1,
+            Backend::Autoropes => m.autoropes_batches += 1,
+            Backend::Cpu => m.cpu_batches += 1,
+        }
+        m.node_visits += node_visits;
+        m.model_ms.push(model_ms);
+        m.work_expansion.push(work_expansion);
+        m.queue_wait_ms.push(queue_wait.as_secs_f64() * 1e3);
+    }
+
+    /// One query's result delivered, `latency` after submission.
+    pub fn on_complete(&self, latency: Duration) {
+        let mut m = self.lock();
+        m.completed += 1;
+        m.latency_ms.push(latency.as_secs_f64() * 1e3);
+    }
+
+    /// Snapshot every counter and percentile.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.lock();
+        MetricsSnapshot {
+            submitted: m.submitted,
+            completed: m.completed,
+            rejected: m.rejected,
+            batches: m.batches,
+            mean_batch_size: if m.batches > 0 {
+                m.batch_size_sum as f64 / m.batches as f64
+            } else {
+                0.0
+            },
+            max_batch_size: m.batch_size_max,
+            lockstep_batches: m.lockstep_batches,
+            autoropes_batches: m.autoropes_batches,
+            cpu_batches: m.cpu_batches,
+            node_visits: m.node_visits,
+            model_ms: sorted_sum(&m.model_ms),
+            mean_work_expansion: if m.batches > 0 {
+                sorted_sum(&m.work_expansion) / m.batches as f64
+            } else {
+                0.0
+            },
+            queue_wait_p50_ms: percentile(&m.queue_wait_ms, 50.0),
+            queue_wait_p99_ms: percentile(&m.queue_wait_ms, 99.0),
+            latency_p50_ms: percentile(&m.latency_ms, 50.0),
+            latency_p99_ms: percentile(&m.latency_ms, 99.0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Point-in-time export of the registry. JSON-serializable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Queries accepted into the queue.
+    pub submitted: u64,
+    /// Queries whose results were delivered.
+    pub completed: u64,
+    /// Queries rejected at submission.
+    pub rejected: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean queries per batch.
+    pub mean_batch_size: f64,
+    /// Largest batch dispatched.
+    pub max_batch_size: u64,
+    /// Batches the profiler (or policy) sent to lockstep.
+    pub lockstep_batches: u64,
+    /// Batches sent to autoropes.
+    pub autoropes_batches: u64,
+    /// Batches run on the CPU backend.
+    pub cpu_batches: u64,
+    /// Total tree-node visits.
+    pub node_visits: u64,
+    /// Total modeled GPU milliseconds.
+    pub model_ms: f64,
+    /// Mean per-batch lockstep work expansion.
+    pub mean_work_expansion: f64,
+    /// Median wait between submission and batch dispatch.
+    pub queue_wait_p50_ms: f64,
+    /// 99th-percentile queue wait.
+    pub queue_wait_p99_ms: f64,
+    /// Median submit-to-result latency.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile submit-to-result latency.
+    pub latency_p99_ms: f64,
+}
+
+impl MetricsSnapshot {
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of `samples`; 0 when empty.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn snapshot_aggregates_batches() {
+        let m = Metrics::default();
+        for _ in 0..3 {
+            m.on_submit();
+        }
+        m.on_batch(2, Backend::Lockstep, 100, 1.5, 1.2, Duration::from_millis(2));
+        m.on_batch(1, Backend::Autoropes, 40, 0.5, 1.0, Duration::from_millis(4));
+        m.on_complete(Duration::from_millis(10));
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.lockstep_batches, 1);
+        assert_eq!(s.autoropes_batches, 1);
+        assert_eq!(s.node_visits, 140);
+        assert!((s.mean_batch_size - 1.5).abs() < 1e-12);
+        assert!((s.model_ms - 2.0).abs() < 1e-12);
+        assert!(s.latency_p50_ms > 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let m = Metrics::default();
+        m.on_submit();
+        m.on_batch(1, Backend::Cpu, 10, 0.0, 1.0, Duration::ZERO);
+        let s = m.snapshot();
+        let back: MetricsSnapshot = serde_json::from_str(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+}

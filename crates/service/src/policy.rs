@@ -1,0 +1,80 @@
+//! Per-batch execution policy: the paper's offline §4.4 decision — sort,
+//! sample neighboring traversals, pick lockstep when they look alike —
+//! applied online to every batch the service flushes.
+
+use gts_points::profile::DEFAULT_THRESHOLD;
+
+/// The traversal executor a batch ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Warp-lockstep rope-stack executor (`gts_runtime::gpu::lockstep`).
+    Lockstep,
+    /// Independent-lane rope-stack executor (`gts_runtime::gpu::autoropes`).
+    Autoropes,
+    /// Host-side parallel traversal (`gts_runtime::cpu`), no GPU model.
+    Cpu,
+}
+
+impl Backend {
+    /// Stable lowercase name for metrics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Lockstep => "lockstep",
+            Backend::Autoropes => "autoropes",
+            Backend::Cpu => "cpu",
+        }
+    }
+}
+
+/// How a batch chooses its executor.
+#[derive(Debug, Clone)]
+pub struct ExecPolicy {
+    /// Neighbor pairs the sortedness profiler samples per batch.
+    pub profile_pairs: usize,
+    /// Similarity threshold above which lockstep is chosen.
+    pub threshold: f64,
+    /// Seed for the profiler's pair sampling (deterministic per service).
+    pub profile_seed: u64,
+    /// When set, skip profiling and always use this backend.
+    pub force: Option<Backend>,
+    /// Apply the Morton pre-sort before dispatch (§4.4 point sorting).
+    /// Disabling this models an unsorted baseline; the profiler then
+    /// usually steers batches away from lockstep.
+    pub sort: bool,
+    /// Host threads each simulated-GPU launch may use. Workers run
+    /// concurrently, so this defaults to 1 to avoid oversubscription;
+    /// 0 means "let the simulator pick".
+    pub sim_threads: usize,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            profile_pairs: 16,
+            threshold: DEFAULT_THRESHOLD,
+            profile_seed: 0x5eed_f00d,
+            force: None,
+            sort: true,
+            sim_threads: 1,
+        }
+    }
+}
+
+impl ExecPolicy {
+    /// Policy that always dispatches to `backend` without profiling.
+    pub fn forced(backend: Backend) -> Self {
+        ExecPolicy {
+            force: Some(backend),
+            ..ExecPolicy::default()
+        }
+    }
+
+    /// Simulation threads per launch, resolved (`0` → all cores).
+    pub fn sim_threads(&self) -> usize {
+        if self.sim_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.sim_threads
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Query and result types for the batched traversal service.
+//!
+//! The service front-end is dimension-erased: a query carries its position
+//! as a `Vec<f32>` and names the target index by [`IndexId`]. Dimension
+//! checking happens at submission against the registered index.
+
+/// Handle of a registered index (returned by `Service::register_index`).
+pub type IndexId = usize;
+
+/// What to compute for a query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryKind {
+    /// Nearest distinct-position neighbor (split-plane-pruned NN kernel).
+    Nn,
+    /// The `k` nearest neighbors (bounding-box-pruned kNN kernel).
+    Knn {
+        /// Neighbor count; clamped to the index size at execution.
+        k: usize,
+    },
+    /// Count of dataset points within `radius` (point-correlation kernel).
+    Pc {
+        /// Ball radius in dataset units.
+        radius: f32,
+    },
+}
+
+/// A single query against a registered index.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Target index.
+    pub index: IndexId,
+    /// Query position; length must equal the index dimension.
+    pub pos: Vec<f32>,
+    /// Operation to run.
+    pub kind: QueryKind,
+}
+
+/// Result of one query.
+///
+/// Neighbor ids refer to the *original* dataset order the index was built
+/// from (the kd-tree's internal leaf-order permutation is undone).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Nearest-neighbor answer.
+    Nn {
+        /// Squared distance to the nearest distinct-position point
+        /// (infinite when the dataset holds no distinct position).
+        dist2: f32,
+        /// Original dataset index of that point, or `u32::MAX`.
+        id: u32,
+    },
+    /// k-nearest answer, ascending by distance.
+    Knn {
+        /// Squared distances, sorted ascending.
+        dist2: Vec<f32>,
+        /// Original dataset indices, parallel to `dist2`.
+        ids: Vec<u32>,
+    },
+    /// Point-correlation count.
+    Pc {
+        /// Number of dataset points within the radius.
+        count: u32,
+    },
+}
+
+/// Coalescing key: queries batch together only when the same kernel can
+/// serve all of them — same index, same operation, same operation
+/// parameter (`k`, or the radius's exact bit pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Target index.
+    pub index: IndexId,
+    /// Operation + parameter.
+    pub op: OpKey,
+}
+
+/// The operation part of a [`BatchKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKey {
+    /// Nearest neighbor.
+    Nn,
+    /// k-nearest with this `k`.
+    Knn(usize),
+    /// Point correlation with this radius (stored as `f32::to_bits` so the
+    /// key stays `Eq + Hash`).
+    Pc(u32),
+}
+
+impl QueryKind {
+    /// The coalescing key for this operation. `None` when the parameters
+    /// are unusable (`k == 0`, or a radius that is not a finite positive
+    /// number).
+    pub fn op_key(&self) -> Option<OpKey> {
+        match *self {
+            QueryKind::Nn => Some(OpKey::Nn),
+            QueryKind::Knn { k } => (k > 0).then_some(OpKey::Knn(k)),
+            QueryKind::Pc { radius } => {
+                (radius.is_finite() && radius >= 0.0).then_some(OpKey::Pc(radius.to_bits()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_key_rejects_degenerate_parameters() {
+        assert_eq!(QueryKind::Nn.op_key(), Some(OpKey::Nn));
+        assert_eq!(QueryKind::Knn { k: 0 }.op_key(), None);
+        assert_eq!(QueryKind::Knn { k: 3 }.op_key(), Some(OpKey::Knn(3)));
+        assert_eq!(QueryKind::Pc { radius: -1.0 }.op_key(), None);
+        assert_eq!(QueryKind::Pc { radius: f32::NAN }.op_key(), None);
+        assert!(QueryKind::Pc { radius: 0.25 }.op_key().is_some());
+    }
+
+    #[test]
+    fn pc_keys_distinguish_radii_exactly() {
+        let a = QueryKind::Pc { radius: 0.1 }.op_key();
+        let b = QueryKind::Pc { radius: 0.1 + f32::EPSILON }.op_key();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,413 @@
+//! The query service: submission queue → batcher thread → worker pool.
+//!
+//! ```text
+//!  clients ──submit──▶ [bounded channel] ──▶ batcher thread
+//!                                              │  time-or-size flush
+//!                                              ▼
+//!                       [bounded channel] ──▶ workers (N threads)
+//!                                              │  sort → profile →
+//!                                              │  lockstep/autoropes
+//!                                              ▼
+//!                                        tickets resolve
+//! ```
+//!
+//! Both channels are bounded: a full submission queue blocks submitters
+//! (backpressure), a full dispatch queue blocks the batcher, which in turn
+//! fills the submission queue. Shutdown drops the submission sender; the
+//! batcher drains its buckets, the workers drain the dispatch queue, and
+//! every in-flight ticket resolves before `shutdown` returns.
+
+use crate::batcher::{BatchEntry, Batcher, ReadyBatch};
+use crate::index::TreeIndex;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::policy::ExecPolicy;
+use crate::query::{BatchKey, IndexId, Query, QueryResult};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a submission or a query failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The query named an index that was never registered.
+    UnknownIndex(IndexId),
+    /// The query position's length does not match the index dimension.
+    DimMismatch {
+        /// The registered index dimension.
+        expected: usize,
+        /// The submitted position length.
+        got: usize,
+    },
+    /// Parameters the kernels cannot run (`k == 0`, non-finite radius or
+    /// position).
+    BadQuery(&'static str),
+    /// The service is shutting down and no longer accepts queries.
+    ShuttingDown,
+    /// A worker failed while executing the batch (kernel panic).
+    Internal(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownIndex(id) => write!(f, "unknown index {id}"),
+            ServiceError::DimMismatch { expected, got } => {
+                write!(f, "dimension mismatch: index is {expected}-d, position is {got}-d")
+            }
+            ServiceError::BadQuery(why) => write!(f, "bad query: {why}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Internal(why) => write!(f, "internal: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Submission queue capacity; a full queue blocks `submit`.
+    pub queue_capacity: usize,
+    /// Batch size target (rounded up to a warp multiple by the batcher).
+    pub batch_queries: usize,
+    /// Max time a query waits in a partial bucket before it flushes.
+    pub max_wait: Duration,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Dispatch queue capacity (ready batches waiting for a worker).
+    pub dispatch_capacity: usize,
+    /// Per-batch execution policy (sort, profile, backend override).
+    pub policy: ExecPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 1024,
+            batch_queries: 256,
+            max_wait: Duration::from_millis(2),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            dispatch_capacity: 8,
+            policy: ExecPolicy::default(),
+        }
+    }
+}
+
+struct TicketInner {
+    slot: Mutex<Option<Result<QueryResult, ServiceError>>>,
+    cv: Condvar,
+}
+
+/// Completion handle for one submitted query.
+#[derive(Clone)]
+pub struct Ticket(Arc<TicketInner>);
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match self.try_get() {
+            None => "pending",
+            Some(Ok(_)) => "resolved",
+            Some(Err(_)) => "failed",
+        };
+        f.debug_tuple("Ticket").field(&state).finish()
+    }
+}
+
+impl Ticket {
+    fn new() -> Self {
+        Ticket(Arc::new(TicketInner {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }))
+    }
+
+    fn resolve(&self, r: Result<QueryResult, ServiceError>) {
+        let mut slot = self.0.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(r);
+            self.0.cv.notify_all();
+        }
+    }
+
+    /// Block until the result arrives.
+    pub fn wait(&self) -> Result<QueryResult, ServiceError> {
+        let mut slot = self.0.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return r.clone();
+            }
+            slot = self.0.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The result, if it has already arrived.
+    pub fn try_get(&self) -> Option<Result<QueryResult, ServiceError>> {
+        self.0.slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+/// Payload riding each batched query: its ticket plus submit time.
+struct Tag {
+    ticket: Ticket,
+    submitted: Instant,
+}
+
+struct Submission {
+    key: BatchKey,
+    pos: Vec<f32>,
+    tag: Tag,
+}
+
+struct Shared {
+    indices: RwLock<Vec<Arc<dyn TreeIndex>>>,
+    metrics: Metrics,
+    policy: ExecPolicy,
+}
+
+/// The batched traversal query service. See the module docs for the
+/// pipeline shape.
+pub struct Service {
+    shared: Arc<Shared>,
+    submit_tx: Option<Sender<Submission>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start the batcher thread and worker pool.
+    pub fn start(config: ServiceConfig) -> Service {
+        let shared = Arc::new(Shared {
+            indices: RwLock::new(Vec::new()),
+            metrics: Metrics::default(),
+            policy: config.policy.clone(),
+        });
+        let (submit_tx, submit_rx) = bounded::<Submission>(config.queue_capacity.max(1));
+        let (dispatch_tx, dispatch_rx) = bounded::<ReadyBatch<Tag>>(config.dispatch_capacity.max(1));
+
+        let batch_queries = config.batch_queries;
+        let max_wait = config.max_wait;
+        let batcher = std::thread::Builder::new()
+            .name("gts-service-batcher".into())
+            .spawn(move || run_batcher(submit_rx, dispatch_tx, batch_queries, max_wait))
+            .expect("spawn batcher");
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = dispatch_rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gts-service-worker-{i}"))
+                    .spawn(move || run_worker(rx, shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        drop(dispatch_rx);
+
+        Service {
+            shared,
+            submit_tx: Some(submit_tx),
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// Register an index; queries name it by the returned id.
+    pub fn register_index(&self, index: Arc<dyn TreeIndex>) -> IndexId {
+        let mut indices = self.shared.indices.write().unwrap_or_else(|e| e.into_inner());
+        indices.push(index);
+        indices.len() - 1
+    }
+
+    /// Submit a query. Blocks while the submission queue is full
+    /// (backpressure); returns a [`Ticket`] that resolves to the result.
+    pub fn submit(&self, query: Query) -> Result<Ticket, ServiceError> {
+        let key = self.validate(&query)?;
+        let ticket = Ticket::new();
+        let submission = Submission {
+            key,
+            pos: query.pos,
+            tag: Tag {
+                ticket: ticket.clone(),
+                submitted: Instant::now(),
+            },
+        };
+        let Some(tx) = &self.submit_tx else {
+            self.shared.metrics.on_reject();
+            return Err(ServiceError::ShuttingDown);
+        };
+        match tx.send(submission) {
+            Ok(()) => {
+                self.shared.metrics.on_submit();
+                Ok(ticket)
+            }
+            Err(_) => {
+                self.shared.metrics.on_reject();
+                Err(ServiceError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Submit and wait — convenience for sequential callers.
+    pub fn query(&self, query: Query) -> Result<QueryResult, ServiceError> {
+        self.submit(query)?.wait()
+    }
+
+    /// Current metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stop accepting queries, drain everything in flight, join all
+    /// threads, and return the final metrics. Every ticket issued before
+    /// the call resolves before this returns.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.drain();
+        self.shared.metrics.snapshot()
+    }
+
+    fn drain(&mut self) {
+        // Closing the submission channel cascades: the batcher sees
+        // Disconnected, drains its buckets into the dispatch channel and
+        // exits; dropping its dispatch sender disconnects the workers
+        // after the queue empties.
+        self.submit_tx = None;
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn validate(&self, query: &Query) -> Result<BatchKey, ServiceError> {
+        let op = query.kind.op_key().ok_or_else(|| {
+            self.shared.metrics.on_reject();
+            ServiceError::BadQuery("k must be ≥ 1 and radius a finite non-negative number")
+        })?;
+        if !query.pos.iter().all(|v| v.is_finite()) {
+            self.shared.metrics.on_reject();
+            return Err(ServiceError::BadQuery("non-finite query position"));
+        }
+        let indices = self.shared.indices.read().unwrap_or_else(|e| e.into_inner());
+        let index = indices.get(query.index).ok_or_else(|| {
+            self.shared.metrics.on_reject();
+            ServiceError::UnknownIndex(query.index)
+        })?;
+        if index.dim() != query.pos.len() {
+            self.shared.metrics.on_reject();
+            return Err(ServiceError::DimMismatch {
+                expected: index.dim(),
+                got: query.pos.len(),
+            });
+        }
+        Ok(BatchKey { index: query.index, op })
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn run_batcher(
+    rx: Receiver<Submission>,
+    tx: Sender<ReadyBatch<Tag>>,
+    batch_queries: usize,
+    max_wait: Duration,
+) {
+    let mut batcher: Batcher<Tag> = Batcher::new(batch_queries, max_wait);
+    // A failed dispatch (workers gone early — only happens on a worker
+    // panic) must still resolve the batch's tickets or `wait` would hang.
+    let send = |ready: ReadyBatch<Tag>| -> bool {
+        match tx.send(ready) {
+            Ok(()) => true,
+            Err(err) => {
+                for e in err.0.entries {
+                    e.tag.ticket.resolve(Err(ServiceError::Internal(
+                        "dispatch queue closed".into(),
+                    )));
+                }
+                false
+            }
+        }
+    };
+    loop {
+        // Sleep exactly until the oldest bucket's deadline (or idle).
+        let timeout = match batcher.next_deadline() {
+            Some(d) => d.saturating_duration_since(Instant::now()),
+            None => Duration::from_millis(50),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(sub) => {
+                let entry = BatchEntry { pos: sub.pos, tag: sub.tag };
+                if let Some(ready) = batcher.push(sub.key, entry, Instant::now()) {
+                    send(ready);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Shutdown: drain every bucket before exiting.
+                for ready in batcher.flush_all() {
+                    send(ready);
+                }
+                return;
+            }
+        }
+        for ready in batcher.flush_due(Instant::now()) {
+            send(ready);
+        }
+    }
+}
+
+fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
+    while let Ok(batch) = rx.recv() {
+        let dispatched = Instant::now();
+        let ReadyBatch { key, entries } = batch;
+        let index = {
+            let indices = shared.indices.read().unwrap_or_else(|e| e.into_inner());
+            indices.get(key.index).cloned()
+        };
+        let positions: Vec<Vec<f32>> = entries.iter().map(|e| e.pos.clone()).collect();
+        let outcome = match index {
+            Some(index) => std::panic::catch_unwind(AssertUnwindSafe(|| {
+                index.run_batch(key.op, &positions, &shared.policy)
+            }))
+            .map_err(|_| ServiceError::Internal("kernel panicked".into())),
+            // Registration is checked at submit; this covers torn-down
+            // state only.
+            None => Err(ServiceError::UnknownIndex(key.index)),
+        };
+        match outcome {
+            Ok(out) => {
+                let queue_wait = entries
+                    .iter()
+                    .map(|e| dispatched.duration_since(e.tag.submitted))
+                    .max()
+                    .unwrap_or(Duration::ZERO);
+                shared.metrics.on_batch(
+                    entries.len(),
+                    out.backend,
+                    out.node_visits,
+                    out.model_ms,
+                    out.work_expansion,
+                    queue_wait,
+                );
+                let done = Instant::now();
+                for (e, r) in entries.iter().zip(out.results) {
+                    shared.metrics.on_complete(done.duration_since(e.tag.submitted));
+                    e.tag.ticket.resolve(Ok(r));
+                }
+            }
+            Err(err) => {
+                for e in &entries {
+                    e.tag.ticket.resolve(Err(err.clone()));
+                }
+            }
+        }
+    }
+}

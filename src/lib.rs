@@ -18,6 +18,8 @@
 //! * [`ir`] — the traversal compiler: kernel IR, call-set analysis,
 //!   pseudo-tail-recursion checking, the transformations, an interpreter.
 //! * [`harness`] — regenerates the paper's Table 1, Table 2, Figures 10/11.
+//! * [`service`] — a batched concurrent query service that applies the
+//!   paper's sort + profile + executor-choice pipeline per batch, online.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use gts_harness as harness;
 pub use gts_ir as ir;
 pub use gts_points as points;
 pub use gts_runtime as runtime;
+pub use gts_service as service;
 pub use gts_sim as sim;
 pub use gts_trees as trees;
 
@@ -64,6 +67,7 @@ pub mod prelude {
     pub use gts_points;
     pub use gts_runtime::gpu::GpuConfig;
     pub use gts_runtime::{self, StackLayout, TraversalKernel};
+    pub use gts_service::{Query, QueryKind, QueryResult, Service, ServiceConfig};
     pub use gts_sim::{CostModel, DeviceConfig, WarpMask};
     pub use gts_trees::{Aabb, KdTree, Octree, PointN, SplitPolicy, VpTree};
 }

@@ -1,0 +1,154 @@
+//! Acceptance test for `gts-service`: 10k concurrent queries across two
+//! indices return exactly what the sequential CPU oracle computes —
+//! batching, Morton sorting, profiling, and executor choice must all be
+//! invisible to callers.
+
+use gts_apps::oracle;
+use gts_points::gen::{geocity_like, uniform};
+use gts_service::{
+    KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, TreeIndex,
+};
+use gts_trees::{PointN, SplitPolicy};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const N_POINTS: usize = 1024;
+const N_QUERIES: usize = 10_000;
+const SUBMITTERS: usize = 8;
+
+#[derive(Clone)]
+enum Expected {
+    Nn(f32),
+    Knn(Vec<f32>),
+    Pc(u32),
+}
+
+struct Case {
+    query: Query,
+    expected: Expected,
+}
+
+/// Pre-compute the oracle answer for one query.
+fn with_oracle<const D: usize>(data: &[PointN<D>], index: usize, pos: PointN<D>, kind: QueryKind) -> Case {
+    let expected = match kind {
+        QueryKind::Nn => Expected::Nn(oracle::nn_dist2_nonself(data, &pos)),
+        QueryKind::Knn { k } => Expected::Knn(oracle::knn_dists(data, &pos, k)),
+        QueryKind::Pc { radius } => Expected::Pc(oracle::pc_count(data, &pos, radius)),
+    };
+    Case {
+        query: Query { index, pos: pos.0.to_vec(), kind },
+        expected,
+    }
+}
+
+fn check(result: &QueryResult, expected: &Expected, ctx: usize) {
+    match (result, expected) {
+        (QueryResult::Nn { dist2, .. }, Expected::Nn(want)) => {
+            if want.is_finite() {
+                assert!(
+                    (dist2 - want).abs() <= 1e-5 * want.max(1e-6),
+                    "query {ctx}: nn {dist2} vs oracle {want}"
+                );
+            } else {
+                assert!(dist2.is_infinite(), "query {ctx}");
+            }
+        }
+        (QueryResult::Knn { dist2, .. }, Expected::Knn(want)) => {
+            assert_eq!(dist2.len(), want.len(), "query {ctx}: knn count");
+            for (got, want) in dist2.iter().zip(want) {
+                assert!(
+                    (got - want).abs() <= 1e-5 * want.max(1e-6),
+                    "query {ctx}: knn {got} vs oracle {want}"
+                );
+            }
+        }
+        (QueryResult::Pc { count }, Expected::Pc(want)) => {
+            assert_eq!(count, want, "query {ctx}: pc count");
+        }
+        _ => panic!("query {ctx}: result variant does not match query kind"),
+    }
+}
+
+#[test]
+fn ten_thousand_concurrent_queries_match_sequential_oracle() {
+    let pts3 = uniform::<3>(N_POINTS, 1301);
+    let pts2 = geocity_like(N_POINTS, 1302);
+
+    // Seeded mixed workload, clustered near dataset points.
+    let mut rng = ChaCha8Rng::seed_from_u64(9000);
+    let cases: Vec<Case> = (0..N_QUERIES)
+        .map(|_| {
+            let kind = match rng.gen_range(0..10u32) {
+                0..=4 => QueryKind::Nn,
+                // Include k > n occasionally: k is clamped by reality, the
+                // oracle truncates the same way.
+                5..=7 => QueryKind::Knn { k: [4, 8, 2 * N_POINTS][rng.gen_range(0..3usize)] },
+                _ => QueryKind::Pc { radius: 0.1 },
+            };
+            if rng.gen_bool(0.5) {
+                let anchor = pts3[rng.gen_range(0..N_POINTS)];
+                let pos = PointN(std::array::from_fn(|d| {
+                    anchor.0[d] + rng.gen_range(-0.02f32..0.02)
+                }));
+                with_oracle(&pts3, 0, pos, kind)
+            } else {
+                let anchor = pts2[rng.gen_range(0..N_POINTS)];
+                let pos = PointN(std::array::from_fn(|d| {
+                    anchor.0[d] + rng.gen_range(-0.02f32..0.02)
+                }));
+                with_oracle(&pts2, 1, pos, kind)
+            }
+        })
+        .collect();
+
+    let service = Service::start(ServiceConfig {
+        batch_queries: 256,
+        max_wait: Duration::from_millis(5),
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+    let id3 = service.register_index(Arc::new(KdIndex::build(
+        "u3", &pts3, 8, SplitPolicy::MedianCycle,
+    )) as Arc<dyn TreeIndex>);
+    let id2 = service.register_index(Arc::new(KdIndex::build(
+        "g2", &pts2, 8, SplitPolicy::MidpointWidest,
+    )) as Arc<dyn TreeIndex>);
+    assert_eq!((id3, id2), (0, 1), "test indices assume registration order");
+
+    // Concurrent submitters: each owns a stripe of the case list, submits
+    // all queries, then waits on its tickets.
+    std::thread::scope(|scope| {
+        for stripe in 0..SUBMITTERS {
+            let service = &service;
+            let cases = &cases;
+            scope.spawn(move || {
+                let mine: Vec<usize> =
+                    (stripe..cases.len()).step_by(SUBMITTERS).collect();
+                let tickets: Vec<_> = mine
+                    .iter()
+                    .map(|&i| {
+                        let c = &cases[i];
+                        service.submit(c.query.clone()).expect("submit succeeds")
+                    })
+                    .collect();
+                for (&i, t) in mine.iter().zip(&tickets) {
+                    let result = t.wait().expect("query succeeds");
+                    check(&result, &cases[i].expected, i);
+                }
+            });
+        }
+    });
+
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.submitted, N_QUERIES as u64);
+    assert_eq!(snapshot.completed, N_QUERIES as u64);
+    assert_eq!(snapshot.rejected, 0);
+    assert!(snapshot.batches > 0);
+    assert!(
+        snapshot.mean_batch_size > 1.0,
+        "the batcher actually coalesced (mean {})",
+        snapshot.mean_batch_size
+    );
+}

@@ -1,0 +1,216 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Real criterion measures; this stub only *executes*: every registered
+//! benchmark body runs exactly once and its wall time is printed. That
+//! keeps `cargo bench` (and `cargo build --benches`) compiling and useful
+//! as a smoke test in an environment with no crates.io access, without
+//! pretending to produce statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Disable plot generation (no-op: the stub never plots).
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Set the measurement sample count (no-op: the stub runs once).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Register a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_once(&id.to_string(), |b| f(b));
+        self
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the measurement sample count (no-op: the stub runs once).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement time budget (no-op: the stub runs once).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Register a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_once(&format!("{}/{}", self.name, id), |b| f(b));
+        self
+    }
+
+    /// Register a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_once(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_once(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { elapsed: None };
+    let start = Instant::now();
+    f(&mut b);
+    let wall = b.elapsed.unwrap_or_else(|| start.elapsed());
+    println!("bench {label}: {:.3} ms (single run, stub)", wall.as_secs_f64() * 1e3);
+}
+
+/// Handed to each benchmark body; runs the routine exactly once.
+pub struct Bencher {
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run the routine once and record its wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = Some(start.elapsed());
+    }
+
+    /// Run the custom-timed routine with `iters = 1`.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = Some(routine(1));
+    }
+}
+
+/// Identifier helper mirroring criterion's `BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name plus a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner, optionally with a
+/// configured `Criterion` (the `config = ...` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10);
+        group.bench_function("plain", |b| b.iter(|| 2 + 2));
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                assert_eq!(iters, 1);
+                Duration::from_micros(5)
+            })
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().without_plots();
+        targets = sample_bench
+    }
+
+    #[test]
+    fn groups_run() {
+        benches();
+        configured();
+    }
+
+    #[test]
+    fn bencher_records_custom_time() {
+        let mut b = Bencher { elapsed: None };
+        b.iter_custom(|_| Duration::from_millis(3));
+        assert_eq!(b.elapsed, Some(Duration::from_millis(3)));
+    }
+}

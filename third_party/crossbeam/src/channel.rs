@@ -1,0 +1,308 @@
+//! MPMC channels: `bounded` (blocking backpressure) and `unbounded`.
+//!
+//! Semantics follow crossbeam-channel where this workspace depends on
+//! them:
+//!
+//! * senders and receivers are cloneable and usable from many threads;
+//! * `send` on a full bounded channel blocks until space frees up;
+//! * `send` fails with [`SendError`] once every receiver is dropped;
+//! * `recv` blocks until a message arrives and fails with [`RecvError`]
+//!   once the channel is empty **and** every sender is dropped;
+//! * `recv_timeout` adds a deadline — the batcher's flush tick rides on
+//!   this.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    queue: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Error on `send`: all receivers dropped. Carries the unsent message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error on `recv`: channel empty and all senders dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error on `try_recv`.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+/// Error on `recv_timeout`.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Deadline passed with no message.
+    Timeout,
+    /// Channel empty and all senders dropped.
+    Disconnected,
+}
+
+/// Sending half. Clone freely.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Receiving half. Clone freely (MPMC: each message goes to one receiver).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Channel with capacity `cap` (> 0); `send` blocks while full.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded(0) rendezvous channels are not supported by this stub");
+    new_channel(Some(cap))
+}
+
+/// Channel without capacity bound; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_channel(None)
+}
+
+fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(State {
+            buf: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { inner: inner.clone() }, Receiver { inner })
+}
+
+impl<T> Sender<T> {
+    /// Blocking send; fails only when every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.inner.queue.lock().expect("channel poisoned");
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            let full = st.cap.is_some_and(|c| st.buf.len() >= c);
+            if !full {
+                st.buf.push_back(msg);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.inner.not_full.wait(st).expect("channel poisoned");
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().expect("channel poisoned").buf.len()
+    }
+
+    /// Is the queue empty right now?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocking receive; fails once empty with no senders left.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.inner.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = st.buf.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.inner.not_empty.wait(st).expect("channel poisoned");
+        }
+    }
+
+    /// Receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = st.buf.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) = self
+                .inner
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .expect("channel poisoned");
+            st = guard;
+            if res.timed_out() && st.buf.is_empty() {
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.inner.queue.lock().expect("channel poisoned");
+        if let Some(msg) = st.buf.pop_front() {
+            self.inner.not_full.notify_one();
+            return Ok(msg);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().expect("channel poisoned").buf.len()
+    }
+
+    /// Is the queue empty right now?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().expect("channel poisoned").senders += 1;
+        Sender { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().expect("channel poisoned").receivers += 1;
+        Receiver { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.queue.lock().expect("channel poisoned");
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.inner.queue.lock().expect("channel poisoned");
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || {
+            // This blocks until the main thread drains one slot.
+            tx.send(3).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn mpmc_disjoint_delivery() {
+        let (tx, rx) = unbounded::<u64>();
+        let n: u64 = 1000;
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Two pieces are provided, matching what this workspace uses:
+//!
+//! * [`scope`] — crossbeam-style scoped threads, implemented over
+//!   [`std::thread::scope`]. Handles joined inside the closure behave
+//!   identically; the scope returns `Ok(R)` on success.
+//! * [`channel`] — multi-producer multi-consumer channels (bounded with
+//!   blocking backpressure, and unbounded), implemented with
+//!   `Mutex<VecDeque>` + two condvars. These back the `gts-service`
+//!   submission and dispatch queues.
+
+pub mod channel;
+
+/// Scoped threads.
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// A scope handle; `spawn` borrows from the enclosing environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// itself (for nested spawns), like crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope; all threads spawned within are joined before it
+    /// returns. Returns `Ok` with the closure's value (panics inside
+    /// unjoined threads propagate as panics, which every caller in this
+    /// workspace treats as fatal anyway).
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = Vec::new();
+        super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            for h in handles {
+                out.push(h.join().unwrap());
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream serde's serializer/visitor machinery, this stub
+//! round-trips through an owned JSON-shaped [`Value`] tree:
+//!
+//! * [`Serialize::to_value`] turns a Rust value into a [`Value`];
+//! * [`Deserialize::from_value`] rebuilds a Rust value from a [`Value`];
+//! * the sibling `serde_json` stub prints and parses [`Value`] as JSON
+//!   text.
+//!
+//! The derive macros (re-exported from the stub `serde_derive`) cover
+//! named-field structs, newtype structs, and unit-variant enums — the
+//! shapes this workspace serializes. Deserialization of struct fields is
+//! by name, so field order in the JSON does not matter, same as upstream.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving integer-ness where possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (negative values).
+    I64(i64),
+    /// Float.
+    F64(f64),
+}
+
+impl Number {
+    /// Lossy conversion to f64.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+
+    /// Conversion to u64 when exactly representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// Conversion to i64 when exactly representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::I64(v) => Some(v),
+            Number::F64(v)
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+            {
+                Some(v as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => {
+                fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// New error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild a value from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Helper used by derived code: typed lookup of an object field.
+/// A missing field is an error, matching upstream serde's default.
+pub fn from_field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, Error> {
+    match obj.get(name) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => Err(Error(format!("missing field `{name}`"))),
+    }
+}
+
+// ---- primitive impls -------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| Error::new("integer out of range")),
+                    _ => Err(Error::new("expected unsigned integer")),
+                }
+            }
+        }
+    )*};
+}
+uint_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| Error::new("integer out of range")),
+                    _ => Err(Error::new("expected signed integer")),
+                }
+            }
+        }
+    )*};
+}
+sint_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            _ => Err(Error::new("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(Error::new("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            _ => Err(Error::new("expected 3-element array")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::new("expected object")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,273 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Supports exactly the shapes this workspace serializes:
+//!
+//! * structs with named fields (no generics),
+//! * tuple structs (newtype `T(U)` serialized transparently; longer tuples
+//!   as arrays),
+//! * enums whose variants are all unit variants (serialized as strings).
+//!
+//! The generated impls target the stub `serde` crate's value-tree traits
+//! (`Serialize::to_value` / `Deserialize::from_value`), not upstream
+//! serde's visitor machinery. Anything outside the supported shapes
+//! produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    generate(input, Mode::Serialize)
+}
+
+/// Derive the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    generate(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// struct Name { a, b, c }
+    NamedStruct { name: String, fields: Vec<String> },
+    /// struct Name(T, U); — field count only.
+    TupleStruct { name: String, arity: usize },
+    /// enum Name { A, B } — unit variants only.
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn generate(input: TokenStream, mode: Mode) -> TokenStream {
+    let shape = match parse(input) {
+        Ok(s) => s,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (&shape, mode) {
+        (Shape::NamedStruct { name, fields }, Mode::Serialize) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         let mut __fields = ::std::vec::Vec::new();\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\
+                     }}\
+                 }}"
+            )
+        }
+        (Shape::NamedStruct { name, fields }, Mode::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(__v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        (Shape::TupleStruct { name, arity: 1 }, Mode::Serialize) => format!(
+            "impl ::serde::Serialize for {name} {{\
+                 fn to_value(&self) -> ::serde::Value {{\
+                     ::serde::Serialize::to_value(&self.0)\
+                 }}\
+             }}"
+        ),
+        (Shape::TupleStruct { name, arity: 1 }, Mode::Deserialize) => format!(
+            "impl ::serde::Deserialize for {name} {{\
+                 fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\
+                     ::std::result::Result::Ok({name}(\
+                         ::serde::Deserialize::from_value(__v)?))\
+                 }}\
+             }}"
+        ),
+        (Shape::TupleStruct { .. }, _) => {
+            return "compile_error!(\"serde stub: tuple structs with more than one \
+                    field are not supported\");"
+                .parse()
+                .unwrap();
+        }
+        (Shape::UnitEnum { name, variants }, Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\
+                     }}\
+                 }}"
+            )
+        }
+        (Shape::UnitEnum { name, variants }, Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{v:?} => ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\
+                         match __v {{\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\
+                                 {arms}\
+                                 __other => ::std::result::Result::Err(\
+                                     ::serde::Error::new(format!(\
+                                         \"unknown {name} variant {{__other}}\"))),\
+                             }},\
+                             _ => ::std::result::Result::Err(::serde::Error::new(\
+                                 \"expected string for enum {name}\".to_string())),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Token iterator with attributes (`#[...]` pairs) skipped.
+fn strip(tokens: TokenStream) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    let mut iter = tokens.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Drop the following bracket group (the attribute body).
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        iter.next();
+                        continue;
+                    }
+                }
+                out.push(tt);
+            }
+            _ => out.push(tt),
+        }
+    }
+    out
+}
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let tokens = strip(input);
+    let mut i = 0;
+    // Skip visibility: `pub`, optionally followed by `(...)`.
+    let is_ident = |t: &TokenTree, s: &str| matches!(t, TokenTree::Ident(id) if id.to_string() == s);
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("serde stub: expected struct or enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub: expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err("serde stub: generic types are not supported".to_string());
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            let arity = split_top_level(strip(g.stream())).len();
+            return Ok(Shape::TupleStruct { name, arity });
+        }
+        other => return Err(format!("serde stub: unsupported item body {other:?}")),
+    };
+    let parts = split_top_level(strip(body));
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        for part in &parts {
+            let mut j = 0;
+            if j < part.len() && is_ident(&part[j], "pub") {
+                j += 1;
+                if let Some(TokenTree::Group(g)) = part.get(j) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        j += 1;
+                    }
+                }
+            }
+            match part.get(j) {
+                Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                other => return Err(format!("serde stub: unsupported field {other:?}")),
+            }
+        }
+        Ok(Shape::NamedStruct { name, fields })
+    } else {
+        let mut variants = Vec::new();
+        for part in &parts {
+            match (part.first(), part.len()) {
+                (Some(TokenTree::Ident(id)), 1) => variants.push(id.to_string()),
+                _ => {
+                    return Err(
+                        "serde stub: only unit enum variants are supported".to_string()
+                    )
+                }
+            }
+        }
+        Ok(Shape::UnitEnum { name, variants })
+    }
+}
+
+/// Split a stripped token list on top-level commas, tracking `<...>` depth
+/// (delimiter groups are already atomic in `TokenTree`). Empty trailing
+/// segments are dropped.
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        parts.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
