@@ -82,7 +82,11 @@ impl<'t> BhKernel<'t> {
         }
         let inv_d3 = 1.0 / (d2 * d2.sqrt());
         p.acc = p.acc.add_scaled(
-            &PointN([source[0] - p.pos[0], source[1] - p.pos[1], source[2] - p.pos[2]]),
+            &PointN([
+                source[0] - p.pos[0],
+                source[1] - p.pos[1],
+                source[2] - p.pos[2],
+            ]),
             mass * inv_d3,
         );
     }
@@ -108,9 +112,12 @@ impl TraversalKernel for BhKernel<'_> {
         self.tree.is_leaf(node)
     }
     fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
-        self.tree
-            .is_leaf(node)
-            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+        self.tree.is_leaf(node).then(|| {
+            (
+                self.tree.first[node as usize],
+                self.tree.count[node as usize],
+            )
+        })
     }
     fn node_bytes(&self) -> NodeBytes {
         NodeBytes::oct()
@@ -140,11 +147,18 @@ impl TraversalKernel for BhKernel<'_> {
         }
         if self.far_enough(node, &p.pos, dsq) {
             // Far cell: one pseudo-body interaction, then truncate.
-            self.add_accel(p, &self.tree.com[node as usize], self.tree.mass[node as usize]);
+            self.add_accel(
+                p,
+                &self.tree.com[node as usize],
+                self.tree.mass[node as usize],
+            );
             return VisitOutcome::Truncated;
         }
         for c in self.tree.present_children(node) {
-            kids.push(Child { node: c, args: dsq * 0.25 });
+            kids.push(Child {
+                node: c,
+                args: dsq * 0.25,
+            });
         }
         VisitOutcome::Descended { call_set: 0 }
     }
@@ -162,7 +176,11 @@ impl TraversalKernel for BhKernel<'_> {
 /// in `accs`. Used by the multi-timestep harness runs (the paper runs its
 /// inputs “for five timesteps”).
 pub fn integrate(bodies: &mut [Body], accs: &[BhPoint], dt: f32) {
-    assert_eq!(bodies.len(), accs.len(), "body/acceleration length mismatch");
+    assert_eq!(
+        bodies.len(),
+        accs.len(),
+        "body/acceleration length mismatch"
+    );
     for (b, a) in bodies.iter_mut().zip(accs) {
         b.vel = b.vel.add_scaled(&a.acc, dt);
         b.pos = b.pos.add_scaled(&b.vel, dt);

@@ -72,9 +72,12 @@ impl<const D: usize> TraversalKernel for KnnKernel<'_, D> {
         self.tree.is_leaf(node)
     }
     fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
-        self.tree
-            .is_leaf(node)
-            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+        self.tree.is_leaf(node).then(|| {
+            (
+                self.tree.first[node as usize],
+                self.tree.count[node as usize],
+            )
+        })
     }
     fn node_bytes(&self) -> NodeBytes {
         NodeBytes::kd(D)
@@ -109,8 +112,14 @@ impl<const D: usize> TraversalKernel for KnnKernel<'_, D> {
             return VisitOutcome::Leaf;
         }
         let set = forced.unwrap_or_else(|| self.choose(p, node, ()));
-        let l = Child { node: self.tree.left(node), args: () };
-        let r = Child { node: self.tree.right[node as usize], args: () };
+        let l = Child {
+            node: self.tree.left(node),
+            args: (),
+        };
+        let r = Child {
+            node: self.tree.right[node as usize],
+            args: (),
+        };
         if set == 0 {
             kids.push(l);
             kids.push(r);
@@ -140,7 +149,10 @@ mod tests {
             let got = r.best.distances();
             assert_eq!(got.len(), want.len().min(k), "point {i} count");
             for (g, w) in got.iter().zip(&want) {
-                assert!((g - w).abs() <= 1e-5 * w.max(1.0), "point {i}: {got:?} vs {want:?}");
+                assert!(
+                    (g - w).abs() <= 1e-5 * w.max(1.0),
+                    "point {i}: {got:?} vs {want:?}"
+                );
             }
         }
     }
@@ -211,7 +223,12 @@ mod tests {
         // Same answers (§4.3's equivalence claim) ...
         check_matches_oracle(&pts, &degraded, K);
         // ... but the guided order visits meaningfully fewer nodes.
-        assert!(g.stats.avg_nodes() < 0.9 * d.stats.avg_nodes(), "{} vs {}", g.stats.avg_nodes(), d.stats.avg_nodes());
+        assert!(
+            g.stats.avg_nodes() < 0.9 * d.stats.avg_nodes(),
+            "{} vs {}",
+            g.stats.avg_nodes(),
+            d.stats.avg_nodes()
+        );
     }
 
     #[test]

@@ -79,9 +79,12 @@ impl<const D: usize> TraversalKernel for NnKernel<'_, D> {
         self.tree.is_leaf(node)
     }
     fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
-        self.tree
-            .is_leaf(node)
-            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+        self.tree.is_leaf(node).then(|| {
+            (
+                self.tree.first[node as usize],
+                self.tree.count[node as usize],
+            )
+        })
     }
     fn node_bytes(&self) -> NodeBytes {
         NodeBytes::kd(D)
@@ -136,13 +139,25 @@ impl<const D: usize> TraversalKernel for NnKernel<'_, D> {
             (r, l)
         };
         if set == self.choose(p, node, plane_d2) {
-            kids.push(Child { node: near, args: plane_d2 });
-            kids.push(Child { node: far, args: far_bound });
+            kids.push(Child {
+                node: near,
+                args: plane_d2,
+            });
+            kids.push(Child {
+                node: far,
+                args: far_bound,
+            });
         } else {
             // Outvoted: far side first. Bounds stay attached to the right
             // children — order changes, correctness does not (§4.3).
-            kids.push(Child { node: far, args: far_bound });
-            kids.push(Child { node: near, args: plane_d2 });
+            kids.push(Child {
+                node: far,
+                args: far_bound,
+            });
+            kids.push(Child {
+                node: near,
+                args: plane_d2,
+            });
         }
         VisitOutcome::Descended { call_set: set }
     }

@@ -24,7 +24,9 @@ pub fn knn_dists<const D: usize>(data: &[PointN<D>], q: &PointN<D>, k: usize) ->
 
 /// The smallest squared distance from `q` to `data` — NN / VP ground truth.
 pub fn nn_dist2<const D: usize>(data: &[PointN<D>], q: &PointN<D>) -> f32 {
-    data.iter().map(|p| p.dist2(q)).fold(f32::INFINITY, f32::min)
+    data.iter()
+        .map(|p| p.dist2(q))
+        .fold(f32::INFINITY, f32::min)
 }
 
 /// The smallest *non-zero* squared distance from `q` to `data`: the

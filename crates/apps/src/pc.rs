@@ -68,9 +68,12 @@ impl<const D: usize> TraversalKernel for PcKernel<'_, D> {
         self.tree.is_leaf(node)
     }
     fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
-        self.tree
-            .is_leaf(node)
-            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+        self.tree.is_leaf(node).then(|| {
+            (
+                self.tree.first[node as usize],
+                self.tree.count[node as usize],
+            )
+        })
     }
     fn node_bytes(&self) -> NodeBytes {
         NodeBytes::kd(D)
@@ -99,8 +102,14 @@ impl<const D: usize> TraversalKernel for PcKernel<'_, D> {
             }
             return VisitOutcome::Leaf;
         }
-        kids.push(Child { node: self.tree.left(node), args: () });
-        kids.push(Child { node: self.tree.right[node as usize], args: () });
+        kids.push(Child {
+            node: self.tree.left(node),
+            args: (),
+        });
+        kids.push(Child {
+            node: self.tree.right[node as usize],
+            args: (),
+        });
         VisitOutcome::Descended { call_set: 0 }
     }
 }

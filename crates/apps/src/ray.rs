@@ -166,7 +166,11 @@ impl TraversalKernel for RayKernel<'_> {
     fn choose(&self, p: &RayPoint, node: NodeId, _args: ()) -> usize {
         // Near child first, by box entry distance.
         let l = ray_box_enter(&p.orig, &p.dir, &self.node_bbox(self.bvh.left(node)));
-        let r = ray_box_enter(&p.orig, &p.dir, &self.node_bbox(self.bvh.right[node as usize]));
+        let r = ray_box_enter(
+            &p.orig,
+            &p.dir,
+            &self.node_bbox(self.bvh.right[node as usize]),
+        );
         match (l, r) {
             (Some(tl), Some(tr)) => usize::from(tr < tl),
             (None, Some(_)) => 1,
@@ -200,8 +204,14 @@ impl TraversalKernel for RayKernel<'_> {
             return VisitOutcome::Leaf;
         }
         let set = forced.unwrap_or_else(|| self.choose(p, node, ()));
-        let l = Child { node: self.bvh.left(node), args: () };
-        let r = Child { node: self.bvh.right[node as usize], args: () };
+        let l = Child {
+            node: self.bvh.left(node),
+            args: (),
+        };
+        let r = Child {
+            node: self.bvh.right[node as usize],
+            args: (),
+        };
         if set == 0 {
             kids.push(l);
             kids.push(r);
@@ -269,12 +279,18 @@ mod tests {
 
     #[test]
     fn slab_test_basics() {
-        let b = Aabb { lo: PointN([0.0, 0.0, 0.0]), hi: PointN([1.0, 1.0, 1.0]) };
+        let b = Aabb {
+            lo: PointN([0.0, 0.0, 0.0]),
+            hi: PointN([1.0, 1.0, 1.0]),
+        };
         let hit = ray_box_enter(&PointN([-1.0, 0.5, 0.5]), &PointN([1.0, 0.0, 0.0]), &b);
         assert_eq!(hit, Some(1.0));
         assert!(ray_box_enter(&PointN([-1.0, 2.0, 0.5]), &PointN([1.0, 0.0, 0.0]), &b).is_none());
         // Origin inside the box: entry at 0.
-        assert_eq!(ray_box_enter(&PointN([0.5, 0.5, 0.5]), &PointN([1.0, 0.0, 0.0]), &b), Some(0.0));
+        assert_eq!(
+            ray_box_enter(&PointN([0.5, 0.5, 0.5]), &PointN([1.0, 0.0, 0.0]), &b),
+            Some(0.0)
+        );
     }
 
     #[test]
@@ -304,7 +320,11 @@ mod tests {
             let (t, id) = closest_hit_exact(&bvh.triangles, &r.orig, &r.dir);
             assert_eq!(r.hit, id, "ray {i} hit id");
             if id != u32::MAX {
-                assert!((r.best_t - t).abs() <= 1e-4 * t.max(1.0), "ray {i}: {} vs {t}", r.best_t);
+                assert!(
+                    (r.best_t - t).abs() <= 1e-4 * t.max(1.0),
+                    "ray {i}: {} vs {t}",
+                    r.best_t
+                );
             }
         }
     }

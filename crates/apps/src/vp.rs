@@ -75,9 +75,12 @@ impl<const D: usize> TraversalKernel for VpKernel<'_, D> {
         self.tree.is_leaf(node)
     }
     fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
-        self.tree
-            .is_leaf(node)
-            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+        self.tree.is_leaf(node).then(|| {
+            (
+                self.tree.first[node as usize],
+                self.tree.count[node as usize],
+            )
+        })
     }
     fn node_bytes(&self) -> NodeBytes {
         NodeBytes::vp(D)
@@ -124,8 +127,14 @@ impl<const D: usize> TraversalKernel for VpKernel<'_, D> {
         }
         let inner_bound = shell_bound.max(d - t);
         let outer_bound = shell_bound.max(t - d);
-        let inner = Child { node: self.tree.inner(node), args: inner_bound.max(0.0) };
-        let outer = Child { node: self.tree.outer[node as usize], args: outer_bound.max(0.0) };
+        let inner = Child {
+            node: self.tree.inner(node),
+            args: inner_bound.max(0.0),
+        };
+        let outer = Child {
+            node: self.tree.outer[node as usize],
+            args: outer_bound.max(0.0),
+        };
         let set = forced.unwrap_or_else(|| self.choose(p, node, shell_bound));
         if set == 0 {
             kids.push(inner);

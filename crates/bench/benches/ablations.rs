@@ -19,8 +19,8 @@ use gts_apps::pc::{PcKernel, PcPoint};
 use gts_bench::{bh_workload, kd_workload, modeled};
 use gts_points::sort::{apply_perm, tree_order};
 use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
-use gts_runtime::{cpu, cpu_blocked};
 use gts_runtime::StackLayout;
+use gts_runtime::{cpu, cpu_blocked};
 use gts_trees::layout::NodeLayout;
 
 fn stack_layouts(c: &mut Criterion) {

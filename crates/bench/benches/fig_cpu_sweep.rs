@@ -17,7 +17,9 @@ use gts_runtime::cpu;
 /// (oversubscribed sweeps measure scheduler noise, not scaling — the
 /// harness models the paper's 48-core box instead; see DESIGN.md §2).
 fn thread_counts() -> Vec<usize> {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     [1usize, 2, 4, 8, 12, 16, 20, 24, 32]
         .into_iter()
         .filter(|&t| t <= cores.max(1))

@@ -20,7 +20,11 @@ fn tree_builds(c: &mut Criterion) {
     let tris: Vec<Triangle> = pos
         .windows(3)
         .step_by(3)
-        .map(|w| Triangle { a: w[0], b: w[1], c: w[2] })
+        .map(|w| Triangle {
+            a: w[0],
+            b: w[1],
+            c: w[2],
+        })
         .collect();
 
     let mut group = c.benchmark_group("tree_build");
@@ -32,7 +36,9 @@ fn tree_builds(c: &mut Criterion) {
         b.iter(|| KdTree::build(&pts7, 8, SplitPolicy::MidpointWidest))
     });
     group.bench_function("vp_7d", |b| b.iter(|| VpTree::build(&pts7, 8)));
-    group.bench_function("octree_plummer", |b| b.iter(|| Octree::build(&pos, &mass, 8)));
+    group.bench_function("octree_plummer", |b| {
+        b.iter(|| Octree::build(&pos, &mass, 8))
+    });
     group.bench_function("bvh", |b| b.iter(|| Bvh::build(&tris, 4)));
     group.finish();
 }

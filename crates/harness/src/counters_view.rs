@@ -52,14 +52,22 @@ fn describe(name: &str, r: &GpuReport) -> String {
 pub fn render(cfg: &HarnessConfig, dataset: Dataset) -> String {
     let data = match dataset {
         Dataset::Geocity => {
-            return render_inner(cfg, dataset.name(), &gen::geocity_like(cfg.n_points(), cfg.seed));
+            return render_inner(
+                cfg,
+                dataset.name(),
+                &gen::geocity_like(cfg.n_points(), cfg.seed),
+            );
         }
         _ => gen::dataset_7d(dataset, cfg.n_points(), cfg.seed),
     };
     render_inner(cfg, dataset.name(), &data)
 }
 
-fn render_inner<const D: usize>(cfg: &HarnessConfig, input: &str, data: &[gts_trees::PointN<D>]) -> String {
+fn render_inner<const D: usize>(
+    cfg: &HarnessConfig,
+    input: &str,
+    data: &[gts_trees::PointN<D>],
+) -> String {
     let queries = apply_perm(data, &morton_order(data));
     let tree = KdTree::build(data, cfg.leaf_size, SplitPolicy::MedianCycle);
     let bbox = Aabb::of_points(data);
@@ -73,9 +81,15 @@ fn render_inner<const D: usize>(cfg: &HarnessConfig, input: &str, data: &[gts_tr
         tree.n_nodes()
     );
     let mut pts = fresh();
-    out.push_str(&describe("autoropes (N)", &autoropes::run(&kernel, &mut pts, &cfg.gpu)));
+    out.push_str(&describe(
+        "autoropes (N)",
+        &autoropes::run(&kernel, &mut pts, &cfg.gpu),
+    ));
     let mut pts = fresh();
-    out.push_str(&describe("lockstep (L)", &lockstep::run(&kernel, &mut pts, &cfg.gpu)));
+    out.push_str(&describe(
+        "lockstep (L)",
+        &lockstep::run(&kernel, &mut pts, &cfg.gpu),
+    ));
     let mut pts = fresh();
     out.push_str(&describe(
         "naive recursion (N)",
@@ -83,7 +97,10 @@ fn render_inner<const D: usize>(cfg: &HarnessConfig, input: &str, data: &[gts_tr
     ));
     let mut pts = fresh();
     let l2_cfg = cfg.gpu.clone().with_l2();
-    out.push_str(&describe("autoropes (N) + L2", &autoropes::run(&kernel, &mut pts, &l2_cfg)));
+    out.push_str(&describe(
+        "autoropes (N) + L2",
+        &autoropes::run(&kernel, &mut pts, &l2_cfg),
+    ));
     out
 }
 
@@ -103,6 +120,9 @@ mod tests {
         assert!(text.contains("rope_stack") || text.contains("warp_rope_stack"));
         // The L2 variant must report hits.
         let l2_section = text.split("+ L2").nth(1).expect("L2 section");
-        assert!(!l2_section.contains("l2 hits                      0"), "{l2_section}");
+        assert!(
+            !l2_section.contains("l2 hits                      0"),
+            "{l2_section}"
+        );
     }
 }

@@ -53,7 +53,9 @@ pub fn panels(suite: &SuiteResult, sorted: bool) -> Vec<Panel> {
             continue;
         }
         for lockstep in [true, false] {
-            let Some(series) = series_for(cell, lockstep) else { continue };
+            let Some(series) = series_for(cell, lockstep) else {
+                continue;
+            };
             let benchmark = cell.non_lockstep.benchmark.clone();
             match out
                 .iter_mut()
@@ -79,7 +81,11 @@ pub fn render(suite: &SuiteResult, sorted: bool) -> String {
         out.push_str(&format!(
             "\n{figure}: {} — {} (CPU perf vs GPU; >1 means CPU faster)\n",
             panel.benchmark,
-            if panel.lockstep { "Lockstep" } else { "Non-Lockstep" }
+            if panel.lockstep {
+                "Lockstep"
+            } else {
+                "Non-Lockstep"
+            }
         ));
         if let Some(first) = panel.series.first() {
             out.push_str(&format!("{:<10}", "threads"));
@@ -102,13 +108,21 @@ pub fn render(suite: &SuiteResult, sorted: bool) -> String {
 /// Write each panel as a CSV file under `dir`
 /// (`fig10_barnes_hut_lockstep.csv`, ...): first column threads, one
 /// column per input — ready for gnuplot/matplotlib.
-pub fn write_csv(suite: &SuiteResult, sorted: bool, dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+pub fn write_csv(
+    suite: &SuiteResult,
+    sorted: bool,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let fig = if sorted { "fig10" } else { "fig11" };
     let mut written = Vec::new();
     for panel in panels(suite, sorted) {
         let slug = panel.benchmark.to_lowercase().replace([' ', '-'], "_");
-        let variant = if panel.lockstep { "lockstep" } else { "nonlockstep" };
+        let variant = if panel.lockstep {
+            "lockstep"
+        } else {
+            "nonlockstep"
+        };
         let path = dir.join(format!("{fig}_{slug}_{variant}.csv"));
         let mut body = String::from("threads");
         for s in &panel.series {

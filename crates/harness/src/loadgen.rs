@@ -127,7 +127,9 @@ fn synth_mix(
             let kind = match rng.gen_range(0..10u32) {
                 0..=4 => QueryKind::Nn,
                 5..=7 => QueryKind::Knn { k },
-                _ => QueryKind::Pc { radius: radii[index] },
+                _ => QueryKind::Pc {
+                    radius: radii[index],
+                },
             };
             Request { index, pos, kind }
         })
@@ -144,7 +146,10 @@ fn bbox_diag(points: &[Vec<f32>]) -> f32 {
             hi[d] = hi[d].max(p[d]);
         }
     }
-    (0..dim).map(|d| (hi[d] - lo[d]).powi(2)).sum::<f32>().sqrt()
+    (0..dim)
+        .map(|d| (hi[d] - lo[d]).powi(2))
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// Run the loadgen and return (human report, machine report).
@@ -157,8 +162,18 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
     let radii = [0.04 * bbox_diag(&data3), 0.04 * bbox_diag(&data2)];
 
     let indices: Vec<Arc<dyn TreeIndex>> = vec![
-        Arc::new(KdIndex::build("uniform3d", &pts3, 8, SplitPolicy::MedianCycle)),
-        Arc::new(KdIndex::build("geocity2d", &pts2, 8, SplitPolicy::MidpointWidest)),
+        Arc::new(KdIndex::build(
+            "uniform3d",
+            &pts3,
+            8,
+            SplitPolicy::MedianCycle,
+        )),
+        Arc::new(KdIndex::build(
+            "geocity2d",
+            &pts2,
+            8,
+            SplitPolicy::MidpointWidest,
+        )),
     ];
     let requests = synth_mix(&[data3, data2], &radii, cfg.queries, 8, cfg.seed);
 
@@ -259,7 +274,10 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
             "  single : {:8.2} modeled ms → {:9.0} q/s modeled\n",
             report.single_model_ms, report.single_qps_model
         ));
-        text.push_str(&format!("  modeled speedup: {:.1}x\n", report.modeled_speedup));
+        text.push_str(&format!(
+            "  modeled speedup: {:.1}x\n",
+            report.modeled_speedup
+        ));
     }
     text.push_str(&format!(
         "  batches: {} ({} lockstep / {} autoropes), mean size {:.1}, mean work expansion {:.2}\n",
@@ -285,7 +303,9 @@ pub fn main_loadgen(args: &[String]) {
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| -> &str {
-            args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
         };
         match args[i].as_str() {
             "--queries" => {

@@ -18,7 +18,9 @@
 
 use std::io::Write as _;
 
-use gts_harness::{config::HarnessConfig, counters_view, figures, profiler_table, run_suite, table1, table2};
+use gts_harness::{
+    config::HarnessConfig, counters_view, figures, profiler_table, run_suite, table1, table2,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -40,7 +42,10 @@ fn main() {
         gts_harness::serve::main_serve(&args[1..]);
         return;
     }
-    if !matches!(command, "table1" | "table2" | "fig10" | "fig11" | "profiler" | "counters" | "all") {
+    if !matches!(
+        command,
+        "table1" | "table2" | "fig10" | "fig11" | "profiler" | "counters" | "all"
+    ) {
         usage();
     }
 
@@ -51,7 +56,9 @@ fn main() {
     let mut i = 1;
     while i < args.len() {
         let need = |i: usize| -> &str {
-            args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
         };
         match args[i].as_str() {
             "--scale" => {

@@ -17,9 +17,17 @@ pub fn render(suite: &SuiteResult) -> String {
     let mut right = 0usize;
     let mut total = 0usize;
     for cell in &suite.cells {
-        let Some(pick) = cell.profiler_picks_lockstep else { continue };
-        let Some(sim) = cell.profiler_similarity else { continue };
-        let l_ms = cell.lockstep.as_ref().map(|r| r.traversal_ms).unwrap_or(f64::INFINITY);
+        let Some(pick) = cell.profiler_picks_lockstep else {
+            continue;
+        };
+        let Some(sim) = cell.profiler_similarity else {
+            continue;
+        };
+        let l_ms = cell
+            .lockstep
+            .as_ref()
+            .map(|r| r.traversal_ms)
+            .unwrap_or(f64::INFINITY);
         let faster_is_l = l_ms < cell.non_lockstep.traversal_ms;
         let ok = cell.profiler_was_right().unwrap_or(false);
         total += 1;
@@ -28,7 +36,11 @@ pub fn render(suite: &SuiteResult) -> String {
             "{:<20} {:<8} {:<8} {:>10.2} {:>12} {:>10} {:>8}\n",
             cell.non_lockstep.benchmark,
             cell.non_lockstep.input,
-            if cell.non_lockstep.sorted { "sorted" } else { "unsorted" },
+            if cell.non_lockstep.sorted {
+                "sorted"
+            } else {
+                "unsorted"
+            },
             sim,
             if pick { "lockstep" } else { "non-lock" },
             if faster_is_l { "lockstep" } else { "non-lock" },
@@ -36,7 +48,9 @@ pub fn render(suite: &SuiteResult) -> String {
         ));
     }
     if total > 0 {
-        out.push_str(&format!("\nprofiler agreed with the measured winner in {right}/{total} cells\n"));
+        out.push_str(&format!(
+            "\nprofiler agreed with the measured winner in {right}/{total} cells\n"
+        ));
     }
     out
 }
@@ -65,6 +79,9 @@ mod tests {
             .filter_map(|c| c.profiler_was_right())
             .map(usize::from)
             .sum();
-        assert!(right * 2 >= 8, "profiler right in only {right}/8 cells\n{text}");
+        assert!(
+            right * 2 >= 8,
+            "profiler right in only {right}/8 cells\n{text}"
+        );
     }
 }

@@ -64,7 +64,10 @@ impl CellResult {
 impl CellResult {
     /// CPU wall ms at exactly `threads` threads, if measured.
     pub fn cpu_ms(&self, threads: usize) -> Option<f64> {
-        self.cpu_sweep.iter().find(|(t, _)| *t == threads).map(|(_, ms)| *ms)
+        self.cpu_sweep
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .map(|(_, ms)| *ms)
     }
 
     /// The faster of the two GPU variants — “the best variant for each

@@ -25,7 +25,9 @@ pub fn modeled_cpu_ms(t1_ms: f64, threads: usize) -> f64 {
 
 /// Host cores available for honest multithreaded measurement.
 fn host_cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Measure one benchmark × input × sortedness cell.
@@ -107,26 +109,21 @@ pub fn run_config<K: TraversalKernel>(
         (None, None)
     };
 
-    let mk_row = |lockstep: bool, ms: f64, avg_nodes: f64, rec_ms: f64, wx: Option<(f64, f64)>| Row {
-        benchmark: benchmark.to_string(),
-        input: input.to_string(),
-        sorted,
-        lockstep,
-        traversal_ms: ms,
-        avg_nodes,
-        speedup_vs_1: cpu1 / ms,
-        speedup_vs_32: cpu32 / ms,
-        improv_vs_recurse_pct: (rec_ms / ms - 1.0) * 100.0,
-        work_expansion: wx,
-    };
+    let mk_row =
+        |lockstep: bool, ms: f64, avg_nodes: f64, rec_ms: f64, wx: Option<(f64, f64)>| Row {
+            benchmark: benchmark.to_string(),
+            input: input.to_string(),
+            sorted,
+            lockstep,
+            traversal_ms: ms,
+            avg_nodes,
+            speedup_vs_1: cpu1 / ms,
+            speedup_vs_32: cpu32 / ms,
+            improv_vs_recurse_pct: (rec_ms / ms - 1.0) * 100.0,
+            work_expansion: wx,
+        };
 
-    let non_lockstep = mk_row(
-        false,
-        ar.ms(),
-        ar.stats.avg_nodes(),
-        rec_n.ms(),
-        None,
-    );
+    let non_lockstep = mk_row(false, ar.ms(), ar.stats.avg_nodes(), rec_n.ms(), None);
     let lockstep_row = ls.as_ref().map(|ls_report| {
         // Table 2: lockstep warp visits vs. the longest *individual*
         // traversal per warp (taken from the non-lockstep run over the
@@ -180,7 +177,10 @@ mod tests {
             &gpu,
             &[1, 2, 32],
         );
-        let l = cell.lockstep.as_ref().expect("PC is unguided: lockstep row exists");
+        let l = cell
+            .lockstep
+            .as_ref()
+            .expect("PC is unguided: lockstep row exists");
         assert!(l.traversal_ms > 0.0);
         assert!(cell.non_lockstep.traversal_ms > 0.0);
         assert_eq!(cell.cpu_sweep.len(), 3);
@@ -193,7 +193,10 @@ mod tests {
         assert!(l.speedup_vs_32.is_finite());
         // CPU sweep is monotone non-increasing under the Amdahl model.
         let ms: Vec<f64> = cell.cpu_sweep.iter().map(|(_, m)| *m).collect();
-        assert!(ms[1] <= ms[0] * 1.5, "2-thread run should not blow up: {ms:?}");
+        assert!(
+            ms[1] <= ms[0] * 1.5,
+            "2-thread run should not blow up: {ms:?}"
+        );
     }
 
     #[test]

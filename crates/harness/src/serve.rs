@@ -13,9 +13,7 @@
 //! ```
 
 use gts_points::gen::{geocity_like, uniform};
-use gts_service::{
-    KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, TreeIndex,
-};
+use gts_service::{KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, TreeIndex};
 use gts_trees::SplitPolicy;
 use std::io::BufRead as _;
 use std::sync::Arc;
@@ -28,9 +26,8 @@ fn parse_floats(tokens: &[&str]) -> Option<Vec<f32>> {
 fn parse_request(line: &str) -> Result<Option<Query>, String> {
     let tokens: Vec<&str> = line.split_whitespace().collect();
     let (cmd, rest) = tokens.split_first().ok_or("empty line")?;
-    let parse_index = |t: &str| -> Result<usize, String> {
-        t.parse().map_err(|_| format!("bad index `{t}`"))
-    };
+    let parse_index =
+        |t: &str| -> Result<usize, String> { t.parse().map_err(|_| format!("bad index `{t}`")) };
     match *cmd {
         "nn" => {
             let (idx, pos) = rest.split_first().ok_or("nn needs: index x y ...")?;
@@ -48,7 +45,9 @@ fn parse_request(line: &str) -> Result<Option<Query>, String> {
                 index: parse_index(rest[0])?,
                 pos: parse_floats(&rest[2..]).ok_or("bad coordinate")?,
                 kind: QueryKind::Knn {
-                    k: rest[1].parse().map_err(|_| format!("bad k `{}`", rest[1]))?,
+                    k: rest[1]
+                        .parse()
+                        .map_err(|_| format!("bad k `{}`", rest[1]))?,
                 },
             }))
         }
@@ -60,7 +59,9 @@ fn parse_request(line: &str) -> Result<Option<Query>, String> {
                 index: parse_index(rest[0])?,
                 pos: parse_floats(&rest[2..]).ok_or("bad coordinate")?,
                 kind: QueryKind::Pc {
-                    radius: rest[1].parse().map_err(|_| format!("bad radius `{}`", rest[1]))?,
+                    radius: rest[1]
+                        .parse()
+                        .map_err(|_| format!("bad radius `{}`", rest[1]))?,
                 },
             }))
         }
@@ -87,7 +88,9 @@ pub fn main_serve(args: &[String]) {
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| -> &str {
-            args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
         };
         match args[i].as_str() {
             "--points" => {
@@ -124,7 +127,9 @@ pub fn main_serve(args: &[String]) {
     eprintln!(
         "serving: index {id3} = uniform3d ({points} pts, 3-d), index {id2} = geocity2d ({points} pts, 2-d)"
     );
-    eprintln!("commands: nn <idx> <x..> | knn <idx> <k> <x..> | pc <idx> <r> <x..> | metrics | quit");
+    eprintln!(
+        "commands: nn <idx> <x..> | knn <idx> <k> <x..> | pc <idx> <r> <x..> | metrics | quit"
+    );
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {

@@ -24,7 +24,12 @@ pub const BENCHMARKS: &[&str] = &[
 ];
 
 /// The data-mining inputs (PC/kNN/NN/VP run all four).
-pub const DM_INPUTS: &[Dataset] = &[Dataset::Covtype, Dataset::Mnist, Dataset::Random, Dataset::Geocity];
+pub const DM_INPUTS: &[Dataset] = &[
+    Dataset::Covtype,
+    Dataset::Mnist,
+    Dataset::Random,
+    Dataset::Geocity,
+];
 
 /// The full suite's results.
 #[derive(Debug, Clone)]
@@ -91,7 +96,12 @@ pub fn bh_cells(cfg: &HarnessConfig, input: Dataset) -> Vec<CellResult> {
 }
 
 /// Run both sortedness variants of one kd/vp benchmark on `data`.
-fn dm_cells<const D: usize>(cfg: &HarnessConfig, benchmark: &str, input: &str, data: &[PointN<D>]) -> Vec<CellResult> {
+fn dm_cells<const D: usize>(
+    cfg: &HarnessConfig,
+    benchmark: &str,
+    input: &str,
+    data: &[PointN<D>],
+) -> Vec<CellResult> {
     let mut out = Vec::with_capacity(2);
     for sorted in [true, false] {
         let queries = order_points(data, sorted, cfg.seed);
@@ -181,7 +191,8 @@ pub fn dm_benchmark_cells(cfg: &HarnessConfig, benchmark: &str) -> Vec<CellResul
 
 /// Run the full suite (or the subset named in `only`).
 pub fn run_suite(cfg: &HarnessConfig, only: Option<&str>) -> SuiteResult {
-    let selected = |name: &str| only.is_none_or(|o| name.to_lowercase().contains(&o.to_lowercase()));
+    let selected =
+        |name: &str| only.is_none_or(|o| name.to_lowercase().contains(&o.to_lowercase()));
     let mut cells = Vec::new();
     if selected("Barnes Hut") {
         for input in [Dataset::Plummer, Dataset::Random] {
@@ -236,8 +247,20 @@ mod tests {
             let data = gen::dataset_7d(Dataset::Covtype, cfg.n_points(), cfg.seed);
             dm_cells::<7>(&cfg, "Point Correlation", "Covtype", &data)
         };
-        let sorted_wx = cells[0].lockstep.as_ref().unwrap().work_expansion.unwrap().0;
-        let unsorted_wx = cells[1].lockstep.as_ref().unwrap().work_expansion.unwrap().0;
+        let sorted_wx = cells[0]
+            .lockstep
+            .as_ref()
+            .unwrap()
+            .work_expansion
+            .unwrap()
+            .0;
+        let unsorted_wx = cells[1]
+            .lockstep
+            .as_ref()
+            .unwrap()
+            .work_expansion
+            .unwrap()
+            .0;
         assert!(
             sorted_wx < unsorted_wx,
             "sorted {sorted_wx} !< unsorted {unsorted_wx}"

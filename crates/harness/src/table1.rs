@@ -28,8 +28,16 @@ pub fn render(suite: &SuiteResult) -> String {
 
     for (sorted_cell, unsorted_cell) in pairs {
         let rows: Vec<(Option<&Row>, Option<&Row>, &str)> = vec![
-            (sorted_cell.lockstep.as_ref(), unsorted_cell.lockstep.as_ref(), "L"),
-            (Some(&sorted_cell.non_lockstep), Some(&unsorted_cell.non_lockstep), "N"),
+            (
+                sorted_cell.lockstep.as_ref(),
+                unsorted_cell.lockstep.as_ref(),
+                "L",
+            ),
+            (
+                Some(&sorted_cell.non_lockstep),
+                Some(&unsorted_cell.non_lockstep),
+                "N",
+            ),
         ];
         for (s, u, ty) in rows {
             let (Some(s), Some(u)) = (s, u) else { continue };

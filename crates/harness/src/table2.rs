@@ -14,7 +14,9 @@ pub fn render(suite: &SuiteResult) -> String {
     while let (Some(sorted), Some(unsorted)) = (iter.next(), iter.next()) {
         let s = sorted.lockstep.as_ref().and_then(|r| r.work_expansion);
         let u = unsorted.lockstep.as_ref().and_then(|r| r.work_expansion);
-        let (Some((sm, ss)), Some((um, us))) = (s, u) else { continue };
+        let (Some((sm, ss)), Some((um, us))) = (s, u) else {
+            continue;
+        };
         out.push_str(&format!(
             "{:<20} {:<8} {:>8.2} ({:>5.2}) {:>8.2} ({:>5.2})\n",
             sorted.non_lockstep.benchmark, sorted.non_lockstep.input, sm, ss, um, us

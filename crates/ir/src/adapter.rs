@@ -34,9 +34,19 @@ impl<O: KernelOps, const CS: usize, const EQ: bool, const NARGS: usize> IrKernel
     /// with the analysis (wrong call-set count, annotation mismatch, or
     /// argument arity).
     pub fn new(prog: RopeProgram, ops: O, bytes: NodeBytes, root_args: [f32; NARGS]) -> Self {
-        assert_eq!(prog.call_sets.len(), CS, "CS const disagrees with call-set analysis");
-        assert_eq!(prog.annotated_equivalent, EQ, "EQ const disagrees with the annotation");
-        assert_eq!(prog.ir.n_args, NARGS, "NARGS disagrees with the IR's argument arity");
+        assert_eq!(
+            prog.call_sets.len(),
+            CS,
+            "CS const disagrees with call-set analysis"
+        );
+        assert_eq!(
+            prog.annotated_equivalent, EQ,
+            "EQ const disagrees with the annotation"
+        );
+        assert_eq!(
+            prog.ir.n_args, NARGS,
+            "NARGS disagrees with the IR's argument arity"
+        );
         let depth = tree_depth(&ops);
         IrKernel {
             prog,
@@ -74,7 +84,8 @@ fn tree_depth<O: KernelOps>(ops: &O) -> usize {
     depth
 }
 
-impl<O, const CS: usize, const EQ: bool, const NARGS: usize> TraversalKernel for IrKernel<O, CS, EQ, NARGS>
+impl<O, const CS: usize, const EQ: bool, const NARGS: usize> TraversalKernel
+    for IrKernel<O, CS, EQ, NARGS>
 where
     O: KernelOps + Sync,
     O::Point: Send + Clone,
@@ -147,7 +158,10 @@ where
         for e in out.emits {
             let mut a = [0.0f32; NARGS];
             a.copy_from_slice(&e.args[..NARGS]);
-            kids.push(Child { node: e.node, args: a });
+            kids.push(Child {
+                node: e.node,
+                args: a,
+            });
         }
         VisitOutcome::Descended { call_set }
     }
@@ -165,8 +179,8 @@ mod tests {
     use crate::examples_ir::*;
     use crate::transform::transform;
     use gts_points::gen::uniform;
-    use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
     use gts_runtime::cpu;
+    use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
     use gts_trees::{KdTree, SplitPolicy};
 
     #[test]
@@ -177,7 +191,10 @@ mod tests {
         let prog = transform(&figure4_pc(), false).unwrap();
         let kernel: IrKernel<_, 1, false, 0> = IrKernel::new(
             prog,
-            PcOps { tree: &tree, radius2: radius * radius },
+            PcOps {
+                tree: &tree,
+                radius2: radius * radius,
+            },
             NodeBytes::kd(3),
             [],
         );
@@ -209,13 +226,17 @@ mod tests {
         let prog = transform(&figure4_pc(), false).unwrap();
         let ir_kernel: IrKernel<_, 1, false, 0> = IrKernel::new(
             prog,
-            PcOps { tree: &tree, radius2: radius * radius },
+            PcOps {
+                tree: &tree,
+                radius2: radius * radius,
+            },
             NodeBytes::kd(3),
             [],
         );
         let hand = gts_apps::pc::PcKernel::new(&tree, radius);
 
-        let mut ir_pts: Vec<PcState<3>> = pts.iter().map(|&p| PcState { pos: p, count: 0 }).collect();
+        let mut ir_pts: Vec<PcState<3>> =
+            pts.iter().map(|&p| PcState { pos: p, count: 0 }).collect();
         let mut hand_pts: Vec<gts_apps::pc::PcPoint<3>> =
             pts.iter().map(|p| gts_apps::pc::PcPoint::new(*p)).collect();
         let ir_r = cpu::run_sequential(&ir_kernel, &mut ir_pts);
@@ -234,7 +255,14 @@ mod tests {
         let pts = uniform::<3>(16, 83);
         let tree = KdTree::build(&pts, 4, SplitPolicy::MedianCycle);
         let prog = transform(&figure5_guided(), true).unwrap();
-        let _: IrKernel<_, 1, true, 0> =
-            IrKernel::new(prog, PcOps { tree: &tree, radius2: 1.0 }, NodeBytes::kd(3), []);
+        let _: IrKernel<_, 1, true, 0> = IrKernel::new(
+            prog,
+            PcOps {
+                tree: &tree,
+                radius2: 1.0,
+            },
+            NodeBytes::kd(3),
+            [],
+        );
     }
 }

@@ -195,7 +195,9 @@ pub fn classify(ir: &KernelIr) -> Result<Guidance, AnalysisError> {
             return Ok(Guidance::Unguided);
         }
     }
-    Ok(Guidance::Guided { n_sets: n_sets.max(1) })
+    Ok(Guidance::Guided {
+        n_sets: n_sets.max(1),
+    })
 }
 
 /// For each two-way branch, the indices (into the [`call_sets`] list) of
@@ -235,7 +237,10 @@ pub fn branch_map(ir: &KernelIr, sets: &[CallSet]) -> Result<BranchMap, Analysis
     let all_paths = paths(ir)?;
     let mut map = BranchMap::default();
     for (bi, b) in ir.blocks.iter().enumerate() {
-        if let Terminator::Branch { then_blk, else_blk, .. } = b.term {
+        if let Terminator::Branch {
+            then_blk, else_blk, ..
+        } = b.term
+        {
             for (side_blk, took_then) in [(then_blk, true), (else_blk, false)] {
                 let mut reach = BTreeSet::new();
                 for p in &all_paths {
@@ -310,12 +315,21 @@ mod tests {
         let ir = KernelIr {
             name: "cyclic".into(),
             blocks: vec![
-                Block { stmts: vec![], term: Terminator::Goto(1) },
-                Block { stmts: vec![], term: Terminator::Goto(0) },
+                Block {
+                    stmts: vec![],
+                    term: Terminator::Goto(1),
+                },
+                Block {
+                    stmts: vec![],
+                    term: Terminator::Goto(0),
+                },
             ],
             n_args: 0,
         };
-        assert!(matches!(call_sets(&ir), Err(AnalysisError::CyclicCfg { .. })));
+        assert!(matches!(
+            call_sets(&ir),
+            Err(AnalysisError::CyclicCfg { .. })
+        ));
     }
 
     #[test]
@@ -326,7 +340,9 @@ mod tests {
         // The closer_to_left branch is guiding; the truncation and leaf
         // branches are not.
         let guiding: Vec<usize> = (0..ir.blocks.len())
-            .filter(|&b| matches!(ir.blocks[b].term, Terminator::Branch { .. }) && map.is_guiding(b))
+            .filter(|&b| {
+                matches!(ir.blocks[b].term, Terminator::Branch { .. }) && map.is_guiding(b)
+            })
             .collect();
         assert_eq!(guiding.len(), 1);
         let g = guiding[0];

@@ -45,21 +45,35 @@ pub fn figure4_pc() -> KernelIr {
         blocks: vec![
             Block {
                 stmts: vec![],
-                term: Terminator::Branch { cond: C_CONTINUE, then_blk: 1, else_blk: 4 },
+                term: Terminator::Branch {
+                    cond: C_CONTINUE,
+                    then_blk: 1,
+                    else_blk: 4,
+                },
             },
             Block {
                 stmts: vec![],
-                term: Terminator::Branch { cond: C_IS_LEAF, then_blk: 2, else_blk: 3 },
+                term: Terminator::Branch {
+                    cond: C_IS_LEAF,
+                    then_blk: 2,
+                    else_blk: 3,
+                },
             },
             Block {
                 stmts: vec![Stmt::Update(A_UPDATE)],
                 term: Terminator::Return,
             },
             Block {
-                stmts: vec![Stmt::Recurse(ChildSel::Slot(0)), Stmt::Recurse(ChildSel::Slot(1))],
+                stmts: vec![
+                    Stmt::Recurse(ChildSel::Slot(0)),
+                    Stmt::Recurse(ChildSel::Slot(1)),
+                ],
                 term: Terminator::Return,
             },
-            Block { stmts: vec![], term: Terminator::Return },
+            Block {
+                stmts: vec![],
+                term: Terminator::Return,
+            },
         ],
         n_args: 0,
     }
@@ -75,11 +89,19 @@ pub fn figure5_guided() -> KernelIr {
         blocks: vec![
             Block {
                 stmts: vec![],
-                term: Terminator::Branch { cond: C_CONTINUE, then_blk: 1, else_blk: 6 },
+                term: Terminator::Branch {
+                    cond: C_CONTINUE,
+                    then_blk: 1,
+                    else_blk: 6,
+                },
             },
             Block {
                 stmts: vec![],
-                term: Terminator::Branch { cond: C_IS_LEAF, then_blk: 2, else_blk: 3 },
+                term: Terminator::Branch {
+                    cond: C_IS_LEAF,
+                    then_blk: 2,
+                    else_blk: 3,
+                },
             },
             Block {
                 stmts: vec![Stmt::Update(A_UPDATE)],
@@ -87,7 +109,11 @@ pub fn figure5_guided() -> KernelIr {
             },
             Block {
                 stmts: vec![],
-                term: Terminator::Branch { cond: C_CLOSER_LEFT, then_blk: 4, else_blk: 5 },
+                term: Terminator::Branch {
+                    cond: C_CLOSER_LEFT,
+                    then_blk: 4,
+                    else_blk: 5,
+                },
             },
             Block {
                 stmts: vec![
@@ -103,7 +129,10 @@ pub fn figure5_guided() -> KernelIr {
                 ],
                 term: Terminator::Return,
             },
-            Block { stmts: vec![], term: Terminator::Return },
+            Block {
+                stmts: vec![],
+                term: Terminator::Return,
+            },
         ],
         n_args: 0,
     }
@@ -114,7 +143,10 @@ pub fn figure5_guided() -> KernelIr {
 /// group, as the paper's pseudo-tail-recursive form requires).
 pub fn bh_ir() -> KernelIr {
     let mut rec_block = Block {
-        stmts: vec![Stmt::SetArg { slot: 0, xform: X_QUARTER }],
+        stmts: vec![Stmt::SetArg {
+            slot: 0,
+            xform: X_QUARTER,
+        }],
         term: Terminator::Return,
     };
     for o in 0..8 {
@@ -126,7 +158,11 @@ pub fn bh_ir() -> KernelIr {
             // if !far_enough && !leaf → recurse else update.
             Block {
                 stmts: vec![],
-                term: Terminator::Branch { cond: C_CONTINUE, then_blk: 1, else_blk: 2 },
+                term: Terminator::Branch {
+                    cond: C_CONTINUE,
+                    then_blk: 1,
+                    else_blk: 2,
+                },
             },
             rec_block,
             Block {
@@ -146,7 +182,11 @@ pub fn non_ptr_kernel() -> KernelIr {
         blocks: vec![
             Block {
                 stmts: vec![],
-                term: Terminator::Branch { cond: C_IS_LEAF, then_blk: 1, else_blk: 2 },
+                term: Terminator::Branch {
+                    cond: C_IS_LEAF,
+                    then_blk: 1,
+                    else_blk: 2,
+                },
             },
             Block {
                 stmts: vec![Stmt::Update(A_UPDATE)],
@@ -237,9 +277,12 @@ impl<const D: usize> KernelOps for PcOps<'_, D> {
     }
 
     fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
-        self.tree
-            .is_leaf(node)
-            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+        self.tree.is_leaf(node).then(|| {
+            (
+                self.tree.first[node as usize],
+                self.tree.count[node as usize],
+            )
+        })
     }
 }
 
@@ -318,9 +361,12 @@ impl<const D: usize> KernelOps for NnBboxOps<'_, D> {
     }
 
     fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
-        self.tree
-            .is_leaf(node)
-            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+        self.tree.is_leaf(node).then(|| {
+            (
+                self.tree.first[node as usize],
+                self.tree.count[node as usize],
+            )
+        })
     }
 }
 
@@ -350,7 +396,11 @@ impl BhOps<'_> {
         }
         let inv_d3 = 1.0 / (d2 * d2.sqrt());
         p.acc = p.acc.add_scaled(
-            &PointN([source[0] - p.pos[0], source[1] - p.pos[1], source[2] - p.pos[2]]),
+            &PointN([
+                source[0] - p.pos[0],
+                source[1] - p.pos[1],
+                source[2] - p.pos[2],
+            ]),
             mass * inv_d3,
         );
     }
@@ -379,7 +429,11 @@ impl KernelOps for BhOps<'_> {
                 self.add_accel(p, b, m);
             }
         } else {
-            self.add_accel(p, &self.tree.com[node as usize], self.tree.mass[node as usize]);
+            self.add_accel(
+                p,
+                &self.tree.com[node as usize],
+                self.tree.mass[node as usize],
+            );
         }
     }
 
@@ -406,8 +460,11 @@ impl KernelOps for BhOps<'_> {
     }
 
     fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
-        self.tree
-            .is_leaf(node)
-            .then(|| (self.tree.first[node as usize], self.tree.count[node as usize]))
+        self.tree.is_leaf(node).then(|| {
+            (
+                self.tree.first[node as usize],
+                self.tree.count[node as usize],
+            )
+        })
     }
 }

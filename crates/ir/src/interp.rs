@@ -69,7 +69,10 @@ pub fn exec_body<O: KernelOps>(
     let mut steps = 0usize;
     loop {
         steps += 1;
-        assert!(steps <= ir.blocks.len() + 1, "body execution looped; CFG not acyclic?");
+        assert!(
+            steps <= ir.blocks.len() + 1,
+            "body execution looped; CFG not acyclic?"
+        );
         let b = &ir.blocks[blk];
         for (i, s) in b.stmts.iter().enumerate() {
             match s {
@@ -126,7 +129,11 @@ pub fn exec_body<O: KernelOps>(
         match b.term {
             Terminator::Return => return out,
             Terminator::Goto(t) => blk = t,
-            Terminator::Branch { cond, then_blk, else_blk } => {
+            Terminator::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let take_then = if let Some((target, prog)) = force {
                     if prog.branches.is_guiding(blk) {
                         let then_reach = prog.branches.reachable(blk, true);
@@ -204,7 +211,9 @@ pub fn run_recursive_inline<O: KernelOps>(
                             body(ir, ops, p, c, &args, t);
                         }
                     }
-                    Stmt::AttachPending { .. } | Stmt::ClearPending { .. } | Stmt::RunPending { .. } => {
+                    Stmt::AttachPending { .. }
+                    | Stmt::ClearPending { .. }
+                    | Stmt::RunPending { .. } => {
                         panic!("inline reference runs original (unrestructured) kernels only")
                     }
                 }
@@ -212,8 +221,16 @@ pub fn run_recursive_inline<O: KernelOps>(
             match b.term {
                 Terminator::Return => return,
                 Terminator::Goto(t2) => blk = t2,
-                Terminator::Branch { cond, then_blk, else_blk } => {
-                    blk = if ops.cond(cond, p, node, &args) { then_blk } else { else_blk };
+                Terminator::Branch {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    blk = if ops.cond(cond, p, node, &args) {
+                        then_blk
+                    } else {
+                        else_blk
+                    };
                 }
             }
         }
@@ -224,9 +241,21 @@ pub fn run_recursive_inline<O: KernelOps>(
 
 /// Direct recursive execution (the paper's Figure 1), recording the visit
 /// trace. The reference all transformed executions are compared against.
-pub fn run_recursive<O: KernelOps>(ir: &KernelIr, ops: &O, p: &mut O::Point, root_args: &[f32]) -> Trace {
+pub fn run_recursive<O: KernelOps>(
+    ir: &KernelIr,
+    ops: &O,
+    p: &mut O::Point,
+    root_args: &[f32],
+) -> Trace {
     let mut trace = Trace { visits: Vec::new() };
-    fn rec<O: KernelOps>(ir: &KernelIr, ops: &O, p: &mut O::Point, node: NodeId, args: &[f32], t: &mut Trace) {
+    fn rec<O: KernelOps>(
+        ir: &KernelIr,
+        ops: &O,
+        p: &mut O::Point,
+        node: NodeId,
+        args: &[f32],
+        t: &mut Trace,
+    ) {
         t.visits.push(node);
         let out = exec_body(ir, ops, p, node, args, None);
         for e in out.emits {
@@ -296,8 +325,7 @@ pub fn run_lockstep<O: KernelOps>(
     }
     // Stack entries: node, mask, per-lane args.
     let full: u32 = if n == WARP { u32::MAX } else { (1u32 << n) - 1 };
-    let mut stack: Vec<(NodeId, u32, Vec<Vec<f32>>)> =
-        vec![(0, full, vec![root_args.to_vec(); n])];
+    let mut stack: Vec<(NodeId, u32, Vec<Vec<f32>>)> = vec![(0, full, vec![root_args.to_vec(); n])];
     while let Some((node, mask, args)) = stack.pop() {
         trace.warp_visits.push(node);
         for (l, lane_trace) in trace.lane_visits.iter_mut().enumerate() {
@@ -388,7 +416,10 @@ mod tests {
     fn autoropes_trace_equals_recursive_trace_pc() {
         // §3.3: the transformation preserves the traversal order exactly.
         let (pts, tree) = pc_setup(200, 71);
-        let ops = PcOps { tree: &tree, radius2: 0.15 };
+        let ops = PcOps {
+            tree: &tree,
+            radius2: 0.15,
+        };
         let prog = transform(&figure4_pc(), false).unwrap();
         for q in pts.iter().take(40) {
             let mut p1 = PcState { pos: *q, count: 0 };
@@ -405,7 +436,10 @@ mod tests {
         // The compiled pipeline computes the same counts as gts-apps' PC.
         let (pts, tree) = pc_setup(150, 72);
         let radius = 0.4f32;
-        let ops = PcOps { tree: &tree, radius2: radius * radius };
+        let ops = PcOps {
+            tree: &tree,
+            radius2: radius * radius,
+        };
         let prog = transform(&figure4_pc(), false).unwrap();
         for q in pts.iter().take(30) {
             let mut st = PcState { pos: *q, count: 0 };
@@ -420,12 +454,18 @@ mod tests {
         let pts = uniform::<3>(120, 73);
         let masses = vec![1.0f32; 120];
         let tree = Octree::build(&pts, &masses, 4);
-        let ops = BhOps { tree: &tree, eps2: 1e-4 };
+        let ops = BhOps {
+            tree: &tree,
+            eps2: 1e-4,
+        };
         let prog = transform(&bh_ir(), false).unwrap();
         let root_size = tree.size[0];
         let dsq = (root_size / 0.5) * (root_size / 0.5);
         for q in pts.iter().take(20) {
-            let mut p1 = BhState { pos: *q, acc: PointN::zero() };
+            let mut p1 = BhState {
+                pos: *q,
+                acc: PointN::zero(),
+            };
             let mut p2 = p1.clone();
             let rec = run_recursive(&prog.ir, &ops, &mut p1, &[dsq]);
             let rope = run_autoropes(&prog, &ops, &mut p2, &[dsq]);
@@ -438,9 +478,16 @@ mod tests {
     #[test]
     fn lockstep_warp_visits_union_and_lane_subset() {
         let (pts, tree) = pc_setup(64, 74);
-        let ops = PcOps { tree: &tree, radius2: 0.1 };
+        let ops = PcOps {
+            tree: &tree,
+            radius2: 0.1,
+        };
         let prog = transform(&figure4_pc(), false).unwrap();
-        let mut warp: Vec<PcState<3>> = pts.iter().take(32).map(|&p| PcState { pos: p, count: 0 }).collect();
+        let mut warp: Vec<PcState<3>> = pts
+            .iter()
+            .take(32)
+            .map(|&p| PcState { pos: p, count: 0 })
+            .collect();
         let ls = run_lockstep(&prog, &ops, &mut warp, &[]);
         // Per-lane live visits must equal the lane's individual traversal.
         for (l, q) in pts.iter().take(32).enumerate() {
@@ -466,7 +513,10 @@ mod tests {
         let mut warp: Vec<NnState<3>> = pts
             .iter()
             .take(32)
-            .map(|&p| NnState { pos: p, best: f32::INFINITY })
+            .map(|&p| NnState {
+                pos: p,
+                best: f32::INFINITY,
+            })
             .collect();
         run_lockstep(&prog, &ops, &mut warp, &[]);
         // §4.3 correctness: even outvoted lanes find their exact NN
@@ -485,7 +535,10 @@ mod tests {
     #[should_panic(expected = "not lockstep-eligible")]
     fn lockstep_refuses_unannotated_guided() {
         let (pts, tree) = pc_setup(8, 76);
-        let ops = PcOps { tree: &tree, radius2: 0.1 };
+        let ops = PcOps {
+            tree: &tree,
+            radius2: 0.1,
+        };
         let prog = transform(&figure5_guided(), false).unwrap();
         let mut warp: Vec<PcState<3>> = pts.iter().map(|&p| PcState { pos: p, count: 0 }).collect();
         let _ = run_lockstep(&prog, &ops, &mut warp, &[]);

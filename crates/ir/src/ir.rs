@@ -157,7 +157,9 @@ impl KernelIr {
                 }
             };
             match b.term {
-                Terminator::Branch { then_blk, else_blk, .. } => {
+                Terminator::Branch {
+                    then_blk, else_blk, ..
+                } => {
                     check(then_blk)?;
                     check(else_blk)?;
                 }
@@ -171,7 +173,9 @@ impl KernelIr {
     /// Successors of a block.
     pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
         match self.blocks[b].term {
-            Terminator::Branch { then_blk, else_blk, .. } => vec![then_blk, else_blk],
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => vec![then_blk, else_blk],
             Terminator::Goto(t) => vec![t],
             Terminator::Return => vec![],
         }
@@ -263,7 +267,10 @@ mod tests {
         let ir = KernelIr {
             name: "args".into(),
             blocks: vec![Block {
-                stmts: vec![Stmt::SetArg { slot: 2, xform: XformId(0) }],
+                stmts: vec![Stmt::SetArg {
+                    slot: 2,
+                    xform: XformId(0),
+                }],
                 term: Terminator::Return,
             }],
             n_args: 1,
@@ -278,10 +285,20 @@ mod tests {
             blocks: vec![
                 Block {
                     stmts: vec![],
-                    term: Terminator::Branch { cond: CondId(0), then_blk: 1, else_blk: 2 },
+                    term: Terminator::Branch {
+                        cond: CondId(0),
+                        then_blk: 1,
+                        else_blk: 2,
+                    },
                 },
-                Block { stmts: vec![], term: Terminator::Goto(2) },
-                Block { stmts: vec![], term: Terminator::Return },
+                Block {
+                    stmts: vec![],
+                    term: Terminator::Goto(2),
+                },
+                Block {
+                    stmts: vec![],
+                    term: Terminator::Return,
+                },
             ],
             n_args: 0,
         };

@@ -26,9 +26,15 @@ fn stmt_text(s: &Stmt) -> String {
         Stmt::Update(a) => format!("update_{}(node, pt);", a.0),
         Stmt::SetArg { slot, xform } => format!("arg{slot} = xform_{}(args);", xform.0),
         Stmt::Recurse(ChildSel::Slot(k)) => format!("recurse(child[{k}], pt, args);"),
-        Stmt::Recurse(ChildSel::Dynamic(sel)) => format!("recurse(select_{}(node, pt), pt, args);", sel.0),
+        Stmt::Recurse(ChildSel::Dynamic(sel)) => {
+            format!("recurse(select_{}(node, pt), pt, args);", sel.0)
+        }
         Stmt::AttachPending { action, slot } => {
-            format!("/* push-down */ arg{slot} = pending(update_{}); arg{} = node;", action.0, slot + 1)
+            format!(
+                "/* push-down */ arg{slot} = pending(update_{}); arg{} = node;",
+                action.0,
+                slot + 1
+            )
         }
         Stmt::ClearPending { slot } => format!("arg{slot} = no_pending;"),
         Stmt::RunPending { slot, node_slot } => {
@@ -50,8 +56,16 @@ pub fn recursive(ir: &KernelIr) -> String {
             Terminator::Goto(t) => {
                 let _ = writeln!(out, "    goto b{t};");
             }
-            Terminator::Branch { cond, then_blk, else_blk } => {
-                let _ = writeln!(out, "    if ({}(node, pt, args)) goto b{then_blk}; else goto b{else_blk};", cond_name(cond));
+            Terminator::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "    if ({}(node, pt, args)) goto b{then_blk}; else goto b{else_blk};",
+                    cond_name(cond)
+                );
             }
         }
     }
@@ -65,7 +79,10 @@ fn rope_stmt_text(s: &Stmt) -> String {
     match s {
         Stmt::Recurse(ChildSel::Slot(k)) => format!("stk.push(child[{k}], args);  // was: recurse"),
         Stmt::Recurse(ChildSel::Dynamic(sel)) => {
-            format!("stk.push(select_{}(node, pt), args);  // was: recurse", sel.0)
+            format!(
+                "stk.push(select_{}(node, pt), args);  // was: recurse",
+                sel.0
+            )
         }
         other => stmt_text(other),
     }
@@ -111,11 +128,18 @@ fn render_loop_body(ir: &KernelIr, out: &mut String, lockstep: bool) {
     for (i, b) in ir.blocks.iter().enumerate() {
         let _ = writeln!(out, "{pad}b{i}:");
         // Reversal note once per block containing 2+ calls.
-        let calls = b.stmts.iter().filter(|s| matches!(s, Stmt::Recurse(_))).count();
+        let calls = b
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Recurse(_)))
+            .count();
         let mut emitted_note = false;
         for s in &b.stmts {
             if matches!(s, Stmt::Recurse(_)) && calls > 1 && !emitted_note {
-                let _ = writeln!(out, "{pad}  // pushes below execute in REVERSE source order");
+                let _ = writeln!(
+                    out,
+                    "{pad}  // pushes below execute in REVERSE source order"
+                );
                 emitted_note = true;
             }
             let _ = writeln!(out, "{pad}  {}", rope_stmt_text(s));
@@ -131,7 +155,11 @@ fn render_loop_body(ir: &KernelIr, out: &mut String, lockstep: bool) {
             Terminator::Goto(t) => {
                 let _ = writeln!(out, "{pad}  goto b{t};");
             }
-            Terminator::Branch { cond, then_blk, else_blk } => {
+            Terminator::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}  if ({}(node, pt, args)) goto b{then_blk}; else goto b{else_blk};",

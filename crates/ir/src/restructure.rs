@@ -143,7 +143,10 @@ pub fn restructure(ir: &KernelIr) -> Result<Restructured, RestructureError> {
             match s {
                 Stmt::Update(a) if seen_call => pending.push((si, *a)),
                 Stmt::SetArg { .. } if seen_call => {
-                    return Err(RestructureError::ArgMutationBetweenCalls { block: bi, stmt: si });
+                    return Err(RestructureError::ArgMutationBetweenCalls {
+                        block: bi,
+                        stmt: si,
+                    });
                 }
                 Stmt::Recurse(child) => {
                     if let Some(&(orig, action)) = pending.first() {
@@ -154,7 +157,10 @@ pub fn restructure(ir: &KernelIr) -> Result<Restructured, RestructureError> {
                         );
                         // Attach: set the pending slots, make the call,
                         // clear the slots for any later calls.
-                        new_stmts.push(Stmt::AttachPending { action, slot: slots.action });
+                        new_stmts.push(Stmt::AttachPending {
+                            action,
+                            slot: slots.action,
+                        });
                         new_stmts.push(Stmt::Recurse(*child));
                         new_stmts.push(Stmt::ClearPending { slot: slots.action });
                         pushed.push((bi, orig));
@@ -168,7 +174,10 @@ pub fn restructure(ir: &KernelIr) -> Result<Restructured, RestructureError> {
             }
         }
         if let Some(&(si, _)) = pending.first() {
-            return Err(RestructureError::TrailingWork { block: bi, stmt: si });
+            return Err(RestructureError::TrailingWork {
+                block: bi,
+                stmt: si,
+            });
         }
         out.blocks[bi].stmts = new_stmts;
     }
@@ -178,7 +187,10 @@ pub fn restructure(ir: &KernelIr) -> Result<Restructured, RestructureError> {
     let old_entry_moved_to = out.blocks.len();
     let mut blocks = Vec::with_capacity(out.blocks.len() + 1);
     blocks.push(Block {
-        stmts: vec![Stmt::RunPending { slot: slots.action, node_slot: slots.node }],
+        stmts: vec![Stmt::RunPending {
+            slot: slots.action,
+            node_slot: slots.node,
+        }],
         term: Terminator::Goto(old_entry_moved_to),
     });
     // Shift all successor ids by one... instead, append the old blocks
@@ -186,14 +198,21 @@ pub fn restructure(ir: &KernelIr) -> Result<Restructured, RestructureError> {
     // keep ids stable by appending the prologue last and swapping.
     blocks = Vec::new();
     let prologue = Block {
-        stmts: vec![Stmt::RunPending { slot: slots.action, node_slot: slots.node }],
+        stmts: vec![Stmt::RunPending {
+            slot: slots.action,
+            node_slot: slots.node,
+        }],
         term: Terminator::Goto(1),
     };
     blocks.push(prologue);
     for b in &out.blocks {
         let mut nb = b.clone();
         nb.term = match nb.term {
-            Terminator::Branch { cond, then_blk, else_blk } => Terminator::Branch {
+            Terminator::Branch {
+                cond,
+                then_blk,
+                else_blk,
+            } => Terminator::Branch {
                 cond,
                 then_blk: then_blk + 1,
                 else_blk: else_blk + 1,
@@ -207,12 +226,21 @@ pub fn restructure(ir: &KernelIr) -> Result<Restructured, RestructureError> {
     out.name = format!("{}+restructured", ir.name);
 
     // The result must now be pseudo-tail-recursive.
-    if let Err(PtrViolation { block, stmt, reason }) = check_pseudo_tail_recursive(&out) {
+    if let Err(PtrViolation {
+        block,
+        stmt,
+        reason,
+    }) = check_pseudo_tail_recursive(&out)
+    {
         return Err(RestructureError::Malformed(format!(
             "restructuring left a violation at block {block} stmt {stmt}: {reason}"
         )));
     }
-    Ok(Restructured { ir: out, slots, pushed })
+    Ok(Restructured {
+        ir: out,
+        slots,
+        pushed,
+    })
 }
 
 #[cfg(test)]
@@ -224,8 +252,14 @@ mod tests {
     #[test]
     fn pending_encoding_roundtrips() {
         assert_eq!(decode_pending(0.0), None);
-        assert_eq!(decode_pending(encode_pending(ActionId(0))), Some(ActionId(0)));
-        assert_eq!(decode_pending(encode_pending(ActionId(41))), Some(ActionId(41)));
+        assert_eq!(
+            decode_pending(encode_pending(ActionId(0))),
+            Some(ActionId(0))
+        );
+        assert_eq!(
+            decode_pending(encode_pending(ActionId(41))),
+            Some(ActionId(41))
+        );
         assert_eq!(decode_node(encode_node(123456)), 123456);
     }
 
@@ -244,7 +278,11 @@ mod tests {
         assert!(check_pseudo_tail_recursive(&ir).is_err());
         let r = restructure(&ir).expect("restructure");
         assert_eq!(r.pushed, vec![(2, 1)]);
-        assert!(check_pseudo_tail_recursive(&r.ir).is_ok(), "{:?}", check_pseudo_tail_recursive(&r.ir));
+        assert!(
+            check_pseudo_tail_recursive(&r.ir).is_ok(),
+            "{:?}",
+            check_pseudo_tail_recursive(&r.ir)
+        );
     }
 
     #[test]
@@ -275,7 +313,10 @@ mod tests {
             blocks: vec![Block {
                 stmts: vec![
                     Stmt::Recurse(ChildSel::Slot(0)),
-                    Stmt::SetArg { slot: 0, xform: XformId(0) },
+                    Stmt::SetArg {
+                        slot: 0,
+                        xform: XformId(0),
+                    },
                     Stmt::Recurse(ChildSel::Slot(1)),
                 ],
                 term: Terminator::Return,

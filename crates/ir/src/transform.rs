@@ -10,8 +10,8 @@
 //! transformation's semantics, checked against direct recursion by tests.
 
 use crate::analysis::{
-    branch_map, call_sets, check_pseudo_tail_recursive, classify, AnalysisError, BranchMap, CallSet,
-    Guidance, PtrViolation,
+    branch_map, call_sets, check_pseudo_tail_recursive, classify, AnalysisError, BranchMap,
+    CallSet, Guidance, PtrViolation,
 };
 use crate::ir::{ChildSel, KernelIr};
 
@@ -113,7 +113,10 @@ mod tests {
     #[test]
     fn figure5_needs_annotation_for_lockstep() {
         let without = transform(&figure5_guided(), false).unwrap();
-        assert!(!without.lockstep_eligible, "§4.3: no annotation → no lockstep");
+        assert!(
+            !without.lockstep_eligible,
+            "§4.3: no annotation → no lockstep"
+        );
         let with = transform(&figure5_guided(), true).unwrap();
         assert!(with.lockstep_eligible);
         assert!(with.annotated_equivalent);
@@ -142,10 +145,16 @@ mod tests {
     fn no_calls_rejected() {
         let ir = crate::ir::KernelIr {
             name: "leafy".into(),
-            blocks: vec![Block { stmts: vec![], term: Terminator::Return }],
+            blocks: vec![Block {
+                stmts: vec![],
+                term: Terminator::Return,
+            }],
             n_args: 0,
         };
-        assert_eq!(transform(&ir, false).unwrap_err(), TransformError::NoRecursiveCalls);
+        assert_eq!(
+            transform(&ir, false).unwrap_err(),
+            TransformError::NoRecursiveCalls
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub fn unroll(name: &str, blocks: &[LoopBlock], n_args: usize) -> Result<KernelI
     for (bi, b) in blocks.iter().enumerate() {
         let mut stmts = Vec::new();
         unroll_stmts(&b.stmts, None, bi, &mut stmts)?;
-        out_blocks.push(Block { stmts, term: b.term });
+        out_blocks.push(Block {
+            stmts,
+            term: b.term,
+        });
     }
     Ok(KernelIr {
         name: format!("{name}+unrolled"),
@@ -118,11 +121,18 @@ mod tests {
         vec![
             LoopBlock {
                 stmts: vec![],
-                term: Terminator::Branch { cond: C_CONTINUE, then_blk: 1, else_blk: 2 },
+                term: Terminator::Branch {
+                    cond: C_CONTINUE,
+                    then_blk: 1,
+                    else_blk: 2,
+                },
             },
             LoopBlock {
                 stmts: vec![
-                    LoopStmt::Plain(Stmt::SetArg { slot: 0, xform: X_QUARTER }),
+                    LoopStmt::Plain(Stmt::SetArg {
+                        slot: 0,
+                        xform: X_QUARTER,
+                    }),
                     LoopStmt::Loop {
                         count: 8,
                         body: vec![LoopStmt::RecurseIndexed],
@@ -141,7 +151,10 @@ mod tests {
     fn unrolled_bh_equals_handwritten_ir() {
         let unrolled = unroll("bh_figure9", &bh_with_loop(), 1).expect("unrolls");
         let hand = bh_ir();
-        assert_eq!(unrolled.blocks, hand.blocks, "unrolled IR differs from Figure 9a's hand-unrolled form");
+        assert_eq!(
+            unrolled.blocks, hand.blocks,
+            "unrolled IR differs from Figure 9a's hand-unrolled form"
+        );
     }
 
     #[test]
@@ -167,10 +180,16 @@ mod tests {
     #[test]
     fn zero_trip_loop_rejected() {
         let blocks = vec![LoopBlock {
-            stmts: vec![LoopStmt::Loop { count: 0, body: vec![] }],
+            stmts: vec![LoopStmt::Loop {
+                count: 0,
+                body: vec![],
+            }],
             term: Terminator::Return,
         }];
-        assert_eq!(unroll("bad", &blocks, 0).unwrap_err(), UnrollError::ZeroTripLoop { block: 0 });
+        assert_eq!(
+            unroll("bad", &blocks, 0).unwrap_err(),
+            UnrollError::ZeroTripLoop { block: 0 }
+        );
     }
 
     #[test]
@@ -179,7 +198,10 @@ mod tests {
         let blocks = vec![LoopBlock {
             stmts: vec![LoopStmt::Loop {
                 count: 2,
-                body: vec![LoopStmt::Loop { count: 2, body: vec![LoopStmt::RecurseIndexed] }],
+                body: vec![LoopStmt::Loop {
+                    count: 2,
+                    body: vec![LoopStmt::RecurseIndexed],
+                }],
             }],
             term: Terminator::Return,
         }];

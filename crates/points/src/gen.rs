@@ -112,10 +112,12 @@ pub fn covtype_like(n: usize, seed: u64) -> Vec<PointN<7>> {
     const D_IN: usize = 54;
     const K: usize = 7;
     // Cluster centers and per-axis scales.
-    let centers: Vec<[f32; D_IN]> =
-        (0..K).map(|_| std::array::from_fn(|_| rng.gen_range(-5.0..5.0))).collect();
-    let scales: Vec<[f32; D_IN]> =
-        (0..K).map(|_| std::array::from_fn(|_| rng.gen_range(0.05..1.5))).collect();
+    let centers: Vec<[f32; D_IN]> = (0..K)
+        .map(|_| std::array::from_fn(|_| rng.gen_range(-5.0..5.0)))
+        .collect();
+    let scales: Vec<[f32; D_IN]> = (0..K)
+        .map(|_| std::array::from_fn(|_| rng.gen_range(0.05..1.5)))
+        .collect();
     // Cover classes are imbalanced; weight clusters geometrically.
     let weights: Vec<f32> = (0..K).map(|k| 0.6f32.powi(k as i32)).collect();
     let total: f32 = weights.iter().sum();
@@ -189,7 +191,10 @@ pub fn geocity_like(n: usize, seed: u64) -> Vec<PointN<2>> {
             let c = centers[k];
             // Dense core with a light sprawl tail.
             let sigma = if rng.gen_bool(0.9) { 0.05 } else { 0.5 };
-            PointN([c[0] + gaussian(&mut rng) * sigma, c[1] + gaussian(&mut rng) * sigma])
+            PointN([
+                c[0] + gaussian(&mut rng) * sigma,
+                c[1] + gaussian(&mut rng) * sigma,
+            ])
         })
         .collect()
 }
@@ -247,7 +252,9 @@ mod tests {
         let bodies = plummer(1000, 7);
         let m: f32 = bodies.iter().map(|b| b.mass).sum();
         assert!((m - 1.0).abs() < 1e-3);
-        assert!(bodies.iter().all(|b| b.pos.is_finite() && b.vel.is_finite()));
+        assert!(bodies
+            .iter()
+            .all(|b| b.pos.is_finite() && b.vel.is_finite()));
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "i/o error: {e}"),
-            LoadError::BadArity { line, found, expected } => {
+            LoadError::BadArity {
+                line,
+                found,
+                expected,
+            } => {
                 write!(f, "line {line}: {found} columns, expected {expected}")
             }
             LoadError::BadNumber { line, token } => write!(f, "line {line}: bad number {token:?}"),
@@ -78,7 +82,11 @@ pub fn parse_points<const D: usize, R: BufRead>(reader: R) -> Result<Vec<PointN<
             .filter(|s| !s.is_empty())
             .collect();
         if fields.len() != D {
-            return Err(LoadError::BadArity { line: i + 1, found: fields.len(), expected: D });
+            return Err(LoadError::BadArity {
+                line: i + 1,
+                found: fields.len(),
+                expected: D,
+            });
         }
         let mut coords = [0.0f32; D];
         for (a, tok) in fields.iter().enumerate() {
@@ -129,7 +137,11 @@ mod tests {
     fn wrong_arity_reported_with_line() {
         let data = "1 2\n3 4 5\n";
         match parse_points::<2, _>(Cursor::new(data)) {
-            Err(LoadError::BadArity { line: 2, found: 3, expected: 2 }) => {}
+            Err(LoadError::BadArity {
+                line: 2,
+                found: 3,
+                expected: 2,
+            }) => {}
             other => panic!("wrong error: {other:?}"),
         }
     }
@@ -145,7 +157,10 @@ mod tests {
 
     #[test]
     fn empty_file_rejected() {
-        assert!(matches!(parse_points::<2, _>(Cursor::new("# nothing\n")), Err(LoadError::Empty)));
+        assert!(matches!(
+            parse_points::<2, _>(Cursor::new("# nothing\n")),
+            Err(LoadError::Empty)
+        ));
     }
 
     #[test]

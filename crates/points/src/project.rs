@@ -71,7 +71,11 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins >= 9, "projection inverted distances in {} of 10 seeds", 10 - wins);
+        assert!(
+            wins >= 9,
+            "projection inverted distances in {} of 10 seeds",
+            10 - wins
+        );
     }
 
     #[test]

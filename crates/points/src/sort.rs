@@ -184,7 +184,10 @@ mod tests {
         ];
         // Quantization maps cell centers of a 4×4 grid onto the 2^16 grid;
         // scale the keys back down: each 4×4 cell covers (2^14)² sub-cells.
-        let bbox = Aabb { lo: PointN([0.0, 0.0]), hi: PointN([1.0, 1.0]) };
+        let bbox = Aabb {
+            lo: PointN([0.0, 0.0]),
+            hi: PointN([1.0, 1.0]),
+        };
         let cell = 1u64 << (2 * 14);
         for (yi, row) in expect.iter().enumerate() {
             for (xi, &want) in row.iter().enumerate() {
@@ -216,7 +219,11 @@ mod tests {
         // A straight row crosses the full curve range; the average jump
         // stays bounded by ~range/steps × small constant.
         let range: u64 = 1 << 32;
-        assert!(total_jump / (steps - 1) < range / 16, "avg jump {}", total_jump / (steps - 1));
+        assert!(
+            total_jump / (steps - 1) < range / 16,
+            "avg jump {}",
+            total_jump / (steps - 1)
+        );
     }
 
     #[test]

@@ -17,7 +17,15 @@ use crate::report::{CpuReport, TraversalStats};
 /// every transformed executor is tested against.
 pub fn traverse_one<K: TraversalKernel>(kernel: &K, point: &mut K::Point) -> u32 {
     let mut kids = ChildBuf::with_capacity(K::MAX_KIDS);
-    recurse(kernel, point, Child { node: 0, args: kernel.root_args() }, &mut kids)
+    recurse(
+        kernel,
+        point,
+        Child {
+            node: 0,
+            args: kernel.root_args(),
+        },
+        &mut kids,
+    )
 }
 
 /// Like [`traverse_one`], but records the visit sequence. This is what the
@@ -26,7 +34,16 @@ pub fn traverse_one<K: TraversalKernel>(kernel: &K, point: &mut K::Point) -> u32
 pub fn trace_one<K: TraversalKernel>(kernel: &K, point: &mut K::Point) -> Vec<gts_trees::NodeId> {
     let mut kids = ChildBuf::with_capacity(K::MAX_KIDS);
     let mut visits = Vec::new();
-    trace_recurse(kernel, point, Child { node: 0, args: kernel.root_args() }, &mut kids, &mut visits);
+    trace_recurse(
+        kernel,
+        point,
+        Child {
+            node: 0,
+            args: kernel.root_args(),
+        },
+        &mut kids,
+        &mut visits,
+    );
     visits
 }
 
@@ -81,7 +98,11 @@ pub fn run_sequential<K: TraversalKernel>(kernel: &K, points: &mut [K::Point]) -
 /// Multithreaded CPU run: the point loop split into `threads` static
 /// chunks on scoped threads. Results are identical to
 /// [`run_sequential`] — points are independent.
-pub fn run_parallel<K: TraversalKernel>(kernel: &K, points: &mut [K::Point], threads: usize) -> CpuReport {
+pub fn run_parallel<K: TraversalKernel>(
+    kernel: &K,
+    points: &mut [K::Point],
+    threads: usize,
+) -> CpuReport {
     assert!(threads > 0, "need at least one thread");
     if threads == 1 || points.len() < 2 * threads {
         let mut r = run_sequential(kernel, points);
@@ -96,7 +117,12 @@ pub fn run_parallel<K: TraversalKernel>(kernel: &K, points: &mut [K::Point], thr
         let handles: Vec<_> = points
             .chunks_mut(chunk)
             .map(|slice| {
-                s.spawn(move |_| slice.iter_mut().map(|p| traverse_one(kernel, p)).collect::<Vec<u32>>())
+                s.spawn(move |_| {
+                    slice
+                        .iter_mut()
+                        .map(|p| traverse_one(kernel, p))
+                        .collect::<Vec<u32>>()
+                })
             })
             .collect();
         for h in handles {
@@ -172,15 +198,24 @@ mod tests {
             if self.is_leaf(node) {
                 return VisitOutcome::Leaf;
             }
-            kids.push(Child { node: 2 * node + 1, args: () });
-            kids.push(Child { node: 2 * node + 2, args: () });
+            kids.push(Child {
+                node: 2 * node + 1,
+                args: (),
+            });
+            kids.push(Child {
+                node: 2 * node + 2,
+                args: (),
+            });
             VisitOutcome::Descended { call_set: 0 }
         }
     }
 
     #[test]
     fn sequential_visits_whole_tree_without_truncation() {
-        let k = CountKernel { depth: 3, limit: u32::MAX };
+        let k = CountKernel {
+            depth: 3,
+            limit: u32::MAX,
+        };
         let mut pts = vec![0u64; 4];
         let r = run_sequential(&k, &mut pts);
         // Complete binary tree of depth 3 has 15 nodes.
@@ -202,7 +237,10 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let k = CountKernel { depth: 6, limit: 40 };
+        let k = CountKernel {
+            depth: 6,
+            limit: 40,
+        };
         let mut seq = vec![0u64; 100];
         let mut par = vec![0u64; 100];
         let rs = run_sequential(&k, &mut seq);
@@ -214,7 +252,10 @@ mod tests {
 
     #[test]
     fn parallel_small_input_falls_back() {
-        let k = CountKernel { depth: 2, limit: u32::MAX };
+        let k = CountKernel {
+            depth: 2,
+            limit: u32::MAX,
+        };
         let mut pts = vec![0u64; 3];
         let r = run_parallel(&k, &mut pts, 8);
         assert_eq!(r.threads, 8);

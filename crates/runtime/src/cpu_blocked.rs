@@ -32,7 +32,11 @@ pub const DEFAULT_BLOCK: usize = 128;
 /// `block_size`. Results (point states and per-point visit counts) are
 /// identical to [`crate::cpu::run_sequential`]; only the memory access
 /// *order* differs.
-pub fn run_blocked<K: TraversalKernel>(kernel: &K, points: &mut [K::Point], block_size: usize) -> CpuReport {
+pub fn run_blocked<K: TraversalKernel>(
+    kernel: &K,
+    points: &mut [K::Point],
+    block_size: usize,
+) -> CpuReport {
     assert!(block_size > 0, "block size must be positive");
     let start = Instant::now();
     let mut per_point_nodes = vec![0u32; points.len()];
@@ -40,7 +44,15 @@ pub fn run_blocked<K: TraversalKernel>(kernel: &K, points: &mut [K::Point], bloc
         let base = block_idx * block_size;
         let ids: Vec<usize> = (0..block.len()).collect();
         let root_args = vec![kernel.root_args(); block.len()];
-        block_recurse(kernel, block, &ids, &root_args, 0, base, &mut per_point_nodes);
+        block_recurse(
+            kernel,
+            block,
+            &ids,
+            &root_args,
+            0,
+            base,
+            &mut per_point_nodes,
+        );
     }
     CpuReport {
         stats: TraversalStats { per_point_nodes },
@@ -79,7 +91,10 @@ fn block_recurse<K: TraversalKernel>(
             VisitOutcome::Truncated | VisitOutcome::Leaf => {}
             VisitOutcome::Descended { call_set } => {
                 let kid_nodes: Vec<_> = kids.iter().map(|c| c.node).collect();
-                let group = match groups.iter_mut().find(|g| g.set == call_set && g.kid_nodes == kid_nodes) {
+                let group = match groups
+                    .iter_mut()
+                    .find(|g| g.set == call_set && g.kid_nodes == kid_nodes)
+                {
                     Some(g) => g,
                     None => {
                         groups.push(Group {
@@ -104,7 +119,15 @@ fn block_recurse<K: TraversalKernel>(
     // group's (each member's) chosen order.
     for g in groups {
         for (j, &child) in g.kid_nodes.iter().enumerate() {
-            block_recurse(kernel, block, &g.members, &g.kid_args[j], child, base, per_point_nodes);
+            block_recurse(
+                kernel,
+                block,
+                &g.members,
+                &g.kid_args[j],
+                child,
+                base,
+                per_point_nodes,
+            );
         }
     }
 }

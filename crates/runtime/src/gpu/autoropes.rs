@@ -33,7 +33,10 @@ fn warp_body<K: TraversalKernel>(
     sim: &mut WarpSim<'_>,
 ) -> (Vec<u32>, u64, usize) {
     let n_lanes = lanes.len();
-    let root = Child { node: 0 as NodeId, args: kernel.root_args() };
+    let root = Child {
+        node: 0 as NodeId,
+        args: kernel.root_args(),
+    };
     let mut stacks: Vec<Vec<Child<K::Args>>> = (0..n_lanes).map(|_| vec![root]).collect();
     let mut counts = vec![0u32; n_lanes];
     let mut warp_iters = 0u64;
@@ -57,7 +60,9 @@ fn warp_body<K: TraversalKernel>(
             current[l] = stacks[l].pop();
         }
         // Hot node-fragment load: lanes sit at (generally) different nodes.
-        sim.load(scene.tree.nodes0, active, |l| current[l].expect("active lane").node as u64);
+        sim.load(scene.tree.nodes0, active, |l| {
+            current[l].expect("active lane").node as u64
+        });
         sim.step(kernel.visit_insts());
         sim.visit_node(active.count() as u64);
 
@@ -104,11 +109,17 @@ fn warp_body<K: TraversalKernel>(
         // Descending lanes read the cold fragment and write their pushes.
         if descend_mask.any_active() {
             if let Some(nodes1) = scene.tree.nodes1 {
-                sim.load(nodes1, descend_mask, |l| current[l].expect("lane").node as u64);
+                sim.load(nodes1, descend_mask, |l| {
+                    current[l].expect("lane").node as u64
+                });
             }
             // Stack writes: in push round j, every lane that pushed more
             // than j children writes one slot of its own stack.
-            let max_pushed = descend_mask.iter_active().map(|l| pushed[l]).max().unwrap_or(0);
+            let max_pushed = descend_mask
+                .iter_active()
+                .map(|l| pushed[l])
+                .max()
+                .unwrap_or(0);
             for j in 0..max_pushed {
                 let m = WarpMask::ballot(|l| descend_mask.is_set(l) && pushed[l] > j);
                 sim.step(1);
@@ -173,7 +184,10 @@ mod tests {
         let rb = run(&kernel, &mut b, &cfg8);
         assert_eq!(a, b);
         assert_eq!(ra.stats.per_point_nodes, rb.stats.per_point_nodes);
-        assert_eq!(ra.launch.counters.global_transactions, rb.launch.counters.global_transactions);
+        assert_eq!(
+            ra.launch.counters.global_transactions,
+            rb.launch.counters.global_transactions
+        );
         assert_eq!(ra.launch.cycles, rb.launch.cycles);
     }
 }

@@ -100,7 +100,11 @@ fn warp_body<K: TraversalKernel>(
         // §4.3 vote (guided kernels only): the active lanes elect the call
         // set the warp will use at this node.
         let forced = if K::CALL_SETS > 1 && !kernel.is_leaf(node) {
-            majority_vote(mask, |l| kernel.choose(&lanes[l], node, args[l]), K::CALL_SETS)
+            majority_vote(
+                mask,
+                |l| kernel.choose(&lanes[l], node, args[l]),
+                K::CALL_SETS,
+            )
         } else {
             None
         };
@@ -212,8 +216,16 @@ mod tests {
         let mut ar_pts = vec![0u64; 96];
         let ls = run(&kernel, &mut ls_pts, &GpuConfig::default());
         let ar = autoropes::run(&kernel, &mut ar_pts, &GpuConfig::default());
-        for (a, b) in ls.stats.per_point_nodes.iter().zip(&ar.stats.per_point_nodes) {
-            assert!(a >= b, "lockstep visited fewer nodes than the point's own traversal");
+        for (a, b) in ls
+            .stats
+            .per_point_nodes
+            .iter()
+            .zip(&ar.stats.per_point_nodes)
+        {
+            assert!(
+                a >= b,
+                "lockstep visited fewer nodes than the point's own traversal"
+            );
         }
     }
 
@@ -227,14 +239,16 @@ mod tests {
         // Identical traversals here (no truncation): both visit every
         // node, but lockstep's node loads are broadcasts.
         assert!(
-            ls.launch.counters.coalescing_efficiency() >= ar.launch.counters.coalescing_efficiency()
+            ls.launch.counters.coalescing_efficiency()
+                >= ar.launch.counters.coalescing_efficiency()
         );
     }
 
     #[test]
     fn guided_kernel_with_annotation_runs_and_matches() {
         let kernel = GuidedKernel::new(6);
-        let mut cpu_pts: Vec<GuidedPoint> = (0..64).map(|i| GuidedPoint { id: i, acc: 0 }).collect();
+        let mut cpu_pts: Vec<GuidedPoint> =
+            (0..64).map(|i| GuidedPoint { id: i, acc: 0 }).collect();
         let mut gpu_pts = cpu_pts.clone();
         cpu::run_sequential(&kernel, &mut cpu_pts);
         run(&kernel, &mut gpu_pts, &GpuConfig::default());

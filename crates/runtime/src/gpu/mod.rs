@@ -11,7 +11,10 @@ pub mod autoropes;
 pub mod lockstep;
 pub mod recursive;
 
-use gts_sim::{AddressMap, CostModel, DeviceConfig, KernelLaunch, L2Config, RegionId, SimCounters, WarpMask, WarpSim, WARP_SIZE};
+use gts_sim::{
+    AddressMap, CostModel, DeviceConfig, KernelLaunch, L2Config, RegionId, SimCounters, WarpMask,
+    WarpSim, WARP_SIZE,
+};
 use gts_trees::layout::{NodeLayout, TreeRegions};
 
 use crate::kernel::TraversalKernel;
@@ -43,7 +46,9 @@ impl Default for GpuConfig {
             cost: CostModel::fermi(),
             node_layout: NodeLayout::HotColdSplit,
             stack_layout: StackLayout::InterleavedGlobal,
-            host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            host_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             l2: None,
         }
     }
@@ -119,13 +124,31 @@ impl Scene {
             .map(|(f, c)| (f + c) as u64)
             .max()
             .unwrap_or(1);
-        let tree = TreeRegions::alloc(&mut map, "tree", kernel.node_bytes(), cfg.node_layout, n_nodes, n_leaf_elems);
-        let points = map.alloc("points", gts_sim::MemSpace::Global, n_points.max(1) as u64, kernel.point_bytes());
+        let tree = TreeRegions::alloc(
+            &mut map,
+            "tree",
+            kernel.node_bytes(),
+            cfg.node_layout,
+            n_nodes,
+            n_leaf_elems,
+        );
+        let points = map.alloc(
+            "points",
+            gts_sim::MemSpace::Global,
+            n_points.max(1) as u64,
+            kernel.point_bytes(),
+        );
         // Rope stack headroom: a DFS over a tree of depth d with k-ary
         // pushes holds at most d·(k−1)+1 entries; pad for the root push.
         let max_depth = (kernel.max_depth() + 2) * K::MAX_KIDS.max(2).saturating_sub(1) + 4;
         let entry_bytes = 4 + if K::ARGS_VARIANT { K::ARG_BYTES } else { 0 } + entry_extra;
-        let stack = StackRegion::alloc(&mut map, stack_name, cfg.stack_layout, max_depth, entry_bytes);
+        let stack = StackRegion::alloc(
+            &mut map,
+            stack_name,
+            cfg.stack_layout,
+            max_depth,
+            entry_bytes,
+        );
         let shared_bytes_per_warp = stack.shared_bytes_per_warp(&map);
         Scene {
             map,
@@ -151,7 +174,13 @@ pub(crate) struct WarpOut {
 /// `warp_fn(warp_index, lanes, sim)` runs the traversal for one warp's
 /// points (`lanes.len() <= 32`), mirroring costs into `sim`, and returns
 /// `(per_point_nodes, warp_nodes, max_stack_depth)`.
-pub(crate) fn drive<K, F>(kernel: &K, points: &mut [K::Point], cfg: &GpuConfig, scene: &Scene, warp_fn: F) -> GpuReport
+pub(crate) fn drive<K, F>(
+    kernel: &K,
+    points: &mut [K::Point],
+    cfg: &GpuConfig,
+    scene: &Scene,
+    warp_fn: F,
+) -> GpuReport
 where
     K: TraversalKernel,
     F: Fn(&K, usize, &mut [K::Point], &mut WarpSim<'_>) -> (Vec<u32>, u64, usize) + Sync,

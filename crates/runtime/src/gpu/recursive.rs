@@ -37,7 +37,12 @@ const FRAME_BYTES: u64 = 64;
 /// variant (§6.1: “we use a masking technique similar to that described in
 /// Section 4 to implement non-lockstep and lockstep variants of the
 /// recursive implementation”).
-pub fn run<K: TraversalKernel>(kernel: &K, points: &mut [K::Point], cfg: &GpuConfig, lockstep: bool) -> GpuReport {
+pub fn run<K: TraversalKernel>(
+    kernel: &K,
+    points: &mut [K::Point],
+    cfg: &GpuConfig,
+    lockstep: bool,
+) -> GpuReport {
     if lockstep {
         assert!(
             K::CALL_SETS == 1 || K::CALL_SETS_EQUIVALENT,
@@ -47,7 +52,13 @@ pub fn run<K: TraversalKernel>(kernel: &K, points: &mut [K::Point], cfg: &GpuCon
     // The "stack" region models the per-lane call frames in local memory;
     // frames are interleaved per thread like CUDA local memory.
     let base_entry = 4 + if K::ARGS_VARIANT { K::ARG_BYTES } else { 0 };
-    let scene = Scene::build(kernel, points.len(), cfg, "call_frames", FRAME_BYTES - base_entry);
+    let scene = Scene::build(
+        kernel,
+        points.len(),
+        cfg,
+        "call_frames",
+        FRAME_BYTES - base_entry,
+    );
     drive(kernel, points, cfg, &scene, |kernel, _warp, lanes, sim| {
         let n_lanes = lanes.len();
         let full = WarpMask::first(n_lanes);
@@ -60,7 +71,15 @@ pub fn run<K: TraversalKernel>(kernel: &K, points: &mut [K::Point], cfg: &GpuCon
             max_depth: 0,
             kids: Vec::with_capacity(K::MAX_KIDS),
         };
-        warp_recurse(&mut ctx, sim, lanes, 0, full, [kernel.root_args(); WARP_SIZE], 0);
+        warp_recurse(
+            &mut ctx,
+            sim,
+            lanes,
+            0,
+            full,
+            [kernel.root_args(); WARP_SIZE],
+            0,
+        );
         (ctx.counts, ctx.warp_nodes, ctx.max_depth)
     })
 }
@@ -105,7 +124,11 @@ fn warp_recurse<K: TraversalKernel>(
 
     // §4.3 vote for the lockstep variant of a guided kernel.
     let forced = if ctx.lockstep && K::CALL_SETS > 1 && !ctx.kernel.is_leaf(node) {
-        majority_vote(mask, |l| ctx.kernel.choose(&lanes[l], node, args[l]), K::CALL_SETS)
+        majority_vote(
+            mask,
+            |l| ctx.kernel.choose(&lanes[l], node, args[l]),
+            K::CALL_SETS,
+        )
     } else {
         None
     };
@@ -125,7 +148,10 @@ fn warp_recurse<K: TraversalKernel>(
     for l in mask.iter_active() {
         ctx.counts[l] += 1;
         ctx.kids.clear();
-        match ctx.kernel.visit(&mut lanes[l], node, args[l], forced, &mut ctx.kids) {
+        match ctx
+            .kernel
+            .visit(&mut lanes[l], node, args[l], forced, &mut ctx.kids)
+        {
             VisitOutcome::Truncated => {}
             VisitOutcome::Leaf => {
                 leaf = ctx.kernel.leaf_range(node);
@@ -179,20 +205,30 @@ fn warp_recurse<K: TraversalKernel>(
     sim.diverge(groups.len() as u64);
     for g in groups {
         for j in 0..g.slot_nodes.len() {
-            warp_recurse(ctx, sim, lanes, g.slot_nodes[j], g.mask, g.slot_args[j], depth + 1);
+            warp_recurse(
+                ctx,
+                sim,
+                lanes,
+                g.slot_nodes[j],
+                g.mask,
+                g.slot_args[j],
+                depth + 1,
+            );
         }
     }
     // Return path: restore the frame.
     sim.step(1);
-    ctx.scene.stack.access_per_lane(sim, new_mask, |_| depth as u64);
+    ctx.scene
+        .stack
+        .access_per_lane(sim, new_mask, |_| depth as u64);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cpu;
     use crate::gpu::autoropes;
     use crate::test_kernels::{BinKernel, GuidedKernel, GuidedPoint};
-    use crate::cpu;
 
     #[test]
     fn recursive_gpu_matches_cpu_results() {
@@ -230,14 +266,19 @@ mod tests {
     #[test]
     fn guided_recursion_serializes_call_sets() {
         let kernel = GuidedKernel::new(6);
-        let mk = || (0..32).map(|i| GuidedPoint { id: i, acc: 0 }).collect::<Vec<_>>();
+        let mk = || {
+            (0..32)
+                .map(|i| GuidedPoint { id: i, acc: 0 })
+                .collect::<Vec<_>>()
+        };
         let cfg = GpuConfig::default();
         let non_lockstep = run(&kernel, &mut mk(), &cfg, false);
         let lockstep = run(&kernel, &mut mk(), &cfg, true);
         // The §4.3 vote collapses the two call sets into one dynamic set,
         // so the lockstep variant replays far less.
         assert!(
-            non_lockstep.launch.counters.divergent_replays > lockstep.launch.counters.divergent_replays
+            non_lockstep.launch.counters.divergent_replays
+                > lockstep.launch.counters.divergent_replays
         );
         assert!(non_lockstep.launch.cycles > lockstep.launch.cycles);
     }
@@ -245,7 +286,8 @@ mod tests {
     #[test]
     fn lockstep_recursion_matches_results_for_equivalent_kernels() {
         let kernel = GuidedKernel::new(5);
-        let mut cpu_pts: Vec<GuidedPoint> = (0..48).map(|i| GuidedPoint { id: i, acc: 0 }).collect();
+        let mut cpu_pts: Vec<GuidedPoint> =
+            (0..48).map(|i| GuidedPoint { id: i, acc: 0 }).collect();
         let mut gpu_pts = cpu_pts.clone();
         cpu::run_sequential(&kernel, &mut cpu_pts);
         run(&kernel, &mut gpu_pts, &GpuConfig::default(), true);

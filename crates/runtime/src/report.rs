@@ -20,7 +20,8 @@ impl TraversalStats {
         if self.per_point_nodes.is_empty() {
             0.0
         } else {
-            self.per_point_nodes.iter().map(|&n| n as f64).sum::<f64>() / self.per_point_nodes.len() as f64
+            self.per_point_nodes.iter().map(|&n| n as f64).sum::<f64>()
+                / self.per_point_nodes.len() as f64
         }
     }
 

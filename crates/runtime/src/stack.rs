@@ -76,7 +76,12 @@ impl StackRegion {
 
     /// Record the traffic of one stack access (push or pop) where each
     /// lane in `mask` touches its own stack at `depth(lane)`.
-    pub fn access_per_lane(&self, sim: &mut WarpSim<'_>, mask: WarpMask, depth: impl Fn(usize) -> u64) {
+    pub fn access_per_lane(
+        &self,
+        sim: &mut WarpSim<'_>,
+        mask: WarpMask,
+        depth: impl Fn(usize) -> u64,
+    ) {
         match self.layout {
             StackLayout::InterleavedGlobal => {
                 sim.load(self.region, mask, |lane| {

@@ -43,7 +43,8 @@ impl TraversalKernel for BinKernel {
         (node as usize) >= self.n() / 2
     }
     fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
-        self.is_leaf(node).then(|| (node - (self.n() / 2) as u32, 1))
+        self.is_leaf(node)
+            .then(|| (node - (self.n() / 2) as u32, 1))
     }
     fn node_bytes(&self) -> NodeBytes {
         NodeBytes::kd(2)
@@ -68,8 +69,14 @@ impl TraversalKernel for BinKernel {
         if self.is_leaf(node) {
             return VisitOutcome::Leaf;
         }
-        kids.push(Child { node: 2 * node + 1, args: () });
-        kids.push(Child { node: 2 * node + 2, args: () });
+        kids.push(Child {
+            node: 2 * node + 1,
+            args: (),
+        });
+        kids.push(Child {
+            node: 2 * node + 2,
+            args: (),
+        });
         VisitOutcome::Descended { call_set: 0 }
     }
 }
@@ -127,7 +134,8 @@ impl TraversalKernel for GuidedKernel {
         (node as usize) >= self.n() / 2
     }
     fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
-        self.is_leaf(node).then(|| (node - (self.n() / 2) as u32, 1))
+        self.is_leaf(node)
+            .then(|| (node - (self.n() / 2) as u32, 1))
     }
     fn node_bytes(&self) -> NodeBytes {
         NodeBytes::kd(2)

@@ -90,7 +90,10 @@ impl<T> Batcher<T> {
             .iter()
             .position(|b| b.key == key && b.entries.len() >= self.target)?;
         let b = self.buckets.swap_remove(pos);
-        Some(ReadyBatch { key: b.key, entries: b.entries })
+        Some(ReadyBatch {
+            key: b.key,
+            entries: b.entries,
+        })
     }
 
     /// Flush every bucket whose oldest entry has waited at least
@@ -102,7 +105,10 @@ impl<T> Batcher<T> {
         while i < self.buckets.len() {
             if now.duration_since(self.buckets[i].oldest) >= max_wait {
                 let b = self.buckets.remove(i);
-                out.push(ReadyBatch { key: b.key, entries: b.entries });
+                out.push(ReadyBatch {
+                    key: b.key,
+                    entries: b.entries,
+                });
             } else {
                 i += 1;
             }
@@ -120,7 +126,10 @@ impl<T> Batcher<T> {
     pub fn flush_all(&mut self) -> Vec<ReadyBatch<T>> {
         self.buckets
             .drain(..)
-            .map(|b| ReadyBatch { key: b.key, entries: b.entries })
+            .map(|b| ReadyBatch {
+                key: b.key,
+                entries: b.entries,
+            })
             .collect()
     }
 }
@@ -131,11 +140,17 @@ mod tests {
     use crate::query::OpKey;
 
     fn key(index: usize) -> BatchKey {
-        BatchKey { index, op: OpKey::Nn }
+        BatchKey {
+            index,
+            op: OpKey::Nn,
+        }
     }
 
     fn entry(tag: usize) -> BatchEntry<usize> {
-        BatchEntry { pos: vec![0.0; 3], tag }
+        BatchEntry {
+            pos: vec![0.0; 3],
+            tag,
+        }
     }
 
     #[test]

@@ -241,7 +241,10 @@ where
         }
     }
     BatchOutcome {
-        results: results.into_iter().map(|r| r.expect("permutation covers all")).collect(),
+        results: results
+            .into_iter()
+            .map(|r| r.expect("permutation covers all"))
+            .collect(),
         backend,
         mean_similarity,
         node_visits,
@@ -270,7 +273,9 @@ mod tests {
         let out = idx.run_batch(OpKey::Nn, &queries, &ExecPolicy::default());
         assert_eq!(out.results.len(), queries.len());
         for (i, r) in out.results.iter().enumerate() {
-            let QueryResult::Nn { dist2, id } = r else { panic!("wrong variant") };
+            let QueryResult::Nn { dist2, id } = r else {
+                panic!("wrong variant")
+            };
             let want = oracle::nn_dist2_nonself(&pts, &pts[i]);
             assert!((dist2 - want).abs() <= 1e-5 * want.max(1e-6), "query {i}");
             // The id names a real dataset point at that distance.
@@ -284,7 +289,9 @@ mod tests {
         let idx = index3(5, 11);
         let q = vec![vec![0.5, 0.5, 0.5]];
         let out = idx.run_batch(OpKey::Knn(32), &q, &ExecPolicy::default());
-        let QueryResult::Knn { dist2, ids } = &out.results[0] else { panic!() };
+        let QueryResult::Knn { dist2, ids } = &out.results[0] else {
+            panic!()
+        };
         assert_eq!(dist2.len(), 5, "k > n yields every point");
         assert_eq!(ids.len(), 5);
         assert!(dist2.windows(2).all(|w| w[0] <= w[1]), "ascending");
@@ -296,9 +303,15 @@ mod tests {
         let idx = KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle);
         let radius = 0.2f32;
         let queries: Vec<Vec<f32>> = pts.iter().take(64).map(|p| p.0.to_vec()).collect();
-        let out = idx.run_batch(OpKey::Pc(radius.to_bits()), &queries, &ExecPolicy::default());
+        let out = idx.run_batch(
+            OpKey::Pc(radius.to_bits()),
+            &queries,
+            &ExecPolicy::default(),
+        );
         for (i, r) in out.results.iter().enumerate() {
-            let QueryResult::Pc { count } = r else { panic!() };
+            let QueryResult::Pc { count } = r else {
+                panic!()
+            };
             assert_eq!(*count, oracle::pc_count(&pts, &pts[i], radius), "query {i}");
         }
     }
@@ -308,8 +321,16 @@ mod tests {
         let pts = uniform::<3>(96, 17);
         let idx = KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle);
         let queries: Vec<Vec<f32>> = pts.iter().map(|p| p.0.to_vec()).collect();
-        let lock = idx.run_batch(OpKey::Knn(4), &queries, &ExecPolicy::forced(Backend::Lockstep));
-        let auto = idx.run_batch(OpKey::Knn(4), &queries, &ExecPolicy::forced(Backend::Autoropes));
+        let lock = idx.run_batch(
+            OpKey::Knn(4),
+            &queries,
+            &ExecPolicy::forced(Backend::Lockstep),
+        );
+        let auto = idx.run_batch(
+            OpKey::Knn(4),
+            &queries,
+            &ExecPolicy::forced(Backend::Autoropes),
+        );
         let cpu = idx.run_batch(OpKey::Knn(4), &queries, &ExecPolicy::forced(Backend::Cpu));
         assert_eq!(lock.results, auto.results);
         assert_eq!(lock.results, cpu.results);
@@ -334,8 +355,17 @@ mod tests {
         let pts = uniform::<3>(512, 23);
         let idx = KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle);
         let queries: Vec<Vec<f32>> = pts.iter().map(|p| p.0.to_vec()).collect();
-        let out = idx.run_batch(OpKey::Pc(0.15f32.to_bits()), &queries, &ExecPolicy::default());
-        assert_eq!(out.backend, Backend::Lockstep, "similarity {:?}", out.mean_similarity);
+        let out = idx.run_batch(
+            OpKey::Pc(0.15f32.to_bits()),
+            &queries,
+            &ExecPolicy::default(),
+        );
+        assert_eq!(
+            out.backend,
+            Backend::Lockstep,
+            "similarity {:?}",
+            out.mean_similarity
+        );
         assert!(out.mean_similarity.unwrap() >= 0.35);
         assert!(out.work_expansion >= 1.0);
     }

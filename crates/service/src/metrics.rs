@@ -199,8 +199,22 @@ mod tests {
         for _ in 0..3 {
             m.on_submit();
         }
-        m.on_batch(2, Backend::Lockstep, 100, 1.5, 1.2, Duration::from_millis(2));
-        m.on_batch(1, Backend::Autoropes, 40, 0.5, 1.0, Duration::from_millis(4));
+        m.on_batch(
+            2,
+            Backend::Lockstep,
+            100,
+            1.5,
+            1.2,
+            Duration::from_millis(2),
+        );
+        m.on_batch(
+            1,
+            Backend::Autoropes,
+            40,
+            0.5,
+            1.0,
+            Duration::from_millis(4),
+        );
         m.on_complete(Duration::from_millis(10));
         let s = m.snapshot();
         assert_eq!(s.submitted, 3);

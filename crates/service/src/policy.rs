@@ -72,7 +72,9 @@ impl ExecPolicy {
     /// Simulation threads per launch, resolved (`0` → all cores).
     pub fn sim_threads(&self) -> usize {
         if self.sim_threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.sim_threads
         }

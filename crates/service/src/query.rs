@@ -118,7 +118,10 @@ mod tests {
     #[test]
     fn pc_keys_distinguish_radii_exactly() {
         let a = QueryKind::Pc { radius: 0.1 }.op_key();
-        let b = QueryKind::Pc { radius: 0.1 + f32::EPSILON }.op_key();
+        let b = QueryKind::Pc {
+            radius: 0.1 + f32::EPSILON,
+        }
+        .op_key();
         assert_ne!(a, b);
     }
 }

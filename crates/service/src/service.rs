@@ -54,7 +54,10 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownIndex(id) => write!(f, "unknown index {id}"),
             ServiceError::DimMismatch { expected, got } => {
-                write!(f, "dimension mismatch: index is {expected}-d, position is {got}-d")
+                write!(
+                    f,
+                    "dimension mismatch: index is {expected}-d, position is {got}-d"
+                )
             }
             ServiceError::BadQuery(why) => write!(f, "bad query: {why}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
@@ -146,7 +149,11 @@ impl Ticket {
 
     /// The result, if it has already arrived.
     pub fn try_get(&self) -> Option<Result<QueryResult, ServiceError>> {
-        self.0.slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.0
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 }
 
@@ -186,7 +193,8 @@ impl Service {
             policy: config.policy.clone(),
         });
         let (submit_tx, submit_rx) = bounded::<Submission>(config.queue_capacity.max(1));
-        let (dispatch_tx, dispatch_rx) = bounded::<ReadyBatch<Tag>>(config.dispatch_capacity.max(1));
+        let (dispatch_tx, dispatch_rx) =
+            bounded::<ReadyBatch<Tag>>(config.dispatch_capacity.max(1));
 
         let batch_queries = config.batch_queries;
         let max_wait = config.max_wait;
@@ -217,7 +225,11 @@ impl Service {
 
     /// Register an index; queries name it by the returned id.
     pub fn register_index(&self, index: Arc<dyn TreeIndex>) -> IndexId {
-        let mut indices = self.shared.indices.write().unwrap_or_else(|e| e.into_inner());
+        let mut indices = self
+            .shared
+            .indices
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
         indices.push(index);
         indices.len() - 1
     }
@@ -292,7 +304,11 @@ impl Service {
             self.shared.metrics.on_reject();
             return Err(ServiceError::BadQuery("non-finite query position"));
         }
-        let indices = self.shared.indices.read().unwrap_or_else(|e| e.into_inner());
+        let indices = self
+            .shared
+            .indices
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
         let index = indices.get(query.index).ok_or_else(|| {
             self.shared.metrics.on_reject();
             ServiceError::UnknownIndex(query.index)
@@ -304,7 +320,10 @@ impl Service {
                 got: query.pos.len(),
             });
         }
-        Ok(BatchKey { index: query.index, op })
+        Ok(BatchKey {
+            index: query.index,
+            op,
+        })
     }
 }
 
@@ -328,9 +347,9 @@ fn run_batcher(
             Ok(()) => true,
             Err(err) => {
                 for e in err.0.entries {
-                    e.tag.ticket.resolve(Err(ServiceError::Internal(
-                        "dispatch queue closed".into(),
-                    )));
+                    e.tag
+                        .ticket
+                        .resolve(Err(ServiceError::Internal("dispatch queue closed".into())));
                 }
                 false
             }
@@ -344,7 +363,10 @@ fn run_batcher(
         };
         match rx.recv_timeout(timeout) {
             Ok(sub) => {
-                let entry = BatchEntry { pos: sub.pos, tag: sub.tag };
+                let entry = BatchEntry {
+                    pos: sub.pos,
+                    tag: sub.tag,
+                };
                 if let Some(ready) = batcher.push(sub.key, entry, Instant::now()) {
                     send(ready);
                 }
@@ -399,7 +421,9 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                 );
                 let done = Instant::now();
                 for (e, r) in entries.iter().zip(out.results) {
-                    shared.metrics.on_complete(done.duration_since(e.tag.submitted));
+                    shared
+                        .metrics
+                        .on_complete(done.duration_since(e.tag.submitted));
                     e.tag.ticket.resolve(Ok(r));
                 }
             }

@@ -176,7 +176,8 @@ impl KernelLaunch {
 
     /// Fold a finished warp's counters into the launch.
     pub fn absorb(&mut self, warp: SimCounters) {
-        self.warp_cycles.push((warp.issue_cycles, warp.stall_cycles));
+        self.warp_cycles
+            .push((warp.issue_cycles, warp.stall_cycles));
         self.totals.merge(&warp);
     }
 
@@ -189,7 +190,13 @@ impl KernelLaunch {
     /// `shared_bytes_per_warp` is the shared-memory footprint each warp
     /// pins (0 when stacks live in global memory), which caps occupancy.
     pub fn finish(self, shared_bytes_per_warp: usize) -> LaunchReport {
-        Schedule::run(&self.device, &self.cost, &self.warp_cycles, shared_bytes_per_warp, self.totals)
+        Schedule::run(
+            &self.device,
+            &self.cost,
+            &self.warp_cycles,
+            shared_bytes_per_warp,
+            self.totals,
+        )
     }
 }
 

@@ -150,8 +150,13 @@ mod tests {
         // 768 KB / 448 warps / 128 B = 13 lines.
         assert_eq!(cfg.slice_lines(128), 13);
         assert!(
-            L2Config { bytes: 1, shared_between_warps: 1000, hit_latency: 1.0, per_extra_hit: 1.0 }
-                .slice_lines(128)
+            L2Config {
+                bytes: 1,
+                shared_between_warps: 1000,
+                hit_latency: 1.0,
+                per_extra_hit: 1.0
+            }
+            .slice_lines(128)
                 >= 1
         );
     }

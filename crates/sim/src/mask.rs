@@ -124,15 +124,25 @@ impl fmt::Debug for WarpMask {
 /// proposes a call set index and the warp adopts the most popular one.
 /// Ties break toward the lower index, making the vote deterministic.
 /// Returns `None` when no lane is active.
-pub fn majority_vote(mask: WarpMask, choice: impl Fn(usize) -> usize, n_choices: usize) -> Option<usize> {
+pub fn majority_vote(
+    mask: WarpMask,
+    choice: impl Fn(usize) -> usize,
+    n_choices: usize,
+) -> Option<usize> {
     if mask.none_active() {
         return None;
     }
-    assert!(n_choices > 0 && n_choices <= WARP_SIZE, "choice space must fit a warp vote");
+    assert!(
+        n_choices > 0 && n_choices <= WARP_SIZE,
+        "choice space must fit a warp vote"
+    );
     let mut counts = [0usize; WARP_SIZE];
     for lane in mask.iter_active() {
         let c = choice(lane);
-        assert!(c < n_choices, "lane {lane} voted for out-of-range call set {c}");
+        assert!(
+            c < n_choices,
+            "lane {lane} voted for out-of-range call set {c}"
+        );
         counts[c] += 1;
     }
     counts[..n_choices]
@@ -175,7 +185,13 @@ mod tests {
         // of the shared mask; AND-combining yields the surviving set.
         let shared = WarpMask::first(8);
         let lanes: Vec<WarpMask> = (0..WARP_SIZE)
-            .map(|l| if l == 2 || l == 7 { shared.clear(l) } else { shared })
+            .map(|l| {
+                if l == 2 || l == 7 {
+                    shared.clear(l)
+                } else {
+                    shared
+                }
+            })
             .collect();
         let combined = WarpMask::warp_and(&lanes);
         assert_eq!(combined, shared.clear(2).clear(7));
@@ -199,7 +215,9 @@ mod tests {
 
     #[test]
     fn iter_active_ascending() {
-        let m = WarpMask::lane(3).or(WarpMask::lane(17)).or(WarpMask::lane(0));
+        let m = WarpMask::lane(3)
+            .or(WarpMask::lane(17))
+            .or(WarpMask::lane(0));
         let lanes: Vec<usize> = m.iter_active().collect();
         assert_eq!(lanes, vec![0, 3, 17]);
     }

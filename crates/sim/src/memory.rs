@@ -89,7 +89,13 @@ impl AddressMap {
     }
 
     /// Allocate a region of `len` elements of `stride` bytes each.
-    pub fn alloc(&mut self, name: impl Into<String>, space: MemSpace, len: u64, stride: u64) -> RegionId {
+    pub fn alloc(
+        &mut self,
+        name: impl Into<String>,
+        space: MemSpace,
+        len: u64,
+        stride: u64,
+    ) -> RegionId {
         assert!(stride > 0, "zero-stride region");
         let top = match space {
             MemSpace::Global => &mut self.global_top,

@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn imbalanced_blocks_gate_on_busiest_sm() {
         // Two blocks (4 warps): block 0 is 10× longer than block 1.
-        let r = unit_report(&[(1000.0, 0.0), (1000.0, 0.0), (100.0, 0.0), (100.0, 0.0)], 0);
+        let r = unit_report(
+            &[(1000.0, 0.0), (1000.0, 0.0), (100.0, 0.0), (100.0, 0.0)],
+            0,
+        );
         assert_eq!(r.cycles, 2000.0);
         assert_eq!(r.sm_cycles, vec![2000.0, 200.0]);
     }

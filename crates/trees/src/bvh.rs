@@ -33,7 +33,9 @@ impl Triangle {
 
     /// Centroid.
     pub fn centroid(&self) -> PointN<3> {
-        PointN(std::array::from_fn(|i| (self.a[i] + self.b[i] + self.c[i]) / 3.0))
+        PointN(std::array::from_fn(|i| {
+            (self.a[i] + self.b[i] + self.c[i]) / 3.0
+        }))
     }
 }
 
@@ -68,7 +70,8 @@ impl Bvh {
         assert!(!tris.is_empty(), "BVH over zero triangles");
         assert!(leaf_size > 0, "leaf_size must be positive");
         assert!(
-            tris.iter().all(|t| t.a.is_finite() && t.b.is_finite() && t.c.is_finite()),
+            tris.iter()
+                .all(|t| t.a.is_finite() && t.b.is_finite() && t.c.is_finite()),
             "BVH input contains non-finite vertices"
         );
         let n = tris.len();
@@ -90,7 +93,13 @@ impl Bvh {
         bvh
     }
 
-    fn build_rec(&mut self, tris: &[Triangle], cents: &[PointN<3>], idx: &mut [u32], offset: u32) -> NodeId {
+    fn build_rec(
+        &mut self,
+        tris: &[Triangle],
+        cents: &[PointN<3>],
+        idx: &mut [u32],
+        offset: u32,
+    ) -> NodeId {
         let id = self.bbox_lo.len() as NodeId;
         let bbox = idx
             .iter()
@@ -107,7 +116,9 @@ impl Bvh {
         }
 
         // Median split of centroids along the centroid-bbox's widest axis.
-        let cb = idx.iter().fold(Aabb::empty(), |b, &i| b.grow(cents[i as usize]));
+        let cb = idx
+            .iter()
+            .fold(Aabb::empty(), |b, &i| b.grow(cents[i as usize]));
         let axis = cb.widest_axis();
         let mid = idx.len() / 2;
         idx.select_nth_unstable_by(mid, |&a, &b| {
@@ -163,7 +174,10 @@ impl Bvh {
         let mut stack = vec![0 as NodeId];
         while let Some(id) = stack.pop() {
             let i = id as usize;
-            let bbox = Aabb { lo: self.bbox_lo[i], hi: self.bbox_hi[i] };
+            let bbox = Aabb {
+                lo: self.bbox_lo[i],
+                hi: self.bbox_hi[i],
+            };
             if !bbox.is_valid() {
                 return Err(format!("node {id} invalid bbox"));
             }
@@ -193,7 +207,10 @@ impl Bvh {
             }
         }
         if covered != self.triangles.len() {
-            return Err(format!("leaves cover {covered} of {} triangles", self.triangles.len()));
+            return Err(format!(
+                "leaves cover {covered} of {} triangles",
+                self.triangles.len()
+            ));
         }
         Ok(())
     }

@@ -8,7 +8,6 @@
 
 use std::ops::{Index, IndexMut};
 
-
 /// A point in `D`-dimensional space.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PointN<const D: usize>(pub [f32; D]);
@@ -185,11 +184,7 @@ mod tests {
 
     #[test]
     fn aabb_of_points_contains_all() {
-        let pts = [
-            PointN([1.0, -2.0]),
-            PointN([3.0, 5.0]),
-            PointN([-1.0, 0.0]),
-        ];
+        let pts = [PointN([1.0, -2.0]), PointN([3.0, 5.0]), PointN([-1.0, 0.0])];
         let b = Aabb::of_points(&pts);
         for p in &pts {
             assert!(b.contains(p));

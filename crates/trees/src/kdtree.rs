@@ -143,7 +143,13 @@ impl<const D: usize> KdTree<D> {
 
     /// Choose an axis and partition `idx` around it; returns `(axis, mid)`
     /// where `idx[..mid]` goes left. Guarantees `0 < mid < idx.len()`.
-    fn partition(&self, pts: &[PointN<D>], idx: &mut [u32], bbox: &Aabb<D>, depth: usize) -> (usize, usize) {
+    fn partition(
+        &self,
+        pts: &[PointN<D>],
+        idx: &mut [u32],
+        bbox: &Aabb<D>,
+        depth: usize,
+    ) -> (usize, usize) {
         match self.policy {
             SplitPolicy::MedianCycle => {
                 let axis = depth % D;
@@ -295,7 +301,9 @@ impl<const D: usize> KdTree<D> {
                         return Err(format!("{side} child of {id} escapes parent bbox"));
                     }
                 }
-                if self.bbox_hi[l as usize][axis] > sv + 1e-6 && self.policy == SplitPolicy::MedianCycle {
+                if self.bbox_hi[l as usize][axis] > sv + 1e-6
+                    && self.policy == SplitPolicy::MedianCycle
+                {
                     return Err(format!("left subtree of {id} crosses split plane"));
                 }
                 if self.bbox_lo[r as usize][axis] < sv - 1e-6 {
@@ -321,7 +329,8 @@ impl<const D: usize> KdTree<D> {
 impl<const D: usize> Aabb<D> {
     /// Bounding box of the points selected by `idx`.
     fn of_points_idx(pts: &[PointN<D>], idx: &[u32]) -> Aabb<D> {
-        idx.iter().fold(Aabb::empty(), |b, &i| b.grow(pts[i as usize]))
+        idx.iter()
+            .fold(Aabb::empty(), |b, &i| b.grow(pts[i as usize]))
     }
 }
 

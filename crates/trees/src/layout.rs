@@ -134,8 +134,18 @@ impl TreeRegions {
                 }
             }
             NodeLayout::HotColdSplit => {
-                let nodes0 = map.alloc(format!("{prefix}.nodes0"), MemSpace::Global, n_nodes, bytes.hot);
-                let nodes1 = map.alloc(format!("{prefix}.nodes1"), MemSpace::Global, n_nodes, bytes.cold);
+                let nodes0 = map.alloc(
+                    format!("{prefix}.nodes0"),
+                    MemSpace::Global,
+                    n_nodes,
+                    bytes.hot,
+                );
+                let nodes1 = map.alloc(
+                    format!("{prefix}.nodes1"),
+                    MemSpace::Global,
+                    n_nodes,
+                    bytes.cold,
+                );
                 let leaf_elems = map.alloc(
                     format!("{prefix}.leaf_elems"),
                     MemSpace::Global,
@@ -179,7 +189,14 @@ mod tests {
     #[test]
     fn hot_cold_alloc_creates_two_node_regions() {
         let mut map = AddressMap::new();
-        let r = TreeRegions::alloc(&mut map, "kd", NodeBytes::kd(2), NodeLayout::HotColdSplit, 100, 500);
+        let r = TreeRegions::alloc(
+            &mut map,
+            "kd",
+            NodeBytes::kd(2),
+            NodeLayout::HotColdSplit,
+            100,
+            500,
+        );
         assert!(r.nodes1.is_some());
         let names: Vec<&str> = map.regions().iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, vec!["kd.nodes0", "kd.nodes1", "kd.leaf_elems"]);
@@ -189,7 +206,14 @@ mod tests {
     #[test]
     fn monolithic_alloc_folds_fragments() {
         let mut map = AddressMap::new();
-        let r = TreeRegions::alloc(&mut map, "oct", NodeBytes::oct(), NodeLayout::Monolithic, 10, 10);
+        let r = TreeRegions::alloc(
+            &mut map,
+            "oct",
+            NodeBytes::oct(),
+            NodeLayout::Monolithic,
+            10,
+            10,
+        );
         assert!(r.nodes1.is_none());
         assert_eq!(map.region(r.nodes0).stride, 64);
     }

@@ -108,7 +108,11 @@ mod tests {
         let p = pts(200, 4);
         let tris: Vec<crate::bvh::Triangle> = p
             .windows(3)
-            .map(|w| crate::bvh::Triangle { a: w[0], b: w[1], c: w[2] })
+            .map(|w| crate::bvh::Triangle {
+                a: w[0],
+                b: w[1],
+                c: w[2],
+            })
             .collect();
         let t = Bvh::build(&tris, 4);
         check_left_biased(t.n_nodes(), |n| {
@@ -139,7 +143,13 @@ mod tests {
     #[test]
     fn detects_gap_in_preorder() {
         // Node ids skip 1: 0 → [2], 2 → [].
-        let children = |n: NodeId| -> Vec<NodeId> { if n == 0 { vec![2] } else { vec![] } };
+        let children = |n: NodeId| -> Vec<NodeId> {
+            if n == 0 {
+                vec![2]
+            } else {
+                vec![]
+            }
+        };
         assert!(check_left_biased(3, children).is_err());
     }
 }

@@ -10,7 +10,6 @@
 //! child of node `n` is node `n + 1` — the canonical traversal order that
 //! makes Barnes-Hut an *unguided* algorithm (§3.2.1).
 
-
 use crate::geom::PointN;
 use crate::{NodeId, NO_NODE};
 
@@ -47,7 +46,11 @@ impl Octree {
     /// non-finite coordinates.
     pub fn build(positions: &[PointN<3>], masses: &[f32], leaf_size: usize) -> Self {
         assert!(!positions.is_empty(), "oct-tree over zero bodies");
-        assert_eq!(positions.len(), masses.len(), "positions/masses length mismatch");
+        assert_eq!(
+            positions.len(),
+            masses.len(),
+            "positions/masses length mismatch"
+        );
         assert!(leaf_size > 0, "leaf_size must be positive");
         assert!(
             positions.iter().all(PointN::is_finite),
@@ -232,7 +235,10 @@ impl Octree {
                 covered += self.count[i] as usize;
             } else {
                 // Child masses must sum to this node's mass.
-                let child_mass: f32 = self.present_children(id).map(|c| self.mass[c as usize]).sum();
+                let child_mass: f32 = self
+                    .present_children(id)
+                    .map(|c| self.mass[c as usize])
+                    .sum();
                 if (child_mass - self.mass[i]).abs() > 1e-3 * self.mass[i].max(1.0) {
                     return Err(format!(
                         "node {id} mass {} != children sum {child_mass}",
@@ -254,7 +260,10 @@ impl Octree {
             }
         }
         if covered != self.n_bodies() {
-            return Err(format!("leaves cover {covered} of {} bodies", self.n_bodies()));
+            return Err(format!(
+                "leaves cover {covered} of {} bodies",
+                self.n_bodies()
+            ));
         }
         if !visited.iter().all(|&v| v) {
             return Err("unreachable nodes".into());
@@ -339,7 +348,11 @@ mod tests {
         for nid in 0..t.n_nodes() as NodeId {
             if t.is_leaf(nid) {
                 let f = t.first[nid as usize] as usize;
-                for c in covered.iter_mut().skip(f).take(t.count[nid as usize] as usize) {
+                for c in covered
+                    .iter_mut()
+                    .skip(f)
+                    .take(t.count[nid as usize] as usize)
+                {
                     assert!(!*c);
                     *c = true;
                 }

@@ -10,7 +10,6 @@
 //!
 //! Preorder, inner-child-first linearization: `inner(n) == n + 1`.
 
-
 use crate::geom::PointN;
 use crate::{NodeId, NO_NODE};
 
@@ -72,7 +71,13 @@ impl<const D: usize> VpTree<D> {
         tree
     }
 
-    fn build_rec(&mut self, pts: &[PointN<D>], idx: &mut [u32], offset: u32, depth: usize) -> NodeId {
+    fn build_rec(
+        &mut self,
+        pts: &[PointN<D>],
+        idx: &mut [u32],
+        offset: u32,
+        depth: usize,
+    ) -> NodeId {
         let id = self.vantage.len() as NodeId;
         self.vantage.push(PointN::zero());
         self.threshold.push(0.0);
@@ -110,7 +115,9 @@ impl<const D: usize> VpTree<D> {
         // inner.
         let mid = idx.len() / 2;
         idx.select_nth_unstable_by(mid, |&a, &b| {
-            pts[a as usize].dist2(&vantage).total_cmp(&pts[b as usize].dist2(&vantage))
+            pts[a as usize]
+                .dist2(&vantage)
+                .total_cmp(&pts[b as usize].dist2(&vantage))
         });
         let threshold = pts[idx[mid] as usize].dist(&vantage);
         self.threshold[id as usize] = threshold;
@@ -186,7 +193,10 @@ impl<const D: usize> VpTree<D> {
                 let f = self.first[i];
                 let c = self.count[i];
                 if f != lo || f + c != hi {
-                    return Err(format!("leaf {id} bucket [{f}, {}) != subtree range [{lo}, {hi})", f + c));
+                    return Err(format!(
+                        "leaf {id} bucket [{f}, {}) != subtree range [{lo}, {hi})",
+                        f + c
+                    ));
                 }
                 covered += c as usize;
             } else {
@@ -211,7 +221,10 @@ impl<const D: usize> VpTree<D> {
             }
         }
         if covered != self.n_points() {
-            return Err(format!("leaves cover {covered} of {} points", self.n_points()));
+            return Err(format!(
+                "leaves cover {covered} of {} points",
+                self.n_points()
+            ));
         }
         if !visited.iter().all(|&v| v) {
             return Err("unreachable nodes".into());

@@ -21,7 +21,10 @@ fn analyze(name: &str, ir: &gts_ir::KernelIr, annotated: bool) {
     match check_pseudo_tail_recursive(ir) {
         Ok(()) => println!("  pseudo-tail-recursive: yes"),
         Err(v) => {
-            println!("  pseudo-tail-recursive: NO — block {} stmt {}: {}", v.block, v.stmt, v.reason);
+            println!(
+                "  pseudo-tail-recursive: NO — block {} stmt {}: {}",
+                v.block, v.stmt, v.reason
+            );
             println!("  (the paper's §3.2 restructuring pass would push this work into a child)\n");
             return;
         }
@@ -45,7 +48,11 @@ fn analyze(name: &str, ir: &gts_ir::KernelIr, annotated: bool) {
 
 fn main() {
     println!("=== Phase 1: static analysis (paper §3.2.1) ===\n");
-    analyze("Figure 4 — Point Correlation (unguided)", &figure4_pc(), false);
+    analyze(
+        "Figure 4 — Point Correlation (unguided)",
+        &figure4_pc(),
+        false,
+    );
     analyze("Figure 5 — guided, two call sets", &figure5_guided(), true);
     analyze("Figure 9a — Barnes-Hut, loop unrolled", &bh_ir(), false);
     analyze("post-order kernel (rejected)", &non_ptr_kernel(), false);
@@ -60,7 +67,10 @@ fn main() {
     let data = gts_points::gen::uniform::<3>(2_000, 11);
     let tree = KdTree::build(&data, 8, SplitPolicy::MedianCycle);
     let radius = 0.3f32;
-    let ops = PcOps { tree: &tree, radius2: radius * radius };
+    let ops = PcOps {
+        tree: &tree,
+        radius2: radius * radius,
+    };
     let prog = transform(&figure4_pc(), false).expect("PC transforms");
 
     let q = data[17];
@@ -75,7 +85,11 @@ fn main() {
         p_rec.count
     );
 
-    let mut warp: Vec<PcState<3>> = data.iter().take(32).map(|&p| PcState { pos: p, count: 0 }).collect();
+    let mut warp: Vec<PcState<3>> = data
+        .iter()
+        .take(32)
+        .map(|&p| PcState { pos: p, count: 0 })
+        .collect();
     let ls = run_lockstep(&prog, &ops, &mut warp, &[]);
     println!(
         "lockstep warp: union traversal {} nodes; longest lane {} nodes",
@@ -86,7 +100,10 @@ fn main() {
     println!("\n=== Phase 3: the compiled kernel on the simulated GPU ===\n");
     let kernel: IrKernel<_, 1, false, 0> = IrKernel::new(
         prog,
-        PcOps { tree: &tree, radius2: radius * radius },
+        PcOps {
+            tree: &tree,
+            radius2: radius * radius,
+        },
         NodeBytes::kd(3),
         [],
     );

@@ -13,9 +13,19 @@ use gts_points::sort::{apply_perm, morton_order, shuffle};
 use gts_runtime::cpu::trace_one;
 use gts_runtime::gpu::{autoropes, lockstep};
 
-fn run_variants<const D: usize>(label: &str, queries: &[PointN<D>], kernel: &KnnKernel<'_, D>, k: usize) {
+fn run_variants<const D: usize>(
+    label: &str,
+    queries: &[PointN<D>],
+    kernel: &KnnKernel<'_, D>,
+    k: usize,
+) {
     let cfg = GpuConfig::default();
-    let fresh = || queries.iter().map(|&p| KnnPoint::new(p, k)).collect::<Vec<_>>();
+    let fresh = || {
+        queries
+            .iter()
+            .map(|&p| KnnPoint::new(p, k))
+            .collect::<Vec<_>>()
+    };
 
     // Profiler: sample neighboring queries, compare traversal similarity,
     // decide lockstep vs non-lockstep (§4.4).
@@ -31,8 +41,16 @@ fn run_variants<const D: usize>(label: &str, queries: &[PointN<D>], kernel: &Knn
     let mut l_pts = fresh();
     let l_run = lockstep::run(kernel, &mut l_pts, &cfg);
 
-    let chosen = if report.use_lockstep { "lockstep" } else { "non-lockstep" };
-    let actually_faster = if l_run.ms() < n_run.ms() { "lockstep" } else { "non-lockstep" };
+    let chosen = if report.use_lockstep {
+        "lockstep"
+    } else {
+        "non-lockstep"
+    };
+    let actually_faster = if l_run.ms() < n_run.ms() {
+        "lockstep"
+    } else {
+        "non-lockstep"
+    };
     println!(
         "{label:<10} similarity {:.2} → profiler picks {chosen:<13} | L {:>8.2} ms, N {:>8.2} ms (faster: {actually_faster})",
         report.mean_similarity,

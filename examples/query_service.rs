@@ -18,12 +18,11 @@ fn main() {
     // Two indices of different dimension; queries name them by id.
     let pts3 = uniform::<3>(2000, 7);
     let pts2 = geocity_like(2000, 8);
-    let cube = service.register_index(Arc::new(KdIndex::build(
-        "cube",
-        &pts3,
-        8,
-        SplitPolicy::MedianCycle,
-    )) as Arc<dyn TreeIndex>);
+    let cube =
+        service.register_index(
+            Arc::new(KdIndex::build("cube", &pts3, 8, SplitPolicy::MedianCycle))
+                as Arc<dyn TreeIndex>,
+        );
     let cities = service.register_index(Arc::new(KdIndex::build(
         "cities",
         &pts2,

@@ -85,6 +85,7 @@ fn main() {
     println!(
         "lockstep visited {:.1}× the nodes but made {:.1}× fewer memory transactions",
         ls.stats.avg_nodes() / ar.stats.avg_nodes(),
-        ar.launch.counters.global_transactions as f64 / ls.launch.counters.global_transactions as f64
+        ar.launch.counters.global_transactions as f64
+            / ls.launch.counters.global_transactions as f64
     );
 }

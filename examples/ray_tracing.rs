@@ -21,13 +21,30 @@ use gts_trees::bvh::{Bvh, Triangle};
 fn build_scene() -> Vec<Triangle> {
     let mut tris = Vec::new();
     let mut quad = |a: [f32; 3], b: [f32; 3], c: [f32; 3], d: [f32; 3]| {
-        tris.push(Triangle { a: PointN(a), b: PointN(b), c: PointN(c) });
-        tris.push(Triangle { a: PointN(a), b: PointN(c), c: PointN(d) });
+        tris.push(Triangle {
+            a: PointN(a),
+            b: PointN(b),
+            c: PointN(c),
+        });
+        tris.push(Triangle {
+            a: PointN(a),
+            b: PointN(c),
+            c: PointN(d),
+        });
     };
     // Floor.
-    quad([-8.0, -1.0, -8.0], [8.0, -1.0, -8.0], [8.0, -1.0, 8.0], [-8.0, -1.0, 8.0]);
+    quad(
+        [-8.0, -1.0, -8.0],
+        [8.0, -1.0, -8.0],
+        [8.0, -1.0, 8.0],
+        [-8.0, -1.0, 8.0],
+    );
     // A pyramid of axis-aligned cubes.
-    let cube = |cx: f32, cy: f32, cz: f32, s: f32, quad: &mut dyn FnMut([f32; 3], [f32; 3], [f32; 3], [f32; 3])| {
+    let cube = |cx: f32,
+                cy: f32,
+                cz: f32,
+                s: f32,
+                quad: &mut dyn FnMut([f32; 3], [f32; 3], [f32; 3], [f32; 3])| {
         let (l, r) = (cx - s, cx + s);
         let (b, t) = (cy - s, cy + s);
         let (n, f) = (cz - s, cz + s);
@@ -53,7 +70,10 @@ fn build_scene() -> Vec<Triangle> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let width: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(160);
-    let out_path = args.get(2).cloned().unwrap_or_else(|| "render.ppm".to_string());
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "render.ppm".to_string());
     let height = width * 3 / 4;
 
     let tris = build_scene();
@@ -77,11 +97,7 @@ fn main() {
             let u = (x as f32 / width as f32) * 2.0 - 1.0;
             let v = 1.0 - (y as f32 / height as f32) * 2.0;
             // Simple pinhole: right = +x-ish, up = +y; small-angle basis.
-            let dir = PointN([
-                fwd[0] + u * 6.0,
-                fwd[1] + v * 4.5,
-                fwd[2],
-            ]);
+            let dir = PointN([fwd[0] + u * 6.0, fwd[1] + v * 4.5, fwd[2]]);
             rays.push(RayPoint::new(eye, dir));
         }
     }
@@ -97,10 +113,7 @@ fn main() {
     );
 
     // Compare against the non-lockstep traversal (same image, different cost).
-    let mut rays_n: Vec<RayPoint> = rays
-        .iter()
-        .map(|r| RayPoint::new(r.orig, r.dir))
-        .collect();
+    let mut rays_n: Vec<RayPoint> = rays.iter().map(|r| RayPoint::new(r.orig, r.dir)).collect();
     let report_n = autoropes::run(&kernel, &mut rays_n, &cfg);
     println!("non-lockstep:    modeled {:.2} ms", report_n.ms());
     for (a, b) in rays.iter().zip(&rays_n) {
@@ -125,5 +138,8 @@ fn main() {
     }
     std::fs::write(&out_path, ppm).expect("write image");
     let hits = rays.iter().filter(|r| r.did_hit()).count();
-    println!("wrote {out_path}: {hits}/{} pixels hit geometry", rays.len());
+    println!(
+        "wrote {out_path}: {hits}/{} pixels hit geometry",
+        rays.len()
+    );
 }

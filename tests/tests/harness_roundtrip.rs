@@ -22,7 +22,10 @@ fn cells_roundtrip_through_json() {
     // within a relative epsilon.
     let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(1.0);
     for (a, b) in suite.cells.iter().zip(&back) {
-        assert!(close(a.non_lockstep.traversal_ms, b.non_lockstep.traversal_ms));
+        assert!(close(
+            a.non_lockstep.traversal_ms,
+            b.non_lockstep.traversal_ms
+        ));
         assert_eq!(a.non_lockstep.benchmark, b.non_lockstep.benchmark);
         for ((ta, ma), (tb, mb)) in a.cpu_sweep.iter().zip(&b.cpu_sweep) {
             assert_eq!(ta, tb);

@@ -33,13 +33,19 @@ fn compiled_bh_matches_handwritten_bitwise() {
     let dsq = (root_size / theta) * (root_size / theta);
     let ir_kernel: IrKernel<_, 1, false, 1> = IrKernel::new(
         prog,
-        BhOps { tree: &tree, eps2: eps * eps },
+        BhOps {
+            tree: &tree,
+            eps2: eps * eps,
+        },
         NodeBytes::oct(),
         [dsq],
     );
     let mut ir_pts: Vec<BhState> = pos
         .iter()
-        .map(|&p| BhState { pos: p, acc: PointN::zero() })
+        .map(|&p| BhState {
+            pos: p,
+            acc: PointN::zero(),
+        })
         .collect();
     let ir_r = cpu::run_sequential(&ir_kernel, &mut ir_pts);
 
@@ -60,19 +66,32 @@ fn compiled_bh_runs_lockstep_on_simulator() {
     let tree = Octree::build(&pos, &mass, 4);
     let prog = transform(&bh_ir(), false).expect("transform");
     let dsq = (tree.size[0] / 0.5) * (tree.size[0] / 0.5);
-    let ir_kernel: IrKernel<_, 1, false, 1> =
-        IrKernel::new(prog, BhOps { tree: &tree, eps2: 2.5e-3 }, NodeBytes::oct(), [dsq]);
+    let ir_kernel: IrKernel<_, 1, false, 1> = IrKernel::new(
+        prog,
+        BhOps {
+            tree: &tree,
+            eps2: 2.5e-3,
+        },
+        NodeBytes::oct(),
+        [dsq],
+    );
 
     let mk = || {
         pos.iter()
-            .map(|&p| BhState { pos: p, acc: PointN::zero() })
+            .map(|&p| BhState {
+                pos: p,
+                acc: PointN::zero(),
+            })
             .collect::<Vec<_>>()
     };
     let mut cpu_pts = mk();
     cpu::run_sequential(&ir_kernel, &mut cpu_pts);
     let mut ls_pts = mk();
     let report = lockstep::run(&ir_kernel, &mut ls_pts, &GpuConfig::default());
-    assert_eq!(cpu_pts, ls_pts, "lockstep execution of the compiled kernel diverged");
+    assert_eq!(
+        cpu_pts, ls_pts,
+        "lockstep execution of the compiled kernel diverged"
+    );
     assert!(report.launch.counters.global_transactions > 0);
 }
 
@@ -82,12 +101,18 @@ fn ir_interpreter_and_runtime_agree_on_visit_counts() {
     let tree = KdTree::build(&data, 4, SplitPolicy::MedianCycle);
     let radius = 0.3f32;
     let prog = transform(&figure4_pc(), false).expect("transform");
-    let ops = PcOps { tree: &tree, radius2: radius * radius };
+    let ops = PcOps {
+        tree: &tree,
+        radius2: radius * radius,
+    };
 
     // Interpreter trace lengths vs. runtime per-point counts, per query.
     let kernel: IrKernel<_, 1, false, 0> = IrKernel::new(
         prog.clone(),
-        PcOps { tree: &tree, radius2: radius * radius },
+        PcOps {
+            tree: &tree,
+            radius2: radius * radius,
+        },
         NodeBytes::kd(3),
         [],
     );
@@ -111,11 +136,17 @@ fn recursive_and_autoropes_interp_traces_match_for_bh() {
     let pos: Vec<PointN<3>> = bodies.iter().map(|b| b.pos).collect();
     let mass: Vec<f32> = bodies.iter().map(|b| b.mass).collect();
     let tree = Octree::build(&pos, &mass, 2);
-    let ops = BhOps { tree: &tree, eps2: 1e-4 };
+    let ops = BhOps {
+        tree: &tree,
+        eps2: 1e-4,
+    };
     let prog = transform(&bh_ir(), false).expect("transform");
     let dsq = (tree.size[0] / 0.4) * (tree.size[0] / 0.4);
     for q in pos.iter().take(32) {
-        let mut a = BhState { pos: *q, acc: PointN::zero() };
+        let mut a = BhState {
+            pos: *q,
+            acc: PointN::zero(),
+        };
         let mut b = a.clone();
         let t1 = run_recursive(&prog.ir, &ops, &mut a, &[dsq]);
         let t2 = run_autoropes(&prog, &ops, &mut b, &[dsq]);

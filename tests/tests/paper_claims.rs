@@ -160,7 +160,12 @@ fn shared_memory_stack_helps_lockstep_bh() {
     let tree = Octree::build(&pos, &mass, 8);
     let kernel = BhKernel::new(&tree, 0.5, 0.05);
     let sorted = apply_perm(&pos, &morton_order(&pos));
-    let mk = || sorted.iter().map(|&p| BhPoint::new(p)).collect::<Vec<BhPoint>>();
+    let mk = || {
+        sorted
+            .iter()
+            .map(|&p| BhPoint::new(p))
+            .collect::<Vec<BhPoint>>()
+    };
 
     let global_cfg = GpuConfig::default();
     let shared_cfg = GpuConfig::default().with_shared_stack();

@@ -75,7 +75,11 @@ fn restructured_inorder_traversal_matches_true_recursion() {
 
     // Pipeline: restructure → (now PTR) → autoropes transform → execute.
     let restructured = restructure(&original).expect("restructure succeeds");
-    assert_eq!(restructured.pushed.len(), 1, "one in-order update pushed down");
+    assert_eq!(
+        restructured.pushed.len(),
+        1,
+        "one in-order update pushed down"
+    );
     let prog = transform(&restructured.ir, false).expect("restructured kernel transforms");
 
     let mut result = Acc(0);

@@ -4,8 +4,8 @@
 use gts_apps::oracle;
 use gts_points::gen::uniform;
 use gts_service::{
-    Backend, ExecPolicy, KdIndex, Metrics, Query, QueryKind, QueryResult, Service,
-    ServiceConfig, ServiceError, Ticket, TreeIndex,
+    Backend, ExecPolicy, KdIndex, Metrics, Query, QueryKind, QueryResult, Service, ServiceConfig,
+    ServiceError, Ticket, TreeIndex,
 };
 use gts_trees::SplitPolicy;
 use std::sync::Arc;
@@ -14,15 +14,19 @@ use std::time::Duration;
 fn small_service(cfg: ServiceConfig) -> (Service, Vec<gts_trees::PointN<3>>) {
     let pts = uniform::<3>(256, 77);
     let service = Service::start(cfg);
-    let id = service.register_index(Arc::new(KdIndex::build(
-        "t", &pts, 8, SplitPolicy::MedianCycle,
-    )) as Arc<dyn TreeIndex>);
+    let id = service.register_index(
+        Arc::new(KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle)) as Arc<dyn TreeIndex>,
+    );
     assert_eq!(id, 0);
     (service, pts)
 }
 
 fn nn_query(pos: [f32; 3]) -> Query {
-    Query { index: 0, pos: pos.to_vec(), kind: QueryKind::Nn }
+    Query {
+        index: 0,
+        pos: pos.to_vec(),
+        kind: QueryKind::Nn,
+    }
 }
 
 #[test]
@@ -39,7 +43,9 @@ fn batch_smaller_than_one_warp_still_answers() {
         .collect();
     // Resolved by the deadline flush — no shutdown needed.
     for (i, t) in tickets.iter().enumerate() {
-        let QueryResult::Nn { dist2, .. } = t.wait().unwrap() else { panic!() };
+        let QueryResult::Nn { dist2, .. } = t.wait().unwrap() else {
+            panic!()
+        };
         let want = oracle::nn_dist2_nonself(&pts, &pts[i]);
         assert!((dist2 - want).abs() <= 1e-5 * want.max(1e-6));
     }
@@ -72,7 +78,9 @@ fn k_exceeding_index_size_truncates_like_the_oracle() {
         pos: pts[0].0.to_vec(),
         kind: QueryKind::Knn { k: 10 * pts.len() },
     };
-    let QueryResult::Knn { dist2, ids } = service.query(q).unwrap() else { panic!() };
+    let QueryResult::Knn { dist2, ids } = service.query(q).unwrap() else {
+        panic!()
+    };
     assert_eq!(dist2.len(), pts.len(), "every point is a neighbor");
     assert_eq!(ids.len(), pts.len());
     let want = oracle::knn_dists(&pts, &pts[0], 10 * pts.len());
@@ -126,8 +134,7 @@ fn concurrent_submitters_under_tight_backpressure() {
             scope.spawn(move || {
                 for i in 0..50 {
                     let p = pts[(c * 37 + i * 11) % pts.len()];
-                    let QueryResult::Nn { dist2, .. } =
-                        service.query(nn_query(p.0)).unwrap()
+                    let QueryResult::Nn { dist2, .. } = service.query(nn_query(p.0)).unwrap()
                     else {
                         panic!()
                     };
@@ -155,17 +162,35 @@ fn submissions_after_shutdown_are_rejected_not_hung() {
 fn validation_rejects_bad_queries_with_specific_errors() {
     let (service, pts) = small_service(ServiceConfig::default());
     let err = service
-        .submit(Query { index: 9, pos: vec![0.0; 3], kind: QueryKind::Nn })
+        .submit(Query {
+            index: 9,
+            pos: vec![0.0; 3],
+            kind: QueryKind::Nn,
+        })
         .unwrap_err();
     assert_eq!(err, ServiceError::UnknownIndex(9));
 
     let err = service
-        .submit(Query { index: 0, pos: vec![0.0; 2], kind: QueryKind::Nn })
+        .submit(Query {
+            index: 0,
+            pos: vec![0.0; 2],
+            kind: QueryKind::Nn,
+        })
         .unwrap_err();
-    assert_eq!(err, ServiceError::DimMismatch { expected: 3, got: 2 });
+    assert_eq!(
+        err,
+        ServiceError::DimMismatch {
+            expected: 3,
+            got: 2
+        }
+    );
 
     let err = service
-        .submit(Query { index: 0, pos: vec![0.0; 3], kind: QueryKind::Knn { k: 0 } })
+        .submit(Query {
+            index: 0,
+            pos: vec![0.0; 3],
+            kind: QueryKind::Knn { k: 0 },
+        })
         .unwrap_err();
     assert!(matches!(err, ServiceError::BadQuery(_)));
 
@@ -182,7 +207,9 @@ fn validation_rejects_bad_queries_with_specific_errors() {
         .submit(Query {
             index: 0,
             pos: vec![0.0; 3],
-            kind: QueryKind::Pc { radius: f32::INFINITY },
+            kind: QueryKind::Pc {
+                radius: f32::INFINITY,
+            },
         })
         .unwrap_err();
     assert!(matches!(err, ServiceError::BadQuery(_)));
@@ -203,9 +230,9 @@ fn forced_cpu_backend_serves_queries_too() {
         max_wait: Duration::from_millis(1),
         ..ServiceConfig::default()
     });
-    service.register_index(Arc::new(KdIndex::build(
-        "t", &pts, 8, SplitPolicy::MedianCycle,
-    )) as Arc<dyn TreeIndex>);
+    service.register_index(
+        Arc::new(KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle)) as Arc<dyn TreeIndex>,
+    );
     let QueryResult::Pc { count } = service
         .query(Query {
             index: 0,
@@ -219,7 +246,10 @@ fn forced_cpu_backend_serves_queries_too() {
     assert_eq!(count, oracle::pc_count(&pts, &pts[3], 0.3));
     let snapshot = service.shutdown();
     assert_eq!(snapshot.cpu_batches, snapshot.batches);
-    assert_eq!(snapshot.model_ms, 0.0, "CPU backend has no modeled GPU time");
+    assert_eq!(
+        snapshot.model_ms, 0.0,
+        "CPU backend has no modeled GPU time"
+    );
 }
 
 /// The worker pool's thread-safety contract, enforced at compile time:

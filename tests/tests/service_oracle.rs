@@ -5,9 +5,7 @@
 
 use gts_apps::oracle;
 use gts_points::gen::{geocity_like, uniform};
-use gts_service::{
-    KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, TreeIndex,
-};
+use gts_service::{KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, TreeIndex};
 use gts_trees::{PointN, SplitPolicy};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -31,14 +29,23 @@ struct Case {
 }
 
 /// Pre-compute the oracle answer for one query.
-fn with_oracle<const D: usize>(data: &[PointN<D>], index: usize, pos: PointN<D>, kind: QueryKind) -> Case {
+fn with_oracle<const D: usize>(
+    data: &[PointN<D>],
+    index: usize,
+    pos: PointN<D>,
+    kind: QueryKind,
+) -> Case {
     let expected = match kind {
         QueryKind::Nn => Expected::Nn(oracle::nn_dist2_nonself(data, &pos)),
         QueryKind::Knn { k } => Expected::Knn(oracle::knn_dists(data, &pos, k)),
         QueryKind::Pc { radius } => Expected::Pc(oracle::pc_count(data, &pos, radius)),
     };
     Case {
-        query: Query { index, pos: pos.0.to_vec(), kind },
+        query: Query {
+            index,
+            pos: pos.0.to_vec(),
+            kind,
+        },
         expected,
     }
 }
@@ -84,7 +91,9 @@ fn ten_thousand_concurrent_queries_match_sequential_oracle() {
                 0..=4 => QueryKind::Nn,
                 // Include k > n occasionally: k is clamped by reality, the
                 // oracle truncates the same way.
-                5..=7 => QueryKind::Knn { k: [4, 8, 2 * N_POINTS][rng.gen_range(0..3usize)] },
+                5..=7 => QueryKind::Knn {
+                    k: [4, 8, 2 * N_POINTS][rng.gen_range(0..3usize)],
+                },
                 _ => QueryKind::Pc { radius: 0.1 },
             };
             if rng.gen_bool(0.5) {
@@ -109,12 +118,16 @@ fn ten_thousand_concurrent_queries_match_sequential_oracle() {
         workers: 4,
         ..ServiceConfig::default()
     });
-    let id3 = service.register_index(Arc::new(KdIndex::build(
-        "u3", &pts3, 8, SplitPolicy::MedianCycle,
-    )) as Arc<dyn TreeIndex>);
-    let id2 = service.register_index(Arc::new(KdIndex::build(
-        "g2", &pts2, 8, SplitPolicy::MidpointWidest,
-    )) as Arc<dyn TreeIndex>);
+    let id3 =
+        service.register_index(
+            Arc::new(KdIndex::build("u3", &pts3, 8, SplitPolicy::MedianCycle))
+                as Arc<dyn TreeIndex>,
+        );
+    let id2 =
+        service.register_index(
+            Arc::new(KdIndex::build("g2", &pts2, 8, SplitPolicy::MidpointWidest))
+                as Arc<dyn TreeIndex>,
+        );
     assert_eq!((id3, id2), (0, 1), "test indices assume registration order");
 
     // Concurrent submitters: each owns a stripe of the case list, submits
@@ -124,8 +137,7 @@ fn ten_thousand_concurrent_queries_match_sequential_oracle() {
             let service = &service;
             let cases = &cases;
             scope.spawn(move || {
-                let mine: Vec<usize> =
-                    (stripe..cases.len()).step_by(SUBMITTERS).collect();
+                let mine: Vec<usize> = (stripe..cases.len()).step_by(SUBMITTERS).collect();
                 let tickets: Vec<_> = mine
                     .iter()
                     .map(|&i| {

@@ -71,12 +71,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Register a benchmark parameterized by `input`.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: impl Display,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
@@ -94,7 +89,10 @@ fn run_once(label: &str, f: impl FnOnce(&mut Bencher)) {
     let start = Instant::now();
     f(&mut b);
     let wall = b.elapsed.unwrap_or_else(|| start.elapsed());
-    println!("bench {label}: {:.3} ms (single run, stub)", wall.as_secs_f64() * 1e3);
+    println!(
+        "bench {label}: {:.3} ms (single run, stub)",
+        wall.as_secs_f64() * 1e3
+    );
 }
 
 /// Handed to each benchmark body; runs the routine exactly once.

@@ -66,7 +66,10 @@ pub struct Receiver<T> {
 
 /// Channel with capacity `cap` (> 0); `send` blocks while full.
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-    assert!(cap > 0, "bounded(0) rendezvous channels are not supported by this stub");
+    assert!(
+        cap > 0,
+        "bounded(0) rendezvous channels are not supported by this stub"
+    );
     new_channel(Some(cap))
 }
 
@@ -86,7 +89,12 @@ fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
-    (Sender { inner: inner.clone() }, Receiver { inner })
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
 }
 
 impl<T> Sender<T> {
@@ -193,14 +201,18 @@ impl<T> Receiver<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.inner.queue.lock().expect("channel poisoned").senders += 1;
-        Sender { inner: self.inner.clone() }
+        Sender {
+            inner: self.inner.clone(),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.inner.queue.lock().expect("channel poisoned").receivers += 1;
-        Receiver { inner: self.inner.clone() }
+        Receiver {
+            inner: self.inner.clone(),
+        }
     }
 }
 

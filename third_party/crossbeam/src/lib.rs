@@ -84,7 +84,9 @@ mod tests {
     #[test]
     fn nested_spawn_through_scope_arg() {
         let r = super::scope(|s| {
-            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
         })
         .unwrap();
         assert_eq!(r, 42);

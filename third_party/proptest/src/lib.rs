@@ -171,7 +171,10 @@ pub struct __PanicContext {
 impl __PanicContext {
     #[doc(hidden)]
     pub fn new(inputs: String) -> Self {
-        __PanicContext { inputs, armed: true }
+        __PanicContext {
+            inputs,
+            armed: true,
+        }
     }
 
     #[doc(hidden)]
@@ -221,8 +224,8 @@ macro_rules! prop_assume {
 /// Everything a test module needs.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
-        ProptestConfig, SampleRng, Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        SampleRng, Strategy,
     };
 }
 

@@ -130,8 +130,7 @@ mod tests {
         let x: f32 = r.gen_range(0.0..1.0);
         assert!((0.0..1.0).contains(&x));
         // Mean of many uniform draws is near 0.5.
-        let mean: f64 =
-            (0..4000).map(|_| r.gen_range(0.0f64..1.0)).sum::<f64>() / 4000.0;
+        let mean: f64 = (0..4000).map(|_| r.gen_range(0.0f64..1.0)).sum::<f64>() / 4000.0;
         assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
     }
 }

@@ -70,9 +70,7 @@ impl Number {
         match self {
             Number::U64(v) => i64::try_from(v).ok(),
             Number::I64(v) => Some(v),
-            Number::F64(v)
-                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
-            {
+            Number::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
                 Some(v as i64)
             }
             Number::F64(_) => None,
@@ -84,9 +82,7 @@ impl Value {
     /// Object field lookup.
     pub fn get(&self, name: &str) -> Option<&Value> {
         match self {
-            Value::Object(fields) => {
-                fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
-            }
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -127,8 +123,7 @@ pub trait Deserialize: Sized {
 /// A missing field is an error, matching upstream serde's default.
 pub fn from_field<T: Deserialize>(obj: &Value, name: &str) -> Result<T, Error> {
     match obj.get(name) {
-        Some(v) => T::from_value(v)
-            .map_err(|e| Error(format!("field `{name}`: {e}"))),
+        Some(v) => T::from_value(v).map_err(|e| Error(format!("field `{name}`: {e}"))),
         None => Err(Error(format!("missing field `{name}`"))),
     }
 }
@@ -317,7 +312,11 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
@@ -337,7 +336,9 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
 impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
     fn to_value(&self) -> Value {
         Value::Object(
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect(),
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
         )
     }
 }

@@ -121,9 +121,7 @@ fn generate(input: TokenStream, mode: Mode) -> TokenStream {
         (Shape::UnitEnum { name, variants }, Mode::Deserialize) => {
             let arms: String = variants
                 .iter()
-                .map(|v| {
-                    format!("{v:?} => ::std::result::Result::Ok({name}::{v}),")
-                })
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\
@@ -173,7 +171,8 @@ fn parse(input: TokenStream) -> Result<Shape, String> {
     let tokens = strip(input);
     let mut i = 0;
     // Skip visibility: `pub`, optionally followed by `(...)`.
-    let is_ident = |t: &TokenTree, s: &str| matches!(t, TokenTree::Ident(id) if id.to_string() == s);
+    let is_ident =
+        |t: &TokenTree, s: &str| matches!(t, TokenTree::Ident(id) if id.to_string() == s);
     if i < tokens.len() && is_ident(&tokens[i], "pub") {
         i += 1;
         if let Some(TokenTree::Group(g)) = tokens.get(i) {
@@ -185,7 +184,11 @@ fn parse(input: TokenStream) -> Result<Shape, String> {
     let kind = match tokens.get(i) {
         Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
         Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
-        other => return Err(format!("serde stub: expected struct or enum, got {other:?}")),
+        other => {
+            return Err(format!(
+                "serde stub: expected struct or enum, got {other:?}"
+            ))
+        }
     };
     i += 1;
     let name = match tokens.get(i) {
@@ -232,11 +235,7 @@ fn parse(input: TokenStream) -> Result<Shape, String> {
         for part in &parts {
             match (part.first(), part.len()) {
                 (Some(TokenTree::Ident(id)), 1) => variants.push(id.to_string()),
-                _ => {
-                    return Err(
-                        "serde stub: only unit enum variants are supported".to_string()
-                    )
-                }
+                _ => return Err("serde stub: only unit enum variants are supported".to_string()),
             }
         }
         Ok(Shape::UnitEnum { name, variants })

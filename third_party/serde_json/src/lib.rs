@@ -17,7 +17,10 @@ pub struct Error {
 
 impl Error {
     fn new(msg: impl Into<String>, offset: usize) -> Self {
-        Error { msg: msg.into(), offset }
+        Error {
+            msg: msg.into(),
+            offset,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
 
 /// Deserialize from JSON text.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -283,9 +289,9 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| {
-                        Error::new("unterminated escape", self.pos)
-                    })?;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape", self.pos))?;
                     self.pos += 1;
                     match esc {
                         b'"' => s.push('"'),
@@ -300,9 +306,8 @@ impl Parser<'_> {
                             if self.pos + 4 > self.bytes.len() {
                                 return Err(Error::new("short \\u escape", self.pos));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                    .map_err(|_| Error::new("bad \\u escape", self.pos))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error::new("bad \\u escape", self.pos))?;
                             let cp = u32::from_str_radix(hex, 16)
                                 .map_err(|_| Error::new("bad \\u escape", self.pos))?;
                             self.pos += 4;
@@ -394,9 +399,15 @@ mod tests {
     #[test]
     fn nested_values_roundtrip() {
         let v = Value::Object(vec![
-            ("a".into(), Value::Array(vec![Value::Number(Number::U64(1)), Value::Null])),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Number(Number::U64(1)), Value::Null]),
+            ),
             ("b".into(), Value::String("x \"y\" z".into())),
-            ("c".into(), Value::Object(vec![("d".into(), Value::Bool(false))])),
+            (
+                "c".into(),
+                Value::Object(vec![("d".into(), Value::Bool(false))]),
+            ),
         ]);
         let compact = to_string(&v).unwrap();
         let back: Value = from_str(&compact).unwrap();
