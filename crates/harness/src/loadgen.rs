@@ -17,7 +17,7 @@
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
     Backend, ExecPolicy, KdIndex, MetricsSnapshot, Query, QueryKind, Service, ServiceConfig,
-    TreeIndex,
+    ShardedIndex, TreeIndex,
 };
 use gts_trees::{PointN, SplitPolicy};
 use rand::{Rng, SeedableRng};
@@ -40,6 +40,9 @@ pub struct LoadgenConfig {
     pub workers: usize,
     /// Batch size target.
     pub batch: usize,
+    /// Shards per index (1 = flat [`KdIndex`]; >1 registers
+    /// Morton-partitioned [`ShardedIndex`] wrappers instead).
+    pub shards: usize,
     /// Output JSON path.
     pub out: String,
     /// Skip the (slow) one-query-at-a-time baseline.
@@ -54,6 +57,7 @@ impl Default for LoadgenConfig {
             seed: 20130901,
             workers: 2,
             batch: 256,
+            shards: 1,
             out: "BENCH_service.json".into(),
             skip_single: false,
         }
@@ -70,6 +74,10 @@ pub struct BenchReport {
     pub seed: u64,
     /// Registered indices.
     pub indices: u64,
+    /// Shards per index (1 = flat kd-tree indices).
+    pub shards: u64,
+    /// `(query, shard)` pairs skipped by shard AABB pruning (0 for flat).
+    pub shards_pruned: u64,
     /// Total modeled GPU ms across batched dispatches.
     pub batched_model_ms: f64,
     /// Modeled queries/second of the batched path.
@@ -161,20 +169,39 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
     let data2: Vec<Vec<f32>> = pts2.iter().map(|p| p.0.to_vec()).collect();
     let radii = [0.04 * bbox_diag(&data3), 0.04 * bbox_diag(&data2)];
 
-    let indices: Vec<Arc<dyn TreeIndex>> = vec![
-        Arc::new(KdIndex::build(
-            "uniform3d",
-            &pts3,
-            8,
-            SplitPolicy::MedianCycle,
-        )),
-        Arc::new(KdIndex::build(
-            "geocity2d",
-            &pts2,
-            8,
-            SplitPolicy::MidpointWidest,
-        )),
-    ];
+    let indices: Vec<Arc<dyn TreeIndex>> = if cfg.shards > 1 {
+        vec![
+            Arc::new(ShardedIndex::build(
+                "uniform3d",
+                &pts3,
+                cfg.shards,
+                8,
+                SplitPolicy::MedianCycle,
+            )),
+            Arc::new(ShardedIndex::build(
+                "geocity2d",
+                &pts2,
+                cfg.shards,
+                8,
+                SplitPolicy::MidpointWidest,
+            )),
+        ]
+    } else {
+        vec![
+            Arc::new(KdIndex::build(
+                "uniform3d",
+                &pts3,
+                8,
+                SplitPolicy::MedianCycle,
+            )),
+            Arc::new(KdIndex::build(
+                "geocity2d",
+                &pts2,
+                8,
+                SplitPolicy::MidpointWidest,
+            )),
+        ]
+    };
     let requests = synth_mix(&[data3, data2], &radii, cfg.queries, 8, cfg.seed);
 
     // Batched phase. A long deadline makes flushes size-triggered, so the
@@ -236,6 +263,8 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
         queries: cfg.queries as u64,
         seed: cfg.seed,
         indices: indices.len() as u64,
+        shards: cfg.shards.max(1) as u64,
+        shards_pruned: snapshot.shards_pruned,
         batched_model_ms: snapshot.model_ms,
         batched_qps_model: batched_qps,
         single_model_ms,
@@ -256,13 +285,14 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
 
     let mut text = String::new();
     text.push_str(&format!(
-        "loadgen: {} queries over {} indices ({} pts each), seed {}, batch {}, {} workers\n",
+        "loadgen: {} queries over {} indices ({} pts each), seed {}, batch {}, {} workers, {} shard(s)\n",
         cfg.queries,
         indices.len(),
         cfg.points,
         cfg.seed,
         cfg.batch,
-        cfg.workers
+        cfg.workers,
+        cfg.shards.max(1)
     ));
     text.push_str(&format!(
         "  batched: {:8.2} modeled ms → {:9.0} q/s modeled  (wall {:.0} ms, p50 {:.2} ms, p99 {:.2} ms)\n",
@@ -287,16 +317,23 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
         snapshot.mean_batch_size,
         snapshot.mean_work_expansion
     ));
+    if cfg.shards > 1 {
+        text.push_str(&format!(
+            "  shards : {} per index, {} (query, shard) fan-outs pruned by AABB bounds\n",
+            cfg.shards, snapshot.shards_pruned
+        ));
+    }
     (text, report)
 }
 
 /// CLI entry: parse `args` (everything after the subcommand) and run.
 pub fn main_loadgen(args: &[String]) {
     let mut cfg = LoadgenConfig::default();
+    let mut out_given = false;
     let usage = || -> ! {
         eprintln!(
             "usage: gts-harness loadgen [--queries N] [--points N] [--seed N] \
-             [--workers N] [--batch N] [--out PATH] [--skip-single]"
+             [--workers N] [--batch N] [--shards N] [--out PATH] [--skip-single]"
         );
         std::process::exit(2)
     };
@@ -328,8 +365,13 @@ pub fn main_loadgen(args: &[String]) {
                 cfg.batch = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--shards" => {
+                cfg.shards = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             "--out" => {
                 cfg.out = need(i).to_string();
+                out_given = true;
                 i += 2;
             }
             "--skip-single" => {
@@ -338,6 +380,11 @@ pub fn main_loadgen(args: &[String]) {
             }
             _ => usage(),
         }
+    }
+    // A sharded run is a different benchmark row; keep it from
+    // overwriting the flat-index baseline unless --out says otherwise.
+    if cfg.shards > 1 && !out_given {
+        cfg.out = "BENCH_sharded.json".into();
     }
 
     let (text, report) = run(&cfg);
@@ -374,5 +421,26 @@ mod tests {
             "expected batching to win, got {:.2}x",
             a.modeled_speedup
         );
+    }
+
+    #[test]
+    fn sharded_loadgen_is_deterministic_and_prunes() {
+        let cfg = LoadgenConfig {
+            queries: 256,
+            points: 512,
+            batch: 64,
+            workers: 2,
+            shards: 4,
+            skip_single: true,
+            ..LoadgenConfig::default()
+        };
+        let (_, a) = run(&cfg);
+        let (_, b) = run(&cfg);
+        assert_eq!(a.batched_model_ms, b.batched_model_ms);
+        assert_eq!(a.shards_pruned, b.shards_pruned);
+        assert_eq!(a.shards, 4);
+        // The clustered client mix sits near its anchor points, so shard
+        // bounds must rule out distant shards at least sometimes.
+        assert!(a.shards_pruned > 0, "no fan-outs pruned");
     }
 }

@@ -12,8 +12,8 @@
 //!   --csv DIR        write Figure 10/11 panels as CSV files into DIR
 //!
 //! gts-harness loadgen [--queries N] [--points N] [--seed N] [--workers N]
-//!                     [--batch N] [--out PATH] [--skip-single]
-//! gts-harness serve   [--points N] [--seed N]
+//!                     [--batch N] [--shards N] [--out PATH] [--skip-single]
+//! gts-harness serve   [--points N] [--seed N] [--shards N]
 //! ```
 
 use std::io::Write as _;

@@ -13,7 +13,9 @@
 //! ```
 
 use gts_points::gen::{geocity_like, uniform};
-use gts_service::{KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, TreeIndex};
+use gts_service::{
+    KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, ShardedIndex, TreeIndex,
+};
 use gts_trees::SplitPolicy;
 use std::io::BufRead as _;
 use std::sync::Arc;
@@ -81,8 +83,9 @@ fn render(result: &QueryResult) -> String {
 pub fn main_serve(args: &[String]) {
     let mut points = 4096usize;
     let mut seed = 20130901u64;
+    let mut shards = 1usize;
     let usage = || -> ! {
-        eprintln!("usage: gts-harness serve [--points N] [--seed N]");
+        eprintln!("usage: gts-harness serve [--points N] [--seed N] [--shards N]");
         std::process::exit(2)
     };
     let mut i = 0;
@@ -101,6 +104,10 @@ pub fn main_serve(args: &[String]) {
                 seed = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--shards" => {
+                shards = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -112,20 +119,43 @@ pub fn main_serve(args: &[String]) {
     });
     let pts3 = uniform::<3>(points, seed);
     let pts2 = geocity_like(points, seed + 1);
-    let id3 = service.register_index(Arc::new(KdIndex::build(
-        "uniform3d",
-        &pts3,
-        8,
-        SplitPolicy::MedianCycle,
-    )) as Arc<dyn TreeIndex>);
-    let id2 = service.register_index(Arc::new(KdIndex::build(
-        "geocity2d",
-        &pts2,
-        8,
-        SplitPolicy::MidpointWidest,
-    )) as Arc<dyn TreeIndex>);
+    let (idx3, idx2): (Arc<dyn TreeIndex>, Arc<dyn TreeIndex>) = if shards > 1 {
+        (
+            Arc::new(ShardedIndex::build(
+                "uniform3d",
+                &pts3,
+                shards,
+                8,
+                SplitPolicy::MedianCycle,
+            )),
+            Arc::new(ShardedIndex::build(
+                "geocity2d",
+                &pts2,
+                shards,
+                8,
+                SplitPolicy::MidpointWidest,
+            )),
+        )
+    } else {
+        (
+            Arc::new(KdIndex::build(
+                "uniform3d",
+                &pts3,
+                8,
+                SplitPolicy::MedianCycle,
+            )),
+            Arc::new(KdIndex::build(
+                "geocity2d",
+                &pts2,
+                8,
+                SplitPolicy::MidpointWidest,
+            )),
+        )
+    };
+    let id3 = service.register_index(idx3);
+    let id2 = service.register_index(idx2);
     eprintln!(
-        "serving: index {id3} = uniform3d ({points} pts, 3-d), index {id2} = geocity2d ({points} pts, 2-d)"
+        "serving: index {id3} = uniform3d ({points} pts, 3-d), index {id2} = geocity2d ({points} pts, 2-d), {shards} shard(s) each"
     );
     eprintln!(
         "commands: nn <idx> <x..> | knn <idx> <k> <x..> | pc <idx> <r> <x..> | metrics | quit"

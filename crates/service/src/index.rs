@@ -35,6 +35,9 @@ pub struct BatchOutcome {
     /// Lockstep work expansion vs the longest lane per warp (GPU runs on
     /// at least one full warp; otherwise 1.0).
     pub work_expansion: f64,
+    /// `(query, shard)` pairs a sharded index skipped via its AABB bound
+    /// (always 0 for flat indices).
+    pub shards_pruned: u64,
 }
 
 /// A queryable index the service can dispatch batches to.
@@ -251,6 +254,7 @@ where
         model_ms,
         warps,
         work_expansion,
+        shards_pruned: 0,
     }
 }
 

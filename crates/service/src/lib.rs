@@ -14,7 +14,11 @@
 //!   and dispatches to lockstep or autoropes (or the CPU executor when
 //!   forced) — results return in submission order through tickets;
 //! * a metrics registry tracks queue wait, batch sizes, backend choices,
-//!   node visits, work expansion, and p50/p99 latency, exportable as JSON.
+//!   node visits, work expansion, shard pruning, and p50/p99 latency,
+//!   exportable as JSON;
+//! * datasets larger than one tree register as a [`ShardedIndex`]:
+//!   Morton-partitioned kd-tree shards, per-batch fan-out with AABB
+//!   pruning, exact per-shard result merging (see [`shard`]).
 //!
 //! ```no_run
 //! use gts_service::{Backend, KdIndex, Query, QueryKind, Service, ServiceConfig};
@@ -41,6 +45,7 @@ pub mod metrics;
 pub mod policy;
 pub mod query;
 pub mod service;
+pub mod shard;
 
 pub use batcher::{BatchEntry, Batcher, ReadyBatch, WARP};
 pub use index::{BatchOutcome, KdIndex, TreeIndex};
@@ -48,3 +53,4 @@ pub use metrics::{percentile, Metrics, MetricsSnapshot};
 pub use policy::{Backend, ExecPolicy};
 pub use query::{BatchKey, IndexId, OpKey, Query, QueryKind, QueryResult};
 pub use service::{Service, ServiceConfig, ServiceError, Ticket};
+pub use shard::{merge_kbest, ShardedIndex, ShardedIndexBuilder};

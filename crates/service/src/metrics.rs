@@ -21,6 +21,7 @@ struct Inner {
     autoropes_batches: u64,
     cpu_batches: u64,
     node_visits: u64,
+    shards_pruned: u64,
     // Per-batch samples, not running sums: workers record in a
     // nondeterministic order, and f64 addition is order-sensitive.
     // Summing the sorted samples at snapshot time makes the totals a
@@ -57,6 +58,7 @@ impl Metrics {
     }
 
     /// One batch dispatched and executed.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_batch(
         &self,
         size: usize,
@@ -64,6 +66,7 @@ impl Metrics {
         node_visits: u64,
         model_ms: f64,
         work_expansion: f64,
+        shards_pruned: u64,
         queue_wait: Duration,
     ) {
         let mut m = self.lock();
@@ -76,6 +79,7 @@ impl Metrics {
             Backend::Cpu => m.cpu_batches += 1,
         }
         m.node_visits += node_visits;
+        m.shards_pruned += shards_pruned;
         m.model_ms.push(model_ms);
         m.work_expansion.push(work_expansion);
         m.queue_wait_ms.push(queue_wait.as_secs_f64() * 1e3);
@@ -106,6 +110,7 @@ impl Metrics {
             autoropes_batches: m.autoropes_batches,
             cpu_batches: m.cpu_batches,
             node_visits: m.node_visits,
+            shards_pruned: m.shards_pruned,
             model_ms: sorted_sum(&m.model_ms),
             mean_work_expansion: if m.batches > 0 {
                 sorted_sum(&m.work_expansion) / m.batches as f64
@@ -147,6 +152,8 @@ pub struct MetricsSnapshot {
     pub cpu_batches: u64,
     /// Total tree-node visits.
     pub node_visits: u64,
+    /// `(query, shard)` pairs sharded indices skipped via AABB bounds.
+    pub shards_pruned: u64,
     /// Total modeled GPU milliseconds.
     pub model_ms: f64,
     /// Mean per-batch lockstep work expansion.
@@ -205,6 +212,7 @@ mod tests {
             100,
             1.5,
             1.2,
+            3,
             Duration::from_millis(2),
         );
         m.on_batch(
@@ -213,6 +221,7 @@ mod tests {
             40,
             0.5,
             1.0,
+            1,
             Duration::from_millis(4),
         );
         m.on_complete(Duration::from_millis(10));
@@ -223,6 +232,7 @@ mod tests {
         assert_eq!(s.lockstep_batches, 1);
         assert_eq!(s.autoropes_batches, 1);
         assert_eq!(s.node_visits, 140);
+        assert_eq!(s.shards_pruned, 4);
         assert!((s.mean_batch_size - 1.5).abs() < 1e-12);
         assert!((s.model_ms - 2.0).abs() < 1e-12);
         assert!(s.latency_p50_ms > 0.0);
@@ -232,7 +242,7 @@ mod tests {
     fn snapshot_json_round_trips() {
         let m = Metrics::default();
         m.on_submit();
-        m.on_batch(1, Backend::Cpu, 10, 0.0, 1.0, Duration::ZERO);
+        m.on_batch(1, Backend::Cpu, 10, 0.0, 1.0, 0, Duration::ZERO);
         let s = m.snapshot();
         let back: MetricsSnapshot = serde_json::from_str(&s.to_json()).unwrap();
         assert_eq!(back, s);

@@ -179,7 +179,11 @@ struct Shared {
 /// pipeline shape.
 pub struct Service {
     shared: Arc<Shared>,
-    submit_tx: Option<Sender<Submission>>,
+    // Mutex so `close` can drop the sender through `&self` while
+    // submitters race; `submit` clones the sender out of the lock before
+    // the (potentially blocking) send, so `close` never waits on a full
+    // queue.
+    submit_tx: Mutex<Option<Sender<Submission>>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -217,7 +221,7 @@ impl Service {
 
         Service {
             shared,
-            submit_tx: Some(submit_tx),
+            submit_tx: Mutex::new(Some(submit_tx)),
             batcher: Some(batcher),
             workers,
         }
@@ -247,9 +251,15 @@ impl Service {
                 submitted: Instant::now(),
             },
         };
-        let Some(tx) = &self.submit_tx else {
-            self.shared.metrics.on_reject();
-            return Err(ServiceError::ShuttingDown);
+        let tx = {
+            let guard = self.submit_tx.lock().unwrap_or_else(|e| e.into_inner());
+            match guard.as_ref() {
+                Some(tx) => tx.clone(),
+                None => {
+                    self.shared.metrics.on_reject();
+                    return Err(ServiceError::ShuttingDown);
+                }
+            }
         };
         match tx.send(submission) {
             Ok(()) => {
@@ -273,6 +283,21 @@ impl Service {
         self.shared.metrics.snapshot()
     }
 
+    /// Stop accepting new queries without consuming the service — the
+    /// mid-stream shutdown edge. Subsequent `submit` calls return
+    /// [`ServiceError::ShuttingDown`]; every query accepted *before* the
+    /// close still drains and resolves its ticket (call [`Service::shutdown`]
+    /// to join the threads and collect final metrics). Submitters racing
+    /// with the close either get their query accepted (their clone of the
+    /// channel sender was live) or a clean `ShuttingDown` error — never a
+    /// lost ticket.
+    pub fn close(&self) {
+        self.submit_tx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+    }
+
     /// Stop accepting queries, drain everything in flight, join all
     /// threads, and return the final metrics. Every ticket issued before
     /// the call resolves before this returns.
@@ -286,7 +311,7 @@ impl Service {
         // Disconnected, drains its buckets into the dispatch channel and
         // exits; dropping its dispatch sender disconnects the workers
         // after the queue empties.
-        self.submit_tx = None;
+        self.close();
         if let Some(b) = self.batcher.take() {
             let _ = b.join();
         }
@@ -417,6 +442,7 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                     out.node_visits,
                     out.model_ms,
                     out.work_expansion,
+                    out.shards_pruned,
                     queue_wait,
                 );
                 let done = Instant::now();

@@ -1,0 +1,487 @@
+//! Sharded tree indices: fan a batch out to N kd-tree shards, merge back.
+//!
+//! One tree per device is the paper's implicit assumption (§3, §4); the
+//! service's north star of serving datasets larger than one tree breaks
+//! it. [`ShardedIndex`] partitions the dataset across N [`KdIndex`] shards
+//! along the Morton curve at build time — the same Z-order locality
+//! argument as the §4.4 point sort, applied to the *data* instead of the
+//! queries — so each shard owns a spatially compact region with a tight
+//! bounding box. Per-shard trees also bound each traversal's footprint,
+//! the same motivation as stack-free/short-stack GPU traversals
+//! (arXiv:2210.12859, arXiv:2402.00665).
+//!
+//! A batch executes in **rounds**: every query visits its shards in
+//! ascending order of AABB lower-bound distance, so the first round
+//! usually resolves against the query's home shard and establishes a tight
+//! bound. Later rounds skip any shard whose box lower bound already proves
+//! it cannot improve the answer (NN: no strictly closer point; kNN: the
+//! k-best set is full and the bound is no better than its worst member;
+//! PC: the box lies entirely outside the radius). Skips are counted as
+//! `shards_pruned` in the [`BatchOutcome`] and aggregated by the service
+//! metrics. Pruning is *exact*: `Aabb::dist2_to` is a true lower bound in
+//! f32 (per-axis monotone rounding), and every merge rule admits only
+//! strictly-improving candidates, so pruned and unpruned runs return
+//! identical results — a property the test suite checks.
+//!
+//! Merge rules per operation:
+//! * **NN** — keep the minimum squared distance across shards (each shard
+//!   already excludes zero-distance self matches, so the min is exactly
+//!   the flat answer);
+//! * **kNN** — offer every per-shard neighbor into one [`KBest`]; any
+//!   point in the global top-k is in the top-k of its own shard, so the
+//!   merge of per-shard k-best lists equals the k-best of the
+//!   concatenation (the property test re-checks this);
+//! * **PC** — sum the per-shard counts (shards partition the points, so
+//!   counts are exact).
+
+use crate::index::{BatchOutcome, KdIndex, TreeIndex};
+use crate::policy::{Backend, ExecPolicy};
+use crate::query::{OpKey, QueryResult};
+use gts_apps::kbest::KBest;
+use gts_points::sort::morton_order;
+use gts_trees::{Aabb, PointN, SplitPolicy};
+
+/// A [`TreeIndex`] made of N Morton-partitioned [`KdIndex`] shards.
+pub struct ShardedIndex<const D: usize> {
+    name: String,
+    shards: Vec<Shard<D>>,
+    n_points: usize,
+    prune: bool,
+}
+
+struct Shard<const D: usize> {
+    index: KdIndex<D>,
+    /// `ids[i]` = original dataset index of the shard's i-th input point.
+    ids: Vec<u32>,
+    bbox: Aabb<D>,
+}
+
+/// Builder for a [`ShardedIndex`]; the defaults mirror
+/// [`KdIndex::build`]'s parameters with pruning enabled.
+pub struct ShardedIndexBuilder {
+    name: String,
+    shards: usize,
+    leaf_size: usize,
+    policy: SplitPolicy,
+    prune: bool,
+}
+
+impl ShardedIndexBuilder {
+    /// Start a builder for an index named `name` with `shards` shards.
+    pub fn new(name: impl Into<String>, shards: usize) -> Self {
+        ShardedIndexBuilder {
+            name: name.into(),
+            shards,
+            leaf_size: 8,
+            policy: SplitPolicy::MedianCycle,
+            prune: true,
+        }
+    }
+
+    /// Per-shard kd-tree leaf bucket size (default 8).
+    pub fn leaf_size(mut self, leaf_size: usize) -> Self {
+        self.leaf_size = leaf_size;
+        self
+    }
+
+    /// Per-shard split policy (default [`SplitPolicy::MedianCycle`]).
+    pub fn split_policy(mut self, policy: SplitPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enable or disable shard AABB pruning (default enabled). Disabling
+    /// fans every query out to every shard — only useful for measuring
+    /// what pruning saves, since results are identical either way.
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Build the index over `points`.
+    pub fn build<const D: usize>(self, points: &[PointN<D>]) -> ShardedIndex<D> {
+        ShardedIndex::build_with(
+            self.name,
+            points,
+            self.shards,
+            self.leaf_size,
+            self.policy,
+            self.prune,
+        )
+    }
+}
+
+impl<const D: usize> ShardedIndex<D> {
+    /// Build a pruning-enabled index named `name` over `points` with
+    /// (at most) `shards` Morton-partitioned shards.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `shards == 0` (delegated invariants
+    /// — each shard is a [`KdIndex`]).
+    pub fn build(
+        name: impl Into<String>,
+        points: &[PointN<D>],
+        shards: usize,
+        leaf_size: usize,
+        policy: SplitPolicy,
+    ) -> Self {
+        Self::build_with(name, points, shards, leaf_size, policy, true)
+    }
+
+    fn build_with(
+        name: impl Into<String>,
+        points: &[PointN<D>],
+        shards: usize,
+        leaf_size: usize,
+        policy: SplitPolicy,
+        prune: bool,
+    ) -> Self {
+        assert!(!points.is_empty(), "sharded index over zero points");
+        assert!(shards > 0, "sharded index needs at least one shard");
+        let n = points.len();
+        let order = morton_order(points);
+        let mut built = Vec::with_capacity(shards.min(n));
+        for s in 0..shards {
+            // Equal index ranges over the Morton-sorted order. Tiny or
+            // heavily duplicated datasets can make a range empty (n <
+            // shards, or duplicate keys collapsing); KdTree::build panics
+            // on zero points, so empty ranges are skipped outright.
+            let (lo, hi) = (s * n / shards, (s + 1) * n / shards);
+            if lo == hi {
+                continue;
+            }
+            let ids: Vec<u32> = order[lo..hi].to_vec();
+            let pts: Vec<PointN<D>> = ids.iter().map(|&i| points[i as usize]).collect();
+            built.push(Shard {
+                index: KdIndex::build(format!("shard-{s}"), &pts, leaf_size, policy),
+                bbox: Aabb::of_points(&pts),
+                ids,
+            });
+        }
+        ShardedIndex {
+            name: name.into(),
+            shards: built,
+            n_points: n,
+            prune,
+        }
+    }
+
+    /// Number of non-empty shards actually built (≤ the requested count).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Is shard AABB pruning enabled?
+    pub fn pruning(&self) -> bool {
+        self.prune
+    }
+
+    /// Points owned by shard `s`.
+    pub fn shard_len(&self, s: usize) -> usize {
+        self.shards[s].ids.len()
+    }
+
+    /// Bounding box of shard `s`.
+    pub fn shard_bbox(&self, s: usize) -> Aabb<D> {
+        self.shards[s].bbox
+    }
+
+    fn to_point(pos: &[f32]) -> PointN<D> {
+        debug_assert_eq!(pos.len(), D);
+        PointN(std::array::from_fn(|i| pos[i]))
+    }
+}
+
+/// Per-query merge accumulator.
+enum Acc {
+    Nn { dist2: f32, id: u32 },
+    Knn(KBest),
+    Pc { count: u32 },
+}
+
+impl Acc {
+    fn new(op: OpKey) -> Acc {
+        match op {
+            OpKey::Nn => Acc::Nn {
+                dist2: f32::INFINITY,
+                id: u32::MAX,
+            },
+            OpKey::Knn(k) => Acc::Knn(KBest::new(k)),
+            OpKey::Pc(_) => Acc::Pc { count: 0 },
+        }
+    }
+
+    /// Can a shard whose AABB lower-bound squared distance is `lb` still
+    /// change this accumulator? `r2` is the PC radius², unused otherwise.
+    fn improvable(&self, lb: f32, r2: f32) -> bool {
+        match self {
+            // NN admits strictly closer points only.
+            Acc::Nn { dist2, .. } => lb < *dist2,
+            // KBest admits anything until full, then strictly-better only.
+            Acc::Knn(kb) => !kb.full() || lb < kb.bound(),
+            // PC counts d2 <= r2; a box entirely beyond r2 adds nothing.
+            Acc::Pc { .. } => lb <= r2,
+        }
+    }
+
+    /// Fold one shard's answer in, mapping shard-local ids to original
+    /// dataset ids through `ids`.
+    fn absorb(&mut self, r: &QueryResult, ids: &[u32]) {
+        match (self, r) {
+            (Acc::Nn { dist2, id }, QueryResult::Nn { dist2: d, id: i }) => {
+                if *d < *dist2 {
+                    *dist2 = *d;
+                    *id = if *i == u32::MAX {
+                        u32::MAX
+                    } else {
+                        ids[*i as usize]
+                    };
+                }
+            }
+            (Acc::Knn(kb), QueryResult::Knn { dist2, ids: local }) => {
+                for (&d2, &i) in dist2.iter().zip(local) {
+                    kb.offer(d2, ids[i as usize]);
+                }
+            }
+            (Acc::Pc { count }, QueryResult::Pc { count: c }) => *count += c,
+            _ => unreachable!("shard answered with a different op's result"),
+        }
+    }
+
+    fn finish(self) -> QueryResult {
+        match self {
+            Acc::Nn { dist2, id } => QueryResult::Nn { dist2, id },
+            Acc::Knn(kb) => QueryResult::Knn {
+                dist2: kb.distances().to_vec(),
+                ids: kb.ids().to_vec(),
+            },
+            Acc::Pc { count } => QueryResult::Pc { count },
+        }
+    }
+}
+
+/// Merge per-shard k-best lists (each `(distances, ids)`, ascending) into
+/// the global k-best. Equivalent to taking the k-best of the concatenated
+/// lists — the invariant the sharded kNN merge relies on, re-checked by
+/// the property tests.
+pub fn merge_kbest(k: usize, lists: &[(Vec<f32>, Vec<u32>)]) -> (Vec<f32>, Vec<u32>) {
+    let mut kb = KBest::new(k);
+    for (d2s, ids) in lists {
+        for (&d2, &id) in d2s.iter().zip(ids) {
+            kb.offer(d2, id);
+        }
+    }
+    (kb.distances().to_vec(), kb.ids().to_vec())
+}
+
+impl<const D: usize> TreeIndex for ShardedIndex<D> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dim(&self) -> usize {
+        D
+    }
+
+    fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    fn run_batch(&self, op: OpKey, positions: &[Vec<f32>], policy: &ExecPolicy) -> BatchOutcome {
+        let n = positions.len();
+        let n_shards = self.shards.len();
+        let r2 = match op {
+            OpKey::Pc(bits) => {
+                let r = f32::from_bits(bits);
+                r * r
+            }
+            _ => 0.0,
+        };
+
+        // Each query visits shards in ascending lower-bound order, ties
+        // broken by shard id — deterministic, and the home shard (lb = 0)
+        // comes first so bounds tighten before distant shards are tested.
+        let visit: Vec<Vec<(f32, u32)>> = positions
+            .iter()
+            .map(|pos| {
+                let p = Self::to_point(pos);
+                let mut order: Vec<(f32, u32)> = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(s, sh)| (sh.bbox.dist2_to(&p), s as u32))
+                    .collect();
+                order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                order
+            })
+            .collect();
+
+        let mut acc: Vec<Acc> = (0..n).map(|_| Acc::new(op)).collect();
+        let mut shards_pruned = 0u64;
+        let mut node_visits = 0u64;
+        let mut model_ms = 0.0f64;
+        let mut warps = 0usize;
+        // Aggregates over sub-batches, weighted by sub-batch size.
+        let mut exp_sum = 0.0f64;
+        let mut sim_sum = 0.0f64;
+        let mut sim_weight = 0usize;
+        let mut executed = 0usize;
+        let mut backend_queries = [0usize; 3]; // Lockstep, Autoropes, Cpu
+
+        for round in 0..n_shards {
+            // Group this round's surviving queries by target shard.
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+            for (q, order) in visit.iter().enumerate() {
+                let (lb, s) = order[round];
+                if self.prune && !acc[q].improvable(lb, r2) {
+                    shards_pruned += 1;
+                } else {
+                    groups[s as usize].push(q);
+                }
+            }
+            for (s, qs) in groups.iter().enumerate() {
+                if qs.is_empty() {
+                    continue;
+                }
+                let sub: Vec<Vec<f32>> = qs.iter().map(|&q| positions[q].clone()).collect();
+                let out = self.shards[s].index.run_batch(op, &sub, policy);
+                node_visits += out.node_visits;
+                model_ms += out.model_ms;
+                warps += out.warps;
+                exp_sum += out.work_expansion * qs.len() as f64;
+                if let Some(sim) = out.mean_similarity {
+                    sim_sum += sim * qs.len() as f64;
+                    sim_weight += qs.len();
+                }
+                executed += qs.len();
+                backend_queries[match out.backend {
+                    Backend::Lockstep => 0,
+                    Backend::Autoropes => 1,
+                    Backend::Cpu => 2,
+                }] += qs.len();
+                for (&q, r) in qs.iter().zip(&out.results) {
+                    acc[q].absorb(r, &self.shards[s].ids);
+                }
+            }
+        }
+
+        // Report the backend that served the most queries (first wins on
+        // ties — deterministic because the scan order is fixed).
+        let majority = backend_queries
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| [Backend::Lockstep, Backend::Autoropes, Backend::Cpu][i])
+            .unwrap_or(Backend::Autoropes);
+        BatchOutcome {
+            results: acc.into_iter().map(Acc::finish).collect(),
+            backend: majority,
+            mean_similarity: (sim_weight > 0).then(|| sim_sum / sim_weight as f64),
+            node_visits,
+            model_ms,
+            warps,
+            work_expansion: if executed > 0 {
+                exp_sum / executed as f64
+            } else {
+                1.0
+            },
+            shards_pruned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_points::gen::{geocity_like, uniform};
+
+    fn cpu() -> ExecPolicy {
+        ExecPolicy::forced(Backend::Cpu)
+    }
+
+    #[test]
+    fn partition_covers_every_point_once() {
+        let pts = uniform::<3>(1000, 3);
+        let idx = ShardedIndex::build("s", &pts, 7, 8, SplitPolicy::MedianCycle);
+        assert_eq!(idx.n_shards(), 7);
+        assert_eq!(idx.n_points(), 1000);
+        let mut seen = vec![false; 1000];
+        for s in 0..idx.n_shards() {
+            for &i in &idx.shards[s].ids {
+                assert!(!seen[i as usize], "point {i} in two shards");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&v| v), "some point in no shard");
+    }
+
+    #[test]
+    fn fewer_points_than_shards_skips_empty_shards() {
+        let pts = uniform::<3>(5, 11);
+        let idx = ShardedIndex::build("s", &pts, 16, 8, SplitPolicy::MedianCycle);
+        assert_eq!(idx.n_shards(), 5, "one singleton shard per point");
+        assert!((0..idx.n_shards()).all(|s| idx.shard_len(s) == 1));
+        let out = idx.run_batch(OpKey::Knn(8), &[vec![0.0, 0.0, 0.0]], &cpu());
+        let QueryResult::Knn { dist2, .. } = &out.results[0] else {
+            panic!()
+        };
+        assert_eq!(dist2.len(), 5, "k > n still yields every point");
+    }
+
+    #[test]
+    fn duplicated_dataset_builds_and_answers() {
+        // All points coincident: Morton keys collapse, but index-range
+        // partitioning still spreads them; no shard is empty.
+        let pts = vec![PointN([0.5f32, 0.5, 0.5]); 64];
+        let idx = ShardedIndex::build("dup", &pts, 4, 8, SplitPolicy::MidpointWidest);
+        assert_eq!(idx.n_shards(), 4);
+        let out = idx.run_batch(OpKey::Pc(0.1f32.to_bits()), &[vec![0.5, 0.5, 0.5]], &cpu());
+        assert_eq!(out.results[0], QueryResult::Pc { count: 64 });
+    }
+
+    #[test]
+    fn clustered_queries_prune_distant_shards() {
+        let pts = geocity_like(2000, 5);
+        let idx = ShardedIndex::build("cities", &pts, 8, 8, SplitPolicy::MedianCycle);
+        // Queries hugging dataset points: home-shard bounds are tight, so
+        // most other shards should be skipped.
+        let queries: Vec<Vec<f32>> = pts.iter().take(128).map(|p| p.0.to_vec()).collect();
+        let out = idx.run_batch(OpKey::Nn, &queries, &cpu());
+        assert!(out.shards_pruned > 0, "expected pruning on clustered input");
+        let unpruned = ShardedIndexBuilder::new("cities", 8)
+            .prune(false)
+            .build(&pts)
+            .run_batch(OpKey::Nn, &queries, &cpu());
+        assert_eq!(unpruned.shards_pruned, 0);
+        assert_eq!(out.results, unpruned.results, "pruning changed results");
+        assert!(out.node_visits <= unpruned.node_visits);
+    }
+
+    #[test]
+    fn merge_kbest_matches_concatenated() {
+        let a = (vec![1.0, 3.0, 5.0], vec![0u32, 1, 2]);
+        let b = (vec![2.0, 4.0], vec![3u32, 4]);
+        let (d2, ids) = merge_kbest(3, &[a, b]);
+        assert_eq!(d2, vec![1.0, 2.0, 3.0]);
+        assert_eq!(ids, vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let pts = uniform::<3>(512, 9);
+        let flat = KdIndex::build("flat", &pts, 8, SplitPolicy::MedianCycle);
+        let sharded = ShardedIndexBuilder::new("sharded", 4)
+            .prune(false)
+            .build(&pts);
+        let queries: Vec<Vec<f32>> = pts.iter().take(64).map(|p| p.0.to_vec()).collect();
+        let f = flat.run_batch(OpKey::Knn(4), &queries, &cpu());
+        let s = sharded.run_batch(OpKey::Knn(4), &queries, &cpu());
+        // Unpruned fan-out searches 4 smaller trees per query; visits are
+        // nonzero and the modeled/backend fields aggregate sensibly.
+        assert!(s.node_visits > 0);
+        assert_eq!(s.backend, Backend::Cpu);
+        assert_eq!(s.model_ms, 0.0);
+        assert!(s.work_expansion >= 1.0);
+        assert_eq!(f.results.len(), s.results.len());
+    }
+}

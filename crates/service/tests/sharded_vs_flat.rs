@@ -1,0 +1,135 @@
+//! Differential oracle: a [`ShardedIndex`] must answer exactly like the
+//! flat [`KdIndex`] over the same dataset, for every operation and every
+//! shard count — partitioning is an implementation detail, not a
+//! semantics change.
+//!
+//! Per shard count in {1, 2, 7, 16} the same 2 500 seeded queries run
+//! against both indices (4 × 2 500 = 10 000 sharded-vs-flat comparisons
+//! per operation). Distances must agree within f32 epsilon (they are in
+//! fact bitwise equal — both sides compute `q.dist2(p)` with identical
+//! arithmetic), kNN result lengths must match, and PC counts are exact.
+
+use gts_points::gen::uniform;
+use gts_service::{Backend, ExecPolicy, KdIndex, OpKey, QueryResult, ShardedIndex, TreeIndex};
+use gts_trees::{PointN, SplitPolicy};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
+const N_POINTS: usize = 4096;
+const N_QUERIES: usize = 2500;
+
+/// Seeded query mix: half uniform over the cube, half hugging dataset
+/// points (the tight-bound case where pruning actually engages).
+fn queries(pts: &[PointN<3>], seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..N_QUERIES)
+        .map(|i| {
+            if i % 2 == 0 {
+                (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect()
+            } else {
+                let anchor = pts[rng.gen_range(0..pts.len())];
+                anchor
+                    .0
+                    .iter()
+                    .map(|&c| c + rng.gen_range(-0.02f32..0.02))
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1e-6) || (a.is_infinite() && b.is_infinite())
+}
+
+/// Run `op` against the flat and every sharded variant; `check` sees each
+/// (flat, sharded, shard_count, query_index) result pair.
+fn differential(op: OpKey, check: impl Fn(&QueryResult, &QueryResult, usize, usize)) {
+    let pts = uniform::<3>(N_POINTS, 0x5eed);
+    let qs = queries(&pts, 0xfeed);
+    // The CPU backend computes the same results as the modeled-GPU
+    // executors (the service unit tests pin that) and keeps 10k-query
+    // sweeps fast.
+    let policy = ExecPolicy::forced(Backend::Cpu);
+    let flat = KdIndex::build("flat", &pts, 8, SplitPolicy::MedianCycle);
+    let want = flat.run_batch(op, &qs, &policy);
+    for shards in SHARD_COUNTS {
+        let idx = ShardedIndex::build("sharded", &pts, shards, 8, SplitPolicy::MedianCycle);
+        assert_eq!(idx.n_shards(), shards);
+        assert_eq!(idx.n_points(), N_POINTS);
+        let got = idx.run_batch(op, &qs, &policy);
+        assert_eq!(got.results.len(), want.results.len());
+        for (q, (w, g)) in want.results.iter().zip(&got.results).enumerate() {
+            check(w, g, shards, q);
+        }
+    }
+}
+
+#[test]
+fn nn_matches_flat_for_every_shard_count() {
+    differential(OpKey::Nn, |w, g, shards, q| {
+        let (QueryResult::Nn { dist2: wd, .. }, QueryResult::Nn { dist2: gd, id }) = (w, g) else {
+            panic!("wrong variants");
+        };
+        assert!(close(*wd, *gd), "{shards} shards, query {q}: {wd} vs {gd}");
+        assert!(*id != u32::MAX, "{shards} shards, query {q}: no neighbor");
+    });
+}
+
+#[test]
+fn knn_matches_flat_for_every_shard_count() {
+    differential(OpKey::Knn(8), |w, g, shards, q| {
+        let (QueryResult::Knn { dist2: wd, ids: wi }, QueryResult::Knn { dist2: gd, ids: gi }) =
+            (w, g)
+        else {
+            panic!("wrong variants");
+        };
+        assert_eq!(wd.len(), gd.len(), "{shards} shards, query {q}: k mismatch");
+        assert_eq!(gi.len(), gd.len());
+        assert!(gd.windows(2).all(|p| p[0] <= p[1]), "unsorted merge");
+        for (j, (a, b)) in wd.iter().zip(gd).enumerate() {
+            assert!(
+                close(*a, *b),
+                "{shards} shards, query {q}, neighbor {j}: {a} vs {b}"
+            );
+        }
+        let mut sorted = gi.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), gi.len(), "duplicate ids after merge");
+        assert!(wi.iter().all(|&i| (i as usize) < N_POINTS));
+        assert!(gi.iter().all(|&i| (i as usize) < N_POINTS));
+    });
+}
+
+#[test]
+fn pc_matches_flat_exactly_for_every_shard_count() {
+    differential(OpKey::Pc(0.15f32.to_bits()), |w, g, shards, q| {
+        assert_eq!(w, g, "{shards} shards, query {q}");
+    });
+}
+
+#[test]
+fn knn_ids_name_points_at_the_reported_distances() {
+    // Merged global ids must refer to the *original* dataset order, not
+    // any shard-local order — check the id actually sits at the distance.
+    let pts = uniform::<3>(1024, 0xab);
+    let qs = queries(&pts, 0xcd);
+    let policy = ExecPolicy::forced(Backend::Cpu);
+    let idx = ShardedIndex::build("s", &pts, 7, 8, SplitPolicy::MedianCycle);
+    let out = idx.run_batch(OpKey::Knn(4), &qs[..256], &policy);
+    for (q, r) in out.results.iter().enumerate() {
+        let QueryResult::Knn { dist2, ids } = r else {
+            panic!()
+        };
+        let qp = PointN([qs[q][0], qs[q][1], qs[q][2]]);
+        for (&d2, &id) in dist2.iter().zip(ids) {
+            let actual = pts[id as usize].dist2(&qp);
+            assert!(
+                (actual - d2).abs() <= 1e-6 * d2.max(1e-9),
+                "query {q}: id {id} is at {actual}, reported {d2}"
+            );
+        }
+    }
+}

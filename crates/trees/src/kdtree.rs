@@ -191,6 +191,14 @@ impl<const D: usize> KdTree<D> {
         self.bbox_lo.len()
     }
 
+    /// Bounding box of the whole tree (the root node's box).
+    pub fn bbox(&self) -> Aabb<D> {
+        Aabb {
+            lo: self.bbox_lo[0],
+            hi: self.bbox_hi[0],
+        }
+    }
+
     /// Number of points.
     pub fn n_points(&self) -> usize {
         self.points.len()

@@ -1,0 +1,90 @@
+//! Sharded vs flat indices, side by side in one service: the same
+//! clustered dataset registered twice — once as a single kd-tree, once as
+//! a Morton-partitioned [`ShardedIndex`] — answering the same queries.
+//! The answers agree; the metrics show how many (query, shard) pairs the
+//! sharded index's AABB bound pruned away.
+//!
+//! ```text
+//! cargo run --release --example sharded_service [n_points] [n_shards]
+//! ```
+
+use gpu_tree_traversals::service::{
+    KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, ShardedIndex, TreeIndex,
+};
+use gpu_tree_traversals::trees::SplitPolicy;
+use gts_points::gen::geocity_like;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let shards: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    // Clustered 2-d points — the shape shard pruning is built for: most
+    // queries live deep inside one shard's bounding box, so the other
+    // shards' lower bounds exceed the running best almost immediately.
+    let pts = geocity_like(n, 20130901);
+
+    let service = Service::start(ServiceConfig::default());
+    let flat = service.register_index(Arc::new(KdIndex::build(
+        "flat",
+        &pts,
+        8,
+        SplitPolicy::MidpointWidest,
+    )) as Arc<dyn TreeIndex>);
+    let sharded_index =
+        ShardedIndex::build("sharded", &pts, shards, 8, SplitPolicy::MidpointWidest);
+    println!(
+        "dataset: {n} clustered points; sharded index: {} shards of ~{} points",
+        sharded_index.n_shards(),
+        n / sharded_index.n_shards().max(1),
+    );
+    let sharded = service.register_index(Arc::new(sharded_index) as Arc<dyn TreeIndex>);
+
+    // The same query stream against both indices; every answer must match.
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..512 {
+        let anchor = pts[(i * 37) % pts.len()];
+        let pos = vec![anchor.0[0] + 0.003, anchor.0[1] - 0.002];
+        let kind = match i % 3 {
+            0 => QueryKind::Nn,
+            1 => QueryKind::Knn { k: 8 },
+            _ => QueryKind::Pc { radius: 0.05 },
+        };
+        let a = service
+            .query(Query {
+                index: flat,
+                pos: pos.clone(),
+                kind,
+            })
+            .expect("flat query");
+        let b = service
+            .query(Query {
+                index: sharded,
+                pos,
+                kind,
+            })
+            .expect("sharded query");
+        total += 1;
+        let same = match (&a, &b) {
+            (QueryResult::Nn { dist2: x, .. }, QueryResult::Nn { dist2: y, .. }) => x == y,
+            (QueryResult::Knn { dist2: x, .. }, QueryResult::Knn { dist2: y, .. }) => x == y,
+            (QueryResult::Pc { count: x }, QueryResult::Pc { count: y }) => x == y,
+            _ => false,
+        };
+        agree += same as usize;
+        if i < 3 {
+            println!("query {i}: flat {a:?} | sharded {b:?}");
+        }
+    }
+
+    let snapshot = service.shutdown();
+    println!("\n{agree}/{total} answers agree between flat and sharded");
+    println!(
+        "{} queries in {} batches; {} (query, shard) pairs pruned by shard AABBs",
+        snapshot.completed, snapshot.batches, snapshot.shards_pruned
+    );
+    println!("\nmetrics JSON:\n{}", snapshot.to_json());
+    assert_eq!(agree, total, "sharded index diverged from flat oracle");
+}
