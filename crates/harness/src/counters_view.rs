@@ -3,15 +3,62 @@
 //! Prints the event counters and per-region transaction breakdown for each
 //! GPU variant of one benchmark × input — the numbers behind the modeled
 //! times, in the role `nvprof` plays for the paper's real measurements.
+//! [`render_service`] gives the service-level counterpart: one readable
+//! block over a [`MetricsSnapshot`], used by `serve` at shutdown and by
+//! the loadgen report.
 
 use gts_apps::pc::{PcKernel, PcPoint};
 use gts_points::gen::{self, Dataset};
 use gts_points::sort::{apply_perm, morton_order};
 use gts_runtime::gpu::{autoropes, lockstep, recursive};
 use gts_runtime::GpuReport;
+use gts_service::MetricsSnapshot;
 use gts_trees::{Aabb, KdTree, SplitPolicy};
 
 use crate::config::HarnessConfig;
+
+/// Render a service metrics snapshot as a profiler-style text block:
+/// counters, backend mix, warp-efficiency gauges, and latency tails.
+pub fn render_service(s: &MetricsSnapshot) -> String {
+    let mut out = String::from("── service metrics ──\n");
+    out.push_str(&format!(
+        " queries           {:>12} submitted / {} completed / {} rejected\n",
+        s.submitted, s.completed, s.rejected
+    ));
+    out.push_str(&format!(
+        " batches           {:>12}   (mean size {:.1}, max {})\n",
+        s.batches, s.mean_batch_size, s.max_batch_size
+    ));
+    out.push_str(&format!(
+        " backend mix       {:>12}   {} lockstep / {} autoropes / {} cpu\n",
+        "", s.lockstep_batches, s.autoropes_batches, s.cpu_batches
+    ));
+    out.push_str(&format!(
+        " node visits       {:>12}   ({} (query, shard) fan-outs pruned)\n",
+        s.node_visits, s.shards_pruned
+    ));
+    out.push_str(&format!(
+        " modeled time      {:>12.3} ms total\n",
+        s.model_ms
+    ));
+    out.push_str(&format!(
+        " work expansion    {:>12.3} mean\n",
+        s.mean_work_expansion
+    ));
+    out.push_str(&format!(
+        " mask occupancy    {:>12.3} mean live-lane fraction\n",
+        s.mean_mask_occupancy
+    ));
+    out.push_str(&format!(
+        " queue wait        p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms\n",
+        s.queue_wait_p50_ms, s.queue_wait_p99_ms, s.queue_wait_max_ms
+    ));
+    out.push_str(&format!(
+        " latency           p50 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, max {:.3} ms\n",
+        s.latency_p50_ms, s.latency_p99_ms, s.latency_p999_ms, s.latency_max_ms
+    ));
+    out
+}
 
 fn describe(name: &str, r: &GpuReport) -> String {
     let c = &r.launch.counters;
@@ -124,5 +171,29 @@ mod tests {
             !l2_section.contains("l2 hits                      0"),
             "{l2_section}"
         );
+    }
+
+    #[test]
+    fn service_view_renders_tails_and_occupancy() {
+        use gts_service::{Backend, BatchRecord, Metrics};
+        use std::time::Duration;
+        let m = Metrics::default();
+        m.on_submit();
+        m.on_batch(&BatchRecord {
+            size: 1,
+            backend: Backend::Lockstep,
+            node_visits: 42,
+            model_ms: 0.5,
+            work_expansion: 1.25,
+            mask_occupancy: 0.75,
+            shards_pruned: 2,
+            queue_wait: Duration::from_millis(1),
+        });
+        m.on_complete(Duration::from_millis(3));
+        let text = render_service(&m.snapshot());
+        assert!(text.contains("1 lockstep / 0 autoropes / 0 cpu"), "{text}");
+        assert!(text.contains("p99.9"), "{text}");
+        assert!(text.contains("mask occupancy"), "{text}");
+        assert!(text.contains("2 (query, shard) fan-outs pruned"), "{text}");
     }
 }

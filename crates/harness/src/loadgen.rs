@@ -12,7 +12,10 @@
 //! The comparison metric is *modeled GPU milliseconds* from the simulator,
 //! which is deterministic under a fixed `--seed`; wall-clock latency
 //! percentiles are reported alongside but naturally vary run to run.
-//! Results are written to `BENCH_service.json` (`--out` to override).
+//! Results are written to `BENCH_service.json` (`--out` to override) plus
+//! an observability summary in `BENCH_obs.json` (`--obs-out`); pass
+//! `--trace-file`/`--metrics-file` to also dump the batched phase's
+//! Chrome trace-event JSON and Prometheus text metrics.
 
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
@@ -47,6 +50,12 @@ pub struct LoadgenConfig {
     pub out: String,
     /// Skip the (slow) one-query-at-a-time baseline.
     pub skip_single: bool,
+    /// Write the batched phase's Chrome trace-event JSON here.
+    pub trace_file: Option<String>,
+    /// Write the batched phase's Prometheus text metrics here.
+    pub metrics_file: Option<String>,
+    /// Observability summary JSON path.
+    pub obs_out: String,
 }
 
 impl Default for LoadgenConfig {
@@ -60,6 +69,9 @@ impl Default for LoadgenConfig {
             shards: 1,
             out: "BENCH_service.json".into(),
             skip_single: false,
+            trace_file: None,
+            metrics_file: None,
+            obs_out: "BENCH_obs.json".into(),
         }
     }
 }
@@ -103,6 +115,55 @@ pub struct BenchReport {
     pub mean_batch_size: f64,
     /// Mean lockstep work expansion across batches.
     pub mean_work_expansion: f64,
+    /// Mean warp mask occupancy across batches (live-lane fraction).
+    pub mean_mask_occupancy: f64,
+    /// Wall-clock p99.9 submit-to-result latency, ms.
+    pub latency_p999_ms: f64,
+    /// Slowest wall-clock query latency, ms.
+    pub latency_max_ms: f64,
+    /// Longest submit-to-dispatch wait, ms.
+    pub queue_wait_max_ms: f64,
+}
+
+/// Observability summary of one loadgen run (`BENCH_obs.json`): how the
+/// trace ring and histogram metrics lined up. The invariant the
+/// acceptance test checks — one batch span per dispatched batch — is
+/// `trace_batch_spans == batches` whenever `trace_dropped == 0`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Batches counted by the metrics registry.
+    pub batches: u64,
+    /// Events retained in the trace ring.
+    pub trace_events: u64,
+    /// Batch-execution spans in the trace.
+    pub trace_batch_spans: u64,
+    /// Query-completion spans in the trace.
+    pub trace_complete_spans: u64,
+    /// Per-shard sub-batch spans in the trace (0 for flat indices).
+    pub trace_shard_visit_spans: u64,
+    /// Events the ring discarded (0 when capacity covered the run).
+    pub trace_dropped: u64,
+    /// p99.9 latency from the bounded histogram, ms.
+    pub latency_p999_ms: f64,
+    /// Exact max latency, ms.
+    pub latency_max_ms: f64,
+    /// Exact max queue wait, ms.
+    pub queue_wait_max_ms: f64,
+    /// Mean warp mask occupancy across batches.
+    pub mean_mask_occupancy: f64,
+}
+
+/// Side artifacts of one loadgen run: the machine summary plus the
+/// rendered trace/metrics exports the CLI writes to `--trace-file` and
+/// `--metrics-file`.
+#[derive(Debug, Clone)]
+pub struct ObsArtifacts {
+    /// Machine-readable observability summary.
+    pub obs: ObsReport,
+    /// Chrome trace-event JSON of the batched phase.
+    pub trace_json: String,
+    /// Prometheus text rendering of the final metrics snapshot.
+    pub prometheus: String,
 }
 
 /// One pre-generated client request.
@@ -160,8 +221,9 @@ fn bbox_diag(points: &[Vec<f32>]) -> f32 {
         .sqrt()
 }
 
-/// Run the loadgen and return (human report, machine report).
-pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
+/// Run the loadgen and return (human report, machine report,
+/// observability artifacts).
+pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport, ObsArtifacts) {
     // Two indices of different dimension and split policy.
     let pts3: Vec<PointN<3>> = uniform::<3>(cfg.points, cfg.seed);
     let pts2: Vec<PointN<2>> = geocity_like(cfg.points, cfg.seed + 1);
@@ -212,6 +274,10 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
         max_wait: Duration::from_secs(3600),
         workers: cfg.workers,
         policy: ExecPolicy::default(),
+        // Room for every query's full lifecycle (submit + enqueue +
+        // complete, plus per-batch spans) so nothing wraps and the
+        // batch-span count can be checked against the metrics exactly.
+        trace_capacity: 4 * cfg.queries + 4096,
         ..ServiceConfig::default()
     });
     for index in &indices {
@@ -231,7 +297,7 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
         })
         .collect();
     // Shutdown drains every in-flight batch; then all tickets are ready.
-    let snapshot: MetricsSnapshot = service.shutdown();
+    let (snapshot, trace): (MetricsSnapshot, _) = service.shutdown_with_trace();
     for t in &tickets {
         t.wait().expect("loadgen queries succeed");
     }
@@ -281,6 +347,26 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
         autoropes_batches: snapshot.autoropes_batches,
         mean_batch_size: snapshot.mean_batch_size,
         mean_work_expansion: snapshot.mean_work_expansion,
+        mean_mask_occupancy: snapshot.mean_mask_occupancy,
+        latency_p999_ms: snapshot.latency_p999_ms,
+        latency_max_ms: snapshot.latency_max_ms,
+        queue_wait_max_ms: snapshot.queue_wait_max_ms,
+    };
+    let artifacts = ObsArtifacts {
+        obs: ObsReport {
+            batches: snapshot.batches,
+            trace_events: trace.events.len() as u64,
+            trace_batch_spans: trace.batch_spans() as u64,
+            trace_complete_spans: trace.complete_spans() as u64,
+            trace_shard_visit_spans: trace.shard_visit_spans() as u64,
+            trace_dropped: trace.dropped,
+            latency_p999_ms: snapshot.latency_p999_ms,
+            latency_max_ms: snapshot.latency_max_ms,
+            queue_wait_max_ms: snapshot.queue_wait_max_ms,
+            mean_mask_occupancy: snapshot.mean_mask_occupancy,
+        },
+        trace_json: trace.to_chrome_json(),
+        prometheus: snapshot.to_prometheus(),
     };
 
     let mut text = String::new();
@@ -310,12 +396,25 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
         ));
     }
     text.push_str(&format!(
-        "  batches: {} ({} lockstep / {} autoropes), mean size {:.1}, mean work expansion {:.2}\n",
+        "  batches: {} ({} lockstep / {} autoropes), mean size {:.1}, mean work expansion {:.2}, mean mask occupancy {:.2}\n",
         snapshot.batches,
         snapshot.lockstep_batches,
         snapshot.autoropes_batches,
         snapshot.mean_batch_size,
-        snapshot.mean_work_expansion
+        snapshot.mean_work_expansion,
+        snapshot.mean_mask_occupancy
+    ));
+    text.push_str(&format!(
+        "  tails  : latency p99.9 {:.2} ms, max {:.2} ms; queue wait max {:.2} ms\n",
+        snapshot.latency_p999_ms, snapshot.latency_max_ms, snapshot.queue_wait_max_ms
+    ));
+    text.push_str(&format!(
+        "  trace  : {} events ({} batch spans, {} query spans, {} shard spans, {} dropped)\n",
+        artifacts.obs.trace_events,
+        artifacts.obs.trace_batch_spans,
+        artifacts.obs.trace_complete_spans,
+        artifacts.obs.trace_shard_visit_spans,
+        artifacts.obs.trace_dropped
     ));
     if cfg.shards > 1 {
         text.push_str(&format!(
@@ -323,7 +422,7 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport) {
             cfg.shards, snapshot.shards_pruned
         ));
     }
-    (text, report)
+    (text, report, artifacts)
 }
 
 /// CLI entry: parse `args` (everything after the subcommand) and run.
@@ -333,7 +432,8 @@ pub fn main_loadgen(args: &[String]) {
     let usage = || -> ! {
         eprintln!(
             "usage: gts-harness loadgen [--queries N] [--points N] [--seed N] \
-             [--workers N] [--batch N] [--shards N] [--out PATH] [--skip-single]"
+             [--workers N] [--batch N] [--shards N] [--out PATH] [--skip-single] \
+             [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH]"
         );
         std::process::exit(2)
     };
@@ -378,6 +478,18 @@ pub fn main_loadgen(args: &[String]) {
                 cfg.skip_single = true;
                 i += 1;
             }
+            "--trace-file" => {
+                cfg.trace_file = Some(need(i).to_string());
+                i += 2;
+            }
+            "--metrics-file" => {
+                cfg.metrics_file = Some(need(i).to_string());
+                i += 2;
+            }
+            "--obs-out" => {
+                cfg.obs_out = need(i).to_string();
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -387,12 +499,23 @@ pub fn main_loadgen(args: &[String]) {
         cfg.out = "BENCH_sharded.json".into();
     }
 
-    let (text, report) = run(&cfg);
+    let (text, report, artifacts) = run(&cfg);
     print!("{text}");
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     let mut f = std::fs::File::create(&cfg.out).expect("create bench json");
     f.write_all(json.as_bytes()).expect("write bench json");
     eprintln!("wrote {}", cfg.out);
+    let obs_json = serde_json::to_string_pretty(&artifacts.obs).expect("serialize obs report");
+    std::fs::write(&cfg.obs_out, obs_json).expect("write obs json");
+    eprintln!("wrote {}", cfg.obs_out);
+    if let Some(path) = &cfg.trace_file {
+        std::fs::write(path, &artifacts.trace_json).expect("write trace json");
+        eprintln!("wrote {path} (load in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = &cfg.metrics_file {
+        std::fs::write(path, &artifacts.prometheus).expect("write prometheus text");
+        eprintln!("wrote {path}");
+    }
 }
 
 #[cfg(test)]
@@ -408,8 +531,8 @@ mod tests {
             workers: 2,
             ..LoadgenConfig::default()
         };
-        let (_, a) = run(&cfg);
-        let (_, b) = run(&cfg);
+        let (_, a, obs_a) = run(&cfg);
+        let (_, b, _) = run(&cfg);
         // Modeled numbers are reproducible under a fixed seed.
         assert_eq!(a.batched_model_ms, b.batched_model_ms);
         assert_eq!(a.single_model_ms, b.single_model_ms);
@@ -421,6 +544,20 @@ mod tests {
             "expected batching to win, got {:.2}x",
             a.modeled_speedup
         );
+        // The acceptance invariant: trace ring sized for the run keeps one
+        // batch span per dispatched batch and one span per query.
+        let obs = &obs_a.obs;
+        assert_eq!(obs.trace_dropped, 0, "trace ring wrapped");
+        assert_eq!(obs.trace_batch_spans, obs.batches);
+        assert_eq!(obs.trace_complete_spans, a.queries);
+        assert!(obs.mean_mask_occupancy > 0.0 && obs.mean_mask_occupancy <= 1.0);
+        assert!(obs.latency_max_ms >= obs.latency_p999_ms);
+        // Both exports parse: the trace as a JSON array, the Prometheus
+        // text with one cumulative +Inf bucket per histogram family.
+        let parsed: serde::Value =
+            serde_json::from_str(&obs_a.trace_json).expect("trace JSON parses");
+        assert!(matches!(parsed, serde::Value::Array(_)));
+        assert_eq!(obs_a.prometheus.matches("le=\"+Inf\"").count(), 6);
     }
 
     #[test]
@@ -434,13 +571,16 @@ mod tests {
             skip_single: true,
             ..LoadgenConfig::default()
         };
-        let (_, a) = run(&cfg);
-        let (_, b) = run(&cfg);
+        let (_, a, obs) = run(&cfg);
+        let (_, b, _) = run(&cfg);
         assert_eq!(a.batched_model_ms, b.batched_model_ms);
         assert_eq!(a.shards_pruned, b.shards_pruned);
         assert_eq!(a.shards, 4);
         // The clustered client mix sits near its anchor points, so shard
         // bounds must rule out distant shards at least sometimes.
         assert!(a.shards_pruned > 0, "no fan-outs pruned");
+        // Sharded batches fan sub-batches out, so the trace carries
+        // per-shard visit spans nested under the batch spans.
+        assert!(obs.obs.trace_shard_visit_spans > 0, "no shard spans");
     }
 }

@@ -13,7 +13,9 @@
 //!
 //! gts-harness loadgen [--queries N] [--points N] [--seed N] [--workers N]
 //!                     [--batch N] [--shards N] [--out PATH] [--skip-single]
+//!                     [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH]
 //! gts-harness serve   [--points N] [--seed N] [--shards N]
+//!                     [--metrics-file PATH] [--trace-file PATH]
 //! ```
 
 use std::io::Write as _;

@@ -11,6 +11,11 @@
 //! metrics                        print the JSON metrics snapshot
 //! quit                           drain and exit (EOF works too)
 //! ```
+//!
+//! `--metrics-file PATH` keeps a Prometheus text snapshot refreshed every
+//! second while serving (point a scraper or `watch cat` at it);
+//! `--trace-file PATH` dumps the lifecycle trace as Chrome trace-event
+//! JSON at shutdown for Perfetto.
 
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
@@ -18,6 +23,7 @@ use gts_service::{
 };
 use gts_trees::SplitPolicy;
 use std::io::BufRead as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -84,8 +90,13 @@ pub fn main_serve(args: &[String]) {
     let mut points = 4096usize;
     let mut seed = 20130901u64;
     let mut shards = 1usize;
+    let mut metrics_file: Option<String> = None;
+    let mut trace_file: Option<String> = None;
     let usage = || -> ! {
-        eprintln!("usage: gts-harness serve [--points N] [--seed N] [--shards N]");
+        eprintln!(
+            "usage: gts-harness serve [--points N] [--seed N] [--shards N] \
+             [--metrics-file PATH] [--trace-file PATH]"
+        );
         std::process::exit(2)
     };
     let mut i = 0;
@@ -106,6 +117,14 @@ pub fn main_serve(args: &[String]) {
             }
             "--shards" => {
                 shards = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--metrics-file" => {
+                metrics_file = Some(need(i).to_string());
+                i += 2;
+            }
+            "--trace-file" => {
+                trace_file = Some(need(i).to_string());
                 i += 2;
             }
             _ => usage(),
@@ -161,30 +180,68 @@ pub fn main_serve(args: &[String]) {
         "commands: nn <idx> <x..> | knn <idx> <k> <x..> | pc <idx> <r> <x..> | metrics | quit"
     );
 
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let Ok(line) = line else { break };
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
+    // Serve inside a scope so the periodic metrics writer can borrow the
+    // service; the flag stops it before the scope joins.
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        if let Some(path) = metrics_file.clone() {
+            let service = &service;
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let tmp = format!("{path}.tmp");
+                    if std::fs::write(&tmp, service.metrics().to_prometheus()).is_ok() {
+                        let _ = std::fs::rename(&tmp, &path);
+                    }
+                    // Re-check the flag at a human cadence: fresh enough
+                    // for a scraper, cheap enough to never matter.
+                    for _ in 0..10 {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+            });
         }
-        if trimmed == "quit" {
-            break;
-        }
-        if trimmed == "metrics" {
-            println!("{}", service.metrics().to_json());
-            continue;
-        }
-        match parse_request(trimmed) {
-            Ok(Some(query)) => match service.query(query) {
-                Ok(result) => println!("{}", render(&result)),
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if trimmed == "quit" {
+                break;
+            }
+            if trimmed == "metrics" {
+                println!("{}", service.metrics().to_json());
+                continue;
+            }
+            match parse_request(trimmed) {
+                Ok(Some(query)) => match service.query(query) {
+                    Ok(result) => println!("{}", render(&result)),
+                    Err(err) => println!("error: {err}"),
+                },
+                Ok(None) => {}
                 Err(err) => println!("error: {err}"),
-            },
-            Ok(None) => {}
-            Err(err) => println!("error: {err}"),
+            }
         }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let (snapshot, trace) = service.shutdown_with_trace();
+    if let Some(path) = &metrics_file {
+        std::fs::write(path, snapshot.to_prometheus()).expect("write metrics file");
+        eprintln!("wrote {path}");
     }
-    let snapshot = service.shutdown();
+    if let Some(path) = &trace_file {
+        std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
+        eprintln!(
+            "wrote {path} ({} events; load in Perfetto or chrome://tracing)",
+            trace.events.len()
+        );
+    }
+    eprint!("{}", crate::counters_view::render_service(&snapshot));
     eprintln!(
         "served {} queries in {} batches",
         snapshot.completed, snapshot.batches

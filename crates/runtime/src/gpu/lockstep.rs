@@ -230,6 +230,25 @@ mod tests {
     }
 
     #[test]
+    fn mask_occupancy_full_when_no_lane_truncates() {
+        // No truncation: every lane stays live on every pop, so the mean
+        // mask occupancy is exactly 1.
+        let kernel = BinKernel::new(8, u32::MAX);
+        let mut pts = vec![0u64; 64];
+        let r = run(&kernel, &mut pts, &GpuConfig::default());
+        assert_eq!(r.mask_occupancy(), 1.0);
+    }
+
+    #[test]
+    fn mask_occupancy_dilutes_under_truncation() {
+        let kernel = BinKernel::new(6, 41);
+        let mut pts: Vec<u64> = (0..96).map(|i| i * 1000).collect();
+        let r = run(&kernel, &mut pts, &GpuConfig::default());
+        let occ = r.mask_occupancy();
+        assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ}");
+    }
+
+    #[test]
     fn lockstep_broadcast_loads_coalesce_better_than_autoropes() {
         let kernel = BinKernel::new(8, u32::MAX);
         let mut a = vec![0u64; 128];

@@ -69,6 +69,20 @@ impl GpuReport {
     pub fn ms(&self) -> f64 {
         self.launch.time_ms
     }
+
+    /// Mean fraction of lanes live across all warp node visits (§5's mask
+    /// occupancy): lane-visits divided by `WARP_SIZE ×` warp-visits. A
+    /// lockstep warp dragging mostly-truncated lanes scores low; a warp
+    /// whose lanes traverse alike scores near 1. Returns 1.0 for a run
+    /// with no warp visits (nothing was diluted).
+    pub fn mask_occupancy(&self) -> f64 {
+        let c = &self.launch.counters;
+        if c.warp_node_visits == 0 {
+            1.0
+        } else {
+            c.node_visits as f64 / (32.0 * c.warp_node_visits as f64)
+        }
+    }
 }
 
 /// Table 2's statistic: per-warp work expansion of a lockstep run relative

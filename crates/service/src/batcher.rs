@@ -26,6 +26,9 @@ pub struct BatchEntry<T> {
 /// A flushed batch, ready for dispatch.
 #[derive(Debug)]
 pub struct ReadyBatch<T> {
+    /// Batch id, unique and ascending per [`Batcher`] (the trace
+    /// recorder's span key).
+    pub id: u64,
     /// Coalescing key all entries share.
     pub key: BatchKey,
     /// The entries, in arrival order.
@@ -45,6 +48,7 @@ pub struct Batcher<T> {
     // Vec, not HashMap: bucket scan is tiny (distinct live keys), and
     // iteration order stays deterministic for flush ordering.
     buckets: Vec<Bucket<T>>,
+    next_id: u64,
 }
 
 impl<T> Batcher<T> {
@@ -56,7 +60,15 @@ impl<T> Batcher<T> {
             target: target.max(1).div_ceil(WARP) * WARP,
             max_wait,
             buckets: Vec::new(),
+            next_id: 0,
         }
+    }
+
+    /// Take the next batch id (ascending in flush order).
+    fn take_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
     }
 
     /// The effective size target (warp-rounded).
@@ -91,6 +103,7 @@ impl<T> Batcher<T> {
             .position(|b| b.key == key && b.entries.len() >= self.target)?;
         let b = self.buckets.swap_remove(pos);
         Some(ReadyBatch {
+            id: self.take_id(),
             key: b.key,
             entries: b.entries,
         })
@@ -105,7 +118,9 @@ impl<T> Batcher<T> {
         while i < self.buckets.len() {
             if now.duration_since(self.buckets[i].oldest) >= max_wait {
                 let b = self.buckets.remove(i);
+                let id = self.take_id();
                 out.push(ReadyBatch {
+                    id,
                     key: b.key,
                     entries: b.entries,
                 });
@@ -124,9 +139,11 @@ impl<T> Batcher<T> {
 
     /// Flush everything regardless of size or age (shutdown drain).
     pub fn flush_all(&mut self) -> Vec<ReadyBatch<T>> {
-        self.buckets
-            .drain(..)
+        let buckets: Vec<Bucket<T>> = self.buckets.drain(..).collect();
+        buckets
+            .into_iter()
             .map(|b| ReadyBatch {
+                id: self.take_id(),
                 key: b.key,
                 entries: b.entries,
             })
@@ -230,5 +247,23 @@ mod tests {
         let all = b.flush_all();
         assert_eq!(all.iter().map(|r| r.entries.len()).sum::<usize>(), 5);
         assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn batch_ids_ascend_across_flush_paths() {
+        let mut b = Batcher::new(32, Duration::from_millis(1));
+        let t0 = Instant::now();
+        for i in 0..32 {
+            if let Some(r) = b.push(key(0), entry(i), t0) {
+                assert_eq!(r.id, 0, "first flush takes id 0");
+            }
+        }
+        b.push(key(1), entry(0), t0);
+        let due = b.flush_due(t0 + Duration::from_millis(1));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].id, 1);
+        b.push(key(2), entry(0), t0);
+        let drained = b.flush_all();
+        assert_eq!(drained[0].id, 2, "ids keep ascending across paths");
     }
 }

@@ -38,6 +38,31 @@ pub struct BatchOutcome {
     /// `(query, shard)` pairs a sharded index skipped via its AABB bound
     /// (always 0 for flat indices).
     pub shards_pruned: u64,
+    /// Mean live-lane fraction per warp node visit (§5's mask occupancy;
+    /// 1.0 for CPU runs, which have no warps to dilute).
+    pub mask_occupancy: f64,
+    /// Per-shard sub-batch statistics (empty for flat indices).
+    pub shard_visits: Vec<ShardVisit>,
+}
+
+/// One shard's sub-batch inside a sharded batch execution — the unit the
+/// trace recorder renders as a nested span under the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardVisit {
+    /// Shard index within the sharded index.
+    pub shard: u32,
+    /// Fan-out round (0 = home shards, 1+ = pruned-miss revisits).
+    pub round: u32,
+    /// Queries in the sub-batch.
+    pub queries: u32,
+    /// Tree-node visits inside the shard.
+    pub node_visits: u64,
+    /// Modeled GPU milliseconds for the sub-batch.
+    pub model_ms: f64,
+    /// Wall microseconds from the batch-run start to this sub-batch.
+    pub offset_us: u64,
+    /// Wall duration of the sub-batch, microseconds.
+    pub dur_us: u64,
 }
 
 /// A queryable index the service can dispatch batches to.
@@ -197,7 +222,7 @@ where
 
     // §4.4 step 3: run the whole batch on the chosen executor.
     let cfg = GpuConfig::default().with_host_threads(policy.sim_threads());
-    let (node_visits, model_ms, warps, work_expansion) = match backend {
+    let (node_visits, model_ms, warps, work_expansion, mask_occupancy) = match backend {
         Backend::Lockstep | Backend::Autoropes => {
             // Table 2's work expansion compares each warp's lockstep pops
             // against its longest *independent* traversal — lockstep's own
@@ -220,12 +245,18 @@ where
                 }
                 _ => 1.0,
             };
-            (visits, rep.ms(), rep.launch.warps, expansion)
+            (
+                visits,
+                rep.ms(),
+                rep.launch.warps,
+                expansion,
+                rep.mask_occupancy(),
+            )
         }
         Backend::Cpu => {
             let rep = cpu::run_parallel(kernel, &mut work, cfg.host_threads);
             let visits: u64 = rep.stats.per_point_nodes.iter().map(|&v| v as u64).sum();
-            (visits, 0.0, 0, 1.0)
+            (visits, 0.0, 0, 1.0, 1.0)
         }
     };
 
@@ -255,6 +286,8 @@ where
         warps,
         work_expansion,
         shards_pruned: 0,
+        mask_occupancy,
+        shard_visits: Vec::new(),
     }
 }
 
@@ -341,6 +374,11 @@ mod tests {
         assert_eq!(lock.backend, Backend::Lockstep);
         assert!(lock.model_ms > 0.0);
         assert_eq!(cpu.model_ms, 0.0);
+        // GPU occupancy is a live-lane fraction; CPU runs report 1.0 and a
+        // flat index never emits shard visits.
+        assert!(lock.mask_occupancy > 0.0 && lock.mask_occupancy <= 1.0);
+        assert_eq!(cpu.mask_occupancy, 1.0);
+        assert!(lock.shard_visits.is_empty());
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //!   and dispatches to lockstep or autoropes (or the CPU executor when
 //!   forced) — results return in submission order through tickets;
 //! * a metrics registry tracks queue wait, batch sizes, backend choices,
-//!   node visits, work expansion, shard pruning, and p50/p99 latency,
-//!   exportable as JSON;
+//!   node visits, work expansion, mask occupancy, shard pruning, and
+//!   p50/p99/p99.9 latency in bounded log-scale histograms ([`hist`]),
+//!   exportable as JSON or Prometheus text;
+//! * a fixed-capacity trace recorder ([`trace`]) captures every query's
+//!   lifecycle (submit → enqueue → batch → complete/reject) and every
+//!   batch's execution span, exportable as Chrome trace-event JSON that
+//!   Perfetto renders directly;
 //! * datasets larger than one tree register as a [`ShardedIndex`]:
 //!   Morton-partitioned kd-tree shards, per-batch fan-out with AABB
 //!   pruning, exact per-shard result merging (see [`shard`]).
@@ -40,17 +45,21 @@
 //! ```
 
 pub mod batcher;
+pub mod hist;
 pub mod index;
 pub mod metrics;
 pub mod policy;
 pub mod query;
 pub mod service;
 pub mod shard;
+pub mod trace;
 
 pub use batcher::{BatchEntry, Batcher, ReadyBatch, WARP};
-pub use index::{BatchOutcome, KdIndex, TreeIndex};
-pub use metrics::{percentile, Metrics, MetricsSnapshot};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use index::{BatchOutcome, KdIndex, ShardVisit, TreeIndex};
+pub use metrics::{percentile, BatchRecord, Metrics, MetricsSnapshot};
 pub use policy::{Backend, ExecPolicy};
 pub use query::{BatchKey, IndexId, OpKey, Query, QueryKind, QueryResult};
 pub use service::{Service, ServiceConfig, ServiceError, Ticket};
 pub use shard::{merge_kbest, ShardedIndex, ShardedIndexBuilder};
+pub use trace::{EventKind, TraceEvent, TraceRecorder, TraceSnapshot};

@@ -1,13 +1,63 @@
-//! Service metrics: counters and latency samples, exportable as JSON.
+//! Service metrics: counters plus bounded log-scale histograms, exportable
+//! as JSON or Prometheus text.
 //!
 //! One mutex over the whole registry — recording happens once per *batch*
 //! (plus once per completed query for latency), far off any hot path the
 //! simulated executors dominate.
+//!
+//! Memory is **O(buckets)**: every sample series is a fixed
+//! [`crate::hist::N_BUCKETS`]-bucket [`Histogram`], never a growing `Vec`.
+//! A `serve` session can run for days without the registry growing by a
+//! byte ([`Metrics::approx_bytes`] is the testable bound). Determinism is
+//! preserved: histogram counts are integers, sums are fixed-point, and
+//! `min`/`max` commute, so a deterministic workload still yields
+//! bit-identical snapshots regardless of worker interleaving.
 
+use crate::hist::{Histogram, HistogramSnapshot, N_BUCKETS};
+use crate::index::BatchOutcome;
 use crate::policy::Backend;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// Everything the registry records about one executed batch. Built from a
+/// [`BatchOutcome`] via [`BatchRecord::from_outcome`]; replaces the old
+/// seven-argument `on_batch` signature.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Queries in the batch.
+    pub size: usize,
+    /// Executor that ran it.
+    pub backend: Backend,
+    /// Tree-node visits across the batch.
+    pub node_visits: u64,
+    /// Modeled GPU milliseconds (0 for the CPU backend).
+    pub model_ms: f64,
+    /// Lockstep work expansion (1.0 when not applicable).
+    pub work_expansion: f64,
+    /// Mean live-lane fraction per warp node visit (1.0 for CPU runs).
+    pub mask_occupancy: f64,
+    /// `(query, shard)` pairs pruned by a sharded index's AABB bounds.
+    pub shards_pruned: u64,
+    /// Longest submit-to-dispatch wait among the batch's queries.
+    pub queue_wait: Duration,
+}
+
+impl BatchRecord {
+    /// Record for `outcome` with the batch's measured `queue_wait`.
+    pub fn from_outcome(outcome: &BatchOutcome, queue_wait: Duration) -> Self {
+        BatchRecord {
+            size: outcome.results.len(),
+            backend: outcome.backend,
+            node_visits: outcome.node_visits,
+            model_ms: outcome.model_ms,
+            work_expansion: outcome.work_expansion,
+            mask_occupancy: outcome.mask_occupancy,
+            shards_pruned: outcome.shards_pruned,
+            queue_wait,
+        }
+    }
+}
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -22,22 +72,14 @@ struct Inner {
     cpu_batches: u64,
     node_visits: u64,
     shards_pruned: u64,
-    // Per-batch samples, not running sums: workers record in a
-    // nondeterministic order, and f64 addition is order-sensitive.
-    // Summing the sorted samples at snapshot time makes the totals a
-    // function of the batch multiset alone, so a deterministic workload
-    // yields bit-identical totals across runs.
-    model_ms: Vec<f64>,
-    work_expansion: Vec<f64>,
-    queue_wait_ms: Vec<f64>,
-    latency_ms: Vec<f64>,
-}
-
-/// Sum in ascending order — deterministic for a fixed multiset.
-fn sorted_sum(xs: &[f64]) -> f64 {
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    sorted.iter().sum()
+    // Bounded histograms, one per sample series. Their fixed-point sums
+    // replace the seed's sort-before-summing determinism trick.
+    model_ms: Histogram,
+    work_expansion: Histogram,
+    mask_occupancy: Histogram,
+    batch_node_visits: Histogram,
+    queue_wait_ms: Histogram,
+    latency_ms: Histogram,
 }
 
 /// Shared metrics registry.
@@ -58,41 +100,41 @@ impl Metrics {
     }
 
     /// One batch dispatched and executed.
-    #[allow(clippy::too_many_arguments)]
-    pub fn on_batch(
-        &self,
-        size: usize,
-        backend: Backend,
-        node_visits: u64,
-        model_ms: f64,
-        work_expansion: f64,
-        shards_pruned: u64,
-        queue_wait: Duration,
-    ) {
+    pub fn on_batch(&self, rec: &BatchRecord) {
         let mut m = self.lock();
         m.batches += 1;
-        m.batch_size_sum += size as u64;
-        m.batch_size_max = m.batch_size_max.max(size as u64);
-        match backend {
+        m.batch_size_sum += rec.size as u64;
+        m.batch_size_max = m.batch_size_max.max(rec.size as u64);
+        match rec.backend {
             Backend::Lockstep => m.lockstep_batches += 1,
             Backend::Autoropes => m.autoropes_batches += 1,
             Backend::Cpu => m.cpu_batches += 1,
         }
-        m.node_visits += node_visits;
-        m.shards_pruned += shards_pruned;
-        m.model_ms.push(model_ms);
-        m.work_expansion.push(work_expansion);
-        m.queue_wait_ms.push(queue_wait.as_secs_f64() * 1e3);
+        m.node_visits += rec.node_visits;
+        m.shards_pruned += rec.shards_pruned;
+        m.model_ms.record(rec.model_ms);
+        m.work_expansion.record(rec.work_expansion);
+        m.mask_occupancy.record(rec.mask_occupancy);
+        m.batch_node_visits.record(rec.node_visits as f64);
+        m.queue_wait_ms.record(rec.queue_wait.as_secs_f64() * 1e3);
     }
 
     /// One query's result delivered, `latency` after submission.
     pub fn on_complete(&self, latency: Duration) {
         let mut m = self.lock();
         m.completed += 1;
-        m.latency_ms.push(latency.as_secs_f64() * 1e3);
+        m.latency_ms.record(latency.as_secs_f64() * 1e3);
     }
 
-    /// Snapshot every counter and percentile.
+    /// Upper bound on the registry's resident size, in bytes. Constant —
+    /// independent of how many queries or batches were recorded — which
+    /// the sustained-load test asserts.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + 6 * N_BUCKETS * std::mem::size_of::<u64>()
+    }
+
+    /// Snapshot every counter, percentile, and histogram. O(buckets),
+    /// never O(samples).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let m = self.lock();
         MetricsSnapshot {
@@ -111,16 +153,30 @@ impl Metrics {
             cpu_batches: m.cpu_batches,
             node_visits: m.node_visits,
             shards_pruned: m.shards_pruned,
-            model_ms: sorted_sum(&m.model_ms),
+            model_ms: m.model_ms.sum(),
             mean_work_expansion: if m.batches > 0 {
-                sorted_sum(&m.work_expansion) / m.batches as f64
+                m.work_expansion.sum() / m.batches as f64
             } else {
                 0.0
             },
-            queue_wait_p50_ms: percentile(&m.queue_wait_ms, 50.0),
-            queue_wait_p99_ms: percentile(&m.queue_wait_ms, 99.0),
-            latency_p50_ms: percentile(&m.latency_ms, 50.0),
-            latency_p99_ms: percentile(&m.latency_ms, 99.0),
+            mean_mask_occupancy: if m.batches > 0 {
+                m.mask_occupancy.sum() / m.batches as f64
+            } else {
+                0.0
+            },
+            queue_wait_p50_ms: m.queue_wait_ms.percentile(50.0),
+            queue_wait_p99_ms: m.queue_wait_ms.percentile(99.0),
+            queue_wait_max_ms: m.queue_wait_ms.max(),
+            latency_p50_ms: m.latency_ms.percentile(50.0),
+            latency_p99_ms: m.latency_ms.percentile(99.0),
+            latency_p999_ms: m.latency_ms.percentile(99.9),
+            latency_max_ms: m.latency_ms.max(),
+            model_ms_hist: m.model_ms.snapshot(),
+            work_expansion_hist: m.work_expansion.snapshot(),
+            mask_occupancy_hist: m.mask_occupancy.snapshot(),
+            node_visits_hist: m.batch_node_visits.snapshot(),
+            queue_wait_hist: m.queue_wait_ms.snapshot(),
+            latency_hist: m.latency_ms.snapshot(),
         }
     }
 
@@ -158,14 +214,34 @@ pub struct MetricsSnapshot {
     pub model_ms: f64,
     /// Mean per-batch lockstep work expansion.
     pub mean_work_expansion: f64,
+    /// Mean per-batch warp mask occupancy (live-lane fraction).
+    pub mean_mask_occupancy: f64,
     /// Median wait between submission and batch dispatch.
     pub queue_wait_p50_ms: f64,
     /// 99th-percentile queue wait.
     pub queue_wait_p99_ms: f64,
+    /// Longest observed queue wait (exact).
+    pub queue_wait_max_ms: f64,
     /// Median submit-to-result latency.
     pub latency_p50_ms: f64,
     /// 99th-percentile submit-to-result latency.
     pub latency_p99_ms: f64,
+    /// 99.9th-percentile submit-to-result latency.
+    pub latency_p999_ms: f64,
+    /// Slowest observed query latency (exact).
+    pub latency_max_ms: f64,
+    /// Full modeled-ms distribution.
+    pub model_ms_hist: HistogramSnapshot,
+    /// Full per-batch work-expansion distribution.
+    pub work_expansion_hist: HistogramSnapshot,
+    /// Full per-batch mask-occupancy distribution.
+    pub mask_occupancy_hist: HistogramSnapshot,
+    /// Full per-batch node-visit distribution.
+    pub node_visits_hist: HistogramSnapshot,
+    /// Full queue-wait distribution (ms).
+    pub queue_wait_hist: HistogramSnapshot,
+    /// Full latency distribution (ms).
+    pub latency_hist: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -173,9 +249,55 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
     }
+
+    /// Render in the Prometheus text exposition format: `# TYPE` headers,
+    /// one line per counter/gauge, and cumulative `_bucket{le=}` series
+    /// for every histogram.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let counters: [(&str, u64); 9] = [
+            ("gts_queries_submitted_total", self.submitted),
+            ("gts_queries_completed_total", self.completed),
+            ("gts_queries_rejected_total", self.rejected),
+            ("gts_batches_total", self.batches),
+            ("gts_batches_lockstep_total", self.lockstep_batches),
+            ("gts_batches_autoropes_total", self.autoropes_batches),
+            ("gts_batches_cpu_total", self.cpu_batches),
+            ("gts_node_visits_total", self.node_visits),
+            ("gts_shards_pruned_total", self.shards_pruned),
+        ];
+        for (name, v) in counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        let gauges: [(&str, f64); 5] = [
+            ("gts_batch_size_mean", self.mean_batch_size),
+            ("gts_batch_size_max", self.max_batch_size as f64),
+            ("gts_model_ms_total", self.model_ms),
+            ("gts_work_expansion_mean", self.mean_work_expansion),
+            ("gts_mask_occupancy_mean", self.mean_mask_occupancy),
+        ];
+        for (name, v) in gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        self.model_ms_hist
+            .to_prometheus("gts_batch_model_ms", &mut out);
+        self.work_expansion_hist
+            .to_prometheus("gts_batch_work_expansion", &mut out);
+        self.mask_occupancy_hist
+            .to_prometheus("gts_batch_mask_occupancy", &mut out);
+        self.node_visits_hist
+            .to_prometheus("gts_batch_node_visits", &mut out);
+        self.queue_wait_hist
+            .to_prometheus("gts_queue_wait_ms", &mut out);
+        self.latency_hist.to_prometheus("gts_latency_ms", &mut out);
+        out
+    }
 }
 
-/// Nearest-rank percentile (`p` in 0..=100) of `samples`; 0 when empty.
+/// Exact nearest-rank percentile (`p` in 0..=100) of `samples`; 0 when
+/// empty. O(n log n) clone-and-sort — kept **only** as the oracle the
+/// histogram property tests compare against; production percentiles come
+/// from [`Histogram::percentile`].
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
@@ -189,6 +311,27 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn batch(
+        size: usize,
+        backend: Backend,
+        node_visits: u64,
+        model_ms: f64,
+        work_expansion: f64,
+        shards_pruned: u64,
+        wait_ms: u64,
+    ) -> BatchRecord {
+        BatchRecord {
+            size,
+            backend,
+            node_visits,
+            model_ms,
+            work_expansion,
+            mask_occupancy: 1.0,
+            shards_pruned,
+            queue_wait: Duration::from_millis(wait_ms),
+        }
+    }
 
     #[test]
     fn percentile_nearest_rank() {
@@ -206,24 +349,8 @@ mod tests {
         for _ in 0..3 {
             m.on_submit();
         }
-        m.on_batch(
-            2,
-            Backend::Lockstep,
-            100,
-            1.5,
-            1.2,
-            3,
-            Duration::from_millis(2),
-        );
-        m.on_batch(
-            1,
-            Backend::Autoropes,
-            40,
-            0.5,
-            1.0,
-            1,
-            Duration::from_millis(4),
-        );
+        m.on_batch(&batch(2, Backend::Lockstep, 100, 1.5, 1.2, 3, 2));
+        m.on_batch(&batch(1, Backend::Autoropes, 40, 0.5, 1.0, 1, 4));
         m.on_complete(Duration::from_millis(10));
         let s = m.snapshot();
         assert_eq!(s.submitted, 3);
@@ -234,17 +361,63 @@ mod tests {
         assert_eq!(s.node_visits, 140);
         assert_eq!(s.shards_pruned, 4);
         assert!((s.mean_batch_size - 1.5).abs() < 1e-12);
+        // 1.5 and 0.5 are exact in the fixed-point sum.
         assert!((s.model_ms - 2.0).abs() < 1e-12);
+        assert!((s.mean_mask_occupancy - 1.0).abs() < 1e-12);
         assert!(s.latency_p50_ms > 0.0);
+        // Single latency sample: every percentile and the max are exact.
+        assert_eq!(s.latency_p999_ms, s.latency_max_ms);
+        assert!((s.latency_max_ms - 10.0).abs() < 1e-6);
+        assert!((s.queue_wait_max_ms - 4.0).abs() < 1e-6);
+        assert_eq!(s.latency_hist.count, 1);
+        assert_eq!(s.queue_wait_hist.count, 2);
+        assert_eq!(s.node_visits_hist.count, 2);
     }
 
     #[test]
     fn snapshot_json_round_trips() {
         let m = Metrics::default();
         m.on_submit();
-        m.on_batch(1, Backend::Cpu, 10, 0.0, 1.0, 0, Duration::ZERO);
+        m.on_batch(&batch(1, Backend::Cpu, 10, 0.0, 1.0, 0, 0));
         let s = m.snapshot();
         let back: MetricsSnapshot = serde_json::from_str(&s.to_json()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn registry_memory_is_constant() {
+        let m = Metrics::default();
+        let before = m.approx_bytes();
+        for i in 0..10_000u64 {
+            m.on_submit();
+            m.on_batch(&batch(1, Backend::Cpu, i, i as f64 * 0.01, 1.0, 0, i % 7));
+            m.on_complete(Duration::from_micros(10 * i));
+        }
+        assert_eq!(m.approx_bytes(), before, "registry grew with load");
+        let s = m.snapshot();
+        assert_eq!(s.batches, 10_000);
+        assert!(s.latency_hist.buckets.len() <= crate::hist::N_BUCKETS);
+    }
+
+    #[test]
+    fn prometheus_export_has_all_series() {
+        let m = Metrics::default();
+        m.on_submit();
+        m.on_batch(&batch(1, Backend::Lockstep, 50, 0.25, 1.1, 0, 1));
+        m.on_complete(Duration::from_millis(3));
+        let text = m.snapshot().to_prometheus();
+        for series in [
+            "gts_queries_submitted_total 1",
+            "gts_batches_lockstep_total 1",
+            "gts_node_visits_total 50",
+            "gts_latency_ms_count 1",
+            "gts_queue_wait_ms_count 1",
+            "gts_batch_model_ms_sum 0.25",
+            "gts_batch_mask_occupancy_count 1",
+        ] {
+            assert!(text.contains(series), "missing `{series}` in:\n{text}");
+        }
+        // One `# TYPE` header per exported metric family.
+        assert_eq!(text.matches("# TYPE").count(), 9 + 5 + 6);
     }
 }

@@ -19,9 +19,10 @@
 
 use crate::batcher::{BatchEntry, Batcher, ReadyBatch};
 use crate::index::TreeIndex;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{BatchRecord, Metrics, MetricsSnapshot};
 use crate::policy::ExecPolicy;
 use crate::query::{BatchKey, IndexId, Query, QueryResult};
+use crate::trace::{EventKind, TraceRecorder, TraceSnapshot, NO_ID};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -83,6 +84,9 @@ pub struct ServiceConfig {
     pub dispatch_capacity: usize,
     /// Per-batch execution policy (sort, profile, backend override).
     pub policy: ExecPolicy,
+    /// Lifecycle-event ring capacity for the trace recorder (newest events
+    /// win; 0 disables tracing).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +100,7 @@ impl Default for ServiceConfig {
                 .unwrap_or(2),
             dispatch_capacity: 8,
             policy: ExecPolicy::default(),
+            trace_capacity: 8192,
         }
     }
 }
@@ -157,10 +162,12 @@ impl Ticket {
     }
 }
 
-/// Payload riding each batched query: its ticket plus submit time.
+/// Payload riding each batched query: its ticket, submit time, and trace
+/// query id.
 struct Tag {
     ticket: Ticket,
     submitted: Instant,
+    query: u64,
 }
 
 struct Submission {
@@ -172,7 +179,19 @@ struct Submission {
 struct Shared {
     indices: RwLock<Vec<Arc<dyn TreeIndex>>>,
     metrics: Metrics,
+    trace: TraceRecorder,
     policy: ExecPolicy,
+}
+
+/// Stable short tag for a rejection reason (trace `args.reason`).
+fn reject_reason(err: &ServiceError) -> &'static str {
+    match err {
+        ServiceError::UnknownIndex(_) => "unknown-index",
+        ServiceError::DimMismatch { .. } => "dim-mismatch",
+        ServiceError::BadQuery(_) => "bad-query",
+        ServiceError::ShuttingDown => "shutting-down",
+        ServiceError::Internal(_) => "internal",
+    }
 }
 
 /// The batched traversal query service. See the module docs for the
@@ -194,6 +213,7 @@ impl Service {
         let shared = Arc::new(Shared {
             indices: RwLock::new(Vec::new()),
             metrics: Metrics::default(),
+            trace: TraceRecorder::new(config.trace_capacity),
             policy: config.policy.clone(),
         });
         let (submit_tx, submit_rx) = bounded::<Submission>(config.queue_capacity.max(1));
@@ -241,14 +261,32 @@ impl Service {
     /// Submit a query. Blocks while the submission queue is full
     /// (backpressure); returns a [`Ticket`] that resolves to the result.
     pub fn submit(&self, query: Query) -> Result<Ticket, ServiceError> {
-        let key = self.validate(&query)?;
+        let trace = &self.shared.trace;
+        let qid = trace.next_query_id();
+        let key = match self.validate(&query) {
+            Ok(key) => key,
+            Err(err) => {
+                trace.instant(
+                    trace.now_us(),
+                    qid,
+                    NO_ID,
+                    EventKind::Reject {
+                        reason: reject_reason(&err),
+                    },
+                );
+                return Err(err);
+            }
+        };
         let ticket = Ticket::new();
+        let submitted = Instant::now();
+        trace.instant(trace.us_of(submitted), qid, NO_ID, EventKind::Submit);
         let submission = Submission {
             key,
             pos: query.pos,
             tag: Tag {
                 ticket: ticket.clone(),
-                submitted: Instant::now(),
+                submitted,
+                query: qid,
             },
         };
         let tx = {
@@ -257,6 +295,14 @@ impl Service {
                 Some(tx) => tx.clone(),
                 None => {
                     self.shared.metrics.on_reject();
+                    trace.instant(
+                        trace.now_us(),
+                        qid,
+                        NO_ID,
+                        EventKind::Reject {
+                            reason: "shutting-down",
+                        },
+                    );
                     return Err(ServiceError::ShuttingDown);
                 }
             }
@@ -264,10 +310,19 @@ impl Service {
         match tx.send(submission) {
             Ok(()) => {
                 self.shared.metrics.on_submit();
+                trace.instant(trace.now_us(), qid, NO_ID, EventKind::Enqueue);
                 Ok(ticket)
             }
             Err(_) => {
                 self.shared.metrics.on_reject();
+                trace.instant(
+                    trace.now_us(),
+                    qid,
+                    NO_ID,
+                    EventKind::Reject {
+                        reason: "shutting-down",
+                    },
+                );
                 Err(ServiceError::ShuttingDown)
             }
         }
@@ -281,6 +336,12 @@ impl Service {
     /// Current metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// Current trace ring contents (see [`TraceSnapshot::to_chrome_json`]
+    /// for the Perfetto export).
+    pub fn trace(&self) -> TraceSnapshot {
+        self.shared.trace.snapshot()
     }
 
     /// Stop accepting new queries without consuming the service — the
@@ -304,6 +365,13 @@ impl Service {
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.drain();
         self.shared.metrics.snapshot()
+    }
+
+    /// [`Service::shutdown`], also returning the final trace ring — the
+    /// pair harness tools write to `--metrics-file`/`--trace-file`.
+    pub fn shutdown_with_trace(mut self) -> (MetricsSnapshot, TraceSnapshot) {
+        self.drain();
+        (self.shared.metrics.snapshot(), self.shared.trace.snapshot())
     }
 
     fn drain(&mut self) {
@@ -414,7 +482,9 @@ fn run_batcher(
 fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
     while let Ok(batch) = rx.recv() {
         let dispatched = Instant::now();
-        let ReadyBatch { key, entries } = batch;
+        let ReadyBatch { id, key, entries } = batch;
+        let trace = &shared.trace;
+        let dispatch_us = trace.us_of(dispatched);
         let index = {
             let indices = shared.indices.read().unwrap_or_else(|e| e.into_inner());
             indices.get(key.index).cloned()
@@ -436,25 +506,71 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                     .map(|e| dispatched.duration_since(e.tag.submitted))
                     .max()
                     .unwrap_or(Duration::ZERO);
-                shared.metrics.on_batch(
-                    entries.len(),
-                    out.backend,
-                    out.node_visits,
-                    out.model_ms,
-                    out.work_expansion,
-                    out.shards_pruned,
-                    queue_wait,
-                );
+                shared
+                    .metrics
+                    .on_batch(&BatchRecord::from_outcome(&out, queue_wait));
                 let done = Instant::now();
+                let done_us = trace.us_of(done);
+                // One batch span per dispatched batch — the invariant the
+                // observability tests check against `batches` in the
+                // metrics snapshot.
+                trace.span(
+                    dispatch_us,
+                    done_us.saturating_sub(dispatch_us),
+                    NO_ID,
+                    id,
+                    EventKind::Batch {
+                        size: entries.len() as u32,
+                        backend: out.backend,
+                        node_visits: out.node_visits,
+                        model_ms: out.model_ms,
+                        work_expansion: out.work_expansion,
+                        mask_occupancy: out.mask_occupancy,
+                    },
+                );
+                trace.instant(
+                    done_us,
+                    NO_ID,
+                    id,
+                    EventKind::BackendChoice {
+                        backend: out.backend,
+                        similarity: out.mean_similarity,
+                    },
+                );
+                for v in &out.shard_visits {
+                    trace.span(
+                        dispatch_us + v.offset_us,
+                        v.dur_us,
+                        NO_ID,
+                        id,
+                        EventKind::ShardVisit {
+                            shard: v.shard,
+                            round: v.round,
+                            queries: v.queries,
+                            node_visits: v.node_visits,
+                        },
+                    );
+                }
                 for (e, r) in entries.iter().zip(out.results) {
                     shared
                         .metrics
                         .on_complete(done.duration_since(e.tag.submitted));
+                    let start_us = trace.us_of(e.tag.submitted);
+                    trace.span(
+                        start_us,
+                        done_us.saturating_sub(start_us),
+                        e.tag.query,
+                        id,
+                        EventKind::Complete,
+                    );
                     e.tag.ticket.resolve(Ok(r));
                 }
             }
             Err(err) => {
+                let reason = reject_reason(&err);
+                let now_us = trace.now_us();
                 for e in &entries {
+                    trace.instant(now_us, e.tag.query, id, EventKind::Reject { reason });
                     e.tag.ticket.resolve(Err(err.clone()));
                 }
             }

@@ -34,12 +34,13 @@
 //! * **PC** — sum the per-shard counts (shards partition the points, so
 //!   counts are exact).
 
-use crate::index::{BatchOutcome, KdIndex, TreeIndex};
+use crate::index::{BatchOutcome, KdIndex, ShardVisit, TreeIndex};
 use crate::policy::{Backend, ExecPolicy};
 use crate::query::{OpKey, QueryResult};
 use gts_apps::kbest::KBest;
 use gts_points::sort::morton_order;
 use gts_trees::{Aabb, PointN, SplitPolicy};
+use std::time::Instant;
 
 /// A [`TreeIndex`] made of N Morton-partitioned [`KdIndex`] shards.
 pub struct ShardedIndex<const D: usize> {
@@ -323,10 +324,16 @@ impl<const D: usize> TreeIndex for ShardedIndex<D> {
         let mut warps = 0usize;
         // Aggregates over sub-batches, weighted by sub-batch size.
         let mut exp_sum = 0.0f64;
+        let mut occ_sum = 0.0f64;
         let mut sim_sum = 0.0f64;
         let mut sim_weight = 0usize;
         let mut executed = 0usize;
         let mut backend_queries = [0usize; 3]; // Lockstep, Autoropes, Cpu
+                                               // Per-shard sub-batch spans for the trace recorder, timed against
+                                               // the batch-run start (wall times, outside the determinism
+                                               // contract like every other wall measurement).
+        let started = Instant::now();
+        let mut shard_visits: Vec<ShardVisit> = Vec::new();
 
         for round in 0..n_shards {
             // Group this round's surviving queries by target shard.
@@ -344,11 +351,23 @@ impl<const D: usize> TreeIndex for ShardedIndex<D> {
                     continue;
                 }
                 let sub: Vec<Vec<f32>> = qs.iter().map(|&q| positions[q].clone()).collect();
+                let sub_start = started.elapsed().as_micros() as u64;
                 let out = self.shards[s].index.run_batch(op, &sub, policy);
+                let sub_end = started.elapsed().as_micros() as u64;
+                shard_visits.push(ShardVisit {
+                    shard: s as u32,
+                    round: round as u32,
+                    queries: qs.len() as u32,
+                    node_visits: out.node_visits,
+                    model_ms: out.model_ms,
+                    offset_us: sub_start,
+                    dur_us: sub_end.saturating_sub(sub_start),
+                });
                 node_visits += out.node_visits;
                 model_ms += out.model_ms;
                 warps += out.warps;
                 exp_sum += out.work_expansion * qs.len() as f64;
+                occ_sum += out.mask_occupancy * qs.len() as f64;
                 if let Some(sim) = out.mean_similarity {
                     sim_sum += sim * qs.len() as f64;
                     sim_weight += qs.len();
@@ -386,6 +405,12 @@ impl<const D: usize> TreeIndex for ShardedIndex<D> {
                 1.0
             },
             shards_pruned,
+            mask_occupancy: if executed > 0 {
+                occ_sum / executed as f64
+            } else {
+                1.0
+            },
+            shard_visits,
         }
     }
 }
@@ -483,5 +508,18 @@ mod tests {
         assert_eq!(s.model_ms, 0.0);
         assert!(s.work_expansion >= 1.0);
         assert_eq!(f.results.len(), s.results.len());
+        // Unpruned 4-shard fan-out: every query visits every shard, so the
+        // visit spans cover 4 shards × 64 queries and their node visits
+        // re-total the batch's.
+        assert!(!s.shard_visits.is_empty());
+        let span_queries: u64 = s.shard_visits.iter().map(|v| v.queries as u64).sum();
+        assert_eq!(span_queries, 4 * 64);
+        let span_visits: u64 = s.shard_visits.iter().map(|v| v.node_visits).sum();
+        assert_eq!(span_visits, s.node_visits);
+        assert!(
+            (s.mask_occupancy - 1.0).abs() < 1e-12,
+            "CPU runs dilute nothing"
+        );
+        assert!(f.shard_visits.is_empty(), "flat index emits no shard spans");
     }
 }

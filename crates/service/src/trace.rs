@@ -1,0 +1,541 @@
+//! Structured lifecycle tracing: a fixed-capacity ring of events,
+//! exportable as Chrome trace-event JSON (Perfetto/`chrome://tracing`).
+//!
+//! Every query and batch moving through the service leaves a trail:
+//!
+//! ```text
+//! submit → enqueue → batch dispatch → backend choice → [shard visits] →
+//! complete | reject
+//! ```
+//!
+//! The [`TraceRecorder`] keeps the newest [`TraceRecorder::capacity`]
+//! events in a ring — bounded memory under sustained load, the same
+//! contract as the histogram metrics. Wraparound drops the *oldest*
+//! events and never reorders the survivors: events carry a global
+//! sequence number assigned under the ring lock, so a query's surviving
+//! lifecycle is always a suffix of its true lifecycle, in order.
+//!
+//! Timestamps are microseconds from the recorder's creation (one
+//! monotonic `Instant` epoch shared by every thread), so spans from
+//! racing workers land on one consistent timeline. The exporter emits the
+//! Chrome trace-event array format: batch executions are `"X"` duration
+//! spans on a per-batch track (`pid` 1), per-shard sub-batches nest inside
+//! them, and each query's submit→complete life is a span on a per-query
+//! track (`pid` 2) — so Perfetto renders queue wait as the gap between a
+//! query's `enqueue` instant and its batch's span start, with no
+//! screenshotting tricks required.
+//!
+//! Recording is "lock-free enough": one uncontended mutex push per event,
+//! far off the hot path the simulated executors dominate (the seed
+//! metrics registry already made the same call, and the batch spans here
+//! are recorded once per *batch*).
+
+use crate::policy::Backend;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What happened. Payload fields become `args` in the Chrome JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Query validated; a ticket was issued.
+    Submit,
+    /// Query accepted into the submission queue.
+    Enqueue,
+    /// One batch executed on a worker (span: dispatch → tickets resolved).
+    Batch {
+        /// Queries in the batch.
+        size: u32,
+        /// Executor that ran it.
+        backend: Backend,
+        /// Tree-node visits across the batch.
+        node_visits: u64,
+        /// Modeled GPU milliseconds.
+        model_ms: f64,
+        /// Lockstep work expansion (1.0 when not applicable).
+        work_expansion: f64,
+        /// Mean live-lane fraction per warp pop.
+        mask_occupancy: f64,
+    },
+    /// The §4.4 profiler's (or forced policy's) executor decision.
+    BackendChoice {
+        /// Chosen executor.
+        backend: Backend,
+        /// Profiler mean Jaccard similarity, when profiling ran.
+        similarity: Option<f64>,
+    },
+    /// One shard's sub-batch inside a sharded batch (span).
+    ShardVisit {
+        /// Shard index.
+        shard: u32,
+        /// Fan-out round (0 = home shards).
+        round: u32,
+        /// Queries in the sub-batch.
+        queries: u32,
+        /// Node visits inside the shard.
+        node_visits: u64,
+    },
+    /// Query result delivered (span: submit → resolve).
+    Complete,
+    /// Query rejected (validation, shutdown, or worker failure).
+    Reject {
+        /// Stable short reason tag.
+        reason: &'static str,
+    },
+}
+
+/// Marker for "no query/batch id" on events that lack one.
+pub const NO_ID: u64 = u64::MAX;
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global sequence number (assigned under the ring lock; gap-free).
+    pub seq: u64,
+    /// Microseconds since the recorder epoch.
+    pub ts_us: u64,
+    /// Span duration in microseconds (0 for instant events).
+    pub dur_us: u64,
+    /// Query id, or [`NO_ID`].
+    pub query: u64,
+    /// Batch id, or [`NO_ID`].
+    pub batch: u64,
+    /// Event payload.
+    pub kind: EventKind,
+}
+
+struct Ring {
+    /// Newest `capacity` events; `buf[head]` is the oldest once full.
+    buf: Vec<TraceEvent>,
+    head: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Fixed-capacity recorder of [`TraceEvent`]s. Capacity 0 disables
+/// recording entirely (every `record` is a cheap no-op).
+#[derive(Debug)]
+pub struct TraceRecorder {
+    epoch: Instant,
+    capacity: usize,
+    next_query: AtomicU64,
+    next_batch: AtomicU64,
+    inner: Mutex<Ring>,
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("len", &self.buf.len())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl TraceRecorder {
+    /// Recorder keeping the newest `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceRecorder {
+            epoch: Instant::now(),
+            capacity,
+            next_query: AtomicU64::new(0),
+            next_batch: AtomicU64::new(0),
+            inner: Mutex::new(Ring {
+                buf: Vec::new(),
+                head: 0,
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocate the next query id.
+    pub fn next_query_id(&self) -> u64 {
+        self.next_query.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocate the next batch id.
+    pub fn next_batch_id(&self) -> u64 {
+        self.next_batch.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Microseconds from the recorder epoch to now.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Microseconds from the recorder epoch to `t` (0 if `t` predates the
+    /// epoch — timestamps never go negative).
+    pub fn us_of(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Record an instant event at `ts_us`.
+    pub fn instant(&self, ts_us: u64, query: u64, batch: u64, kind: EventKind) {
+        self.push(ts_us, 0, query, batch, kind);
+    }
+
+    /// Record a span `[ts_us, ts_us + dur_us]`.
+    pub fn span(&self, ts_us: u64, dur_us: u64, query: u64, batch: u64, kind: EventKind) {
+        self.push(ts_us, dur_us, query, batch, kind);
+    }
+
+    fn push(&self, ts_us: u64, dur_us: u64, query: u64, batch: u64, kind: EventKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let ev = TraceEvent {
+            seq,
+            ts_us,
+            dur_us,
+            query,
+            batch,
+            kind,
+        };
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(ev);
+        } else {
+            // Overwrite the oldest slot; head advances so the ring stays
+            // seq-ordered starting at `head`.
+            let head = ring.head;
+            ring.buf[head] = ev;
+            ring.head = (head + 1) % self.capacity;
+            ring.dropped += 1;
+        }
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .buf
+            .len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the retained events (oldest first) plus the drop count.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let ring = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut events = Vec::with_capacity(ring.buf.len());
+        for i in 0..ring.buf.len() {
+            events.push(ring.buf[(ring.head + i) % ring.buf.len()].clone());
+        }
+        TraceSnapshot {
+            events,
+            dropped: ring.dropped,
+        }
+    }
+}
+
+/// Point-in-time export of the ring: the retained events in sequence
+/// order, plus how many older events wraparound discarded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSnapshot {
+    /// Retained events, ascending by `seq` (and therefore by record time).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded by ring wraparound.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Number of batch-execution spans in the snapshot.
+    pub fn batch_spans(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Batch { .. }))
+            .count()
+    }
+
+    /// Number of query-completion spans in the snapshot.
+    pub fn complete_spans(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Complete))
+            .count()
+    }
+
+    /// Number of per-shard sub-batch spans in the snapshot.
+    pub fn shard_visit_spans(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ShardVisit { .. }))
+            .count()
+    }
+
+    /// Render as a Chrome trace-event JSON array (the format Perfetto and
+    /// `chrome://tracing` load directly). Batch/shard spans go on `pid` 1
+    /// with one track (`tid`) per batch; query lifecycles go on `pid` 2
+    /// with one track per query.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 160 + 2);
+        out.push('[');
+        let mut first = true;
+        for ev in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            write_chrome_event(ev, &mut out);
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+const BATCH_PID: u64 = 1;
+const QUERY_PID: u64 = 2;
+
+fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
+    // All names and reason tags are static identifiers — no JSON string
+    // escaping is ever needed here.
+    let (name, ph, pid, tid): (&str, &str, u64, u64) = match &ev.kind {
+        EventKind::Submit => ("submit", "i", QUERY_PID, ev.query),
+        EventKind::Enqueue => ("enqueue", "i", QUERY_PID, ev.query),
+        EventKind::Batch { .. } => ("batch", "X", BATCH_PID, ev.batch),
+        EventKind::BackendChoice { .. } => ("backend", "i", BATCH_PID, ev.batch),
+        EventKind::ShardVisit { .. } => ("shard_visit", "X", BATCH_PID, ev.batch),
+        EventKind::Complete => ("query", "X", QUERY_PID, ev.query),
+        EventKind::Reject { .. } => ("reject", "i", QUERY_PID, ev.query),
+    };
+    out.push_str(&format!(
+        "{{\"name\":\"{name}\",\"cat\":\"gts\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}",
+        ev.ts_us
+    ));
+    if ph == "X" {
+        out.push_str(&format!(",\"dur\":{}", ev.dur_us));
+    }
+    if ph == "i" {
+        // Thread-scoped instant: renders as a tick on its own track.
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"args\":{");
+    out.push_str(&format!("\"seq\":{}", ev.seq));
+    if ev.query != NO_ID {
+        out.push_str(&format!(",\"query\":{}", ev.query));
+    }
+    if ev.batch != NO_ID {
+        out.push_str(&format!(",\"batch\":{}", ev.batch));
+    }
+    match &ev.kind {
+        EventKind::Batch {
+            size,
+            backend,
+            node_visits,
+            model_ms,
+            work_expansion,
+            mask_occupancy,
+        } => {
+            out.push_str(&format!(
+                ",\"size\":{size},\"backend\":\"{}\",\"node_visits\":{node_visits},\
+                 \"model_ms\":{model_ms},\"work_expansion\":{work_expansion},\
+                 \"mask_occupancy\":{mask_occupancy}",
+                backend.name()
+            ));
+        }
+        EventKind::BackendChoice {
+            backend,
+            similarity,
+        } => {
+            out.push_str(&format!(",\"backend\":\"{}\"", backend.name()));
+            if let Some(sim) = similarity {
+                out.push_str(&format!(",\"similarity\":{sim}"));
+            }
+        }
+        EventKind::ShardVisit {
+            shard,
+            round,
+            queries,
+            node_visits,
+        } => {
+            out.push_str(&format!(
+                ",\"shard\":{shard},\"round\":{round},\"queries\":{queries},\
+                 \"node_visits\":{node_visits}"
+            ));
+        }
+        EventKind::Reject { reason } => {
+            out.push_str(&format!(",\"reason\":\"{reason}\""));
+        }
+        EventKind::Submit | EventKind::Enqueue | EventKind::Complete => {}
+    }
+    out.push_str("}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit_at(rec: &TraceRecorder, q: u64, ts: u64) {
+        rec.instant(ts, q, NO_ID, EventKind::Submit);
+    }
+
+    #[test]
+    fn ring_keeps_newest_events_in_order() {
+        let rec = TraceRecorder::new(8);
+        for q in 0..20 {
+            submit_at(&rec, q, q);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), 8);
+        assert_eq!(snap.dropped, 12);
+        // Newest 8, ascending seq, gap-free.
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn wraparound_preserves_per_query_lifecycle_order() {
+        // Interleave two queries' lifecycles through several wraparounds:
+        // each query's surviving events must stay in lifecycle order.
+        let rec = TraceRecorder::new(6);
+        let mut ts = 0u64;
+        for round in 0..5u64 {
+            for q in [0u64, 1] {
+                rec.instant(ts, q + round * 2, NO_ID, EventKind::Submit);
+                ts += 1;
+                rec.instant(ts, q + round * 2, NO_ID, EventKind::Enqueue);
+                ts += 1;
+                rec.span(ts, 3, q + round * 2, NO_ID, EventKind::Complete);
+                ts += 1;
+            }
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), 6);
+        for pair in snap.events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "ring reordered events");
+        }
+        // Per query, the lifecycle ranks (submit < enqueue < complete)
+        // never regress among survivors.
+        let rank = |k: &EventKind| match k {
+            EventKind::Submit => 0,
+            EventKind::Enqueue => 1,
+            EventKind::Complete => 2,
+            _ => unreachable!(),
+        };
+        let queries: std::collections::HashSet<u64> = snap.events.iter().map(|e| e.query).collect();
+        for q in queries {
+            let ranks: Vec<i32> = snap
+                .events
+                .iter()
+                .filter(|e| e.query == q)
+                .map(|e| rank(&e.kind))
+                .collect();
+            assert!(
+                ranks.windows(2).all(|w| w[0] < w[1]),
+                "query {q} lifecycle out of order: {ranks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_zero_disables_recording() {
+        let rec = TraceRecorder::new(0);
+        submit_at(&rec, 0, 0);
+        assert!(rec.is_empty());
+        assert_eq!(rec.snapshot().events.len(), 0);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_nonnegative() {
+        let rec = TraceRecorder::new(64);
+        let q = rec.next_query_id();
+        let b = rec.next_batch_id();
+        rec.instant(5, q, NO_ID, EventKind::Submit);
+        rec.instant(6, q, NO_ID, EventKind::Enqueue);
+        rec.span(
+            10,
+            40,
+            NO_ID,
+            b,
+            EventKind::Batch {
+                size: 32,
+                backend: Backend::Lockstep,
+                node_visits: 1234,
+                model_ms: 0.75,
+                work_expansion: 1.25,
+                mask_occupancy: 0.9,
+            },
+        );
+        rec.instant(
+            50,
+            NO_ID,
+            b,
+            EventKind::BackendChoice {
+                backend: Backend::Lockstep,
+                similarity: Some(0.6),
+            },
+        );
+        rec.span(
+            12,
+            10,
+            NO_ID,
+            b,
+            EventKind::ShardVisit {
+                shard: 2,
+                round: 0,
+                queries: 16,
+                node_visits: 600,
+            },
+        );
+        rec.span(5, 47, q, b, EventKind::Complete);
+        rec.instant(
+            60,
+            99,
+            NO_ID,
+            EventKind::Reject {
+                reason: "bad-query",
+            },
+        );
+
+        let json = rec.snapshot().to_chrome_json();
+        let v: serde::Value = serde_json::from_str(&json).expect("chrome trace parses");
+        let serde::Value::Array(events) = v else {
+            panic!("trace is not a JSON array")
+        };
+        assert_eq!(events.len(), 7);
+        for ev in &events {
+            let serde::Value::Object(fields) = ev else {
+                panic!("event is not an object")
+            };
+            let get = |k: &str| {
+                fields
+                    .iter()
+                    .find(|(name, _)| name == k)
+                    .map(|(_, v)| v.clone())
+            };
+            for key in ["name", "ph", "ts", "pid", "tid", "args"] {
+                assert!(get(key).is_some(), "missing {key}");
+            }
+            let serde::Value::Number(ts) = get("ts").unwrap() else {
+                panic!("ts not a number")
+            };
+            assert!(ts.as_f64() >= 0.0, "negative ts");
+            if let Some(serde::Value::Number(dur)) = get("dur") {
+                assert!(dur.as_f64() >= 0.0, "negative dur");
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_monotonic() {
+        let rec = TraceRecorder::new(4);
+        assert_eq!(rec.next_query_id(), 0);
+        assert_eq!(rec.next_query_id(), 1);
+        assert_eq!(rec.next_batch_id(), 0);
+        assert_eq!(rec.next_batch_id(), 1);
+        assert!(rec.us_of(Instant::now()) < 10_000_000, "epoch sane");
+    }
+}

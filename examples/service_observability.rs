@@ -1,0 +1,94 @@
+//! Observability walkthrough: drive the query service, then export what it
+//! saw — a Chrome trace of every query's lifecycle and a Prometheus text
+//! snapshot of the bounded histogram metrics.
+//!
+//! ```text
+//! cargo run --release --example service_observability
+//! ```
+//!
+//! Load the printed trace file in <https://ui.perfetto.dev> (or
+//! `chrome://tracing`): pid 1 holds one track per batch with the batch
+//! execution spans and per-shard sub-batch spans nested inside; pid 2
+//! holds one track per query, where the gap between the `enqueue` tick and
+//! the covering batch span is exactly the queue wait the histograms report.
+
+use gpu_tree_traversals::service::{
+    Query, QueryKind, Service, ServiceConfig, ShardedIndex, TreeIndex,
+};
+use gpu_tree_traversals::trees::SplitPolicy;
+use gts_points::gen::geocity_like;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let pts = geocity_like(8_000, 20130901);
+    let service = Service::start(ServiceConfig {
+        batch_queries: 64,
+        max_wait: Duration::from_millis(1),
+        trace_capacity: 16_384,
+        ..ServiceConfig::default()
+    });
+    let id = service.register_index(Arc::new(ShardedIndex::build(
+        "cities",
+        &pts,
+        4,
+        8,
+        SplitPolicy::MidpointWidest,
+    )) as Arc<dyn TreeIndex>);
+
+    // A burst of clustered queries: enough to fill several warp-multiple
+    // batches and exercise every event kind.
+    let tickets: Vec<_> = pts
+        .iter()
+        .take(512)
+        .map(|p| {
+            service
+                .submit(Query {
+                    index: id,
+                    pos: p.0.to_vec(),
+                    kind: QueryKind::Knn { k: 4 },
+                })
+                .expect("valid query")
+        })
+        .collect();
+    let (snapshot, trace) = service.shutdown_with_trace();
+    for t in &tickets {
+        t.wait().expect("query succeeds");
+    }
+
+    // The trace and the metrics describe the same run: one batch span per
+    // dispatched batch.
+    assert_eq!(trace.batch_spans() as u64, snapshot.batches);
+    assert_eq!(trace.complete_spans(), tickets.len());
+    assert!(trace.shard_visit_spans() > 0, "sharded runs emit sub-spans");
+
+    let dir = std::env::temp_dir();
+    let trace_path = dir.join("gts_service_trace.json");
+    let prom_path = dir.join("gts_service_metrics.prom");
+    std::fs::write(&trace_path, trace.to_chrome_json()).expect("write trace");
+    std::fs::write(&prom_path, snapshot.to_prometheus()).expect("write metrics");
+
+    println!(
+        "{} queries → {} batches, {} trace events ({} dropped)",
+        snapshot.completed,
+        snapshot.batches,
+        trace.events.len(),
+        trace.dropped
+    );
+    println!(
+        "latency p50 {:.2} ms / p99 {:.2} ms / p99.9 {:.2} ms / max {:.2} ms",
+        snapshot.latency_p50_ms,
+        snapshot.latency_p99_ms,
+        snapshot.latency_p999_ms,
+        snapshot.latency_max_ms
+    );
+    println!(
+        "mean mask occupancy {:.2}, mean work expansion {:.2}",
+        snapshot.mean_mask_occupancy, snapshot.mean_work_expansion
+    );
+    println!(
+        "trace  : {} (open in https://ui.perfetto.dev)",
+        trace_path.display()
+    );
+    println!("metrics: {}", prom_path.display());
+}

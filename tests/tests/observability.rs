@@ -1,0 +1,173 @@
+//! End-to-end observability invariants: the trace ring and histogram
+//! metrics stay bounded under sustained load, and the exports the harness
+//! writes (`--trace-file`/`--metrics-file`) describe the same run the
+//! metrics snapshot does.
+
+use gts_points::gen::uniform;
+use gts_service::{
+    EventKind, KdIndex, Metrics, Query, QueryKind, Service, ServiceConfig, TreeIndex,
+};
+use gts_trees::SplitPolicy;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_service(trace_capacity: usize) -> (Service, usize) {
+    let service = Service::start(ServiceConfig {
+        batch_queries: 32,
+        max_wait: Duration::from_millis(1),
+        workers: 2,
+        trace_capacity,
+        ..ServiceConfig::default()
+    });
+    let pts = uniform::<3>(256, 11);
+    let id = service.register_index(
+        Arc::new(KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle)) as Arc<dyn TreeIndex>,
+    );
+    (service, id)
+}
+
+fn drive(service: &Service, index: usize, n: usize) {
+    let tickets: Vec<_> = (0..n)
+        .map(|i| {
+            let f = (i % 97) as f32 / 97.0;
+            service
+                .submit(Query {
+                    index,
+                    pos: vec![f, 1.0 - f, 0.5],
+                    kind: QueryKind::Nn,
+                })
+                .expect("valid query")
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("query succeeds");
+    }
+}
+
+#[test]
+fn sustained_load_keeps_trace_and_metrics_bounded() {
+    // Far more lifecycle events than the ring holds: memory must stay at
+    // the configured capacity, with wraparound keeping the newest events
+    // in order.
+    let cap = 128;
+    let (service, id) = small_service(cap);
+    drive(&service, id, 600);
+    let (snapshot, trace) = service.shutdown_with_trace();
+    assert_eq!(snapshot.completed, 600);
+    assert_eq!(trace.events.len(), cap, "ring grew past capacity");
+    assert!(trace.dropped > 0, "expected wraparound under this load");
+    for pair in trace.events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "ring reordered events");
+    }
+    // Histogram snapshots are bounded by the fixed bucket count no matter
+    // the sample count.
+    for hist in [
+        &snapshot.latency_hist,
+        &snapshot.queue_wait_hist,
+        &snapshot.model_ms_hist,
+        &snapshot.node_visits_hist,
+    ] {
+        assert!(hist.buckets.len() <= gts_service::hist::N_BUCKETS);
+    }
+    // And the registry itself reports a load-independent footprint.
+    let m = Metrics::default();
+    let before = m.approx_bytes();
+    for _ in 0..5_000 {
+        m.on_complete(Duration::from_micros(123));
+    }
+    assert_eq!(m.approx_bytes(), before);
+}
+
+#[test]
+fn trace_spans_match_metrics_and_chrome_json_round_trips() {
+    // Capacity covers the whole run: every dispatched batch must appear
+    // as exactly one batch span, every query as one completion span.
+    let (service, id) = small_service(16_384);
+    drive(&service, id, 300);
+    let (snapshot, trace) = service.shutdown_with_trace();
+    assert_eq!(trace.dropped, 0);
+    assert_eq!(trace.batch_spans() as u64, snapshot.batches);
+    assert_eq!(trace.complete_spans() as u64, snapshot.completed);
+    let submits = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Submit))
+        .count();
+    assert_eq!(submits as u64, snapshot.submitted);
+
+    // The Chrome export round-trips through serde_json and every span is
+    // temporally sane.
+    let json = trace.to_chrome_json();
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("trace JSON parses");
+    let serde_json::Value::Array(events) = parsed else {
+        panic!("trace is not a JSON array")
+    };
+    assert_eq!(events.len(), trace.events.len());
+    for ev in &events {
+        let serde_json::Value::Object(fields) = ev else {
+            panic!("event is not an object")
+        };
+        let num = |k: &str| -> Option<f64> {
+            fields
+                .iter()
+                .find(|(name, _)| name == k)
+                .and_then(|(_, v)| {
+                    if let serde_json::Value::Number(n) = v {
+                        Some(n.as_f64())
+                    } else {
+                        None
+                    }
+                })
+        };
+        let ts = num("ts").expect("every event has ts");
+        assert!(ts >= 0.0, "negative ts");
+        if let Some(dur) = num("dur") {
+            assert!(dur >= 0.0, "negative dur");
+        }
+    }
+}
+
+#[test]
+fn per_query_lifecycle_stays_ordered_in_service_trace() {
+    let (service, id) = small_service(16_384);
+    drive(&service, id, 128);
+    let (_, trace) = service.shutdown_with_trace();
+    // For every query id: submit, then enqueue, then complete — in seq
+    // order, exactly once each (no rejects in this run).
+    let rank = |k: &EventKind| match k {
+        EventKind::Submit => Some(0),
+        EventKind::Enqueue => Some(1),
+        EventKind::Complete => Some(2),
+        _ => None,
+    };
+    let mut per_query: std::collections::BTreeMap<u64, Vec<i32>> = Default::default();
+    for e in &trace.events {
+        if let Some(r) = rank(&e.kind) {
+            per_query.entry(e.query).or_default().push(r);
+        }
+    }
+    assert_eq!(per_query.len(), 128);
+    for (q, ranks) in per_query {
+        assert_eq!(ranks, vec![0, 1, 2], "query {q} lifecycle broken");
+    }
+}
+
+#[test]
+fn rejected_queries_leave_reject_events() {
+    let (service, _) = small_service(1024);
+    let err = service
+        .submit(Query {
+            index: 99,
+            pos: vec![0.0, 0.0, 0.0],
+            kind: QueryKind::Nn,
+        })
+        .expect_err("unknown index");
+    assert!(matches!(err, gts_service::ServiceError::UnknownIndex(99)));
+    let trace = service.trace();
+    assert!(trace
+        .events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::Reject { reason } if reason == "unknown-index")));
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.rejected, 1);
+}
