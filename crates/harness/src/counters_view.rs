@@ -38,6 +38,10 @@ pub fn render_service(s: &MetricsSnapshot) -> String {
         s.node_visits, s.shards_pruned
     ));
     out.push_str(&format!(
+        " profile cache     {:>12}   {} hits / {} misses / {} evictions\n",
+        "", s.profile_cache_hits, s.profile_cache_misses, s.profile_cache_evictions
+    ));
+    out.push_str(&format!(
         " modeled time      {:>12.3} ms total\n",
         s.model_ms
     ));
@@ -180,6 +184,7 @@ mod tests {
         let m = Metrics::default();
         m.on_submit();
         m.on_batch(&BatchRecord {
+            index: "demo".to_string(),
             size: 1,
             backend: Backend::Lockstep,
             node_visits: 42,
@@ -188,12 +193,16 @@ mod tests {
             mask_occupancy: 0.75,
             shards_pruned: 2,
             queue_wait: Duration::from_millis(1),
+            profile_cache_hits: 3,
+            profile_cache_misses: 1,
+            profile_cache_evictions: 0,
         });
-        m.on_complete(Duration::from_millis(3));
+        m.on_complete("demo", Duration::from_millis(3));
         let text = render_service(&m.snapshot());
         assert!(text.contains("1 lockstep / 0 autoropes / 0 cpu"), "{text}");
         assert!(text.contains("p99.9"), "{text}");
         assert!(text.contains("mask occupancy"), "{text}");
         assert!(text.contains("2 (query, shard) fan-outs pruned"), "{text}");
+        assert!(text.contains("3 hits / 1 misses / 0 evictions"), "{text}");
     }
 }

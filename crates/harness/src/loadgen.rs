@@ -16,11 +16,18 @@
 //! an observability summary in `BENCH_obs.json` (`--obs-out`); pass
 //! `--trace-file`/`--metrics-file` to also dump the batched phase's
 //! Chrome trace-event JSON and Prometheus text metrics.
+//!
+//! Sharded runs (`--shards N`, N > 1) add a third phase: the same batch
+//! stream is replayed directly against the sharded indices twice — once
+//! with the sequential round-by-round dispatcher and the profile cache off
+//! (the pre-parallelism baseline), once with `--shard-threads` sub-batch
+//! workers and cached sortedness profiles — and the per-batch wall-time
+//! percentiles land in `BENCH_parallel.json`.
 
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
-    Backend, ExecPolicy, KdIndex, MetricsSnapshot, Query, QueryKind, Service, ServiceConfig,
-    ShardedIndex, TreeIndex,
+    percentile, Backend, ExecPolicy, KdIndex, MetricsSnapshot, OpKey, Query, QueryKind, Service,
+    ServiceConfig, ShardedIndex, TreeIndex,
 };
 use gts_trees::{PointN, SplitPolicy};
 use rand::{Rng, SeedableRng};
@@ -46,6 +53,9 @@ pub struct LoadgenConfig {
     /// Shards per index (1 = flat [`KdIndex`]; >1 registers
     /// Morton-partitioned [`ShardedIndex`] wrappers instead).
     pub shards: usize,
+    /// Sub-batch threads for the parallel sharded phase (0 = auto:
+    /// `min(shards, available_parallelism)`). Ignored when `shards <= 1`.
+    pub shard_threads: usize,
     /// Output JSON path.
     pub out: String,
     /// Skip the (slow) one-query-at-a-time baseline.
@@ -67,6 +77,7 @@ impl Default for LoadgenConfig {
             workers: 2,
             batch: 256,
             shards: 1,
+            shard_threads: 0,
             out: "BENCH_service.json".into(),
             skip_single: false,
             trace_file: None,
@@ -123,6 +134,44 @@ pub struct BenchReport {
     pub latency_max_ms: f64,
     /// Longest submit-to-dispatch wait, ms.
     pub queue_wait_max_ms: f64,
+}
+
+/// Sequential-vs-parallel sharded dispatch comparison
+/// (`BENCH_parallel.json`): the same seeded batch stream replayed against
+/// the same sharded indices under both execution paths. Results are
+/// checked bit-identical between the paths before the report is built.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelBenchReport {
+    /// Shards per index.
+    pub shards: u64,
+    /// Resolved sub-batch threads of the parallel phase.
+    pub shard_threads: u64,
+    /// Batches replayed per phase.
+    pub batches: u64,
+    /// p50 per-batch wall ms (best of interleaved reps), sequential
+    /// dispatcher + cold profiler.
+    pub sequential_p50_ms: f64,
+    /// p99 per-batch wall ms, sequential dispatcher.
+    pub sequential_p99_ms: f64,
+    /// Sum of the kept per-batch times, sequential dispatcher.
+    pub sequential_wall_ms: f64,
+    /// p50 per-batch wall ms (best of interleaved reps), parallel waves
+    /// + profile cache.
+    pub parallel_p50_ms: f64,
+    /// p99 per-batch wall ms, parallel waves.
+    pub parallel_p99_ms: f64,
+    /// Sum of the kept per-batch times, parallel waves.
+    pub parallel_wall_ms: f64,
+    /// `sequential_p50_ms / parallel_p50_ms`.
+    pub p50_speedup: f64,
+    /// Sub-batches served from cached sortedness profiles.
+    pub profile_cache_hits: u64,
+    /// Cache consultations that re-ran the profiler.
+    pub profile_cache_misses: u64,
+    /// Cache entries dropped (TTL expiry or capacity).
+    pub profile_cache_evictions: u64,
+    /// `hits / (hits + misses)` of the parallel phase.
+    pub profile_cache_hit_rate: f64,
 }
 
 /// Observability summary of one loadgen run (`BENCH_obs.json`): how the
@@ -222,8 +271,16 @@ fn bbox_diag(points: &[Vec<f32>]) -> f32 {
 }
 
 /// Run the loadgen and return (human report, machine report,
-/// observability artifacts).
-pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport, ObsArtifacts) {
+/// observability artifacts, sequential-vs-parallel comparison). The last
+/// element is `Some` only for sharded runs (`shards > 1`).
+pub fn run(
+    cfg: &LoadgenConfig,
+) -> (
+    String,
+    BenchReport,
+    ObsArtifacts,
+    Option<ParallelBenchReport>,
+) {
     // Two indices of different dimension and split policy.
     let pts3: Vec<PointN<3>> = uniform::<3>(cfg.points, cfg.seed);
     let pts2: Vec<PointN<2>> = geocity_like(cfg.points, cfg.seed + 1);
@@ -318,6 +375,99 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport, ObsArtifacts) {
             })
             .sum()
     };
+
+    // Sequential-vs-parallel sharded dispatch: replay the same batch
+    // stream directly against the indices under both execution paths.
+    // The sequential pass pins one sub-batch thread and disables the
+    // profile cache — exactly the pre-parallelism dispatcher — while the
+    // parallel pass uses `shard_threads` workers and cached profiles.
+    let parallel = (cfg.shards > 1).then(|| {
+        // Group the request stream by (index, op) the way the batcher
+        // coalesces, then chunk each group to the batch-size target.
+        type OpGroup = ((usize, OpKey), Vec<Vec<f32>>);
+        let mut groups: Vec<OpGroup> = Vec::new();
+        for r in &requests {
+            let key = (r.index, r.kind.op_key().expect("valid kinds"));
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(r.pos.clone()),
+                None => groups.push((key, vec![r.pos.clone()])),
+            }
+        }
+        let batches: Vec<(usize, OpKey, &[Vec<f32>])> = groups
+            .iter()
+            .flat_map(|((idx, op), pos)| pos.chunks(cfg.batch).map(|c| (*idx, *op, c)))
+            .collect();
+
+        let seq_policy = ExecPolicy {
+            shard_parallelism: 1,
+            profile_cache: false,
+            ..ExecPolicy::default()
+        };
+        let par_policy = ExecPolicy {
+            shard_parallelism: cfg.shard_threads,
+            profile_cache: true,
+            ..ExecPolicy::default()
+        };
+        // Interleave the two dispatchers per batch and keep each mode's
+        // fastest of REPS runs: back-to-back whole-stream passes drift on
+        // a shared box, and one scheduler hiccup in either pass would
+        // swamp the profiling saving under measurement. Every rep pair is
+        // also checked for result equality.
+        const REPS: usize = 3;
+        let mut seq_ms = Vec::with_capacity(batches.len());
+        let mut par_ms = Vec::with_capacity(batches.len());
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        for (idx, op, pos) in &batches {
+            let (mut seq_best, mut par_best) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let s = indices[*idx].run_batch(*op, pos, &seq_policy);
+                let s_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let t0 = Instant::now();
+                let p = indices[*idx].run_batch(*op, pos, &par_policy);
+                let p_ms = t0.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    s.results, p.results,
+                    "parallel sharded dispatch diverged from sequential"
+                );
+                seq_best = seq_best.min(s_ms);
+                par_best = par_best.min(p_ms);
+                hits += p.profile_cache_hits;
+                misses += p.profile_cache_misses;
+                evictions += p.profile_cache_evictions;
+            }
+            seq_ms.push(seq_best);
+            par_ms.push(par_best);
+        }
+        let seq_wall: f64 = seq_ms.iter().sum();
+        let par_wall: f64 = par_ms.iter().sum();
+        let seq_p50 = percentile(&seq_ms, 50.0);
+        let par_p50 = percentile(&par_ms, 50.0);
+        ParallelBenchReport {
+            shards: cfg.shards as u64,
+            shard_threads: par_policy.shard_threads(cfg.shards) as u64,
+            batches: batches.len() as u64,
+            sequential_p50_ms: seq_p50,
+            sequential_p99_ms: percentile(&seq_ms, 99.0),
+            sequential_wall_ms: seq_wall,
+            parallel_p50_ms: par_p50,
+            parallel_p99_ms: percentile(&par_ms, 99.0),
+            parallel_wall_ms: par_wall,
+            p50_speedup: if par_p50 > 0.0 {
+                seq_p50 / par_p50
+            } else {
+                0.0
+            },
+            profile_cache_hits: hits,
+            profile_cache_misses: misses,
+            profile_cache_evictions: evictions,
+            profile_cache_hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+        }
+    });
 
     let batched_qps = cfg.queries as f64 / (snapshot.model_ms / 1e3);
     let single_qps = if single_model_ms > 0.0 {
@@ -422,7 +572,20 @@ pub fn run(cfg: &LoadgenConfig) -> (String, BenchReport, ObsArtifacts) {
             cfg.shards, snapshot.shards_pruned
         ));
     }
-    (text, report, artifacts)
+    if let Some(p) = &parallel {
+        text.push_str(&format!(
+            "  dispatch: sequential p50 {:.3} ms vs parallel p50 {:.3} ms ({:.2}x, {} threads, {} batches)\n",
+            p.sequential_p50_ms, p.parallel_p50_ms, p.p50_speedup, p.shard_threads, p.batches
+        ));
+        text.push_str(&format!(
+            "  profile cache: {} hits / {} misses / {} evictions ({:.0}% hit rate)\n",
+            p.profile_cache_hits,
+            p.profile_cache_misses,
+            p.profile_cache_evictions,
+            100.0 * p.profile_cache_hit_rate
+        ));
+    }
+    (text, report, artifacts, parallel)
 }
 
 /// CLI entry: parse `args` (everything after the subcommand) and run.
@@ -432,8 +595,8 @@ pub fn main_loadgen(args: &[String]) {
     let usage = || -> ! {
         eprintln!(
             "usage: gts-harness loadgen [--queries N] [--points N] [--seed N] \
-             [--workers N] [--batch N] [--shards N] [--out PATH] [--skip-single] \
-             [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH]"
+             [--workers N] [--batch N] [--shards N] [--shard-threads N] [--out PATH] \
+             [--skip-single] [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH]"
         );
         std::process::exit(2)
     };
@@ -469,6 +632,10 @@ pub fn main_loadgen(args: &[String]) {
                 cfg.shards = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--shard-threads" => {
+                cfg.shard_threads = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             "--out" => {
                 cfg.out = need(i).to_string();
                 out_given = true;
@@ -499,12 +666,17 @@ pub fn main_loadgen(args: &[String]) {
         cfg.out = "BENCH_sharded.json".into();
     }
 
-    let (text, report, artifacts) = run(&cfg);
+    let (text, report, artifacts, parallel) = run(&cfg);
     print!("{text}");
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     let mut f = std::fs::File::create(&cfg.out).expect("create bench json");
     f.write_all(json.as_bytes()).expect("write bench json");
     eprintln!("wrote {}", cfg.out);
+    if let Some(p) = &parallel {
+        let json = serde_json::to_string_pretty(p).expect("serialize parallel report");
+        std::fs::write("BENCH_parallel.json", json).expect("write parallel json");
+        eprintln!("wrote BENCH_parallel.json");
+    }
     let obs_json = serde_json::to_string_pretty(&artifacts.obs).expect("serialize obs report");
     std::fs::write(&cfg.obs_out, obs_json).expect("write obs json");
     eprintln!("wrote {}", cfg.obs_out);
@@ -531,8 +703,9 @@ mod tests {
             workers: 2,
             ..LoadgenConfig::default()
         };
-        let (_, a, obs_a) = run(&cfg);
-        let (_, b, _) = run(&cfg);
+        let (_, a, obs_a, par) = run(&cfg);
+        let (_, b, _, _) = run(&cfg);
+        assert!(par.is_none(), "flat runs have no parallel comparison");
         // Modeled numbers are reproducible under a fixed seed.
         assert_eq!(a.batched_model_ms, b.batched_model_ms);
         assert_eq!(a.single_model_ms, b.single_model_ms);
@@ -557,22 +730,28 @@ mod tests {
         let parsed: serde::Value =
             serde_json::from_str(&obs_a.trace_json).expect("trace JSON parses");
         assert!(matches!(parsed, serde::Value::Array(_)));
-        assert_eq!(obs_a.prometheus.matches("le=\"+Inf\"").count(), 6);
+        // 6 aggregate histograms plus 2 labeled per-index histograms for
+        // each of the 2 registered indices.
+        assert_eq!(obs_a.prometheus.matches("le=\"+Inf\"").count(), 10);
     }
 
     #[test]
     fn sharded_loadgen_is_deterministic_and_prunes() {
+        // One worker: concurrent workers racing on the shared profile
+        // caches would make backend choices — and thus modeled totals —
+        // run-to-run dependent.
         let cfg = LoadgenConfig {
             queries: 256,
             points: 512,
             batch: 64,
-            workers: 2,
+            workers: 1,
             shards: 4,
+            shard_threads: 2,
             skip_single: true,
             ..LoadgenConfig::default()
         };
-        let (_, a, obs) = run(&cfg);
-        let (_, b, _) = run(&cfg);
+        let (_, a, obs, par_a) = run(&cfg);
+        let (_, b, _, _) = run(&cfg);
         assert_eq!(a.batched_model_ms, b.batched_model_ms);
         assert_eq!(a.shards_pruned, b.shards_pruned);
         assert_eq!(a.shards, 4);
@@ -580,7 +759,17 @@ mod tests {
         // bounds must rule out distant shards at least sometimes.
         assert!(a.shards_pruned > 0, "no fan-outs pruned");
         // Sharded batches fan sub-batches out, so the trace carries
-        // per-shard visit spans nested under the batch spans.
+        // per-shard visit spans on their own tracks.
         assert!(obs.obs.trace_shard_visit_spans > 0, "no shard spans");
+        // The comparison phase ran, replayed every query, and verified
+        // result equality internally (replay asserts on divergence).
+        let p = par_a.expect("sharded runs produce a parallel comparison");
+        assert_eq!(p.shards, 4);
+        assert_eq!(p.shard_threads, 2);
+        assert!(p.batches > 0);
+        assert!(
+            p.profile_cache_hits + p.profile_cache_misses > 0,
+            "parallel phase never consulted the profile cache"
+        );
     }
 }

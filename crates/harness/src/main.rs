@@ -12,9 +12,10 @@
 //!   --csv DIR        write Figure 10/11 panels as CSV files into DIR
 //!
 //! gts-harness loadgen [--queries N] [--points N] [--seed N] [--workers N]
-//!                     [--batch N] [--shards N] [--out PATH] [--skip-single]
-//!                     [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH]
-//! gts-harness serve   [--points N] [--seed N] [--shards N]
+//!                     [--batch N] [--shards N] [--shard-threads N] [--out PATH]
+//!                     [--skip-single] [--trace-file PATH] [--metrics-file PATH]
+//!                     [--obs-out PATH]
+//! gts-harness serve   [--points N] [--seed N] [--shards N] [--shard-threads N]
 //!                     [--metrics-file PATH] [--trace-file PATH]
 //! ```
 

@@ -15,11 +15,14 @@
 //! `--metrics-file PATH` keeps a Prometheus text snapshot refreshed every
 //! second while serving (point a scraper or `watch cat` at it);
 //! `--trace-file PATH` dumps the lifecycle trace as Chrome trace-event
-//! JSON at shutdown for Perfetto.
+//! JSON at shutdown for Perfetto. With `--shards N` (N > 1),
+//! `--shard-threads N` sets how many sub-batch workers each sharded batch
+//! may fan out on (0 = auto).
 
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
-    KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, ShardedIndex, TreeIndex,
+    ExecPolicy, KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, ShardedIndex,
+    TreeIndex,
 };
 use gts_trees::SplitPolicy;
 use std::io::BufRead as _;
@@ -90,12 +93,13 @@ pub fn main_serve(args: &[String]) {
     let mut points = 4096usize;
     let mut seed = 20130901u64;
     let mut shards = 1usize;
+    let mut shard_threads = 0usize;
     let mut metrics_file: Option<String> = None;
     let mut trace_file: Option<String> = None;
     let usage = || -> ! {
         eprintln!(
             "usage: gts-harness serve [--points N] [--seed N] [--shards N] \
-             [--metrics-file PATH] [--trace-file PATH]"
+             [--shard-threads N] [--metrics-file PATH] [--trace-file PATH]"
         );
         std::process::exit(2)
     };
@@ -119,6 +123,10 @@ pub fn main_serve(args: &[String]) {
                 shards = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--shard-threads" => {
+                shard_threads = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             "--metrics-file" => {
                 metrics_file = Some(need(i).to_string());
                 i += 2;
@@ -134,6 +142,10 @@ pub fn main_serve(args: &[String]) {
     let service = Service::start(ServiceConfig {
         // Interactive trickle: flush fast rather than waiting for a warp.
         max_wait: Duration::from_millis(1),
+        policy: ExecPolicy {
+            shard_parallelism: shard_threads,
+            ..ExecPolicy::default()
+        },
         ..ServiceConfig::default()
     });
     let pts3 = uniform::<3>(points, seed);

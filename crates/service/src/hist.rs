@@ -217,17 +217,38 @@ impl HistogramSnapshot {
     /// lines over the non-empty buckets, then `+Inf`, `_sum`, `_count`.
     pub fn to_prometheus(&self, name: &str, out: &mut String) {
         out.push_str(&format!("# TYPE {name} histogram\n"));
+        self.to_prometheus_labeled(name, "", out);
+    }
+
+    /// Like [`HistogramSnapshot::to_prometheus`] but without the `# TYPE`
+    /// header and with `labels` (e.g. `index="cities"`) merged into every
+    /// series — the caller writes one header per family, then one labeled
+    /// series per label set.
+    pub fn to_prometheus_labeled(&self, name: &str, labels: &str, out: &mut String) {
+        let sep = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{labels},")
+        };
+        let braced = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
         let mut cum = 0u64;
         for &(i, c) in &self.buckets {
             cum += c;
             out.push_str(&format!(
-                "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                "{name}_bucket{{{sep}le=\"{}\"}} {cum}\n",
                 bucket_hi(i as usize)
             ));
         }
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", self.count));
-        out.push_str(&format!("{name}_sum {}\n", self.sum));
-        out.push_str(&format!("{name}_count {}\n", self.count));
+        out.push_str(&format!(
+            "{name}_bucket{{{sep}le=\"+Inf\"}} {}\n",
+            self.count
+        ));
+        out.push_str(&format!("{name}_sum{braced} {}\n", self.sum));
+        out.push_str(&format!("{name}_count{braced} {}\n", self.count));
     }
 }
 
@@ -342,6 +363,14 @@ mod tests {
             .rfind(|l| l.contains("le=") && !l.contains("+Inf"))
             .unwrap();
         assert!(last_bucket.ends_with(" 3"), "{last_bucket}");
+        // Labeled rendering: same numbers, labels merged before `le`, no
+        // extra TYPE header.
+        let mut labeled = String::new();
+        h.snapshot()
+            .to_prometheus_labeled("gts_test_ms", r#"index="a""#, &mut labeled);
+        assert!(!labeled.contains("# TYPE"));
+        assert!(labeled.contains(r#"gts_test_ms_bucket{index="a",le="+Inf"} 3"#));
+        assert!(labeled.contains(r#"gts_test_ms_count{index="a"} 3"#));
     }
 
     proptest! {

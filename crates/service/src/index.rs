@@ -11,7 +11,9 @@ use crate::query::{OpKey, QueryResult};
 use gts_apps::knn::{KnnKernel, KnnPoint};
 use gts_apps::nn::{NnKernel, NnPoint};
 use gts_apps::pc::{PcKernel, PcPoint};
-use gts_points::profile::profile_sortedness;
+use gts_points::profile::{
+    profile_sortedness, profile_sortedness_cached, CacheOutcome, ProfileCache,
+};
 use gts_points::sort::{apply_perm, morton_order};
 use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
 use gts_runtime::{cpu, TraversalKernel};
@@ -43,6 +45,13 @@ pub struct BatchOutcome {
     pub mask_occupancy: f64,
     /// Per-shard sub-batch statistics (empty for flat indices).
     pub shard_visits: Vec<ShardVisit>,
+    /// Sub-batches whose §4.4 decision came from a [`ProfileCache`]
+    /// (always 0 for flat indices, which profile every batch).
+    pub profile_cache_hits: u64,
+    /// Cache consultations that fell through to a fresh profiler run.
+    pub profile_cache_misses: u64,
+    /// Cache entries dropped (TTL expiry or capacity) during this batch.
+    pub profile_cache_evictions: u64,
 }
 
 /// One shard's sub-batch inside a sharded batch execution — the unit the
@@ -63,6 +72,20 @@ pub struct ShardVisit {
     pub offset_us: u64,
     /// Wall duration of the sub-batch, microseconds.
     pub dur_us: u64,
+}
+
+/// A profile-cache consultation context: where to memoize this batch's
+/// §4.4 decision, under which key, at which epoch. Owned by the caller
+/// (the sharded index keeps one cache per shard and a batch counter for
+/// the epoch); [`KdIndex::run_batch_profiled`] only consults it.
+pub struct ProfileCtx<'a> {
+    /// The memo table (shared across worker threads).
+    pub cache: &'a ProfileCache,
+    /// [`gts_points::profile::profile_key`] hash identifying sub-batches
+    /// whose profiling decision is interchangeable.
+    pub key: u64,
+    /// The owner's batch counter, advancing the cache's TTL clock.
+    pub epoch: u64,
 }
 
 /// A queryable index the service can dispatch batches to.
@@ -123,6 +146,50 @@ impl<const D: usize> KdIndex<D> {
             self.tree.perm[idx as usize]
         }
     }
+
+    /// [`TreeIndex::run_batch`] with an optional [`ProfileCtx`]: when one
+    /// is supplied and the policy would profile, the §4.4 decision is
+    /// looked up in (and memoized into) the caller's cache instead of
+    /// sampled fresh every time. Results are identical either way — the
+    /// cache only skips the sampling, never changes what a fresh run
+    /// would have decided at insertion time.
+    pub fn run_batch_profiled(
+        &self,
+        op: OpKey,
+        positions: &[Vec<f32>],
+        policy: &ExecPolicy,
+        profile: Option<&ProfileCtx<'_>>,
+    ) -> BatchOutcome {
+        let pts: Vec<PointN<D>> = positions.iter().map(|p| self.to_point(p)).collect();
+        match op {
+            OpKey::Nn => {
+                let kernel = NnKernel::new(&self.tree);
+                let make = |p: PointN<D>| NnPoint::new(p);
+                let conv = |r: &NnPoint<D>| QueryResult::Nn {
+                    dist2: r.best_d2,
+                    id: self.original_id(r.best_idx),
+                };
+                execute(&kernel, &pts, policy, profile, make, conv)
+            }
+            OpKey::Knn(k) => {
+                // KBest panics on k == 0 (the batch key already excludes
+                // it); k > n is fine — the set just never fills.
+                let kernel = KnnKernel::new(&self.tree);
+                let make = |p: PointN<D>| KnnPoint::new(p, k);
+                let conv = |r: &KnnPoint<D>| QueryResult::Knn {
+                    dist2: r.best.distances().to_vec(),
+                    ids: r.best.ids().iter().map(|&i| self.original_id(i)).collect(),
+                };
+                execute(&kernel, &pts, policy, profile, make, conv)
+            }
+            OpKey::Pc(radius_bits) => {
+                let kernel = PcKernel::new(&self.tree, f32::from_bits(radius_bits));
+                let make = |p: PointN<D>| PcPoint::new(p);
+                let conv = |r: &PcPoint<D>| QueryResult::Pc { count: r.count };
+                execute(&kernel, &pts, policy, profile, make, conv)
+            }
+        }
+    }
 }
 
 impl<const D: usize> TreeIndex for KdIndex<D> {
@@ -139,43 +206,17 @@ impl<const D: usize> TreeIndex for KdIndex<D> {
     }
 
     fn run_batch(&self, op: OpKey, positions: &[Vec<f32>], policy: &ExecPolicy) -> BatchOutcome {
-        let pts: Vec<PointN<D>> = positions.iter().map(|p| self.to_point(p)).collect();
-        match op {
-            OpKey::Nn => {
-                let kernel = NnKernel::new(&self.tree);
-                let make = |p: PointN<D>| NnPoint::new(p);
-                let conv = |r: &NnPoint<D>| QueryResult::Nn {
-                    dist2: r.best_d2,
-                    id: self.original_id(r.best_idx),
-                };
-                execute(&kernel, &pts, policy, make, conv)
-            }
-            OpKey::Knn(k) => {
-                // KBest panics on k == 0 (the batch key already excludes
-                // it); k > n is fine — the set just never fills.
-                let kernel = KnnKernel::new(&self.tree);
-                let make = |p: PointN<D>| KnnPoint::new(p, k);
-                let conv = |r: &KnnPoint<D>| QueryResult::Knn {
-                    dist2: r.best.distances().to_vec(),
-                    ids: r.best.ids().iter().map(|&i| self.original_id(i)).collect(),
-                };
-                execute(&kernel, &pts, policy, make, conv)
-            }
-            OpKey::Pc(radius_bits) => {
-                let kernel = PcKernel::new(&self.tree, f32::from_bits(radius_bits));
-                let make = |p: PointN<D>| PcPoint::new(p);
-                let conv = |r: &PcPoint<D>| QueryResult::Pc { count: r.count };
-                execute(&kernel, &pts, policy, make, conv)
-            }
-        }
+        self.run_batch_profiled(op, positions, policy, None)
     }
 }
 
-/// Shared execution path: sort → profile → run → un-sort.
+/// Shared execution path: sort → profile (optionally through the caller's
+/// cache) → run → un-sort.
 fn execute<const D: usize, K, M, C>(
     kernel: &K,
     pts: &[PointN<D>],
     policy: &ExecPolicy,
+    profile: Option<&ProfileCtx<'_>>,
     make: M,
     conv: C,
 ) -> BatchOutcome
@@ -198,19 +239,39 @@ where
     };
 
     // §4.4 step 2: sample neighboring traversals; lockstep only when they
-    // overlap enough to amortize the per-warp rope stack.
+    // overlap enough to amortize the per-warp rope stack. A `ProfileCtx`
+    // memoizes the decision under the caller's key so steady-state
+    // sub-batches skip the sampling.
     let mut mean_similarity = None;
+    let mut cache_outcome: Option<CacheOutcome> = None;
     let backend = match policy.force {
         Some(b) => b,
         None if n < 2 => Backend::Autoropes,
         None => {
-            let report = profile_sortedness(
-                n,
-                policy.profile_pairs,
-                policy.threshold,
-                policy.profile_seed,
-                |i| cpu::trace_one(kernel, &mut work[i].clone()),
-            );
+            let trace = |i: usize| cpu::trace_one(kernel, &mut work[i].clone());
+            let report = match profile {
+                Some(ctx) => {
+                    let (report, outcome) = profile_sortedness_cached(
+                        ctx.cache,
+                        ctx.key,
+                        ctx.epoch,
+                        n,
+                        policy.profile_pairs,
+                        policy.threshold,
+                        policy.profile_seed,
+                        trace,
+                    );
+                    cache_outcome = Some(outcome);
+                    report
+                }
+                None => profile_sortedness(
+                    n,
+                    policy.profile_pairs,
+                    policy.threshold,
+                    policy.profile_seed,
+                    trace,
+                ),
+            };
             mean_similarity = Some(report.mean_similarity);
             if report.use_lockstep {
                 Backend::Lockstep
@@ -288,6 +349,9 @@ where
         shards_pruned: 0,
         mask_occupancy,
         shard_visits: Vec::new(),
+        profile_cache_hits: cache_outcome.map_or(0, |o| u64::from(o.hit)),
+        profile_cache_misses: cache_outcome.map_or(0, |o| u64::from(!o.hit)),
+        profile_cache_evictions: cache_outcome.map_or(0, |o| o.evictions),
     }
 }
 

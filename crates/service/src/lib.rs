@@ -56,10 +56,10 @@ pub mod trace;
 
 pub use batcher::{BatchEntry, Batcher, ReadyBatch, WARP};
 pub use hist::{Histogram, HistogramSnapshot};
-pub use index::{BatchOutcome, KdIndex, ShardVisit, TreeIndex};
-pub use metrics::{percentile, BatchRecord, Metrics, MetricsSnapshot};
+pub use index::{BatchOutcome, KdIndex, ProfileCtx, ShardVisit, TreeIndex};
+pub use metrics::{percentile, BatchRecord, IndexMetricsSnapshot, Metrics, MetricsSnapshot};
 pub use policy::{Backend, ExecPolicy};
 pub use query::{BatchKey, IndexId, OpKey, Query, QueryKind, QueryResult};
 pub use service::{Service, ServiceConfig, ServiceError, Ticket};
-pub use shard::{merge_kbest, ShardedIndex, ShardedIndexBuilder};
+pub use shard::{merge_kbest, ShardedIndex, ShardedIndexBuilder, DEFAULT_PROFILE_TTL};
 pub use trace::{EventKind, TraceEvent, TraceRecorder, TraceSnapshot};

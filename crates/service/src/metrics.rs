@@ -17,6 +17,7 @@ use crate::hist::{Histogram, HistogramSnapshot, N_BUCKETS};
 use crate::index::BatchOutcome;
 use crate::policy::Backend;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -25,6 +26,8 @@ use std::time::Duration;
 /// seven-argument `on_batch` signature.
 #[derive(Debug, Clone)]
 pub struct BatchRecord {
+    /// Name of the index the batch ran against.
+    pub index: String,
     /// Queries in the batch.
     pub size: usize,
     /// Executor that ran it.
@@ -41,12 +44,20 @@ pub struct BatchRecord {
     pub shards_pruned: u64,
     /// Longest submit-to-dispatch wait among the batch's queries.
     pub queue_wait: Duration,
+    /// Sub-batches served from a shard's profile cache.
+    pub profile_cache_hits: u64,
+    /// Cache consultations that re-ran the profiler.
+    pub profile_cache_misses: u64,
+    /// Cache entries dropped during the batch.
+    pub profile_cache_evictions: u64,
 }
 
 impl BatchRecord {
-    /// Record for `outcome` with the batch's measured `queue_wait`.
-    pub fn from_outcome(outcome: &BatchOutcome, queue_wait: Duration) -> Self {
+    /// Record for `outcome` against index `index`, with the batch's
+    /// measured `queue_wait`.
+    pub fn from_outcome(outcome: &BatchOutcome, queue_wait: Duration, index: &str) -> Self {
         BatchRecord {
+            index: index.to_string(),
             size: outcome.results.len(),
             backend: outcome.backend,
             node_visits: outcome.node_visits,
@@ -55,6 +66,9 @@ impl BatchRecord {
             mask_occupancy: outcome.mask_occupancy,
             shards_pruned: outcome.shards_pruned,
             queue_wait,
+            profile_cache_hits: outcome.profile_cache_hits,
+            profile_cache_misses: outcome.profile_cache_misses,
+            profile_cache_evictions: outcome.profile_cache_evictions,
         }
     }
 }
@@ -72,6 +86,9 @@ struct Inner {
     cpu_batches: u64,
     node_visits: u64,
     shards_pruned: u64,
+    profile_cache_hits: u64,
+    profile_cache_misses: u64,
+    profile_cache_evictions: u64,
     // Bounded histograms, one per sample series. Their fixed-point sums
     // replace the seed's sort-before-summing determinism trick.
     model_ms: Histogram,
@@ -79,6 +96,18 @@ struct Inner {
     mask_occupancy: Histogram,
     batch_node_visits: Histogram,
     queue_wait_ms: Histogram,
+    latency_ms: Histogram,
+    // Per-index series, keyed by index name. Bounded by the number of
+    // *registered indices* (a handful, fixed at service start), not by
+    // load — the memory bound stays O(indices × buckets).
+    per_index: BTreeMap<String, IndexSeries>,
+}
+
+#[derive(Debug, Default)]
+struct IndexSeries {
+    batches: u64,
+    completed: u64,
+    model_ms: Histogram,
     latency_ms: Histogram,
 }
 
@@ -112,25 +141,46 @@ impl Metrics {
         }
         m.node_visits += rec.node_visits;
         m.shards_pruned += rec.shards_pruned;
+        m.profile_cache_hits += rec.profile_cache_hits;
+        m.profile_cache_misses += rec.profile_cache_misses;
+        m.profile_cache_evictions += rec.profile_cache_evictions;
         m.model_ms.record(rec.model_ms);
         m.work_expansion.record(rec.work_expansion);
         m.mask_occupancy.record(rec.mask_occupancy);
         m.batch_node_visits.record(rec.node_visits as f64);
         m.queue_wait_ms.record(rec.queue_wait.as_secs_f64() * 1e3);
+        let series = m.per_index.entry(rec.index.clone()).or_default();
+        series.batches += 1;
+        series.model_ms.record(rec.model_ms);
     }
 
-    /// One query's result delivered, `latency` after submission.
-    pub fn on_complete(&self, latency: Duration) {
+    /// One query's result delivered by index `index`, `latency` after
+    /// submission.
+    pub fn on_complete(&self, index: &str, latency: Duration) {
         let mut m = self.lock();
         m.completed += 1;
-        m.latency_ms.record(latency.as_secs_f64() * 1e3);
+        let ms = latency.as_secs_f64() * 1e3;
+        m.latency_ms.record(ms);
+        if !m.per_index.contains_key(index) {
+            m.per_index
+                .insert(index.to_string(), IndexSeries::default());
+        }
+        let series = m.per_index.get_mut(index).expect("just inserted");
+        series.completed += 1;
+        series.latency_ms.record(ms);
     }
 
-    /// Upper bound on the registry's resident size, in bytes. Constant —
-    /// independent of how many queries or batches were recorded — which
-    /// the sustained-load test asserts.
+    /// Upper bound on the registry's resident size, in bytes. Constant
+    /// for a fixed set of registered indices — independent of how many
+    /// queries or batches were recorded — which the sustained-load test
+    /// asserts.
     pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + 6 * N_BUCKETS * std::mem::size_of::<u64>()
+        let per_index = {
+            let m = self.lock();
+            m.per_index.len()
+                * (std::mem::size_of::<IndexSeries>() + 2 * N_BUCKETS * std::mem::size_of::<u64>())
+        };
+        std::mem::size_of::<Self>() + 6 * N_BUCKETS * std::mem::size_of::<u64>() + per_index
     }
 
     /// Snapshot every counter, percentile, and histogram. O(buckets),
@@ -153,6 +203,9 @@ impl Metrics {
             cpu_batches: m.cpu_batches,
             node_visits: m.node_visits,
             shards_pruned: m.shards_pruned,
+            profile_cache_hits: m.profile_cache_hits,
+            profile_cache_misses: m.profile_cache_misses,
+            profile_cache_evictions: m.profile_cache_evictions,
             model_ms: m.model_ms.sum(),
             mean_work_expansion: if m.batches > 0 {
                 m.work_expansion.sum() / m.batches as f64
@@ -177,6 +230,20 @@ impl Metrics {
             node_visits_hist: m.batch_node_visits.snapshot(),
             queue_wait_hist: m.queue_wait_ms.snapshot(),
             latency_hist: m.latency_ms.snapshot(),
+            per_index: m
+                .per_index
+                .iter()
+                .map(|(name, s)| IndexMetricsSnapshot {
+                    index: name.clone(),
+                    batches: s.batches,
+                    completed: s.completed,
+                    latency_p50_ms: s.latency_ms.percentile(50.0),
+                    latency_p99_ms: s.latency_ms.percentile(99.0),
+                    model_ms: s.model_ms.sum(),
+                    latency_hist: s.latency_ms.snapshot(),
+                    model_ms_hist: s.model_ms.snapshot(),
+                })
+                .collect(),
         }
     }
 
@@ -210,6 +277,12 @@ pub struct MetricsSnapshot {
     pub node_visits: u64,
     /// `(query, shard)` pairs sharded indices skipped via AABB bounds.
     pub shards_pruned: u64,
+    /// Sub-batches whose §4.4 decision came from a shard profile cache.
+    pub profile_cache_hits: u64,
+    /// Profile-cache consultations that re-ran the profiler.
+    pub profile_cache_misses: u64,
+    /// Profile-cache entries dropped (TTL or capacity).
+    pub profile_cache_evictions: u64,
     /// Total modeled GPU milliseconds.
     pub model_ms: f64,
     /// Mean per-batch lockstep work expansion.
@@ -242,6 +315,30 @@ pub struct MetricsSnapshot {
     pub queue_wait_hist: HistogramSnapshot,
     /// Full latency distribution (ms).
     pub latency_hist: HistogramSnapshot,
+    /// Per-index series, sorted by index name (BTreeMap order), so
+    /// mixed-index workloads stay separable.
+    pub per_index: Vec<IndexMetricsSnapshot>,
+}
+
+/// One index's slice of the registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexMetricsSnapshot {
+    /// Index name (the `index="…"` label value in the Prometheus export).
+    pub index: String,
+    /// Batches dispatched to this index.
+    pub batches: u64,
+    /// Queries completed against this index.
+    pub completed: u64,
+    /// Median submit-to-result latency for this index.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile latency for this index.
+    pub latency_p99_ms: f64,
+    /// Total modeled GPU milliseconds for this index.
+    pub model_ms: f64,
+    /// Full latency distribution (ms).
+    pub latency_hist: HistogramSnapshot,
+    /// Full per-batch modeled-ms distribution.
+    pub model_ms_hist: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -255,7 +352,7 @@ impl MetricsSnapshot {
     /// for every histogram.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 9] = [
+        let counters: [(&str, u64); 12] = [
             ("gts_queries_submitted_total", self.submitted),
             ("gts_queries_completed_total", self.completed),
             ("gts_queries_rejected_total", self.rejected),
@@ -265,6 +362,12 @@ impl MetricsSnapshot {
             ("gts_batches_cpu_total", self.cpu_batches),
             ("gts_node_visits_total", self.node_visits),
             ("gts_shards_pruned_total", self.shards_pruned),
+            ("gts_profile_cache_hits_total", self.profile_cache_hits),
+            ("gts_profile_cache_misses_total", self.profile_cache_misses),
+            (
+                "gts_profile_cache_evictions_total",
+                self.profile_cache_evictions,
+            ),
         ];
         for (name, v) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
@@ -290,6 +393,40 @@ impl MetricsSnapshot {
         self.queue_wait_hist
             .to_prometheus("gts_queue_wait_ms", &mut out);
         self.latency_hist.to_prometheus("gts_latency_ms", &mut out);
+        // Per-index families: one TYPE header each, one labeled series
+        // per registered index. Index names are service-controlled
+        // identifiers, rendered without escaping (same convention as the
+        // trace exporter).
+        out.push_str("# TYPE gts_index_batches_total counter\n");
+        for idx in &self.per_index {
+            out.push_str(&format!(
+                "gts_index_batches_total{{index=\"{}\"}} {}\n",
+                idx.index, idx.batches
+            ));
+        }
+        out.push_str("# TYPE gts_index_completed_total counter\n");
+        for idx in &self.per_index {
+            out.push_str(&format!(
+                "gts_index_completed_total{{index=\"{}\"}} {}\n",
+                idx.index, idx.completed
+            ));
+        }
+        out.push_str("# TYPE gts_index_latency_ms histogram\n");
+        for idx in &self.per_index {
+            idx.latency_hist.to_prometheus_labeled(
+                "gts_index_latency_ms",
+                &format!("index=\"{}\"", idx.index),
+                &mut out,
+            );
+        }
+        out.push_str("# TYPE gts_index_model_ms histogram\n");
+        for idx in &self.per_index {
+            idx.model_ms_hist.to_prometheus_labeled(
+                "gts_index_model_ms",
+                &format!("index=\"{}\"", idx.index),
+                &mut out,
+            );
+        }
         out
     }
 }
@@ -322,6 +459,7 @@ mod tests {
         wait_ms: u64,
     ) -> BatchRecord {
         BatchRecord {
+            index: "idx".to_string(),
             size,
             backend,
             node_visits,
@@ -330,7 +468,14 @@ mod tests {
             mask_occupancy: 1.0,
             shards_pruned,
             queue_wait: Duration::from_millis(wait_ms),
+            profile_cache_hits: 0,
+            profile_cache_misses: 0,
+            profile_cache_evictions: 0,
         }
+    }
+
+    fn per_index_bytes(indices: usize) -> usize {
+        indices * (std::mem::size_of::<IndexSeries>() + 2 * N_BUCKETS * std::mem::size_of::<u64>())
     }
 
     #[test]
@@ -351,7 +496,7 @@ mod tests {
         }
         m.on_batch(&batch(2, Backend::Lockstep, 100, 1.5, 1.2, 3, 2));
         m.on_batch(&batch(1, Backend::Autoropes, 40, 0.5, 1.0, 1, 4));
-        m.on_complete(Duration::from_millis(10));
+        m.on_complete("idx", Duration::from_millis(10));
         let s = m.snapshot();
         assert_eq!(s.submitted, 3);
         assert_eq!(s.completed, 1);
@@ -372,6 +517,42 @@ mod tests {
         assert_eq!(s.latency_hist.count, 1);
         assert_eq!(s.queue_wait_hist.count, 2);
         assert_eq!(s.node_visits_hist.count, 2);
+        // Both batches and the completion went to one index.
+        assert_eq!(s.per_index.len(), 1);
+        assert_eq!(s.per_index[0].index, "idx");
+        assert_eq!(s.per_index[0].batches, 2);
+        assert_eq!(s.per_index[0].completed, 1);
+        assert!((s.per_index[0].model_ms - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_index_series_separate_mixed_workloads() {
+        let m = Metrics::default();
+        let mut a = batch(4, Backend::Lockstep, 10, 1.0, 1.0, 0, 1);
+        a.index = "alpha".to_string();
+        a.profile_cache_hits = 3;
+        a.profile_cache_misses = 1;
+        let mut b = batch(2, Backend::Cpu, 5, 0.0, 1.0, 0, 1);
+        b.index = "beta".to_string();
+        m.on_batch(&a);
+        m.on_batch(&a);
+        m.on_batch(&b);
+        m.on_complete("alpha", Duration::from_millis(2));
+        m.on_complete("beta", Duration::from_millis(8));
+        let s = m.snapshot();
+        assert_eq!(s.profile_cache_hits, 6);
+        assert_eq!(s.profile_cache_misses, 2);
+        let names: Vec<&str> = s.per_index.iter().map(|i| i.index.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"], "sorted by name");
+        assert_eq!(s.per_index[0].batches, 2);
+        assert_eq!(s.per_index[1].batches, 1);
+        assert_eq!(s.per_index[0].completed, 1);
+        let text = s.to_prometheus();
+        assert!(text.contains("gts_profile_cache_hits_total 6"));
+        assert!(text.contains(r#"gts_index_batches_total{index="alpha"} 2"#));
+        assert!(text.contains(r#"gts_index_batches_total{index="beta"} 1"#));
+        assert!(text.contains(r#"gts_index_latency_ms_count{index="alpha"} 1"#));
+        assert!(text.contains(r#"gts_index_latency_ms_bucket{index="beta",le="+Inf"} 1"#));
     }
 
     #[test]
@@ -391,11 +572,18 @@ mod tests {
         for i in 0..10_000u64 {
             m.on_submit();
             m.on_batch(&batch(1, Backend::Cpu, i, i as f64 * 0.01, 1.0, 0, i % 7));
-            m.on_complete(Duration::from_micros(10 * i));
+            m.on_complete("idx", Duration::from_micros(10 * i));
         }
-        assert_eq!(m.approx_bytes(), before, "registry grew with load");
+        // One index registered on first record; the bound then stays flat
+        // no matter how many batches follow.
+        assert_eq!(m.approx_bytes(), before + per_index_bytes(1));
+        let flat = m.approx_bytes();
+        for i in 0..10_000u64 {
+            m.on_batch(&batch(1, Backend::Cpu, i, 0.0, 1.0, 0, 0));
+        }
+        assert_eq!(m.approx_bytes(), flat, "registry grew with load");
         let s = m.snapshot();
-        assert_eq!(s.batches, 10_000);
+        assert_eq!(s.batches, 20_000);
         assert!(s.latency_hist.buckets.len() <= crate::hist::N_BUCKETS);
     }
 
@@ -404,7 +592,7 @@ mod tests {
         let m = Metrics::default();
         m.on_submit();
         m.on_batch(&batch(1, Backend::Lockstep, 50, 0.25, 1.1, 0, 1));
-        m.on_complete(Duration::from_millis(3));
+        m.on_complete("idx", Duration::from_millis(3));
         let text = m.snapshot().to_prometheus();
         for series in [
             "gts_queries_submitted_total 1",
@@ -414,10 +602,14 @@ mod tests {
             "gts_queue_wait_ms_count 1",
             "gts_batch_model_ms_sum 0.25",
             "gts_batch_mask_occupancy_count 1",
+            "gts_profile_cache_hits_total 0",
+            r#"gts_index_batches_total{index="idx"} 1"#,
+            r#"gts_index_model_ms_sum{index="idx"} 0.25"#,
         ] {
             assert!(text.contains(series), "missing `{series}` in:\n{text}");
         }
-        // One `# TYPE` header per exported metric family.
-        assert_eq!(text.matches("# TYPE").count(), 9 + 5 + 6);
+        // One `# TYPE` header per exported metric family: 12 counters,
+        // 5 gauges, 6 aggregate histograms, 4 per-index families.
+        assert_eq!(text.matches("# TYPE").count(), 12 + 5 + 6 + 4);
     }
 }

@@ -45,6 +45,15 @@ pub struct ExecPolicy {
     /// concurrently, so this defaults to 1 to avoid oversubscription;
     /// 0 means "let the simulator pick".
     pub sim_threads: usize,
+    /// Threads a sharded index may run sub-batches on. `1` keeps the
+    /// sequential round-by-round path; `0` (the default) resolves to
+    /// `min(shards, available_parallelism)`. Flat indices ignore it.
+    pub shard_parallelism: usize,
+    /// Let sharded indices reuse cached §4.4 sortedness decisions
+    /// (per-shard [`gts_points::profile::ProfileCache`]) instead of
+    /// re-sampling on every sub-batch. Disabling reproduces the
+    /// profile-every-sub-batch baseline; flat indices always profile.
+    pub profile_cache: bool,
 }
 
 impl Default for ExecPolicy {
@@ -56,6 +65,8 @@ impl Default for ExecPolicy {
             force: None,
             sort: true,
             sim_threads: 1,
+            shard_parallelism: 0,
+            profile_cache: true,
         }
     }
 }
@@ -78,5 +89,19 @@ impl ExecPolicy {
         } else {
             self.sim_threads
         }
+    }
+
+    /// Sub-batch threads for an index with `n_shards` shards, resolved:
+    /// `0` → `min(n_shards, available_parallelism)`, and never more
+    /// threads than shards (extra workers would only idle).
+    pub fn shard_threads(&self, n_shards: usize) -> usize {
+        let requested = if self.shard_parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.shard_parallelism
+        };
+        requested.min(n_shards).max(1)
     }
 }

@@ -490,6 +490,7 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
             indices.get(key.index).cloned()
         };
         let positions: Vec<Vec<f32>> = entries.iter().map(|e| e.pos.clone()).collect();
+        let index_name = index.as_ref().map(|i| i.name().to_string());
         let outcome = match index {
             Some(index) => std::panic::catch_unwind(AssertUnwindSafe(|| {
                 index.run_batch(key.op, &positions, &shared.policy)
@@ -499,6 +500,7 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
             // state only.
             None => Err(ServiceError::UnknownIndex(key.index)),
         };
+        let index_name = index_name.as_deref().unwrap_or("unknown");
         match outcome {
             Ok(out) => {
                 let queue_wait = entries
@@ -508,7 +510,7 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                     .unwrap_or(Duration::ZERO);
                 shared
                     .metrics
-                    .on_batch(&BatchRecord::from_outcome(&out, queue_wait));
+                    .on_batch(&BatchRecord::from_outcome(&out, queue_wait, index_name));
                 let done = Instant::now();
                 let done_us = trace.us_of(done);
                 // One batch span per dispatched batch — the invariant the
@@ -554,7 +556,7 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                 for (e, r) in entries.iter().zip(out.results) {
                     shared
                         .metrics
-                        .on_complete(done.duration_since(e.tag.submitted));
+                        .on_complete(index_name, done.duration_since(e.tag.submitted));
                     let start_us = trace.us_of(e.tag.submitted);
                     trace.span(
                         start_us,

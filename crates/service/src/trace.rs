@@ -276,9 +276,13 @@ impl TraceSnapshot {
     }
 
     /// Render as a Chrome trace-event JSON array (the format Perfetto and
-    /// `chrome://tracing` load directly). Batch/shard spans go on `pid` 1
-    /// with one track (`tid`) per batch; query lifecycles go on `pid` 2
-    /// with one track per query.
+    /// `chrome://tracing` load directly). Batch spans go on `pid` 1 with one
+    /// track (`tid`) per batch; query lifecycles go on `pid` 2 with one track
+    /// per query; shard sub-batch spans go on `pid` 3 with one track per
+    /// shard. Shard spans from the parallel execution path overlap in time,
+    /// so they cannot share the batch track (Chrome's renderer assumes spans
+    /// on one track nest or abut) — per-shard sub-tracks keep concurrent
+    /// waves readable.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 160 + 2);
         out.push('[');
@@ -298,6 +302,7 @@ impl TraceSnapshot {
 
 const BATCH_PID: u64 = 1;
 const QUERY_PID: u64 = 2;
+const SHARD_PID: u64 = 3;
 
 fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
     // All names and reason tags are static identifiers — no JSON string
@@ -307,7 +312,7 @@ fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
         EventKind::Enqueue => ("enqueue", "i", QUERY_PID, ev.query),
         EventKind::Batch { .. } => ("batch", "X", BATCH_PID, ev.batch),
         EventKind::BackendChoice { .. } => ("backend", "i", BATCH_PID, ev.batch),
-        EventKind::ShardVisit { .. } => ("shard_visit", "X", BATCH_PID, ev.batch),
+        EventKind::ShardVisit { shard, .. } => ("shard_visit", "X", SHARD_PID, u64::from(*shard)),
         EventKind::Complete => ("query", "X", QUERY_PID, ev.query),
         EventKind::Reject { .. } => ("reject", "i", QUERY_PID, ev.query),
     };
@@ -525,6 +530,19 @@ mod tests {
             assert!(ts.as_f64() >= 0.0, "negative ts");
             if let Some(serde::Value::Number(dur)) = get("dur") {
                 assert!(dur.as_f64() >= 0.0, "negative dur");
+            }
+            if get("name") == Some(serde::Value::String("shard_visit".into())) {
+                // Shard spans overlap under parallel execution, so they live
+                // on their own pid with one track per shard — not the batch
+                // track.
+                let serde::Value::Number(pid) = get("pid").unwrap() else {
+                    panic!("pid not a number")
+                };
+                let serde::Value::Number(tid) = get("tid").unwrap() else {
+                    panic!("tid not a number")
+                };
+                assert_eq!(pid.as_f64(), 3.0, "shard_visit on shard pid");
+                assert_eq!(tid.as_f64(), 2.0, "tid is the shard index");
             }
         }
     }

@@ -1,0 +1,201 @@
+//! Differential oracle for parallel sharded dispatch: running a batch
+//! through the scoped-thread wave scheduler must produce exactly the
+//! results of the sequential round-by-round dispatcher, which in turn
+//! must agree with a flat [`KdIndex`] over the same dataset. Parallelism
+//! and AABB-bound pruning are execution details, not semantics changes.
+//!
+//! Plus property tests pinning the profile-cache contract: a miss returns
+//! exactly what a fresh profiler run returns, and a hit replays the
+//! memoized decision verbatim under a fixed seed.
+
+use gts_points::gen::uniform;
+use gts_points::profile::{
+    profile_key, profile_sortedness, profile_sortedness_cached, ProfileCache,
+};
+use gts_service::{Backend, ExecPolicy, KdIndex, OpKey, QueryResult, ShardedIndex, TreeIndex};
+use gts_trees::{PointN, SplitPolicy};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+const N_POINTS: usize = 3000;
+const N_QUERIES: usize = 2000;
+
+/// Seeded query mix: half uniform over the cube, half hugging dataset
+/// points (tight bounds, so wave-1 pruning actually engages).
+fn queries(pts: &[PointN<3>], seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..N_QUERIES)
+        .map(|i| {
+            if i % 2 == 0 {
+                (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect()
+            } else {
+                let anchor = pts[rng.gen_range(0..pts.len())];
+                anchor
+                    .0
+                    .iter()
+                    .map(|&c| c + rng.gen_range(-0.02f32..0.02))
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1e-6) || (a.is_infinite() && b.is_infinite())
+}
+
+fn sequential() -> ExecPolicy {
+    ExecPolicy {
+        force: Some(Backend::Cpu),
+        shard_parallelism: 1,
+        profile_cache: false,
+        ..ExecPolicy::default()
+    }
+}
+
+fn parallel(threads: usize) -> ExecPolicy {
+    ExecPolicy {
+        force: Some(Backend::Cpu),
+        shard_parallelism: threads,
+        profile_cache: false,
+        ..ExecPolicy::default()
+    }
+}
+
+/// Distances agree with the flat oracle within f32 epsilon (ids may
+/// legitimately differ on exact ties, distances may not).
+fn check_vs_flat(want: &QueryResult, got: &QueryResult, shards: usize, q: usize) {
+    match (want, got) {
+        (QueryResult::Nn { dist2: wd, .. }, QueryResult::Nn { dist2: gd, .. }) => {
+            assert!(close(*wd, *gd), "{shards} shards, query {q}: {wd} vs {gd}");
+        }
+        (QueryResult::Knn { dist2: wd, .. }, QueryResult::Knn { dist2: gd, .. }) => {
+            assert_eq!(wd.len(), gd.len(), "{shards} shards, query {q}");
+            for (j, (a, b)) in wd.iter().zip(gd).enumerate() {
+                assert!(
+                    close(*a, *b),
+                    "{shards} shards, query {q}, neighbor {j}: {a} vs {b}"
+                );
+            }
+        }
+        (QueryResult::Pc { count: wc }, QueryResult::Pc { count: gc }) => {
+            assert_eq!(wc, gc, "{shards} shards, query {q}");
+        }
+        _ => panic!("mismatched result variants"),
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_and_flat_for_every_op_and_shard_count() {
+    let pts = uniform::<3>(N_POINTS, 0x5eed);
+    let qs = queries(&pts, 0xfeed);
+    let flat = KdIndex::build("flat", &pts, 8, SplitPolicy::MedianCycle);
+    for op in [OpKey::Nn, OpKey::Knn(8), OpKey::Pc(0.15f32.to_bits())] {
+        let want = flat.run_batch(op, &qs, &sequential());
+        for shards in SHARD_COUNTS {
+            let idx = ShardedIndex::build("sharded", &pts, shards, 8, SplitPolicy::MedianCycle);
+            let seq = idx.run_batch(op, &qs, &sequential());
+            let par = idx.run_batch(op, &qs, &parallel(4));
+            // Bit-identical between the two dispatchers: both fold the
+            // same per-query shard supersets in visit order, and every
+            // merge admits only strict improvements.
+            assert_eq!(
+                seq.results, par.results,
+                "{shards} shards, {op:?}: parallel diverged from sequential"
+            );
+            assert_eq!(seq.results.len(), want.results.len());
+            for (q, (w, g)) in want.results.iter().zip(&seq.results).enumerate() {
+                check_vs_flat(w, g, shards, q);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_under_default_profiling_policy() {
+    // No forced backend: the §4.4 profiler (and the profile cache, warmed
+    // by the first run) picks executors per sub-batch. All executors are
+    // exact, so results must still match bit-for-bit across dispatchers.
+    let pts = uniform::<3>(N_POINTS, 0xbead);
+    let qs = queries(&pts, 0xdead);
+    let idx = ShardedIndex::build("sharded", &pts, 8, 8, SplitPolicy::MedianCycle);
+    let seq = ExecPolicy {
+        shard_parallelism: 1,
+        ..ExecPolicy::default()
+    };
+    let par = ExecPolicy {
+        shard_parallelism: 4,
+        ..ExecPolicy::default()
+    };
+    for op in [OpKey::Nn, OpKey::Knn(8)] {
+        let s = idx.run_batch(op, &qs[..512], &seq);
+        let p = idx.run_batch(op, &qs[..512], &par);
+        assert_eq!(s.results, p.results, "{op:?} diverged under default policy");
+    }
+    let stats = idx.profile_cache_stats();
+    assert!(
+        stats.hits + stats.misses > 0,
+        "default policy never consulted the profile cache"
+    );
+}
+
+/// Deterministic fake traversal: each point visits a seeded window of
+/// node ids, so neighboring points overlap partially and the profiler's
+/// similarity is a nontrivial function of (seed, i).
+fn visits_for(seed: u64) -> impl Fn(usize) -> Vec<u32> + Copy {
+    move |i: usize| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64 >> 2));
+        let base: u32 = rng.gen_range(0..64);
+        (base..base + 8).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A cache miss must return exactly what an uncached profiler run
+    /// returns — memoization never changes the decision, only skips the
+    /// sampling.
+    #[test]
+    fn cache_miss_equals_fresh_profiler_run(
+        n in 2usize..64,
+        pairs in 1usize..16,
+        seed in 0u64..1_000_000_000,
+    ) {
+        let visits = visits_for(seed);
+        let fresh = profile_sortedness(n, pairs, 0.5, seed, visits);
+        let cache = ProfileCache::new(8, 16);
+        let key = profile_key(seed, &[n as u64, pairs as u64]);
+        let (missed, outcome) =
+            profile_sortedness_cached(&cache, key, 0, n, pairs, 0.5, seed, visits);
+        prop_assert!(!outcome.hit);
+        prop_assert_eq!(&missed, &fresh);
+        // And the memoized entry replays that exact report on a hit.
+        let (hit, outcome) =
+            profile_sortedness_cached(&cache, key, 1, n, pairs, 0.5, seed, visits);
+        prop_assert!(outcome.hit);
+        prop_assert_eq!(&hit, &fresh);
+    }
+
+    /// Under a fixed seed the whole cached pipeline is deterministic:
+    /// same inputs, same key, same decision — across separate caches.
+    #[test]
+    fn cached_decisions_are_deterministic_under_fixed_seed(
+        n in 2usize..64,
+        pairs in 1usize..16,
+        seed in 0u64..1_000_000_000,
+        epoch in 0u64..1000,
+    ) {
+        let visits = visits_for(seed);
+        let key_a = profile_key(seed, &[n as u64, pairs as u64]);
+        let key_b = profile_key(seed, &[n as u64, pairs as u64]);
+        prop_assert_eq!(key_a, key_b);
+        let run = || {
+            let cache = ProfileCache::new(8, 16);
+            profile_sortedness_cached(&cache, key_a, epoch, n, pairs, 0.5, seed, visits).0
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
