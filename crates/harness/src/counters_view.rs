@@ -61,6 +61,21 @@ pub fn render_service(s: &MetricsSnapshot) -> String {
         " latency           p50 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, max {:.3} ms\n",
         s.latency_p50_ms, s.latency_p99_ms, s.latency_p999_ms, s.latency_max_ms
     ));
+    out.push_str(&format!(
+        " admission         {:>12}   rejected ({:.3} ms EWMA batch service)\n",
+        s.admission_rejected, s.ewma_batch_service_ms
+    ));
+    if s.net_connections > 0 {
+        out.push_str(&format!(
+            " net               {:>12}   connections, {} rx / {} tx frames ({} / {} bytes), {} protocol errors\n",
+            s.net_connections,
+            s.net_frames_rx,
+            s.net_frames_tx,
+            s.net_bytes_rx,
+            s.net_bytes_tx,
+            s.net_protocol_errors
+        ));
+    }
     out
 }
 
@@ -193,6 +208,7 @@ mod tests {
             mask_occupancy: 0.75,
             shards_pruned: 2,
             queue_wait: Duration::from_millis(1),
+            exec: Duration::from_millis(2),
             profile_cache_hits: 3,
             profile_cache_misses: 1,
             profile_cache_evictions: 0,

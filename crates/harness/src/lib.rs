@@ -18,8 +18,10 @@
 //!
 //! Beyond the paper's exhibits, [`loadgen`] drives the `gts-service`
 //! batched query engine with a seeded synthetic client mix
-//! (`gts-harness loadgen`), and [`serve`] exposes it as a line-oriented
-//! interactive server (`gts-harness serve`).
+//! (`gts-harness loadgen`), [`netgen`] drives it over TCP
+//! (`gts-harness loadgen --connect`), and [`serve`] exposes it as a
+//! line-oriented interactive server or — with `--listen` — a binary-frame
+//! socket server (`gts-harness serve`).
 //!
 //! Caveats and calibration notes live in EXPERIMENTS.md: GPU times are
 //! model-derived (DESIGN.md §5.2); orderings, ratios and crossovers are
@@ -32,6 +34,7 @@ pub mod config;
 pub mod counters_view;
 pub mod figures;
 pub mod loadgen;
+pub mod netgen;
 pub mod profiler_table;
 pub mod row;
 pub mod runner;

@@ -216,15 +216,15 @@ pub struct ObsArtifacts {
 }
 
 /// One pre-generated client request.
-struct Request {
-    index: usize,
-    pos: Vec<f32>,
-    kind: QueryKind,
+pub(crate) struct Request {
+    pub(crate) index: usize,
+    pub(crate) pos: Vec<f32>,
+    pub(crate) kind: QueryKind,
 }
 
 /// Clustered client mix: each query lands near a dataset point of its
 /// target index (the workload batching is supposed to win on).
-fn synth_mix(
+pub(crate) fn synth_mix(
     datasets: &[Vec<Vec<f32>>],
     radii: &[f32],
     n: usize,
@@ -254,7 +254,7 @@ fn synth_mix(
         .collect()
 }
 
-fn bbox_diag(points: &[Vec<f32>]) -> f32 {
+pub(crate) fn bbox_diag(points: &[Vec<f32>]) -> f32 {
     let dim = points[0].len();
     let mut lo = vec![f32::INFINITY; dim];
     let mut hi = vec![f32::NEG_INFINITY; dim];
@@ -589,14 +589,25 @@ pub fn run(
 }
 
 /// CLI entry: parse `args` (everything after the subcommand) and run.
+/// With `--connect ADDR` the run goes over TCP instead (see
+/// [`crate::netgen`]).
 pub fn main_loadgen(args: &[String]) {
+    if args.iter().any(|a| a == "--connect") {
+        main_netgen_args(args);
+        return;
+    }
     let mut cfg = LoadgenConfig::default();
     let mut out_given = false;
     let usage = || -> ! {
         eprintln!(
             "usage: gts-harness loadgen [--queries N] [--points N] [--seed N] \
              [--workers N] [--batch N] [--shards N] [--shard-threads N] [--out PATH] \
-             [--skip-single] [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH]"
+             [--skip-single] [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH]\n\
+             \n\
+             networked mode:\n\
+             gts-harness loadgen --connect HOST:PORT [--connections N] [--frame-queries N] \
+             [--queries N] [--points N] [--seed N] [--out PATH] [--single-sample N] \
+             [--differential N] [--expect-overload]"
         );
         std::process::exit(2)
     };
@@ -690,6 +701,74 @@ pub fn main_loadgen(args: &[String]) {
     }
 }
 
+/// Parse the `--connect` flag set and hand off to [`crate::netgen`].
+fn main_netgen_args(args: &[String]) {
+    let mut cfg = crate::netgen::NetLoadgenConfig::default();
+    let usage = || -> ! {
+        eprintln!(
+            "usage: gts-harness loadgen --connect HOST:PORT [--connections N] \
+             [--frame-queries N] [--queries N] [--points N] [--seed N] [--out PATH] \
+             [--single-sample N] [--differential N] [--expect-overload]"
+        );
+        std::process::exit(2)
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> &str {
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--connect" => {
+                cfg.addr = need(i).to_string();
+                i += 2;
+            }
+            "--connections" => {
+                cfg.connections = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--frame-queries" => {
+                cfg.frame_queries = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--queries" => {
+                cfg.queries = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--points" => {
+                cfg.points = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--out" => {
+                cfg.out = need(i).to_string();
+                i += 2;
+            }
+            "--single-sample" => {
+                cfg.single_sample = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--differential" => {
+                cfg.differential = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--expect-overload" => {
+                cfg.expect_overload = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    if cfg.addr.is_empty() {
+        usage();
+    }
+    crate::netgen::main_netgen(cfg);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -730,9 +809,9 @@ mod tests {
         let parsed: serde::Value =
             serde_json::from_str(&obs_a.trace_json).expect("trace JSON parses");
         assert!(matches!(parsed, serde::Value::Array(_)));
-        // 6 aggregate histograms plus 2 labeled per-index histograms for
+        // 7 aggregate histograms plus 2 labeled per-index histograms for
         // each of the 2 registered indices.
-        assert_eq!(obs_a.prometheus.matches("le=\"+Inf\"").count(), 10);
+        assert_eq!(obs_a.prometheus.matches("le=\"+Inf\"").count(), 11);
     }
 
     #[test]

@@ -15,8 +15,12 @@
 //!                     [--batch N] [--shards N] [--shard-threads N] [--out PATH]
 //!                     [--skip-single] [--trace-file PATH] [--metrics-file PATH]
 //!                     [--obs-out PATH]
+//! gts-harness loadgen --connect HOST:PORT [--connections N] [--frame-queries N]
+//!                     [--queries N] [--points N] [--seed N] [--out PATH]
+//!                     [--single-sample N] [--differential N] [--expect-overload]
 //! gts-harness serve   [--points N] [--seed N] [--shards N] [--shard-threads N]
-//!                     [--metrics-file PATH] [--trace-file PATH]
+//!                     [--metrics-file PATH] [--trace-file PATH] [--listen ADDR]
+//!                     [--port-file PATH] [--admission-budget-us N]
 //! ```
 
 use std::io::Write as _;

@@ -1,0 +1,494 @@
+//! `gts-harness loadgen --connect`: drive a running `serve --listen`
+//! instance over TCP and report the full-path numbers to `BENCH_net.json`.
+//!
+//! Three phases against the same seeded client mix the in-process loadgen
+//! uses (so a serve started with the same `--points`/`--seed` answers from
+//! identical indices):
+//!
+//! 1. **batch** — the mix is cut into `BatchSubmit` frames of
+//!    `--frame-queries` queries, spread over `--connections` sockets, each
+//!    keeping a small pipeline of frames in flight. This measures the
+//!    shape the protocol is built for: one frame carries a whole query
+//!    wave.
+//! 2. **single** — a sample of the mix re-submitted one `Submit` frame at
+//!    a time, synchronously. The ratio of the two throughputs is the
+//!    batch-framing payoff (acceptance floor: ≥ 5×).
+//! 3. **differential** — a prefix of the batch-phase answers is recomputed
+//!    on a local, identically-seeded in-process service; socket results
+//!    must match bit for bit (the wire carries f32 bit patterns).
+//!
+//! With `--expect-overload` (run against a serve started with a tiny
+//! `--admission-budget-us`) the report instead centers on admission:
+//! every rejection must be a structured `Overloaded` carrying a nonzero
+//! `predicted_us` — never a stall or a dropped connection.
+
+use crate::loadgen::{bbox_diag, synth_mix, Request};
+use gts_net::{Client, ErrorCode, WireError};
+use gts_points::gen::{geocity_like, uniform};
+use gts_service::{KdIndex, Query, QueryResult, Service, ServiceConfig, TreeIndex};
+use gts_trees::{PointN, SplitPolicy};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Networked loadgen knobs.
+#[derive(Debug, Clone)]
+pub struct NetLoadgenConfig {
+    /// Server address (`HOST:PORT`).
+    pub addr: String,
+    /// Concurrent client connections in the batch phase.
+    pub connections: usize,
+    /// Queries per `BatchSubmit` frame.
+    pub frame_queries: usize,
+    /// Total queries in the client mix.
+    pub queries: usize,
+    /// Dataset points per index (must match the serve instance).
+    pub points: usize,
+    /// RNG seed (must match the serve instance).
+    pub seed: u64,
+    /// Output JSON path.
+    pub out: String,
+    /// Queries in the single-frame baseline sample.
+    pub single_sample: usize,
+    /// Queries differentially checked against a local service.
+    pub differential: usize,
+    /// Overload mode: tolerate (and count) admission rejections.
+    pub expect_overload: bool,
+}
+
+impl Default for NetLoadgenConfig {
+    fn default() -> Self {
+        NetLoadgenConfig {
+            addr: String::new(),
+            connections: 2,
+            frame_queries: 1000,
+            queries: 8192,
+            points: 4096,
+            seed: 20130901,
+            out: "BENCH_net.json".into(),
+            single_sample: 256,
+            differential: 256,
+            expect_overload: false,
+        }
+    }
+}
+
+/// Machine-readable socket-path benchmark (`BENCH_net.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetBenchReport {
+    /// Queries in the batch phase.
+    pub queries: u64,
+    /// Seed of the mix and datasets.
+    pub seed: u64,
+    /// Connections used in the batch phase.
+    pub connections: u64,
+    /// Queries per `BatchSubmit` frame.
+    pub frame_queries: u64,
+    /// Batch-phase queries answered successfully.
+    pub batch_ok: u64,
+    /// Batch-phase wall time, ms.
+    pub batch_wall_ms: f64,
+    /// Batch-phase throughput, queries/second.
+    pub batch_qps: f64,
+    /// Single-frame baseline sample size (0 when skipped).
+    pub single_queries: u64,
+    /// Single-frame baseline wall time, ms.
+    pub single_wall_ms: f64,
+    /// Single-frame throughput, queries/second.
+    pub single_qps: f64,
+    /// `batch_qps / single_qps` — the framing payoff.
+    pub batch_vs_single: f64,
+    /// Client-side protocol violations (malformed frames). Must be 0.
+    pub protocol_errors: u64,
+    /// Transport failures (connect refused, resets).
+    pub transport_errors: u64,
+    /// `Overloaded` rejections observed.
+    pub overload_rejections: u64,
+    /// Of those, rejections carrying a nonzero `predicted_us`.
+    pub overload_with_predicted: u64,
+    /// Service errors that were not overloads.
+    pub other_errors: u64,
+    /// Queries compared against the local in-process reference.
+    pub differential_checked: u64,
+    /// Comparisons that diverged. Must be 0.
+    pub differential_mismatches: u64,
+    /// Every connection finished with a clean `Shutdown` handshake.
+    pub shutdown_clean: bool,
+}
+
+/// Outcome slots of one connection's share of the batch phase.
+struct ConnOutcome {
+    /// `(global query index, outcome)` for every query this connection
+    /// carried.
+    results: Vec<(usize, Result<QueryResult, WireError>)>,
+    protocol_errors: u64,
+    transport_errors: u64,
+    shutdown_clean: bool,
+}
+
+fn classify_io(err: &std::io::Error, out: &mut ConnOutcome) {
+    if err.kind() == std::io::ErrorKind::InvalidData {
+        out.protocol_errors += 1;
+    } else {
+        out.transport_errors += 1;
+    }
+}
+
+/// Frames this connection owns: round-robin assignment of the frame list.
+fn run_connection(addr: &str, frames: &[(usize, &[Request])], pipeline: usize) -> ConnOutcome {
+    let mut out = ConnOutcome {
+        results: Vec::new(),
+        protocol_errors: 0,
+        transport_errors: 0,
+        shutdown_clean: false,
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            classify_io(&e, &mut out);
+            return out;
+        }
+    };
+    // (base_req, global start index, frame length) of in-flight frames.
+    let mut window: std::collections::VecDeque<(u64, usize, usize)> =
+        std::collections::VecDeque::new();
+    let recv_oldest = |client: &mut Client,
+                       window: &mut std::collections::VecDeque<(u64, usize, usize)>,
+                       out: &mut ConnOutcome|
+     -> bool {
+        let Some((base, start, len)) = window.pop_front() else {
+            return true;
+        };
+        match client.recv_batch(base) {
+            Ok(results) => {
+                debug_assert_eq!(results.len(), len);
+                for (i, r) in results.into_iter().enumerate() {
+                    out.results.push((start + i, r));
+                }
+                true
+            }
+            Err(e) => {
+                classify_io(&e, out);
+                false
+            }
+        }
+    };
+    for (start, reqs) in frames {
+        while window.len() >= pipeline {
+            if !recv_oldest(&mut client, &mut window, &mut out) {
+                return out;
+            }
+        }
+        let queries: Vec<Query> = reqs
+            .iter()
+            .map(|r| Query {
+                index: r.index,
+                pos: r.pos.clone(),
+                kind: r.kind,
+            })
+            .collect();
+        match client.send_batch(&queries) {
+            Ok(base) => window.push_back((base, *start, reqs.len())),
+            Err(e) => {
+                classify_io(&e, &mut out);
+                return out;
+            }
+        }
+    }
+    while !window.is_empty() {
+        if !recv_oldest(&mut client, &mut window, &mut out) {
+            return out;
+        }
+    }
+    match client.shutdown() {
+        Ok(()) => out.shutdown_clean = true,
+        Err(e) => classify_io(&e, &mut out),
+    }
+    out
+}
+
+/// Run the networked loadgen and return (human text, machine report).
+pub fn run(cfg: &NetLoadgenConfig) -> (String, NetBenchReport) {
+    // The same mix generation as the in-process loadgen so a serve
+    // instance started with matching --points/--seed has the matching
+    // indices.
+    let pts3: Vec<PointN<3>> = uniform::<3>(cfg.points, cfg.seed);
+    let pts2: Vec<PointN<2>> = geocity_like(cfg.points, cfg.seed + 1);
+    let data3: Vec<Vec<f32>> = pts3.iter().map(|p| p.0.to_vec()).collect();
+    let data2: Vec<Vec<f32>> = pts2.iter().map(|p| p.0.to_vec()).collect();
+    let radii = [0.04 * bbox_diag(&data3), 0.04 * bbox_diag(&data2)];
+    let requests = synth_mix(&[data3, data2], &radii, cfg.queries, 8, cfg.seed);
+
+    // Cut the mix into frames, round-robin frames over connections.
+    let frames: Vec<(usize, &[Request])> = requests
+        .chunks(cfg.frame_queries.max(1))
+        .enumerate()
+        .map(|(i, c)| (i * cfg.frame_queries.max(1), c))
+        .collect();
+    let connections = cfg.connections.max(1);
+    let per_conn: Vec<Vec<(usize, &[Request])>> = (0..connections)
+        .map(|c| {
+            frames
+                .iter()
+                .skip(c)
+                .step_by(connections)
+                .cloned()
+                .collect()
+        })
+        .collect();
+
+    // Batch phase.
+    let batch_start = Instant::now();
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_conn
+            .iter()
+            .map(|frames| {
+                let addr = cfg.addr.as_str();
+                scope.spawn(move || run_connection(addr, frames, 4))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let batch_wall_ms = batch_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut batch_results: Vec<Option<Result<QueryResult, WireError>>> = vec![None; requests.len()];
+    let mut protocol_errors = 0u64;
+    let mut transport_errors = 0u64;
+    let mut shutdown_clean = true;
+    for o in outcomes {
+        protocol_errors += o.protocol_errors;
+        transport_errors += o.transport_errors;
+        shutdown_clean &= o.shutdown_clean;
+        for (i, r) in o.results {
+            batch_results[i] = Some(r);
+        }
+    }
+    let mut batch_ok = 0u64;
+    let mut overload_rejections = 0u64;
+    let mut overload_with_predicted = 0u64;
+    let mut other_errors = 0u64;
+    for r in batch_results.iter().flatten() {
+        match r {
+            Ok(_) => batch_ok += 1,
+            Err(e) if e.code == ErrorCode::Overloaded => {
+                overload_rejections += 1;
+                if e.predicted_us > 0 {
+                    overload_with_predicted += 1;
+                }
+            }
+            Err(_) => other_errors += 1,
+        }
+    }
+    let batch_qps = if batch_wall_ms > 0.0 {
+        cfg.queries as f64 / (batch_wall_ms / 1e3)
+    } else {
+        0.0
+    };
+
+    // Single-frame baseline: one Submit per frame, synchronous.
+    let single_n = cfg.single_sample.min(requests.len());
+    let (single_wall_ms, single_qps) = if single_n == 0 || cfg.expect_overload {
+        (0.0, 0.0)
+    } else {
+        match Client::connect(cfg.addr.as_str()) {
+            Ok(mut client) => {
+                let t0 = Instant::now();
+                for r in &requests[..single_n] {
+                    match client.query(Query {
+                        index: r.index,
+                        pos: r.pos.clone(),
+                        kind: r.kind,
+                    }) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            if e.kind() == std::io::ErrorKind::InvalidData {
+                                protocol_errors += 1;
+                            } else {
+                                transport_errors += 1;
+                            }
+                            break;
+                        }
+                    }
+                }
+                let wall = t0.elapsed().as_secs_f64() * 1e3;
+                shutdown_clean &= client.shutdown().is_ok();
+                (wall, single_n as f64 / (wall / 1e3))
+            }
+            Err(_) => {
+                transport_errors += 1;
+                (0.0, 0.0)
+            }
+        }
+    };
+
+    // Differential check: a local, identically-seeded in-process service
+    // must agree with the socket answers bit for bit.
+    let diff_n = cfg.differential.min(requests.len());
+    let (differential_checked, differential_mismatches) = if diff_n == 0 {
+        (0, 0)
+    } else {
+        let local = Service::start(ServiceConfig {
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        });
+        local.register_index(Arc::new(KdIndex::build(
+            "uniform3d",
+            &pts3,
+            8,
+            SplitPolicy::MedianCycle,
+        )) as Arc<dyn TreeIndex>);
+        local.register_index(Arc::new(KdIndex::build(
+            "geocity2d",
+            &pts2,
+            8,
+            SplitPolicy::MidpointWidest,
+        )) as Arc<dyn TreeIndex>);
+        let mut checked = 0u64;
+        let mut mismatches = 0u64;
+        for (r, socket) in requests[..diff_n].iter().zip(&batch_results[..diff_n]) {
+            // Only answered, admitted queries have a reference to match.
+            let Some(Ok(socket)) = socket else { continue };
+            let reference = local
+                .query(Query {
+                    index: r.index,
+                    pos: r.pos.clone(),
+                    kind: r.kind,
+                })
+                .expect("reference query valid");
+            checked += 1;
+            if *socket != reference {
+                mismatches += 1;
+            }
+        }
+        local.shutdown();
+        (checked, mismatches)
+    };
+
+    let report = NetBenchReport {
+        queries: cfg.queries as u64,
+        seed: cfg.seed,
+        connections: connections as u64,
+        frame_queries: cfg.frame_queries as u64,
+        batch_ok,
+        batch_wall_ms,
+        batch_qps,
+        single_queries: if cfg.expect_overload {
+            0
+        } else {
+            single_n as u64
+        },
+        single_wall_ms,
+        single_qps,
+        batch_vs_single: if single_qps > 0.0 {
+            batch_qps / single_qps
+        } else {
+            0.0
+        },
+        protocol_errors,
+        transport_errors,
+        overload_rejections,
+        overload_with_predicted,
+        other_errors,
+        differential_checked,
+        differential_mismatches,
+        shutdown_clean,
+    };
+
+    let mut text = String::new();
+    text.push_str(&format!(
+        "net loadgen: {} queries → {} over {} connection(s), {} queries/frame, seed {}\n",
+        cfg.queries, cfg.addr, connections, cfg.frame_queries, cfg.seed
+    ));
+    text.push_str(&format!(
+        "  batch  : {:8.1} ms wall → {:9.0} q/s over the socket ({} ok)\n",
+        report.batch_wall_ms, report.batch_qps, report.batch_ok
+    ));
+    if report.single_queries > 0 {
+        text.push_str(&format!(
+            "  single : {:8.1} ms wall → {:9.0} q/s ({} queries, one per frame)\n",
+            report.single_wall_ms, report.single_qps, report.single_queries
+        ));
+        text.push_str(&format!(
+            "  framing payoff: {:.1}x batch over single-per-frame\n",
+            report.batch_vs_single
+        ));
+    }
+    text.push_str(&format!(
+        "  admission: {} overloaded ({} carrying predicted_us), {} other errors\n",
+        report.overload_rejections, report.overload_with_predicted, report.other_errors
+    ));
+    text.push_str(&format!(
+        "  checks : {} differential ({} mismatches), {} protocol errors, {} transport errors, shutdown {}\n",
+        report.differential_checked,
+        report.differential_mismatches,
+        report.protocol_errors,
+        report.transport_errors,
+        if report.shutdown_clean { "clean" } else { "dirty" }
+    ));
+    (text, report)
+}
+
+/// CLI entry for `loadgen --connect` (invoked from
+/// [`crate::loadgen::main_loadgen`] once `--connect` is seen).
+pub fn main_netgen(cfg: NetLoadgenConfig) {
+    let (text, report) = run(&cfg);
+    print!("{text}");
+    let json = serde_json::to_string_pretty(&report).expect("serialize net report");
+    std::fs::write(&cfg.out, json).expect("write net bench json");
+    eprintln!("wrote {}", cfg.out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gts_net::NetServer;
+
+    /// Full loop against an in-process NetServer: the report the CI smoke
+    /// asserts on is produced here the same way.
+    #[test]
+    fn net_loadgen_round_trip_produces_clean_report() {
+        let points = 512;
+        let seed = 777;
+        let service = Service::start(ServiceConfig {
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        });
+        let pts3: Vec<PointN<3>> = uniform::<3>(points, seed);
+        let pts2: Vec<PointN<2>> = geocity_like(points, seed + 1);
+        service.register_index(Arc::new(KdIndex::build(
+            "uniform3d",
+            &pts3,
+            8,
+            SplitPolicy::MedianCycle,
+        )) as Arc<dyn TreeIndex>);
+        service.register_index(Arc::new(KdIndex::build(
+            "geocity2d",
+            &pts2,
+            8,
+            SplitPolicy::MidpointWidest,
+        )) as Arc<dyn TreeIndex>);
+        let server = NetServer::bind("127.0.0.1:0", Arc::new(service)).unwrap();
+
+        let cfg = NetLoadgenConfig {
+            addr: server.local_addr().to_string(),
+            connections: 2,
+            frame_queries: 64,
+            queries: 512,
+            points,
+            seed,
+            single_sample: 32,
+            differential: 128,
+            ..NetLoadgenConfig::default()
+        };
+        let (_, report) = run(&cfg);
+        assert_eq!(report.protocol_errors, 0);
+        assert_eq!(report.transport_errors, 0);
+        assert_eq!(report.batch_ok, 512);
+        assert_eq!(report.overload_rejections, 0);
+        assert!(report.differential_checked >= 100);
+        assert_eq!(report.differential_mismatches, 0);
+        assert!(report.shutdown_clean);
+        assert!(report.batch_qps > 0.0 && report.single_qps > 0.0);
+        server.shutdown();
+    }
+}

@@ -1,8 +1,10 @@
 //! `gts-harness serve`: a line-oriented front-end over the query service.
 //!
 //! Reads one request per line from stdin, answers on stdout — the minimal
-//! interactive shape of a query server (the ROADMAP's async front-end
-//! would replace stdin with a socket, not the service underneath).
+//! interactive shape of a query server. With `--listen ADDR` it also
+//! binds the binary-frame TCP front-end ([`gts_net::NetServer`]) on that
+//! address, serving `gts-harness loadgen --connect` and [`gts_net::Client`]
+//! peers concurrently with the stdin loop.
 //!
 //! ```text
 //! nn  <index> <x> <y> [...]      nearest neighbor
@@ -14,15 +16,21 @@
 //!
 //! `--metrics-file PATH` keeps a Prometheus text snapshot refreshed every
 //! second while serving (point a scraper or `watch cat` at it);
-//! `--trace-file PATH` dumps the lifecycle trace as Chrome trace-event
-//! JSON at shutdown for Perfetto. With `--shards N` (N > 1),
-//! `--shard-threads N` sets how many sub-batch workers each sharded batch
-//! may fan out on (0 = auto).
+//! `--trace-file PATH` streams the lifecycle trace as Chrome trace-event
+//! JSON *while serving* — a background sink drains the trace ring
+//! incrementally, so the file holds traces longer than the ring and is
+//! loadable in Perfetto even if the process is killed. With `--shards N`
+//! (N > 1), `--shard-threads N` sets how many sub-batch workers each
+//! sharded batch may fan out on (0 = auto). `--listen` companions:
+//! `--port-file PATH` writes the bound `host:port` (for `--listen`
+//! port 0), and `--admission-budget-us N` enables latency-budget
+//! admission control so overload yields structured rejections.
 
+use gts_net::NetServer;
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
     ExecPolicy, KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, ShardedIndex,
-    TreeIndex,
+    TraceStream, TreeIndex,
 };
 use gts_trees::SplitPolicy;
 use std::io::BufRead as _;
@@ -96,10 +104,14 @@ pub fn main_serve(args: &[String]) {
     let mut shard_threads = 0usize;
     let mut metrics_file: Option<String> = None;
     let mut trace_file: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut admission_budget_us: Option<u64> = None;
     let usage = || -> ! {
         eprintln!(
             "usage: gts-harness serve [--points N] [--seed N] [--shards N] \
-             [--shard-threads N] [--metrics-file PATH] [--trace-file PATH]"
+             [--shard-threads N] [--metrics-file PATH] [--trace-file PATH] \
+             [--listen ADDR] [--port-file PATH] [--admission-budget-us N]"
         );
         std::process::exit(2)
     };
@@ -135,19 +147,32 @@ pub fn main_serve(args: &[String]) {
                 trace_file = Some(need(i).to_string());
                 i += 2;
             }
+            "--listen" => {
+                listen = Some(need(i).to_string());
+                i += 2;
+            }
+            "--port-file" => {
+                port_file = Some(need(i).to_string());
+                i += 2;
+            }
+            "--admission-budget-us" => {
+                admission_budget_us = Some(need(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
             _ => usage(),
         }
     }
 
-    let service = Service::start(ServiceConfig {
+    let service = Arc::new(Service::start(ServiceConfig {
         // Interactive trickle: flush fast rather than waiting for a warp.
         max_wait: Duration::from_millis(1),
+        admission_budget: admission_budget_us.map(Duration::from_micros),
         policy: ExecPolicy {
             shard_parallelism: shard_threads,
             ..ExecPolicy::default()
         },
         ..ServiceConfig::default()
-    });
+    }));
     let pts3 = uniform::<3>(points, seed);
     let pts2 = geocity_like(points, seed + 1);
     let (idx3, idx2): (Arc<dyn TreeIndex>, Arc<dyn TreeIndex>) = if shards > 1 {
@@ -192,9 +217,32 @@ pub fn main_serve(args: &[String]) {
         "commands: nn <idx> <x..> | knn <idx> <k> <x..> | pc <idx> <r> <x..> | metrics | quit"
     );
 
-    // Serve inside a scope so the periodic metrics writer can borrow the
-    // service; the flag stops it before the scope joins.
+    let net = listen.as_deref().map(|addr| {
+        let server = NetServer::bind(addr, Arc::clone(&service)).unwrap_or_else(|e| {
+            eprintln!("error: cannot listen on {addr}: {e}");
+            std::process::exit(1)
+        });
+        let bound = server.local_addr();
+        eprintln!(
+            "listening on {bound} (binary frame protocol; `gts-harness loadgen --connect {bound}`)"
+        );
+        if let Some(path) = &port_file {
+            let tmp = format!("{path}.tmp");
+            std::fs::write(&tmp, bound.to_string()).expect("write port file");
+            std::fs::rename(&tmp, path).expect("publish port file");
+        }
+        server
+    });
+
+    // Serve inside a scope so the periodic metrics writer and the
+    // streaming trace sink can borrow the service; the flag stops them
+    // before the scope joins. The sink thread hands its `TraceStream`
+    // back through the join so the post-shutdown trace tail can be
+    // appended after every in-flight query has resolved.
     let stop = AtomicBool::new(false);
+    let mut trace_sink: Option<TraceStream> = trace_file
+        .as_ref()
+        .map(|path| TraceStream::create(path).expect("create trace stream"));
     std::thread::scope(|scope| {
         if let Some(path) = metrics_file.clone() {
             let service = &service;
@@ -216,7 +264,29 @@ pub fn main_serve(args: &[String]) {
                 }
             });
         }
+        let sink_handle = trace_sink.take().map(|mut stream| {
+            let service = &service;
+            let stop = &stop;
+            scope.spawn(move || {
+                loop {
+                    let (events, missed) = service.trace_events_since(stream.cursor());
+                    if stream.append(&events, missed).is_err() {
+                        // Disk gone bad: stop draining, keep serving.
+                        break;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Drain at a cadence the ring comfortably buffers;
+                    // the loop re-drains once more after `stop` so the
+                    // handoff below only owes the shutdown tail.
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                stream
+            })
+        });
         let stdin = std::io::stdin();
+        let mut saw_quit = false;
         for line in stdin.lock().lines() {
             let Ok(line) = line else { break };
             let trimmed = line.trim();
@@ -224,6 +294,7 @@ pub fn main_serve(args: &[String]) {
                 continue;
             }
             if trimmed == "quit" {
+                saw_quit = true;
                 break;
             }
             if trimmed == "metrics" {
@@ -239,19 +310,44 @@ pub fn main_serve(args: &[String]) {
                 Err(err) => println!("error: {err}"),
             }
         }
+        // With a socket front-end, a non-interactive stdin hitting EOF
+        // (the backgrounded-in-CI shape) must not tear the server down —
+        // park until killed; the sink and metrics writer keep streaming,
+        // so the trace and metrics files stay fresh and loadable. A
+        // `quit` line or an interactive Ctrl-D still exits cleanly.
+        if net.is_some() && !saw_quit && !std::io::IsTerminal::is_terminal(&std::io::stdin()) {
+            eprintln!("stdin closed; serving network connections until killed");
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
         stop.store(true, Ordering::Relaxed);
+        if let Some(h) = sink_handle {
+            trace_sink = h.join().ok();
+        }
     });
+    if let Some(net) = net {
+        net.shutdown();
+    }
+    let service = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("network shutdown released every service handle"));
     let (snapshot, trace) = service.shutdown_with_trace();
     if let Some(path) = &metrics_file {
         std::fs::write(path, snapshot.to_prometheus()).expect("write metrics file");
         eprintln!("wrote {path}");
     }
     if let Some(path) = &trace_file {
-        std::fs::write(path, trace.to_chrome_json()).expect("write trace file");
-        eprintln!(
-            "wrote {path} ({} events; load in Perfetto or chrome://tracing)",
-            trace.events.len()
-        );
+        match trace_sink
+            .take()
+            .expect("sink survives the scope")
+            .finish_with_snapshot(&trace)
+        {
+            Ok(stats) => eprintln!(
+                "wrote {path} ({} events streamed, {} missed; load in Perfetto or chrome://tracing)",
+                stats.events_written, stats.missed
+            ),
+            Err(e) => eprintln!("error: trace stream {path}: {e}"),
+        }
     }
     eprint!("{}", crate::counters_view::render_service(&snapshot));
     eprintln!(

@@ -1,0 +1,185 @@
+//! Blocking client with sync and pipelined batch APIs.
+//!
+//! [`Client::query`] is the simple path: one `Submit`, wait for its
+//! answer. The throughput path is [`Client::send_batch`] /
+//! [`Client::recv_batch`]: each `send_batch` puts an entire query wave in
+//! one `BatchSubmit` frame and returns immediately, so several frames can
+//! be in flight per connection ("pipelining") — the server's per-key
+//! batcher sees queries from every outstanding frame at once, exactly the
+//! coherent waves the traversal kernels want. Responses arriving out of
+//! order are parked until their `recv_*` is called.
+
+use crate::frame::{read_frame, write_frame, Frame, WireError, PROTOCOL_VERSION};
+use gts_service::{Query, QueryResult};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+fn proto_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A connected protocol session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    version: u8,
+    next_req: u64,
+    /// Responses read while waiting for a different correlation id.
+    parked: HashMap<u64, Frame>,
+}
+
+impl Client {
+    /// Connect, exchange `Hello`, and negotiate the protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let mut client = Client {
+            reader,
+            writer,
+            version: PROTOCOL_VERSION,
+            next_req: 1,
+            parked: HashMap::new(),
+        };
+        client.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match client.read()? {
+            Frame::Hello { version } => client.version = version.min(PROTOCOL_VERSION),
+            Frame::Error { error, .. } => {
+                return Err(proto_err(format!("handshake rejected: {error}")))
+            }
+            other => {
+                return Err(proto_err(format!(
+                    "expected Hello, got {:?} frame",
+                    frame_kind(&other)
+                )))
+            }
+        }
+        Ok(client)
+    }
+
+    /// The negotiated protocol version.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        use std::io::Write as _;
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()
+    }
+
+    fn read(&mut self) -> io::Result<Frame> {
+        match read_frame(&mut self.reader)? {
+            Some((frame, _)) => Ok(frame),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    /// Read frames until the one correlated with `want` arrives, parking
+    /// everything else.
+    fn read_for(&mut self, want: u64) -> io::Result<Frame> {
+        if let Some(f) = self.parked.remove(&want) {
+            return Ok(f);
+        }
+        loop {
+            let frame = self.read()?;
+            let req = match &frame {
+                Frame::Result { req, .. } | Frame::Error { req, .. } => *req,
+                Frame::BatchResult { base_req, .. } => *base_req,
+                Frame::Shutdown => {
+                    return Err(proto_err("server shut the session down mid-request"))
+                }
+                other => {
+                    return Err(proto_err(format!(
+                        "unexpected {:?} frame",
+                        frame_kind(other)
+                    )))
+                }
+            };
+            if let Frame::Error { req, error } = &frame {
+                if *req == u64::MAX {
+                    return Err(proto_err(format!("connection-level error: {error}")));
+                }
+            }
+            if req == want {
+                return Ok(frame);
+            }
+            self.parked.insert(req, frame);
+        }
+    }
+
+    /// Submit one query and block for its answer. Service-side failures
+    /// (validation, overload, shutdown) come back as `Ok(Err(WireError))`;
+    /// transport or protocol faults are the outer `io::Error`.
+    pub fn query(&mut self, query: Query) -> io::Result<Result<QueryResult, WireError>> {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.send(&Frame::Submit { req, query })?;
+        match self.read_for(req)? {
+            Frame::Result { result, .. } => Ok(Ok(result)),
+            Frame::Error { error, .. } => Ok(Err(error)),
+            _ => unreachable!("read_for returned a non-matching frame"),
+        }
+    }
+
+    /// Send one `BatchSubmit` frame and return its correlation id without
+    /// waiting — call [`Client::recv_batch`] later. Interleave several
+    /// sends to keep the pipeline full.
+    pub fn send_batch(&mut self, queries: &[Query]) -> io::Result<u64> {
+        let base_req = self.next_req;
+        self.next_req += queries.len().max(1) as u64;
+        self.send(&Frame::BatchSubmit {
+            base_req,
+            queries: queries.to_vec(),
+        })?;
+        Ok(base_req)
+    }
+
+    /// Block for the `BatchResult` of a previous [`Client::send_batch`].
+    /// Results are in submission order, one slot per query.
+    pub fn recv_batch(&mut self, base_req: u64) -> io::Result<Vec<Result<QueryResult, WireError>>> {
+        match self.read_for(base_req)? {
+            Frame::BatchResult { results, .. } => Ok(results),
+            Frame::Error { error, .. } => Err(proto_err(format!("batch failed: {error}"))),
+            _ => unreachable!("read_for returned a non-matching frame"),
+        }
+    }
+
+    /// Graceful close: tell the server no more submissions are coming,
+    /// wait for its drain ack. Any still-unread responses are discarded.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.send(&Frame::Shutdown)?;
+        loop {
+            match self.read()? {
+                Frame::Shutdown => return Ok(()),
+                // Late responses racing the drain ack are fine.
+                Frame::Result { .. } | Frame::BatchResult { .. } | Frame::Error { .. } => {}
+                other => {
+                    return Err(proto_err(format!(
+                        "unexpected {:?} frame during shutdown",
+                        frame_kind(&other)
+                    )))
+                }
+            }
+        }
+    }
+}
+
+fn frame_kind(f: &Frame) -> &'static str {
+    match f {
+        Frame::Hello { .. } => "Hello",
+        Frame::Submit { .. } => "Submit",
+        Frame::BatchSubmit { .. } => "BatchSubmit",
+        Frame::Result { .. } => "Result",
+        Frame::BatchResult { .. } => "BatchResult",
+        Frame::Error { .. } => "Error",
+        Frame::Shutdown => "Shutdown",
+    }
+}

@@ -1,0 +1,290 @@
+//! Frame-codec correctness: property-based round-trips plus adversarial
+//! decodes (truncation, hostile lengths, unknown types, split reads).
+
+use gts_net::frame::{decode_body, read_frame, DecodeError};
+use gts_net::{Decoder, ErrorCode, Frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
+use gts_service::{Query, QueryKind, QueryResult};
+use proptest::prelude::*;
+
+fn roundtrip(frame: &Frame) -> Frame {
+    let bytes = frame.encode();
+    let mut dec = Decoder::new();
+    dec.feed(&bytes);
+    let got = dec.next_frame().expect("decodes").expect("complete");
+    assert_eq!(dec.pending(), 0, "no leftover bytes");
+    got
+}
+
+fn sample_query(kind_tag: u8, param: u32, index: u32, pos: Vec<f32>) -> Query {
+    let kind = match kind_tag % 3 {
+        0 => QueryKind::Nn,
+        1 => QueryKind::Knn {
+            k: (param % 64 + 1) as usize,
+        },
+        _ => QueryKind::Pc {
+            radius: (param % 1000) as f32 / 500.0,
+        },
+    };
+    Query {
+        index: index as usize,
+        pos,
+        kind,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn submit_roundtrips(
+        req in 0u64..u64::MAX,
+        kind_tag in 0u8..3,
+        param in 0u32..10_000,
+        index in 0u32..16,
+        dim in 1usize..8,
+        seed in 0u32..1_000_000,
+    ) {
+        let pos: Vec<f32> = (0..dim)
+            .map(|i| ((seed as f32).sin() * 100.0 + i as f32) / 7.0)
+            .collect();
+        let frame = Frame::Submit { req, query: sample_query(kind_tag, param, index, pos) };
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn batch_submit_roundtrips(
+        base_req in 0u64..1_000_000,
+        n in 0usize..40,
+        kind_tag in 0u8..3,
+        param in 0u32..10_000,
+    ) {
+        let queries: Vec<Query> = (0..n)
+            .map(|i| sample_query(
+                kind_tag.wrapping_add(i as u8),
+                param + i as u32,
+                i as u32 % 4,
+                vec![i as f32 * 0.5, -(i as f32), 3.25],
+            ))
+            .collect();
+        let frame = Frame::BatchSubmit { base_req, queries };
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn batch_result_roundtrips(n in 0usize..30, fail_every in 1usize..5) {
+        let results: Vec<Result<QueryResult, WireError>> = (0..n)
+            .map(|i| {
+                if i % fail_every == 0 {
+                    Err(WireError {
+                        code: ErrorCode::Overloaded,
+                        message: format!("overloaded #{i}"),
+                        predicted_us: 1500 + i as u64,
+                        budget_us: 1000,
+                    })
+                } else {
+                    Ok(match i % 3 {
+                        0 => QueryResult::Nn { dist2: i as f32 * 0.25, id: i as u32 },
+                        1 => QueryResult::Knn {
+                            dist2: vec![0.5, 1.0, 2.0],
+                            ids: vec![9, 8, 7],
+                        },
+                        _ => QueryResult::Pc { count: i as u32 * 3 },
+                    })
+                }
+            })
+            .collect();
+        let frame = Frame::BatchResult { base_req: n as u64 * 17, results };
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn split_reads_reassemble(cut in 1usize..50) {
+        // Feed a multi-frame byte stream in two arbitrary pieces — the
+        // decoder must produce the same frames regardless of the split.
+        let frames = [
+            Frame::Hello { version: PROTOCOL_VERSION },
+            Frame::Submit {
+                req: 42,
+                query: sample_query(1, 5, 0, vec![1.0, 2.0, 3.0]),
+            },
+            Frame::Shutdown,
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&f.encode());
+        }
+        let cut = cut % bytes.len();
+        let mut dec = Decoder::new();
+        dec.feed(&bytes[..cut]);
+        let mut got = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        dec.feed(&bytes[cut..]);
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        prop_assert_eq!(got, frames.to_vec());
+    }
+}
+
+#[test]
+fn scalar_frames_roundtrip() {
+    for frame in [
+        Frame::Hello { version: 3 },
+        Frame::Shutdown,
+        Frame::Result {
+            req: 7,
+            result: QueryResult::Nn { dist2: 0.5, id: 12 },
+        },
+        Frame::Error {
+            req: u64::MAX,
+            error: WireError::protocol("nope"),
+        },
+    ] {
+        assert_eq!(roundtrip(&frame), frame);
+    }
+}
+
+#[test]
+fn truncated_frame_waits_for_more_bytes() {
+    let bytes = Frame::Submit {
+        req: 9,
+        query: sample_query(0, 0, 1, vec![1.0, 2.0]),
+    }
+    .encode();
+    let mut dec = Decoder::new();
+    // Every strict prefix is "incomplete", never an error.
+    for end in 0..bytes.len() {
+        let mut d = Decoder::new();
+        d.feed(&bytes[..end]);
+        assert_eq!(d.next_frame(), Ok(None), "prefix of {end} bytes");
+    }
+    // Byte-at-a-time feed decodes exactly once at the end.
+    for (i, b) in bytes.iter().enumerate() {
+        dec.feed(std::slice::from_ref(b));
+        let step = dec.next_frame().unwrap();
+        assert_eq!(step.is_some(), i == bytes.len() - 1);
+    }
+}
+
+#[test]
+fn oversized_declared_length_is_rejected_from_the_header_alone() {
+    // 8 bytes claiming a 100 MiB frame: the decoder must reject on the
+    // header, without ever seeing (or allocating for) the body.
+    let declared = 100 * 1024 * 1024u32;
+    let mut bytes = declared.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&[2, 0, 0, 0]);
+    let mut dec = Decoder::new();
+    dec.feed(&bytes);
+    assert_eq!(dec.next_frame(), Err(DecodeError::Oversized { declared }));
+
+    // Same through the blocking reader: errors after the 4-byte header.
+    let mut r = std::io::Cursor::new(bytes);
+    let err = read_frame(&mut r).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert_eq!(r.position(), 4, "body was never read");
+
+    // Boundary: MAX_FRAME itself is allowed (only > rejects), so a
+    // maximal declared length fails on missing bytes, not on size.
+    let mut dec = Decoder::new();
+    dec.feed(&MAX_FRAME.to_le_bytes());
+    assert_eq!(dec.next_frame(), Ok(None));
+}
+
+#[test]
+fn unknown_frame_type_is_an_error() {
+    let mut bytes = 1u32.to_le_bytes().to_vec();
+    bytes.push(99);
+    let mut dec = Decoder::new();
+    dec.feed(&bytes);
+    assert_eq!(dec.next_frame(), Err(DecodeError::UnknownType(99)));
+}
+
+#[test]
+fn zero_length_frame_is_an_error() {
+    let mut dec = Decoder::new();
+    dec.feed(&0u32.to_le_bytes());
+    assert_eq!(dec.next_frame(), Err(DecodeError::Empty));
+}
+
+#[test]
+fn hello_with_wrong_magic_is_rejected() {
+    let mut body = vec![1u8]; // T_HELLO
+    body.extend_from_slice(&0xdeadbeefu32.to_le_bytes());
+    body.push(PROTOCOL_VERSION);
+    assert_eq!(decode_body(&body), Err(DecodeError::BadMagic(0xdeadbeef)));
+}
+
+#[test]
+fn hostile_element_counts_inside_the_payload_are_rejected() {
+    // A BatchSubmit declaring u32::MAX queries in a tiny frame.
+    let mut body = vec![3u8]; // T_BATCH_SUBMIT
+    body.extend_from_slice(&0u64.to_le_bytes());
+    body.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_body(&body),
+        Err(DecodeError::BadPayload(_))
+    ));
+
+    // A Knn result declaring a huge neighbor count.
+    let mut body = vec![4u8]; // T_RESULT
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.push(1); // Knn tag
+    body.extend_from_slice(&(MAX_FRAME / 2 + 1).to_le_bytes());
+    assert!(matches!(
+        decode_body(&body),
+        Err(DecodeError::BadPayload(_))
+    ));
+}
+
+#[test]
+fn trailing_bytes_after_a_valid_payload_are_rejected() {
+    let mut bytes = Frame::Shutdown.encode();
+    // Extend the Shutdown payload with one stray byte (and patch length).
+    bytes.push(0xaa);
+    let len = (bytes.len() - 4) as u32;
+    bytes[..4].copy_from_slice(&len.to_le_bytes());
+    let mut dec = Decoder::new();
+    dec.feed(&bytes);
+    assert_eq!(
+        dec.next_frame(),
+        Err(DecodeError::BadPayload("trailing bytes"))
+    );
+}
+
+#[test]
+fn error_frames_carry_the_admission_model() {
+    let frame = Frame::Error {
+        req: 5,
+        error: WireError {
+            code: ErrorCode::Overloaded,
+            message: "predicted wait 2ms exceeds budget 1ms".into(),
+            predicted_us: 2000,
+            budget_us: 1000,
+        },
+    };
+    let Frame::Error { error, .. } = roundtrip(&frame) else {
+        panic!()
+    };
+    assert_eq!(
+        error.predicted_wait(),
+        Some(std::time::Duration::from_micros(2000))
+    );
+    assert_eq!(error.budget_us, 1000);
+}
+
+#[test]
+fn non_utf8_error_message_is_rejected() {
+    let mut body = vec![6u8]; // T_ERROR
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.push(ErrorCode::Internal as u8);
+    body.extend_from_slice(&0u64.to_le_bytes());
+    body.extend_from_slice(&0u64.to_le_bytes());
+    body.extend_from_slice(&2u32.to_le_bytes());
+    body.extend_from_slice(&[0xff, 0xfe]);
+    assert_eq!(
+        decode_body(&body),
+        Err(DecodeError::BadPayload("error message is not utf-8"))
+    );
+}

@@ -1,0 +1,326 @@
+//! End-to-end socket-path tests: a real `Service` behind a real
+//! `NetServer`, exercised through `Client` over loopback TCP.
+
+use gts_net::{Client, ErrorCode, NetServer};
+use gts_points::gen::uniform;
+use gts_service::{KdIndex, Query, QueryKind, Service, ServiceConfig, Ticket, TreeIndex};
+use gts_trees::SplitPolicy;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server(cfg: ServiceConfig) -> (NetServer, Vec<gts_trees::PointN<3>>) {
+    let pts = uniform::<3>(512, 4242);
+    let service = Service::start(cfg);
+    service.register_index(
+        Arc::new(KdIndex::build("e2e", &pts, 8, SplitPolicy::MedianCycle)) as Arc<dyn TreeIndex>,
+    );
+    let server = NetServer::bind("127.0.0.1:0", Arc::new(service)).expect("bind");
+    (server, pts)
+}
+
+fn nn(pos: [f32; 3]) -> Query {
+    Query {
+        index: 0,
+        pos: pos.to_vec(),
+        kind: QueryKind::Nn,
+    }
+}
+
+#[test]
+fn socket_results_match_in_process_bit_for_bit() {
+    let (server, pts) = start_server(ServiceConfig {
+        max_wait: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    });
+    let service = Arc::clone(server.service());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert_eq!(client.version(), gts_net::PROTOCOL_VERSION);
+
+    let queries: Vec<Query> = (0..64)
+        .map(|i| match i % 3 {
+            0 => nn(pts[i * 5 % pts.len()].0),
+            1 => Query {
+                index: 0,
+                pos: pts[i * 7 % pts.len()].0.to_vec(),
+                kind: QueryKind::Knn { k: 4 },
+            },
+            _ => Query {
+                index: 0,
+                pos: pts[i * 11 % pts.len()].0.to_vec(),
+                kind: QueryKind::Pc { radius: 0.2 },
+            },
+        })
+        .collect();
+
+    // Same query through the socket and in-process must agree exactly —
+    // the wire encodes f32 bit patterns, not decimal text.
+    for q in &queries {
+        let over_socket = client.query(q.clone()).unwrap().expect("socket result");
+        let in_process = service.query(q.clone()).expect("in-process result");
+        assert_eq!(over_socket, in_process);
+    }
+
+    // The batch path returns the same answers in submission order.
+    let base = client.send_batch(&queries).unwrap();
+    let results = client.recv_batch(base).unwrap();
+    assert_eq!(results.len(), queries.len());
+    for (q, r) in queries.iter().zip(results) {
+        let in_process = service.query(q.clone()).unwrap();
+        assert_eq!(r.expect("batch slot ok"), in_process);
+    }
+
+    client.shutdown().expect("graceful close");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_batches_interleave_and_resolve_out_of_order_safely() {
+    let (server, pts) = start_server(ServiceConfig {
+        max_wait: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Four frames in flight at once, mixed kernels so the service batches
+    // them under different keys and completes them in arbitrary order.
+    let waves: Vec<Vec<Query>> = (0..4)
+        .map(|w| {
+            (0..100)
+                .map(|i| {
+                    let p = pts[(w * 131 + i * 7) % pts.len()].0;
+                    match w % 2 {
+                        0 => nn(p),
+                        _ => Query {
+                            index: 0,
+                            pos: p.to_vec(),
+                            kind: QueryKind::Pc { radius: 0.15 },
+                        },
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let ids: Vec<u64> = waves
+        .iter()
+        .map(|w| client.send_batch(w).unwrap())
+        .collect();
+    // Collect in reverse send order to force the parking path.
+    for (wave, &id) in waves.iter().zip(&ids).rev() {
+        let results = client.recv_batch(id).unwrap();
+        assert_eq!(results.len(), wave.len());
+        for r in results {
+            assert!(r.is_ok());
+        }
+    }
+    client.shutdown().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn validation_failures_come_back_as_structured_wire_errors() {
+    let (server, pts) = start_server(ServiceConfig {
+        max_wait: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let err = client
+        .query(Query {
+            index: 99,
+            pos: vec![0.0; 3],
+            kind: QueryKind::Nn,
+        })
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownIndex);
+
+    let err = client
+        .query(Query {
+            index: 0,
+            pos: vec![0.0; 2],
+            kind: QueryKind::Nn,
+        })
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::DimMismatch);
+
+    // A batch with one bad slot still answers every slot.
+    let mut queries = vec![nn(pts[0].0), nn(pts[1].0)];
+    queries.insert(
+        1,
+        Query {
+            index: 0,
+            pos: vec![f32::NAN; 3],
+            kind: QueryKind::Nn,
+        },
+    );
+    let base = client.send_batch(&queries).unwrap();
+    let results = client.recv_batch(base).unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok());
+    assert_eq!(results[1].as_ref().unwrap_err().code, ErrorCode::BadQuery);
+    assert!(results[2].is_ok());
+
+    client.shutdown().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn overload_rejections_carry_the_predicted_wait() {
+    let (server, pts) = start_server(ServiceConfig {
+        batch_queries: 64,
+        max_wait: Duration::from_secs(3600),
+        admission_budget: Some(Duration::from_nanos(1)),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Seed the EWMA model with one full size-triggered batch.
+    let warm: Vec<Query> = (0..64).map(|i| nn(pts[i % pts.len()].0)).collect();
+    let base = client.send_batch(&warm).unwrap();
+    for r in client.recv_batch(base).unwrap() {
+        r.expect("warmup admitted");
+    }
+
+    // Park one query (depth 1), then every submission models a wait
+    // above the 1ns budget and is rejected with the model attached.
+    let parked = client.send_batch(&warm[..1]).unwrap();
+    let err = client.query(nn(pts[3].0)).unwrap().unwrap_err();
+    assert_eq!(err.code, ErrorCode::Overloaded);
+    let predicted = err.predicted_wait().expect("overload carries the model");
+    assert!(predicted > Duration::ZERO);
+    assert!(err.budget_us <= 1, "1ns budget rounds to 0–1µs");
+
+    // The parked query is not lost: closing the service drains it.
+    server.service().close();
+    let results = client.recv_batch(parked).unwrap();
+    assert_eq!(results.len(), 1);
+    assert!(results[0].is_ok(), "drain completed the admitted query");
+    client.shutdown().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn mid_stream_service_close_answers_cleanly_instead_of_dropping() {
+    // Regression: closing the service while a connection is mid-stream
+    // must (a) complete already-accepted frames via the drain and (b)
+    // answer new submissions with Error(ShuttingDown) — the TCP
+    // connection itself stays up.
+    let (server, pts) = start_server(ServiceConfig {
+        batch_queries: 4096,
+        max_wait: Duration::from_secs(3600),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Accepted before the close; parked in the batcher (deadline is an
+    // hour away, size target unreachable).
+    let accepted: Vec<Query> = (0..50).map(|i| nn(pts[i % pts.len()].0)).collect();
+    let base = client.send_batch(&accepted).unwrap();
+
+    // Ordering barrier: frames are processed in order, and a validation
+    // failure is answered synchronously (it never enters the batcher) —
+    // once its Error comes back, every query in the batch above has been
+    // accepted by the service.
+    let err = client
+        .query(Query {
+            index: 99,
+            pos: vec![0.0; 3],
+            kind: QueryKind::Nn,
+        })
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownIndex);
+
+    server.service().close();
+
+    // (b) New submissions get a structured ShuttingDown error frame.
+    let err = client.query(nn(pts[0].0)).unwrap().unwrap_err();
+    assert_eq!(err.code, ErrorCode::ShuttingDown);
+
+    // (a) The close drained the batcher: every accepted query resolves.
+    let results = client.recv_batch(base).unwrap();
+    assert_eq!(results.len(), 50);
+    for r in results {
+        assert!(r.is_ok(), "accepted work completed through the drain");
+    }
+
+    // The connection still shuts down gracefully afterwards.
+    client
+        .shutdown()
+        .expect("clean shutdown after service close");
+    server.shutdown();
+}
+
+#[test]
+fn net_counters_and_trace_events_observe_the_socket_path() {
+    let (server, pts) = start_server(ServiceConfig {
+        max_wait: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let base = client
+        .send_batch(&(0..32).map(|i| nn(pts[i].0)).collect::<Vec<_>>())
+        .unwrap();
+    client.recv_batch(base).unwrap();
+    client.shutdown().unwrap();
+
+    let service = Arc::clone(server.service());
+    server.shutdown();
+    let m = service.metrics();
+    assert_eq!(m.net_connections, 1);
+    assert!(m.net_frames_rx >= 3, "hello + batch + shutdown");
+    assert!(m.net_frames_tx >= 3);
+    assert!(m.net_bytes_rx > 0 && m.net_bytes_tx > 0);
+    assert_eq!(m.net_protocol_errors, 0);
+
+    let trace = service.trace().to_chrome_json();
+    assert!(trace.contains("\"accept\""), "accept event traced");
+    assert!(trace.contains("\"batch_submit\""), "frame decode traced");
+}
+
+#[test]
+fn raw_protocol_violations_get_an_error_frame_not_a_hang() {
+    use gts_net::frame::{read_frame, write_frame, Frame};
+    use std::io::Write as _;
+    let (server, _) = start_server(ServiceConfig::default());
+
+    // Speak garbage instead of Hello.
+    let mut s = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut s, &Frame::Shutdown).unwrap();
+    s.flush().unwrap();
+    let (frame, _) = read_frame(&mut s).unwrap().expect("server answers");
+    let Frame::Error { req, error } = frame else {
+        panic!("expected Error, got {frame:?}");
+    };
+    assert_eq!(req, u64::MAX);
+    assert_eq!(error.code, ErrorCode::Protocol);
+
+    // An oversized declared length after a valid handshake.
+    let mut s = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    write_frame(&mut s, &Frame::Hello { version: 1 }).unwrap();
+    s.flush().unwrap();
+    let (hello, _) = read_frame(&mut s).unwrap().expect("hello ack");
+    assert!(matches!(hello, Frame::Hello { .. }));
+    s.write_all(&(200 * 1024 * 1024u32).to_le_bytes()).unwrap();
+    s.flush().unwrap();
+    let (frame, _) = read_frame(&mut s).unwrap().expect("server answers");
+    let Frame::Error { error, .. } = frame else {
+        panic!("expected Error, got {frame:?}");
+    };
+    assert_eq!(error.code, ErrorCode::Protocol);
+
+    let service = Arc::clone(server.service());
+    server.shutdown();
+    assert!(service.metrics().net_protocol_errors >= 2);
+}
+
+/// Compile-time contract: the client is Send so callers can move
+/// connections into worker threads, and tickets remain shareable.
+#[test]
+fn net_types_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Client>();
+    assert_send::<NetServer>();
+    assert_send::<Ticket>();
+}

@@ -60,6 +60,8 @@ pub use index::{BatchOutcome, KdIndex, ProfileCtx, ShardVisit, TreeIndex};
 pub use metrics::{percentile, BatchRecord, IndexMetricsSnapshot, Metrics, MetricsSnapshot};
 pub use policy::{Backend, ExecPolicy};
 pub use query::{BatchKey, IndexId, OpKey, Query, QueryKind, QueryResult};
-pub use service::{Service, ServiceConfig, ServiceError, Ticket};
+pub use service::{CompletionFn, Service, ServiceConfig, ServiceError, Ticket};
 pub use shard::{merge_kbest, ShardedIndex, ShardedIndexBuilder, DEFAULT_PROFILE_TTL};
-pub use trace::{EventKind, TraceEvent, TraceRecorder, TraceSnapshot};
+pub use trace::{
+    EventKind, TraceEvent, TraceRecorder, TraceSnapshot, TraceStream, TraceStreamStats,
+};

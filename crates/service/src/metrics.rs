@@ -44,6 +44,10 @@ pub struct BatchRecord {
     pub shards_pruned: u64,
     /// Longest submit-to-dispatch wait among the batch's queries.
     pub queue_wait: Duration,
+    /// Wall-clock execution time of the batch on its worker (dispatch →
+    /// tickets resolved) — the sample feeding the admission model's EWMA
+    /// batch service time.
+    pub exec: Duration,
     /// Sub-batches served from a shard's profile cache.
     pub profile_cache_hits: u64,
     /// Cache consultations that re-ran the profiler.
@@ -54,8 +58,13 @@ pub struct BatchRecord {
 
 impl BatchRecord {
     /// Record for `outcome` against index `index`, with the batch's
-    /// measured `queue_wait`.
-    pub fn from_outcome(outcome: &BatchOutcome, queue_wait: Duration, index: &str) -> Self {
+    /// measured `queue_wait` and wall-clock `exec` time.
+    pub fn from_outcome(
+        outcome: &BatchOutcome,
+        queue_wait: Duration,
+        exec: Duration,
+        index: &str,
+    ) -> Self {
         BatchRecord {
             index: index.to_string(),
             size: outcome.results.len(),
@@ -66,12 +75,18 @@ impl BatchRecord {
             mask_occupancy: outcome.mask_occupancy,
             shards_pruned: outcome.shards_pruned,
             queue_wait,
+            exec,
             profile_cache_hits: outcome.profile_cache_hits,
             profile_cache_misses: outcome.profile_cache_misses,
             profile_cache_evictions: outcome.profile_cache_evictions,
         }
     }
 }
+
+/// EWMA smoothing factor for the admission model's batch service time and
+/// batch size: recent batches dominate (a load shift re-models within a
+/// few batches) without single-batch noise whipsawing verdicts.
+pub const EWMA_ALPHA: f64 = 0.25;
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -89,6 +104,19 @@ struct Inner {
     profile_cache_hits: u64,
     profile_cache_misses: u64,
     profile_cache_evictions: u64,
+    admission_rejected: u64,
+    // Network front-end counters, recorded by the socket server through
+    // `Service::metrics_registry` so one snapshot covers the full path.
+    net_connections: u64,
+    net_frames_rx: u64,
+    net_frames_tx: u64,
+    net_bytes_rx: u64,
+    net_bytes_tx: u64,
+    net_protocol_errors: u64,
+    // Admission model state: exponentially weighted batch service time
+    // (wall ms) and batch size, updated once per executed batch.
+    ewma_batch_service_ms: f64,
+    ewma_batch_size: f64,
     // Bounded histograms, one per sample series. Their fixed-point sums
     // replace the seed's sort-before-summing determinism trick.
     model_ms: Histogram,
@@ -97,6 +125,7 @@ struct Inner {
     batch_node_visits: Histogram,
     queue_wait_ms: Histogram,
     latency_ms: Histogram,
+    batch_exec_ms: Histogram,
     // Per-index series, keyed by index name. Bounded by the number of
     // *registered indices* (a handful, fixed at service start), not by
     // load — the memory bound stays O(indices × buckets).
@@ -149,9 +178,66 @@ impl Metrics {
         m.mask_occupancy.record(rec.mask_occupancy);
         m.batch_node_visits.record(rec.node_visits as f64);
         m.queue_wait_ms.record(rec.queue_wait.as_secs_f64() * 1e3);
+        let exec_ms = rec.exec.as_secs_f64() * 1e3;
+        m.batch_exec_ms.record(exec_ms);
+        if m.batches == 1 {
+            // First sample seeds the EWMAs directly — no warm-up bias.
+            m.ewma_batch_service_ms = exec_ms;
+            m.ewma_batch_size = rec.size as f64;
+        } else {
+            m.ewma_batch_service_ms =
+                EWMA_ALPHA * exec_ms + (1.0 - EWMA_ALPHA) * m.ewma_batch_service_ms;
+            m.ewma_batch_size =
+                EWMA_ALPHA * rec.size as f64 + (1.0 - EWMA_ALPHA) * m.ewma_batch_size;
+        }
         let series = m.per_index.entry(rec.index.clone()).or_default();
         series.batches += 1;
         series.model_ms.record(rec.model_ms);
+    }
+
+    /// One query rejected by latency-budget admission control (also counts
+    /// as a rejection).
+    pub fn on_admission_reject(&self) {
+        let mut m = self.lock();
+        m.rejected += 1;
+        m.admission_rejected += 1;
+    }
+
+    /// Modeled queue wait for a submission arriving behind `depth`
+    /// unresolved queries: EWMA batch service time × the number of
+    /// EWMA-sized batches those queries fill. Zero until the first batch
+    /// executes (no model yet ⇒ admit).
+    pub fn predicted_wait(&self, depth: u64) -> Duration {
+        let m = self.lock();
+        if m.ewma_batch_service_ms <= 0.0 || m.ewma_batch_size < 1.0 || depth == 0 {
+            return Duration::ZERO;
+        }
+        let batches_ahead = (depth as f64 / m.ewma_batch_size).ceil();
+        Duration::from_secs_f64(batches_ahead * m.ewma_batch_service_ms / 1e3)
+    }
+
+    /// One TCP connection accepted by the network front-end.
+    pub fn on_net_accept(&self) {
+        self.lock().net_connections += 1;
+    }
+
+    /// One frame decoded off a connection (`bytes` = body length).
+    pub fn on_net_frame_rx(&self, bytes: u64) {
+        let mut m = self.lock();
+        m.net_frames_rx += 1;
+        m.net_bytes_rx += bytes;
+    }
+
+    /// One frame written to a connection (`bytes` = body length).
+    pub fn on_net_frame_tx(&self, bytes: u64) {
+        let mut m = self.lock();
+        m.net_frames_tx += 1;
+        m.net_bytes_tx += bytes;
+    }
+
+    /// One malformed or oversized frame rejected by the decoder.
+    pub fn on_net_protocol_error(&self) {
+        self.lock().net_protocol_errors += 1;
     }
 
     /// One query's result delivered by index `index`, `latency` after
@@ -180,7 +266,7 @@ impl Metrics {
             m.per_index.len()
                 * (std::mem::size_of::<IndexSeries>() + 2 * N_BUCKETS * std::mem::size_of::<u64>())
         };
-        std::mem::size_of::<Self>() + 6 * N_BUCKETS * std::mem::size_of::<u64>() + per_index
+        std::mem::size_of::<Self>() + 7 * N_BUCKETS * std::mem::size_of::<u64>() + per_index
     }
 
     /// Snapshot every counter, percentile, and histogram. O(buckets),
@@ -206,6 +292,14 @@ impl Metrics {
             profile_cache_hits: m.profile_cache_hits,
             profile_cache_misses: m.profile_cache_misses,
             profile_cache_evictions: m.profile_cache_evictions,
+            admission_rejected: m.admission_rejected,
+            net_connections: m.net_connections,
+            net_frames_rx: m.net_frames_rx,
+            net_frames_tx: m.net_frames_tx,
+            net_bytes_rx: m.net_bytes_rx,
+            net_bytes_tx: m.net_bytes_tx,
+            net_protocol_errors: m.net_protocol_errors,
+            ewma_batch_service_ms: m.ewma_batch_service_ms,
             model_ms: m.model_ms.sum(),
             mean_work_expansion: if m.batches > 0 {
                 m.work_expansion.sum() / m.batches as f64
@@ -230,6 +324,7 @@ impl Metrics {
             node_visits_hist: m.batch_node_visits.snapshot(),
             queue_wait_hist: m.queue_wait_ms.snapshot(),
             latency_hist: m.latency_ms.snapshot(),
+            exec_ms_hist: m.batch_exec_ms.snapshot(),
             per_index: m
                 .per_index
                 .iter()
@@ -283,6 +378,24 @@ pub struct MetricsSnapshot {
     pub profile_cache_misses: u64,
     /// Profile-cache entries dropped (TTL or capacity).
     pub profile_cache_evictions: u64,
+    /// Queries rejected by latency-budget admission control (a subset of
+    /// `rejected`).
+    pub admission_rejected: u64,
+    /// TCP connections accepted by the network front-end.
+    pub net_connections: u64,
+    /// Frames decoded off network connections.
+    pub net_frames_rx: u64,
+    /// Frames written to network connections.
+    pub net_frames_tx: u64,
+    /// Frame body bytes received.
+    pub net_bytes_rx: u64,
+    /// Frame body bytes sent.
+    pub net_bytes_tx: u64,
+    /// Malformed or oversized frames rejected by the decoder.
+    pub net_protocol_errors: u64,
+    /// EWMA batch service time (wall ms) — the admission model's per-batch
+    /// cost estimate.
+    pub ewma_batch_service_ms: f64,
     /// Total modeled GPU milliseconds.
     pub model_ms: f64,
     /// Mean per-batch lockstep work expansion.
@@ -315,6 +428,8 @@ pub struct MetricsSnapshot {
     pub queue_wait_hist: HistogramSnapshot,
     /// Full latency distribution (ms).
     pub latency_hist: HistogramSnapshot,
+    /// Full per-batch wall-clock execution-time distribution (ms).
+    pub exec_ms_hist: HistogramSnapshot,
     /// Per-index series, sorted by index name (BTreeMap order), so
     /// mixed-index workloads stay separable.
     pub per_index: Vec<IndexMetricsSnapshot>,
@@ -352,7 +467,7 @@ impl MetricsSnapshot {
     /// for every histogram.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 12] = [
+        let counters: [(&str, u64); 19] = [
             ("gts_queries_submitted_total", self.submitted),
             ("gts_queries_completed_total", self.completed),
             ("gts_queries_rejected_total", self.rejected),
@@ -368,16 +483,24 @@ impl MetricsSnapshot {
                 "gts_profile_cache_evictions_total",
                 self.profile_cache_evictions,
             ),
+            ("gts_admission_rejected_total", self.admission_rejected),
+            ("gts_net_connections_total", self.net_connections),
+            ("gts_net_frames_rx_total", self.net_frames_rx),
+            ("gts_net_frames_tx_total", self.net_frames_tx),
+            ("gts_net_bytes_rx_total", self.net_bytes_rx),
+            ("gts_net_bytes_tx_total", self.net_bytes_tx),
+            ("gts_net_protocol_errors_total", self.net_protocol_errors),
         ];
         for (name, v) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
         }
-        let gauges: [(&str, f64); 5] = [
+        let gauges: [(&str, f64); 6] = [
             ("gts_batch_size_mean", self.mean_batch_size),
             ("gts_batch_size_max", self.max_batch_size as f64),
             ("gts_model_ms_total", self.model_ms),
             ("gts_work_expansion_mean", self.mean_work_expansion),
             ("gts_mask_occupancy_mean", self.mean_mask_occupancy),
+            ("gts_ewma_batch_service_ms", self.ewma_batch_service_ms),
         ];
         for (name, v) in gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
@@ -393,6 +516,8 @@ impl MetricsSnapshot {
         self.queue_wait_hist
             .to_prometheus("gts_queue_wait_ms", &mut out);
         self.latency_hist.to_prometheus("gts_latency_ms", &mut out);
+        self.exec_ms_hist
+            .to_prometheus("gts_batch_exec_ms", &mut out);
         // Per-index families: one TYPE header each, one labeled series
         // per registered index. Index names are service-controlled
         // identifiers, rendered without escaping (same convention as the
@@ -468,6 +593,7 @@ mod tests {
             mask_occupancy: 1.0,
             shards_pruned,
             queue_wait: Duration::from_millis(wait_ms),
+            exec: Duration::from_millis(2),
             profile_cache_hits: 0,
             profile_cache_misses: 0,
             profile_cache_evictions: 0,
@@ -608,8 +734,62 @@ mod tests {
         ] {
             assert!(text.contains(series), "missing `{series}` in:\n{text}");
         }
-        // One `# TYPE` header per exported metric family: 12 counters,
-        // 5 gauges, 6 aggregate histograms, 4 per-index families.
-        assert_eq!(text.matches("# TYPE").count(), 12 + 5 + 6 + 4);
+        // One `# TYPE` header per exported metric family: 19 counters,
+        // 6 gauges, 7 aggregate histograms, 4 per-index families.
+        assert_eq!(text.matches("# TYPE").count(), 19 + 6 + 7 + 4);
+    }
+
+    #[test]
+    fn ewma_tracks_batch_service_time() {
+        let m = Metrics::default();
+        assert_eq!(m.predicted_wait(1000), Duration::ZERO, "no model yet");
+        let mut rec = batch(64, Backend::Lockstep, 100, 1.0, 1.0, 0, 0);
+        rec.exec = Duration::from_millis(10);
+        m.on_batch(&rec);
+        // First batch seeds the EWMA exactly.
+        let s = m.snapshot();
+        assert!((s.ewma_batch_service_ms - 10.0).abs() < 1e-9);
+        // Depth of one EWMA-sized batch → one batch service time.
+        assert_eq!(m.predicted_wait(64), Duration::from_millis(10));
+        // Depth rounding: 65 queries need two batches.
+        assert_eq!(m.predicted_wait(65), Duration::from_millis(20));
+        assert_eq!(m.predicted_wait(0), Duration::ZERO);
+        // A faster second batch pulls the EWMA down by α.
+        rec.exec = Duration::from_millis(2);
+        m.on_batch(&rec);
+        let s = m.snapshot();
+        let expected = EWMA_ALPHA * 2.0 + (1.0 - EWMA_ALPHA) * 10.0;
+        assert!((s.ewma_batch_service_ms - expected).abs() < 1e-9);
+        assert_eq!(s.exec_ms_hist.count, 2);
+    }
+
+    #[test]
+    fn net_and_admission_counters_export() {
+        let m = Metrics::default();
+        m.on_net_accept();
+        m.on_net_frame_rx(100);
+        m.on_net_frame_rx(50);
+        m.on_net_frame_tx(20);
+        m.on_net_protocol_error();
+        m.on_admission_reject();
+        let s = m.snapshot();
+        assert_eq!(s.net_connections, 1);
+        assert_eq!(s.net_frames_rx, 2);
+        assert_eq!(s.net_bytes_rx, 150);
+        assert_eq!(s.net_frames_tx, 1);
+        assert_eq!(s.net_bytes_tx, 20);
+        assert_eq!(s.net_protocol_errors, 1);
+        assert_eq!(s.admission_rejected, 1);
+        assert_eq!(s.rejected, 1, "admission rejects count as rejections");
+        let text = s.to_prometheus();
+        for series in [
+            "gts_net_connections_total 1",
+            "gts_net_frames_rx_total 2",
+            "gts_net_bytes_rx_total 150",
+            "gts_net_protocol_errors_total 1",
+            "gts_admission_rejected_total 1",
+        ] {
+            assert!(text.contains(series), "missing `{series}`");
+        }
     }
 }

@@ -25,7 +25,7 @@ pub enum QueryKind {
 }
 
 /// A single query against a registered index.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// Target index.
     pub index: IndexId,

@@ -25,6 +25,7 @@ use crate::query::{BatchKey, IndexId, Query, QueryResult};
 use crate::trace::{EventKind, TraceRecorder, TraceSnapshot, NO_ID};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -46,6 +47,16 @@ pub enum ServiceError {
     BadQuery(&'static str),
     /// The service is shutting down and no longer accepts queries.
     ShuttingDown,
+    /// Admission control predicts the queue wait would exceed the
+    /// configured latency budget; the query was rejected instead of
+    /// stalling the caller indefinitely.
+    Overloaded {
+        /// Modeled queue wait at submission time (EWMA batch service time
+        /// × queued batches ahead).
+        predicted_wait: Duration,
+        /// The configured admission budget the prediction exceeded.
+        budget: Duration,
+    },
     /// A worker failed while executing the batch (kernel panic).
     Internal(String),
 }
@@ -62,6 +73,15 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::BadQuery(why) => write!(f, "bad query: {why}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Overloaded {
+                predicted_wait,
+                budget,
+            } => write!(
+                f,
+                "overloaded: predicted queue wait {:.3} ms exceeds budget {:.3} ms",
+                predicted_wait.as_secs_f64() * 1e3,
+                budget.as_secs_f64() * 1e3
+            ),
             ServiceError::Internal(why) => write!(f, "internal: {why}"),
         }
     }
@@ -87,6 +107,12 @@ pub struct ServiceConfig {
     /// Lifecycle-event ring capacity for the trace recorder (newest events
     /// win; 0 disables tracing).
     pub trace_capacity: usize,
+    /// Latency-budget admission control. `Some(budget)` rejects a
+    /// submission with [`ServiceError::Overloaded`] when the modeled queue
+    /// wait (EWMA batch service time × batches queued ahead, fed from the
+    /// metrics registry) exceeds `budget`, instead of stalling the caller
+    /// on backpressure. `None` (the default) admits everything.
+    pub admission_budget: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -101,16 +127,49 @@ impl Default for ServiceConfig {
             dispatch_capacity: 8,
             policy: ExecPolicy::default(),
             trace_capacity: 8192,
+            admission_budget: None,
         }
     }
 }
 
+/// A completion callback registered on a [`Ticket`]: invoked exactly once
+/// with the query's result, on the worker thread that resolved it.
+pub type CompletionFn = Box<dyn FnOnce(Result<QueryResult, ServiceError>) + Send + 'static>;
+
+/// Ticket completion state machine.
+///
+/// ```text
+///            resolve                    resolve
+/// Pending ───────────▶ Done     Waker ───────────▶ Done (+ callback fires)
+///    │ on_complete       ▲                            │ on_complete
+///    ▼                   │ resolve                    ▼ (fires immediately)
+///  Waker ────────────────┘                          Done
+/// ```
+///
+/// `Done` always retains the result, so `wait`/`try_get` keep working even
+/// after a callback delivered it — the network front-end registers a waker
+/// per query while tests and sequential callers still block.
+enum TicketState {
+    /// No result, no waiter registered.
+    Pending,
+    /// No result yet; a callback is registered to fire on resolution.
+    Waker(CompletionFn),
+    /// Resolved; the result stays readable.
+    Done(Result<QueryResult, ServiceError>),
+}
+
 struct TicketInner {
-    slot: Mutex<Option<Result<QueryResult, ServiceError>>>,
+    state: Mutex<TicketState>,
     cv: Condvar,
 }
 
 /// Completion handle for one submitted query.
+///
+/// Supports three consumption styles: blocking ([`Ticket::wait`]), bounded
+/// blocking ([`Ticket::wait_timeout`]), and asynchronous
+/// ([`Ticket::on_complete`] registers a waker callback so one connection
+/// task can multiplex completions for thousands of in-flight queries
+/// without a thread per query).
 #[derive(Clone)]
 pub struct Ticket(Arc<TicketInner>);
 
@@ -128,46 +187,132 @@ impl std::fmt::Debug for Ticket {
 impl Ticket {
     fn new() -> Self {
         Ticket(Arc::new(TicketInner {
-            slot: Mutex::new(None),
+            state: Mutex::new(TicketState::Pending),
             cv: Condvar::new(),
         }))
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, TicketState> {
+        self.0.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn resolve(&self, r: Result<QueryResult, ServiceError>) {
-        let mut slot = self.0.slot.lock().unwrap_or_else(|e| e.into_inner());
-        if slot.is_none() {
-            *slot = Some(r);
-            self.0.cv.notify_all();
+        let mut state = self.lock();
+        match std::mem::replace(&mut *state, TicketState::Done(r.clone())) {
+            TicketState::Pending => {
+                self.0.cv.notify_all();
+            }
+            TicketState::Waker(callback) => {
+                self.0.cv.notify_all();
+                // Fire outside the lock: the callback may take arbitrary
+                // locks of its own (the net writer channel, a batch
+                // aggregator) and must never deadlock against `wait`.
+                drop(state);
+                callback(r);
+            }
+            // First resolution wins; put it back.
+            TicketState::Done(first) => {
+                *state = TicketState::Done(first);
+            }
         }
     }
 
-    /// Block until the result arrives.
+    /// Register a completion callback. If the result already arrived the
+    /// callback fires immediately on the calling thread; otherwise it
+    /// fires exactly once on the resolving worker thread. A second
+    /// registration replaces an unfired first one (the replaced callback
+    /// is dropped without firing).
+    pub fn on_complete(
+        &self,
+        callback: impl FnOnce(Result<QueryResult, ServiceError>) + Send + 'static,
+    ) {
+        let mut state = self.lock();
+        match &*state {
+            TicketState::Done(r) => {
+                let r = r.clone();
+                drop(state);
+                callback(r);
+            }
+            TicketState::Pending | TicketState::Waker(_) => {
+                *state = TicketState::Waker(Box::new(callback));
+            }
+        }
+    }
+
+    /// Block until the result arrives. Loops on the condvar, re-checking
+    /// state on every wake — spurious wakeups never return early.
     pub fn wait(&self) -> Result<QueryResult, ServiceError> {
-        let mut slot = self.0.slot.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.lock();
         loop {
-            if let Some(r) = slot.as_ref() {
+            if let TicketState::Done(r) = &*state {
                 return r.clone();
             }
-            slot = self.0.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            state = self.0.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block until the result arrives or `timeout` elapses; `None` on
+    /// timeout (the ticket stays valid — a later `wait` or `try_get` can
+    /// still collect the result). The deadline is absolute: spurious
+    /// wakeups re-check state and keep waiting for the *remaining* time
+    /// rather than restarting the full timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResult, ServiceError>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            if let TicketState::Done(r) = &*state {
+                return Some(r.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (s, _) = self
+                .0
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = s;
+            // Loop re-checks: a timeout wake with a result present still
+            // returns the result; a spurious wake re-arms the wait.
         }
     }
 
     /// The result, if it has already arrived.
     pub fn try_get(&self) -> Option<Result<QueryResult, ServiceError>> {
-        self.0
-            .slot
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        match &*self.lock() {
+            TicketState::Done(r) => Some(r.clone()),
+            _ => None,
+        }
     }
 }
 
-/// Payload riding each batched query: its ticket, submit time, and trace
-/// query id.
+/// In-flight depth gauge: incremented when a submission is accepted,
+/// decremented when its tag drops (after ticket resolution on every path —
+/// worker success, worker failure, and dispatch-queue teardown alike), so
+/// the admission model's queue depth can never leak.
+struct DepthGuard(Arc<AtomicI64>);
+
+impl DepthGuard {
+    fn acquire(depth: &Arc<AtomicI64>) -> Self {
+        depth.fetch_add(1, Ordering::Relaxed);
+        DepthGuard(Arc::clone(depth))
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Payload riding each batched query: its ticket, submit time, trace query
+/// id, and the depth guard keeping the admission gauge honest.
 struct Tag {
     ticket: Ticket,
     submitted: Instant,
     query: u64,
+    _depth: DepthGuard,
 }
 
 struct Submission {
@@ -190,6 +335,7 @@ fn reject_reason(err: &ServiceError) -> &'static str {
         ServiceError::DimMismatch { .. } => "dim-mismatch",
         ServiceError::BadQuery(_) => "bad-query",
         ServiceError::ShuttingDown => "shutting-down",
+        ServiceError::Overloaded { .. } => "overloaded",
         ServiceError::Internal(_) => "internal",
     }
 }
@@ -205,6 +351,10 @@ pub struct Service {
     submit_tx: Mutex<Option<Sender<Submission>>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Queries accepted but not yet resolved (the admission model's queue
+    /// depth).
+    depth: Arc<AtomicI64>,
+    admission_budget: Option<Duration>,
 }
 
 impl Service {
@@ -244,6 +394,8 @@ impl Service {
             submit_tx: Mutex::new(Some(submit_tx)),
             batcher: Some(batcher),
             workers,
+            depth: Arc::new(AtomicI64::new(0)),
+            admission_budget: config.admission_budget,
         }
     }
 
@@ -277,6 +429,39 @@ impl Service {
                 return Err(err);
             }
         };
+        // Latency-budget admission: reject up front when the modeled wait
+        // already exceeds the budget, rather than parking the caller on a
+        // full queue it will regret.
+        if let Some(budget) = self.admission_budget {
+            let depth = self.depth.load(Ordering::Relaxed).max(0) as u64;
+            let predicted = self.shared.metrics.predicted_wait(depth);
+            let accepted = predicted <= budget;
+            trace.instant(
+                trace.now_us(),
+                qid,
+                NO_ID,
+                EventKind::Admission {
+                    accepted,
+                    predicted_us: predicted.as_micros() as u64,
+                    budget_us: budget.as_micros() as u64,
+                },
+            );
+            if !accepted {
+                self.shared.metrics.on_admission_reject();
+                trace.instant(
+                    trace.now_us(),
+                    qid,
+                    NO_ID,
+                    EventKind::Reject {
+                        reason: "overloaded",
+                    },
+                );
+                return Err(ServiceError::Overloaded {
+                    predicted_wait: predicted,
+                    budget,
+                });
+            }
+        }
         let ticket = Ticket::new();
         let submitted = Instant::now();
         trace.instant(trace.us_of(submitted), qid, NO_ID, EventKind::Submit);
@@ -287,6 +472,7 @@ impl Service {
                 ticket: ticket.clone(),
                 submitted,
                 query: qid,
+                _depth: DepthGuard::acquire(&self.depth),
             },
         };
         let tx = {
@@ -307,10 +493,16 @@ impl Service {
                 }
             }
         };
+        // Record Enqueue *before* the send: once the submission is in the
+        // channel a worker may record the query's Complete immediately,
+        // and the ring assigns sequence numbers in record order — an
+        // after-the-send Enqueue could land after its own Complete. On
+        // the (shutdown-race) send failure the optimistic event stays in
+        // the trace, followed by the Reject that tells the true outcome.
+        trace.instant(trace.now_us(), qid, NO_ID, EventKind::Enqueue);
         match tx.send(submission) {
             Ok(()) => {
                 self.shared.metrics.on_submit();
-                trace.instant(trace.now_us(), qid, NO_ID, EventKind::Enqueue);
                 Ok(ticket)
             }
             Err(_) => {
@@ -338,10 +530,37 @@ impl Service {
         self.shared.metrics.snapshot()
     }
 
+    /// The live metrics registry — front-ends (the TCP server) record
+    /// their own counters (connections, frames, protocol errors) here so
+    /// one snapshot covers the full path.
+    pub fn metrics_registry(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The live trace recorder — front-ends thread their own lifecycle
+    /// events (accept, frame decode) into the same ring the service's
+    /// batch and query events land in.
+    pub fn tracer(&self) -> &TraceRecorder {
+        &self.shared.trace
+    }
+
+    /// Queries accepted but not yet resolved — the queue depth the
+    /// admission model multiplies by the EWMA batch service time.
+    pub fn queue_depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed).max(0) as u64
+    }
+
     /// Current trace ring contents (see [`TraceSnapshot::to_chrome_json`]
     /// for the Perfetto export).
     pub fn trace(&self) -> TraceSnapshot {
         self.shared.trace.snapshot()
+    }
+
+    /// Retained trace events with sequence number ≥ `cursor`, plus the
+    /// count of matching events already evicted by ring wraparound — the
+    /// incremental feed a streaming trace sink drains.
+    pub fn trace_events_since(&self, cursor: u64) -> (Vec<crate::trace::TraceEvent>, u64) {
+        self.shared.trace.events_since(cursor)
     }
 
     /// Stop accepting new queries without consuming the service — the
@@ -508,10 +727,11 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                     .map(|e| dispatched.duration_since(e.tag.submitted))
                     .max()
                     .unwrap_or(Duration::ZERO);
-                shared
-                    .metrics
-                    .on_batch(&BatchRecord::from_outcome(&out, queue_wait, index_name));
                 let done = Instant::now();
+                let exec = done.duration_since(dispatched);
+                shared.metrics.on_batch(&BatchRecord::from_outcome(
+                    &out, queue_wait, exec, index_name,
+                ));
                 let done_us = trace.us_of(done);
                 // One batch span per dispatched batch — the invariant the
                 // observability tests check against `batches` in the
@@ -553,7 +773,7 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                         },
                     );
                 }
-                for (e, r) in entries.iter().zip(out.results) {
+                for (e, r) in entries.into_iter().zip(out.results) {
                     shared
                         .metrics
                         .on_complete(index_name, done.duration_since(e.tag.submitted));
@@ -565,17 +785,148 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                         id,
                         EventKind::Complete,
                     );
-                    e.tag.ticket.resolve(Ok(r));
+                    // Depth guard drops *before* the ticket resolves, so a
+                    // caller observing completion never sees a stale depth
+                    // (the admission model would reject spuriously).
+                    let Tag { ticket, _depth, .. } = e.tag;
+                    drop(_depth);
+                    ticket.resolve(Ok(r));
                 }
             }
             Err(err) => {
                 let reason = reject_reason(&err);
                 let now_us = trace.now_us();
-                for e in &entries {
+                for e in entries {
                     trace.instant(now_us, e.tag.query, id, EventKind::Reject { reason });
-                    e.tag.ticket.resolve(Err(err.clone()));
+                    let Tag { ticket, _depth, .. } = e.tag;
+                    drop(_depth);
+                    ticket.resolve(Err(err.clone()));
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+
+    fn nn_result(dist2: f32) -> QueryResult {
+        QueryResult::Nn { id: 0, dist2 }
+    }
+
+    #[test]
+    fn wait_timeout_expires_then_collects_a_late_result() {
+        let t = Ticket::new();
+        let start = Instant::now();
+        assert!(t.wait_timeout(Duration::from_millis(20)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        // The ticket stays valid after a timeout.
+        t.resolve(Ok(nn_result(1.0)));
+        assert!(matches!(
+            t.wait_timeout(Duration::from_millis(1)),
+            Some(Ok(QueryResult::Nn { .. }))
+        ));
+    }
+
+    #[test]
+    fn wait_timeout_returns_early_when_resolved_concurrently() {
+        let t = Ticket::new();
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            t2.resolve(Ok(nn_result(2.0)));
+        });
+        let start = Instant::now();
+        let got = t.wait_timeout(Duration::from_secs(30));
+        assert!(matches!(got, Some(Ok(QueryResult::Nn { .. }))));
+        assert!(start.elapsed() < Duration::from_secs(30));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn completion_before_wait_returns_immediately() {
+        let t = Ticket::new();
+        t.resolve(Ok(nn_result(3.0)));
+        // All three consumption styles see the already-present result.
+        assert!(matches!(t.try_get(), Some(Ok(QueryResult::Nn { .. }))));
+        assert!(matches!(t.wait(), Ok(QueryResult::Nn { .. })));
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        t.on_complete(move |r| {
+            assert!(r.is_ok());
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "fires on calling thread");
+    }
+
+    #[test]
+    fn drop_without_wait_is_clean() {
+        // Dropping an unread ticket must not panic, leak a waiter, or
+        // block the resolving side.
+        let t = Ticket::new();
+        drop(t.clone());
+        t.resolve(Ok(nn_result(4.0)));
+        drop(t);
+
+        // And dropping before resolution: the worker-side clone resolves
+        // into the void without error.
+        let t = Ticket::new();
+        let worker = t.clone();
+        drop(t);
+        worker.resolve(Ok(nn_result(5.0)));
+    }
+
+    #[test]
+    fn first_resolution_wins() {
+        let t = Ticket::new();
+        t.resolve(Ok(nn_result(1.0)));
+        t.resolve(Err(ServiceError::ShuttingDown));
+        let Ok(QueryResult::Nn { dist2, .. }) = t.wait() else {
+            panic!("second resolution overwrote the first");
+        };
+        assert_eq!(dist2, 1.0);
+    }
+
+    #[test]
+    fn waker_fires_exactly_once_on_resolution() {
+        let t = Ticket::new();
+        let (tx, rx) = mpsc::channel();
+        t.on_complete(move |r| tx.send(r).unwrap());
+        assert!(rx.try_recv().is_err(), "not fired before resolution");
+        t.resolve(Ok(nn_result(6.0)));
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Ok(Ok(QueryResult::Nn { .. }))
+        ));
+        assert!(rx.try_recv().is_err(), "fired exactly once");
+        // The result is still readable after the callback consumed a copy.
+        assert!(matches!(t.try_get(), Some(Ok(QueryResult::Nn { .. }))));
+    }
+
+    #[test]
+    fn second_waker_replaces_unfired_first() {
+        let t = Ticket::new();
+        let (tx1, rx1) = mpsc::channel();
+        let (tx2, rx2) = mpsc::channel();
+        t.on_complete(move |r| tx1.send(r).unwrap());
+        t.on_complete(move |r| tx2.send(r).unwrap());
+        t.resolve(Ok(nn_result(7.0)));
+        assert!(rx1.try_recv().is_err(), "replaced waker never fires");
+        assert!(rx2.recv_timeout(Duration::from_secs(5)).is_ok());
+    }
+
+    #[test]
+    fn depth_guard_tracks_acquire_and_drop() {
+        let depth = Arc::new(AtomicI64::new(0));
+        let a = DepthGuard::acquire(&depth);
+        let b = DepthGuard::acquire(&depth);
+        assert_eq!(depth.load(Ordering::Relaxed), 2);
+        drop(a);
+        assert_eq!(depth.load(Ordering::Relaxed), 1);
+        drop(b);
+        assert_eq!(depth.load(Ordering::Relaxed), 0);
     }
 }

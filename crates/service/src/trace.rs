@@ -77,10 +77,34 @@ pub enum EventKind {
     },
     /// Query result delivered (span: submit → resolve).
     Complete,
-    /// Query rejected (validation, shutdown, or worker failure).
+    /// Query rejected (validation, shutdown, admission, or worker
+    /// failure).
     Reject {
         /// Stable short reason tag.
         reason: &'static str,
+    },
+    /// The network front-end accepted a TCP connection.
+    Accept {
+        /// Connection id (ascending per server).
+        conn: u64,
+    },
+    /// One frame decoded off a network connection.
+    FrameDecode {
+        /// Connection id.
+        conn: u64,
+        /// Stable frame-type tag (`"submit"`, `"batch_submit"`, …).
+        frame: &'static str,
+        /// Frame body length in bytes.
+        bytes: u64,
+    },
+    /// An admission-control verdict for one submission.
+    Admission {
+        /// Whether the query was admitted.
+        accepted: bool,
+        /// Modeled queue wait at the verdict, microseconds.
+        predicted_us: u64,
+        /// Configured latency budget, microseconds.
+        budget_us: u64,
     },
 }
 
@@ -226,6 +250,27 @@ impl TraceRecorder {
         self.len() == 0
     }
 
+    /// Retained events with `seq >= cursor` (oldest first), plus how many
+    /// matching events wraparound already evicted — the incremental feed
+    /// for a streaming sink. A sink that drains faster than the ring wraps
+    /// sees every event exactly once with zero misses.
+    pub fn events_since(&self, cursor: u64) -> (Vec<TraceEvent>, u64) {
+        let ring = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.buf.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let oldest = ring.buf[ring.head % ring.buf.len()].seq;
+        let missed = oldest.saturating_sub(cursor);
+        let mut events = Vec::new();
+        for i in 0..ring.buf.len() {
+            let ev = &ring.buf[(ring.head + i) % ring.buf.len()];
+            if ev.seq >= cursor {
+                events.push(ev.clone());
+            }
+        }
+        (events, missed)
+    }
+
     /// Copy out the retained events (oldest first) plus the drop count.
     pub fn snapshot(&self) -> TraceSnapshot {
         let ring = self.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -303,6 +348,7 @@ impl TraceSnapshot {
 const BATCH_PID: u64 = 1;
 const QUERY_PID: u64 = 2;
 const SHARD_PID: u64 = 3;
+const NET_PID: u64 = 4;
 
 fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
     // All names and reason tags are static identifiers — no JSON string
@@ -315,6 +361,9 @@ fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
         EventKind::ShardVisit { shard, .. } => ("shard_visit", "X", SHARD_PID, u64::from(*shard)),
         EventKind::Complete => ("query", "X", QUERY_PID, ev.query),
         EventKind::Reject { .. } => ("reject", "i", QUERY_PID, ev.query),
+        EventKind::Accept { conn } => ("accept", "i", NET_PID, *conn),
+        EventKind::FrameDecode { conn, .. } => ("frame", "i", NET_PID, *conn),
+        EventKind::Admission { .. } => ("admission", "i", NET_PID, 0),
     };
     out.push_str(&format!(
         "{{\"name\":\"{name}\",\"cat\":\"gts\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}",
@@ -374,9 +423,168 @@ fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
         EventKind::Reject { reason } => {
             out.push_str(&format!(",\"reason\":\"{reason}\""));
         }
+        EventKind::Accept { conn } => {
+            out.push_str(&format!(",\"conn\":{conn}"));
+        }
+        EventKind::FrameDecode { conn, frame, bytes } => {
+            out.push_str(&format!(
+                ",\"conn\":{conn},\"frame\":\"{frame}\",\"bytes\":{bytes}"
+            ));
+        }
+        EventKind::Admission {
+            accepted,
+            predicted_us,
+            budget_us,
+        } => {
+            out.push_str(&format!(
+                ",\"accepted\":{accepted},\"predicted_us\":{predicted_us},\
+                 \"budget_us\":{budget_us}"
+            ));
+        }
         EventKind::Submit | EventKind::Enqueue | EventKind::Complete => {}
     }
     out.push_str("}}");
+}
+
+/// Incremental Chrome-trace file writer — the streaming trace sink.
+///
+/// Events append to `<path>.tmp` as they drain from the ring; the file is
+/// kept *always* valid JSON by rewriting the closing `]` in place on every
+/// append (seek back over the two-byte `\n]` tail, write the new events,
+/// re-append the tail). The first append atomically renames the tmp file
+/// into place, so `path` either doesn't exist yet or holds a complete,
+/// Perfetto-loadable array — even if the process is killed mid-run. A
+/// sink that drains on a timer therefore produces traces *longer than the
+/// ring*: the ring only has to hold one drain interval's worth of events,
+/// not the whole run.
+pub struct TraceStream {
+    file: std::fs::File,
+    tmp: std::path::PathBuf,
+    path: std::path::PathBuf,
+    published: bool,
+    cursor: u64,
+    events_written: u64,
+    missed: u64,
+}
+
+/// Final accounting of a [`TraceStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStreamStats {
+    /// Events written to the file.
+    pub events_written: u64,
+    /// Events the ring evicted before a drain reached them.
+    pub missed: u64,
+}
+
+/// Byte length of the always-present stream tail (`\n]\n`).
+const STREAM_TAIL: &[u8] = b"\n]\n";
+
+impl TraceStream {
+    /// Open the stream, creating `<path>.tmp` holding an empty valid
+    /// trace (`[\n]`).
+    pub fn create(path: impl Into<std::path::PathBuf>) -> std::io::Result<TraceStream> {
+        use std::io::Write as _;
+        let path = path.into();
+        let tmp = {
+            let mut os = path.clone().into_os_string();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(b"[")?;
+        file.write_all(STREAM_TAIL)?;
+        Ok(TraceStream {
+            file,
+            tmp,
+            path,
+            published: false,
+            cursor: 0,
+            events_written: 0,
+            missed: 0,
+        })
+    }
+
+    /// The sequence number the next drain should pass to
+    /// [`TraceRecorder::events_since`].
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Append `events` (ascending `seq`, all ≥ the current cursor) and
+    /// account `missed` ring evictions. Publishes the tmp file into place
+    /// on the first append so the target path is loadable from then on.
+    pub fn append(&mut self, events: &[TraceEvent], missed: u64) -> std::io::Result<()> {
+        use std::io::{Seek as _, SeekFrom, Write as _};
+        self.missed += missed;
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut chunk = String::with_capacity(events.len() * 160);
+        for (i, ev) in events.iter().enumerate() {
+            // Comma before every event except the first one in the file.
+            if self.events_written + i as u64 > 0 {
+                chunk.push(',');
+            }
+            chunk.push('\n');
+            write_chrome_event(ev, &mut chunk);
+        }
+        // Rewind over the `\n]\n` tail, splice the events, restore the
+        // tail — the file is valid JSON before and after every append.
+        self.file.seek(SeekFrom::End(-(STREAM_TAIL.len() as i64)))?;
+        self.file.write_all(chunk.as_bytes())?;
+        self.file.write_all(STREAM_TAIL)?;
+        self.file.flush()?;
+        self.events_written += events.len() as u64;
+        self.cursor = events.last().expect("nonempty").seq + 1;
+        if !self.published {
+            std::fs::rename(&self.tmp, &self.path)?;
+            self.published = true;
+        }
+        Ok(())
+    }
+
+    /// Drain everything the recorder still holds past the cursor, publish,
+    /// and close.
+    pub fn finish(mut self, recorder: &TraceRecorder) -> std::io::Result<TraceStreamStats> {
+        let (events, missed) = recorder.events_since(self.cursor);
+        self.append(&events, missed)?;
+        self.seal()
+    }
+
+    /// [`TraceStream::finish`] from a final [`TraceSnapshot`] instead of a
+    /// live recorder — the shutdown path, where the service (and with it
+    /// the recorder) has already been consumed and the snapshot is all
+    /// that remains.
+    pub fn finish_with_snapshot(
+        mut self,
+        snap: &TraceSnapshot,
+    ) -> std::io::Result<TraceStreamStats> {
+        let missed = snap
+            .events
+            .first()
+            .map(|e| e.seq.saturating_sub(self.cursor))
+            .unwrap_or(0);
+        let tail: Vec<TraceEvent> = snap
+            .events
+            .iter()
+            .filter(|e| e.seq >= self.cursor)
+            .cloned()
+            .collect();
+        self.append(&tail, missed)?;
+        self.seal()
+    }
+
+    fn seal(mut self) -> std::io::Result<TraceStreamStats> {
+        if !self.published {
+            // Nothing was ever appended: still publish the (empty) trace.
+            std::fs::rename(&self.tmp, &self.path)?;
+            self.published = true;
+        }
+        Ok(TraceStreamStats {
+            events_written: self.events_written,
+            missed: self.missed,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -545,6 +753,119 @@ mod tests {
                 assert_eq!(tid.as_f64(), 2.0, "tid is the shard index");
             }
         }
+    }
+
+    #[test]
+    fn events_since_is_an_exact_incremental_feed() {
+        let rec = TraceRecorder::new(8);
+        for q in 0..5 {
+            submit_at(&rec, q, q);
+        }
+        let (evs, missed) = rec.events_since(0);
+        assert_eq!(evs.len(), 5);
+        assert_eq!(missed, 0);
+        let cursor = evs.last().unwrap().seq + 1;
+        let (evs, missed) = rec.events_since(cursor);
+        assert!(evs.is_empty());
+        assert_eq!(missed, 0);
+        // Push 20 more: the ring (capacity 8) evicts everything between
+        // the cursor and the oldest survivor.
+        for q in 5..25 {
+            submit_at(&rec, q, q);
+        }
+        let (evs, missed) = rec.events_since(cursor);
+        assert_eq!(evs.len(), 8, "only the newest 8 retained");
+        assert_eq!(evs.first().unwrap().seq, 17);
+        assert_eq!(missed, 17 - cursor);
+    }
+
+    #[test]
+    fn trace_stream_writes_traces_longer_than_the_ring() {
+        let dir = std::env::temp_dir().join(format!("gts-trace-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.json");
+        let rec = TraceRecorder::new(8);
+        let mut stream = TraceStream::create(&path).unwrap();
+        // 50 events through an 8-slot ring, drained every 4 events — the
+        // file ends up with all 50, far more than the ring ever held.
+        for q in 0..50u64 {
+            submit_at(&rec, q, q);
+            if q % 4 == 3 {
+                let (evs, missed) = rec.events_since(stream.cursor());
+                stream.append(&evs, missed).unwrap();
+                // Mid-run the published file is already complete JSON.
+                let txt = std::fs::read_to_string(&path).unwrap();
+                let v: serde::Value = serde_json::from_str(&txt).expect("mid-run trace parses");
+                assert!(matches!(v, serde::Value::Array(_)));
+            }
+        }
+        let stats = stream.finish(&rec).unwrap();
+        assert_eq!(stats.events_written, 50);
+        assert_eq!(stats.missed, 0, "drains kept pace with the ring");
+        let txt = std::fs::read_to_string(&path).unwrap();
+        let serde::Value::Array(events) = serde_json::from_str(&txt).unwrap() else {
+            panic!("final trace is not an array");
+        };
+        assert_eq!(events.len(), 50);
+        assert!(!dir.join("stream.json.tmp").exists(), "tmp renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_stream_counts_missed_events_when_drains_lag() {
+        let dir = std::env::temp_dir().join(format!("gts-trace-lag-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lag.json");
+        let rec = TraceRecorder::new(4);
+        let stream = TraceStream::create(&path).unwrap();
+        // 20 events, no intermediate drain: only the newest 4 survive.
+        for q in 0..20u64 {
+            submit_at(&rec, q, q);
+        }
+        let stats = stream.finish(&rec).unwrap();
+        assert_eq!(stats.events_written, 4);
+        assert_eq!(stats.missed, 16);
+        let txt = std::fs::read_to_string(&path).unwrap();
+        let v: serde::Value = serde_json::from_str(&txt).unwrap();
+        assert!(matches!(v, serde::Value::Array(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn net_events_render_on_their_own_track() {
+        let rec = TraceRecorder::new(16);
+        rec.instant(1, NO_ID, NO_ID, EventKind::Accept { conn: 7 });
+        rec.instant(
+            2,
+            NO_ID,
+            NO_ID,
+            EventKind::FrameDecode {
+                conn: 7,
+                frame: "batch_submit",
+                bytes: 4096,
+            },
+        );
+        rec.instant(
+            3,
+            42,
+            NO_ID,
+            EventKind::Admission {
+                accepted: false,
+                predicted_us: 1500,
+                budget_us: 1000,
+            },
+        );
+        let json = rec.snapshot().to_chrome_json();
+        let v: serde::Value = serde_json::from_str(&json).expect("net trace parses");
+        let serde::Value::Array(events) = v else {
+            panic!("not an array")
+        };
+        assert_eq!(events.len(), 3);
+        assert!(json.contains("\"name\":\"accept\""));
+        assert!(json.contains("\"frame\":\"batch_submit\""));
+        assert!(json.contains("\"accepted\":false"));
+        assert!(json.contains("\"predicted_us\":1500"));
+        assert!(json.contains("\"pid\":4"), "net events on the net pid");
     }
 
     #[test]

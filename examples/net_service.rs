@@ -1,0 +1,97 @@
+//! Networked query service walkthrough: bind the binary-frame TCP
+//! front-end on an ephemeral loopback port, then drive it with
+//! `gts_net::Client` — a synchronous round-trip, a pipelined batch, and
+//! an admission-control rejection.
+//!
+//! ```text
+//! cargo run --release --example net_service
+//! ```
+//!
+//! The same protocol serves `gts-harness serve --listen` and
+//! `gts-harness loadgen --connect`; this example is the programmatic
+//! client shape (DESIGN.md §12).
+
+use gpu_tree_traversals::net::{Client, NetServer};
+use gpu_tree_traversals::service::{
+    KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, TreeIndex,
+};
+use gpu_tree_traversals::trees::SplitPolicy;
+use gts_points::gen::uniform;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let pts = uniform::<3>(4_096, 20130901);
+    let service = Arc::new(Service::start(ServiceConfig {
+        max_wait: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    }));
+    let id = service.register_index(Arc::new(KdIndex::build(
+        "uniform3d",
+        &pts,
+        8,
+        SplitPolicy::MedianCycle,
+    )) as Arc<dyn TreeIndex>);
+
+    let server = NetServer::bind("127.0.0.1:0", Arc::clone(&service)).expect("bind loopback");
+    let addr = server.local_addr();
+    println!("serving on {addr} (protocol version negotiated per connection)");
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // One synchronous round-trip: a frame out, a frame back.
+    let nn = client
+        .query(Query {
+            index: id,
+            pos: vec![0.5, 0.5, 0.5],
+            kind: QueryKind::Nn,
+        })
+        .expect("transport ok")
+        .expect("query ok");
+    if let QueryResult::Nn { dist2, id } = nn {
+        println!("nn    : point {id} at dist² {dist2:.5}");
+    }
+
+    // A pipelined batch: 256 queries in ONE frame, answered by one
+    // BatchResult frame once every ticket resolves. The client is free
+    // to do other work (or send more frames) in between.
+    let queries: Vec<Query> = pts
+        .iter()
+        .take(256)
+        .map(|p| Query {
+            index: id,
+            pos: p.0.to_vec(),
+            kind: QueryKind::Knn { k: 4 },
+        })
+        .collect();
+    let base = client.send_batch(&queries).expect("send frame");
+    let results = client.recv_batch(base).expect("recv frame");
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    println!(
+        "batch : {ok}/{} queries answered in one frame round-trip",
+        results.len()
+    );
+
+    // The socket path returns exactly what an in-process call returns.
+    let direct = service
+        .query(queries[0].clone())
+        .expect("in-process query ok");
+    assert_eq!(results[0].as_ref().expect("batch slot ok"), &direct);
+    println!("check : socket result is bit-identical to in-process");
+
+    // Errors arrive as structured frames, not dropped connections: an
+    // unknown index is answered immediately.
+    let err = client
+        .query(Query {
+            index: 99,
+            pos: vec![0.0, 0.0, 0.0],
+            kind: QueryKind::Nn,
+        })
+        .expect("transport ok")
+        .expect_err("unknown index rejected");
+    println!("error : {} — {}", err.code as u8, err.message);
+
+    client.shutdown().expect("drain and close");
+    server.shutdown();
+    println!("done  : connection drained, server stopped");
+}

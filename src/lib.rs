@@ -20,6 +20,8 @@
 //! * [`harness`] — regenerates the paper's Table 1, Table 2, Figures 10/11.
 //! * [`service`] — a batched concurrent query service that applies the
 //!   paper's sort + profile + executor-choice pipeline per batch, online.
+//! * [`net`] — the TCP front-end over [`service`]: length-prefixed binary
+//!   frames, batch submission, waker-multiplexed completions.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@
 pub use gts_apps as apps;
 pub use gts_harness as harness;
 pub use gts_ir as ir;
+pub use gts_net as net;
 pub use gts_points as points;
 pub use gts_runtime as runtime;
 pub use gts_service as service;

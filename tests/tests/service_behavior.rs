@@ -252,6 +252,54 @@ fn forced_cpu_backend_serves_queries_too() {
     );
 }
 
+#[test]
+fn admission_rejects_with_predicted_wait_instead_of_stalling() {
+    // Deadline far away so parked queries can only flush by size (or the
+    // shutdown drain); budget of 1ns so any nonzero modeled wait rejects.
+    let budget = Duration::from_nanos(1);
+    let (service, pts) = small_service(ServiceConfig {
+        batch_queries: 64,
+        max_wait: Duration::from_secs(3600),
+        admission_budget: Some(budget),
+        ..ServiceConfig::default()
+    });
+
+    // Phase 1 — seed the EWMA model: exactly one size-triggered flush.
+    // With no completed batches yet, the model predicts zero wait and
+    // everything is admitted.
+    let tickets: Vec<Ticket> = (0..64)
+        .map(|i| service.submit(nn_query(pts[i % pts.len()].0)).unwrap())
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+
+    // Phase 2 — queue one query (parks in the batcher, depth = 1), then
+    // every further submission sees a modeled wait above the 1ns budget.
+    let parked = service.submit(nn_query(pts[0].0)).unwrap();
+    let err = service.submit(nn_query(pts[1].0)).unwrap_err();
+    let ServiceError::Overloaded {
+        predicted_wait,
+        budget: got_budget,
+    } = err
+    else {
+        panic!("expected Overloaded, got {err:?}");
+    };
+    assert!(
+        predicted_wait > Duration::ZERO,
+        "rejection carries the model"
+    );
+    assert_eq!(got_budget, budget);
+
+    // Rejected callers return immediately; admitted work still completes
+    // (the shutdown drain flushes the parked query) — never a stall.
+    let snapshot = service.shutdown();
+    assert!(matches!(parked.try_get(), Some(Ok(_))));
+    assert_eq!(snapshot.completed, 65);
+    assert_eq!(snapshot.admission_rejected, 1);
+    assert_eq!(snapshot.rejected, 1);
+}
+
 /// The worker pool's thread-safety contract, enforced at compile time:
 /// everything shared across service threads is `Send + Sync`, and the
 /// traversal kernels themselves can be shared by the simulation's host
