@@ -14,8 +14,9 @@
 //! | [`bh`] | oct-tree | no | 1 | traversal-variant `dsq` argument rides the rope stack |
 //! | [`pc`] | kd (median) | no | 1 | radius count, bbox truncation |
 //! | [`knn`] | kd (median) | yes | 2 | bounded k-best set, bbox pruning |
-//! | [`nn`] | kd (midpoint) | yes | 2 | split-plane pruning, variant argument |
+//! | [`nn`] | kd (midpoint) | yes | 2 | split-plane pruning, variant argument; [`nn::NnAabbKernel`] swaps in box pruning for the stackless skip walk |
 //! | [`vp`] | vantage-point | yes | 2 | metric-shell pruning |
+//! | [`wald`] | left-balanced implicit kd | — | — | NN/kNN/PC via the stack-free Wald walk ([`gts_runtime::gpu::stackless::run_wald`]) |
 //!
 //! All three guided kernels carry the §4.3 `CALL_SETS_EQUIVALENT`
 //! annotation: their call sets reorder the search but cannot change the
@@ -36,3 +37,4 @@ pub mod oracle;
 pub mod pc;
 pub mod ray;
 pub mod vp;
+pub mod wald;

@@ -163,13 +163,117 @@ impl<const D: usize> TraversalKernel for NnKernel<'_, D> {
     }
 }
 
+/// NN over the same kd-tree with **bounding-box pruning instead of the
+/// carried split-plane bound** — no traversal-variant argument.
+///
+/// Slightly weaker pruning than [`NnKernel`] (the box distance at the node
+/// replaces the accumulated plane bound), but the truncation test is fully
+/// re-derivable from per-node state, which is what the stackless skip-link
+/// walk ([`gts_runtime::gpu::stackless::run_skip`]) requires: it has no
+/// stack to carry an argument on. Results are identical — a pruned box
+/// only hides points the update rule would reject anyway.
+pub struct NnAabbKernel<'t, const D: usize> {
+    tree: &'t KdTree<D>,
+    depth: usize,
+}
+
+impl<'t, const D: usize> NnAabbKernel<'t, D> {
+    /// Kernel over `tree`.
+    pub fn new(tree: &'t KdTree<D>) -> Self {
+        NnAabbKernel {
+            tree,
+            depth: tree.depth(),
+        }
+    }
+}
+
+impl<const D: usize> TraversalKernel for NnAabbKernel<'_, D> {
+    type Point = NnPoint<D>;
+    type Args = ();
+    const MAX_KIDS: usize = 2;
+    const CALL_SETS: usize = 2;
+    const CALL_SETS_EQUIVALENT: bool = true;
+
+    fn n_nodes(&self) -> usize {
+        self.tree.n_nodes()
+    }
+    fn is_leaf(&self, node: NodeId) -> bool {
+        self.tree.is_leaf(node)
+    }
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        self.tree.is_leaf(node).then(|| {
+            (
+                self.tree.first[node as usize],
+                self.tree.count[node as usize],
+            )
+        })
+    }
+    fn node_bytes(&self) -> NodeBytes {
+        NodeBytes::kd(D)
+    }
+    fn max_depth(&self) -> usize {
+        self.depth
+    }
+    fn root_args(&self) {}
+
+    fn choose(&self, p: &NnPoint<D>, node: NodeId, _args: ()) -> usize {
+        let axis = self.tree.split_dim[node as usize] as usize;
+        usize::from(p.pos[axis] >= self.tree.split_val[node as usize])
+    }
+
+    fn visit(
+        &self,
+        p: &mut NnPoint<D>,
+        node: NodeId,
+        _args: (),
+        forced: Option<usize>,
+        kids: &mut ChildBuf<()>,
+    ) -> VisitOutcome {
+        let b = gts_trees::Aabb {
+            lo: self.tree.bbox_lo[node as usize],
+            hi: self.tree.bbox_hi[node as usize],
+        };
+        if b.dist2_to(&p.pos) > p.best_d2 {
+            return VisitOutcome::Truncated;
+        }
+        if self.tree.is_leaf(node) {
+            let first = self.tree.first[node as usize];
+            for (k, q) in self.tree.leaf_points(node).iter().enumerate() {
+                let d2 = q.dist2(&p.pos);
+                if d2 > 0.0 && d2 < p.best_d2 {
+                    p.best_d2 = d2;
+                    p.best_idx = first + k as u32;
+                }
+            }
+            return VisitOutcome::Leaf;
+        }
+        let set = forced.unwrap_or_else(|| self.choose(p, node, ()));
+        let l = Child {
+            node: self.tree.left(node),
+            args: (),
+        };
+        let r = Child {
+            node: self.tree.right[node as usize],
+            args: (),
+        };
+        if set == 0 {
+            kids.push(l);
+            kids.push(r);
+        } else {
+            kids.push(r);
+            kids.push(l);
+        }
+        VisitOutcome::Descended { call_set: set }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::oracle;
     use gts_points::gen::uniform;
     use gts_runtime::cpu;
-    use gts_runtime::gpu::{autoropes, lockstep, recursive, GpuConfig};
+    use gts_runtime::gpu::{autoropes, lockstep, recursive, stackless, GpuConfig};
     use gts_trees::SplitPolicy;
     use proptest::prelude::*;
 
@@ -252,6 +356,48 @@ mod tests {
         cpu::run_sequential(&kernel, &mut qs);
         // Never the trivial zero; always the nearest distinct point.
         assert!(qs.iter().all(|q| q.best_d2 > 0.0 && q.best_d2.is_finite()));
+    }
+
+    #[test]
+    fn aabb_kernel_matches_plane_kernel_everywhere() {
+        let pts = uniform::<3>(250, 46);
+        let tree = KdTree::build(&pts, 4, SplitPolicy::MidpointWidest);
+        let plane = NnKernel::new(&tree);
+        let aabb = NnAabbKernel::new(&tree);
+        let cfg = GpuConfig::default();
+        let make = || pts.iter().map(|&p| NnPoint::new(p)).collect::<Vec<_>>();
+
+        let mut a = make();
+        autoropes::run(&plane, &mut a, &cfg);
+        let mut b = make();
+        autoropes::run(&aabb, &mut b, &cfg);
+        // Weaker pruning, identical answers — bitwise.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.best_d2, y.best_d2);
+            assert_eq!(x.best_idx, y.best_idx);
+        }
+    }
+
+    #[test]
+    fn aabb_kernel_rides_the_skip_walk() {
+        // The reason this kernel exists: NN through the stackless
+        // skip-link executor, which refuses variant-argument kernels.
+        let pts = uniform::<3>(300, 47);
+        let tree = KdTree::build(&pts, 4, SplitPolicy::MidpointWidest);
+        let aabb = NnAabbKernel::new(&tree);
+        let cfg = GpuConfig::default();
+
+        let mut sk = pts.iter().map(|&p| NnPoint::new(p)).collect::<Vec<_>>();
+        let r = stackless::run_skip(&aabb, &mut sk, &tree.skip, &cfg);
+        check(&pts, &sk);
+        assert_eq!(r.launch.counters.stack_bytes_peak, 0);
+
+        let mut ar = pts.iter().map(|&p| NnPoint::new(p)).collect::<Vec<_>>();
+        autoropes::run(&aabb, &mut ar, &cfg);
+        for (x, y) in sk.iter().zip(&ar) {
+            assert_eq!(x.best_d2, y.best_d2);
+            assert_eq!(x.best_idx, y.best_idx);
+        }
     }
 
     proptest! {

@@ -29,13 +29,23 @@ pub fn render_service(s: &MetricsSnapshot) -> String {
         " batches           {:>12}   (mean size {:.1}, max {})\n",
         s.batches, s.mean_batch_size, s.max_batch_size
     ));
+    let mix: Vec<String> = s
+        .backend_batches
+        .iter()
+        .map(|b| format!("{} {}", b.batches, b.backend))
+        .collect();
     out.push_str(&format!(
-        " backend mix       {:>12}   {} lockstep / {} autoropes / {} cpu\n",
-        "", s.lockstep_batches, s.autoropes_batches, s.cpu_batches
+        " backend mix       {:>12}   {}\n",
+        "",
+        mix.join(" / ")
     ));
     out.push_str(&format!(
         " node visits       {:>12}   ({} (query, shard) fan-outs pruned)\n",
         s.node_visits, s.shards_pruned
+    ));
+    out.push_str(&format!(
+        " stack footprint   {:>12}   peak bytes/warp ({} stack transactions)\n",
+        s.stack_bytes_peak, s.stack_transactions
     ));
     out.push_str(&format!(
         " profile cache     {:>12}   {} hits / {} misses / {} evictions\n",
@@ -207,6 +217,8 @@ mod tests {
             work_expansion: 1.25,
             mask_occupancy: 0.75,
             shards_pruned: 2,
+            stack_bytes_peak: 0,
+            stack_transactions: 0,
             queue_wait: Duration::from_millis(1),
             exec: Duration::from_millis(2),
             profile_cache_hits: 3,
@@ -215,7 +227,10 @@ mod tests {
         });
         m.on_complete("demo", Duration::from_millis(3));
         let text = render_service(&m.snapshot());
-        assert!(text.contains("1 lockstep / 0 autoropes / 0 cpu"), "{text}");
+        assert!(
+            text.contains("1 lockstep / 0 autoropes / 0 stackless-kd / 0 stackless-bvh / 0 cpu"),
+            "{text}"
+        );
         assert!(text.contains("p99.9"), "{text}");
         assert!(text.contains("mask occupancy"), "{text}");
         assert!(text.contains("2 (query, shard) fan-outs pruned"), "{text}");

@@ -17,22 +17,56 @@ pub struct Series {
     pub points: Vec<(usize, f64)>,
 }
 
-/// One panel: a benchmark × {lockstep, non-lockstep} sub-figure.
+/// Which GPU executor a panel plots against the CPU sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The lockstep (L) executor.
+    Lockstep,
+    /// The non-lockstep autoropes (N) executor.
+    NonLockstep,
+    /// The ropes-free skip-link (stackless) executor.
+    Stackless,
+}
+
+impl Variant {
+    /// Display label used in figure headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Lockstep => "Lockstep",
+            Variant::NonLockstep => "Non-Lockstep",
+            Variant::Stackless => "Stackless",
+        }
+    }
+
+    /// File-name slug for CSV export.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Variant::Lockstep => "lockstep",
+            Variant::NonLockstep => "nonlockstep",
+            Variant::Stackless => "stackless",
+        }
+    }
+
+    /// All variants, in panel order.
+    pub const ALL: [Variant; 3] = [Variant::Lockstep, Variant::NonLockstep, Variant::Stackless];
+}
+
+/// One panel: a benchmark × variant sub-figure.
 #[derive(Debug, Clone)]
 pub struct Panel {
     /// Benchmark name.
     pub benchmark: String,
-    /// Lockstep variant?
-    pub lockstep: bool,
+    /// Which executor the panel plots.
+    pub variant: Variant,
     /// One series per input.
     pub series: Vec<Series>,
 }
 
-fn series_for(cell: &CellResult, lockstep: bool) -> Option<Series> {
-    let gpu_ms = if lockstep {
-        cell.lockstep.as_ref()?.traversal_ms
-    } else {
-        cell.non_lockstep.traversal_ms
+fn series_for(cell: &CellResult, variant: Variant) -> Option<Series> {
+    let gpu_ms = match variant {
+        Variant::Lockstep => cell.lockstep.as_ref()?.traversal_ms,
+        Variant::NonLockstep => cell.non_lockstep.traversal_ms,
+        Variant::Stackless => cell.stackless_ms?,
     };
     Some(Series {
         input: cell.non_lockstep.input.clone(),
@@ -52,19 +86,19 @@ pub fn panels(suite: &SuiteResult, sorted: bool) -> Vec<Panel> {
         if cell.non_lockstep.sorted != sorted {
             continue;
         }
-        for lockstep in [true, false] {
-            let Some(series) = series_for(cell, lockstep) else {
+        for variant in Variant::ALL {
+            let Some(series) = series_for(cell, variant) else {
                 continue;
             };
             let benchmark = cell.non_lockstep.benchmark.clone();
             match out
                 .iter_mut()
-                .find(|p| p.benchmark == benchmark && p.lockstep == lockstep)
+                .find(|p| p.benchmark == benchmark && p.variant == variant)
             {
                 Some(p) => p.series.push(series),
                 None => out.push(Panel {
                     benchmark,
-                    lockstep,
+                    variant,
                     series: vec![series],
                 }),
             }
@@ -81,11 +115,7 @@ pub fn render(suite: &SuiteResult, sorted: bool) -> String {
         out.push_str(&format!(
             "\n{figure}: {} — {} (CPU perf vs GPU; >1 means CPU faster)\n",
             panel.benchmark,
-            if panel.lockstep {
-                "Lockstep"
-            } else {
-                "Non-Lockstep"
-            }
+            panel.variant.label()
         ));
         if let Some(first) = panel.series.first() {
             out.push_str(&format!("{:<10}", "threads"));
@@ -118,12 +148,7 @@ pub fn write_csv(
     let mut written = Vec::new();
     for panel in panels(suite, sorted) {
         let slug = panel.benchmark.to_lowercase().replace([' ', '-'], "_");
-        let variant = if panel.lockstep {
-            "lockstep"
-        } else {
-            "nonlockstep"
-        };
-        let path = dir.join(format!("{fig}_{slug}_{variant}.csv"));
+        let path = dir.join(format!("{fig}_{slug}_{}.csv", panel.variant.slug()));
         let mut body = String::from("threads");
         for s in &panel.series {
             body.push(',');
@@ -156,9 +181,18 @@ mod tests {
         let mut cfg = HarnessConfig::at_scale(0.002);
         cfg.threads = vec![1, 4];
         let suite = run_suite(&cfg, Some("Nearest Neighbor"));
-        // "Nearest Neighbor" matches kNN and NN: 2 benchmarks × L/N.
+        // "Nearest Neighbor" matches kNN and NN: 2 benchmarks × L/N, plus
+        // a stackless panel for kNN only (NN's kernel carries variant
+        // arguments, which the skip walk cannot hold).
         let p10 = panels(&suite, true);
-        assert_eq!(p10.len(), 4);
+        assert_eq!(p10.len(), 5);
+        assert_eq!(
+            p10.iter()
+                .filter(|p| p.variant == Variant::Stackless)
+                .map(|p| p.benchmark.as_str())
+                .collect::<Vec<_>>(),
+            vec!["k-Nearest Neighbor"]
+        );
         for p in &p10 {
             assert_eq!(p.series.len(), 4, "one series per input");
             for s in &p.series {

@@ -26,8 +26,8 @@
 
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
-    percentile, Backend, ExecPolicy, KdIndex, MetricsSnapshot, OpKey, Query, QueryKind, Service,
-    ServiceConfig, ShardedIndex, TreeIndex,
+    percentile, Backend, BackendBatches, ExecPolicy, KdIndex, MetricsSnapshot, OpKey, Query,
+    QueryKind, Service, ServiceConfig, ShardedIndex, TreeIndex,
 };
 use gts_trees::{PointN, SplitPolicy};
 use rand::{Rng, SeedableRng};
@@ -66,6 +66,14 @@ pub struct LoadgenConfig {
     pub metrics_file: Option<String>,
     /// Observability summary JSON path.
     pub obs_out: String,
+    /// Force every batch onto one backend (`None` = the §4.4 profiler
+    /// decides per batch — the `--backend auto` default).
+    pub backend: Option<Backend>,
+    /// Let the profiler steer low-similarity batches to the stackless
+    /// Wald walk instead of autoropes ([`ExecPolicy::stackless`]).
+    pub stackless: bool,
+    /// Per-backend comparison JSON path (`BENCH_stackless.json`).
+    pub stackless_out: String,
 }
 
 impl Default for LoadgenConfig {
@@ -83,6 +91,9 @@ impl Default for LoadgenConfig {
             trace_file: None,
             metrics_file: None,
             obs_out: "BENCH_obs.json".into(),
+            backend: None,
+            stackless: false,
+            stackless_out: "BENCH_stackless.json".into(),
         }
     }
 }
@@ -134,6 +145,14 @@ pub struct BenchReport {
     pub latency_max_ms: f64,
     /// Longest submit-to-dispatch wait, ms.
     pub queue_wait_max_ms: f64,
+    /// Requested backend mode: `"auto"` or the forced backend's name.
+    pub backend: String,
+    /// Batches per backend, one entry per [`Backend::ALL`] member.
+    pub backend_batches: Vec<BackendBatches>,
+    /// Peak rope-stack bytes any warp used across the batched phase.
+    pub stack_bytes_peak: u64,
+    /// Total rope-stack memory transactions of the batched phase.
+    pub stack_transactions: u64,
 }
 
 /// Sequential-vs-parallel sharded dispatch comparison
@@ -172,6 +191,45 @@ pub struct ParallelBenchReport {
     pub profile_cache_evictions: u64,
     /// `hits / (hits + misses)` of the parallel phase.
     pub profile_cache_hit_rate: f64,
+}
+
+/// One backend's row in the stackless comparison
+/// ([`StacklessBenchReport`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StacklessBackendRow {
+    /// Backend name ([`Backend::name`]).
+    pub backend: String,
+    /// Total modeled GPU ms across the replayed batches.
+    pub model_ms: f64,
+    /// Modeled queries/second.
+    pub qps_model: f64,
+    /// Total tree-node visits.
+    pub node_visits: u64,
+    /// Peak rope-stack bytes any warp used (must be 0 for the stackless
+    /// backends — the CI smoke asserts it).
+    pub stack_bytes_peak: u64,
+    /// Total rope-stack memory transactions (0 for stackless).
+    pub stack_transactions: u64,
+    /// p50 per-batch wall ms.
+    pub wall_p50_ms: f64,
+    /// p99 per-batch wall ms.
+    pub wall_p99_ms: f64,
+}
+
+/// Per-backend comparison (`BENCH_stackless.json`): the same seeded batch
+/// stream replayed with each executor forced, results checked bit-identical
+/// against the autoropes baseline before the report is built.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StacklessBenchReport {
+    /// Queries replayed per backend.
+    pub queries: u64,
+    /// Batches replayed per backend.
+    pub batches: u64,
+    /// Every compared backend returned bit-identical results (asserted —
+    /// a report is only written when this is `true`).
+    pub results_identical: bool,
+    /// One row per compared backend, autoropes first.
+    pub backends: Vec<StacklessBackendRow>,
 }
 
 /// Observability summary of one loadgen run (`BENCH_obs.json`): how the
@@ -254,6 +312,29 @@ pub(crate) fn synth_mix(
         .collect()
 }
 
+/// Group a request stream by `(index, op)` the way the batcher coalesces,
+/// then chunk each group to the batch-size target — the replay unit both
+/// comparison phases share.
+fn group_batches(requests: &[Request], batch: usize) -> Vec<(usize, OpKey, Vec<Vec<f32>>)> {
+    type OpGroup = ((usize, OpKey), Vec<Vec<f32>>);
+    let mut groups: Vec<OpGroup> = Vec::new();
+    for r in requests {
+        let key = (r.index, r.kind.op_key().expect("valid kinds"));
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => v.push(r.pos.clone()),
+            None => groups.push((key, vec![r.pos.clone()])),
+        }
+    }
+    groups
+        .into_iter()
+        .flat_map(|((idx, op), pos)| {
+            pos.chunks(batch)
+                .map(|c| (idx, op, c.to_vec()))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
 pub(crate) fn bbox_diag(points: &[Vec<f32>]) -> f32 {
     let dim = points[0].len();
     let mut lo = vec![f32::INFINITY; dim];
@@ -271,8 +352,9 @@ pub(crate) fn bbox_diag(points: &[Vec<f32>]) -> f32 {
 }
 
 /// Run the loadgen and return (human report, machine report,
-/// observability artifacts, sequential-vs-parallel comparison). The last
-/// element is `Some` only for sharded runs (`shards > 1`).
+/// observability artifacts, sequential-vs-parallel comparison, per-backend
+/// stackless comparison). The parallel comparison is `Some` only for
+/// sharded runs (`shards > 1`); the stackless comparison always runs.
 pub fn run(
     cfg: &LoadgenConfig,
 ) -> (
@@ -280,6 +362,7 @@ pub fn run(
     BenchReport,
     ObsArtifacts,
     Option<ParallelBenchReport>,
+    StacklessBenchReport,
 ) {
     // Two indices of different dimension and split policy.
     let pts3: Vec<PointN<3>> = uniform::<3>(cfg.points, cfg.seed);
@@ -330,7 +413,11 @@ pub fn run(
         batch_queries: cfg.batch,
         max_wait: Duration::from_secs(3600),
         workers: cfg.workers,
-        policy: ExecPolicy::default(),
+        policy: ExecPolicy {
+            force: cfg.backend,
+            stackless: cfg.stackless,
+            ..ExecPolicy::default()
+        },
         // Room for every query's full lifecycle (submit + enqueue +
         // complete, plus per-batch spans) so nothing wraps and the
         // batch-span count can be checked against the metrics exactly.
@@ -381,23 +468,9 @@ pub fn run(
     // The sequential pass pins one sub-batch thread and disables the
     // profile cache — exactly the pre-parallelism dispatcher — while the
     // parallel pass uses `shard_threads` workers and cached profiles.
+    let replay_batches = group_batches(&requests, cfg.batch);
     let parallel = (cfg.shards > 1).then(|| {
-        // Group the request stream by (index, op) the way the batcher
-        // coalesces, then chunk each group to the batch-size target.
-        type OpGroup = ((usize, OpKey), Vec<Vec<f32>>);
-        let mut groups: Vec<OpGroup> = Vec::new();
-        for r in &requests {
-            let key = (r.index, r.kind.op_key().expect("valid kinds"));
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, v)) => v.push(r.pos.clone()),
-                None => groups.push((key, vec![r.pos.clone()])),
-            }
-        }
-        let batches: Vec<(usize, OpKey, &[Vec<f32>])> = groups
-            .iter()
-            .flat_map(|((idx, op), pos)| pos.chunks(cfg.batch).map(|c| (*idx, *op, c)))
-            .collect();
-
+        let batches = &replay_batches;
         let seq_policy = ExecPolicy {
             shard_parallelism: 1,
             profile_cache: false,
@@ -417,7 +490,7 @@ pub fn run(
         let mut seq_ms = Vec::with_capacity(batches.len());
         let mut par_ms = Vec::with_capacity(batches.len());
         let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
-        for (idx, op, pos) in &batches {
+        for (idx, op, pos) in batches {
             let (mut seq_best, mut par_best) = (f64::INFINITY, f64::INFINITY);
             for _ in 0..REPS {
                 let t0 = Instant::now();
@@ -469,6 +542,66 @@ pub fn run(
         }
     });
 
+    // Per-backend comparison: the same batch stream with each executor
+    // forced. The rope-stack counters are the headline — the stackless
+    // executors must move zero stack bytes while returning bit-identical
+    // results to the autoropes baseline.
+    let stackless = {
+        let compare = [
+            Backend::Autoropes,
+            Backend::StacklessKd,
+            Backend::StacklessBvh,
+        ];
+        let mut rows = Vec::with_capacity(compare.len());
+        let mut baseline: Vec<Vec<gts_service::QueryResult>> = Vec::new();
+        for backend in compare {
+            let policy = ExecPolicy::forced(backend);
+            let mut model_ms = 0.0;
+            let mut node_visits = 0u64;
+            let (mut peak, mut tx) = (0u64, 0u64);
+            let mut wall = Vec::with_capacity(replay_batches.len());
+            for (bi, (idx, op, pos)) in replay_batches.iter().enumerate() {
+                let t0 = Instant::now();
+                let out = indices[*idx].run_batch(*op, pos, &policy);
+                wall.push(t0.elapsed().as_secs_f64() * 1e3);
+                model_ms += out.model_ms;
+                node_visits += out.node_visits;
+                peak = peak.max(out.stack_bytes_peak);
+                tx += out.stack_transactions;
+                if backend == Backend::Autoropes {
+                    baseline.push(out.results);
+                } else {
+                    assert_eq!(
+                        out.results,
+                        baseline[bi],
+                        "{} diverged from autoropes on batch {bi}",
+                        backend.name()
+                    );
+                }
+            }
+            rows.push(StacklessBackendRow {
+                backend: backend.name().to_string(),
+                model_ms,
+                qps_model: if model_ms > 0.0 {
+                    cfg.queries as f64 / (model_ms / 1e3)
+                } else {
+                    0.0
+                },
+                node_visits,
+                stack_bytes_peak: peak,
+                stack_transactions: tx,
+                wall_p50_ms: percentile(&wall, 50.0),
+                wall_p99_ms: percentile(&wall, 99.0),
+            });
+        }
+        StacklessBenchReport {
+            queries: cfg.queries as u64,
+            batches: replay_batches.len() as u64,
+            results_identical: true,
+            backends: rows,
+        }
+    };
+
     let batched_qps = cfg.queries as f64 / (snapshot.model_ms / 1e3);
     let single_qps = if single_model_ms > 0.0 {
         cfg.queries as f64 / (single_model_ms / 1e3)
@@ -501,6 +634,12 @@ pub fn run(
         latency_p999_ms: snapshot.latency_p999_ms,
         latency_max_ms: snapshot.latency_max_ms,
         queue_wait_max_ms: snapshot.queue_wait_max_ms,
+        backend: cfg
+            .backend
+            .map_or_else(|| "auto".to_string(), |b| b.name().to_string()),
+        backend_batches: snapshot.backend_batches.clone(),
+        stack_bytes_peak: snapshot.stack_bytes_peak,
+        stack_transactions: snapshot.stack_transactions,
     };
     let artifacts = ObsArtifacts {
         obs: ObsReport {
@@ -545,11 +684,16 @@ pub fn run(
             report.modeled_speedup
         ));
     }
+    let backend_counts: Vec<String> = snapshot
+        .backend_batches
+        .iter()
+        .filter(|b| b.batches > 0)
+        .map(|b| format!("{} {}", b.batches, b.backend))
+        .collect();
     text.push_str(&format!(
-        "  batches: {} ({} lockstep / {} autoropes), mean size {:.1}, mean work expansion {:.2}, mean mask occupancy {:.2}\n",
+        "  batches: {} ({}), mean size {:.1}, mean work expansion {:.2}, mean mask occupancy {:.2}\n",
         snapshot.batches,
-        snapshot.lockstep_batches,
-        snapshot.autoropes_batches,
+        backend_counts.join(" / "),
         snapshot.mean_batch_size,
         snapshot.mean_work_expansion,
         snapshot.mean_mask_occupancy
@@ -585,7 +729,13 @@ pub fn run(
             100.0 * p.profile_cache_hit_rate
         ));
     }
-    (text, report, artifacts, parallel)
+    for row in &stackless.backends {
+        text.push_str(&format!(
+            "  backend {:<13}: {:8.2} modeled ms → {:9.0} q/s, stack peak {} B, stack tx {}\n",
+            row.backend, row.model_ms, row.qps_model, row.stack_bytes_peak, row.stack_transactions
+        ));
+    }
+    (text, report, artifacts, parallel, stackless)
 }
 
 /// CLI entry: parse `args` (everything after the subcommand) and run.
@@ -602,7 +752,9 @@ pub fn main_loadgen(args: &[String]) {
         eprintln!(
             "usage: gts-harness loadgen [--queries N] [--points N] [--seed N] \
              [--workers N] [--batch N] [--shards N] [--shard-threads N] [--out PATH] \
-             [--skip-single] [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH]\n\
+             [--skip-single] [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH] \
+             [--backend auto|lockstep|autoropes|stackless-kd|stackless-bvh|cpu] \
+             [--stackless] [--stackless-out PATH]\n\
              \n\
              networked mode:\n\
              gts-harness loadgen --connect HOST:PORT [--connections N] [--frame-queries N] \
@@ -668,6 +820,22 @@ pub fn main_loadgen(args: &[String]) {
                 cfg.obs_out = need(i).to_string();
                 i += 2;
             }
+            "--backend" => {
+                let name = need(i);
+                cfg.backend = match name {
+                    "auto" => None,
+                    _ => Some(Backend::from_name(name).unwrap_or_else(|| usage())),
+                };
+                i += 2;
+            }
+            "--stackless" => {
+                cfg.stackless = true;
+                i += 1;
+            }
+            "--stackless-out" => {
+                cfg.stackless_out = need(i).to_string();
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -677,7 +845,7 @@ pub fn main_loadgen(args: &[String]) {
         cfg.out = "BENCH_sharded.json".into();
     }
 
-    let (text, report, artifacts, parallel) = run(&cfg);
+    let (text, report, artifacts, parallel, stackless) = run(&cfg);
     print!("{text}");
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     let mut f = std::fs::File::create(&cfg.out).expect("create bench json");
@@ -688,6 +856,9 @@ pub fn main_loadgen(args: &[String]) {
         std::fs::write("BENCH_parallel.json", json).expect("write parallel json");
         eprintln!("wrote BENCH_parallel.json");
     }
+    let json = serde_json::to_string_pretty(&stackless).expect("serialize stackless report");
+    std::fs::write(&cfg.stackless_out, json).expect("write stackless json");
+    eprintln!("wrote {}", cfg.stackless_out);
     let obs_json = serde_json::to_string_pretty(&artifacts.obs).expect("serialize obs report");
     std::fs::write(&cfg.obs_out, obs_json).expect("write obs json");
     eprintln!("wrote {}", cfg.obs_out);
@@ -782,13 +953,33 @@ mod tests {
             workers: 2,
             ..LoadgenConfig::default()
         };
-        let (_, a, obs_a, par) = run(&cfg);
-        let (_, b, _, _) = run(&cfg);
+        let (_, a, obs_a, par, sl) = run(&cfg);
+        let (_, b, _, _, sl_b) = run(&cfg);
         assert!(par.is_none(), "flat runs have no parallel comparison");
         // Modeled numbers are reproducible under a fixed seed.
         assert_eq!(a.batched_model_ms, b.batched_model_ms);
         assert_eq!(a.single_model_ms, b.single_model_ms);
         assert_eq!(a.lockstep_batches, b.lockstep_batches);
+        assert_eq!(a.backend, "auto");
+        assert_eq!(
+            a.backend_batches.iter().map(|b| b.batches).sum::<u64>(),
+            a.lockstep_batches + a.autoropes_batches
+        );
+        // The per-backend comparison ran with bit-identical results;
+        // stackless rows moved zero rope-stack bytes, autoropes paid.
+        assert!(sl.results_identical);
+        assert_eq!(sl.backends.len(), 3);
+        assert_eq!(sl.backends[0].backend, "autoropes");
+        assert!(sl.backends[0].stack_transactions > 0);
+        assert!(sl.backends[0].stack_bytes_peak > 0);
+        for row in &sl.backends[1..] {
+            assert_eq!(row.stack_transactions, 0, "{} paid stack", row.backend);
+            assert_eq!(row.stack_bytes_peak, 0, "{} reserved stack", row.backend);
+            assert!(row.model_ms > 0.0);
+        }
+        for (x, y) in sl.backends.iter().zip(&sl_b.backends) {
+            assert_eq!(x.model_ms, y.model_ms, "{} not deterministic", x.backend);
+        }
         // Warp-coalesced batching beats one-query-per-launch on modeled
         // throughput.
         assert!(
@@ -829,8 +1020,14 @@ mod tests {
             skip_single: true,
             ..LoadgenConfig::default()
         };
-        let (_, a, obs, par_a) = run(&cfg);
-        let (_, b, _, _) = run(&cfg);
+        let (_, a, obs, par_a, sl) = run(&cfg);
+        let (_, b, _, _, _) = run(&cfg);
+        // The stackless comparison also runs sharded; zero stack traffic
+        // must survive the sub-batch aggregation.
+        assert!(sl.results_identical);
+        assert!(sl.backends[1..]
+            .iter()
+            .all(|r| r.stack_transactions == 0 && r.stack_bytes_peak == 0));
         assert_eq!(a.batched_model_ms, b.batched_model_ms);
         assert_eq!(a.shards_pruned, b.shards_pruned);
         assert_eq!(a.shards, 4);

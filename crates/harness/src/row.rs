@@ -43,6 +43,9 @@ pub struct CellResult {
     pub recursive_l_ms: Option<f64>,
     /// Modeled ms of the recursive-GPU non-lockstep variant.
     pub recursive_n_ms: f64,
+    /// Modeled ms of the ropes-free skip-link (stackless) executor, when
+    /// the kernel is skip-eligible and the tree provides escape links.
+    pub stackless_ms: Option<f64>,
     /// The §4.4 sortedness profiler's decision (`Some(true)` = lockstep),
     /// when the kernel is lockstep-eligible.
     pub profiler_picks_lockstep: Option<bool>,
@@ -107,6 +110,7 @@ mod tests {
             cpu_sweep: vec![(1, 100.0), (32, 8.0)],
             recursive_l_ms: None,
             recursive_n_ms: 0.0,
+            stackless_ms: None,
             profiler_picks_lockstep: Some(true),
             profiler_similarity: Some(0.8),
         };
@@ -124,6 +128,7 @@ mod tests {
             cpu_sweep: vec![],
             recursive_l_ms: None,
             recursive_n_ms: 0.0,
+            stackless_ms: None,
             profiler_picks_lockstep: None,
             profiler_similarity: None,
         };

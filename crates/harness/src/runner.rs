@@ -1,9 +1,10 @@
 //! The generic per-cell measurement driver.
 
 use gts_points::profile::{profile_sortedness, DEFAULT_THRESHOLD};
-use gts_runtime::gpu::{autoropes, lockstep, recursive, GpuConfig};
+use gts_runtime::gpu::{autoropes, lockstep, recursive, stackless, GpuConfig};
 use gts_runtime::report::work_expansion;
 use gts_runtime::{cpu, TraversalKernel};
+use gts_trees::NodeId;
 
 use crate::row::{CellResult, Row};
 
@@ -40,6 +41,11 @@ fn host_cores() -> usize {
 ///
 /// `lockstep_gpu` lets callers run the lockstep variant with a different
 /// stack layout (e.g. the shared-memory stack the paper uses for BH).
+///
+/// `skip` supplies the tree's Apetrei escape links when the caller has
+/// them; the ropes-free stackless executor is measured as an extra series
+/// whenever the links are present and the kernel tolerates the canonical
+/// left-first order without variant arguments.
 #[allow(clippy::too_many_arguments)]
 pub fn run_config<K: TraversalKernel>(
     benchmark: &str,
@@ -50,6 +56,7 @@ pub fn run_config<K: TraversalKernel>(
     gpu: &GpuConfig,
     lockstep_gpu: &GpuConfig,
     threads: &[usize],
+    skip: Option<&[NodeId]>,
 ) -> CellResult {
     // --- CPU sweep: real wall time where the host has the cores,
     // Amdahl-modeled from the measured 1-thread time otherwise (this host
@@ -85,6 +92,11 @@ pub fn run_config<K: TraversalKernel>(
     let ar = autoropes::run(kernel, &mut pts, gpu);
     let mut pts = fresh();
     let rec_n = recursive::run(kernel, &mut pts, gpu, false);
+    let skip_eligible = !K::ARGS_VARIANT && (K::CALL_SETS == 1 || K::CALL_SETS_EQUIVALENT);
+    let stackless_ms = skip.filter(|_| skip_eligible).map(|links| {
+        let mut pts = fresh();
+        stackless::run_skip(kernel, &mut pts, links, gpu).ms()
+    });
 
     let lockstep_eligible = K::CALL_SETS == 1 || K::CALL_SETS_EQUIVALENT;
     // §4.4 run-time profiling: sample neighboring points' traversals and
@@ -144,6 +156,7 @@ pub fn run_config<K: TraversalKernel>(
         cpu_sweep,
         recursive_l_ms: rec_l.map(|r| r.ms()),
         recursive_n_ms: rec_n.ms(),
+        stackless_ms,
         profiler_picks_lockstep: profiler.as_ref().map(|r| r.use_lockstep),
         profiler_similarity: profiler.as_ref().map(|r| r.mean_similarity),
     }
@@ -176,6 +189,7 @@ mod tests {
             &gpu,
             &gpu,
             &[1, 2, 32],
+            Some(&tree.skip),
         );
         let l = cell
             .lockstep

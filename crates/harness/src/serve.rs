@@ -29,8 +29,8 @@
 use gts_net::NetServer;
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
-    ExecPolicy, KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig, ShardedIndex,
-    TraceStream, TreeIndex,
+    Backend, ExecPolicy, KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig,
+    ShardedIndex, TraceStream, TreeIndex,
 };
 use gts_trees::SplitPolicy;
 use std::io::BufRead as _;
@@ -107,11 +107,15 @@ pub fn main_serve(args: &[String]) {
     let mut listen: Option<String> = None;
     let mut port_file: Option<String> = None;
     let mut admission_budget_us: Option<u64> = None;
+    let mut backend: Option<Backend> = None;
+    let mut stackless = false;
     let usage = || -> ! {
         eprintln!(
             "usage: gts-harness serve [--points N] [--seed N] [--shards N] \
              [--shard-threads N] [--metrics-file PATH] [--trace-file PATH] \
-             [--listen ADDR] [--port-file PATH] [--admission-budget-us N]"
+             [--listen ADDR] [--port-file PATH] [--admission-budget-us N] \
+             [--backend auto|lockstep|autoropes|stackless-kd|stackless-bvh|cpu] \
+             [--stackless]"
         );
         std::process::exit(2)
     };
@@ -159,6 +163,18 @@ pub fn main_serve(args: &[String]) {
                 admission_budget_us = Some(need(i).parse().unwrap_or_else(|_| usage()));
                 i += 2;
             }
+            "--backend" => {
+                let name = need(i);
+                backend = match name {
+                    "auto" => None,
+                    _ => Some(Backend::from_name(name).unwrap_or_else(|| usage())),
+                };
+                i += 2;
+            }
+            "--stackless" => {
+                stackless = true;
+                i += 1;
+            }
             _ => usage(),
         }
     }
@@ -169,6 +185,8 @@ pub fn main_serve(args: &[String]) {
         admission_budget: admission_budget_us.map(Duration::from_micros),
         policy: ExecPolicy {
             shard_parallelism: shard_threads,
+            force: backend,
+            stackless,
             ..ExecPolicy::default()
         },
         ..ServiceConfig::default()

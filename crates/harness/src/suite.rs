@@ -90,6 +90,7 @@ pub fn bh_cells(cfg: &HarnessConfig, input: Dataset) -> Vec<CellResult> {
                 &cfg.gpu,
                 &ls_gpu,
                 &cfg.threads,
+                None,
             )
         })
         .collect()
@@ -119,6 +120,7 @@ fn dm_cells<const D: usize>(
                     &cfg.gpu,
                     &cfg.gpu,
                     &cfg.threads,
+                    Some(&tree.skip),
                 )
             }
             "k-Nearest Neighbor" => {
@@ -134,6 +136,7 @@ fn dm_cells<const D: usize>(
                     &cfg.gpu,
                     &cfg.gpu,
                     &cfg.threads,
+                    Some(&tree.skip),
                 )
             }
             "Nearest Neighbor" => {
@@ -144,10 +147,14 @@ fn dm_cells<const D: usize>(
                     input,
                     sorted,
                     &kernel,
+                    // NnKernel carries traversal-variant arguments, so the
+                    // skip-eligibility gate declines these links; the
+                    // AABB-pruned variant runs in the service path instead.
                     || queries.iter().map(|&p| NnPoint::new(p)).collect(),
                     &cfg.gpu,
                     &cfg.gpu,
                     &cfg.threads,
+                    Some(&tree.skip),
                 )
             }
             "Vantage Point" => {
@@ -162,6 +169,7 @@ fn dm_cells<const D: usize>(
                     &cfg.gpu,
                     &cfg.gpu,
                     &cfg.threads,
+                    None,
                 )
             }
             other => panic!("unknown data-mining benchmark {other}"),

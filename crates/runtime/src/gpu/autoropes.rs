@@ -129,6 +129,9 @@ fn warp_body<K: TraversalKernel>(
             }
         }
     }
+    // Per-lane stacks: the warp's peak footprint is its deepest observed
+    // stack times one entry per lane.
+    sim.counters.stack_bytes_peak = max_depth as u64 * scene.stack.entry_bytes() * n_lanes as u64;
     (counts, warp_iters, max_depth)
 }
 

@@ -174,6 +174,9 @@ fn warp_body<K: TraversalKernel>(
             max_depth = max_depth.max(stack.len());
         }
     }
+    // One shared stack per warp: the footprint does not scale with lanes
+    // (each entry already carries the per-lane argument slots).
+    sim.counters.stack_bytes_peak = max_depth as u64 * scene.stack.entry_bytes();
     (counts, warp_nodes, max_depth)
 }
 

@@ -1,6 +1,7 @@
-//! Simulated-GPU executors: naïve recursion, autoropes, lockstep.
+//! Simulated-GPU executors: naïve recursion, autoropes, lockstep, and the
+//! stackless (skip-link / Wald) walks.
 //!
-//! All three share the launch scaffolding in this module: points are
+//! All of them share the launch scaffolding in this module: points are
 //! partitioned into warps of 32 lanes; each warp is simulated independently
 //! (real computation + event mirroring into [`gts_sim::WarpSim`]) and the
 //! per-warp results fold into a [`gts_sim::KernelLaunch`] **in warp order**,
@@ -10,6 +11,7 @@
 pub mod autoropes;
 pub mod lockstep;
 pub mod recursive;
+pub mod stackless;
 
 use gts_sim::{
     AddressMap, CostModel, DeviceConfig, KernelLaunch, L2Config, RegionId, SimCounters, WarpMask,
@@ -168,12 +170,8 @@ pub(crate) struct WarpOut {
     max_depth: usize,
 }
 
-/// Simulate every warp of `points` with `warp_fn`, on `cfg.host_threads`
-/// host threads, and fold the results deterministically.
-///
-/// `warp_fn(warp_index, lanes, sim)` runs the traversal for one warp's
-/// points (`lanes.len() <= 32`), mirroring costs into `sim`, and returns
-/// `(per_point_nodes, warp_nodes, max_stack_depth)`.
+/// [`drive_points`] with the kernel threaded through to the warp body —
+/// the shape every [`TraversalKernel`]-driven executor uses.
 pub(crate) fn drive<K, F>(
     kernel: &K,
     points: &mut [K::Point],
@@ -185,18 +183,41 @@ where
     K: TraversalKernel,
     F: Fn(&K, usize, &mut [K::Point], &mut WarpSim<'_>) -> (Vec<u32>, u64, usize) + Sync,
 {
+    drive_points(points, cfg, scene, |warp, lanes, sim| {
+        warp_fn(kernel, warp, lanes, sim)
+    })
+}
+
+/// Simulate every warp of `points` with `warp_fn`, on `cfg.host_threads`
+/// host threads, and fold the results deterministically. Generic over the
+/// point type only, so executors that do not speak [`TraversalKernel`]
+/// (the Wald walker's own kernel interface) can reuse the scaffolding.
+///
+/// `warp_fn(warp_index, lanes, sim)` runs the traversal for one warp's
+/// points (`lanes.len() <= 32`), mirroring costs into `sim`, and returns
+/// `(per_point_nodes, warp_nodes, max_stack_depth)`.
+pub(crate) fn drive_points<P, F>(
+    points: &mut [P],
+    cfg: &GpuConfig,
+    scene: &Scene,
+    warp_fn: F,
+) -> GpuReport
+where
+    P: Send,
+    F: Fn(usize, &mut [P], &mut WarpSim<'_>) -> (Vec<u32>, u64, usize) + Sync,
+{
     let n = points.len();
     let n_warps = n.div_ceil(WARP_SIZE);
     let segment = cfg.device.segment_bytes;
 
-    let run_warp = |warp_idx: usize, lanes: &mut [K::Point]| -> WarpOut {
+    let run_warp = |warp_idx: usize, lanes: &mut [P]| -> WarpOut {
         let mut sim = WarpSim::with_l2(&scene.map, &cfg.cost, segment, cfg.l2.as_ref());
         let mask = WarpMask::first(lanes.len());
         // Thread prologue: grid-stride loop loads each lane's point record
         // (coalesced — adjacent lanes, adjacent records).
         sim.step(4);
         sim.load(scene.points, mask, |l| (warp_idx * WARP_SIZE + l) as u64);
-        let (per_point_nodes, warp_nodes, max_depth) = warp_fn(kernel, warp_idx, lanes, &mut sim);
+        let (per_point_nodes, warp_nodes, max_depth) = warp_fn(warp_idx, lanes, &mut sim);
         // Epilogue: store results back.
         sim.step(2);
         sim.load(scene.points, mask, |l| (warp_idx * WARP_SIZE + l) as u64);

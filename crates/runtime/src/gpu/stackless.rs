@@ -1,0 +1,739 @@
+//! Stackless executors: traversals that keep **no rope stack at all**.
+//!
+//! The paper's executors (§3 autoropes, §4 lockstep) trade the recursive
+//! baseline's call frames for an explicit rope stack. These two executors
+//! go one step further and eliminate the stack itself — their traversal
+//! state is one or two node ids per lane, held in registers. Observable
+//! consequence in the simulator: the `rope_stack` region records **zero
+//! transactions** and [`gts_sim::SimCounters::stack_bytes_peak`] is 0.
+//!
+//! * [`run_skip`] — the ropes-free *skip-link* walk over any left-biased
+//!   preorder tree (kd, BVH, …): descend to `n + 1`, escape to `skip[n]`
+//!   (the Apetrei-style escape link computed at build time by
+//!   [`gts_trees::linearize::skip_links`]). One live node id per lane.
+//!   Because the walk hard-codes the canonical left-first order it demands
+//!   the same annotation lockstep does: a guided kernel must declare
+//!   `CALL_SETS_EQUIVALENT` (§4.3), and per-node variant arguments cannot
+//!   ride along (there is nowhere to keep them) — pruning must be
+//!   re-derivable at the node, e.g. from its bounding box.
+//!
+//! * [`run_wald`] — the stack-free kd walk of Wald's left-balanced
+//!   implicit-layout tree ([`gts_trees::LbKdTree`]): children at
+//!   `2n + 1` / `2n + 2`, parents recomputed arithmetically, traversal
+//!   state just `(current, previous)`. Backtracking re-visits interior
+//!   nodes (extra node loads instead of stack traffic); the far child is
+//!   culled against the query's *current* shrunken radius at decision
+//!   time, which recovers most of what a stack's deferred entries would
+//!   have pruned. Speaks its own tiny [`WaldKernel`] interface because
+//!   there are no child pushes for [`TraversalKernel`]'s visit contract to
+//!   describe.
+//!
+//! Neither executor's node schedule depends on how sorted the batch is —
+//! there is no per-warp stack to thrash — which is why the §4.4 policy
+//! prefers them on low-similarity batches.
+
+use gts_sim::{AddressMap, MemSpace, WarpMask, WarpSim, WARP_SIZE};
+use gts_trees::layout::{NodeBytes, NodeLayout, TreeRegions};
+use gts_trees::{NodeId, NO_NODE};
+
+use crate::kernel::{ChildBuf, TraversalKernel, VisitOutcome};
+use crate::report::GpuReport;
+use crate::stack::{StackLayout, StackRegion};
+
+use super::{drive, drive_points, scan_leaves_per_lane, GpuConfig, Scene};
+
+/// Run the ropes-free skip-link traversal of `points` over `kernel`.
+///
+/// `skip` is the tree's escape-link table (`tree.skip`, computed at build
+/// time); the tree must be in left-biased preorder with the left child at
+/// `n + 1` — the invariant every builder in `gts-trees` maintains.
+///
+/// # Panics
+/// Panics if the kernel is guided without the §4.3 equivalence annotation
+/// (the walk forces the canonical left-first order), if it carries
+/// traversal-variant arguments (a stackless walk has nowhere to keep
+/// them), or if `skip` does not match the kernel's node count.
+pub fn run_skip<K: TraversalKernel>(
+    kernel: &K,
+    points: &mut [K::Point],
+    skip: &[NodeId],
+    cfg: &GpuConfig,
+) -> GpuReport {
+    assert!(
+        K::CALL_SETS == 1 || K::CALL_SETS_EQUIVALENT,
+        "skip-link traversal forces the canonical child order; a guided kernel requires the CALL_SETS_EQUIVALENT annotation (§4.3)"
+    );
+    assert!(
+        !K::ARGS_VARIANT,
+        "skip-link traversal cannot carry traversal-variant arguments; prune from per-node state (e.g. bounding boxes) instead"
+    );
+    assert_eq!(
+        skip.len(),
+        kernel.n_nodes(),
+        "skip-link table does not match the tree"
+    );
+    // The scene keeps a stack region for shape uniformity, but the walk
+    // never touches it: its absence from per-region transactions *is* the
+    // result. Pin the global layout so no shared memory gets pinned either.
+    let cfg = GpuConfig {
+        stack_layout: StackLayout::InterleavedGlobal,
+        ..cfg.clone()
+    };
+    let scene = Scene::build(kernel, points.len(), &cfg, "rope_stack", 0);
+    drive(kernel, points, &cfg, &scene, |kernel, _warp, lanes, sim| {
+        skip_warp_body(kernel, &scene, skip, lanes, sim)
+    })
+}
+
+fn skip_warp_body<K: TraversalKernel>(
+    kernel: &K,
+    scene: &Scene,
+    skip: &[NodeId],
+    lanes: &mut [K::Point],
+    sim: &mut WarpSim<'_>,
+) -> (Vec<u32>, u64, usize) {
+    let n_lanes = lanes.len();
+    let mut curr = [NO_NODE; WARP_SIZE];
+    for c in curr.iter_mut().take(n_lanes) {
+        *c = 0;
+    }
+    let mut counts = vec![0u32; n_lanes];
+    let mut warp_iters = 0u64;
+    let mut kids: ChildBuf<K::Args> = Vec::with_capacity(K::MAX_KIDS);
+
+    loop {
+        let active = WarpMask::ballot(|l| l < n_lanes && curr[l] != NO_NODE);
+        if active.none_active() {
+            break;
+        }
+        warp_iters += 1;
+        // Loop header: done test + next-node select. No pop — the next
+        // node is computed, not loaded.
+        sim.step(2);
+        sim.load(scene.tree.nodes0, active, |l| curr[l] as u64);
+        sim.step(kernel.visit_insts());
+        sim.visit_node(active.count() as u64);
+
+        let mut outcome_kinds = [0u8; WARP_SIZE]; // 0 idle, 1 trunc, 2 leaf, 3 descend
+        let mut leaf_of: [Option<(u32, u32)>; WARP_SIZE] = [None; WARP_SIZE];
+        let mut descend_mask = WarpMask::NONE;
+        for l in active.iter_active() {
+            let node = curr[l];
+            counts[l] += 1;
+            kids.clear();
+            match kernel.visit(&mut lanes[l], node, kernel.root_args(), None, &mut kids) {
+                VisitOutcome::Truncated => {
+                    outcome_kinds[l] = 1;
+                    curr[l] = skip[node as usize];
+                }
+                VisitOutcome::Leaf => {
+                    outcome_kinds[l] = 2;
+                    leaf_of[l] = kernel.leaf_range(node);
+                    curr[l] = skip[node as usize];
+                }
+                VisitOutcome::Descended { .. } => {
+                    // The left-biased preorder invariant puts the first
+                    // child at n + 1; the guided order (if any) is ignored.
+                    outcome_kinds[l] = 3;
+                    descend_mask = descend_mask.set(l);
+                    curr[l] = node + 1;
+                }
+            }
+        }
+
+        // Branch divergence: distinct outcome classes among active lanes.
+        let mut classes: Vec<u8> = active.iter_active().map(|l| outcome_kinds[l]).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        sim.diverge(classes.len() as u64);
+
+        if active.iter_active().any(|l| leaf_of[l].is_some()) {
+            scan_leaves_per_lane(kernel, scene, sim, &leaf_of);
+        }
+        // Descending lanes read the cold fragment of the node they leave.
+        if descend_mask.any_active() {
+            if let Some(nodes1) = scene.tree.nodes1 {
+                sim.load(nodes1, descend_mask, |l| (curr[l] - 1) as u64);
+            }
+        }
+    }
+    // Stackless: depth 0, and `stack_bytes_peak` stays at its zero default.
+    (counts, warp_iters, 0)
+}
+
+/// The per-node interface of the Wald stack-free kd walk. One point per
+/// node (the node's own coordinate is the split plane), children implicit
+/// at `2n + 1` / `2n + 2` — so unlike [`TraversalKernel`] there are no
+/// child pushes to describe, only the node's processing and the query's
+/// current culling radius.
+pub trait WaldKernel: Sync {
+    /// Per-query state carried through the traversal.
+    type Point: Send + Clone;
+
+    /// Number of tree nodes (= number of indexed points).
+    fn n_nodes(&self) -> usize;
+
+    /// Split axis of `node` (depth % D in the left-balanced layout).
+    fn axis(&self, node: NodeId) -> usize;
+
+    /// Split coordinate of `node` — its own point's coordinate on
+    /// [`axis`](Self::axis).
+    fn split(&self, node: NodeId) -> f32;
+
+    /// The query's coordinate on `axis`.
+    fn coord(&self, p: &Self::Point, axis: usize) -> f32;
+
+    /// Process `node`'s point against the query (update best/count/…).
+    /// Called exactly once per arrival from the parent.
+    fn process(&self, p: &mut Self::Point, node: NodeId);
+
+    /// Current squared culling radius: the far child is entered iff the
+    /// squared distance to the split plane is within this bound. Shrinks
+    /// as the query tightens (NN/kNN) or stays fixed (PC).
+    fn cull_d2(&self, p: &Self::Point) -> f32;
+
+    /// Bytes of one node record (hot fragment; the walk uses a monolithic
+    /// layout — there is no cold fragment to defer).
+    fn node_bytes(&self) -> NodeBytes;
+
+    /// Bytes of one per-query record.
+    fn point_bytes(&self) -> u64 {
+        32
+    }
+
+    /// Instructions charged per node step.
+    fn visit_insts(&self) -> u64 {
+        12
+    }
+}
+
+/// Run the Wald stack-free walk of `points` over `kernel` (a
+/// [`WaldKernel`] over a left-balanced implicit kd-tree).
+///
+/// Traversal state per lane is `(current, previous)`; the parent is
+/// recomputed as `(n − 1) / 2`. Every step classifies itself from where it
+/// came: arriving from the parent processes the node and descends toward
+/// the near child; returning from the near child tries the far child under
+/// the *current* culling radius; returning from the far child (or a culled
+/// far) backtracks.
+pub fn run_wald<W: WaldKernel>(kernel: &W, points: &mut [W::Point], cfg: &GpuConfig) -> GpuReport {
+    assert!(kernel.n_nodes() > 0, "Wald walk over an empty tree");
+    let scene = wald_scene(kernel, points.len());
+    drive_points(points, cfg, &scene, |_warp, lanes, sim| {
+        wald_warp_body(kernel, &scene, lanes, sim)
+    })
+}
+
+/// Address space of a Wald launch: monolithic node records (the whole
+/// record is hot — one point plus implicit links), no leaf buckets, and a
+/// placeholder stack region that never sees a transaction.
+fn wald_scene<W: WaldKernel>(kernel: &W, n_points: usize) -> Scene {
+    let mut map = AddressMap::new();
+    let tree = TreeRegions::alloc(
+        &mut map,
+        "tree",
+        kernel.node_bytes(),
+        NodeLayout::Monolithic,
+        kernel.n_nodes() as u64,
+        1,
+    );
+    let points = map.alloc(
+        "points",
+        MemSpace::Global,
+        n_points.max(1) as u64,
+        kernel.point_bytes(),
+    );
+    let stack = StackRegion::alloc(&mut map, "rope_stack", StackLayout::InterleavedGlobal, 1, 4);
+    Scene {
+        map,
+        tree,
+        points,
+        stack,
+        shared_bytes_per_warp: 0,
+    }
+}
+
+fn wald_warp_body<W: WaldKernel>(
+    kernel: &W,
+    scene: &Scene,
+    lanes: &mut [W::Point],
+    sim: &mut WarpSim<'_>,
+) -> (Vec<u32>, u64, usize) {
+    let n_lanes = lanes.len();
+    let n_nodes = kernel.n_nodes() as u64;
+    let mut curr = [NO_NODE; WARP_SIZE];
+    let mut prev = [NO_NODE; WARP_SIZE];
+    for c in curr.iter_mut().take(n_lanes) {
+        *c = 0;
+    }
+    let mut counts = vec![0u32; n_lanes];
+    let mut warp_iters = 0u64;
+
+    loop {
+        let active = WarpMask::ballot(|l| l < n_lanes && curr[l] != NO_NODE);
+        if active.none_active() {
+            break;
+        }
+        warp_iters += 1;
+        // Loop header: done test + parent/near arithmetic (registers only).
+        sim.step(2);
+        // The node is (re)loaded on every step, including backtracking —
+        // the walk pays node reloads where a stack would pay entry traffic.
+        sim.load(scene.tree.nodes0, active, |l| curr[l] as u64);
+        sim.step(kernel.visit_insts());
+
+        let mut arrivals = 0u64;
+        // 0 idle, 1 enter-near, 2 enter-far, 3..=4 backtrack variants.
+        let mut outcome_kinds = [0u8; WARP_SIZE];
+        for l in active.iter_active() {
+            let n = curr[l];
+            let parent = if n == 0 { NO_NODE } else { (n - 1) / 2 };
+            let from_parent = prev[l] == parent;
+            if from_parent {
+                counts[l] += 1;
+                arrivals += 1;
+                kernel.process(&mut lanes[l], n);
+            }
+            let sd = kernel.coord(&lanes[l], kernel.axis(n)) - kernel.split(n);
+            let lo = 2 * n as u64 + 1;
+            let (near, far) = if sd < 0.0 { (lo, lo + 1) } else { (lo + 1, lo) };
+            let far_in_range = far < n_nodes && sd * sd <= kernel.cull_d2(&lanes[l]);
+            let (next, kind) = if from_parent {
+                if near < n_nodes {
+                    (near as NodeId, 1)
+                } else if far_in_range {
+                    (far as NodeId, 2)
+                } else {
+                    (parent, 3)
+                }
+            } else if prev[l] as u64 == near && far_in_range {
+                // Returning from the near side: the far child is culled
+                // against the *current* radius, not the one at entry.
+                (far as NodeId, 2)
+            } else {
+                (parent, 4)
+            };
+            outcome_kinds[l] = kind;
+            prev[l] = n;
+            curr[l] = next;
+        }
+        if arrivals > 0 {
+            sim.visit_node(arrivals);
+        }
+        let mut classes: Vec<u8> = active.iter_active().map(|l| outcome_kinds[l]).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        sim.diverge(classes.len() as u64);
+    }
+    // Stackless: depth 0, and `stack_bytes_peak` stays at its zero default.
+    (counts, warp_iters, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{autoropes, lockstep};
+    use crate::kernel::Child;
+    use crate::{cpu, StackLayout};
+    use gts_trees::{linearize, LbKdTree, PointN};
+    use rand::{Rng, SeedableRng};
+
+    /// BinKernel's heap layout violates the left-child-at-`n + 1` contract
+    /// the skip walk requires, so the skip tests use this left-biased
+    /// preorder complete binary tree with the same accumulate-visited-ids
+    /// semantics (truncation at `limit`).
+    struct PreBin {
+        right: Vec<NodeId>,
+        leaf_idx: Vec<u32>,
+        limit: NodeId,
+        depth: usize,
+    }
+
+    impl PreBin {
+        fn new(depth: usize, limit: NodeId) -> Self {
+            fn rec(right: &mut Vec<NodeId>, h: usize) {
+                let id = right.len();
+                right.push(NO_NODE);
+                if h == 0 {
+                    return;
+                }
+                rec(right, h - 1);
+                right[id] = right.len() as NodeId;
+                rec(right, h - 1);
+            }
+            let mut right = Vec::new();
+            rec(&mut right, depth);
+            let mut leaf_idx = vec![u32::MAX; right.len()];
+            let mut n_leaves = 0;
+            for (i, &r) in right.iter().enumerate() {
+                if r == NO_NODE {
+                    leaf_idx[i] = n_leaves;
+                    n_leaves += 1;
+                }
+            }
+            PreBin {
+                right,
+                leaf_idx,
+                limit,
+                depth,
+            }
+        }
+    }
+
+    impl TraversalKernel for PreBin {
+        type Point = u64;
+        type Args = ();
+        const MAX_KIDS: usize = 2;
+        const CALL_SETS: usize = 1;
+        fn n_nodes(&self) -> usize {
+            self.right.len()
+        }
+        fn is_leaf(&self, n: NodeId) -> bool {
+            self.right[n as usize] == NO_NODE
+        }
+        fn leaf_range(&self, n: NodeId) -> Option<(u32, u32)> {
+            self.is_leaf(n).then(|| (self.leaf_idx[n as usize], 1))
+        }
+        fn node_bytes(&self) -> NodeBytes {
+            NodeBytes::kd(2)
+        }
+        fn max_depth(&self) -> usize {
+            self.depth
+        }
+        fn root_args(&self) {}
+        fn visit(
+            &self,
+            p: &mut u64,
+            node: NodeId,
+            _args: (),
+            _forced: Option<usize>,
+            kids: &mut ChildBuf<()>,
+        ) -> VisitOutcome {
+            if node >= self.limit {
+                return VisitOutcome::Truncated;
+            }
+            *p += node as u64;
+            if self.is_leaf(node) {
+                return VisitOutcome::Leaf;
+            }
+            kids.push(Child {
+                node: node + 1,
+                args: (),
+            });
+            kids.push(Child {
+                node: self.right[node as usize],
+                args: (),
+            });
+            VisitOutcome::Descended { call_set: 0 }
+        }
+    }
+
+    #[test]
+    fn skip_walk_matches_cpu_and_autoropes_exactly() {
+        let kernel = PreBin::new(6, 41);
+        let skip = linearize::skip_links(&kernel.right);
+        let mut cpu_pts: Vec<u64> = (0..100).map(|i| i * 1000).collect();
+        let mut sk_pts = cpu_pts.clone();
+        let mut ar_pts = cpu_pts.clone();
+        let cpu_r = cpu::run_sequential(&kernel, &mut cpu_pts);
+        let cfg = GpuConfig::default();
+        let sk = run_skip(&kernel, &mut sk_pts, &skip, &cfg);
+        let ar = autoropes::run(&kernel, &mut ar_pts, &cfg);
+        assert_eq!(cpu_pts, sk_pts, "skip walk changed computed results");
+        assert_eq!(sk_pts, ar_pts);
+        // Truncation at a node skips exactly its subtree in both
+        // executors, so visit counts match node for node.
+        assert_eq!(cpu_r.stats.per_point_nodes, sk.stats.per_point_nodes);
+        assert_eq!(sk.stats.per_point_nodes, ar.stats.per_point_nodes);
+        assert_eq!(
+            sk.launch.counters.node_visits,
+            ar.launch.counters.node_visits
+        );
+    }
+
+    #[test]
+    fn skip_walk_has_zero_stack_traffic_and_footprint() {
+        let kernel = PreBin::new(7, u32::MAX);
+        let skip = linearize::skip_links(&kernel.right);
+        let cfg = GpuConfig::default();
+        let mut sk_pts = vec![0u64; 200];
+        let mut ar_pts = vec![0u64; 200];
+        let sk = run_skip(&kernel, &mut sk_pts, &skip, &cfg);
+        let ar = autoropes::run(&kernel, &mut ar_pts, &cfg);
+        let stack_tx = |r: &GpuReport| {
+            r.launch
+                .counters
+                .per_region_transactions
+                .iter()
+                .filter(|(k, _)| k.contains("stack"))
+                .map(|(_, v)| *v)
+                .sum::<u64>()
+        };
+        assert_eq!(stack_tx(&sk), 0, "skip walk touched the rope stack");
+        assert!(
+            stack_tx(&ar) > 0,
+            "autoropes baseline must pay stack traffic"
+        );
+        assert_eq!(sk.launch.counters.stack_bytes_peak, 0);
+        assert!(ar.launch.counters.stack_bytes_peak > 0);
+        assert_eq!(sk.max_stack_depth, 0);
+    }
+
+    #[test]
+    fn skip_walk_shared_stack_config_pins_no_shared_memory() {
+        // Even under a shared-stack config the stackless walk must not pin
+        // shared memory (which would silently tax occupancy).
+        let kernel = PreBin::new(5, u32::MAX);
+        let skip = linearize::skip_links(&kernel.right);
+        let mut pts = vec![0u64; 64];
+        let cfg = GpuConfig::default().with_shared_stack();
+        let r = run_skip(&kernel, &mut pts, &skip, &cfg);
+        assert_eq!(r.launch.counters.shared_accesses, 0);
+    }
+
+    #[test]
+    fn stackful_executors_report_their_footprints() {
+        let kernel = PreBin::new(6, u32::MAX);
+        let cfg = GpuConfig::default();
+        let mut a = vec![0u64; 64];
+        let mut b = vec![0u64; 64];
+        let ar = autoropes::run(&kernel, &mut a, &cfg);
+        let ls = lockstep::run(&kernel, &mut b, &cfg);
+        // Autoropes: one 4-byte entry per lane per level; lockstep shares
+        // one (4 + 4)-byte entry across the warp — far smaller.
+        assert_eq!(
+            ar.launch.counters.stack_bytes_peak,
+            ar.max_stack_depth as u64 * 4 * 32
+        );
+        assert_eq!(
+            ls.launch.counters.stack_bytes_peak,
+            ls.max_stack_depth as u64 * 8
+        );
+        assert!(ls.launch.counters.stack_bytes_peak < ar.launch.counters.stack_bytes_peak);
+    }
+
+    struct VariantArgs;
+    impl TraversalKernel for VariantArgs {
+        type Point = u64;
+        type Args = f32;
+        const MAX_KIDS: usize = 2;
+        const CALL_SETS: usize = 1;
+        const ARGS_VARIANT: bool = true;
+        const ARG_BYTES: u64 = 4;
+        fn n_nodes(&self) -> usize {
+            1
+        }
+        fn is_leaf(&self, _n: NodeId) -> bool {
+            true
+        }
+        fn leaf_range(&self, _n: NodeId) -> Option<(u32, u32)> {
+            Some((0, 1))
+        }
+        fn node_bytes(&self) -> NodeBytes {
+            NodeBytes::kd(2)
+        }
+        fn max_depth(&self) -> usize {
+            0
+        }
+        fn root_args(&self) -> f32 {
+            0.0
+        }
+        fn visit(
+            &self,
+            _p: &mut u64,
+            _node: NodeId,
+            _args: f32,
+            _forced: Option<usize>,
+            _kids: &mut ChildBuf<f32>,
+        ) -> VisitOutcome {
+            VisitOutcome::Leaf
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "traversal-variant arguments")]
+    fn skip_walk_refuses_variant_args() {
+        let mut pts = vec![0u64; 1];
+        let _ = run_skip(&VariantArgs, &mut pts, &[NO_NODE], &GpuConfig::default());
+    }
+
+    // ---- Wald walker ----
+
+    #[derive(Clone)]
+    struct NnState {
+        pos: PointN<2>,
+        best_d2: f32,
+        best: u32,
+    }
+
+    struct WaldNn<'t> {
+        t: &'t LbKdTree<2>,
+    }
+
+    impl WaldKernel for WaldNn<'_> {
+        type Point = NnState;
+        fn n_nodes(&self) -> usize {
+            self.t.n_nodes()
+        }
+        fn axis(&self, n: NodeId) -> usize {
+            self.t.split_dim[n as usize] as usize
+        }
+        fn split(&self, n: NodeId) -> f32 {
+            self.t.points[n as usize][self.axis(n)]
+        }
+        fn coord(&self, p: &NnState, axis: usize) -> f32 {
+            p.pos[axis]
+        }
+        fn process(&self, p: &mut NnState, n: NodeId) {
+            let d2 = p.pos.dist2(&self.t.points[n as usize]);
+            if d2 < p.best_d2 {
+                p.best_d2 = d2;
+                p.best = self.t.perm[n as usize];
+            }
+        }
+        fn cull_d2(&self, p: &NnState) -> f32 {
+            p.best_d2
+        }
+        fn node_bytes(&self) -> NodeBytes {
+            NodeBytes {
+                hot: 12,
+                cold: 0,
+                leaf_elem: 8,
+            }
+        }
+    }
+
+    fn random_pts(n: usize, seed: u64) -> Vec<PointN<2>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PointN(std::array::from_fn(|_| rng.gen_range(-100.0f32..100.0))))
+            .collect()
+    }
+
+    #[test]
+    fn wald_nn_matches_brute_force() {
+        let data = random_pts(300, 11);
+        let tree = LbKdTree::build(&data);
+        let kernel = WaldNn { t: &tree };
+        let queries = random_pts(64, 12);
+        let mut states: Vec<NnState> = queries
+            .iter()
+            .map(|&pos| NnState {
+                pos,
+                best_d2: f32::INFINITY,
+                best: u32::MAX,
+            })
+            .collect();
+        let r = run_wald(&kernel, &mut states, &GpuConfig::default());
+        for (q, s) in queries.iter().zip(&states) {
+            let (bi, bd) = data
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32, q.dist2(p)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            assert_eq!(s.best_d2, bd, "wrong NN distance");
+            assert_eq!(s.best, bi, "wrong NN id");
+        }
+        assert!(r.launch.counters.node_visits > 0);
+        // Pruning must engage: nobody visits the whole tree per query.
+        assert!(r
+            .stats
+            .per_point_nodes
+            .iter()
+            .all(|&c| (c as usize) < tree.n_nodes()));
+    }
+
+    #[test]
+    fn wald_has_zero_stack_traffic() {
+        let data = random_pts(500, 21);
+        let tree = LbKdTree::build(&data);
+        let kernel = WaldNn { t: &tree };
+        let mut states: Vec<NnState> = random_pts(100, 22)
+            .into_iter()
+            .map(|pos| NnState {
+                pos,
+                best_d2: f32::INFINITY,
+                best: u32::MAX,
+            })
+            .collect();
+        let r = run_wald(&kernel, &mut states, &GpuConfig::default());
+        let stack_tx: u64 = r
+            .launch
+            .counters
+            .per_region_transactions
+            .iter()
+            .filter(|(k, _)| k.contains("stack"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(stack_tx, 0);
+        assert_eq!(r.launch.counters.stack_bytes_peak, 0);
+        assert_eq!(r.max_stack_depth, 0);
+        assert_eq!(r.launch.counters.calls, 0);
+    }
+
+    #[test]
+    fn wald_single_node_tree() {
+        let data = random_pts(1, 31);
+        let tree = LbKdTree::build(&data);
+        let kernel = WaldNn { t: &tree };
+        let mut states = vec![NnState {
+            pos: PointN([1.0, 2.0]),
+            best_d2: f32::INFINITY,
+            best: u32::MAX,
+        }];
+        run_wald(&kernel, &mut states, &GpuConfig::default());
+        assert_eq!(states[0].best, 0);
+    }
+
+    #[test]
+    fn wald_host_thread_count_does_not_change_results() {
+        let data = random_pts(400, 41);
+        let tree = LbKdTree::build(&data);
+        let kernel = WaldNn { t: &tree };
+        let mk = || -> Vec<NnState> {
+            random_pts(300, 42)
+                .into_iter()
+                .map(|pos| NnState {
+                    pos,
+                    best_d2: f32::INFINITY,
+                    best: u32::MAX,
+                })
+                .collect()
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let ra = run_wald(&kernel, &mut a, &GpuConfig::default().with_host_threads(1));
+        let rb = run_wald(&kernel, &mut b, &GpuConfig::default().with_host_threads(8));
+        assert_eq!(ra.stats.per_point_nodes, rb.stats.per_point_nodes);
+        assert_eq!(ra.launch.cycles, rb.launch.cycles);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.best, y.best);
+        }
+    }
+
+    #[test]
+    fn skip_walk_insensitive_to_batch_order() {
+        // The §4.4 policy's reason to pick stackless: shuffling the batch
+        // leaves the model time unchanged (per-warp work just permutes).
+        let kernel = PreBin::new(7, 83);
+        let skip = linearize::skip_links(&kernel.right);
+        let cfg = GpuConfig::default();
+        let mut sorted: Vec<u64> = (0..256).map(|i| i * 7).collect();
+        let mut shuffled = sorted.clone();
+        // Deterministic shuffle.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0..=i));
+        }
+        let rs = run_skip(&kernel, &mut sorted, &skip, &cfg);
+        let rr = run_skip(&kernel, &mut shuffled, &skip, &cfg);
+        // Same total work either way; this kernel's schedule is
+        // point-independent so even the cycle model agrees.
+        assert_eq!(
+            rs.launch.counters.node_visits,
+            rr.launch.counters.node_visits
+        );
+        let _ = StackLayout::InterleavedGlobal;
+    }
+}

@@ -12,6 +12,8 @@
 //! | [`gpu::recursive`] | §6 “naïve GPU” | CUDA-recursion baseline: call overhead, frame traffic, call-site serialization |
 //! | [`gpu::autoropes`] | §3 | iterative rope-stack traversal, per-lane stacks, non-lockstep |
 //! | [`gpu::lockstep`] | §4 | per-warp rope stack with mask bit-vectors, warp votes, optional shared-memory stack |
+//! | [`gpu::stackless::run_skip`] | beyond the paper | ropes-free skip-link walk (Apetrei escape links), zero stack traffic |
+//! | [`gpu::stackless::run_wald`] | beyond the paper | Wald stack-free walk of the left-balanced implicit kd-tree, `(current, previous)` state only |
 //!
 //! The GPU executors perform the *real* computation (points end up with
 //! exactly the values the CPU baseline computes — tests depend on it) while
@@ -30,6 +32,7 @@ pub mod kernel;
 pub mod report;
 pub mod stack;
 
+pub use gpu::stackless::WaldKernel;
 pub use kernel::{Child, ChildBuf, TraversalKernel, VisitOutcome};
 pub use report::{CpuReport, GpuReport, TraversalStats};
 pub use stack::StackLayout;

@@ -39,6 +39,7 @@ pub struct StackRegion {
     region: RegionId,
     layout: StackLayout,
     max_depth: u64,
+    entry_bytes: u64,
 }
 
 impl StackRegion {
@@ -62,7 +63,14 @@ impl StackRegion {
             region,
             layout,
             max_depth: max_depth as u64,
+            entry_bytes,
         }
+    }
+
+    /// Bytes of one stack entry (as allocated, including any executor
+    /// padding such as lockstep's mask word).
+    pub fn entry_bytes(&self) -> u64 {
+        self.entry_bytes
     }
 
     /// Shared-memory bytes this stack pins per warp (0 for global layouts);

@@ -9,15 +9,16 @@
 use crate::policy::{Backend, ExecPolicy};
 use crate::query::{OpKey, QueryResult};
 use gts_apps::knn::{KnnKernel, KnnPoint};
-use gts_apps::nn::{NnKernel, NnPoint};
+use gts_apps::nn::{NnAabbKernel, NnKernel, NnPoint};
 use gts_apps::pc::{PcKernel, PcPoint};
+use gts_apps::wald::{WaldKnnKernel, WaldNnKernel, WaldPcKernel};
 use gts_points::profile::{
     profile_sortedness, profile_sortedness_cached, CacheOutcome, ProfileCache,
 };
 use gts_points::sort::{apply_perm, morton_order};
-use gts_runtime::gpu::{autoropes, lockstep, GpuConfig};
-use gts_runtime::{cpu, TraversalKernel};
-use gts_trees::{KdTree, PointN, SplitPolicy};
+use gts_runtime::gpu::{autoropes, lockstep, stackless, GpuConfig};
+use gts_runtime::{cpu, TraversalKernel, WaldKernel};
+use gts_trees::{KdTree, LbKdTree, NodeId, PointN, SplitPolicy};
 
 /// Execution record of one dispatched batch.
 #[derive(Debug, Clone)]
@@ -52,6 +53,12 @@ pub struct BatchOutcome {
     pub profile_cache_misses: u64,
     /// Cache entries dropped (TTL expiry or capacity) during this batch.
     pub profile_cache_evictions: u64,
+    /// Peak rope-stack / call-frame bytes any warp used (0 for the
+    /// stackless and CPU backends — the stackless executors' headline
+    /// number). Merges across sub-batches by `max`.
+    pub stack_bytes_peak: u64,
+    /// Memory transactions on rope-stack regions (0 for stackless/CPU).
+    pub stack_transactions: u64,
 }
 
 /// One shard's sub-batch inside a sharded batch execution — the unit the
@@ -108,6 +115,12 @@ pub trait TreeIndex: Send + Sync {
 pub struct KdIndex<const D: usize> {
     name: String,
     tree: KdTree<D>,
+    /// Left-balanced implicit mirror of the same points, for the
+    /// stack-free Wald walk ([`Backend::StacklessKd`]). Built over the
+    /// pointer tree's *reordered* `points` so the Wald kernels' reported
+    /// ids land in the same tree-internal space as the rope-stack
+    /// kernels' — [`Self::original_id`] maps both.
+    lb: LbKdTree<D>,
 }
 
 impl<const D: usize> KdIndex<D> {
@@ -121,15 +134,23 @@ impl<const D: usize> KdIndex<D> {
         leaf_size: usize,
         policy: SplitPolicy,
     ) -> Self {
+        let tree = KdTree::build(points, leaf_size, policy);
+        let lb = LbKdTree::build(&tree.points);
         KdIndex {
             name: name.into(),
-            tree: KdTree::build(points, leaf_size, policy),
+            tree,
+            lb,
         }
     }
 
     /// The underlying tree.
     pub fn tree(&self) -> &KdTree<D> {
         &self.tree
+    }
+
+    /// The left-balanced implicit mirror used by the stackless backend.
+    pub fn lb_tree(&self) -> &LbKdTree<D> {
+        &self.lb
     }
 
     /// Convert an erased position (validated upstream) to a `PointN`.
@@ -163,30 +184,71 @@ impl<const D: usize> KdIndex<D> {
         let pts: Vec<PointN<D>> = positions.iter().map(|p| self.to_point(p)).collect();
         match op {
             OpKey::Nn => {
+                // The plane-pruning NN kernel carries a traversal-variant
+                // argument the skip walk cannot replay, so the stackless
+                // BVH backend swaps in the box-pruning variant (§4.3
+                // equivalent call sets, identical update rule).
                 let kernel = NnKernel::new(&self.tree);
+                let skip_kernel = NnAabbKernel::new(&self.tree);
+                let wald_kernel = WaldNnKernel::new(&self.lb);
                 let make = |p: PointN<D>| NnPoint::new(p);
                 let conv = |r: &NnPoint<D>| QueryResult::Nn {
                     dist2: r.best_d2,
                     id: self.original_id(r.best_idx),
                 };
-                execute(&kernel, &pts, policy, profile, make, conv)
+                execute(
+                    &kernel,
+                    &skip_kernel,
+                    &wald_kernel,
+                    &self.tree.skip,
+                    &pts,
+                    policy,
+                    profile,
+                    make,
+                    conv,
+                )
             }
             OpKey::Knn(k) => {
                 // KBest panics on k == 0 (the batch key already excludes
                 // it); k > n is fine — the set just never fills.
                 let kernel = KnnKernel::new(&self.tree);
+                let wald_kernel = WaldKnnKernel::new(&self.lb);
                 let make = |p: PointN<D>| KnnPoint::new(p, k);
                 let conv = |r: &KnnPoint<D>| QueryResult::Knn {
                     dist2: r.best.distances().to_vec(),
                     ids: r.best.ids().iter().map(|&i| self.original_id(i)).collect(),
                 };
-                execute(&kernel, &pts, policy, profile, make, conv)
+                // kNN has no variant arguments, so the same kernel rides
+                // the skip walk directly.
+                execute(
+                    &kernel,
+                    &kernel,
+                    &wald_kernel,
+                    &self.tree.skip,
+                    &pts,
+                    policy,
+                    profile,
+                    make,
+                    conv,
+                )
             }
             OpKey::Pc(radius_bits) => {
-                let kernel = PcKernel::new(&self.tree, f32::from_bits(radius_bits));
+                let radius = f32::from_bits(radius_bits);
+                let kernel = PcKernel::new(&self.tree, radius);
+                let wald_kernel = WaldPcKernel::new(&self.lb, radius);
                 let make = |p: PointN<D>| PcPoint::new(p);
                 let conv = |r: &PcPoint<D>| QueryResult::Pc { count: r.count };
-                execute(&kernel, &pts, policy, profile, make, conv)
+                execute(
+                    &kernel,
+                    &kernel,
+                    &wald_kernel,
+                    &self.tree.skip,
+                    &pts,
+                    policy,
+                    profile,
+                    make,
+                    conv,
+                )
             }
         }
     }
@@ -212,8 +274,18 @@ impl<const D: usize> TreeIndex for KdIndex<D> {
 
 /// Shared execution path: sort → profile (optionally through the caller's
 /// cache) → run → un-sort.
-fn execute<const D: usize, K, M, C>(
+///
+/// Three kernels describe the same query on three machine shapes:
+/// `kernel` (rope-stack executors), `skip_kernel` (a no-variant-args
+/// sibling for the skip-link walk — often the same object), and
+/// `wald_kernel` (the left-balanced implicit tree). All share one point
+/// type, so sort/un-sort and result conversion are backend-agnostic.
+#[allow(clippy::too_many_arguments)]
+fn execute<const D: usize, K, S, W, M, C>(
     kernel: &K,
+    skip_kernel: &S,
+    wald_kernel: &W,
+    skip: &[NodeId],
     pts: &[PointN<D>],
     policy: &ExecPolicy,
     profile: Option<&ProfileCtx<'_>>,
@@ -223,6 +295,8 @@ fn execute<const D: usize, K, M, C>(
 where
     K: TraversalKernel,
     K::Point: Clone,
+    S: TraversalKernel<Point = K::Point>,
+    W: WaldKernel<Point = K::Point>,
     M: Fn(PointN<D>) -> K::Point,
     C: Fn(&K::Point) -> QueryResult,
 {
@@ -275,6 +349,11 @@ where
             mean_similarity = Some(report.mean_similarity);
             if report.use_lockstep {
                 Backend::Lockstep
+            } else if policy.stackless {
+                // Low similarity is where the per-warp rope stack loses;
+                // the Wald walk pays no stack traffic at all and its node
+                // schedule does not depend on batch sortedness.
+                Backend::StacklessKd
             } else {
                 Backend::Autoropes
             }
@@ -283,43 +362,61 @@ where
 
     // §4.4 step 3: run the whole batch on the chosen executor.
     let cfg = GpuConfig::default().with_host_threads(policy.sim_threads());
-    let (node_visits, model_ms, warps, work_expansion, mask_occupancy) = match backend {
-        Backend::Lockstep | Backend::Autoropes => {
-            // Table 2's work expansion compares each warp's lockstep pops
-            // against its longest *independent* traversal — lockstep's own
-            // per-lane stats count every warp pop, so measure solo lengths
-            // first (one cheap CPU pass, dwarfed by the warp simulation).
-            let solo: Option<Vec<u32>> = (backend == Backend::Lockstep).then(|| {
-                work.iter()
-                    .map(|p| cpu::traverse_one(kernel, &mut p.clone()))
-                    .collect()
-            });
-            let rep = if backend == Backend::Lockstep {
-                lockstep::run(kernel, &mut work, &cfg)
-            } else {
-                autoropes::run(kernel, &mut work, &cfg)
-            };
-            let visits: u64 = rep.stats.per_point_nodes.iter().map(|&v| v as u64).sum();
-            let expansion = match &solo {
-                Some(solo) if !rep.per_warp_nodes.is_empty() => {
-                    gts_runtime::report::work_expansion(&rep.per_warp_nodes, solo).0
-                }
-                _ => 1.0,
-            };
-            (
-                visits,
-                rep.ms(),
-                rep.launch.warps,
-                expansion,
-                rep.mask_occupancy(),
-            )
-        }
-        Backend::Cpu => {
-            let rep = cpu::run_parallel(kernel, &mut work, cfg.host_threads);
-            let visits: u64 = rep.stats.per_point_nodes.iter().map(|&v| v as u64).sum();
-            (visits, 0.0, 0, 1.0, 1.0)
-        }
-    };
+    let (node_visits, model_ms, warps, work_expansion, mask_occupancy, stack_peak, stack_tx) =
+        match backend {
+            Backend::Lockstep
+            | Backend::Autoropes
+            | Backend::StacklessKd
+            | Backend::StacklessBvh => {
+                // Table 2's work expansion compares each warp's lockstep pops
+                // against its longest *independent* traversal — lockstep's own
+                // per-lane stats count every warp pop, so measure solo lengths
+                // first (one cheap CPU pass, dwarfed by the warp simulation).
+                let solo: Option<Vec<u32>> = (backend == Backend::Lockstep).then(|| {
+                    work.iter()
+                        .map(|p| cpu::traverse_one(kernel, &mut p.clone()))
+                        .collect()
+                });
+                let rep = match backend {
+                    Backend::Lockstep => lockstep::run(kernel, &mut work, &cfg),
+                    Backend::Autoropes => autoropes::run(kernel, &mut work, &cfg),
+                    Backend::StacklessKd => stackless::run_wald(wald_kernel, &mut work, &cfg),
+                    Backend::StacklessBvh => {
+                        stackless::run_skip(skip_kernel, &mut work, skip, &cfg)
+                    }
+                    Backend::Cpu => unreachable!("handled by the CPU arm"),
+                };
+                let visits: u64 = rep.stats.per_point_nodes.iter().map(|&v| v as u64).sum();
+                let expansion = match &solo {
+                    Some(solo) if !rep.per_warp_nodes.is_empty() => {
+                        gts_runtime::report::work_expansion(&rep.per_warp_nodes, solo).0
+                    }
+                    _ => 1.0,
+                };
+                let stack_tx: u64 = rep
+                    .launch
+                    .counters
+                    .per_region_transactions
+                    .iter()
+                    .filter(|(region, _)| region.contains("stack"))
+                    .map(|(_, v)| *v)
+                    .sum();
+                (
+                    visits,
+                    rep.ms(),
+                    rep.launch.warps,
+                    expansion,
+                    rep.mask_occupancy(),
+                    rep.launch.counters.stack_bytes_peak,
+                    stack_tx,
+                )
+            }
+            Backend::Cpu => {
+                let rep = cpu::run_parallel(kernel, &mut work, cfg.host_threads);
+                let visits: u64 = rep.stats.per_point_nodes.iter().map(|&v| v as u64).sum();
+                (visits, 0.0, 0, 1.0, 1.0, 0, 0)
+            }
+        };
 
     // Undo the sort: callers see submission order.
     let mut results: Vec<Option<QueryResult>> = vec![None; n];
@@ -352,6 +449,8 @@ where
         profile_cache_hits: cache_outcome.map_or(0, |o| u64::from(o.hit)),
         profile_cache_misses: cache_outcome.map_or(0, |o| u64::from(!o.hit)),
         profile_cache_evictions: cache_outcome.map_or(0, |o| o.evictions),
+        stack_bytes_peak: stack_peak,
+        stack_transactions: stack_tx,
     }
 }
 
@@ -443,6 +542,83 @@ mod tests {
         assert!(lock.mask_occupancy > 0.0 && lock.mask_occupancy <= 1.0);
         assert_eq!(cpu.mask_occupancy, 1.0);
         assert!(lock.shard_visits.is_empty());
+    }
+
+    #[test]
+    fn stackless_backends_agree_bitwise_with_rope_stack() {
+        let pts = uniform::<3>(160, 29);
+        let idx = KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle);
+        let queries: Vec<Vec<f32>> = pts.iter().map(|p| p.0.to_vec()).collect();
+        for op in [OpKey::Nn, OpKey::Knn(4), OpKey::Pc(0.25f32.to_bits())] {
+            let auto = idx.run_batch(op, &queries, &ExecPolicy::forced(Backend::Autoropes));
+            let kd = idx.run_batch(op, &queries, &ExecPolicy::forced(Backend::StacklessKd));
+            let bvh = idx.run_batch(op, &queries, &ExecPolicy::forced(Backend::StacklessBvh));
+            assert_eq!(auto.results, kd.results, "{op:?} wald");
+            assert_eq!(auto.results, bvh.results, "{op:?} skip");
+            assert_eq!(kd.backend, Backend::StacklessKd);
+            assert_eq!(bvh.backend, Backend::StacklessBvh);
+            // The stackless executors' headline numbers: no rope-stack
+            // bytes moved, no stack footprint reserved.
+            assert_eq!(kd.stack_bytes_peak, 0, "{op:?}");
+            assert_eq!(kd.stack_transactions, 0, "{op:?}");
+            assert_eq!(bvh.stack_bytes_peak, 0, "{op:?}");
+            assert_eq!(bvh.stack_transactions, 0, "{op:?}");
+            assert!(auto.stack_bytes_peak > 0, "{op:?}");
+            assert!(auto.stack_transactions > 0, "{op:?}");
+            assert!(kd.model_ms > 0.0 && bvh.model_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn stackless_policy_picks_wald_walk_on_low_similarity() {
+        // Unsorted scattered queries: the profiler steers away from
+        // lockstep, and with the stackless knob set the batch lands on
+        // the Wald walk instead of autoropes.
+        let pts = uniform::<3>(512, 31);
+        let idx = KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle);
+        let queries: Vec<Vec<f32>> = uniform::<3>(256, 97).iter().map(|p| p.0.to_vec()).collect();
+        let policy = ExecPolicy {
+            sort: false,
+            stackless: true,
+            ..ExecPolicy::default()
+        };
+        let out = idx.run_batch(OpKey::Nn, &queries, &policy);
+        assert_eq!(
+            out.backend,
+            Backend::StacklessKd,
+            "similarity {:?}",
+            out.mean_similarity
+        );
+        assert!(out.mean_similarity.is_some(), "profiling ran");
+        assert_eq!(out.stack_bytes_peak, 0);
+        assert_eq!(out.stack_transactions, 0);
+
+        // Same batch without the knob: autoropes, which pays for a stack.
+        let baseline = idx.run_batch(
+            OpKey::Nn,
+            &queries,
+            &ExecPolicy {
+                sort: false,
+                ..ExecPolicy::default()
+            },
+        );
+        assert_eq!(baseline.backend, Backend::Autoropes);
+        assert_eq!(out.results, baseline.results, "bit-identical answers");
+        assert!(baseline.stack_transactions > 0);
+    }
+
+    #[test]
+    fn stackless_policy_still_yields_lockstep_on_sorted_clusters() {
+        let pts = uniform::<3>(512, 23);
+        let idx = KdIndex::build("t", &pts, 8, SplitPolicy::MedianCycle);
+        let queries: Vec<Vec<f32>> = pts.iter().map(|p| p.0.to_vec()).collect();
+        let policy = ExecPolicy {
+            stackless: true,
+            ..ExecPolicy::default()
+        };
+        let out = idx.run_batch(OpKey::Pc(0.15f32.to_bits()), &queries, &policy);
+        assert_eq!(out.backend, Backend::Lockstep);
+        assert!(out.stack_bytes_peak > 0);
     }
 
     #[test]

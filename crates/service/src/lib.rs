@@ -57,7 +57,9 @@ pub mod trace;
 pub use batcher::{BatchEntry, Batcher, ReadyBatch, WARP};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use index::{BatchOutcome, KdIndex, ProfileCtx, ShardVisit, TreeIndex};
-pub use metrics::{percentile, BatchRecord, IndexMetricsSnapshot, Metrics, MetricsSnapshot};
+pub use metrics::{
+    percentile, BackendBatches, BatchRecord, IndexMetricsSnapshot, Metrics, MetricsSnapshot,
+};
 pub use policy::{Backend, ExecPolicy};
 pub use query::{BatchKey, IndexId, OpKey, Query, QueryKind, QueryResult};
 pub use service::{CompletionFn, Service, ServiceConfig, ServiceError, Ticket};

@@ -54,6 +54,10 @@ pub struct BatchRecord {
     pub profile_cache_misses: u64,
     /// Cache entries dropped during the batch.
     pub profile_cache_evictions: u64,
+    /// Peak rope-stack bytes any warp used (0 for stackless/CPU runs).
+    pub stack_bytes_peak: u64,
+    /// Rope-stack memory transactions the batch paid.
+    pub stack_transactions: u64,
 }
 
 impl BatchRecord {
@@ -79,6 +83,8 @@ impl BatchRecord {
             profile_cache_hits: outcome.profile_cache_hits,
             profile_cache_misses: outcome.profile_cache_misses,
             profile_cache_evictions: outcome.profile_cache_evictions,
+            stack_bytes_peak: outcome.stack_bytes_peak,
+            stack_transactions: outcome.stack_transactions,
         }
     }
 }
@@ -96,10 +102,12 @@ struct Inner {
     batches: u64,
     batch_size_sum: u64,
     batch_size_max: u64,
-    lockstep_batches: u64,
-    autoropes_batches: u64,
-    cpu_batches: u64,
+    // One slot per Backend::ALL entry, indexed by Backend::index() — new
+    // backends get a metrics series by being added to ALL, nowhere else.
+    backend_batches: [u64; Backend::ALL.len()],
     node_visits: u64,
+    stack_bytes_peak: u64,
+    stack_transactions: u64,
     shards_pruned: u64,
     profile_cache_hits: u64,
     profile_cache_misses: u64,
@@ -163,12 +171,10 @@ impl Metrics {
         m.batches += 1;
         m.batch_size_sum += rec.size as u64;
         m.batch_size_max = m.batch_size_max.max(rec.size as u64);
-        match rec.backend {
-            Backend::Lockstep => m.lockstep_batches += 1,
-            Backend::Autoropes => m.autoropes_batches += 1,
-            Backend::Cpu => m.cpu_batches += 1,
-        }
+        m.backend_batches[rec.backend.index()] += 1;
         m.node_visits += rec.node_visits;
+        m.stack_bytes_peak = m.stack_bytes_peak.max(rec.stack_bytes_peak);
+        m.stack_transactions += rec.stack_transactions;
         m.shards_pruned += rec.shards_pruned;
         m.profile_cache_hits += rec.profile_cache_hits;
         m.profile_cache_misses += rec.profile_cache_misses;
@@ -284,10 +290,19 @@ impl Metrics {
                 0.0
             },
             max_batch_size: m.batch_size_max,
-            lockstep_batches: m.lockstep_batches,
-            autoropes_batches: m.autoropes_batches,
-            cpu_batches: m.cpu_batches,
+            lockstep_batches: m.backend_batches[Backend::Lockstep.index()],
+            autoropes_batches: m.backend_batches[Backend::Autoropes.index()],
+            cpu_batches: m.backend_batches[Backend::Cpu.index()],
+            backend_batches: Backend::ALL
+                .iter()
+                .map(|b| BackendBatches {
+                    backend: b.name().to_string(),
+                    batches: m.backend_batches[b.index()],
+                })
+                .collect(),
             node_visits: m.node_visits,
+            stack_bytes_peak: m.stack_bytes_peak,
+            stack_transactions: m.stack_transactions,
             shards_pruned: m.shards_pruned,
             profile_cache_hits: m.profile_cache_hits,
             profile_cache_misses: m.profile_cache_misses,
@@ -368,8 +383,16 @@ pub struct MetricsSnapshot {
     pub autoropes_batches: u64,
     /// Batches run on the CPU backend.
     pub cpu_batches: u64,
+    /// Batch counts per backend, one entry per [`Backend::ALL`] member in
+    /// that order — the dynamic view behind `gts_backend_chosen_total`.
+    pub backend_batches: Vec<BackendBatches>,
     /// Total tree-node visits.
     pub node_visits: u64,
+    /// Peak rope-stack bytes any warp used across all batches (0 when
+    /// every batch ran stackless or on the CPU).
+    pub stack_bytes_peak: u64,
+    /// Total rope-stack memory transactions.
+    pub stack_transactions: u64,
     /// `(query, shard)` pairs sharded indices skipped via AABB bounds.
     pub shards_pruned: u64,
     /// Sub-batches whose §4.4 decision came from a shard profile cache.
@@ -435,6 +458,15 @@ pub struct MetricsSnapshot {
     pub per_index: Vec<IndexMetricsSnapshot>,
 }
 
+/// One backend's batch count in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendBatches {
+    /// Stable backend name ([`Backend::name`]).
+    pub backend: String,
+    /// Batches dispatched to it.
+    pub batches: u64,
+}
+
 /// One index's slice of the registry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IndexMetricsSnapshot {
@@ -467,7 +499,7 @@ impl MetricsSnapshot {
     /// for every histogram.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 19] = [
+        let counters: [(&str, u64); 20] = [
             ("gts_queries_submitted_total", self.submitted),
             ("gts_queries_completed_total", self.completed),
             ("gts_queries_rejected_total", self.rejected),
@@ -476,6 +508,7 @@ impl MetricsSnapshot {
             ("gts_batches_autoropes_total", self.autoropes_batches),
             ("gts_batches_cpu_total", self.cpu_batches),
             ("gts_node_visits_total", self.node_visits),
+            ("gts_stack_transactions_total", self.stack_transactions),
             ("gts_shards_pruned_total", self.shards_pruned),
             ("gts_profile_cache_hits_total", self.profile_cache_hits),
             ("gts_profile_cache_misses_total", self.profile_cache_misses),
@@ -494,9 +527,10 @@ impl MetricsSnapshot {
         for (name, v) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
         }
-        let gauges: [(&str, f64); 6] = [
+        let gauges: [(&str, f64); 7] = [
             ("gts_batch_size_mean", self.mean_batch_size),
             ("gts_batch_size_max", self.max_batch_size as f64),
+            ("gts_stack_bytes_peak", self.stack_bytes_peak as f64),
             ("gts_model_ms_total", self.model_ms),
             ("gts_work_expansion_mean", self.mean_work_expansion),
             ("gts_mask_occupancy_mean", self.mean_mask_occupancy),
@@ -504,6 +538,16 @@ impl MetricsSnapshot {
         ];
         for (name, v) in gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        // One labeled series per backend, enumerated from the snapshot
+        // (which mirrors `Backend::ALL`) — adding a backend to ALL adds
+        // its series here with no further changes.
+        out.push_str("# TYPE gts_backend_chosen_total counter\n");
+        for b in &self.backend_batches {
+            out.push_str(&format!(
+                "gts_backend_chosen_total{{backend=\"{}\"}} {}\n",
+                b.backend, b.batches
+            ));
         }
         self.model_ms_hist
             .to_prometheus("gts_batch_model_ms", &mut out);
@@ -597,6 +641,8 @@ mod tests {
             profile_cache_hits: 0,
             profile_cache_misses: 0,
             profile_cache_evictions: 0,
+            stack_bytes_peak: 0,
+            stack_transactions: 0,
         }
     }
 
@@ -734,9 +780,38 @@ mod tests {
         ] {
             assert!(text.contains(series), "missing `{series}` in:\n{text}");
         }
-        // One `# TYPE` header per exported metric family: 19 counters,
-        // 6 gauges, 7 aggregate histograms, 4 per-index families.
-        assert_eq!(text.matches("# TYPE").count(), 19 + 6 + 7 + 4);
+        // One `# TYPE` header per exported metric family: 20 counters,
+        // 7 gauges, 7 aggregate histograms, the per-backend choice family,
+        // and 4 per-index families.
+        assert_eq!(text.matches("# TYPE").count(), 20 + 7 + 7 + 1 + 4);
+    }
+
+    #[test]
+    fn backend_choice_series_enumerate_every_backend() {
+        let m = Metrics::default();
+        m.on_batch(&batch(1, Backend::Lockstep, 10, 0.1, 1.0, 0, 0));
+        m.on_batch(&batch(1, Backend::StacklessKd, 10, 0.1, 1.0, 0, 0));
+        m.on_batch(&batch(1, Backend::StacklessKd, 10, 0.1, 1.0, 0, 0));
+        let mut rec = batch(1, Backend::Autoropes, 10, 0.1, 1.0, 0, 0);
+        rec.stack_bytes_peak = 4096;
+        rec.stack_transactions = 17;
+        m.on_batch(&rec);
+        let s = m.snapshot();
+        assert_eq!(s.backend_batches.len(), Backend::ALL.len());
+        for (slot, b) in s.backend_batches.iter().zip(Backend::ALL) {
+            assert_eq!(slot.backend, b.name());
+        }
+        assert_eq!(s.backend_batches[Backend::StacklessKd.index()].batches, 2);
+        assert_eq!(s.stack_bytes_peak, 4096);
+        assert_eq!(s.stack_transactions, 17);
+        let text = s.to_prometheus();
+        for b in Backend::ALL {
+            let want = format!("gts_backend_chosen_total{{backend=\"{}\"}}", b.name());
+            assert!(text.contains(&want), "missing `{want}`");
+        }
+        assert!(text.contains(r#"gts_backend_chosen_total{backend="stackless-kd"} 2"#));
+        assert!(text.contains("gts_stack_transactions_total 17"));
+        assert!(text.contains("gts_stack_bytes_peak 4096"));
     }
 
     #[test]

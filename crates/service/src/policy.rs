@@ -11,18 +11,51 @@ pub enum Backend {
     Lockstep,
     /// Independent-lane rope-stack executor (`gts_runtime::gpu::autoropes`).
     Autoropes,
+    /// Stack-free Wald walk of the left-balanced implicit kd-tree
+    /// (`gts_runtime::gpu::stackless::run_wald`): zero rope-stack traffic,
+    /// node schedule insensitive to batch sortedness.
+    StacklessKd,
+    /// Ropes-free skip-link walk of the pointer tree
+    /// (`gts_runtime::gpu::stackless::run_skip`, Apetrei escape links).
+    StacklessBvh,
     /// Host-side parallel traversal (`gts_runtime::cpu`), no GPU model.
     Cpu,
 }
 
 impl Backend {
+    /// Every backend, in a stable order — metrics and reports that break
+    /// counts down per backend enumerate this instead of hard-coding the
+    /// lockstep/autoropes pair.
+    pub const ALL: [Backend; 5] = [
+        Backend::Lockstep,
+        Backend::Autoropes,
+        Backend::StacklessKd,
+        Backend::StacklessBvh,
+        Backend::Cpu,
+    ];
+
     /// Stable lowercase name for metrics and reports.
     pub fn name(self) -> &'static str {
         match self {
             Backend::Lockstep => "lockstep",
             Backend::Autoropes => "autoropes",
+            Backend::StacklessKd => "stackless-kd",
+            Backend::StacklessBvh => "stackless-bvh",
             Backend::Cpu => "cpu",
         }
+    }
+
+    /// Inverse of [`name`](Self::name) (CLI flags, config files).
+    pub fn from_name(name: &str) -> Option<Backend> {
+        Backend::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// Position in [`ALL`](Self::ALL), for per-backend accumulator arrays.
+    pub fn index(self) -> usize {
+        Backend::ALL
+            .iter()
+            .position(|&b| b == self)
+            .expect("every backend is in ALL")
     }
 }
 
@@ -54,6 +87,13 @@ pub struct ExecPolicy {
     /// re-sampling on every sub-batch. Disabling reproduces the
     /// profile-every-sub-batch baseline; flat indices always profile.
     pub profile_cache: bool,
+    /// Prefer the stackless executor on *low-similarity* batches: where
+    /// the §4.4 profile steers away from lockstep, dispatch to
+    /// [`Backend::StacklessKd`] instead of autoropes. Stackless pays no
+    /// rope-stack traffic and its schedule is sortedness-insensitive, so
+    /// it wins exactly where lockstep loses. High-similarity batches still
+    /// go to lockstep.
+    pub stackless: bool,
 }
 
 impl Default for ExecPolicy {
@@ -67,6 +107,7 @@ impl Default for ExecPolicy {
             sim_threads: 1,
             shard_parallelism: 0,
             profile_cache: true,
+            stackless: false,
         }
     }
 }

@@ -703,10 +703,12 @@ struct StatAgg {
     sim_sum: f64,
     sim_weight: usize,
     executed: usize,
-    backend_queries: [usize; 3], // Lockstep, Autoropes, Cpu
+    backend_queries: [usize; Backend::ALL.len()], // indexed by Backend::index()
     cache_hits: u64,
     cache_misses: u64,
     cache_evictions: u64,
+    stack_bytes_peak: u64,
+    stack_transactions: u64,
     shard_visits: Vec<ShardVisit>,
 }
 
@@ -732,14 +734,13 @@ impl StatAgg {
             self.sim_weight += qs;
         }
         self.executed += qs;
-        self.backend_queries[match run.out.backend {
-            Backend::Lockstep => 0,
-            Backend::Autoropes => 1,
-            Backend::Cpu => 2,
-        }] += qs;
+        self.backend_queries[run.out.backend.index()] += qs;
         self.cache_hits += run.out.profile_cache_hits;
         self.cache_misses += run.out.profile_cache_misses;
         self.cache_evictions += run.out.profile_cache_evictions;
+        // Footprint merges by max (it's a peak), traffic by sum.
+        self.stack_bytes_peak = self.stack_bytes_peak.max(run.out.stack_bytes_peak);
+        self.stack_transactions += run.out.stack_transactions;
     }
 
     fn finish(self, results: Vec<QueryResult>, shards_pruned: u64) -> BatchOutcome {
@@ -750,7 +751,7 @@ impl StatAgg {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-            .map(|(i, _)| [Backend::Lockstep, Backend::Autoropes, Backend::Cpu][i])
+            .map(|(i, _)| Backend::ALL[i])
             .unwrap_or(Backend::Autoropes);
         BatchOutcome {
             results,
@@ -774,6 +775,8 @@ impl StatAgg {
             profile_cache_hits: self.cache_hits,
             profile_cache_misses: self.cache_misses,
             profile_cache_evictions: self.cache_evictions,
+            stack_bytes_peak: self.stack_bytes_peak,
+            stack_transactions: self.stack_transactions,
         }
     }
 }

@@ -38,6 +38,12 @@ pub struct SimCounters {
     pub warp_node_visits: u64,
     /// Per-region transaction breakdown, keyed by region name.
     pub per_region_transactions: BTreeMap<String, u64>,
+    /// Peak bytes of rope-stack (or call-frame) storage any warp of this
+    /// launch actually used: deepest observed stack × entry bytes ×
+    /// (lanes, for per-lane stacks). Stackless executors report 0 — the
+    /// headline claim of the skip-link and left-balanced walks, observable
+    /// per batch. Merges by `max`, not `+` (a footprint, not a flow).
+    pub stack_bytes_peak: u64,
     /// Accumulated issue cycles (priced at record time).
     pub issue_cycles: f64,
     /// Accumulated memory-stall cycles (priced at record time; the
@@ -70,6 +76,9 @@ impl SimCounters {
         for (k, v) in &other.per_region_transactions {
             *self.per_region_transactions.entry(k.clone()).or_insert(0) += v;
         }
+        // A peak footprint, not a flow: the launch-wide peak is the widest
+        // single warp, not the sum over warps.
+        self.stack_bytes_peak = self.stack_bytes_peak.max(other.stack_bytes_peak);
     }
 
     /// Useful bytes delivered per byte moved over the DRAM bus. 1.0 means
@@ -115,6 +124,29 @@ mod tests {
         assert_eq!(a.issue_cycles, 3.0);
         assert_eq!(a.per_region_transactions["nodes0"], 4);
         assert_eq!(a.per_region_transactions["stack"], 9);
+    }
+
+    #[test]
+    fn stack_bytes_peak_merges_by_max() {
+        let mut a = SimCounters {
+            stack_bytes_peak: 512,
+            ..Default::default()
+        };
+        let b = SimCounters {
+            stack_bytes_peak: 384,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(
+            a.stack_bytes_peak, 512,
+            "smaller warp must not shrink the peak"
+        );
+        let c = SimCounters {
+            stack_bytes_peak: 4096,
+            ..Default::default()
+        };
+        a.merge(&c);
+        assert_eq!(a.stack_bytes_peak, 4096);
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub struct Bvh {
     pub bbox_hi: Vec<PointN<3>>,
     /// Right child, or [`NO_NODE`] for leaves.
     pub right: Vec<NodeId>,
+    /// Apetrei-style escape link: the next preorder node outside `n`'s
+    /// subtree, or [`NO_NODE`] past the last. Enables the ropes-free
+    /// stackless walk (`next = descend ? n + 1 : skip[n]`).
+    pub skip: Vec<NodeId>,
     /// First triangle of the leaf bucket.
     pub first: Vec<u32>,
     /// Bucket length; 0 for interior nodes.
@@ -80,6 +84,7 @@ impl Bvh {
             bbox_lo: Vec::new(),
             bbox_hi: Vec::new(),
             right: Vec::new(),
+            skip: Vec::new(),
             first: Vec::new(),
             count: Vec::new(),
             triangles: tris.to_vec(),
@@ -90,6 +95,7 @@ impl Bvh {
         bvh.build_rec(tris, &centroids, &mut idx, 0);
         bvh.triangles = idx.iter().map(|&i| tris[i as usize]).collect();
         bvh.perm = idx;
+        bvh.skip = crate::linearize::skip_links(&bvh.right);
         bvh
     }
 
@@ -212,7 +218,7 @@ impl Bvh {
                 self.triangles.len()
             ));
         }
-        Ok(())
+        crate::linearize::check_skip_links(&self.right, &self.skip)
     }
 }
 

@@ -46,6 +46,10 @@ pub struct KdTree<const D: usize> {
     pub split_val: Vec<f32>,
     /// Right child, or [`NO_NODE`] for leaves.
     pub right: Vec<NodeId>,
+    /// Apetrei-style escape link: the next preorder node outside `n`'s
+    /// subtree, or [`NO_NODE`] past the last. Enables the ropes-free
+    /// stackless walk (`next = descend ? n + 1 : skip[n]`).
+    pub skip: Vec<NodeId>,
     /// First point of the leaf bucket (leaves only).
     pub first: Vec<u32>,
     /// Bucket length; 0 for interior nodes.
@@ -80,6 +84,7 @@ impl<const D: usize> KdTree<D> {
             split_dim: Vec::new(),
             split_val: Vec::new(),
             right: Vec::new(),
+            skip: Vec::new(),
             first: Vec::new(),
             count: Vec::new(),
             points: pts.to_vec(),
@@ -94,6 +99,7 @@ impl<const D: usize> KdTree<D> {
         // leaf-order permutation.
         tree.points = idx.iter().map(|&i| pts[i as usize]).collect();
         tree.perm = idx;
+        tree.skip = crate::linearize::skip_links(&tree.right);
         tree
     }
 
@@ -330,7 +336,7 @@ impl<const D: usize> KdTree<D> {
         if !visited.iter().all(|&v| v) {
             return Err("unreachable nodes exist".into());
         }
-        Ok(())
+        crate::linearize::check_skip_links(&self.right, &self.skip)
     }
 }
 

@@ -1,0 +1,367 @@
+//! Left-balanced implicit-layout kd-tree (Wald, arXiv 2210.12859).
+//!
+//! One data point per node, stored in **heap order**: node `i`'s children
+//! are `2i + 1` and `2i + 2`, its parent `(i - 1) / 2`. Because the tree is
+//! *left-balanced* (every level full except the last, which fills left to
+//! right), the arrays have exactly `n` slots for `n` points — no child
+//! indices, no leaf buckets, no pointers at all. A traversal therefore
+//! needs no rope stack: its whole state is the pair `(current, previous)`
+//! of node indices, which is what makes the stack-free executor in
+//! `gts-runtime::gpu::stackless` possible.
+//!
+//! The split axis cycles with depth (the same convention as
+//! [`crate::SplitPolicy::MedianCycle`]); the split plane through node `i`
+//! is `points[i][axis]` itself. The builder recursively selects the
+//! element whose rank equals the left subtree's size in the left-balanced
+//! shape, so the heap layout and the spatial partition coincide.
+
+use crate::geom::PointN;
+use crate::{NodeId, NO_NODE};
+
+/// A left-balanced implicit kd-tree over `D`-dimensional points.
+#[derive(Debug, Clone)]
+pub struct LbKdTree<const D: usize> {
+    /// One point per node, in heap order (`points[0]` is the root).
+    pub points: Vec<PointN<D>>,
+    /// Split axis of each node (`depth % D`).
+    pub split_dim: Vec<u8>,
+    /// `perm[i]` = index of `points[i]` in the build input.
+    pub perm: Vec<u32>,
+}
+
+/// Number of nodes in the left subtree of a left-balanced tree of `n`
+/// nodes (`n >= 2`): the full levels split evenly and the partial last
+/// level fills the left half first.
+fn left_size(n: usize) -> usize {
+    debug_assert!(n >= 2);
+    let h = (usize::BITS - 1 - n.leading_zeros()) as usize; // floor(log2 n)
+    let full = (1usize << h) - 1; // nodes strictly above the last level
+    let last = n - full; // nodes on the last level
+    let half = 1usize << (h - 1); // last-level capacity of the left side
+    (full - 1) / 2 + last.min(half)
+}
+
+impl<const D: usize> LbKdTree<D> {
+    /// Build over `pts`.
+    ///
+    /// # Panics
+    /// Panics if `pts` is empty or any coordinate is non-finite.
+    pub fn build(pts: &[PointN<D>]) -> Self {
+        assert!(!pts.is_empty(), "lb kd-tree over zero points");
+        assert!(
+            pts.iter().all(PointN::is_finite),
+            "lb kd-tree input contains non-finite coordinates"
+        );
+        let n = pts.len();
+        let mut tree = LbKdTree {
+            points: vec![pts[0]; n],
+            split_dim: vec![0; n],
+            perm: vec![0; n],
+        };
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        tree.build_rec(pts, &mut idx, 0, 0);
+        tree
+    }
+
+    fn build_rec(&mut self, pts: &[PointN<D>], idx: &mut [u32], node: usize, depth: usize) {
+        let axis = depth % D;
+        let chosen = if idx.len() == 1 {
+            idx[0]
+        } else {
+            let ls = left_size(idx.len());
+            idx.select_nth_unstable_by(ls, |&a, &b| {
+                pts[a as usize][axis].total_cmp(&pts[b as usize][axis])
+            });
+            idx[ls]
+        };
+        self.points[node] = pts[chosen as usize];
+        self.split_dim[node] = axis as u8;
+        self.perm[node] = chosen;
+        if idx.len() == 1 {
+            return;
+        }
+        let ls = left_size(idx.len());
+        let (left, rest) = idx.split_at_mut(ls);
+        let right = &mut rest[1..];
+        if !left.is_empty() {
+            self.build_rec(pts, left, 2 * node + 1, depth + 1);
+        }
+        if !right.is_empty() {
+            self.build_rec(pts, right, 2 * node + 2, depth + 1);
+        }
+    }
+
+    /// Number of nodes (= number of points).
+    pub fn n_nodes(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Left child of `n`, or [`NO_NODE`] if out of range.
+    pub fn left(&self, n: NodeId) -> NodeId {
+        let c = 2 * n as usize + 1;
+        if c < self.points.len() {
+            c as NodeId
+        } else {
+            NO_NODE
+        }
+    }
+
+    /// Right child of `n`, or [`NO_NODE`] if out of range.
+    pub fn right(&self, n: NodeId) -> NodeId {
+        let c = 2 * n as usize + 2;
+        if c < self.points.len() {
+            c as NodeId
+        } else {
+            NO_NODE
+        }
+    }
+
+    /// Parent of `n`, or [`NO_NODE`] for the root.
+    pub fn parent(&self, n: NodeId) -> NodeId {
+        if n == 0 {
+            NO_NODE
+        } else {
+            (n - 1) / 2
+        }
+    }
+
+    /// Is `n` a leaf (no children fit in the array)?
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        2 * n as usize + 1 >= self.points.len()
+    }
+
+    /// Maximum depth (root = 0): `floor(log2 n)` by left-balance.
+    pub fn depth(&self) -> usize {
+        (usize::BITS - 1 - self.points.len().leading_zeros()) as usize
+    }
+
+    /// Leaf reached by descending split planes from the root (the
+    /// implicit-layout analogue of [`crate::KdTree::locate`]): go left
+    /// when `p[axis] < points[n][axis]`, right otherwise, skipping to the
+    /// sibling when the preferred child does not exist.
+    pub fn locate(&self, p: &PointN<D>) -> NodeId {
+        let mut n: NodeId = 0;
+        loop {
+            let axis = self.split_dim[n as usize] as usize;
+            let (near, far) = if p[axis] < self.points[n as usize][axis] {
+                (self.left(n), self.right(n))
+            } else {
+                (self.right(n), self.left(n))
+            };
+            n = if near != NO_NODE {
+                near
+            } else if far != NO_NODE {
+                far
+            } else {
+                return n;
+            };
+        }
+    }
+
+    /// Check structural invariants; returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_nodes();
+        if self.split_dim.len() != n || self.perm.len() != n {
+            return Err("array length mismatch".into());
+        }
+        // perm is a permutation.
+        let mut seen = vec![false; n];
+        for &p in &self.perm {
+            let i = p as usize;
+            if i >= n || seen[i] {
+                return Err(format!("perm entry {p} out of range or duplicated"));
+            }
+            seen[i] = true;
+        }
+        // Axis cycles with depth; partition invariant holds per subtree:
+        // every node in the left subtree of `i` has coord <= points[i] on
+        // i's axis, every node in the right subtree has coord >=.
+        fn check<const D: usize>(t: &LbKdTree<D>, node: usize, depth: usize) -> Result<(), String> {
+            if node >= t.n_nodes() {
+                return Ok(());
+            }
+            if t.split_dim[node] as usize != depth % D {
+                return Err(format!("node {node} axis does not cycle with depth"));
+            }
+            let axis = depth % D;
+            let split = t.points[node][axis];
+            let mut stack = vec![(2 * node + 1, true), (2 * node + 2, false)];
+            while let Some((i, is_left)) = stack.pop() {
+                if i >= t.n_nodes() {
+                    continue;
+                }
+                let c = t.points[i][axis];
+                if is_left && c > split {
+                    return Err(format!("node {i} in left subtree of {node} crosses plane"));
+                }
+                if !is_left && c < split {
+                    return Err(format!("node {i} in right subtree of {node} crosses plane"));
+                }
+                stack.push((2 * i + 1, is_left));
+                stack.push((2 * i + 2, is_left));
+            }
+            check(t, 2 * node + 1, depth + 1)?;
+            check(t, 2 * node + 2, depth + 1)
+        }
+        check(self, 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdtree::{KdTree, SplitPolicy};
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points<const D: usize>(n: usize, seed: u64) -> Vec<PointN<D>> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PointN(std::array::from_fn(|_| rng.gen_range(-100.0..100.0))))
+            .collect()
+    }
+
+    /// Exact nearest neighbor over the implicit tree by plain recursion —
+    /// the reference the stack-free walker must reproduce.
+    fn lb_nn<const D: usize>(t: &LbKdTree<D>, q: &PointN<D>) -> f32 {
+        fn rec<const D: usize>(t: &LbKdTree<D>, n: NodeId, q: &PointN<D>, best: &mut f32) {
+            if n == NO_NODE {
+                return;
+            }
+            let i = n as usize;
+            let d2 = t.points[i].dist2(q);
+            if d2 < *best {
+                *best = d2;
+            }
+            let axis = t.split_dim[i] as usize;
+            let sd = q[axis] - t.points[i][axis];
+            let (near, far) = if sd < 0.0 {
+                (t.left(n), t.right(n))
+            } else {
+                (t.right(n), t.left(n))
+            };
+            rec(t, near, q, best);
+            if sd * sd <= *best {
+                rec(t, far, q, best);
+            }
+        }
+        let mut best = f32::INFINITY;
+        rec(t, 0, q, &mut best);
+        best
+    }
+
+    #[test]
+    fn left_size_matches_heap_shapes() {
+        // (n, left subtree size) for small complete trees, by hand.
+        for (n, want) in [
+            (2, 1),
+            (3, 1),
+            (4, 2),
+            (5, 3),
+            (6, 3),
+            (7, 3),
+            (8, 4),
+            (12, 7),
+            (15, 7),
+        ] {
+            assert_eq!(left_size(n), want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let t = LbKdTree::build(&[PointN([1.0, 2.0])]);
+        assert_eq!(t.n_nodes(), 1);
+        assert!(t.is_leaf(0));
+        assert_eq!(t.parent(0), NO_NODE);
+        assert_eq!(t.left(0), NO_NODE);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let pts = random_points::<3>(500, 7);
+        let t = LbKdTree::build(&pts);
+        assert_eq!(t.n_nodes(), 500);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_points_terminate_and_validate() {
+        let pts = vec![PointN([3.0, 3.0]); 100];
+        let t = LbKdTree::build(&pts);
+        t.validate().unwrap();
+        assert_eq!(t.n_nodes(), 100);
+    }
+
+    #[test]
+    fn locate_returns_a_leaf() {
+        let pts = random_points::<2>(400, 8);
+        let t = LbKdTree::build(&pts);
+        for p in &pts {
+            assert!(t.is_leaf(t.locate(p)));
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let t = LbKdTree::build(&random_points::<3>(1024, 9));
+        assert_eq!(t.depth(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn empty_rejected() {
+        let _ = LbKdTree::<2>::build(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        let _ = LbKdTree::build(&[PointN([f32::NAN, 0.0])]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_build_validates(n in 1usize..300, seed in 0u64..500) {
+            let pts = random_points::<3>(n, seed);
+            let t = LbKdTree::build(&pts);
+            prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+            // perm round-trips the input.
+            for (i, &p) in t.perm.iter().enumerate() {
+                prop_assert_eq!(t.points[i], pts[p as usize]);
+            }
+        }
+
+        #[test]
+        fn prop_agrees_with_pointer_kdtree(n in 1usize..200, leaf in 1usize..12, seed in 0u64..300) {
+            // The implicit layout must answer queries identically to the
+            // pointer-based tree built from the same points: exact NN
+            // distances agree for every dataset point used as a query.
+            let pts = random_points::<3>(n, seed);
+            let lb = LbKdTree::build(&pts);
+            let kd = KdTree::build(&pts, leaf, SplitPolicy::MedianCycle);
+            prop_assert!(lb.validate().is_ok());
+            for q in pts.iter().take(32) {
+                let want = kd
+                    .points
+                    .iter()
+                    .map(|p| p.dist2(q))
+                    .fold(f32::INFINITY, f32::min);
+                prop_assert_eq!(lb_nn(&lb, q), want);
+            }
+            // And locate lands on a leaf whose path respected the planes.
+            for q in pts.iter().take(32) {
+                prop_assert!(lb.is_leaf(lb.locate(q)));
+            }
+        }
+
+        #[test]
+        fn prop_clustered_duplicates(dups in 1usize..50, uniq in 0usize..50, seed in 0u64..100) {
+            let mut pts = vec![PointN([1.0f32, 1.0]); dups];
+            pts.extend(random_points::<2>(uniq, seed));
+            let t = LbKdTree::build(&pts);
+            prop_assert!(t.validate().is_ok());
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod bvh;
 pub mod geom;
 pub mod kdtree;
 pub mod layout;
+pub mod lbkd;
 pub mod linearize;
 pub mod octree;
 pub mod vptree;
@@ -36,6 +37,7 @@ pub use bvh::{Bvh, Triangle};
 pub use geom::{Aabb, PointN};
 pub use kdtree::{KdTree, SplitPolicy};
 pub use layout::{NodeLayout, TreeRegions};
+pub use lbkd::LbKdTree;
 pub use linearize::check_left_biased;
 pub use octree::Octree;
 pub use vptree::VpTree;

@@ -12,7 +12,60 @@
 //! [`check_left_biased`] verifies the invariant for *any* tree shape given
 //! its children function — use it when adding a new tree substrate.
 
-use crate::NodeId;
+use crate::{NodeId, NO_NODE};
+
+/// Apetrei-style skip (escape) links for a binary tree in left-biased
+/// preorder, from its right-child array (`NO_NODE` marks leaves):
+/// `skip[n]` is the next node in preorder that is *not* in `n`'s subtree —
+/// where a traversal resumes after pruning or finishing `n`. The root
+/// escapes to `NO_NODE` (traversal over); a left child escapes to its
+/// right sibling; a right child escapes wherever its parent does. One
+/// O(n) forward pass suffices because preorder puts every parent before
+/// its children.
+pub fn skip_links(right: &[NodeId]) -> Vec<NodeId> {
+    let mut skip = vec![NO_NODE; right.len()];
+    for (i, &r) in right.iter().enumerate() {
+        if r != NO_NODE {
+            skip[i + 1] = r;
+            skip[r as usize] = skip[i];
+        }
+    }
+    skip
+}
+
+/// Verify a skip-link table against the tree shape: walking `n + 1` on
+/// descend and `skip[n]` on escape must enumerate exactly the preorder
+/// `0..n_nodes` (the ropes-free traversal contract).
+pub fn check_skip_links(right: &[NodeId], skip: &[NodeId]) -> Result<(), String> {
+    if skip.len() != right.len() {
+        return Err("skip table length mismatch".into());
+    }
+    let mut n: NodeId = 0;
+    let mut expected: NodeId = 0;
+    loop {
+        if n != expected {
+            return Err(format!(
+                "skip walk visited {n} where {expected} was expected"
+            ));
+        }
+        expected += 1;
+        n = if right[n as usize] != NO_NODE {
+            n + 1
+        } else {
+            skip[n as usize]
+        };
+        if n == NO_NODE {
+            break;
+        }
+    }
+    if expected as usize != right.len() {
+        return Err(format!(
+            "skip walk covered {expected} of {} nodes",
+            right.len()
+        ));
+    }
+    Ok(())
+}
 
 /// Verify that node ids `0..n_nodes` form a left-biased preorder: the DFS
 /// from the root that always takes children in order assigns exactly the
@@ -123,6 +176,23 @@ mod tests {
             }
         })
         .unwrap();
+    }
+
+    #[test]
+    fn skip_links_enumerate_preorder() {
+        for (n, leaf) in [(1usize, 4usize), (7, 1), (300, 4), (500, 8)] {
+            let t = KdTree::build(&pts(n, 5), leaf, SplitPolicy::MedianCycle);
+            let skip = skip_links(&t.right);
+            check_skip_links(&t.right, &skip).unwrap();
+            // Root always escapes to the end; a left child escapes to its
+            // sibling.
+            assert_eq!(skip[0], NO_NODE);
+            for i in 0..t.n_nodes() as NodeId {
+                if !t.is_leaf(i) {
+                    assert_eq!(skip[i as usize + 1], t.right[i as usize]);
+                }
+            }
+        }
     }
 
     #[test]

@@ -48,9 +48,10 @@ fn renderers_agree_with_cells() {
         assert!(t1.contains(input), "table1 missing {input}");
         assert!(t2.contains(input), "table2 missing {input}");
     }
-    // Figure panels exist for both sortedness values and both variants.
-    assert_eq!(figures::panels(&suite, true).len(), 2);
-    assert_eq!(figures::panels(&suite, false).len(), 2);
+    // Figure panels exist for both sortedness values and all three
+    // variants (PC is skip-eligible, so it carries a Stackless panel).
+    assert_eq!(figures::panels(&suite, true).len(), 3);
+    assert_eq!(figures::panels(&suite, false).len(), 3);
     // The rendered traversal time of the first L row matches the cell.
     let first_l = suite.cells[0].lockstep.as_ref().expect("PC has L rows");
     assert!(
