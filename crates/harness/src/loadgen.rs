@@ -26,8 +26,9 @@
 
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
-    percentile, Backend, BackendBatches, ExecPolicy, KdIndex, MetricsSnapshot, OpKey, Query,
-    QueryKind, Service, ServiceConfig, ShardedIndex, TreeIndex,
+    percentile, Backend, BackendBatches, ExecPolicy, KdIndex, MetricsSnapshot, MutableIndex,
+    MutableIndexBuilder, Mutation, OpKey, Query, QueryKind, QueryResult, Service, ServiceConfig,
+    ShardedIndex, TreeIndex,
 };
 use gts_trees::{PointN, SplitPolicy};
 use rand::{Rng, SeedableRng};
@@ -74,6 +75,13 @@ pub struct LoadgenConfig {
     pub stackless: bool,
     /// Per-backend comparison JSON path (`BENCH_stackless.json`).
     pub stackless_out: String,
+    /// Churn phase: interleave this many mutation batches with the query
+    /// replay against a live [`MutableIndex`] (0 = phase off). Every
+    /// mutation batch is followed by a differential check against a
+    /// from-scratch flat build over the same live multiset.
+    pub churn: usize,
+    /// Churn report JSON path (`BENCH_epoch.json`).
+    pub churn_out: String,
 }
 
 impl Default for LoadgenConfig {
@@ -94,6 +102,8 @@ impl Default for LoadgenConfig {
             backend: None,
             stackless: false,
             stackless_out: "BENCH_stackless.json".into(),
+            churn: 0,
+            churn_out: "BENCH_epoch.json".into(),
         }
     }
 }
@@ -232,6 +242,51 @@ pub struct StacklessBenchReport {
     pub backends: Vec<StacklessBackendRow>,
 }
 
+/// Live-mutation churn comparison (`BENCH_epoch.json`): the same seeded
+/// query batches replayed against a [`MutableIndex`] twice — once static
+/// (no mutations), once with mutation batches interleaved while the
+/// background merge thread advances epochs under the queries. Every
+/// mutation batch is followed by a differential check: the mutable
+/// index's answers must match a from-scratch flat [`KdIndex`] build over
+/// the same live multiset, pending deltas included.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochBenchReport {
+    /// Points in the initial build.
+    pub points: u64,
+    /// Query batches replayed per phase.
+    pub query_batches: u64,
+    /// Mutation batches interleaved into the churn phase.
+    pub churn_batches: u64,
+    /// Mutations accepted across the churn phase.
+    pub mutations_accepted: u64,
+    /// Deletes of non-live ids skipped (0 — the generator tracks liveness).
+    pub mutations_rejected: u64,
+    /// Epoch merges the index performed (background + the quiesce flush).
+    pub merges: u64,
+    /// Epoch the index ended on after quiesce.
+    pub final_epoch: u64,
+    /// Delta entries still pending after quiesce (must be 0).
+    pub pending_after_quiesce: u64,
+    /// Merged shard count before any mutation.
+    pub shards_before: u64,
+    /// Merged shard count after the final merge (> before when skewed
+    /// growth forced Morton re-splits).
+    pub shards_after: u64,
+    /// Live points after all mutations.
+    pub live_after: u64,
+    /// Differential checks run (one per mutation batch + one final).
+    pub differential_checks: u64,
+    /// Sample queries whose answer diverged from the from-scratch flat
+    /// build (must be 0 — CI gates on it).
+    pub differential_mismatches: u64,
+    /// p50 per-batch wall ms with no mutations in flight.
+    pub static_p50_ms: f64,
+    /// p50 per-batch wall ms with churn + merges racing the queries.
+    pub churn_p50_ms: f64,
+    /// `churn_p50_ms / static_p50_ms` (CI gates this under 2×).
+    pub churn_over_static: f64,
+}
+
 /// Observability summary of one loadgen run (`BENCH_obs.json`): how the
 /// trace ring and histogram metrics lined up. The invariant the
 /// acceptance test checks — one batch span per dispatched batch — is
@@ -351,10 +406,166 @@ pub(crate) fn bbox_diag(points: &[Vec<f32>]) -> f32 {
         .sqrt()
 }
 
+/// Answers of the mutable index diverging from a from-scratch flat build
+/// over the same live multiset, across one sample replay of all three
+/// ops. Distances compare within f32 epsilon (ids may differ on exact
+/// ties), PC counts exactly.
+fn epoch_differential(idx: &MutableIndex<3>, sample: &[Vec<f32>], radius: f32) -> u64 {
+    let live: Vec<PointN<3>> = idx.live().into_iter().map(|(_, p)| p).collect();
+    if live.is_empty() || sample.is_empty() {
+        return 0;
+    }
+    let flat = KdIndex::build("epoch-oracle", &live, 8, SplitPolicy::MedianCycle);
+    let policy = ExecPolicy::forced(Backend::Cpu);
+    let close = |a: f32, b: f32| {
+        (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1e-6)
+            || (a.is_infinite() && b.is_infinite())
+    };
+    let mut mismatches = 0u64;
+    for op in [OpKey::Nn, OpKey::Knn(8), OpKey::Pc(radius.to_bits())] {
+        let want = flat.run_batch(op, sample, &policy);
+        let got = idx.run_batch(op, sample, &policy);
+        for (w, g) in want.results.iter().zip(&got.results) {
+            let ok = match (w, g) {
+                (QueryResult::Nn { dist2: a, .. }, QueryResult::Nn { dist2: b, .. }) => {
+                    close(*a, *b)
+                }
+                (QueryResult::Knn { dist2: a, .. }, QueryResult::Knn { dist2: b, .. }) => {
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| close(*x, *y))
+                }
+                (QueryResult::Pc { count: a }, QueryResult::Pc { count: b }) => a == b,
+                _ => false,
+            };
+            if !ok {
+                mismatches += 1;
+            }
+        }
+    }
+    mismatches
+}
+
+/// Churn phase (`--churn N`): replay one seeded 3-d query stream against
+/// a [`MutableIndex`] twice — static, then with `N` mutation batches
+/// interleaved while the background merge thread advances epochs under
+/// the queries — and pin every window with [`epoch_differential`].
+fn churn_phase(cfg: &LoadgenConfig) -> EpochBenchReport {
+    let shards = cfg.shards.max(2);
+    let pts: Vec<PointN<3>> = uniform::<3>(cfg.points, cfg.seed);
+    let data: Vec<Vec<f32>> = pts.iter().map(|p| p.0.to_vec()).collect();
+    let radius = 0.04 * bbox_diag(&data);
+    let requests = synth_mix(
+        std::slice::from_ref(&data),
+        &[radius],
+        (cfg.queries / 2).max(64),
+        8,
+        cfg.seed ^ 0xc0ffee,
+    );
+    let batches = group_batches(&requests, cfg.batch);
+    let policy = ExecPolicy::default();
+    let sample: Vec<Vec<f32>> = requests.iter().take(48).map(|r| r.pos.clone()).collect();
+
+    // Static pass: same index type, no mutations in flight.
+    let static_idx = MutableIndexBuilder::new("churn3d", shards).build(&pts);
+    let mut static_ms = Vec::with_capacity(batches.len());
+    for (_, op, pos) in &batches {
+        let t0 = Instant::now();
+        static_idx.run_batch(*op, pos, &policy);
+        static_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    static_idx.quiesce();
+
+    // Churn pass: one mutation batch lands before each query batch until
+    // the budget is spent (the rest after the replay), every batch pinned
+    // by a differential check while its deltas race the merge thread.
+    let idx = MutableIndexBuilder::new("churn3d", shards).build(&pts);
+    let shards_before = idx.stats().shards;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xe90c4);
+    let mut live_ids: Vec<u32> = (0..cfg.points as u32).collect();
+    let m_per_batch = (cfg.batch / 4).max(16);
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    let (mut checks, mut mismatches) = (0u64, 0u64);
+    let mut churn_ms = Vec::with_capacity(batches.len());
+    let mut churn_left = cfg.churn;
+    let mut mutate_once = |rng: &mut ChaCha8Rng, live_ids: &mut Vec<u32>| {
+        let mut muts = Vec::with_capacity(m_per_batch);
+        for _ in 0..m_per_batch {
+            // Deletes keep the live set above half its seed size so the
+            // index never thins out under a long churn budget.
+            if live_ids.len() > cfg.points / 2 && rng.gen_range(0..2u32) == 0 {
+                let at = rng.gen_range(0..live_ids.len());
+                muts.push(Mutation::Delete {
+                    id: live_ids.swap_remove(at),
+                });
+            } else {
+                let anchor = &data[rng.gen_range(0..data.len())];
+                muts.push(Mutation::Insert {
+                    pos: anchor
+                        .iter()
+                        .map(|&c| c + rng.gen_range(-radius..radius))
+                        .collect(),
+                });
+            }
+        }
+        let ack = idx.mutate(&muts).expect("churn mutations are valid");
+        live_ids.extend(&ack.assigned);
+        accepted += ack.accepted;
+        rejected += ack.rejected;
+    };
+    for (_, op, pos) in &batches {
+        if churn_left > 0 {
+            mutate_once(&mut rng, &mut live_ids);
+            churn_left -= 1;
+            checks += 1;
+            mismatches += epoch_differential(&idx, &sample, radius);
+        }
+        let t0 = Instant::now();
+        idx.run_batch(*op, pos, &policy);
+        churn_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    while churn_left > 0 {
+        mutate_once(&mut rng, &mut live_ids);
+        churn_left -= 1;
+        checks += 1;
+        mismatches += epoch_differential(&idx, &sample, radius);
+    }
+    idx.quiesce();
+    checks += 1;
+    mismatches += epoch_differential(&idx, &sample, radius);
+    let stats = idx.stats();
+    assert_eq!(stats.pending, 0, "quiesce left deltas pending");
+    assert_eq!(stats.live as usize, live_ids.len(), "live set diverged");
+
+    let static_p50 = percentile(&static_ms, 50.0);
+    let churn_p50 = percentile(&churn_ms, 50.0);
+    EpochBenchReport {
+        points: cfg.points as u64,
+        query_batches: batches.len() as u64,
+        churn_batches: cfg.churn as u64,
+        mutations_accepted: accepted,
+        mutations_rejected: rejected,
+        merges: stats.merges,
+        final_epoch: stats.epoch,
+        pending_after_quiesce: stats.pending,
+        shards_before,
+        shards_after: stats.shards,
+        live_after: stats.live,
+        differential_checks: checks,
+        differential_mismatches: mismatches,
+        static_p50_ms: static_p50,
+        churn_p50_ms: churn_p50,
+        churn_over_static: if static_p50 > 0.0 {
+            churn_p50 / static_p50
+        } else {
+            0.0
+        },
+    }
+}
+
 /// Run the loadgen and return (human report, machine report,
 /// observability artifacts, sequential-vs-parallel comparison, per-backend
-/// stackless comparison). The parallel comparison is `Some` only for
-/// sharded runs (`shards > 1`); the stackless comparison always runs.
+/// stackless comparison, churn comparison). The parallel comparison is
+/// `Some` only for sharded runs (`shards > 1`), the churn comparison only
+/// with `--churn N`; the stackless comparison always runs.
 pub fn run(
     cfg: &LoadgenConfig,
 ) -> (
@@ -363,6 +574,7 @@ pub fn run(
     ObsArtifacts,
     Option<ParallelBenchReport>,
     StacklessBenchReport,
+    Option<EpochBenchReport>,
 ) {
     // Two indices of different dimension and split policy.
     let pts3: Vec<PointN<3>> = uniform::<3>(cfg.points, cfg.seed);
@@ -602,6 +814,9 @@ pub fn run(
         }
     };
 
+    // Churn phase: live mutation under query load, differentially pinned.
+    let churn = (cfg.churn > 0).then(|| churn_phase(cfg));
+
     let batched_qps = cfg.queries as f64 / (snapshot.model_ms / 1e3);
     let single_qps = if single_model_ms > 0.0 {
         cfg.queries as f64 / (single_model_ms / 1e3)
@@ -735,7 +950,27 @@ pub fn run(
             row.backend, row.model_ms, row.qps_model, row.stack_bytes_peak, row.stack_transactions
         ));
     }
-    (text, report, artifacts, parallel, stackless)
+    if let Some(c) = &churn {
+        text.push_str(&format!(
+            "  churn  : {} mutation batches ({} mutations), {} merges → epoch {}, shards {} → {}, live {}\n",
+            c.churn_batches,
+            c.mutations_accepted,
+            c.merges,
+            c.final_epoch,
+            c.shards_before,
+            c.shards_after,
+            c.live_after
+        ));
+        text.push_str(&format!(
+            "  churn  : {} differential checks, {} mismatches; query p50 {:.3} ms vs static {:.3} ms ({:.2}x)\n",
+            c.differential_checks,
+            c.differential_mismatches,
+            c.churn_p50_ms,
+            c.static_p50_ms,
+            c.churn_over_static
+        ));
+    }
+    (text, report, artifacts, parallel, stackless, churn)
 }
 
 /// CLI entry: parse `args` (everything after the subcommand) and run.
@@ -754,7 +989,7 @@ pub fn main_loadgen(args: &[String]) {
              [--workers N] [--batch N] [--shards N] [--shard-threads N] [--out PATH] \
              [--skip-single] [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH] \
              [--backend auto|lockstep|autoropes|stackless-kd|stackless-bvh|cpu] \
-             [--stackless] [--stackless-out PATH]\n\
+             [--stackless] [--stackless-out PATH] [--churn N] [--churn-out PATH]\n\
              \n\
              networked mode:\n\
              gts-harness loadgen --connect HOST:PORT [--connections N] [--frame-queries N] \
@@ -836,6 +1071,14 @@ pub fn main_loadgen(args: &[String]) {
                 cfg.stackless_out = need(i).to_string();
                 i += 2;
             }
+            "--churn" => {
+                cfg.churn = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--churn-out" => {
+                cfg.churn_out = need(i).to_string();
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -845,7 +1088,7 @@ pub fn main_loadgen(args: &[String]) {
         cfg.out = "BENCH_sharded.json".into();
     }
 
-    let (text, report, artifacts, parallel, stackless) = run(&cfg);
+    let (text, report, artifacts, parallel, stackless, churn) = run(&cfg);
     print!("{text}");
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     let mut f = std::fs::File::create(&cfg.out).expect("create bench json");
@@ -859,6 +1102,11 @@ pub fn main_loadgen(args: &[String]) {
     let json = serde_json::to_string_pretty(&stackless).expect("serialize stackless report");
     std::fs::write(&cfg.stackless_out, json).expect("write stackless json");
     eprintln!("wrote {}", cfg.stackless_out);
+    if let Some(c) = &churn {
+        let json = serde_json::to_string_pretty(c).expect("serialize churn report");
+        std::fs::write(&cfg.churn_out, json).expect("write churn json");
+        eprintln!("wrote {}", cfg.churn_out);
+    }
     let obs_json = serde_json::to_string_pretty(&artifacts.obs).expect("serialize obs report");
     std::fs::write(&cfg.obs_out, obs_json).expect("write obs json");
     eprintln!("wrote {}", cfg.obs_out);
@@ -953,8 +1201,9 @@ mod tests {
             workers: 2,
             ..LoadgenConfig::default()
         };
-        let (_, a, obs_a, par, sl) = run(&cfg);
-        let (_, b, _, _, sl_b) = run(&cfg);
+        let (_, a, obs_a, par, sl, churn) = run(&cfg);
+        let (_, b, _, _, sl_b, _) = run(&cfg);
+        assert!(churn.is_none(), "churn phase only runs with --churn");
         assert!(par.is_none(), "flat runs have no parallel comparison");
         // Modeled numbers are reproducible under a fixed seed.
         assert_eq!(a.batched_model_ms, b.batched_model_ms);
@@ -1000,9 +1249,9 @@ mod tests {
         let parsed: serde::Value =
             serde_json::from_str(&obs_a.trace_json).expect("trace JSON parses");
         assert!(matches!(parsed, serde::Value::Array(_)));
-        // 7 aggregate histograms plus 2 labeled per-index histograms for
+        // 8 aggregate histograms plus 2 labeled per-index histograms for
         // each of the 2 registered indices.
-        assert_eq!(obs_a.prometheus.matches("le=\"+Inf\"").count(), 11);
+        assert_eq!(obs_a.prometheus.matches("le=\"+Inf\"").count(), 12);
     }
 
     #[test]
@@ -1020,8 +1269,8 @@ mod tests {
             skip_single: true,
             ..LoadgenConfig::default()
         };
-        let (_, a, obs, par_a, sl) = run(&cfg);
-        let (_, b, _, _, _) = run(&cfg);
+        let (_, a, obs, par_a, sl, _) = run(&cfg);
+        let (_, b, _, _, _, _) = run(&cfg);
         // The stackless comparison also runs sharded; zero stack traffic
         // must survive the sub-batch aggregation.
         assert!(sl.results_identical);
@@ -1047,5 +1296,38 @@ mod tests {
             p.profile_cache_hits + p.profile_cache_misses > 0,
             "parallel phase never consulted the profile cache"
         );
+    }
+
+    #[test]
+    fn churn_phase_merges_and_stays_differentially_exact() {
+        let cfg = LoadgenConfig {
+            queries: 256,
+            points: 512,
+            batch: 64,
+            workers: 1,
+            shards: 2,
+            skip_single: true,
+            churn: 6,
+            ..LoadgenConfig::default()
+        };
+        let c = churn_phase(&cfg);
+        assert_eq!(c.churn_batches, 6);
+        assert!(c.mutations_accepted > 0);
+        assert_eq!(c.mutations_rejected, 0, "generator only deletes live ids");
+        assert!(c.merges > 0, "no epoch merge ever landed");
+        assert!(c.final_epoch > 0);
+        assert_eq!(c.pending_after_quiesce, 0);
+        // One check per mutation batch plus the post-quiesce check, each
+        // replaying the sample across all three ops with zero divergence.
+        assert_eq!(c.differential_checks, 7);
+        assert_eq!(c.differential_mismatches, 0);
+        // The generator keeps the live set above half the seed and every
+        // accepted mutation moves it by exactly one.
+        assert!(
+            c.live_after >= 256,
+            "live set thinned out: {}",
+            c.live_after
+        );
+        assert!(c.live_after <= c.points + c.mutations_accepted);
     }
 }

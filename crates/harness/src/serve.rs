@@ -10,9 +10,17 @@
 //! nn  <index> <x> <y> [...]      nearest neighbor
 //! knn <index> <k> <x> <y> [...]  k nearest neighbors
 //! pc  <index> <r> <x> <y> [...]  count points within radius r
+//! insert <index> <x> <y> [...]   add a point (mutable index only)
+//! delete <index> <id>            remove a point by id (mutable only)
+//! epoch  <index>                 print the index's epoch counters
 //! metrics                        print the JSON metrics snapshot
 //! quit                           drain and exit (EOF works too)
 //! ```
+//!
+//! With `--mutable`, the 3-d index registers as a live
+//! [`gts_service::MutableIndex`] instead of a static tree: `insert`/
+//! `delete` lines and networked `Mutate` frames apply epoch/RCU deltas
+//! while queries keep answering exactly.
 //!
 //! `--metrics-file PATH` keeps a Prometheus text snapshot refreshed every
 //! second while serving (point a scraper or `watch cat` at it);
@@ -29,8 +37,8 @@
 use gts_net::NetServer;
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
-    Backend, ExecPolicy, KdIndex, Query, QueryKind, QueryResult, Service, ServiceConfig,
-    ShardedIndex, TraceStream, TreeIndex,
+    Backend, ExecPolicy, KdIndex, MutableIndexBuilder, Mutation, Query, QueryKind, QueryResult,
+    Service, ServiceConfig, ShardedIndex, TraceStream, TreeIndex,
 };
 use gts_trees::SplitPolicy;
 use std::io::BufRead as _;
@@ -109,13 +117,14 @@ pub fn main_serve(args: &[String]) {
     let mut admission_budget_us: Option<u64> = None;
     let mut backend: Option<Backend> = None;
     let mut stackless = false;
+    let mut mutable = false;
     let usage = || -> ! {
         eprintln!(
             "usage: gts-harness serve [--points N] [--seed N] [--shards N] \
              [--shard-threads N] [--metrics-file PATH] [--trace-file PATH] \
              [--listen ADDR] [--port-file PATH] [--admission-budget-us N] \
              [--backend auto|lockstep|autoropes|stackless-kd|stackless-bvh|cpu] \
-             [--stackless]"
+             [--stackless] [--mutable]"
         );
         std::process::exit(2)
     };
@@ -175,6 +184,10 @@ pub fn main_serve(args: &[String]) {
                 stackless = true;
                 i += 1;
             }
+            "--mutable" => {
+                mutable = true;
+                i += 1;
+            }
             _ => usage(),
         }
     }
@@ -193,7 +206,17 @@ pub fn main_serve(args: &[String]) {
     }));
     let pts3 = uniform::<3>(points, seed);
     let pts2 = geocity_like(points, seed + 1);
-    let (idx3, idx2): (Arc<dyn TreeIndex>, Arc<dyn TreeIndex>) = if shards > 1 {
+    let (idx3, idx2): (Arc<dyn TreeIndex>, Arc<dyn TreeIndex>) = if mutable {
+        (
+            Arc::new(MutableIndexBuilder::new("uniform3d", shards.max(1)).build(&pts3)),
+            Arc::new(KdIndex::build(
+                "geocity2d",
+                &pts2,
+                8,
+                SplitPolicy::MidpointWidest,
+            )),
+        )
+    } else if shards > 1 {
         (
             Arc::new(ShardedIndex::build(
                 "uniform3d",
@@ -229,10 +252,12 @@ pub fn main_serve(args: &[String]) {
     let id3 = service.register_index(idx3);
     let id2 = service.register_index(idx2);
     eprintln!(
-        "serving: index {id3} = uniform3d ({points} pts, 3-d), index {id2} = geocity2d ({points} pts, 2-d), {shards} shard(s) each"
+        "serving: index {id3} = uniform3d ({points} pts, 3-d{}), index {id2} = geocity2d ({points} pts, 2-d), {shards} shard(s) each",
+        if mutable { ", mutable" } else { "" }
     );
     eprintln!(
-        "commands: nn <idx> <x..> | knn <idx> <k> <x..> | pc <idx> <r> <x..> | metrics | quit"
+        "commands: nn <idx> <x..> | knn <idx> <k> <x..> | pc <idx> <r> <x..> | \
+         insert <idx> <x..> | delete <idx> <id> | epoch <idx> | metrics | quit"
     );
 
     let net = listen.as_deref().map(|addr| {
@@ -318,6 +343,53 @@ pub fn main_serve(args: &[String]) {
             if trimmed == "metrics" {
                 println!("{}", service.metrics().to_json());
                 continue;
+            }
+            let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+            match tokens.as_slice() {
+                ["insert", idx, pos @ ..] if !pos.is_empty() => {
+                    match (idx.parse(), parse_floats(pos)) {
+                        (Ok(i), Some(pos)) => {
+                            match service.mutate(i, &[Mutation::Insert { pos }]) {
+                                Ok(ack) => println!(
+                                    "inserted id={} epoch={} pending={}",
+                                    ack.assigned[0], ack.epoch, ack.pending
+                                ),
+                                Err(err) => println!("error: {err}"),
+                            }
+                        }
+                        _ => println!("error: insert needs: index x y ..."),
+                    }
+                    continue;
+                }
+                ["delete", idx, id] => {
+                    match (idx.parse(), id.parse()) {
+                        (Ok(i), Ok(id)) => match service.mutate(i, &[Mutation::Delete { id }]) {
+                            Ok(ack) if ack.accepted == 1 => println!(
+                                "deleted id={id} epoch={} pending={}",
+                                ack.epoch, ack.pending
+                            ),
+                            Ok(_) => println!("error: id {id} is not live"),
+                            Err(err) => println!("error: {err}"),
+                        },
+                        _ => println!("error: delete needs: index id"),
+                    }
+                    continue;
+                }
+                ["epoch", idx] => {
+                    match idx.parse::<usize>() {
+                        Ok(i) => match service.epoch_stats(i) {
+                            Ok(Some(s)) => println!(
+                                "epoch={} pending={} merges={} mutations={} live={} shards={}",
+                                s.epoch, s.pending, s.merges, s.mutations, s.live, s.shards
+                            ),
+                            Ok(None) => println!("error: index {i} is immutable"),
+                            Err(err) => println!("error: {err}"),
+                        },
+                        Err(_) => println!("error: epoch needs: index"),
+                    }
+                    continue;
+                }
+                _ => {}
             }
             match parse_request(trimmed) {
                 Ok(Some(query)) => match service.query(query) {

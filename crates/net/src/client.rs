@@ -10,7 +10,7 @@
 //! order are parked until their `recv_*` is called.
 
 use crate::frame::{read_frame, write_frame, Frame, WireError, PROTOCOL_VERSION};
-use gts_service::{Query, QueryResult};
+use gts_service::{IndexId, Mutation, MutationAck, Query, QueryResult};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -91,7 +91,9 @@ impl Client {
         loop {
             let frame = self.read()?;
             let req = match &frame {
-                Frame::Result { req, .. } | Frame::Error { req, .. } => *req,
+                Frame::Result { req, .. }
+                | Frame::Error { req, .. }
+                | Frame::MutateAck { req, .. } => *req,
                 Frame::BatchResult { base_req, .. } => *base_req,
                 Frame::Shutdown => {
                     return Err(proto_err("server shut the session down mid-request"))
@@ -152,6 +154,42 @@ impl Client {
         }
     }
 
+    /// Apply a mutation batch to a mutable index and block for the ack.
+    /// The ack's assigned ids and epoch are valid for every query sent
+    /// after this returns. Service-side refusals (immutable index,
+    /// shutdown, bad position) come back as `Ok(Err(WireError))`.
+    pub fn mutate(
+        &mut self,
+        index: IndexId,
+        muts: &[Mutation],
+    ) -> io::Result<Result<MutationAck, WireError>> {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.send(&Frame::Mutate {
+            req,
+            index: index as u32,
+            muts: muts.to_vec(),
+        })?;
+        match self.read_for(req)? {
+            Frame::MutateAck {
+                accepted,
+                rejected,
+                epoch,
+                pending,
+                assigned,
+                ..
+            } => Ok(Ok(MutationAck {
+                accepted,
+                rejected,
+                assigned,
+                epoch,
+                pending,
+            })),
+            Frame::Error { error, .. } => Ok(Err(error)),
+            _ => unreachable!("read_for returned a non-matching frame"),
+        }
+    }
+
     /// Graceful close: tell the server no more submissions are coming,
     /// wait for its drain ack. Any still-unread responses are discarded.
     pub fn shutdown(mut self) -> io::Result<()> {
@@ -160,7 +198,10 @@ impl Client {
             match self.read()? {
                 Frame::Shutdown => return Ok(()),
                 // Late responses racing the drain ack are fine.
-                Frame::Result { .. } | Frame::BatchResult { .. } | Frame::Error { .. } => {}
+                Frame::Result { .. }
+                | Frame::BatchResult { .. }
+                | Frame::Error { .. }
+                | Frame::MutateAck { .. } => {}
                 other => {
                     return Err(proto_err(format!(
                         "unexpected {:?} frame during shutdown",
@@ -181,5 +222,7 @@ fn frame_kind(f: &Frame) -> &'static str {
         Frame::BatchResult { .. } => "BatchResult",
         Frame::Error { .. } => "Error",
         Frame::Shutdown => "Shutdown",
+        Frame::Mutate { .. } => "Mutate",
+        Frame::MutateAck { .. } => "MutateAck",
     }
 }

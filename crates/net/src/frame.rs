@@ -13,6 +13,8 @@
 //! |    5 | `BatchResult` | base req `u64`, count `u32`, `count` × (tag, result\|error) |
 //! |    6 | `Error`       | req `u64`, code `u8`, predicted µs `u64`, budget µs `u64`, msg len `u32`, msg |
 //! |    7 | `Shutdown`    | empty                                                |
+//! |    8 | `Mutate`      | req `u64`, index `u32`, count `u32`, `count` × (tag `u8`, insert: dim `u16` + dim × `f32` \| delete: id `u32`) |
+//! |    9 | `MutateAck`   | req `u64`, accepted `u64`, rejected `u64`, epoch `u64`, pending `u64`, count `u32`, `count` × id `u32` |
 //!
 //! Version negotiation: both sides open with `Hello`; the effective
 //! protocol version is the minimum of the two. A `Hello` with the wrong
@@ -24,7 +26,7 @@
 //! incremental [`Decoder`] and the blocking [`read_frame`] check the
 //! header first.
 
-use gts_service::{IndexId, Query, QueryKind, QueryResult, ServiceError};
+use gts_service::{IndexId, Mutation, Query, QueryKind, QueryResult, ServiceError};
 use std::io::{Read, Write};
 use std::time::Duration;
 
@@ -47,6 +49,8 @@ const T_RESULT: u8 = 4;
 const T_BATCH_RESULT: u8 = 5;
 const T_ERROR: u8 = 6;
 const T_SHUTDOWN: u8 = 7;
+const T_MUTATE: u8 = 8;
+const T_MUTATE_ACK: u8 = 9;
 
 /// Structured error category carried by `Error` frames and failed
 /// `BatchResult` slots.
@@ -196,6 +200,31 @@ pub enum Frame {
     /// Graceful close. Client → server: "no more submissions, flush and
     /// close". Server → client: "flushed, closing now".
     Shutdown,
+    /// A mutation batch against a mutable index; answered by `MutateAck`
+    /// or `Error` with the same `req`.
+    Mutate {
+        /// Caller-chosen correlation id.
+        req: u64,
+        /// Target index.
+        index: u32,
+        /// The mutations, applied in order.
+        muts: Vec<Mutation>,
+    },
+    /// Successful answer to `Mutate`.
+    MutateAck {
+        /// Correlation id from the `Mutate`.
+        req: u64,
+        /// Mutations applied.
+        accepted: u64,
+        /// Deletes of non-live ids skipped.
+        rejected: u64,
+        /// Merged epoch the batch landed on.
+        epoch: u64,
+        /// Delta depth after the batch.
+        pending: u64,
+        /// Ids assigned to the batch's inserts, in submission order.
+        assigned: Vec<u32>,
+    },
 }
 
 /// Why a byte sequence failed to decode.
@@ -362,6 +391,46 @@ impl Frame {
                 put_error(&mut body, error);
             }
             Frame::Shutdown => body.push(T_SHUTDOWN),
+            Frame::Mutate { req, index, muts } => {
+                body.push(T_MUTATE);
+                put_u64(&mut body, *req);
+                put_u32(&mut body, *index);
+                put_u32(&mut body, muts.len() as u32);
+                for m in muts {
+                    match m {
+                        Mutation::Insert { pos } => {
+                            body.push(0);
+                            put_u16(&mut body, pos.len() as u16);
+                            for &c in pos {
+                                put_f32(&mut body, c);
+                            }
+                        }
+                        Mutation::Delete { id } => {
+                            body.push(1);
+                            put_u32(&mut body, *id);
+                        }
+                    }
+                }
+            }
+            Frame::MutateAck {
+                req,
+                accepted,
+                rejected,
+                epoch,
+                pending,
+                assigned,
+            } => {
+                body.push(T_MUTATE_ACK);
+                put_u64(&mut body, *req);
+                put_u64(&mut body, *accepted);
+                put_u64(&mut body, *rejected);
+                put_u64(&mut body, *epoch);
+                put_u64(&mut body, *pending);
+                put_u32(&mut body, assigned.len() as u32);
+                for &id in assigned {
+                    put_u32(&mut body, id);
+                }
+            }
         }
         let mut out = Vec::with_capacity(4 + body.len());
         put_u32(&mut out, body.len() as u32);
@@ -542,6 +611,47 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
             error: get_error(&mut c)?,
         },
         T_SHUTDOWN => Frame::Shutdown,
+        T_MUTATE => {
+            let req = c.u64()?;
+            let index = c.u32()?;
+            let n = checked_count(c.u32()?)?;
+            let mut muts = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                muts.push(match c.u8()? {
+                    0 => {
+                        let dim = c.u16()? as usize;
+                        let mut pos = Vec::with_capacity(dim);
+                        for _ in 0..dim {
+                            pos.push(c.f32()?);
+                        }
+                        Mutation::Insert { pos }
+                    }
+                    1 => Mutation::Delete { id: c.u32()? },
+                    _ => return Err(DecodeError::BadPayload("unknown mutation tag")),
+                });
+            }
+            Frame::Mutate { req, index, muts }
+        }
+        T_MUTATE_ACK => {
+            let req = c.u64()?;
+            let accepted = c.u64()?;
+            let rejected = c.u64()?;
+            let epoch = c.u64()?;
+            let pending = c.u64()?;
+            let n = checked_count(c.u32()?)?;
+            let mut assigned = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                assigned.push(c.u32()?);
+            }
+            Frame::MutateAck {
+                req,
+                accepted,
+                rejected,
+                epoch,
+                pending,
+                assigned,
+            }
+        }
         t => return Err(DecodeError::UnknownType(t)),
     };
     c.done()?;

@@ -239,6 +239,8 @@ fn frame_name(f: &Frame) -> &'static str {
         Frame::BatchResult { .. } => "batch_result",
         Frame::Error { .. } => "error",
         Frame::Shutdown => "shutdown",
+        Frame::Mutate { .. } => "mutate",
+        Frame::MutateAck { .. } => "mutate_ack",
     }
 }
 
@@ -356,6 +358,26 @@ fn reader_loop(
             Frame::BatchSubmit { base_req, queries } => {
                 submit_batch(service, queries, base_req, tx, &inflight);
             }
+            Frame::Mutate { req, index, muts } => {
+                // Mutations apply synchronously on the reader thread —
+                // they don't ride the query pipeline, so the ack (and the
+                // epoch it names) is ordered before any later frame's
+                // answers on this connection.
+                let _ = tx.send(match service.mutate(index as usize, &muts) {
+                    Ok(ack) => Frame::MutateAck {
+                        req,
+                        accepted: ack.accepted,
+                        rejected: ack.rejected,
+                        epoch: ack.epoch,
+                        pending: ack.pending,
+                        assigned: ack.assigned,
+                    },
+                    Err(err) => Frame::Error {
+                        req,
+                        error: WireError::from_service(&err),
+                    },
+                });
+            }
             Frame::Shutdown => {
                 // Drain: every accepted frame gets its answer first.
                 inflight.drain(cfg.drain_timeout);
@@ -363,7 +385,10 @@ fn reader_loop(
                 break;
             }
             // Response frames are server → client only.
-            Frame::Result { .. } | Frame::BatchResult { .. } | Frame::Error { .. } => {
+            Frame::Result { .. }
+            | Frame::BatchResult { .. }
+            | Frame::Error { .. }
+            | Frame::MutateAck { .. } => {
                 metrics.on_net_protocol_error();
                 let _ = tx.send(Frame::Error {
                     req: u64::MAX,

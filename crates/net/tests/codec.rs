@@ -3,7 +3,7 @@
 
 use gts_net::frame::{decode_body, read_frame, DecodeError};
 use gts_net::{Decoder, ErrorCode, Frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
-use gts_service::{Query, QueryKind, QueryResult};
+use gts_service::{Mutation, Query, QueryKind, QueryResult};
 use proptest::prelude::*;
 
 fn roundtrip(frame: &Frame) -> Frame {
@@ -286,5 +286,97 @@ fn non_utf8_error_message_is_rejected() {
     assert_eq!(
         decode_body(&body),
         Err(DecodeError::BadPayload("error message is not utf-8"))
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mutate_roundtrips(
+        req in 0u64..u64::MAX,
+        index in 0u32..16,
+        n in 0usize..40,
+        seed in 0u32..1_000_000,
+    ) {
+        let muts: Vec<Mutation> = (0..n)
+            .map(|i| {
+                if (seed as usize + i).is_multiple_of(3) {
+                    Mutation::Delete { id: seed.wrapping_add(i as u32) }
+                } else {
+                    let dim = 1 + (seed as usize + i) % 7;
+                    Mutation::Insert {
+                        pos: (0..dim)
+                            .map(|j| ((seed as f32).cos() * 10.0 + (i + j) as f32) / 3.0)
+                            .collect(),
+                    }
+                }
+            })
+            .collect();
+        let frame = Frame::Mutate { req, index, muts };
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn mutate_ack_roundtrips(
+        req in 0u64..u64::MAX,
+        accepted in 0u64..1_000_000,
+        rejected in 0u64..1_000,
+        epoch in 0u64..1_000_000,
+        pending in 0u64..100_000,
+        n in 0usize..50,
+    ) {
+        let assigned: Vec<u32> = (0..n).map(|i| i as u32 * 13 + 7).collect();
+        let frame = Frame::MutateAck { req, accepted, rejected, epoch, pending, assigned };
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+}
+
+#[test]
+fn unknown_mutation_tag_is_rejected() {
+    let mut body = vec![8u8]; // T_MUTATE
+    body.extend_from_slice(&1u64.to_le_bytes()); // req
+    body.extend_from_slice(&0u32.to_le_bytes()); // index
+    body.extend_from_slice(&1u32.to_le_bytes()); // count
+    body.push(9); // neither insert (0) nor delete (1)
+    assert_eq!(
+        decode_body(&body),
+        Err(DecodeError::BadPayload("unknown mutation tag"))
+    );
+}
+
+#[test]
+fn hostile_mutate_count_is_rejected_before_allocating() {
+    let mut body = vec![8u8]; // T_MUTATE
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.extend_from_slice(&0u32.to_le_bytes());
+    body.extend_from_slice(&(MAX_FRAME / 2 + 1).to_le_bytes());
+    assert!(matches!(
+        decode_body(&body),
+        Err(DecodeError::BadPayload(_))
+    ));
+}
+
+#[test]
+fn truncated_mutate_ack_is_rejected() {
+    let frame = Frame::MutateAck {
+        req: 3,
+        accepted: 2,
+        rejected: 0,
+        epoch: 1,
+        pending: 0,
+        assigned: vec![10, 11],
+    };
+    let bytes = frame.encode();
+    // Drop the last assigned id (and patch the length): the declared
+    // count no longer matches the payload.
+    let mut cut = bytes[..bytes.len() - 4].to_vec();
+    let len = (cut.len() - 4) as u32;
+    cut[..4].copy_from_slice(&len.to_le_bytes());
+    let mut dec = Decoder::new();
+    dec.feed(&cut);
+    assert_eq!(
+        dec.next_frame(),
+        Err(DecodeError::BadPayload("truncated field"))
     );
 }

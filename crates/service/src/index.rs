@@ -6,6 +6,7 @@
 //! picks (lockstep when neighbors traverse alike, autoropes otherwise),
 //! then undo the sort so callers see results in submission order.
 
+use crate::epoch::{EpochObserverFn, EpochStats, MutateError, Mutation, MutationAck};
 use crate::policy::{Backend, ExecPolicy};
 use crate::query::{OpKey, QueryResult};
 use gts_apps::knn::{KnnKernel, KnnPoint};
@@ -109,6 +110,22 @@ pub trait TreeIndex: Send + Sync {
     /// Execute one homogeneous batch. `positions` all have length
     /// [`TreeIndex::dim`]; results come back in the same order.
     fn run_batch(&self, op: OpKey, positions: &[Vec<f32>], policy: &ExecPolicy) -> BatchOutcome;
+    /// Apply a mutation batch. Static indices (the default) refuse with
+    /// [`MutateError::Immutable`]; [`crate::MutableIndex`] overrides.
+    fn mutate(&self, _muts: &[Mutation]) -> Result<MutationAck, MutateError> {
+        Err(MutateError::Immutable)
+    }
+    /// Stop accepting mutations and flush/join any background merge
+    /// machinery. No-op for static indices. Called by
+    /// [`crate::Service::close`] so shutdown never drops a delta.
+    fn quiesce(&self) {}
+    /// Epoch counters, when the index is mutable.
+    fn epoch_stats(&self) -> Option<EpochStats> {
+        None
+    }
+    /// Subscribe the runtime to epoch lifecycle events (mutations and
+    /// merges). No-op for static indices.
+    fn attach_epoch_observer(&self, _observer: EpochObserverFn) {}
 }
 
 /// A kd-tree index over `D`-dimensional points.

@@ -23,7 +23,11 @@
 //!   Perfetto renders directly;
 //! * datasets larger than one tree register as a [`ShardedIndex`]:
 //!   Morton-partitioned kd-tree shards, per-batch fan-out with AABB
-//!   pruning, exact per-shard result merging (see [`shard`]).
+//!   pruning, exact per-shard result merging (see [`shard`]);
+//! * streaming workloads register a [`MutableIndex`]: epoch/RCU
+//!   insert/delete with readers pinning `Arc` snapshots, a background
+//!   merge thread rebuilding only touched Morton shards, and exact
+//!   answers during the pending-delta window (see [`epoch`]).
 //!
 //! ```no_run
 //! use gts_service::{Backend, KdIndex, Query, QueryKind, Service, ServiceConfig};
@@ -45,6 +49,7 @@
 //! ```
 
 pub mod batcher;
+pub mod epoch;
 pub mod hist;
 pub mod index;
 pub mod metrics;
@@ -55,6 +60,10 @@ pub mod shard;
 pub mod trace;
 
 pub use batcher::{BatchEntry, Batcher, ReadyBatch, WARP};
+pub use epoch::{
+    EpochEvent, EpochObserverFn, EpochStats, MutableIndex, MutableIndexBuilder, MutateError,
+    Mutation, MutationAck,
+};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use index::{BatchOutcome, KdIndex, ProfileCtx, ShardVisit, TreeIndex};
 pub use metrics::{

@@ -121,6 +121,13 @@ struct Inner {
     net_bytes_rx: u64,
     net_bytes_tx: u64,
     net_protocol_errors: u64,
+    // Epoch/mutation counters, fed by the observer `register_index`
+    // attaches to every mutable index.
+    mutations: u64,
+    epoch_merges: u64,
+    epoch_deltas_flushed: u64,
+    epoch: u64,
+    epoch_delta_depth: u64,
     // Admission model state: exponentially weighted batch service time
     // (wall ms) and batch size, updated once per executed batch.
     ewma_batch_service_ms: f64,
@@ -134,6 +141,7 @@ struct Inner {
     queue_wait_ms: Histogram,
     latency_ms: Histogram,
     batch_exec_ms: Histogram,
+    epoch_merge_ms: Histogram,
     // Per-index series, keyed by index name. Bounded by the number of
     // *registered indices* (a handful, fixed at service start), not by
     // load — the memory bound stays O(indices × buckets).
@@ -246,6 +254,32 @@ impl Metrics {
         self.lock().net_protocol_errors += 1;
     }
 
+    /// One mutation batch applied to a mutable index: `accepted`
+    /// mutations landed, `pending` deltas now await the merge thread.
+    pub fn on_mutation(&self, accepted: u64, pending: u64) {
+        let mut m = self.lock();
+        m.mutations += accepted;
+        m.epoch_delta_depth = pending;
+    }
+
+    /// One epoch merge landed: the index advanced to `epoch` in `dur`,
+    /// folding `deltas_flushed` deltas; `pending_after` arrived during
+    /// the merge and stay pending.
+    pub fn on_epoch_merge(
+        &self,
+        epoch: u64,
+        dur: Duration,
+        deltas_flushed: u64,
+        pending_after: u64,
+    ) {
+        let mut m = self.lock();
+        m.epoch_merges += 1;
+        m.epoch_deltas_flushed += deltas_flushed;
+        m.epoch = m.epoch.max(epoch);
+        m.epoch_delta_depth = pending_after;
+        m.epoch_merge_ms.record(dur.as_secs_f64() * 1e3);
+    }
+
     /// One query's result delivered by index `index`, `latency` after
     /// submission.
     pub fn on_complete(&self, index: &str, latency: Duration) {
@@ -272,7 +306,7 @@ impl Metrics {
             m.per_index.len()
                 * (std::mem::size_of::<IndexSeries>() + 2 * N_BUCKETS * std::mem::size_of::<u64>())
         };
-        std::mem::size_of::<Self>() + 7 * N_BUCKETS * std::mem::size_of::<u64>() + per_index
+        std::mem::size_of::<Self>() + 8 * N_BUCKETS * std::mem::size_of::<u64>() + per_index
     }
 
     /// Snapshot every counter, percentile, and histogram. O(buckets),
@@ -314,6 +348,11 @@ impl Metrics {
             net_bytes_rx: m.net_bytes_rx,
             net_bytes_tx: m.net_bytes_tx,
             net_protocol_errors: m.net_protocol_errors,
+            mutations: m.mutations,
+            epoch_merges: m.epoch_merges,
+            epoch_deltas_flushed: m.epoch_deltas_flushed,
+            epoch: m.epoch,
+            epoch_delta_depth: m.epoch_delta_depth,
             ewma_batch_service_ms: m.ewma_batch_service_ms,
             model_ms: m.model_ms.sum(),
             mean_work_expansion: if m.batches > 0 {
@@ -340,6 +379,7 @@ impl Metrics {
             queue_wait_hist: m.queue_wait_ms.snapshot(),
             latency_hist: m.latency_ms.snapshot(),
             exec_ms_hist: m.batch_exec_ms.snapshot(),
+            epoch_merge_ms_hist: m.epoch_merge_ms.snapshot(),
             per_index: m
                 .per_index
                 .iter()
@@ -416,6 +456,16 @@ pub struct MetricsSnapshot {
     pub net_bytes_tx: u64,
     /// Malformed or oversized frames rejected by the decoder.
     pub net_protocol_errors: u64,
+    /// Mutations (inserts + deletes) accepted by mutable indices.
+    pub mutations: u64,
+    /// Epoch merges performed across all mutable indices.
+    pub epoch_merges: u64,
+    /// Delta entries folded into merges.
+    pub epoch_deltas_flushed: u64,
+    /// Highest epoch any mutable index reached.
+    pub epoch: u64,
+    /// Pending delta entries after the last mutation or merge.
+    pub epoch_delta_depth: u64,
     /// EWMA batch service time (wall ms) — the admission model's per-batch
     /// cost estimate.
     pub ewma_batch_service_ms: f64,
@@ -453,6 +503,8 @@ pub struct MetricsSnapshot {
     pub latency_hist: HistogramSnapshot,
     /// Full per-batch wall-clock execution-time distribution (ms).
     pub exec_ms_hist: HistogramSnapshot,
+    /// Full epoch-merge duration distribution (ms).
+    pub epoch_merge_ms_hist: HistogramSnapshot,
     /// Per-index series, sorted by index name (BTreeMap order), so
     /// mixed-index workloads stay separable.
     pub per_index: Vec<IndexMetricsSnapshot>,
@@ -499,7 +551,7 @@ impl MetricsSnapshot {
     /// for every histogram.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 20] = [
+        let counters: [(&str, u64); 23] = [
             ("gts_queries_submitted_total", self.submitted),
             ("gts_queries_completed_total", self.completed),
             ("gts_queries_rejected_total", self.rejected),
@@ -523,11 +575,14 @@ impl MetricsSnapshot {
             ("gts_net_bytes_rx_total", self.net_bytes_rx),
             ("gts_net_bytes_tx_total", self.net_bytes_tx),
             ("gts_net_protocol_errors_total", self.net_protocol_errors),
+            ("gts_mutations_total", self.mutations),
+            ("gts_epoch_merges_total", self.epoch_merges),
+            ("gts_epoch_deltas_flushed_total", self.epoch_deltas_flushed),
         ];
         for (name, v) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
         }
-        let gauges: [(&str, f64); 7] = [
+        let gauges: [(&str, f64); 9] = [
             ("gts_batch_size_mean", self.mean_batch_size),
             ("gts_batch_size_max", self.max_batch_size as f64),
             ("gts_stack_bytes_peak", self.stack_bytes_peak as f64),
@@ -535,6 +590,8 @@ impl MetricsSnapshot {
             ("gts_work_expansion_mean", self.mean_work_expansion),
             ("gts_mask_occupancy_mean", self.mean_mask_occupancy),
             ("gts_ewma_batch_service_ms", self.ewma_batch_service_ms),
+            ("gts_epoch", self.epoch as f64),
+            ("gts_epoch_delta_depth", self.epoch_delta_depth as f64),
         ];
         for (name, v) in gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
@@ -562,6 +619,8 @@ impl MetricsSnapshot {
         self.latency_hist.to_prometheus("gts_latency_ms", &mut out);
         self.exec_ms_hist
             .to_prometheus("gts_batch_exec_ms", &mut out);
+        self.epoch_merge_ms_hist
+            .to_prometheus("gts_epoch_merge_ms", &mut out);
         // Per-index families: one TYPE header each, one labeled series
         // per registered index. Index names are service-controlled
         // identifiers, rendered without escaping (same convention as the
@@ -780,10 +839,10 @@ mod tests {
         ] {
             assert!(text.contains(series), "missing `{series}` in:\n{text}");
         }
-        // One `# TYPE` header per exported metric family: 20 counters,
-        // 7 gauges, 7 aggregate histograms, the per-backend choice family,
+        // One `# TYPE` header per exported metric family: 23 counters,
+        // 9 gauges, 8 aggregate histograms, the per-backend choice family,
         // and 4 per-index families.
-        assert_eq!(text.matches("# TYPE").count(), 20 + 7 + 7 + 1 + 4);
+        assert_eq!(text.matches("# TYPE").count(), 23 + 9 + 8 + 1 + 4);
     }
 
     #[test]
@@ -836,6 +895,32 @@ mod tests {
         let expected = EWMA_ALPHA * 2.0 + (1.0 - EWMA_ALPHA) * 10.0;
         assert!((s.ewma_batch_service_ms - expected).abs() < 1e-9);
         assert_eq!(s.exec_ms_hist.count, 2);
+    }
+
+    #[test]
+    fn epoch_counters_export() {
+        let m = Metrics::default();
+        m.on_mutation(10, 10);
+        m.on_mutation(5, 15);
+        m.on_epoch_merge(1, Duration::from_millis(3), 15, 2);
+        let s = m.snapshot();
+        assert_eq!(s.mutations, 15);
+        assert_eq!(s.epoch_merges, 1);
+        assert_eq!(s.epoch_deltas_flushed, 15);
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.epoch_delta_depth, 2, "gauge tracks the latest event");
+        assert_eq!(s.epoch_merge_ms_hist.count, 1);
+        let text = s.to_prometheus();
+        for series in [
+            "gts_mutations_total 15",
+            "gts_epoch_merges_total 1",
+            "gts_epoch_deltas_flushed_total 15",
+            "gts_epoch 1",
+            "gts_epoch_delta_depth 2",
+            "gts_epoch_merge_ms_count 1",
+        ] {
+            assert!(text.contains(series), "missing `{series}`");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! every in-flight ticket resolves before `shutdown` returns.
 
 use crate::batcher::{BatchEntry, Batcher, ReadyBatch};
+use crate::epoch::{EpochEvent, EpochStats, MutateError, Mutation, MutationAck};
 use crate::index::TreeIndex;
 use crate::metrics::{BatchRecord, Metrics, MetricsSnapshot};
 use crate::policy::ExecPolicy;
@@ -401,6 +402,55 @@ impl Service {
 
     /// Register an index; queries name it by the returned id.
     pub fn register_index(&self, index: Arc<dyn TreeIndex>) -> IndexId {
+        // Route the index's epoch lifecycle (mutations, merges) into the
+        // service's metrics and trace. `Weak` breaks the cycle Shared →
+        // indices → observer → Shared.
+        let weak = Arc::downgrade(&self.shared);
+        index.attach_epoch_observer(Arc::new(move |event: &EpochEvent| {
+            let Some(shared) = weak.upgrade() else { return };
+            match *event {
+                EpochEvent::Mutation {
+                    accepted, pending, ..
+                } => {
+                    shared.metrics.on_mutation(accepted, pending);
+                    let trace = &shared.trace;
+                    trace.instant(
+                        trace.now_us(),
+                        NO_ID,
+                        NO_ID,
+                        EventKind::Mutate {
+                            accepted: accepted.min(u32::MAX as u64) as u32,
+                            pending: pending.min(u32::MAX as u64) as u32,
+                        },
+                    );
+                }
+                EpochEvent::Merge {
+                    epoch,
+                    rebuilt,
+                    flushed,
+                    pending_after,
+                    dur,
+                } => {
+                    shared
+                        .metrics
+                        .on_epoch_merge(epoch, dur, flushed, pending_after);
+                    let trace = &shared.trace;
+                    let now = trace.now_us();
+                    let dur_us = dur.as_micros() as u64;
+                    trace.span(
+                        now.saturating_sub(dur_us),
+                        dur_us,
+                        NO_ID,
+                        NO_ID,
+                        EventKind::EpochMerge {
+                            epoch,
+                            rebuilt,
+                            flushed: flushed.min(u32::MAX as u64) as u32,
+                        },
+                    );
+                }
+            }
+        }));
         let mut indices = self
             .shared
             .indices
@@ -408,6 +458,69 @@ impl Service {
             .unwrap_or_else(|e| e.into_inner());
         indices.push(index);
         indices.len() - 1
+    }
+
+    /// Apply a mutation batch to a registered [`MutableIndex`]
+    /// (`crate::MutableIndex`). Inserts are dimension- and
+    /// finiteness-checked against the index up front; the whole batch is
+    /// refused on a bad one (never half-applied). Returns the index's
+    /// acknowledgement: ids assigned to inserts, the epoch the batch
+    /// landed on, and the pending delta depth.
+    pub fn mutate(&self, index: IndexId, muts: &[Mutation]) -> Result<MutationAck, ServiceError> {
+        if self
+            .submit_tx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_none()
+        {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let idx = {
+            let indices = self
+                .shared
+                .indices
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            indices
+                .get(index)
+                .cloned()
+                .ok_or(ServiceError::UnknownIndex(index))?
+        };
+        for m in muts {
+            if let Mutation::Insert { pos } = m {
+                if pos.len() != idx.dim() {
+                    return Err(ServiceError::DimMismatch {
+                        expected: idx.dim(),
+                        got: pos.len(),
+                    });
+                }
+                if !pos.iter().all(|v| v.is_finite()) {
+                    return Err(ServiceError::BadQuery("non-finite insert position"));
+                }
+            }
+        }
+        idx.mutate(muts).map_err(|e| match e {
+            MutateError::Immutable => ServiceError::BadQuery("index does not accept mutations"),
+            MutateError::Closed => ServiceError::ShuttingDown,
+            MutateError::DimMismatch { expected, got } => {
+                ServiceError::DimMismatch { expected, got }
+            }
+            MutateError::BadPosition => ServiceError::BadQuery("non-finite insert position"),
+        })
+    }
+
+    /// Epoch counters of a registered index: `Ok(Some(_))` for a mutable
+    /// index, `Ok(None)` for a static one.
+    pub fn epoch_stats(&self, index: IndexId) -> Result<Option<EpochStats>, ServiceError> {
+        let indices = self
+            .shared
+            .indices
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        indices
+            .get(index)
+            .map(|idx| idx.epoch_stats())
+            .ok_or(ServiceError::UnknownIndex(index))
     }
 
     /// Submit a query. Blocks while the submission queue is full
@@ -576,6 +689,20 @@ impl Service {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .take();
+        // Drain every mutable index's merge machinery: pending deltas
+        // flush into a final merge and later mutations are rejected
+        // deterministically — never silently dropped. Queries in flight
+        // (and the drain below, for `shutdown`) still answer correctly
+        // against the fully merged state.
+        let indices: Vec<Arc<dyn TreeIndex>> = self
+            .shared
+            .indices
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        for idx in indices {
+            idx.quiesce();
+        }
     }
 
     /// Stop accepting queries, drain everything in flight, join all

@@ -521,15 +521,16 @@ struct WaveState {
     shutdown: bool,
 }
 
-/// Per-query merge accumulator.
-enum Acc {
+/// Per-query merge accumulator. Shared with the epoch layer
+/// ([`crate::epoch`]), whose per-shard sweep folds results identically.
+pub(crate) enum Acc {
     Nn { dist2: f32, id: u32 },
     Knn(KBest),
     Pc { count: u32 },
 }
 
 impl Acc {
-    fn new(op: OpKey) -> Acc {
+    pub(crate) fn new(op: OpKey) -> Acc {
         match op {
             OpKey::Nn => Acc::Nn {
                 dist2: f32::INFINITY,
@@ -555,7 +556,7 @@ impl Acc {
 
     /// Fold one shard's answer in, mapping shard-local ids to original
     /// dataset ids through `ids`.
-    fn absorb(&mut self, r: &QueryResult, ids: &[u32]) {
+    pub(crate) fn absorb(&mut self, r: &QueryResult, ids: &[u32]) {
         match (self, r) {
             (Acc::Nn { dist2, id }, QueryResult::Nn { dist2: d, id: i }) => {
                 if *d < *dist2 {
@@ -577,7 +578,7 @@ impl Acc {
         }
     }
 
-    fn finish(self) -> QueryResult {
+    pub(crate) fn finish(self) -> QueryResult {
         match self {
             Acc::Nn { dist2, id } => QueryResult::Nn { dist2, id },
             Acc::Knn(kb) => QueryResult::Knn {
@@ -605,13 +606,13 @@ pub fn merge_kbest(k: usize, lists: &[(Vec<f32>, Vec<u32>)]) -> (Vec<f32>, Vec<u
 
 /// One executed sub-batch: which shard, which fan-out round, plus the
 /// shard's [`BatchOutcome`] and wall-clock span.
-struct SubRun {
-    shard: u32,
-    round: u32,
-    queries: u32,
-    out: BatchOutcome,
-    offset_us: u64,
-    dur_us: u64,
+pub(crate) struct SubRun {
+    pub(crate) shard: u32,
+    pub(crate) round: u32,
+    pub(crate) queries: u32,
+    pub(crate) out: BatchOutcome,
+    pub(crate) offset_us: u64,
+    pub(crate) dur_us: u64,
 }
 
 /// Dispatch-time pruning bound for the parallel path.
@@ -694,7 +695,7 @@ impl DispatchBound {
 /// weighted by sub-batch size; callers feed runs in a fixed order so the
 /// f64 sums are reproducible.
 #[derive(Default)]
-struct StatAgg {
+pub(crate) struct StatAgg {
     node_visits: u64,
     model_ms: f64,
     warps: usize,
@@ -713,7 +714,7 @@ struct StatAgg {
 }
 
 impl StatAgg {
-    fn add(&mut self, run: &SubRun) {
+    pub(crate) fn add(&mut self, run: &SubRun) {
         let qs = run.queries as usize;
         self.shard_visits.push(ShardVisit {
             shard: run.shard,
@@ -743,7 +744,7 @@ impl StatAgg {
         self.stack_transactions += run.out.stack_transactions;
     }
 
-    fn finish(self, results: Vec<QueryResult>, shards_pruned: u64) -> BatchOutcome {
+    pub(crate) fn finish(self, results: Vec<QueryResult>, shards_pruned: u64) -> BatchOutcome {
         // Report the backend that served the most queries (first wins on
         // ties — deterministic because the scan order is fixed).
         let majority = self

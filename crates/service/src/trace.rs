@@ -106,6 +106,22 @@ pub enum EventKind {
         /// Configured latency budget, microseconds.
         budget_us: u64,
     },
+    /// One mutation batch applied to a mutable index (instant).
+    Mutate {
+        /// Mutations applied.
+        accepted: u32,
+        /// Delta depth after the batch.
+        pending: u32,
+    },
+    /// One epoch merge (span: rebuild start → new shards swapped in).
+    EpochMerge {
+        /// The epoch advanced to.
+        epoch: u64,
+        /// Shards rebuilt (including re-split chunks).
+        rebuilt: u32,
+        /// Delta entries folded in.
+        flushed: u32,
+    },
 }
 
 /// Marker for "no query/batch id" on events that lack one.
@@ -349,6 +365,7 @@ const BATCH_PID: u64 = 1;
 const QUERY_PID: u64 = 2;
 const SHARD_PID: u64 = 3;
 const NET_PID: u64 = 4;
+const EPOCH_PID: u64 = 5;
 
 fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
     // All names and reason tags are static identifiers — no JSON string
@@ -364,6 +381,8 @@ fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
         EventKind::Accept { conn } => ("accept", "i", NET_PID, *conn),
         EventKind::FrameDecode { conn, .. } => ("frame", "i", NET_PID, *conn),
         EventKind::Admission { .. } => ("admission", "i", NET_PID, 0),
+        EventKind::Mutate { .. } => ("mutate", "i", EPOCH_PID, 0),
+        EventKind::EpochMerge { epoch, .. } => ("epoch_merge", "X", EPOCH_PID, *epoch),
     };
     out.push_str(&format!(
         "{{\"name\":\"{name}\",\"cat\":\"gts\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}",
@@ -439,6 +458,18 @@ fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
             out.push_str(&format!(
                 ",\"accepted\":{accepted},\"predicted_us\":{predicted_us},\
                  \"budget_us\":{budget_us}"
+            ));
+        }
+        EventKind::Mutate { accepted, pending } => {
+            out.push_str(&format!(",\"accepted\":{accepted},\"pending\":{pending}"));
+        }
+        EventKind::EpochMerge {
+            epoch,
+            rebuilt,
+            flushed,
+        } => {
+            out.push_str(&format!(
+                ",\"epoch\":{epoch},\"rebuilt\":{rebuilt},\"flushed\":{flushed}"
             ));
         }
         EventKind::Submit | EventKind::Enqueue | EventKind::Complete => {}

@@ -1,0 +1,150 @@
+//! Stepped Barnes-Hut companion demo: instead of rebuilding the spatial
+//! index from scratch every timestep (as `barnes_hut_sim` does for its
+//! force oct-tree), the kNN density-estimation index is kept *live*
+//! across steps — each step re-homes only the bodies that drifted out of
+//! their neighborhood, as delete+insert delta pairs against a
+//! [`MutableIndex`], and the merge lands as a new epoch while queries
+//! keep answering exactly (including mid-window, before the merge).
+//!
+//! Odd steps deliberately query while the deltas are still pending, and
+//! every step cross-checks a query sample against a from-scratch flat
+//! rebuild — the same differential oracle the epoch test suite pins.
+//!
+//! ```text
+//! cargo run --release --example barnes_hut_live [n_bodies] [timesteps]
+//! ```
+
+use gpu_tree_traversals::prelude::*;
+use gts_apps::bh::integrate;
+use gts_points::gen::plummer;
+use gts_service::{
+    Backend, ExecPolicy, KdIndex, MutableIndexBuilder, Mutation, OpKey, QueryResult, TreeIndex,
+};
+
+const K: usize = 8;
+/// A body whose position moved more than this since it was indexed gets
+/// re-homed; the rest ride their stale-but-close entry until they drift.
+const REHOME_DIST2: f32 = 0.01 * 0.01;
+
+fn knn_density(dist2: &[f32]) -> f64 {
+    let r2 = dist2.last().copied().unwrap_or(f32::INFINITY) as f64;
+    let vol = 4.0 / 3.0 * std::f64::consts::PI * r2.sqrt().powi(3);
+    dist2.len() as f64 / vol.max(1e-12)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let steps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let dt = 0.0125;
+
+    let mut bodies = plummer(n, 1);
+    println!("Plummer model, {n} bodies, k = {K}, {steps} timesteps, live index\n");
+
+    let pos0: Vec<PointN<3>> = bodies.iter().map(|b| b.pos).collect();
+    // auto_merge(false): the step loop is the merge scheduler, so epochs
+    // land exactly where the printout says they do.
+    let idx = MutableIndexBuilder::new("bh-live", 8)
+        .auto_merge(false)
+        .build(&pos0);
+    // Stable id of each body's *indexed* entry plus the position it was
+    // indexed at (re-homing compares against this, not last step's pos).
+    let mut indexed: Vec<(u32, PointN<3>)> = (0..n as u32).map(|i| (i, pos0[i as usize])).collect();
+
+    let policy = ExecPolicy::forced(Backend::Lockstep);
+    let cpu = ExecPolicy::forced(Backend::Cpu);
+
+    for step in 0..steps {
+        // Ballistic drift with a weak central pull stands in for the BH
+        // force pass (see `barnes_hut_sim` for the real kernel).
+        let accs: Vec<gts_apps::bh::BhPoint> = bodies
+            .iter()
+            .map(|b| {
+                let mut a = gts_apps::bh::BhPoint::new(b.pos);
+                let r2 = b.pos.dist2(&PointN::zero()).max(0.05);
+                for d in 0..3 {
+                    a.acc.0[d] = -b.pos.0[d] / (r2 * r2.sqrt());
+                }
+                a
+            })
+            .collect();
+        integrate(&mut bodies, &accs, dt);
+
+        // Re-home only the movers: a delete of the stale entry plus an
+        // insert at the new position, one delta pair per drifted body.
+        let mut muts = Vec::new();
+        let mut movers = Vec::new();
+        for (i, b) in bodies.iter().enumerate() {
+            if b.pos.dist2(&indexed[i].1) > REHOME_DIST2 {
+                muts.push(Mutation::Delete { id: indexed[i].0 });
+                muts.push(Mutation::Insert {
+                    pos: b.pos.0.to_vec(),
+                });
+                movers.push(i);
+            }
+        }
+        let ack = idx.mutate(&muts).expect("index is live");
+        assert_eq!(ack.rejected, 0);
+        for (slot, &i) in movers.iter().enumerate() {
+            indexed[i] = (ack.assigned[slot], bodies[i].pos);
+        }
+
+        // Odd steps query inside the pending-delta window; even steps
+        // merge first so the answers come off the freshly built epoch.
+        let merged = step % 2 == 0 && idx.merge_now();
+        let sample: Vec<Vec<f32>> = bodies
+            .iter()
+            .step_by((n / 256).max(1))
+            .map(|b| b.pos.0.to_vec())
+            .collect();
+        let out = idx.run_batch(OpKey::Knn(K), &sample, &policy);
+        let mean_density: f64 = out
+            .results
+            .iter()
+            .map(|r| match r {
+                QueryResult::Knn { dist2, .. } => knn_density(dist2),
+                _ => unreachable!(),
+            })
+            .sum::<f64>()
+            / out.results.len() as f64;
+
+        // Differential spot check: the live index must answer exactly
+        // like a flat rebuild over the same live multiset.
+        let live: Vec<PointN<3>> = idx.live().into_iter().map(|(_, p)| p).collect();
+        let flat = KdIndex::build("flat", &live, 8, SplitPolicy::MedianCycle);
+        let want = flat.run_batch(OpKey::Knn(K), &sample[..16.min(sample.len())], &cpu);
+        let got = idx.run_batch(OpKey::Knn(K), &sample[..16.min(sample.len())], &cpu);
+        let mismatches = want
+            .results
+            .iter()
+            .zip(&got.results)
+            .filter(|(w, g)| match (w, g) {
+                (QueryResult::Knn { dist2: a, .. }, QueryResult::Knn { dist2: b, .. }) => a
+                    .iter()
+                    .zip(b.iter())
+                    .any(|(x, y)| (x - y).abs() > 1e-5 * x.abs().max(1.0)),
+                _ => true,
+            })
+            .count();
+        assert_eq!(mismatches, 0, "live index diverged from flat rebuild");
+
+        let stats = idx.stats();
+        println!(
+            "step {step}: re-homed {:>6} bodies | epoch {} ({}) | pending {:>6} | shards {} | ρ̄(kNN) {mean_density:>9.3} | oracle ok",
+            movers.len(),
+            stats.epoch,
+            if merged { "merged" } else { "window" },
+            stats.pending,
+            stats.shards,
+        );
+    }
+
+    idx.quiesce();
+    let stats = idx.stats();
+    println!(
+        "\nquiesced: epoch {}, {} merges, {} mutations, {} live points, 0 pending",
+        stats.epoch, stats.merges, stats.mutations, stats.live
+    );
+    assert_eq!(stats.pending, 0);
+    assert_eq!(stats.live as usize, n);
+}
