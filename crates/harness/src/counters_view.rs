@@ -86,6 +86,34 @@ pub fn render_service(s: &MetricsSnapshot) -> String {
             s.net_protocol_errors
         ));
     }
+    out.push_str(&format!(
+        " slow log          {:>12}   committed / {} evicted / {} pending (threshold {}µs)\n",
+        s.slow_log_committed, s.slow_log_evicted, s.slow_log_pending, s.slow_log_threshold_us
+    ));
+    if s.trace_propagated > 0 {
+        out.push_str(&format!(
+            " trace propagation {:>12}   queries carried a client context\n",
+            s.trace_propagated
+        ));
+    }
+    if s.trace_dropped > 0 {
+        let kinds: Vec<String> = s
+            .trace_dropped_by_kind
+            .iter()
+            .map(|k| format!("{} {}", k.dropped, k.kind))
+            .collect();
+        out.push_str(&format!(
+            " trace drops       {:>12}   ring wraparound ({})\n",
+            s.trace_dropped,
+            kinds.join(" / ")
+        ));
+    }
+    if !s.latency_exemplars.is_empty() {
+        out.push_str(&format!(
+            " exemplars         {:>12}   latency buckets linked to live query ids\n",
+            s.latency_exemplars.len()
+        ));
+    }
     out
 }
 
@@ -225,7 +253,7 @@ mod tests {
             profile_cache_misses: 1,
             profile_cache_evictions: 0,
         });
-        m.on_complete("demo", Duration::from_millis(3));
+        m.on_complete("demo", Duration::from_millis(3), 1, 0);
         let text = render_service(&m.snapshot());
         assert!(
             text.contains("1 lockstep / 0 autoropes / 0 stackless-kd / 0 stackless-bvh / 0 cpu"),
@@ -235,5 +263,42 @@ mod tests {
         assert!(text.contains("mask occupancy"), "{text}");
         assert!(text.contains("2 (query, shard) fan-outs pruned"), "{text}");
         assert!(text.contains("3 hits / 1 misses / 0 evictions"), "{text}");
+        assert!(text.contains("slow log"), "{text}");
+        assert!(
+            text.contains("exemplars"),
+            "the completion above left a bucket exemplar: {text}"
+        );
+    }
+
+    #[test]
+    fn service_view_renders_slow_log_and_propagation_counters() {
+        use gts_service::{KindDropped, Metrics};
+        use std::time::Duration;
+        let m = Metrics::default();
+        m.on_submit();
+        m.on_propagated();
+        m.on_complete("demo", Duration::from_millis(2), 9, 0xABC);
+        let mut snap = m.snapshot();
+        // The service stitches these in from its trace ring and slow log;
+        // emulate that here so the renderer's optional lines all fire.
+        snap.slow_log_committed = 3;
+        snap.slow_log_evicted = 1;
+        snap.slow_log_pending = 2;
+        snap.slow_log_threshold_us = 1500;
+        snap.trace_dropped = 4;
+        snap.trace_dropped_by_kind = vec![KindDropped {
+            kind: "submit".to_string(),
+            dropped: 4,
+        }];
+        let text = render_service(&snap);
+        assert!(
+            text.contains("3   committed / 1 evicted / 2 pending (threshold 1500µs)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("1   queries carried a client context"),
+            "{text}"
+        );
+        assert!(text.contains("4 submit"), "{text}");
     }
 }

@@ -21,11 +21,20 @@
 //! `--admission-budget-us`) the report instead centers on admission:
 //! every rejection must be a structured `Overloaded` carrying a nonzero
 //! `predicted_us` — never a stall or a dropped connection.
+//!
+//! Observability rides along: every connection's client-side span/flow
+//! recorder is merged onto the server wall clock (`--trace-out FILE`
+//! writes it as Chrome trace JSON — load alongside the serve-side
+//! `--trace` dump for the full cross-process picture), and the server's
+//! slow-query flight recorder is fetched over the wire at the end so
+//! `BENCH_net.json` carries its commit counters.
 
 use crate::loadgen::{bbox_diag, synth_mix, Request};
 use gts_net::{Client, ErrorCode, WireError};
 use gts_points::gen::{geocity_like, uniform};
-use gts_service::{KdIndex, Query, QueryResult, Service, ServiceConfig, TreeIndex};
+use gts_service::{
+    merge_snapshots, KdIndex, Query, QueryResult, Service, ServiceConfig, TraceSnapshot, TreeIndex,
+};
 use gts_trees::{PointN, SplitPolicy};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -54,6 +63,9 @@ pub struct NetLoadgenConfig {
     pub differential: usize,
     /// Overload mode: tolerate (and count) admission rejections.
     pub expect_overload: bool,
+    /// Write the merged client-side trace (every connection's recorder,
+    /// shifted onto the server wall clock) as Chrome trace JSON here.
+    pub trace_out: Option<String>,
 }
 
 impl Default for NetLoadgenConfig {
@@ -69,6 +81,7 @@ impl Default for NetLoadgenConfig {
             single_sample: 256,
             differential: 256,
             expect_overload: false,
+            trace_out: None,
         }
     }
 }
@@ -114,6 +127,14 @@ pub struct NetBenchReport {
     pub differential_mismatches: u64,
     /// Every connection finished with a clean `Shutdown` handshake.
     pub shutdown_clean: bool,
+    /// Events in the merged client-side trace (all connections).
+    pub trace_events: u64,
+    /// Lifetime slow-log commits, fetched over the wire at the end.
+    pub slow_log_committed: u64,
+    /// Rolling slow threshold at fetch time, µs.
+    pub slow_log_threshold_us: u64,
+    /// Slow-log records retained at fetch time.
+    pub slow_log_entries: u64,
 }
 
 /// Outcome slots of one connection's share of the batch phase.
@@ -124,6 +145,9 @@ struct ConnOutcome {
     protocol_errors: u64,
     transport_errors: u64,
     shutdown_clean: bool,
+    /// The connection's client-side trace and the µs shift that puts it
+    /// on the server wall clock (0 when the server predates v2).
+    trace: Option<(TraceSnapshot, i64)>,
 }
 
 fn classify_io(err: &std::io::Error, out: &mut ConnOutcome) {
@@ -134,6 +158,18 @@ fn classify_io(err: &std::io::Error, out: &mut ConnOutcome) {
     }
 }
 
+/// Snapshot the client's span/flow recorder and compute the shift that
+/// moves its timestamps onto the server wall clock (the v2 `Hello` reply
+/// carries the server's trace epoch; a v1 server leaves the shift at 0).
+fn capture_trace(client: &Client, out: &mut ConnOutcome) {
+    let recorder = client.trace();
+    let shift = client
+        .server_wall_us()
+        .map(|w| w as i64 - recorder.wall_epoch_us() as i64)
+        .unwrap_or(0);
+    out.trace = Some((recorder.snapshot(), shift));
+}
+
 /// Frames this connection owns: round-robin assignment of the frame list.
 fn run_connection(addr: &str, frames: &[(usize, &[Request])], pipeline: usize) -> ConnOutcome {
     let mut out = ConnOutcome {
@@ -141,6 +177,7 @@ fn run_connection(addr: &str, frames: &[(usize, &[Request])], pipeline: usize) -
         protocol_errors: 0,
         transport_errors: 0,
         shutdown_clean: false,
+        trace: None,
     };
     let mut client = match Client::connect(addr) {
         Ok(c) => c,
@@ -176,6 +213,7 @@ fn run_connection(addr: &str, frames: &[(usize, &[Request])], pipeline: usize) -
     for (start, reqs) in frames {
         while window.len() >= pipeline {
             if !recv_oldest(&mut client, &mut window, &mut out) {
+                capture_trace(&client, &mut out);
                 return out;
             }
         }
@@ -191,20 +229,38 @@ fn run_connection(addr: &str, frames: &[(usize, &[Request])], pipeline: usize) -
             Ok(base) => window.push_back((base, *start, reqs.len())),
             Err(e) => {
                 classify_io(&e, &mut out);
+                capture_trace(&client, &mut out);
                 return out;
             }
         }
     }
     while !window.is_empty() {
         if !recv_oldest(&mut client, &mut window, &mut out) {
+            capture_trace(&client, &mut out);
             return out;
         }
     }
+    capture_trace(&client, &mut out);
     match client.shutdown() {
         Ok(()) => out.shutdown_clean = true,
         Err(e) => classify_io(&e, &mut out),
     }
     out
+}
+
+/// Pull `(committed, threshold_us, entries)` out of a `SlowLogQuery`
+/// reply without deserializing the full dump.
+fn parse_slow_log_counters(json: &str) -> Option<(u64, u64, u64)> {
+    let v = serde_json::from_str::<serde::Value>(json).ok()?;
+    let num = |k: &str| match v.get(k) {
+        Some(serde::Value::Number(n)) => n.as_u64(),
+        _ => None,
+    };
+    let entries = match v.get("entries") {
+        Some(serde::Value::Array(a)) => a.len() as u64,
+        _ => return None,
+    };
+    Some((num("committed")?, num("threshold_us").unwrap_or(0), entries))
 }
 
 /// Run the networked loadgen and return (human text, machine report).
@@ -255,10 +311,21 @@ pub fn run(cfg: &NetLoadgenConfig) -> (String, NetBenchReport) {
     let mut protocol_errors = 0u64;
     let mut transport_errors = 0u64;
     let mut shutdown_clean = true;
+    // Fold every connection's recorder into one snapshot on the server
+    // wall clock: together with a server-side trace dump this is half of
+    // the single-Perfetto-load cross-process picture.
+    let mut merged_trace = TraceSnapshot {
+        events: Vec::new(),
+        dropped: 0,
+        dropped_by_kind: Vec::new(),
+    };
     for o in outcomes {
         protocol_errors += o.protocol_errors;
         transport_errors += o.transport_errors;
         shutdown_clean &= o.shutdown_clean;
+        if let Some((snap, shift)) = o.trace {
+            merged_trace = merge_snapshots(merged_trace, snap, shift);
+        }
         for (i, r) in o.results {
             batch_results[i] = Some(r);
         }
@@ -364,6 +431,25 @@ pub fn run(cfg: &NetLoadgenConfig) -> (String, NetBenchReport) {
         (checked, mismatches)
     };
 
+    // Fetch the tail-sampling flight recorder over the wire — the same
+    // dump `serve --slow-log` sinks, served by the `SlowLogQuery` frame.
+    let (slow_log_committed, slow_log_threshold_us, slow_log_entries) =
+        match Client::connect(cfg.addr.as_str()) {
+            Ok(mut client) => {
+                let fetched = match client.slow_log() {
+                    Ok(Ok(json)) => parse_slow_log_counters(&json),
+                    _ => None,
+                };
+                let _ = client.shutdown();
+                fetched.unwrap_or((0, 0, 0))
+            }
+            Err(_) => (0, 0, 0),
+        };
+
+    if let Some(path) = &cfg.trace_out {
+        std::fs::write(path, merged_trace.to_chrome_json()).expect("write client trace json");
+    }
+
     let report = NetBenchReport {
         queries: cfg.queries as u64,
         seed: cfg.seed,
@@ -392,6 +478,10 @@ pub fn run(cfg: &NetLoadgenConfig) -> (String, NetBenchReport) {
         differential_checked,
         differential_mismatches,
         shutdown_clean,
+        trace_events: merged_trace.events.len() as u64,
+        slow_log_committed,
+        slow_log_threshold_us,
+        slow_log_entries,
     };
 
     let mut text = String::new();
@@ -416,6 +506,19 @@ pub fn run(cfg: &NetLoadgenConfig) -> (String, NetBenchReport) {
     text.push_str(&format!(
         "  admission: {} overloaded ({} carrying predicted_us), {} other errors\n",
         report.overload_rejections, report.overload_with_predicted, report.other_errors
+    ));
+    text.push_str(&format!(
+        "  tracing: {} client-side events across {} connection(s){}\n",
+        report.trace_events,
+        connections,
+        match &cfg.trace_out {
+            Some(p) => format!(" → {p}"),
+            None => String::new(),
+        }
+    ));
+    text.push_str(&format!(
+        "  slowlog: {} committed server-side ({} retained, threshold {}µs)\n",
+        report.slow_log_committed, report.slow_log_entries, report.slow_log_threshold_us
     ));
     text.push_str(&format!(
         "  checks : {} differential ({} mismatches), {} protocol errors, {} transport errors, shutdown {}\n",
@@ -469,6 +572,10 @@ mod tests {
         )) as Arc<dyn TreeIndex>);
         let server = NetServer::bind("127.0.0.1:0", Arc::new(service)).unwrap();
 
+        let trace_path = std::env::temp_dir().join(format!(
+            "gts-netgen-client-trace-{}.json",
+            std::process::id()
+        ));
         let cfg = NetLoadgenConfig {
             addr: server.local_addr().to_string(),
             connections: 2,
@@ -478,6 +585,7 @@ mod tests {
             seed,
             single_sample: 32,
             differential: 128,
+            trace_out: Some(trace_path.to_string_lossy().into_owned()),
             ..NetLoadgenConfig::default()
         };
         let (_, report) = run(&cfg);
@@ -489,6 +597,20 @@ mod tests {
         assert_eq!(report.differential_mismatches, 0);
         assert!(report.shutdown_clean);
         assert!(report.batch_qps > 0.0 && report.single_qps > 0.0);
+        // Observability ride-alongs: every connection contributed client
+        // spans and flow halves, and the flight recorder answered over
+        // the wire with the running-max commit at minimum.
+        assert!(report.trace_events > 0, "client recorders captured spans");
+        assert!(report.slow_log_committed >= 1, "{report:?}");
+        assert!(report.slow_log_entries >= 1);
+        let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+        let v = serde_json::from_str::<serde::Value>(&trace).expect("trace parses");
+        assert!(matches!(v, serde::Value::Array(_)));
+        assert!(
+            trace.contains("\"ph\":\"s\"") && trace.contains("\"ph\":\"f\""),
+            "flow halves present in the merged client trace"
+        );
+        std::fs::remove_file(&trace_path).ok();
         server.shutdown();
     }
 }

@@ -112,6 +112,9 @@ pub fn main_serve(args: &[String]) {
     let mut shard_threads = 0usize;
     let mut metrics_file: Option<String> = None;
     let mut trace_file: Option<String> = None;
+    let mut slow_log_file: Option<String> = None;
+    let mut slow_log_percentile = 99.0f64;
+    let mut slow_log_capacity = 256usize;
     let mut listen: Option<String> = None;
     let mut port_file: Option<String> = None;
     let mut admission_budget_us: Option<u64> = None;
@@ -122,6 +125,7 @@ pub fn main_serve(args: &[String]) {
         eprintln!(
             "usage: gts-harness serve [--points N] [--seed N] [--shards N] \
              [--shard-threads N] [--metrics-file PATH] [--trace-file PATH] \
+             [--slow-log PATH] [--slow-log-percentile P] [--slow-log-capacity N] \
              [--listen ADDR] [--port-file PATH] [--admission-budget-us N] \
              [--backend auto|lockstep|autoropes|stackless-kd|stackless-bvh|cpu] \
              [--stackless] [--mutable]"
@@ -160,6 +164,18 @@ pub fn main_serve(args: &[String]) {
                 trace_file = Some(need(i).to_string());
                 i += 2;
             }
+            "--slow-log" => {
+                slow_log_file = Some(need(i).to_string());
+                i += 2;
+            }
+            "--slow-log-percentile" => {
+                slow_log_percentile = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--slow-log-capacity" => {
+                slow_log_capacity = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
             "--listen" => {
                 listen = Some(need(i).to_string());
                 i += 2;
@@ -196,6 +212,8 @@ pub fn main_serve(args: &[String]) {
         // Interactive trickle: flush fast rather than waiting for a warp.
         max_wait: Duration::from_millis(1),
         admission_budget: admission_budget_us.map(Duration::from_micros),
+        slow_log_capacity,
+        slow_log_percentile,
         policy: ExecPolicy {
             shard_parallelism: shard_threads,
             force: backend,
@@ -298,6 +316,27 @@ pub fn main_serve(args: &[String]) {
                     }
                     // Re-check the flag at a human cadence: fresh enough
                     // for a scraper, cheap enough to never matter.
+                    for _ in 0..10 {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+            });
+        }
+        if let Some(path) = slow_log_file.clone() {
+            let service = &service;
+            let stop = &stop;
+            scope.spawn(move || {
+                // Tmp + rename each second: the published file is always a
+                // complete JSON document, so a SIGKILL mid-run leaves the
+                // last good dump behind, never a torn one.
+                while !stop.load(Ordering::Relaxed) {
+                    let tmp = format!("{path}.tmp");
+                    if std::fs::write(&tmp, service.slow_log_json()).is_ok() {
+                        let _ = std::fs::rename(&tmp, &path);
+                    }
                     for _ in 0..10 {
                         if stop.load(Ordering::Relaxed) {
                             return;
@@ -421,6 +460,18 @@ pub fn main_serve(args: &[String]) {
     }
     let service = Arc::try_unwrap(service)
         .unwrap_or_else(|_| panic!("network shutdown released every service handle"));
+    // Final slow-log dump before shutdown consumes the service: includes
+    // every commit up to the drain.
+    if let Some(path) = &slow_log_file {
+        let stats = service.slow_log().stats();
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, service.slow_log_json()).expect("write slow log");
+        std::fs::rename(&tmp, path).expect("publish slow log");
+        eprintln!(
+            "wrote {path} ({} committed, {} evicted, threshold {}µs)",
+            stats.committed, stats.evicted, stats.threshold_us
+        );
+    }
     let (snapshot, trace) = service.shutdown_with_trace();
     if let Some(path) = &metrics_file {
         std::fs::write(path, snapshot.to_prometheus()).expect("write metrics file");
@@ -433,8 +484,9 @@ pub fn main_serve(args: &[String]) {
             .finish_with_snapshot(&trace)
         {
             Ok(stats) => eprintln!(
-                "wrote {path} ({} events streamed, {} missed; load in Perfetto or chrome://tracing)",
-                stats.events_written, stats.missed
+                "wrote {path} ({} events streamed, {} missed, {} dropped in-ring; \
+                 load in Perfetto or chrome://tracing)",
+                stats.events_written, stats.missed, stats.dropped
             ),
             Err(e) => eprintln!("error: trace stream {path}: {e}"),
         }

@@ -8,15 +8,56 @@
 //! batcher sees queries from every outstanding frame at once, exactly the
 //! coherent waves the traversal kernels want. Responses arriving out of
 //! order are parked until their `recv_*` is called.
+//!
+//! # Client-side tracing
+//!
+//! Every client owns a [`TraceRecorder`] and mints a per-connection trace
+//! id at connect time plus a fresh span id per submitted frame. When the
+//! negotiated protocol version is ≥ 2 the (trace, span) pair rides the
+//! `Submit`/`BatchSubmit` trailer, the server stamps it onto every event
+//! the query leaves behind, and both sides emit Chrome flow events — the
+//! client a `FlowOut` on the request flow (`2·span`) as the frame departs
+//! and a `FlowIn` on the response flow (`2·span+1`) as the answer lands,
+//! the server the mirror pair. Merging the two trace dumps (shifted by
+//! the wall-clock anchor the server's `Hello` carries) gives one Perfetto
+//! timeline where arrows join the client's `send`/`await` spans to the
+//! server's batch and shard spans. Phase spans (`connect`, `encode`,
+//! `send`, `await`, `decode`) are recorded regardless of peer version.
 
-use crate::frame::{read_frame, write_frame, Frame, WireError, PROTOCOL_VERSION};
-use gts_service::{IndexId, Mutation, MutationAck, Query, QueryResult};
+use crate::frame::{
+    decode_body, write_frame, DecodeError, Frame, WireError, MAX_FRAME, PROTOCOL_VERSION,
+};
+use gts_service::trace::NO_ID;
+use gts_service::{
+    EventKind, IndexId, Mutation, MutationAck, Query, QueryResult, TraceContext, TraceRecorder,
+};
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Read as _};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default capacity of the client-side trace ring.
+pub const CLIENT_TRACE_CAPACITY: usize = 4096;
 
 fn proto_err(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Mint a nonzero per-connection trace id: a global counter mixed with
+/// the wall clock (splitmix64 finalizer) so ids from concurrent clients
+/// and successive runs land far apart.
+fn mint_trace_id(wall_us: u64) -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut z = wall_us.wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let id = z ^ (z >> 31);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
 }
 
 /// A connected protocol session.
@@ -27,11 +68,39 @@ pub struct Client {
     next_req: u64,
     /// Responses read while waiting for a different correlation id.
     parked: HashMap<u64, Frame>,
+    /// Client-side lifecycle recorder (phase spans + flow events).
+    trace: TraceRecorder,
+    /// Per-connection trace id stamped on every propagated frame.
+    trace_id: u64,
+    /// Next per-frame span id (flow ids derive from it).
+    next_span: u64,
+    /// Connection id used as the client-track `tid` in rendered traces.
+    conn: u64,
+    /// Server trace-recorder anchor (µs since Unix epoch) from its v2
+    /// `Hello`; the offset that maps client timestamps onto the server
+    /// timeline when merging traces.
+    server_wall_us: Option<u64>,
+    /// Span ids of in-flight requests, for response flow events.
+    span_of: HashMap<u64, u64>,
 }
 
 impl Client {
     /// Connect, exchange `Hello`, and negotiate the protocol version.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_with(addr, CLIENT_TRACE_CAPACITY, 0)
+    }
+
+    /// [`Client::connect`] with an explicit client-trace ring capacity and
+    /// connection id (the `tid` its spans render under — lets multiple
+    /// connections share one merged trace without overlapping tracks).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        trace_capacity: usize,
+        conn: u64,
+    ) -> io::Result<Client> {
+        let trace = TraceRecorder::new(trace_capacity);
+        let trace_id = mint_trace_id(trace.wall_epoch_us());
+        let t0 = trace.now_us();
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
@@ -42,12 +111,24 @@ impl Client {
             version: PROTOCOL_VERSION,
             next_req: 1,
             parked: HashMap::new(),
+            trace,
+            trace_id,
+            next_span: 1,
+            conn,
+            server_wall_us: None,
+            span_of: HashMap::new(),
         };
+        // The opening Hello carries no trailer: the peer's version is
+        // still unknown, and a v1 decoder treats trailing bytes as fatal.
         client.send(&Frame::Hello {
             version: PROTOCOL_VERSION,
+            wall_us: None,
         })?;
         match client.read()? {
-            Frame::Hello { version } => client.version = version.min(PROTOCOL_VERSION),
+            Frame::Hello { version, wall_us } => {
+                client.version = version.min(PROTOCOL_VERSION);
+                client.server_wall_us = wall_us;
+            }
             Frame::Error { error, .. } => {
                 return Err(proto_err(format!("handshake rejected: {error}")))
             }
@@ -58,6 +139,7 @@ impl Client {
                 )))
             }
         }
+        client.span(t0, "connect", NO_ID);
         Ok(client)
     }
 
@@ -66,20 +148,130 @@ impl Client {
         self.version
     }
 
+    /// The client-side trace recorder (phase spans + flow events).
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// The per-connection trace id this client stamps on v2 frames.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The server's trace-recorder wall anchor (µs since the Unix epoch)
+    /// from its `Hello`, when the peer spoke v2. Shifting client event
+    /// timestamps by `server_wall_us - trace().wall_epoch_us()` puts them
+    /// on the server trace's timeline.
+    pub fn server_wall_us(&self) -> Option<u64> {
+        self.server_wall_us
+    }
+
+    /// Mint the trace context for the next frame, or `None` when the
+    /// negotiated version predates context propagation.
+    fn mint_ctx(&mut self) -> Option<TraceContext> {
+        if self.version < 2 {
+            return None;
+        }
+        let span_id = self.next_span;
+        self.next_span += 1;
+        Some(TraceContext {
+            trace_id: self.trace_id,
+            span_id,
+        })
+    }
+
+    /// Record a client phase span from `t0` to now.
+    fn span(&self, t0: u64, name: &'static str, query: u64) {
+        let now = self.trace.now_us();
+        self.trace.span_traced(
+            t0,
+            now.saturating_sub(t0),
+            query,
+            NO_ID,
+            self.trace_id,
+            EventKind::ClientSpan {
+                name,
+                conn: self.conn,
+            },
+        );
+    }
+
+    /// Record the departure flow event and remember the span for the
+    /// response-side arrow.
+    fn flow_out(&mut self, ctx: Option<TraceContext>, req: u64, query: u64) {
+        if let Some(ctx) = ctx {
+            self.span_of.insert(req, ctx.span_id);
+            self.trace.instant_traced(
+                self.trace.now_us(),
+                query,
+                NO_ID,
+                self.trace_id,
+                EventKind::FlowOut {
+                    flow: ctx.request_flow(),
+                    conn: self.conn,
+                    client: true,
+                },
+            );
+        }
+    }
+
+    /// Record the arrival flow event for a response, if its request
+    /// carried a context.
+    fn flow_in(&mut self, req: u64, query: u64) {
+        if let Some(span_id) = self.span_of.remove(&req) {
+            let ctx = TraceContext {
+                trace_id: self.trace_id,
+                span_id,
+            };
+            self.trace.instant_traced(
+                self.trace.now_us(),
+                query,
+                NO_ID,
+                self.trace_id,
+                EventKind::FlowIn {
+                    flow: ctx.response_flow(),
+                    conn: self.conn,
+                    client: true,
+                },
+            );
+        }
+    }
+
     fn send(&mut self, frame: &Frame) -> io::Result<()> {
         use std::io::Write as _;
         write_frame(&mut self.writer, frame)?;
         self.writer.flush()
     }
 
+    /// Read one frame, timing the blocking wait and the decode separately
+    /// so `await` and `decode` render as distinct client spans.
     fn read(&mut self) -> io::Result<Frame> {
-        match read_frame(&mut self.reader)? {
-            Some((frame, _)) => Ok(frame),
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            )),
+        let t_await = self.trace.now_us();
+        let mut len = [0u8; 4];
+        match self.reader.read_exact(&mut len) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            }
+            Err(e) => return Err(e),
         }
+        let declared = u32::from_le_bytes(len);
+        if declared > MAX_FRAME {
+            return Err(DecodeError::Oversized { declared }.into());
+        }
+        if declared == 0 {
+            return Err(DecodeError::Empty.into());
+        }
+        let mut body = vec![0u8; declared as usize];
+        self.reader.read_exact(&mut body)?;
+        self.span(t_await, "await", NO_ID);
+        let t_decode = self.trace.now_us();
+        let frame = decode_body(&body)?;
+        self.span(t_decode, "decode", NO_ID);
+        Ok(frame)
     }
 
     /// Read frames until the one correlated with `want` arrives, parking
@@ -93,7 +285,8 @@ impl Client {
             let req = match &frame {
                 Frame::Result { req, .. }
                 | Frame::Error { req, .. }
-                | Frame::MutateAck { req, .. } => *req,
+                | Frame::MutateAck { req, .. }
+                | Frame::SlowLog { req, .. } => *req,
                 Frame::BatchResult { base_req, .. } => *base_req,
                 Frame::Shutdown => {
                     return Err(proto_err("server shut the session down mid-request"))
@@ -110,6 +303,7 @@ impl Client {
                     return Err(proto_err(format!("connection-level error: {error}")));
                 }
             }
+            self.flow_in(req, req);
             if req == want {
                 return Ok(frame);
             }
@@ -123,7 +317,14 @@ impl Client {
     pub fn query(&mut self, query: Query) -> io::Result<Result<QueryResult, WireError>> {
         let req = self.next_req;
         self.next_req += 1;
-        self.send(&Frame::Submit { req, query })?;
+        let ctx = self.mint_ctx();
+        let t_encode = self.trace.now_us();
+        let frame = Frame::Submit { req, query, ctx };
+        self.span(t_encode, "encode", req);
+        self.flow_out(ctx, req, req);
+        let t_send = self.trace.now_us();
+        self.send(&frame)?;
+        self.span(t_send, "send", req);
         match self.read_for(req)? {
             Frame::Result { result, .. } => Ok(Ok(result)),
             Frame::Error { error, .. } => Ok(Err(error)),
@@ -137,10 +338,18 @@ impl Client {
     pub fn send_batch(&mut self, queries: &[Query]) -> io::Result<u64> {
         let base_req = self.next_req;
         self.next_req += queries.len().max(1) as u64;
-        self.send(&Frame::BatchSubmit {
+        let ctx = self.mint_ctx();
+        let t_encode = self.trace.now_us();
+        let frame = Frame::BatchSubmit {
             base_req,
             queries: queries.to_vec(),
-        })?;
+            ctx,
+        };
+        self.span(t_encode, "encode", base_req);
+        self.flow_out(ctx, base_req, base_req);
+        let t_send = self.trace.now_us();
+        self.send(&frame)?;
+        self.span(t_send, "send", base_req);
         Ok(base_req)
     }
 
@@ -150,6 +359,19 @@ impl Client {
         match self.read_for(base_req)? {
             Frame::BatchResult { results, .. } => Ok(results),
             Frame::Error { error, .. } => Err(proto_err(format!("batch failed: {error}"))),
+            _ => unreachable!("read_for returned a non-matching frame"),
+        }
+    }
+
+    /// Fetch the server's slow-query flight-recorder dump as JSON (v2
+    /// servers only — a v1 peer answers with a protocol error).
+    pub fn slow_log(&mut self) -> io::Result<Result<String, WireError>> {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.send(&Frame::SlowLogQuery { req })?;
+        match self.read_for(req)? {
+            Frame::SlowLog { json, .. } => Ok(Ok(json)),
+            Frame::Error { error, .. } => Ok(Err(error)),
             _ => unreachable!("read_for returned a non-matching frame"),
         }
     }
@@ -201,7 +423,8 @@ impl Client {
                 Frame::Result { .. }
                 | Frame::BatchResult { .. }
                 | Frame::Error { .. }
-                | Frame::MutateAck { .. } => {}
+                | Frame::MutateAck { .. }
+                | Frame::SlowLog { .. } => {}
                 other => {
                     return Err(proto_err(format!(
                         "unexpected {:?} frame during shutdown",
@@ -224,5 +447,7 @@ fn frame_kind(f: &Frame) -> &'static str {
         Frame::Shutdown => "Shutdown",
         Frame::Mutate { .. } => "Mutate",
         Frame::MutateAck { .. } => "MutateAck",
+        Frame::SlowLogQuery { .. } => "SlowLogQuery",
+        Frame::SlowLog { .. } => "SlowLog",
     }
 }

@@ -4,34 +4,49 @@
 //! covers the type byte plus the payload. Multi-byte integers are
 //! little-endian; floats are IEEE-754 bit patterns. The frame set:
 //!
-//! | type | frame         | payload                                              |
-//! |-----:|---------------|------------------------------------------------------|
-//! |    1 | `Hello`       | magic `u32`, version `u8`                            |
-//! |    2 | `Submit`      | req `u64`, query                                     |
-//! |    3 | `BatchSubmit` | base req `u64`, count `u32`, `count` × query         |
-//! |    4 | `Result`      | req `u64`, result                                    |
-//! |    5 | `BatchResult` | base req `u64`, count `u32`, `count` × (tag, result\|error) |
-//! |    6 | `Error`       | req `u64`, code `u8`, predicted µs `u64`, budget µs `u64`, msg len `u32`, msg |
-//! |    7 | `Shutdown`    | empty                                                |
-//! |    8 | `Mutate`      | req `u64`, index `u32`, count `u32`, `count` × (tag `u8`, insert: dim `u16` + dim × `f32` \| delete: id `u32`) |
-//! |    9 | `MutateAck`   | req `u64`, accepted `u64`, rejected `u64`, epoch `u64`, pending `u64`, count `u32`, `count` × id `u32` |
+//! | type | frame          | payload                                              |
+//! |-----:|----------------|------------------------------------------------------|
+//! |    1 | `Hello`        | magic `u32`, version `u8` \[, wall µs `u64`\]        |
+//! |    2 | `Submit`       | req `u64`, query \[, trace id `u64`, span id `u64`\] |
+//! |    3 | `BatchSubmit`  | base req `u64`, count `u32`, `count` × query \[, trace id `u64`, span id `u64`\] |
+//! |    4 | `Result`       | req `u64`, result                                    |
+//! |    5 | `BatchResult`  | base req `u64`, count `u32`, `count` × (tag, result\|error) |
+//! |    6 | `Error`        | req `u64`, code `u8`, predicted µs `u64`, budget µs `u64`, msg len `u32`, msg |
+//! |    7 | `Shutdown`     | empty                                                |
+//! |    8 | `Mutate`       | req `u64`, index `u32`, count `u32`, `count` × (tag `u8`, insert: dim `u16` + dim × `f32` \| delete: id `u32`) |
+//! |    9 | `MutateAck`    | req `u64`, accepted `u64`, rejected `u64`, epoch `u64`, pending `u64`, count `u32`, `count` × id `u32` |
+//! |   10 | `SlowLogQuery` | req `u64`                                            |
+//! |   11 | `SlowLog`      | req `u64`, json len `u32`, json                      |
 //!
 //! Version negotiation: both sides open with `Hello`; the effective
 //! protocol version is the minimum of the two. A `Hello` with the wrong
 //! magic is a decode error (the peer is not speaking this protocol at
 //! all).
 //!
+//! Version 2 adds the bracketed *optional trailing fields*: a wall-clock
+//! anchor on `Hello` (the sender's trace-recorder epoch, used to shift
+//! client trace events onto the server timeline) and a trace context on
+//! `Submit` / `BatchSubmit` (client-minted trace + span ids so server-side
+//! events carry the originating client's identity). Encoders emit them
+//! only when the negotiated version is ≥ 2; decoders accept both shapes,
+//! so v1 peers interoperate untouched — a v1 `Submit` simply decodes with
+//! `ctx: None`. `SlowLogQuery` / `SlowLog` are also v2 frames: a v1 server
+//! answers them with an `Error`, never a decode failure, because unknown
+//! *types* (not trailers) stay fatal.
+//!
 //! Declared lengths above [`MAX_FRAME`] are rejected *before* any
 //! allocation sized by the attacker-controlled length — both the
 //! incremental [`Decoder`] and the blocking [`read_frame`] check the
 //! header first.
 
-use gts_service::{IndexId, Mutation, Query, QueryKind, QueryResult, ServiceError};
+use gts_service::{IndexId, Mutation, Query, QueryKind, QueryResult, ServiceError, TraceContext};
 use std::io::{Read, Write};
 use std::time::Duration;
 
-/// Protocol version spoken by this build.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version spoken by this build. Version 2 adds trace-context
+/// trailers on `Submit`/`BatchSubmit`, a wall-clock anchor on `Hello`,
+/// and the `SlowLogQuery`/`SlowLog` frame pair.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Magic opening every `Hello` payload (`b"GTS1"` little-endian).
 pub const MAGIC: u32 = u32::from_le_bytes(*b"GTS1");
@@ -51,6 +66,8 @@ const T_ERROR: u8 = 6;
 const T_SHUTDOWN: u8 = 7;
 const T_MUTATE: u8 = 8;
 const T_MUTATE_ACK: u8 = 9;
+const T_SLOW_LOG_QUERY: u8 = 10;
+const T_SLOW_LOG: u8 = 11;
 
 /// Structured error category carried by `Error` frames and failed
 /// `BatchResult` slots.
@@ -159,6 +176,10 @@ pub enum Frame {
     Hello {
         /// Highest protocol version the sender speaks.
         version: u8,
+        /// Sender's trace-recorder wall-clock anchor in µs since the Unix
+        /// epoch (v2 trailer; `None` from v1 peers). Lets the receiver
+        /// shift the sender's trace timestamps onto its own timeline.
+        wall_us: Option<u64>,
     },
     /// One query, answered by `Result` or `Error` with the same `req`.
     Submit {
@@ -166,6 +187,8 @@ pub enum Frame {
         req: u64,
         /// The query.
         query: Query,
+        /// Client-minted trace context (v2 trailer; `None` from v1 peers).
+        ctx: Option<TraceContext>,
     },
     /// `queries.len()` queries with implicit ids `base_req..`; answered by
     /// one `BatchResult` with the same `base_req`.
@@ -174,6 +197,9 @@ pub enum Frame {
         base_req: u64,
         /// The queries, in id order.
         queries: Vec<Query>,
+        /// Client-minted trace context for the whole batch (v2 trailer;
+        /// `None` from v1 peers).
+        ctx: Option<TraceContext>,
     },
     /// Successful answer to `Submit`.
     Result {
@@ -224,6 +250,19 @@ pub enum Frame {
         pending: u64,
         /// Ids assigned to the batch's inserts, in submission order.
         assigned: Vec<u32>,
+    },
+    /// Ask the server for its slow-query flight-recorder dump (v2);
+    /// answered by `SlowLog` or `Error` with the same `req`.
+    SlowLogQuery {
+        /// Caller-chosen correlation id.
+        req: u64,
+    },
+    /// Successful answer to `SlowLogQuery`: the dump as JSON.
+    SlowLog {
+        /// Correlation id from the `SlowLogQuery`.
+        req: u64,
+        /// The slow-log dump (same schema as `serve --slow-log` files).
+        json: String,
     },
 }
 
@@ -332,6 +371,13 @@ fn put_result(out: &mut Vec<u8>, r: &QueryResult) {
     }
 }
 
+fn put_ctx(out: &mut Vec<u8>, ctx: &Option<TraceContext>) {
+    if let Some(ctx) = ctx {
+        put_u64(out, ctx.trace_id);
+        put_u64(out, ctx.span_id);
+    }
+}
+
 fn put_error(out: &mut Vec<u8>, e: &WireError) {
     out.push(e.code as u8);
     put_u64(out, e.predicted_us);
@@ -345,23 +391,32 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut body = Vec::with_capacity(64);
         match self {
-            Frame::Hello { version } => {
+            Frame::Hello { version, wall_us } => {
                 body.push(T_HELLO);
                 put_u32(&mut body, MAGIC);
                 body.push(*version);
+                if let Some(wall) = wall_us {
+                    put_u64(&mut body, *wall);
+                }
             }
-            Frame::Submit { req, query } => {
+            Frame::Submit { req, query, ctx } => {
                 body.push(T_SUBMIT);
                 put_u64(&mut body, *req);
                 put_query(&mut body, query);
+                put_ctx(&mut body, ctx);
             }
-            Frame::BatchSubmit { base_req, queries } => {
+            Frame::BatchSubmit {
+                base_req,
+                queries,
+                ctx,
+            } => {
                 body.push(T_BATCH_SUBMIT);
                 put_u64(&mut body, *base_req);
                 put_u32(&mut body, queries.len() as u32);
                 for q in queries {
                     put_query(&mut body, q);
                 }
+                put_ctx(&mut body, ctx);
             }
             Frame::Result { req, result } => {
                 body.push(T_RESULT);
@@ -431,6 +486,16 @@ impl Frame {
                     put_u32(&mut body, id);
                 }
             }
+            Frame::SlowLogQuery { req } => {
+                body.push(T_SLOW_LOG_QUERY);
+                put_u64(&mut body, *req);
+            }
+            Frame::SlowLog { req, json } => {
+                body.push(T_SLOW_LOG);
+                put_u64(&mut body, *req);
+                put_u32(&mut body, json.len() as u32);
+                body.extend_from_slice(json.as_bytes());
+            }
         }
         let mut out = Vec::with_capacity(4 + body.len());
         put_u32(&mut out, body.len() as u32);
@@ -485,6 +550,31 @@ impl<'a> Cursor<'a> {
         } else {
             Err(DecodeError::BadPayload("trailing bytes"))
         }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Optional trailing `u64`: `None` at end-of-body (v1 peer), the
+    /// value when exactly one more field is present.
+    fn trailing_u64(&mut self) -> Result<Option<u64>, DecodeError> {
+        if self.remaining() == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(self.u64()?))
+        }
+    }
+
+    /// Optional trailing trace context (v2 trailer on submit frames).
+    fn trailing_ctx(&mut self) -> Result<Option<TraceContext>, DecodeError> {
+        if self.remaining() == 0 {
+            return Ok(None);
+        }
+        Ok(Some(TraceContext {
+            trace_id: self.u64()?,
+            span_id: self.u64()?,
+        }))
     }
 }
 
@@ -574,11 +664,15 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
             if magic != MAGIC {
                 return Err(DecodeError::BadMagic(magic));
             }
-            Frame::Hello { version: c.u8()? }
+            Frame::Hello {
+                version: c.u8()?,
+                wall_us: c.trailing_u64()?,
+            }
         }
         T_SUBMIT => Frame::Submit {
             req: c.u64()?,
             query: get_query(&mut c)?,
+            ctx: c.trailing_ctx()?,
         },
         T_BATCH_SUBMIT => {
             let base_req = c.u64()?;
@@ -587,7 +681,11 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
             for _ in 0..n {
                 queries.push(get_query(&mut c)?);
             }
-            Frame::BatchSubmit { base_req, queries }
+            Frame::BatchSubmit {
+                base_req,
+                queries,
+                ctx: c.trailing_ctx()?,
+            }
         }
         T_RESULT => Frame::Result {
             req: c.u64()?,
@@ -651,6 +749,16 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
                 pending,
                 assigned,
             }
+        }
+        T_SLOW_LOG_QUERY => Frame::SlowLogQuery { req: c.u64()? },
+        T_SLOW_LOG => {
+            let req = c.u64()?;
+            let len = checked_count(c.u32()?)?;
+            let bytes = c.take(len)?;
+            let json = std::str::from_utf8(bytes)
+                .map_err(|_| DecodeError::BadPayload("slow-log json is not utf-8"))?
+                .to_owned();
+            Frame::SlowLog { req, json }
         }
         t => return Err(DecodeError::UnknownType(t)),
     };

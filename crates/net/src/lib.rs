@@ -28,6 +28,6 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, CLIENT_TRACE_CAPACITY};
 pub use frame::{Decoder, ErrorCode, Frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
 pub use server::{NetServer, NetServerConfig};

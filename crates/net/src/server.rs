@@ -21,7 +21,7 @@
 
 use crate::frame::{read_frame, write_frame, Frame, WireError, PROTOCOL_VERSION};
 use gts_service::trace::NO_ID;
-use gts_service::{EventKind, Query, QueryResult, Service};
+use gts_service::{EventKind, Query, QueryResult, Service, TraceContext};
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -103,6 +103,10 @@ struct BatchAgg {
     remaining: AtomicU64,
     tx: Sender<Frame>,
     inflight: Arc<Inflight>,
+    /// For the response-side flow event when the batch carried a context.
+    service: Arc<Service>,
+    ctx: TraceContext,
+    conn: u64,
 }
 
 impl BatchAgg {
@@ -118,6 +122,7 @@ impl BatchAgg {
                 .into_iter()
                 .map(|s| s.expect("all slots filled at remaining == 0"))
                 .collect();
+            flow_response(&self.service, self.ctx, self.conn);
             // Send failure only means the writer is gone (peer vanished);
             // nothing to answer then.
             let _ = self.tx.send(Frame::BatchResult {
@@ -127,6 +132,46 @@ impl BatchAgg {
             self.inflight.down();
         }
     }
+}
+
+/// Record the server → client flow start (`ph:"s"` on the response flow)
+/// as a result frame departs, when the request carried a trace context.
+fn flow_response(service: &Service, ctx: TraceContext, conn: u64) {
+    if ctx.is_local() {
+        return;
+    }
+    let tracer = service.tracer();
+    tracer.instant_traced(
+        tracer.now_us(),
+        NO_ID,
+        NO_ID,
+        ctx.trace_id,
+        EventKind::FlowOut {
+            flow: ctx.response_flow(),
+            conn,
+            client: false,
+        },
+    );
+}
+
+/// Record the client → server flow finish (`ph:"f"`) as a submit frame's
+/// context arrives.
+fn flow_request(service: &Service, ctx: TraceContext, conn: u64) {
+    if ctx.is_local() {
+        return;
+    }
+    let tracer = service.tracer();
+    tracer.instant_traced(
+        tracer.now_us(),
+        NO_ID,
+        NO_ID,
+        ctx.trace_id,
+        EventKind::FlowIn {
+            flow: ctx.request_flow(),
+            conn,
+            client: false,
+        },
+    );
 }
 
 /// The TCP front-end. Bind with [`NetServer::bind`], stop with
@@ -241,6 +286,8 @@ fn frame_name(f: &Frame) -> &'static str {
         Frame::Shutdown => "shutdown",
         Frame::Mutate { .. } => "mutate",
         Frame::MutateAck { .. } => "mutate_ack",
+        Frame::SlowLogQuery { .. } => "slow_log_query",
+        Frame::SlowLog { .. } => "slow_log",
     }
 }
 
@@ -305,11 +352,15 @@ fn reader_loop(
 
     // Handshake: the first frame must be Hello.
     match read_frame(&mut r) {
-        Ok(Some((Frame::Hello { version }, bytes))) => {
+        Ok(Some((Frame::Hello { version, .. }, bytes))) => {
             metrics.on_net_frame_rx(bytes as u64);
             let negotiated = version.min(PROTOCOL_VERSION);
+            // The wall anchor trailer is safe only once the peer is known
+            // to speak v2 — a v1 decoder treats trailing bytes as fatal.
+            let wall_us = (negotiated >= 2).then(|| tracer.wall_epoch_us());
             let _ = tx.send(Frame::Hello {
                 version: negotiated,
+                wall_us,
             });
         }
         Ok(Some(_)) | Ok(None) => {
@@ -352,11 +403,27 @@ fn reader_loop(
         );
         match frame {
             Frame::Hello { .. } => {} // redundant Hello is harmless
-            Frame::Submit { req, query } => {
-                submit_one(service, query, req, tx, &inflight);
+            Frame::Submit { req, query, ctx } => {
+                let ctx = ctx.unwrap_or(TraceContext::LOCAL);
+                flow_request(service, ctx, conn);
+                submit_one(service, query, req, ctx, conn, tx, &inflight);
             }
-            Frame::BatchSubmit { base_req, queries } => {
-                submit_batch(service, queries, base_req, tx, &inflight);
+            Frame::BatchSubmit {
+                base_req,
+                queries,
+                ctx,
+            } => {
+                let ctx = ctx.unwrap_or(TraceContext::LOCAL);
+                flow_request(service, ctx, conn);
+                submit_batch(service, queries, base_req, ctx, conn, tx, &inflight);
+            }
+            Frame::SlowLogQuery { req } => {
+                // Served synchronously on the reader thread, like Mutate:
+                // the dump is a bounded ring snapshot, not a query.
+                let _ = tx.send(Frame::SlowLog {
+                    req,
+                    json: service.slow_log_json(),
+                });
             }
             Frame::Mutate { req, index, muts } => {
                 // Mutations apply synchronously on the reader thread —
@@ -388,7 +455,8 @@ fn reader_loop(
             Frame::Result { .. }
             | Frame::BatchResult { .. }
             | Frame::Error { .. }
-            | Frame::MutateAck { .. } => {
+            | Frame::MutateAck { .. }
+            | Frame::SlowLog { .. } => {
                 metrics.on_net_protocol_error();
                 let _ = tx.send(Frame::Error {
                     req: u64::MAX,
@@ -407,15 +475,19 @@ fn submit_one(
     service: &Arc<Service>,
     query: Query,
     req: u64,
+    ctx: TraceContext,
+    conn: u64,
     tx: &Sender<Frame>,
     inflight: &Arc<Inflight>,
 ) {
-    match service.submit(query) {
+    match service.submit_traced(query, ctx) {
         Ok(ticket) => {
             inflight.up();
             let tx = tx.clone();
             let inflight = Arc::clone(inflight);
+            let service = Arc::clone(service);
             ticket.on_complete(move |r| {
+                flow_response(&service, ctx, conn);
                 let _ = tx.send(match r {
                     Ok(result) => Frame::Result { req, result },
                     Err(err) => Frame::Error {
@@ -439,6 +511,8 @@ fn submit_batch(
     service: &Arc<Service>,
     queries: Vec<Query>,
     base_req: u64,
+    ctx: TraceContext,
+    conn: u64,
     tx: &Sender<Frame>,
     inflight: &Arc<Inflight>,
 ) {
@@ -457,9 +531,12 @@ fn submit_batch(
         remaining: AtomicU64::new(n as u64),
         tx: tx.clone(),
         inflight: Arc::clone(inflight),
+        service: Arc::clone(service),
+        ctx,
+        conn,
     });
     for (i, query) in queries.into_iter().enumerate() {
-        match service.submit(query) {
+        match service.submit_traced(query, ctx) {
             Ok(ticket) => {
                 let agg = Arc::clone(&agg);
                 ticket.on_complete(move |r| {

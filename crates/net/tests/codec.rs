@@ -3,7 +3,7 @@
 
 use gts_net::frame::{decode_body, read_frame, DecodeError};
 use gts_net::{Decoder, ErrorCode, Frame, WireError, MAX_FRAME, PROTOCOL_VERSION};
-use gts_service::{Mutation, Query, QueryKind, QueryResult};
+use gts_service::{Mutation, Query, QueryKind, QueryResult, TraceContext};
 use proptest::prelude::*;
 
 fn roundtrip(frame: &Frame) -> Frame {
@@ -43,11 +43,15 @@ proptest! {
         index in 0u32..16,
         dim in 1usize..8,
         seed in 0u32..1_000_000,
+        trace_id in 0u64..u64::MAX,
+        span_id in 1u64..1_000_000,
+        with_ctx in 0u8..2,
     ) {
         let pos: Vec<f32> = (0..dim)
             .map(|i| ((seed as f32).sin() * 100.0 + i as f32) / 7.0)
             .collect();
-        let frame = Frame::Submit { req, query: sample_query(kind_tag, param, index, pos) };
+        let ctx = (with_ctx == 1).then_some(TraceContext { trace_id, span_id });
+        let frame = Frame::Submit { req, query: sample_query(kind_tag, param, index, pos), ctx };
         prop_assert_eq!(roundtrip(&frame), frame);
     }
 
@@ -66,7 +70,11 @@ proptest! {
                 vec![i as f32 * 0.5, -(i as f32), 3.25],
             ))
             .collect();
-        let frame = Frame::BatchSubmit { base_req, queries };
+        let frame = Frame::BatchSubmit {
+            base_req,
+            queries,
+            ctx: Some(TraceContext { trace_id: base_req | 1, span_id: base_req + 7 }),
+        };
         prop_assert_eq!(roundtrip(&frame), frame);
     }
 
@@ -102,10 +110,11 @@ proptest! {
         // Feed a multi-frame byte stream in two arbitrary pieces — the
         // decoder must produce the same frames regardless of the split.
         let frames = [
-            Frame::Hello { version: PROTOCOL_VERSION },
+            Frame::Hello { version: PROTOCOL_VERSION, wall_us: Some(1_700_000_000_000_000) },
             Frame::Submit {
                 req: 42,
                 query: sample_query(1, 5, 0, vec![1.0, 2.0, 3.0]),
+                ctx: Some(TraceContext { trace_id: 0xDEAD_BEEF, span_id: 3 }),
             },
             Frame::Shutdown,
         ];
@@ -131,7 +140,14 @@ proptest! {
 #[test]
 fn scalar_frames_roundtrip() {
     for frame in [
-        Frame::Hello { version: 3 },
+        Frame::Hello {
+            version: 3,
+            wall_us: None,
+        },
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+            wall_us: Some(1_754_600_000_000_000),
+        },
         Frame::Shutdown,
         Frame::Result {
             req: 7,
@@ -140,6 +156,11 @@ fn scalar_frames_roundtrip() {
         Frame::Error {
             req: u64::MAX,
             error: WireError::protocol("nope"),
+        },
+        Frame::SlowLogQuery { req: 11 },
+        Frame::SlowLog {
+            req: 11,
+            json: r#"{"capacity":256,"entries":[]}"#.into(),
         },
     ] {
         assert_eq!(roundtrip(&frame), frame);
@@ -151,6 +172,7 @@ fn truncated_frame_waits_for_more_bytes() {
     let bytes = Frame::Submit {
         req: 9,
         query: sample_query(0, 0, 1, vec![1.0, 2.0]),
+        ctx: None,
     }
     .encode();
     let mut dec = Decoder::new();
@@ -355,6 +377,72 @@ fn hostile_mutate_count_is_rejected_before_allocating() {
         decode_body(&body),
         Err(DecodeError::BadPayload(_))
     ));
+}
+
+#[test]
+fn v1_submit_without_trailer_decodes_with_no_context() {
+    // A v1 peer's Submit is byte-identical to a v2 Submit with ctx: None —
+    // the trailer is pure suffix, so its absence must decode cleanly.
+    let bare = Frame::Submit {
+        req: 21,
+        query: sample_query(2, 300, 2, vec![0.5, 0.25]),
+        ctx: None,
+    };
+    let tagged = Frame::Submit {
+        req: 21,
+        query: sample_query(2, 300, 2, vec![0.5, 0.25]),
+        ctx: Some(TraceContext {
+            trace_id: 77,
+            span_id: 5,
+        }),
+    };
+    assert_eq!(
+        tagged.encode().len(),
+        bare.encode().len() + 16,
+        "context trailer is exactly trace id + span id"
+    );
+    assert_eq!(roundtrip(&bare), bare);
+    assert_eq!(roundtrip(&tagged), tagged);
+
+    // Same shape on Hello: the v1 form has no wall anchor.
+    let v1_hello = Frame::Hello {
+        version: 1,
+        wall_us: None,
+    };
+    assert_eq!(roundtrip(&v1_hello), v1_hello);
+}
+
+#[test]
+fn half_written_context_trailer_is_rejected() {
+    // 8 trailing bytes is neither "no context" (0) nor a context (16):
+    // the trace id parses but the span id is truncated.
+    let mut bytes = Frame::Submit {
+        req: 4,
+        query: sample_query(0, 0, 0, vec![1.0]),
+        ctx: None,
+    }
+    .encode();
+    bytes.extend_from_slice(&9u64.to_le_bytes());
+    let len = (bytes.len() - 4) as u32;
+    bytes[..4].copy_from_slice(&len.to_le_bytes());
+    let mut dec = Decoder::new();
+    dec.feed(&bytes);
+    assert_eq!(
+        dec.next_frame(),
+        Err(DecodeError::BadPayload("truncated field"))
+    );
+}
+
+#[test]
+fn non_utf8_slow_log_json_is_rejected() {
+    let mut body = vec![11u8]; // T_SLOW_LOG
+    body.extend_from_slice(&1u64.to_le_bytes());
+    body.extend_from_slice(&2u32.to_le_bytes());
+    body.extend_from_slice(&[0xff, 0xfe]);
+    assert_eq!(
+        decode_body(&body),
+        Err(DecodeError::BadPayload("slow-log json is not utf-8"))
+    );
 }
 
 #[test]

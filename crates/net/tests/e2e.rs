@@ -296,12 +296,30 @@ fn raw_protocol_violations_get_an_error_frame_not_a_hang() {
     assert_eq!(req, u64::MAX);
     assert_eq!(error.code, ErrorCode::Protocol);
 
-    // An oversized declared length after a valid handshake.
+    // An oversized declared length after a valid handshake. The v1 Hello
+    // also pins backward compat: the server's reply to a v1 peer must
+    // negotiate down to 1 and carry no wall-anchor trailer.
     let mut s = std::net::TcpStream::connect(server.local_addr()).unwrap();
-    write_frame(&mut s, &Frame::Hello { version: 1 }).unwrap();
+    write_frame(
+        &mut s,
+        &Frame::Hello {
+            version: 1,
+            wall_us: None,
+        },
+    )
+    .unwrap();
     s.flush().unwrap();
     let (hello, _) = read_frame(&mut s).unwrap().expect("hello ack");
-    assert!(matches!(hello, Frame::Hello { .. }));
+    assert!(
+        matches!(
+            hello,
+            Frame::Hello {
+                version: 1,
+                wall_us: None
+            }
+        ),
+        "v1 peer gets a v1 Hello with no trailer, got {hello:?}"
+    );
     s.write_all(&(200 * 1024 * 1024u32).to_le_bytes()).unwrap();
     s.flush().unwrap();
     let (frame, _) = read_frame(&mut s).unwrap().expect("server answers");
@@ -313,6 +331,135 @@ fn raw_protocol_violations_get_an_error_frame_not_a_hang() {
     let service = Arc::clone(server.service());
     server.shutdown();
     assert!(service.metrics().net_protocol_errors >= 2);
+}
+
+#[test]
+fn merged_two_process_trace_joins_client_and_server_by_flow_events() {
+    use gts_service::{merge_snapshots, EventKind};
+    use std::collections::HashSet;
+
+    let (server, pts) = start_server(ServiceConfig {
+        max_wait: Duration::from_millis(1),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert!(client.version() >= 2, "both ends of this build speak v2");
+    let server_wall = client
+        .server_wall_us()
+        .expect("v2 handshake carries the server wall anchor");
+    assert_ne!(client.trace_id(), 0, "client minted a nonzero trace id");
+
+    for wave in 0..3 {
+        let queries: Vec<Query> = (0..24)
+            .map(|i| nn(pts[(wave * 31 + i * 7) % pts.len()].0))
+            .collect();
+        let base = client.send_batch(&queries).unwrap();
+        for r in client.recv_batch(base).unwrap() {
+            r.expect("wave completes");
+        }
+    }
+
+    let shift = server_wall as i64 - client.trace().wall_epoch_us() as i64;
+    let client_snap = client.trace().snapshot();
+    let trace_id = client.trace_id();
+    client.shutdown().unwrap();
+    let service = Arc::clone(server.service());
+    server.shutdown();
+    let merged = merge_snapshots(service.trace(), client_snap, shift);
+
+    // The client context reached the server: its events carry the id.
+    assert!(
+        merged
+            .events
+            .iter()
+            .any(|e| e.trace == trace_id && matches!(e.kind, EventKind::Complete)),
+        "server-side completion spans are stamped with the client trace id"
+    );
+
+    // Request direction: client FlowOut ↔ server FlowIn on the same flow
+    // id. Response direction: server FlowOut ↔ client FlowIn.
+    let flows = |events: &[gts_service::TraceEvent], want_out: bool, want_client: bool| {
+        events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::FlowOut { flow, client, .. } if want_out && client == want_client => {
+                    Some(flow)
+                }
+                EventKind::FlowIn { flow, client, .. } if !want_out && client == want_client => {
+                    Some(flow)
+                }
+                _ => None,
+            })
+            .collect::<HashSet<u64>>()
+    };
+    let request_pairs = flows(&merged.events, true, true)
+        .intersection(&flows(&merged.events, false, false))
+        .count();
+    let response_pairs = flows(&merged.events, true, false)
+        .intersection(&flows(&merged.events, false, true))
+        .count();
+    assert!(request_pairs >= 1, "client→server flow arrows pair up");
+    assert!(response_pairs >= 1, "server→client flow arrows pair up");
+
+    // The rendered merge is one valid JSON document with both pids and
+    // paired flow phases.
+    let json = merged.to_chrome_json();
+    let parsed: serde::Value = serde_json::from_str(&json).expect("merged trace is valid JSON");
+    let serde::Value::Array(events) = parsed else {
+        panic!("chrome trace renders as a JSON array");
+    };
+    assert!(!events.is_empty());
+    assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
+    assert!(json.contains("\"pid\":6"), "client track present");
+    assert!(json.contains("\"pid\":1"), "server batch track present");
+}
+
+#[test]
+fn slow_log_travels_the_wire() {
+    let (server, pts) = start_server(ServiceConfig {
+        max_wait: Duration::from_millis(1),
+        slow_log_capacity: 64,
+        slow_log_percentile: 90.0,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Enough completions to arm the threshold and land commits.
+    for wave in 0..4 {
+        let queries: Vec<Query> = (0..32)
+            .map(|i| nn(pts[(wave * 13 + i * 3) % pts.len()].0))
+            .collect();
+        let base = client.send_batch(&queries).unwrap();
+        for r in client.recv_batch(base).unwrap() {
+            r.expect("completes");
+        }
+    }
+
+    let json = client
+        .slow_log()
+        .expect("transport ok")
+        .expect("server answers the dump");
+    let parsed: serde::Value = serde_json::from_str(&json).expect("slow log is valid JSON");
+    let capacity = match parsed.get("capacity") {
+        Some(serde::Value::Number(n)) => n.as_u64().unwrap(),
+        other => panic!("capacity field: {other:?}"),
+    };
+    assert_eq!(capacity, 64);
+    let committed = match parsed.get("committed") {
+        Some(serde::Value::Number(n)) => n.as_u64().unwrap(),
+        other => panic!("committed field: {other:?}"),
+    };
+    assert!(
+        committed >= 1,
+        "running-max rule commits at least the slowest query"
+    );
+    assert!(
+        matches!(parsed.get("entries"), Some(serde::Value::Array(_))),
+        "entries array present"
+    );
+
+    client.shutdown().unwrap();
+    server.shutdown();
 }
 
 /// Compile-time contract: the client is Send so callers can move

@@ -164,9 +164,17 @@ impl Histogram {
     }
 }
 
+/// Samples below which a p99.9 request cannot resolve a distinct rank:
+/// with fewer than 1000 samples, nearest-rank p99.9 *is* the maximum, so
+/// return the exact observed max instead of a bucket upper edge.
+const P999_EXACT_FLOOR: u64 = 1000;
+
 fn percentile_from(counts: &[u64], total: u64, min: f64, max: f64, p: f64) -> f64 {
     if total == 0 {
         return 0.0;
+    }
+    if p >= 99.9 && total < P999_EXACT_FLOOR {
+        return max;
     }
     let rank = (((p / 100.0) * total as f64).ceil() as u64).clamp(1, total);
     let mut seen = 0u64;
@@ -201,6 +209,9 @@ impl HistogramSnapshot {
     pub fn percentile(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
+        }
+        if p >= 99.9 && self.count < P999_EXACT_FLOOR {
+            return self.max;
         }
         let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
@@ -312,6 +323,32 @@ mod tests {
         // exact.
         assert_eq!(h.percentile(50.0), 3.75);
         assert_eq!(h.percentile(99.9), 3.75);
+    }
+
+    #[test]
+    fn p999_clamps_to_exact_max_below_a_thousand_samples() {
+        // Under 1000 samples, nearest-rank p99.9 is the maximum — report
+        // the exact observed max, not the max's bucket upper edge.
+        let mut h = Histogram::default();
+        for _ in 0..500 {
+            h.record(1.0);
+        }
+        h.record(123.456);
+        assert_eq!(h.percentile(99.9), 123.456);
+        assert_eq!(h.percentile(100.0), 123.456);
+        assert_eq!(h.snapshot().percentile(99.9), 123.456);
+        // Lower percentiles still resolve from the buckets: p50 stays in
+        // the 1.0 bucket, nowhere near the outlier.
+        assert!(h.percentile(50.0) < 2.0);
+        // At ≥ 1000 samples the rank walk takes over and must agree with
+        // the clamp at the top end.
+        let mut big = Histogram::default();
+        for _ in 0..2000 {
+            big.record(1.0);
+        }
+        big.record(123.456);
+        assert_eq!(big.percentile(100.0), 123.456);
+        assert!(big.percentile(99.9) <= 123.456);
     }
 
     #[test]

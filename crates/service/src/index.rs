@@ -74,6 +74,11 @@ pub struct ShardVisit {
     pub queries: u32,
     /// Tree-node visits inside the shard.
     pub node_visits: u64,
+    /// `(query, shard)` pairs the AABB bound pruned *for this shard* in
+    /// this round (0 for rounds where nothing was skipped; prunes for
+    /// shards that ended up with no sub-batch at all are counted only in
+    /// [`BatchOutcome::shards_pruned`]).
+    pub pruned: u32,
     /// Modeled GPU milliseconds for the sub-batch.
     pub model_ms: f64,
     /// Wall microseconds from the batch-run start to this sub-batch.

@@ -57,6 +57,7 @@ pub mod policy;
 pub mod query;
 pub mod service;
 pub mod shard;
+pub mod slowlog;
 pub mod trace;
 
 pub use batcher::{BatchEntry, Batcher, ReadyBatch, WARP};
@@ -67,12 +68,17 @@ pub use epoch::{
 pub use hist::{Histogram, HistogramSnapshot};
 pub use index::{BatchOutcome, KdIndex, ProfileCtx, ShardVisit, TreeIndex};
 pub use metrics::{
-    percentile, BackendBatches, BatchRecord, IndexMetricsSnapshot, Metrics, MetricsSnapshot,
+    percentile, BackendBatches, BatchRecord, IndexMetricsSnapshot, KindDropped, LatencyExemplar,
+    Metrics, MetricsSnapshot,
 };
 pub use policy::{Backend, ExecPolicy};
 pub use query::{BatchKey, IndexId, OpKey, Query, QueryKind, QueryResult};
 pub use service::{CompletionFn, Service, ServiceConfig, ServiceError, Ticket};
 pub use shard::{merge_kbest, ShardedIndex, ShardedIndexBuilder, DEFAULT_PROFILE_TTL};
+pub use slowlog::{
+    QueryRecord, ShardVisitRecord, SlowLog, SlowLogDump, SlowLogStats, SLOW_LOG_WARMUP,
+};
 pub use trace::{
-    EventKind, TraceEvent, TraceRecorder, TraceSnapshot, TraceStream, TraceStreamStats,
+    merge_snapshots, EventKind, TraceContext, TraceEvent, TraceRecorder, TraceSnapshot,
+    TraceStream, TraceStreamStats, KIND_COUNT, KIND_NAMES,
 };

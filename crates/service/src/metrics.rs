@@ -13,9 +13,10 @@
 //! `min`/`max` commute, so a deterministic workload still yields
 //! bit-identical snapshots regardless of worker interleaving.
 
-use crate::hist::{Histogram, HistogramSnapshot, N_BUCKETS};
+use crate::hist::{bucket_hi, bucket_index, Histogram, HistogramSnapshot, N_BUCKETS};
 use crate::index::BatchOutcome;
 use crate::policy::Backend;
+use crate::slowlog::SLOW_LOG_WARMUP;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -128,6 +129,13 @@ struct Inner {
     epoch_deltas_flushed: u64,
     epoch: u64,
     epoch_delta_depth: u64,
+    // Queries that arrived carrying a propagated (non-local) trace
+    // context from a network client.
+    trace_propagated: u64,
+    // Last (query id, trace id, value ms) to land in each latency bucket
+    // — the OpenMetrics exemplars. Keyed by bucket index, so the map is
+    // bounded by N_BUCKETS no matter how many queries complete.
+    latency_exemplars: BTreeMap<u32, (u64, u64, f64)>,
     // Admission model state: exponentially weighted batch service time
     // (wall ms) and batch size, updated once per executed batch.
     ewma_batch_service_ms: f64,
@@ -281,12 +289,16 @@ impl Metrics {
     }
 
     /// One query's result delivered by index `index`, `latency` after
-    /// submission.
-    pub fn on_complete(&self, index: &str, latency: Duration) {
+    /// submission. `query` is the trace query id and `trace` the
+    /// propagated trace id (0 when local) — the pair becomes the
+    /// OpenMetrics exemplar for the latency bucket the sample lands in.
+    pub fn on_complete(&self, index: &str, latency: Duration, query: u64, trace: u64) {
         let mut m = self.lock();
         m.completed += 1;
         let ms = latency.as_secs_f64() * 1e3;
         m.latency_ms.record(ms);
+        m.latency_exemplars
+            .insert(bucket_index(ms) as u32, (query, trace, ms));
         if !m.per_index.contains_key(index) {
             m.per_index
                 .insert(index.to_string(), IndexSeries::default());
@@ -294,6 +306,23 @@ impl Metrics {
         let series = m.per_index.get_mut(index).expect("just inserted");
         series.completed += 1;
         series.latency_ms.record(ms);
+    }
+
+    /// One submission arrived carrying a propagated (non-local) trace
+    /// context.
+    pub fn on_propagated(&self) {
+        self.lock().trace_propagated += 1;
+    }
+
+    /// The slow-log commit threshold: the given percentile of the live
+    /// latency histogram, in µs. 0 (unarmed) until the histogram holds
+    /// [`SLOW_LOG_WARMUP`] samples — a p99 of three queries is noise.
+    pub fn slow_threshold_us(&self, percentile: f64) -> u64 {
+        let m = self.lock();
+        if m.latency_ms.count() < SLOW_LOG_WARMUP {
+            return 0;
+        }
+        (m.latency_ms.percentile(percentile) * 1e3) as u64
     }
 
     /// Upper bound on the registry's resident size, in bytes. Constant
@@ -354,6 +383,26 @@ impl Metrics {
             epoch: m.epoch,
             epoch_delta_depth: m.epoch_delta_depth,
             ewma_batch_service_ms: m.ewma_batch_service_ms,
+            trace_propagated: m.trace_propagated,
+            // The trace recorder and slow log live outside the registry;
+            // `Service` stitches their counters in after this snapshot.
+            trace_dropped: 0,
+            trace_dropped_by_kind: Vec::new(),
+            slow_log_committed: 0,
+            slow_log_evicted: 0,
+            slow_log_pending: 0,
+            slow_log_entries: 0,
+            slow_log_threshold_us: 0,
+            latency_exemplars: m
+                .latency_exemplars
+                .iter()
+                .map(|(&bucket, &(query, trace, value_ms))| LatencyExemplar {
+                    bucket,
+                    query,
+                    trace,
+                    value_ms,
+                })
+                .collect(),
             model_ms: m.model_ms.sum(),
             mean_work_expansion: if m.batches > 0 {
                 m.work_expansion.sum() / m.batches as f64
@@ -469,6 +518,25 @@ pub struct MetricsSnapshot {
     /// EWMA batch service time (wall ms) — the admission model's per-batch
     /// cost estimate.
     pub ewma_batch_service_ms: f64,
+    /// Submissions that carried a propagated (non-local) trace context.
+    pub trace_propagated: u64,
+    /// Trace-ring events lost to wraparound (stitched in by `Service`).
+    pub trace_dropped: u64,
+    /// Wraparound drops broken out per event kind, nonzero kinds only.
+    pub trace_dropped_by_kind: Vec<KindDropped>,
+    /// Slow-log records committed over the service lifetime.
+    pub slow_log_committed: u64,
+    /// Committed slow-log records evicted by ring wraparound.
+    pub slow_log_evicted: u64,
+    /// Queries currently in the slow log's pending table.
+    pub slow_log_pending: u64,
+    /// Slow-log records currently retained.
+    pub slow_log_entries: u64,
+    /// Rolling slow-log commit threshold, µs (0 until warmed up).
+    pub slow_log_threshold_us: u64,
+    /// Last (query, trace) to land in each latency bucket — rendered as
+    /// OpenMetrics exemplars on `gts_latency_ms`.
+    pub latency_exemplars: Vec<LatencyExemplar>,
     /// Total modeled GPU milliseconds.
     pub model_ms: f64,
     /// Mean per-batch lockstep work expansion.
@@ -508,6 +576,28 @@ pub struct MetricsSnapshot {
     /// Per-index series, sorted by index name (BTreeMap order), so
     /// mixed-index workloads stay separable.
     pub per_index: Vec<IndexMetricsSnapshot>,
+}
+
+/// Wraparound-dropped trace events for one event kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KindDropped {
+    /// Stable kind tag ([`crate::trace::KIND_NAMES`]).
+    pub kind: String,
+    /// Events of this kind evicted unread by ring wraparound.
+    pub dropped: u64,
+}
+
+/// One latency-bucket exemplar: the last query to land in the bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyExemplar {
+    /// Latency histogram bucket index ([`crate::hist::bucket_index`]).
+    pub bucket: u32,
+    /// Trace query id (matches the trace ring and the slow log).
+    pub query: u64,
+    /// Propagated trace id (0 = local submission).
+    pub trace: u64,
+    /// The sample itself, milliseconds.
+    pub value_ms: f64,
 }
 
 /// One backend's batch count in a snapshot.
@@ -551,7 +641,7 @@ impl MetricsSnapshot {
     /// for every histogram.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 23] = [
+        let counters: [(&str, u64); 26] = [
             ("gts_queries_submitted_total", self.submitted),
             ("gts_queries_completed_total", self.completed),
             ("gts_queries_rejected_total", self.rejected),
@@ -578,11 +668,14 @@ impl MetricsSnapshot {
             ("gts_mutations_total", self.mutations),
             ("gts_epoch_merges_total", self.epoch_merges),
             ("gts_epoch_deltas_flushed_total", self.epoch_deltas_flushed),
+            ("gts_trace_propagated_total", self.trace_propagated),
+            ("gts_slow_log_committed_total", self.slow_log_committed),
+            ("gts_slow_log_evicted_total", self.slow_log_evicted),
         ];
         for (name, v) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
         }
-        let gauges: [(&str, f64); 9] = [
+        let gauges: [(&str, f64); 11] = [
             ("gts_batch_size_mean", self.mean_batch_size),
             ("gts_batch_size_max", self.max_batch_size as f64),
             ("gts_stack_bytes_peak", self.stack_bytes_peak as f64),
@@ -592,6 +685,11 @@ impl MetricsSnapshot {
             ("gts_ewma_batch_service_ms", self.ewma_batch_service_ms),
             ("gts_epoch", self.epoch as f64),
             ("gts_epoch_delta_depth", self.epoch_delta_depth as f64),
+            (
+                "gts_slow_log_threshold_us",
+                self.slow_log_threshold_us as f64,
+            ),
+            ("gts_slow_log_pending", self.slow_log_pending as f64),
         ];
         for (name, v) in gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
@@ -606,6 +704,16 @@ impl MetricsSnapshot {
                 b.backend, b.batches
             ));
         }
+        // Per-kind wraparound drops: the header is always present so
+        // scrapers see the family; series appear only for kinds that
+        // actually lost events.
+        out.push_str("# TYPE gts_trace_dropped_total counter\n");
+        for k in &self.trace_dropped_by_kind {
+            out.push_str(&format!(
+                "gts_trace_dropped_total{{kind=\"{}\"}} {}\n",
+                k.kind, k.dropped
+            ));
+        }
         self.model_ms_hist
             .to_prometheus("gts_batch_model_ms", &mut out);
         self.work_expansion_hist
@@ -616,7 +724,35 @@ impl MetricsSnapshot {
             .to_prometheus("gts_batch_node_visits", &mut out);
         self.queue_wait_hist
             .to_prometheus("gts_queue_wait_ms", &mut out);
-        self.latency_hist.to_prometheus("gts_latency_ms", &mut out);
+        // The latency histogram is rendered by hand so each bucket can
+        // carry its OpenMetrics exemplar — `# {labels} value` after the
+        // bucket count links a tail bucket straight to the query (and its
+        // flight-recorder entry) that last landed there.
+        out.push_str("# TYPE gts_latency_ms histogram\n");
+        let mut cum = 0u64;
+        for &(i, c) in &self.latency_hist.buckets {
+            cum += c;
+            out.push_str(&format!(
+                "gts_latency_ms_bucket{{le=\"{}\"}} {cum}",
+                bucket_hi(i as usize)
+            ));
+            if let Some(ex) = self.latency_exemplars.iter().find(|e| e.bucket == i) {
+                out.push_str(&format!(
+                    " # {{trace_id=\"{:016x}\",query_id=\"{}\"}} {}",
+                    ex.trace, ex.query, ex.value_ms
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "gts_latency_ms_bucket{{le=\"+Inf\"}} {}\n",
+            self.latency_hist.count
+        ));
+        out.push_str(&format!("gts_latency_ms_sum {}\n", self.latency_hist.sum));
+        out.push_str(&format!(
+            "gts_latency_ms_count {}\n",
+            self.latency_hist.count
+        ));
         self.exec_ms_hist
             .to_prometheus("gts_batch_exec_ms", &mut out);
         self.epoch_merge_ms_hist
@@ -727,7 +863,7 @@ mod tests {
         }
         m.on_batch(&batch(2, Backend::Lockstep, 100, 1.5, 1.2, 3, 2));
         m.on_batch(&batch(1, Backend::Autoropes, 40, 0.5, 1.0, 1, 4));
-        m.on_complete("idx", Duration::from_millis(10));
+        m.on_complete("idx", Duration::from_millis(10), 1, 0);
         let s = m.snapshot();
         assert_eq!(s.submitted, 3);
         assert_eq!(s.completed, 1);
@@ -768,8 +904,8 @@ mod tests {
         m.on_batch(&a);
         m.on_batch(&a);
         m.on_batch(&b);
-        m.on_complete("alpha", Duration::from_millis(2));
-        m.on_complete("beta", Duration::from_millis(8));
+        m.on_complete("alpha", Duration::from_millis(2), 1, 0);
+        m.on_complete("beta", Duration::from_millis(8), 2, 0);
         let s = m.snapshot();
         assert_eq!(s.profile_cache_hits, 6);
         assert_eq!(s.profile_cache_misses, 2);
@@ -803,7 +939,7 @@ mod tests {
         for i in 0..10_000u64 {
             m.on_submit();
             m.on_batch(&batch(1, Backend::Cpu, i, i as f64 * 0.01, 1.0, 0, i % 7));
-            m.on_complete("idx", Duration::from_micros(10 * i));
+            m.on_complete("idx", Duration::from_micros(10 * i), i, 0);
         }
         // One index registered on first record; the bound then stays flat
         // no matter how many batches follow.
@@ -823,7 +959,7 @@ mod tests {
         let m = Metrics::default();
         m.on_submit();
         m.on_batch(&batch(1, Backend::Lockstep, 50, 0.25, 1.1, 0, 1));
-        m.on_complete("idx", Duration::from_millis(3));
+        m.on_complete("idx", Duration::from_millis(3), 1, 0);
         let text = m.snapshot().to_prometheus();
         for series in [
             "gts_queries_submitted_total 1",
@@ -839,10 +975,54 @@ mod tests {
         ] {
             assert!(text.contains(series), "missing `{series}` in:\n{text}");
         }
-        // One `# TYPE` header per exported metric family: 23 counters,
-        // 9 gauges, 8 aggregate histograms, the per-backend choice family,
-        // and 4 per-index families.
-        assert_eq!(text.matches("# TYPE").count(), 23 + 9 + 8 + 1 + 4);
+        // One `# TYPE` header per exported metric family: 26 counters,
+        // 11 gauges, 8 aggregate histograms, the per-backend choice and
+        // per-kind trace-drop families, and 4 per-index families.
+        assert_eq!(text.matches("# TYPE").count(), 26 + 11 + 8 + 2 + 4);
+    }
+
+    #[test]
+    fn latency_exemplars_link_buckets_to_queries() {
+        let m = Metrics::default();
+        m.on_complete("idx", Duration::from_millis(3), 7, 0xabc);
+        m.on_complete("idx", Duration::from_millis(250), 42, 0xdef);
+        m.on_propagated();
+        let s = m.snapshot();
+        assert_eq!(s.trace_propagated, 1);
+        assert_eq!(s.latency_exemplars.len(), 2, "one exemplar per bucket");
+        let slow = s
+            .latency_exemplars
+            .iter()
+            .find(|e| e.query == 42)
+            .expect("slow sample kept");
+        assert_eq!(slow.trace, 0xdef);
+        assert!((slow.value_ms - 250.0).abs() < 1e-9);
+        let text = s.to_prometheus();
+        // OpenMetrics exemplar syntax on the bucket the sample landed in.
+        assert!(
+            text.contains(r##" # {trace_id="0000000000000def",query_id="42"} 250"##),
+            "missing exemplar in:\n{text}"
+        );
+        assert!(text.contains("gts_trace_propagated_total 1"));
+        // A later completion in the same bucket replaces the exemplar.
+        m.on_complete("idx", Duration::from_millis(251), 43, 0x123);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains(r#"query_id="43""#));
+        assert!(!text.contains(r#"query_id="42""#));
+    }
+
+    #[test]
+    fn slow_threshold_arms_after_warmup() {
+        let m = Metrics::default();
+        for i in 0..SLOW_LOG_WARMUP - 1 {
+            m.on_complete("idx", Duration::from_millis(1), i, 0);
+        }
+        assert_eq!(m.slow_threshold_us(99.0), 0, "unarmed during warmup");
+        m.on_complete("idx", Duration::from_millis(1), 99, 0);
+        let t = m.slow_threshold_us(99.0);
+        // 64 × 1 ms: p99 is the 1 ms bucket's upper edge (µs, with the
+        // bucket's ≤12.5% relative slack).
+        assert!((900..=1200).contains(&t), "threshold {t} µs out of range");
     }
 
     #[test]

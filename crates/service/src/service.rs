@@ -20,10 +20,11 @@
 use crate::batcher::{BatchEntry, Batcher, ReadyBatch};
 use crate::epoch::{EpochEvent, EpochStats, MutateError, Mutation, MutationAck};
 use crate::index::TreeIndex;
-use crate::metrics::{BatchRecord, Metrics, MetricsSnapshot};
+use crate::metrics::{BatchRecord, KindDropped, Metrics, MetricsSnapshot};
 use crate::policy::ExecPolicy;
-use crate::query::{BatchKey, IndexId, Query, QueryResult};
-use crate::trace::{EventKind, TraceRecorder, TraceSnapshot, NO_ID};
+use crate::query::{BatchKey, IndexId, OpKey, Query, QueryResult};
+use crate::slowlog::{PendingQuery, QueryRecord, ShardVisitRecord, SlowLog};
+use crate::trace::{EventKind, TraceContext, TraceRecorder, TraceSnapshot, NO_ID};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -114,6 +115,13 @@ pub struct ServiceConfig {
     /// metrics registry) exceeds `budget`, instead of stalling the caller
     /// on backpressure. `None` (the default) admits everything.
     pub admission_budget: Option<Duration>,
+    /// Slow-query flight-recorder ring capacity (committed records
+    /// retained; 0 disables tail sampling).
+    pub slow_log_capacity: usize,
+    /// Latency percentile whose rolling value arms the slow-log commit
+    /// threshold (queries slower than this percentile of the live
+    /// histogram are committed with full forensics).
+    pub slow_log_percentile: f64,
 }
 
 impl Default for ServiceConfig {
@@ -129,6 +137,8 @@ impl Default for ServiceConfig {
             policy: ExecPolicy::default(),
             trace_capacity: 8192,
             admission_budget: None,
+            slow_log_capacity: 256,
+            slow_log_percentile: 99.0,
         }
     }
 }
@@ -308,11 +318,13 @@ impl Drop for DepthGuard {
 }
 
 /// Payload riding each batched query: its ticket, submit time, trace query
-/// id, and the depth guard keeping the admission gauge honest.
+/// id, propagated trace context, and the depth guard keeping the admission
+/// gauge honest.
 struct Tag {
     ticket: Ticket,
     submitted: Instant,
     query: u64,
+    ctx: TraceContext,
     _depth: DepthGuard,
 }
 
@@ -326,7 +338,41 @@ struct Shared {
     indices: RwLock<Vec<Arc<dyn TreeIndex>>>,
     metrics: Metrics,
     trace: TraceRecorder,
+    slow_log: SlowLog,
     policy: ExecPolicy,
+}
+
+/// Stable operation tag for slow-log records.
+fn op_tag(op: OpKey) -> &'static str {
+    match op {
+        OpKey::Nn => "nn",
+        OpKey::Knn(_) => "knn",
+        OpKey::Pc(_) => "pc",
+    }
+}
+
+/// Registry snapshot with the trace recorder's and slow log's counters
+/// stitched in — the registry cannot see either, so every public snapshot
+/// path routes through here.
+fn stitched_snapshot(shared: &Shared) -> MetricsSnapshot {
+    let mut s = shared.metrics.snapshot();
+    s.trace_dropped = shared.trace.dropped();
+    s.trace_dropped_by_kind = shared
+        .trace
+        .dropped_by_kind()
+        .into_iter()
+        .map(|(kind, dropped)| KindDropped {
+            kind: kind.to_string(),
+            dropped,
+        })
+        .collect();
+    let sl = shared.slow_log.stats();
+    s.slow_log_committed = sl.committed;
+    s.slow_log_evicted = sl.evicted;
+    s.slow_log_pending = sl.pending;
+    s.slow_log_entries = sl.entries;
+    s.slow_log_threshold_us = sl.threshold_us;
+    s
 }
 
 /// Stable short tag for a rejection reason (trace `args.reason`).
@@ -365,6 +411,7 @@ impl Service {
             indices: RwLock::new(Vec::new()),
             metrics: Metrics::default(),
             trace: TraceRecorder::new(config.trace_capacity),
+            slow_log: SlowLog::new(config.slow_log_capacity, config.slow_log_percentile),
             policy: config.policy.clone(),
         });
         let (submit_tx, submit_rx) = bounded::<Submission>(config.queue_capacity.max(1));
@@ -526,19 +573,36 @@ impl Service {
     /// Submit a query. Blocks while the submission queue is full
     /// (backpressure); returns a [`Ticket`] that resolves to the result.
     pub fn submit(&self, query: Query) -> Result<Ticket, ServiceError> {
+        self.submit_traced(query, TraceContext::LOCAL)
+    }
+
+    /// [`Service::submit`] carrying a propagated trace context: every
+    /// lifecycle event the query produces is stamped with `ctx.trace_id`,
+    /// so a merged client+server Chrome trace joins across the wire. The
+    /// network front-end routes versioned `Submit`/`BatchSubmit` frames
+    /// here; in-process callers use [`Service::submit`]
+    /// (= [`TraceContext::LOCAL`]).
+    pub fn submit_traced(&self, query: Query, ctx: TraceContext) -> Result<Ticket, ServiceError> {
         let trace = &self.shared.trace;
         let qid = trace.next_query_id();
+        if !ctx.is_local() {
+            self.shared.metrics.on_propagated();
+        }
+        let submitted = Instant::now();
+        let submitted_us = trace.us_of(submitted);
+        let op = query.kind.op_key().map(op_tag).unwrap_or("invalid");
         let key = match self.validate(&query) {
             Ok(key) => key,
             Err(err) => {
-                trace.instant(
+                let reason = reject_reason(&err);
+                trace.instant_traced(
                     trace.now_us(),
                     qid,
                     NO_ID,
-                    EventKind::Reject {
-                        reason: reject_reason(&err),
-                    },
+                    ctx.trace_id,
+                    EventKind::Reject { reason },
                 );
+                self.slow_log_reject(qid, ctx, query.index, op, reason, submitted_us);
                 return Err(err);
             }
         };
@@ -549,10 +613,11 @@ impl Service {
             let depth = self.depth.load(Ordering::Relaxed).max(0) as u64;
             let predicted = self.shared.metrics.predicted_wait(depth);
             let accepted = predicted <= budget;
-            trace.instant(
+            trace.instant_traced(
                 trace.now_us(),
                 qid,
                 NO_ID,
+                ctx.trace_id,
                 EventKind::Admission {
                     accepted,
                     predicted_us: predicted.as_micros() as u64,
@@ -561,14 +626,16 @@ impl Service {
             );
             if !accepted {
                 self.shared.metrics.on_admission_reject();
-                trace.instant(
+                trace.instant_traced(
                     trace.now_us(),
                     qid,
                     NO_ID,
+                    ctx.trace_id,
                     EventKind::Reject {
                         reason: "overloaded",
                     },
                 );
+                self.slow_log_reject(qid, ctx, query.index, op, "overloaded", submitted_us);
                 return Err(ServiceError::Overloaded {
                     predicted_wait: predicted,
                     budget,
@@ -576,8 +643,14 @@ impl Service {
             }
         }
         let ticket = Ticket::new();
-        let submitted = Instant::now();
-        trace.instant(trace.us_of(submitted), qid, NO_ID, EventKind::Submit);
+        trace.instant_traced(submitted_us, qid, NO_ID, ctx.trace_id, EventKind::Submit);
+        self.shared.slow_log.admit(PendingQuery {
+            query: qid,
+            ctx,
+            index: query.index,
+            op,
+            submitted_us,
+        });
         let submission = Submission {
             key,
             pos: query.pos,
@@ -585,6 +658,7 @@ impl Service {
                 ticket: ticket.clone(),
                 submitted,
                 query: qid,
+                ctx,
                 _depth: DepthGuard::acquire(&self.depth),
             },
         };
@@ -594,14 +668,17 @@ impl Service {
                 Some(tx) => tx.clone(),
                 None => {
                     self.shared.metrics.on_reject();
-                    trace.instant(
+                    trace.instant_traced(
                         trace.now_us(),
                         qid,
                         NO_ID,
+                        ctx.trace_id,
                         EventKind::Reject {
                             reason: "shutting-down",
                         },
                     );
+                    self.shared.slow_log.finish(qid);
+                    self.slow_log_reject(qid, ctx, query.index, op, "shutting-down", submitted_us);
                     return Err(ServiceError::ShuttingDown);
                 }
             }
@@ -612,7 +689,7 @@ impl Service {
         // after-the-send Enqueue could land after its own Complete. On
         // the (shutdown-race) send failure the optimistic event stays in
         // the trace, followed by the Reject that tells the true outcome.
-        trace.instant(trace.now_us(), qid, NO_ID, EventKind::Enqueue);
+        trace.instant_traced(trace.now_us(), qid, NO_ID, ctx.trace_id, EventKind::Enqueue);
         match tx.send(submission) {
             Ok(()) => {
                 self.shared.metrics.on_submit();
@@ -620,17 +697,69 @@ impl Service {
             }
             Err(_) => {
                 self.shared.metrics.on_reject();
-                trace.instant(
+                trace.instant_traced(
                     trace.now_us(),
                     qid,
                     NO_ID,
+                    ctx.trace_id,
                     EventKind::Reject {
                         reason: "shutting-down",
                     },
                 );
+                self.shared.slow_log.finish(qid);
+                self.slow_log_reject(qid, ctx, query.index, op, "shutting-down", submitted_us);
                 Err(ServiceError::ShuttingDown)
             }
         }
+    }
+
+    /// Commit a rejected query to the flight recorder — rejects always
+    /// commit (a rejection at the tail is exactly what the operator is
+    /// hunting), with whatever detail exists before execution.
+    fn slow_log_reject(
+        &self,
+        qid: u64,
+        ctx: TraceContext,
+        index: IndexId,
+        op: &'static str,
+        reason: &'static str,
+        submitted_us: u64,
+    ) {
+        let sl = &self.shared.slow_log;
+        if sl.capacity() == 0 {
+            return;
+        }
+        let name = {
+            let indices = self
+                .shared
+                .indices
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            indices.get(index).map(|i| i.name().to_string())
+        };
+        let now = self.shared.trace.now_us();
+        sl.commit(QueryRecord {
+            query: qid,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            index: name.unwrap_or_else(|| format!("index-{index}")),
+            op,
+            outcome: "rejected",
+            reason: Some(reason),
+            backend: None,
+            batch: None,
+            submitted_us,
+            queue_wait_us: 0,
+            exec_us: 0,
+            latency_us: now.saturating_sub(submitted_us),
+            threshold_us: sl.stats().threshold_us,
+            node_visits: 0,
+            stack_bytes_peak: 0,
+            shards_pruned: 0,
+            shard_visits: Vec::new(),
+            epoch: None,
+            pending_deltas: None,
+        });
     }
 
     /// Submit and wait — convenience for sequential callers.
@@ -638,9 +767,21 @@ impl Service {
         self.submit(query)?.wait()
     }
 
-    /// Current metrics.
+    /// Current metrics (trace-drop and slow-log counters stitched in).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        stitched_snapshot(&self.shared)
+    }
+
+    /// The slow-query flight recorder.
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.shared.slow_log
+    }
+
+    /// The flight recorder's current contents as pretty JSON — what
+    /// `serve --slow-log FILE` writes and the `SlowLogQuery` net frame
+    /// returns.
+    pub fn slow_log_json(&self) -> String {
+        self.shared.slow_log.to_json()
     }
 
     /// The live metrics registry — front-ends (the TCP server) record
@@ -710,14 +851,17 @@ impl Service {
     /// the call resolves before this returns.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.drain();
-        self.shared.metrics.snapshot()
+        stitched_snapshot(&self.shared)
     }
 
     /// [`Service::shutdown`], also returning the final trace ring — the
     /// pair harness tools write to `--metrics-file`/`--trace-file`.
     pub fn shutdown_with_trace(mut self) -> (MetricsSnapshot, TraceSnapshot) {
         self.drain();
-        (self.shared.metrics.snapshot(), self.shared.trace.snapshot())
+        (
+            stitched_snapshot(&self.shared),
+            self.shared.trace.snapshot(),
+        )
     }
 
     fn drain(&mut self) {
@@ -837,7 +981,7 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
         };
         let positions: Vec<Vec<f32>> = entries.iter().map(|e| e.pos.clone()).collect();
         let index_name = index.as_ref().map(|i| i.name().to_string());
-        let outcome = match index {
+        let outcome = match &index {
             Some(index) => std::panic::catch_unwind(AssertUnwindSafe(|| {
                 index.run_batch(key.op, &positions, &shared.policy)
             }))
@@ -848,7 +992,7 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
         };
         let index_name = index_name.as_deref().unwrap_or("unknown");
         match outcome {
-            Ok(out) => {
+            Ok(mut out) => {
                 let queue_wait = entries
                     .iter()
                     .map(|e| dispatched.duration_since(e.tag.submitted))
@@ -900,16 +1044,72 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                         },
                     );
                 }
-                for (e, r) in entries.into_iter().zip(out.results) {
-                    shared
-                        .metrics
-                        .on_complete(index_name, done.duration_since(e.tag.submitted));
+                // Tail-sampling context shared by every entry of the batch:
+                // the rolling threshold, the epoch window, and the shard
+                // visit path (with per-shard prune counts).
+                let threshold_us = shared
+                    .metrics
+                    .slow_threshold_us(shared.slow_log.percentile());
+                let epoch_stats = index.as_ref().and_then(|i| i.epoch_stats());
+                let shard_visits: Vec<ShardVisitRecord> = out
+                    .shard_visits
+                    .iter()
+                    .map(|v| ShardVisitRecord {
+                        shard: v.shard,
+                        round: v.round,
+                        queries: v.queries,
+                        node_visits: v.node_visits,
+                        pruned: v.pruned,
+                    })
+                    .collect();
+                let results = std::mem::take(&mut out.results);
+                for (e, r) in entries.into_iter().zip(results) {
+                    let latency = done.duration_since(e.tag.submitted);
+                    shared.metrics.on_complete(
+                        index_name,
+                        latency,
+                        e.tag.query,
+                        e.tag.ctx.trace_id,
+                    );
+                    if let Some(pending) = shared.slow_log.finish(e.tag.query) {
+                        let latency_us = latency.as_micros() as u64;
+                        let (commit, outcome, threshold) =
+                            shared.slow_log.decide(latency_us, threshold_us);
+                        if commit {
+                            shared.slow_log.commit(QueryRecord {
+                                query: pending.query,
+                                trace_id: pending.ctx.trace_id,
+                                span_id: pending.ctx.span_id,
+                                index: index_name.to_string(),
+                                op: pending.op,
+                                outcome,
+                                reason: None,
+                                backend: Some(out.backend.name()),
+                                batch: Some(id),
+                                submitted_us: pending.submitted_us,
+                                queue_wait_us: dispatched
+                                    .duration_since(e.tag.submitted)
+                                    .as_micros()
+                                    as u64,
+                                exec_us: exec.as_micros() as u64,
+                                latency_us,
+                                threshold_us: threshold,
+                                node_visits: out.node_visits,
+                                stack_bytes_peak: out.stack_bytes_peak,
+                                shards_pruned: out.shards_pruned,
+                                shard_visits: shard_visits.clone(),
+                                epoch: epoch_stats.as_ref().map(|s| s.epoch),
+                                pending_deltas: epoch_stats.as_ref().map(|s| s.pending),
+                            });
+                        }
+                    }
                     let start_us = trace.us_of(e.tag.submitted);
-                    trace.span(
+                    trace.span_traced(
                         start_us,
                         done_us.saturating_sub(start_us),
                         e.tag.query,
                         id,
+                        e.tag.ctx.trace_id,
                         EventKind::Complete,
                     );
                     // Depth guard drops *before* the ticket resolves, so a
@@ -924,7 +1124,39 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                 let reason = reject_reason(&err);
                 let now_us = trace.now_us();
                 for e in entries {
-                    trace.instant(now_us, e.tag.query, id, EventKind::Reject { reason });
+                    trace.instant_traced(
+                        now_us,
+                        e.tag.query,
+                        id,
+                        e.tag.ctx.trace_id,
+                        EventKind::Reject { reason },
+                    );
+                    // Errored queries always commit to the flight recorder.
+                    if let Some(pending) = shared.slow_log.finish(e.tag.query) {
+                        shared.slow_log.commit(QueryRecord {
+                            query: pending.query,
+                            trace_id: pending.ctx.trace_id,
+                            span_id: pending.ctx.span_id,
+                            index: index_name.to_string(),
+                            op: pending.op,
+                            outcome: "rejected",
+                            reason: Some(reason),
+                            backend: None,
+                            batch: Some(id),
+                            submitted_us: pending.submitted_us,
+                            queue_wait_us: dispatched.duration_since(e.tag.submitted).as_micros()
+                                as u64,
+                            exec_us: 0,
+                            latency_us: now_us.saturating_sub(pending.submitted_us),
+                            threshold_us: shared.slow_log.stats().threshold_us,
+                            node_visits: 0,
+                            stack_bytes_peak: 0,
+                            shards_pruned: 0,
+                            shard_visits: Vec::new(),
+                            epoch: None,
+                            pending_deltas: None,
+                        });
+                    }
                     let Tag { ticket, _depth, .. } = e.tag;
                     drop(_depth);
                     ticket.resolve(Err(err.clone()));

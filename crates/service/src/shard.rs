@@ -711,9 +711,23 @@ pub(crate) struct StatAgg {
     stack_bytes_peak: u64,
     stack_transactions: u64,
     shard_visits: Vec<ShardVisit>,
+    pruned_pairs: Vec<(u32, u32, u32)>, // (shard, round, count)
 }
 
 impl StatAgg {
+    /// Attribute one pruned `(query, shard)` pair to `(shard, round)` so
+    /// [`Self::finish`] can fold it into the matching [`ShardVisit`].
+    pub(crate) fn note_pruned(&mut self, shard: u32, round: u32) {
+        match self
+            .pruned_pairs
+            .iter_mut()
+            .find(|e| e.0 == shard && e.1 == round)
+        {
+            Some(e) => e.2 += 1,
+            None => self.pruned_pairs.push((shard, round, 1)),
+        }
+    }
+
     pub(crate) fn add(&mut self, run: &SubRun) {
         let qs = run.queries as usize;
         self.shard_visits.push(ShardVisit {
@@ -721,6 +735,7 @@ impl StatAgg {
             round: run.round,
             queries: run.queries,
             node_visits: run.out.node_visits,
+            pruned: 0,
             model_ms: run.out.model_ms,
             offset_us: run.offset_us,
             dur_us: run.dur_us,
@@ -744,7 +759,16 @@ impl StatAgg {
         self.stack_transactions += run.out.stack_transactions;
     }
 
-    pub(crate) fn finish(self, results: Vec<QueryResult>, shards_pruned: u64) -> BatchOutcome {
+    pub(crate) fn finish(mut self, results: Vec<QueryResult>, shards_pruned: u64) -> BatchOutcome {
+        for visit in &mut self.shard_visits {
+            if let Some(e) = self
+                .pruned_pairs
+                .iter()
+                .find(|e| e.0 == visit.shard && e.1 == visit.round)
+            {
+                visit.pruned = e.2;
+            }
+        }
         // Report the backend that served the most queries (first wins on
         // ties — deterministic because the scan order is fixed).
         let majority = self
@@ -846,6 +870,7 @@ impl<const D: usize> ShardedIndex<D> {
                 let (lb, s) = order[round];
                 if self.prune && !acc[q].improvable(lb, r2) {
                     shards_pruned += 1;
+                    agg.note_pruned(s, round as u32);
                 } else {
                     groups[s as usize].push(q);
                 }
@@ -914,6 +939,7 @@ impl<const D: usize> ShardedIndex<D> {
                 let (lb, s) = order[0];
                 if self.prune && !acc[q].improvable(lb, r2) {
                     shards_pruned += 1;
+                    agg.note_pruned(s, 0);
                 } else {
                     groups[s as usize].push(q);
                 }
@@ -946,6 +972,7 @@ impl<const D: usize> ShardedIndex<D> {
                         chain.cover(&self.shards[s], &qpts[q]);
                     } else {
                         shards_pruned += 1;
+                        agg.note_pruned(s as u32, 1);
                     }
                 }
             }
@@ -1023,6 +1050,7 @@ impl<const D: usize> ShardedIndex<D> {
                         cursor[q] += 1;
                         if self.prune && !acc[q].improvable(lb, r2) {
                             shards_pruned += 1;
+                            agg.note_pruned(s, wave_no);
                         } else {
                             groups[s as usize].push(q);
                             break;

@@ -122,10 +122,123 @@ pub enum EventKind {
         /// Delta entries folded in.
         flushed: u32,
     },
+    /// A client-side phase span (`connect`, `encode`, `send`, `await`,
+    /// `decode`) recorded by [`gts_net::Client`]'s own recorder.
+    ClientSpan {
+        /// Stable phase tag.
+        name: &'static str,
+        /// Connection id on the client side (0 for a lone client).
+        conn: u64,
+    },
+    /// Chrome flow start (`ph:"s"`): a query wave leaves this process.
+    FlowOut {
+        /// Flow id — shared by the matching [`EventKind::FlowIn`] in the
+        /// peer process (request: `2*span`, response: `2*span+1`).
+        flow: u64,
+        /// Connection id (track the arrow emanates from).
+        conn: u64,
+        /// True when recorded by the client side (picks the client pid).
+        client: bool,
+    },
+    /// Chrome flow finish (`ph:"f"`): a query wave arrives here.
+    FlowIn {
+        /// Flow id matching the peer's [`EventKind::FlowOut`].
+        flow: u64,
+        /// Connection id (track the arrow lands on).
+        conn: u64,
+        /// True when recorded by the client side.
+        client: bool,
+    },
 }
+
+/// Number of [`EventKind`] variants (size of the per-kind drop counters).
+pub const KIND_COUNT: usize = 15;
+
+impl EventKind {
+    /// Stable short tag, used as the `kind` label on
+    /// `gts_trace_dropped_total` and in drop accounting.
+    pub fn name(&self) -> &'static str {
+        KIND_NAMES[self.slot()]
+    }
+
+    /// Dense index into the per-kind drop counters.
+    fn slot(&self) -> usize {
+        match self {
+            EventKind::Submit => 0,
+            EventKind::Enqueue => 1,
+            EventKind::Batch { .. } => 2,
+            EventKind::BackendChoice { .. } => 3,
+            EventKind::ShardVisit { .. } => 4,
+            EventKind::Complete => 5,
+            EventKind::Reject { .. } => 6,
+            EventKind::Accept { .. } => 7,
+            EventKind::FrameDecode { .. } => 8,
+            EventKind::Admission { .. } => 9,
+            EventKind::Mutate { .. } => 10,
+            EventKind::EpochMerge { .. } => 11,
+            EventKind::ClientSpan { .. } => 12,
+            EventKind::FlowOut { .. } => 13,
+            EventKind::FlowIn { .. } => 14,
+        }
+    }
+}
+
+/// Tag names indexed by [`EventKind::slot`].
+pub const KIND_NAMES: [&str; KIND_COUNT] = [
+    "submit",
+    "enqueue",
+    "batch",
+    "backend_choice",
+    "shard_visit",
+    "complete",
+    "reject",
+    "accept",
+    "frame_decode",
+    "admission",
+    "mutate",
+    "epoch_merge",
+    "client_span",
+    "flow_out",
+    "flow_in",
+];
 
 /// Marker for "no query/batch id" on events that lack one.
 pub const NO_ID: u64 = u64::MAX;
+
+/// Wire-propagated trace context: the client's per-connection trace id
+/// plus a per-frame span id. Carried by v2 `Submit`/`BatchSubmit` frames
+/// and stamped onto every server-side event a query leaves behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Per-connection trace id minted by the client (0 = no context:
+    /// the query was submitted in-process).
+    pub trace_id: u64,
+    /// Per-frame span id minted by the client (its batch counter).
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The in-process context: no propagated ids.
+    pub const LOCAL: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// True when no client context was propagated.
+    pub fn is_local(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// Chrome flow id of the client → server direction for this frame.
+    pub fn request_flow(&self) -> u64 {
+        self.span_id * 2
+    }
+
+    /// Chrome flow id of the server → client direction for this frame.
+    pub fn response_flow(&self) -> u64 {
+        self.span_id * 2 + 1
+    }
+}
 
 /// One recorded lifecycle event.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +253,8 @@ pub struct TraceEvent {
     pub query: u64,
     /// Batch id, or [`NO_ID`].
     pub batch: u64,
+    /// Propagated client trace id (0 = minted locally, no wire context).
+    pub trace: u64,
     /// Event payload.
     pub kind: EventKind,
 }
@@ -150,6 +265,8 @@ struct Ring {
     head: usize,
     next_seq: u64,
     dropped: u64,
+    /// Wraparound drops broken out by [`EventKind::slot`].
+    dropped_by_kind: [u64; KIND_COUNT],
 }
 
 /// Fixed-capacity recorder of [`TraceEvent`]s. Capacity 0 disables
@@ -157,6 +274,9 @@ struct Ring {
 #[derive(Debug)]
 pub struct TraceRecorder {
     epoch: Instant,
+    /// Wall-clock microseconds (UNIX epoch) at recorder creation — the
+    /// anchor that lets two processes' traces merge onto one timeline.
+    wall_epoch_us: u64,
     capacity: usize,
     next_query: AtomicU64,
     next_batch: AtomicU64,
@@ -177,6 +297,10 @@ impl TraceRecorder {
     pub fn new(capacity: usize) -> Self {
         TraceRecorder {
             epoch: Instant::now(),
+            wall_epoch_us: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0),
             capacity,
             next_query: AtomicU64::new(0),
             next_batch: AtomicU64::new(0),
@@ -185,6 +309,7 @@ impl TraceRecorder {
                 head: 0,
                 next_seq: 0,
                 dropped: 0,
+                dropped_by_kind: [0; KIND_COUNT],
             }),
         }
     }
@@ -192,6 +317,13 @@ impl TraceRecorder {
     /// Maximum events retained.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Wall-clock microseconds (UNIX epoch) corresponding to `ts_us == 0`
+    /// on this recorder's timeline. Two recorders' events align by
+    /// shifting each side's `ts` by its anchor.
+    pub fn wall_epoch_us(&self) -> u64 {
+        self.wall_epoch_us
     }
 
     /// Allocate the next query id.
@@ -217,15 +349,33 @@ impl TraceRecorder {
 
     /// Record an instant event at `ts_us`.
     pub fn instant(&self, ts_us: u64, query: u64, batch: u64, kind: EventKind) {
-        self.push(ts_us, 0, query, batch, kind);
+        self.push(ts_us, 0, query, batch, 0, kind);
     }
 
     /// Record a span `[ts_us, ts_us + dur_us]`.
     pub fn span(&self, ts_us: u64, dur_us: u64, query: u64, batch: u64, kind: EventKind) {
-        self.push(ts_us, dur_us, query, batch, kind);
+        self.push(ts_us, dur_us, query, batch, 0, kind);
     }
 
-    fn push(&self, ts_us: u64, dur_us: u64, query: u64, batch: u64, kind: EventKind) {
+    /// [`TraceRecorder::instant`] stamped with a propagated trace id.
+    pub fn instant_traced(&self, ts_us: u64, query: u64, batch: u64, trace: u64, kind: EventKind) {
+        self.push(ts_us, 0, query, batch, trace, kind);
+    }
+
+    /// [`TraceRecorder::span`] stamped with a propagated trace id.
+    pub fn span_traced(
+        &self,
+        ts_us: u64,
+        dur_us: u64,
+        query: u64,
+        batch: u64,
+        trace: u64,
+        kind: EventKind,
+    ) {
+        self.push(ts_us, dur_us, query, batch, trace, kind);
+    }
+
+    fn push(&self, ts_us: u64, dur_us: u64, query: u64, batch: u64, trace: u64, kind: EventKind) {
         if self.capacity == 0 {
             return;
         }
@@ -238,18 +388,39 @@ impl TraceRecorder {
             dur_us,
             query,
             batch,
+            trace,
             kind,
         };
         if ring.buf.len() < self.capacity {
             ring.buf.push(ev);
         } else {
             // Overwrite the oldest slot; head advances so the ring stays
-            // seq-ordered starting at `head`.
+            // seq-ordered starting at `head`. The evicted event's kind is
+            // what got dropped — account it, never silently.
             let head = ring.head;
+            let slot = ring.buf[head].kind.slot();
             ring.buf[head] = ev;
             ring.head = (head + 1) % self.capacity;
             ring.dropped += 1;
+            ring.dropped_by_kind[slot] += 1;
         }
+    }
+
+    /// Total events discarded by ring wraparound so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// Wraparound drops broken out per event kind: `(kind tag, count)`
+    /// for every kind that lost at least one event.
+    pub fn dropped_by_kind(&self) -> Vec<(&'static str, u64)> {
+        let ring = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        KIND_NAMES
+            .iter()
+            .zip(ring.dropped_by_kind.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(&name, &c)| (name, c))
+            .collect()
     }
 
     /// Events currently retained.
@@ -297,6 +468,12 @@ impl TraceRecorder {
         TraceSnapshot {
             events,
             dropped: ring.dropped,
+            dropped_by_kind: KIND_NAMES
+                .iter()
+                .zip(ring.dropped_by_kind.iter())
+                .filter(|(_, &c)| c > 0)
+                .map(|(&name, &c)| (name, c))
+                .collect(),
         }
     }
 }
@@ -309,6 +486,9 @@ pub struct TraceSnapshot {
     pub events: Vec<TraceEvent>,
     /// Events discarded by ring wraparound.
     pub dropped: u64,
+    /// Wraparound drops per event kind (`(kind tag, count)`, nonzero
+    /// entries only).
+    pub dropped_by_kind: Vec<(&'static str, u64)>,
 }
 
 impl TraceSnapshot {
@@ -361,11 +541,47 @@ impl TraceSnapshot {
     }
 }
 
+/// Merge a client-side snapshot onto a server snapshot's timeline.
+///
+/// `shift_us` is the client → server clock offset: the server's
+/// [`TraceRecorder::wall_epoch_us`] (carried by its v2 `Hello`) minus the
+/// client recorder's own anchor. Client timestamps are shifted by it so
+/// both processes share one timebase; events are re-sorted by timestamp
+/// and the result renders as a single Chrome trace where the client's
+/// `FlowOut`/`FlowIn` endpoints pair with the server's by flow id.
+pub fn merge_snapshots(
+    server: TraceSnapshot,
+    client: TraceSnapshot,
+    shift_us: i64,
+) -> TraceSnapshot {
+    let mut events = server.events;
+    events.extend(client.events.into_iter().map(|mut ev| {
+        ev.ts_us = (ev.ts_us as i64).saturating_add(shift_us).max(0) as u64;
+        ev
+    }));
+    events.sort_by_key(|e| e.ts_us);
+    let mut dropped_by_kind = server.dropped_by_kind;
+    for (kind, n) in client.dropped_by_kind {
+        match dropped_by_kind.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, total)) => *total += n,
+            None => dropped_by_kind.push((kind, n)),
+        }
+    }
+    TraceSnapshot {
+        events,
+        dropped: server.dropped + client.dropped,
+        dropped_by_kind,
+    }
+}
+
 const BATCH_PID: u64 = 1;
 const QUERY_PID: u64 = 2;
 const SHARD_PID: u64 = 3;
 const NET_PID: u64 = 4;
 const EPOCH_PID: u64 = 5;
+/// Track for client-side spans and flow endpoints (a merged two-process
+/// trace keeps client and server tracks apart by pid).
+const CLIENT_PID: u64 = 6;
 
 fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
     // All names and reason tags are static identifiers — no JSON string
@@ -383,6 +599,19 @@ fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
         EventKind::Admission { .. } => ("admission", "i", NET_PID, 0),
         EventKind::Mutate { .. } => ("mutate", "i", EPOCH_PID, 0),
         EventKind::EpochMerge { epoch, .. } => ("epoch_merge", "X", EPOCH_PID, *epoch),
+        EventKind::ClientSpan { name, conn } => (name, "X", CLIENT_PID, *conn),
+        EventKind::FlowOut { conn, client, .. } => (
+            "flow",
+            "s",
+            if *client { CLIENT_PID } else { NET_PID },
+            *conn,
+        ),
+        EventKind::FlowIn { conn, client, .. } => (
+            "flow",
+            "f",
+            if *client { CLIENT_PID } else { NET_PID },
+            *conn,
+        ),
     };
     out.push_str(&format!(
         "{{\"name\":\"{name}\",\"cat\":\"gts\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{pid},\"tid\":{tid}",
@@ -395,8 +624,18 @@ fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
         // Thread-scoped instant: renders as a tick on its own track.
         out.push_str(",\"s\":\"t\"");
     }
+    match &ev.kind {
+        // Flow events bind to their peer by (cat, name, id); "bp":"e"
+        // attaches the arrowhead to the enclosing slice.
+        EventKind::FlowOut { flow, .. } => out.push_str(&format!(",\"id\":{flow}")),
+        EventKind::FlowIn { flow, .. } => out.push_str(&format!(",\"id\":{flow},\"bp\":\"e\"")),
+        _ => {}
+    }
     out.push_str(",\"args\":{");
     out.push_str(&format!("\"seq\":{}", ev.seq));
+    if ev.trace != 0 {
+        out.push_str(&format!(",\"trace\":{}", ev.trace));
+    }
     if ev.query != NO_ID {
         out.push_str(&format!(",\"query\":{}", ev.query));
     }
@@ -472,6 +711,12 @@ fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
                 ",\"epoch\":{epoch},\"rebuilt\":{rebuilt},\"flushed\":{flushed}"
             ));
         }
+        EventKind::ClientSpan { conn, .. } => {
+            out.push_str(&format!(",\"conn\":{conn}"));
+        }
+        EventKind::FlowOut { flow, conn, .. } | EventKind::FlowIn { flow, conn, .. } => {
+            out.push_str(&format!(",\"flow\":{flow},\"conn\":{conn}"));
+        }
         EventKind::Submit | EventKind::Enqueue | EventKind::Complete => {}
     }
     out.push_str("}}");
@@ -496,6 +741,7 @@ pub struct TraceStream {
     cursor: u64,
     events_written: u64,
     missed: u64,
+    dropped: u64,
 }
 
 /// Final accounting of a [`TraceStream`].
@@ -505,6 +751,9 @@ pub struct TraceStreamStats {
     pub events_written: u64,
     /// Events the ring evicted before a drain reached them.
     pub missed: u64,
+    /// Events the ring dropped by wraparound over the whole run (the
+    /// recorder-side total; `missed` is the subset the sink never saw).
+    pub dropped: u64,
 }
 
 /// Byte length of the always-present stream tail (`\n]\n`).
@@ -532,6 +781,7 @@ impl TraceStream {
             cursor: 0,
             events_written: 0,
             missed: 0,
+            dropped: 0,
         })
     }
 
@@ -579,6 +829,7 @@ impl TraceStream {
     pub fn finish(mut self, recorder: &TraceRecorder) -> std::io::Result<TraceStreamStats> {
         let (events, missed) = recorder.events_since(self.cursor);
         self.append(&events, missed)?;
+        self.dropped = recorder.dropped();
         self.seal()
     }
 
@@ -602,6 +853,7 @@ impl TraceStream {
             .cloned()
             .collect();
         self.append(&tail, missed)?;
+        self.dropped = snap.dropped;
         self.seal()
     }
 
@@ -614,6 +866,7 @@ impl TraceStream {
         Ok(TraceStreamStats {
             events_written: self.events_written,
             missed: self.missed,
+            dropped: self.dropped,
         })
     }
 }
@@ -897,6 +1150,99 @@ mod tests {
         assert!(json.contains("\"accepted\":false"));
         assert!(json.contains("\"predicted_us\":1500"));
         assert!(json.contains("\"pid\":4"), "net events on the net pid");
+    }
+
+    #[test]
+    fn wraparound_drops_are_counted_per_kind() {
+        let rec = TraceRecorder::new(4);
+        // 6 submits then 4 enqueues through a 4-slot ring: the submits
+        // evict 2 of their own, then the enqueues evict the 4 survivors —
+        // all 6 drops are submits.
+        for q in 0..6 {
+            rec.instant(q, q, NO_ID, EventKind::Submit);
+        }
+        for q in 0..4 {
+            rec.instant(10 + q, q, NO_ID, EventKind::Enqueue);
+        }
+        assert_eq!(rec.dropped(), 6);
+        let by_kind = rec.dropped_by_kind();
+        assert_eq!(by_kind, vec![("submit", 6)]);
+        let snap = rec.snapshot();
+        assert_eq!(snap.dropped, 6);
+        assert_eq!(snap.dropped_by_kind, vec![("submit", 6)]);
+        // Now drop an enqueue too: both kinds appear, in slot order.
+        rec.instant(20, 9, NO_ID, EventKind::Complete);
+        assert_eq!(rec.dropped_by_kind(), vec![("submit", 6), ("enqueue", 1)],);
+    }
+
+    #[test]
+    fn flow_events_render_as_matched_chrome_pairs() {
+        let rec = TraceRecorder::new(16);
+        rec.span_traced(
+            5,
+            10,
+            NO_ID,
+            7,
+            0xabc,
+            EventKind::ClientSpan {
+                name: "send",
+                conn: 1,
+            },
+        );
+        rec.instant_traced(
+            15,
+            NO_ID,
+            7,
+            0xabc,
+            EventKind::FlowOut {
+                flow: 14,
+                conn: 1,
+                client: true,
+            },
+        );
+        rec.instant_traced(
+            40,
+            NO_ID,
+            7,
+            0xabc,
+            EventKind::FlowIn {
+                flow: 14,
+                conn: 3,
+                client: false,
+            },
+        );
+        let json = rec.snapshot().to_chrome_json();
+        let v: serde::Value = serde_json::from_str(&json).expect("flow trace parses");
+        assert!(matches!(v, serde::Value::Array(_)));
+        // One "s" and one "f" event sharing the flow id, plus the trace id
+        // stamped into args on every event.
+        assert!(
+            json.contains("\"ph\":\"s\",") && json.contains("\"id\":14"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"ph\":\"f\",") && json.contains("\"bp\":\"e\""),
+            "{json}"
+        );
+        assert_eq!(json.matches("\"trace\":2748").count(), 3, "{json}");
+        // The client endpoint renders on the client pid, the server
+        // endpoint on the net pid.
+        assert!(json.contains("\"ph\":\"s\",\"ts\":15,\"pid\":6"), "{json}");
+        assert!(json.contains("\"ph\":\"f\",\"ts\":40,\"pid\":4"), "{json}");
+        assert!(json.contains("\"name\":\"send\""), "{json}");
+    }
+
+    #[test]
+    fn wall_epoch_anchors_are_sane() {
+        let a = TraceRecorder::new(1);
+        let b = TraceRecorder::new(1);
+        // Both anchors are real wall-clock times taken moments apart.
+        assert!(
+            a.wall_epoch_us() > 1_500_000_000_000_000,
+            "post-2017 wall clock"
+        );
+        assert!(b.wall_epoch_us() >= a.wall_epoch_us());
+        assert!(b.wall_epoch_us() - a.wall_epoch_us() < 10_000_000);
     }
 
     #[test]

@@ -73,10 +73,10 @@ fn sustained_load_keeps_trace_and_metrics_bounded() {
     // first completion for an index allocates its per-index series, after
     // which the footprint is flat no matter the sample count.
     let m = Metrics::default();
-    m.on_complete("t", Duration::from_micros(123));
+    m.on_complete("t", Duration::from_micros(123), 1, 0);
     let before = m.approx_bytes();
     for _ in 0..5_000 {
-        m.on_complete("t", Duration::from_micros(123));
+        m.on_complete("t", Duration::from_micros(123), 1, 0);
     }
     assert_eq!(m.approx_bytes(), before);
 }
@@ -153,6 +153,122 @@ fn per_query_lifecycle_stays_ordered_in_service_trace() {
     for (q, ranks) in per_query {
         assert_eq!(ranks, vec![0, 1, 2], "query {q} lifecycle broken");
     }
+}
+
+#[test]
+fn events_since_cursor_survives_ring_wraparound() {
+    use gts_service::TraceRecorder;
+    let rec = TraceRecorder::new(8);
+    for i in 0..4 {
+        rec.instant(i, i, 0, EventKind::Submit);
+    }
+    let (evs, missed) = rec.events_since(0);
+    assert_eq!(missed, 0);
+    assert_eq!(evs.len(), 4);
+    let mut cursor = evs.last().unwrap().seq + 1;
+
+    // Push far past capacity: the incremental feed resumes at the oldest
+    // retained event and reports exactly how many it lost in between.
+    for i in 0..20 {
+        rec.instant(100 + i, i, 0, EventKind::Enqueue);
+    }
+    let (evs, missed) = rec.events_since(cursor);
+    assert_eq!(evs.len(), 8, "only the ring's capacity is retained");
+    for pair in evs.windows(2) {
+        assert_eq!(pair[0].seq + 1, pair[1].seq, "feed has a gap or repeat");
+    }
+    assert_eq!(missed, evs[0].seq - cursor);
+    assert_eq!(
+        evs.len() as u64 + missed,
+        20,
+        "seen + missed accounts for every event since the cursor"
+    );
+    let by_kind: u64 = rec.dropped_by_kind().iter().map(|(_, c)| c).sum();
+    assert_eq!(by_kind, rec.dropped(), "per-kind drops sum to the total");
+
+    // A drained ring yields nothing and misses nothing.
+    cursor = evs.last().unwrap().seq + 1;
+    let (evs, missed) = rec.events_since(cursor);
+    assert!(evs.is_empty());
+    assert_eq!(missed, 0);
+}
+
+#[test]
+fn flow_ids_pair_client_and_server_recorders() {
+    use gts_service::{merge_snapshots, TraceContext, TraceRecorder};
+    // Two independent processes' recorders, linked only by the context
+    // the wire carried: the request flow (span_id*2) travels client →
+    // server, the response flow (span_id*2+1) travels back.
+    let client = TraceRecorder::new(64);
+    let server = TraceRecorder::new(64);
+    let ctx = TraceContext {
+        trace_id: 0xBEEF,
+        span_id: 7,
+    };
+    assert_ne!(ctx.request_flow(), ctx.response_flow());
+    let flow_out = |flow, is_client| EventKind::FlowOut {
+        flow,
+        conn: 3,
+        client: is_client,
+    };
+    let flow_in = |flow, is_client| EventKind::FlowIn {
+        flow,
+        conn: 3,
+        client: is_client,
+    };
+    client.instant_traced(10, 1, 0, ctx.trace_id, flow_out(ctx.request_flow(), true));
+    server.instant_traced(
+        1000,
+        42,
+        0,
+        ctx.trace_id,
+        flow_in(ctx.request_flow(), false),
+    );
+    server.instant_traced(
+        1500,
+        42,
+        0,
+        ctx.trace_id,
+        flow_out(ctx.response_flow(), false),
+    );
+    client.instant_traced(900, 1, 0, ctx.trace_id, flow_in(ctx.response_flow(), true));
+
+    // Merge the client's timeline onto the server's (client wall clock
+    // runs 990 µs behind here) — timestamps come out globally ordered.
+    let merged = merge_snapshots(server.snapshot(), client.snapshot(), 990);
+    assert_eq!(merged.events.len(), 4);
+    for pair in merged.events.windows(2) {
+        assert!(pair[0].ts_us <= pair[1].ts_us, "merge left ts unsorted");
+    }
+
+    // Every outbound flow half must find its inbound partner on the
+    // opposite side with the same flow id.
+    let mut outs = Vec::new();
+    let mut ins = Vec::new();
+    for e in &merged.events {
+        match e.kind {
+            EventKind::FlowOut { flow, client, .. } => outs.push((flow, client)),
+            EventKind::FlowIn { flow, client, .. } => ins.push((flow, client)),
+            _ => {}
+        }
+    }
+    assert_eq!(outs.len(), 2);
+    for (flow, from_client) in outs {
+        assert!(
+            ins.contains(&(flow, !from_client)),
+            "flow {flow} has no partner on the other side"
+        );
+    }
+
+    // The Chrome export carries both flow ids as s/f pairs Perfetto can
+    // join, with the enclosing-slice binding point on the finish half.
+    let json = merged.to_chrome_json();
+    assert!(json.contains(&format!("\"id\":{}", ctx.request_flow())));
+    assert!(json.contains(&format!("\"id\":{}", ctx.response_flow())));
+    assert!(json.contains("\"ph\":\"s\""));
+    assert!(json.contains("\"ph\":\"f\""));
+    assert!(json.contains("\"bp\":\"e\""));
+    serde_json::from_str::<serde_json::Value>(&json).expect("merged trace JSON parses");
 }
 
 #[test]
