@@ -1,0 +1,465 @@
+//! The fused multi-op point benchmark: one kd-tree walk answering NN, kNN
+//! and point-correlation for the same query position (Sakka et al.'s
+//! traversal fusion, applied to the paper's three point kernels).
+//!
+//! The composition is built from [`gts_runtime::FusedKernel`]'s generic
+//! union-admission combinator:
+//!
+//! * **NN** keeps its own `(best_d2, best_idx)` register pair with the
+//!   distinct-position rule (`d2 > 0`). A k-best heap cannot subsume it in
+//!   general — zero-distance duplicates of the query could fill the heap
+//!   and evict the nearest *distinct* point — so the register pair stays.
+//! * **kNN** carries one [`KBest`] sized to the *largest* k requested at
+//!   the lane. Smaller k answers are prefixes of the heap: `KBest(j)` holds
+//!   exactly the j smallest offers under `(d2, arrival)` order, so the
+//!   first j entries of the k_max heap are bit-identical to a solo
+//!   `KBest(j)` run (pinned in `kbest`'s tests).
+//! * **PC** generalizes to [`MultiPcPoint`]: per-lane radius slots (the
+//!   lane may serve several PC radii at once), counted in one pass per
+//!   leaf point, admitted under the largest slot radius.
+//!
+//! A lane opts out of a constituent with *inert* state — `best_d2 = -inf`
+//! for NN, [`KBest::inactive`] for kNN, zero slots for PC — which
+//! truncates that constituent everywhere and never widens the union prune
+//! bound. Each constituent's answer is bit-identical to its unfused
+//! kernel: extra union-visited nodes satisfy `lb > bound_op` and the box
+//! lower bound only grows along a descent while the op bound only shrinks,
+//! so a truncated constituent stays truncated below (the
+//! `NnAabbKernel`-vs-`NnKernel` argument, per constituent).
+
+use gts_runtime::{
+    Child, ChildBuf, FusedKernel, FusedPoint, FusedWaldKernel, TraversalKernel, VisitOutcome,
+    WaldKernel,
+};
+use gts_trees::layout::NodeBytes;
+use gts_trees::{Aabb, KdTree, LbKdTree, NodeId, PointN};
+
+use crate::kbest::KBest;
+use crate::knn::{KnnKernel, KnnPoint};
+use crate::nn::{NnAabbKernel, NnPoint};
+use crate::wald::{WaldKnnKernel, WaldNnKernel};
+
+/// One point-correlation radius served by a fused lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcSlot {
+    /// Squared radius (computed as `radius * radius`, matching
+    /// [`crate::pc::PcKernel`] bit-for-bit).
+    pub radius2: f32,
+    /// Points found within this radius so far.
+    pub count: u32,
+}
+
+/// Traversal state of the multi-radius PC constituent: like
+/// [`crate::pc::PcPoint`] but with the radii per lane instead of per
+/// kernel, so one fused batch can mix different radii (and lanes that
+/// asked for no PC at all).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPcPoint<const D: usize> {
+    /// Query position.
+    pub pos: PointN<D>,
+    /// Union admission bound: the largest slot radius², or `-inf` when the
+    /// lane has no PC slots (inert — prunes everywhere).
+    pub max_r2: f32,
+    /// The radius slots, in the order given at construction.
+    pub slots: Vec<PcSlot>,
+}
+
+impl<const D: usize> MultiPcPoint<D> {
+    /// Fresh lane at `pos` counting within each of `radii`.
+    ///
+    /// # Panics
+    /// Panics on a radius that is not a finite non-negative number.
+    pub fn new(pos: PointN<D>, radii: &[f32]) -> Self {
+        let slots: Vec<PcSlot> = radii
+            .iter()
+            .map(|&radius| {
+                assert!(radius >= 0.0 && radius.is_finite(), "bad radius {radius}");
+                PcSlot {
+                    radius2: radius * radius,
+                    count: 0,
+                }
+            })
+            .collect();
+        let max_r2 = slots
+            .iter()
+            .map(|s| s.radius2)
+            .fold(f32::NEG_INFINITY, f32::max);
+        MultiPcPoint { pos, max_r2, slots }
+    }
+}
+
+/// Multi-radius point correlation over the pointer kd-tree (the rope-stack
+/// and skip-walk shape of the PC constituent).
+pub struct MultiPcKernel<'t, const D: usize> {
+    tree: &'t KdTree<D>,
+    depth: usize,
+}
+
+impl<'t, const D: usize> MultiPcKernel<'t, D> {
+    /// Kernel over `tree`; the radii live in each lane's slots.
+    pub fn new(tree: &'t KdTree<D>) -> Self {
+        MultiPcKernel {
+            tree,
+            depth: tree.depth(),
+        }
+    }
+}
+
+impl<const D: usize> TraversalKernel for MultiPcKernel<'_, D> {
+    type Point = MultiPcPoint<D>;
+    type Args = ();
+    const MAX_KIDS: usize = 2;
+    const CALL_SETS: usize = 1;
+
+    fn n_nodes(&self) -> usize {
+        self.tree.n_nodes()
+    }
+    fn is_leaf(&self, node: NodeId) -> bool {
+        self.tree.is_leaf(node)
+    }
+    fn leaf_range(&self, node: NodeId) -> Option<(u32, u32)> {
+        self.tree.is_leaf(node).then(|| {
+            (
+                self.tree.first[node as usize],
+                self.tree.count[node as usize],
+            )
+        })
+    }
+    fn node_bytes(&self) -> NodeBytes {
+        NodeBytes::kd(D)
+    }
+    fn max_depth(&self) -> usize {
+        self.depth
+    }
+    fn root_args(&self) {}
+
+    fn visit(
+        &self,
+        p: &mut MultiPcPoint<D>,
+        node: NodeId,
+        _args: (),
+        _forced: Option<usize>,
+        kids: &mut ChildBuf<()>,
+    ) -> VisitOutcome {
+        let b = Aabb {
+            lo: self.tree.bbox_lo[node as usize],
+            hi: self.tree.bbox_hi[node as usize],
+        };
+        // `can_correlate` under the union of the lane's radii. An inert
+        // lane carries `max_r2 = -inf`, so this truncates everywhere;
+        // neither side is ever NaN.
+        if b.dist2_to(&p.pos) > p.max_r2 {
+            return VisitOutcome::Truncated;
+        }
+        if self.tree.is_leaf(node) {
+            for q in self.tree.leaf_points(node) {
+                let d2 = q.dist2(&p.pos);
+                for slot in &mut p.slots {
+                    if d2 <= slot.radius2 {
+                        slot.count += 1;
+                    }
+                }
+            }
+            return VisitOutcome::Leaf;
+        }
+        kids.push(Child {
+            node: self.tree.left(node),
+            args: (),
+        });
+        kids.push(Child {
+            node: self.tree.right[node as usize],
+            args: (),
+        });
+        VisitOutcome::Descended { call_set: 0 }
+    }
+}
+
+/// Multi-radius point correlation over the left-balanced implicit tree.
+pub struct WaldMultiPcKernel<'t, const D: usize> {
+    tree: &'t LbKdTree<D>,
+}
+
+impl<'t, const D: usize> WaldMultiPcKernel<'t, D> {
+    /// Kernel over `tree`; the radii live in each lane's slots.
+    pub fn new(tree: &'t LbKdTree<D>) -> Self {
+        WaldMultiPcKernel { tree }
+    }
+}
+
+impl<const D: usize> WaldKernel for WaldMultiPcKernel<'_, D> {
+    type Point = MultiPcPoint<D>;
+
+    fn n_nodes(&self) -> usize {
+        self.tree.n_nodes()
+    }
+    fn axis(&self, node: NodeId) -> usize {
+        self.tree.split_dim[node as usize] as usize
+    }
+    fn split(&self, node: NodeId) -> f32 {
+        self.tree.points[node as usize][self.axis(node)]
+    }
+    fn coord(&self, p: &MultiPcPoint<D>, axis: usize) -> f32 {
+        p.pos[axis]
+    }
+    fn process(&self, p: &mut MultiPcPoint<D>, node: NodeId) {
+        let d2 = self.tree.points[node as usize].dist2(&p.pos);
+        for slot in &mut p.slots {
+            if d2 <= slot.radius2 {
+                slot.count += 1;
+            }
+        }
+    }
+    fn cull_d2(&self, p: &MultiPcPoint<D>) -> f32 {
+        p.max_r2
+    }
+    fn node_bytes(&self) -> NodeBytes {
+        NodeBytes {
+            hot: (D as u64) * 4,
+            cold: 0,
+            leaf_elem: (D as u64) * 4,
+        }
+    }
+}
+
+/// Per-lane state of the full NN + kNN + PC fusion.
+pub type FusedOpsPoint<const D: usize> =
+    FusedPoint<NnPoint<D>, FusedPoint<KnnPoint<D>, MultiPcPoint<D>>>;
+
+/// The NN + kNN + PC fusion over the pointer kd-tree. Box pruning
+/// everywhere (`Args = ()`), so one kernel rides the rope-stack executors
+/// *and* the stackless skip walk.
+pub type FusedOpsKernel<'t, const D: usize> =
+    FusedKernel<NnAabbKernel<'t, D>, FusedKernel<KnnKernel<'t, D>, MultiPcKernel<'t, D>>>;
+
+/// The NN + kNN + PC fusion over the left-balanced implicit tree.
+pub type FusedOpsWaldKernel<'t, const D: usize> = FusedWaldKernel<
+    WaldNnKernel<'t, D>,
+    FusedWaldKernel<WaldKnnKernel<'t, D>, WaldMultiPcKernel<'t, D>>,
+>;
+
+/// Build the fused NN + kNN + PC kernel over `tree`.
+pub fn fused_ops_kernel<const D: usize>(tree: &KdTree<D>) -> FusedOpsKernel<'_, D> {
+    FusedKernel::new(
+        NnAabbKernel::new(tree),
+        FusedKernel::new(KnnKernel::new(tree), MultiPcKernel::new(tree)),
+    )
+}
+
+/// Build the fused NN + kNN + PC kernel over the left-balanced mirror.
+pub fn fused_ops_wald_kernel<const D: usize>(lb: &LbKdTree<D>) -> FusedOpsWaldKernel<'_, D> {
+    FusedWaldKernel::new(
+        WaldNnKernel::new(lb),
+        FusedWaldKernel::new(WaldKnnKernel::new(lb), WaldMultiPcKernel::new(lb)),
+    )
+}
+
+/// Build one fused lane at `pos`: NN state iff `nn`, a kNN heap of
+/// capacity `knn_k` (pass the largest k the lane serves; `None` for no
+/// kNN), and one PC slot per radius (empty slice for no PC). Constituents
+/// the lane does not ask for are inert — they never update and never
+/// widen the union prune bound.
+pub fn fused_ops_point<const D: usize>(
+    pos: PointN<D>,
+    nn: bool,
+    knn_k: Option<usize>,
+    pc_radii: &[f32],
+) -> FusedOpsPoint<D> {
+    let nn_state = if nn {
+        NnPoint::new(pos)
+    } else {
+        NnPoint {
+            pos,
+            best_d2: f32::NEG_INFINITY,
+            best_idx: u32::MAX,
+        }
+    };
+    let knn_state = KnnPoint {
+        pos,
+        best: match knn_k {
+            Some(k) => KBest::new(k),
+            None => KBest::inactive(),
+        },
+    };
+    FusedPoint::new(
+        nn_state,
+        FusedPoint::new(knn_state, MultiPcPoint::new(pos, pc_radii)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnPoint;
+    use crate::nn::NnKernel;
+    use crate::pc::{PcKernel, PcPoint};
+    use gts_points::gen::uniform;
+    use gts_runtime::gpu::{autoropes, lockstep, stackless, GpuConfig};
+    use gts_trees::SplitPolicy;
+
+    fn setup(n: usize, seed: u64) -> (Vec<PointN<3>>, KdTree<3>, LbKdTree<3>) {
+        let pts = uniform::<3>(n, seed);
+        let tree = KdTree::build(&pts, 8, SplitPolicy::MedianCycle);
+        let lb = LbKdTree::build(&tree.points);
+        (pts, tree, lb)
+    }
+
+    #[test]
+    fn multi_pc_slots_match_single_radius_kernels_bitwise() {
+        let (pts, tree, _) = setup(200, 71);
+        let radii = [0.1f32, 0.3, 0.6];
+        let multi = MultiPcKernel::new(&tree);
+        let cfg = GpuConfig::default();
+        let mut lanes: Vec<MultiPcPoint<3>> =
+            pts.iter().map(|&p| MultiPcPoint::new(p, &radii)).collect();
+        autoropes::run(&multi, &mut lanes, &cfg);
+        for (slot_i, &radius) in radii.iter().enumerate() {
+            let single = PcKernel::new(&tree, radius);
+            let mut solo: Vec<PcPoint<3>> = pts.iter().map(|&p| PcPoint::new(p)).collect();
+            autoropes::run(&single, &mut solo, &cfg);
+            for (lane, s) in lanes.iter().zip(&solo) {
+                assert_eq!(lane.slots[slot_i].count, s.count, "radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_ops_match_solo_kernels_bitwise_on_every_executor() {
+        let (pts, tree, lb) = setup(250, 72);
+        let cfg = GpuConfig::default();
+        let k = 4usize;
+        let radius = 0.3f32;
+
+        // Solo baselines (autoropes; solo kernels agree across executors
+        // per their own tests).
+        let mut nn_solo: Vec<NnPoint<3>> = pts.iter().map(|&p| NnPoint::new(p)).collect();
+        autoropes::run(&NnKernel::new(&tree), &mut nn_solo, &cfg);
+        let mut knn_solo: Vec<KnnPoint<3>> = pts.iter().map(|&p| KnnPoint::new(p, k)).collect();
+        autoropes::run(&KnnKernel::new(&tree), &mut knn_solo, &cfg);
+        let mut pc_solo: Vec<PcPoint<3>> = pts.iter().map(|&p| PcPoint::new(p)).collect();
+        autoropes::run(&PcKernel::new(&tree, radius), &mut pc_solo, &cfg);
+
+        let kernel = fused_ops_kernel(&tree);
+        let wald = fused_ops_wald_kernel(&lb);
+        let make = || -> Vec<FusedOpsPoint<3>> {
+            pts.iter()
+                .map(|&p| fused_ops_point(p, true, Some(k), &[radius]))
+                .collect()
+        };
+        let check = |lanes: &[FusedOpsPoint<3>], label: &str| {
+            for (i, lane) in lanes.iter().enumerate() {
+                assert_eq!(lane.a.best_d2, nn_solo[i].best_d2, "{label} nn {i}");
+                assert_eq!(lane.a.best_idx, nn_solo[i].best_idx, "{label} nn {i}");
+                assert_eq!(
+                    lane.b.a.best.distances(),
+                    knn_solo[i].best.distances(),
+                    "{label} knn {i}"
+                );
+                assert_eq!(
+                    lane.b.a.best.ids(),
+                    knn_solo[i].best.ids(),
+                    "{label} knn {i}"
+                );
+                assert_eq!(lane.b.b.slots[0].count, pc_solo[i].count, "{label} pc {i}");
+            }
+        };
+
+        let mut a = make();
+        autoropes::run(&kernel, &mut a, &cfg);
+        check(&a, "autoropes");
+        let mut l = make();
+        lockstep::run(&kernel, &mut l, &cfg);
+        check(&l, "lockstep");
+        let mut s = make();
+        stackless::run_skip(&kernel, &mut s, &tree.skip, &cfg);
+        check(&s, "skip");
+        let mut w = make();
+        let wald_lanes = {
+            stackless::run_wald(&wald, &mut w, &cfg);
+            &w
+        };
+        // Wald kernels record dataset-space ids through the lb-tree perm;
+        // the rope-stack solo ids are tree-internal. Compare distances and
+        // mapped ids.
+        for (i, lane) in wald_lanes.iter().enumerate() {
+            assert_eq!(lane.a.best_d2, nn_solo[i].best_d2, "wald nn {i}");
+            assert_eq!(
+                lane.a.best_idx, nn_solo[i].best_idx,
+                "wald nn id {i} (lb built over tree.points: same space)"
+            );
+            assert_eq!(
+                lane.b.a.best.distances(),
+                knn_solo[i].best.distances(),
+                "wald knn {i}"
+            );
+            assert_eq!(lane.b.b.slots[0].count, pc_solo[i].count, "wald pc {i}");
+        }
+    }
+
+    #[test]
+    fn fused_walk_visits_fewer_nodes_than_the_sum_of_solo_walks() {
+        let (pts, tree, _) = setup(600, 73);
+        let cfg = GpuConfig::default();
+        let k = 8usize;
+        let radius = 0.25f32;
+
+        let solo_visits = |run: &dyn Fn() -> u64| run();
+        let nn_visits = solo_visits(&|| {
+            let mut q: Vec<NnPoint<3>> = pts.iter().map(|&p| NnPoint::new(p)).collect();
+            let r = autoropes::run(&NnAabbKernel::new(&tree), &mut q, &cfg);
+            r.stats.per_point_nodes.iter().map(|&v| v as u64).sum()
+        });
+        let knn_visits = solo_visits(&|| {
+            let mut q: Vec<KnnPoint<3>> = pts.iter().map(|&p| KnnPoint::new(p, k)).collect();
+            let r = autoropes::run(&KnnKernel::new(&tree), &mut q, &cfg);
+            r.stats.per_point_nodes.iter().map(|&v| v as u64).sum()
+        });
+        let pc_visits = solo_visits(&|| {
+            let mut q: Vec<PcPoint<3>> = pts.iter().map(|&p| PcPoint::new(p)).collect();
+            let r = autoropes::run(&PcKernel::new(&tree, radius), &mut q, &cfg);
+            r.stats.per_point_nodes.iter().map(|&v| v as u64).sum()
+        });
+
+        let kernel = fused_ops_kernel(&tree);
+        let mut lanes: Vec<FusedOpsPoint<3>> = pts
+            .iter()
+            .map(|&p| fused_ops_point(p, true, Some(k), &[radius]))
+            .collect();
+        let rep = autoropes::run(&kernel, &mut lanes, &cfg);
+        let fused_visits: u64 = rep.stats.per_point_nodes.iter().map(|&v| v as u64).sum();
+
+        let unfused = nn_visits + knn_visits + pc_visits;
+        assert!(
+            (fused_visits as f64) < 0.75 * unfused as f64,
+            "fused {fused_visits} vs unfused sum {unfused}"
+        );
+    }
+
+    #[test]
+    fn inert_lanes_answer_only_what_they_asked_for() {
+        let (pts, tree, _) = setup(120, 74);
+        let kernel = fused_ops_kernel(&tree);
+        let cfg = GpuConfig::default();
+        // PC-only lanes: NN and kNN stay inert.
+        let mut lanes: Vec<FusedOpsPoint<3>> = pts
+            .iter()
+            .map(|&p| fused_ops_point(p, false, None, &[0.4]))
+            .collect();
+        autoropes::run(&kernel, &mut lanes, &cfg);
+        let mut solo: Vec<PcPoint<3>> = pts.iter().map(|&p| PcPoint::new(p)).collect();
+        autoropes::run(&PcKernel::new(&tree, 0.4), &mut solo, &cfg);
+        for (lane, s) in lanes.iter().zip(&solo) {
+            assert_eq!(lane.b.b.slots[0].count, s.count);
+            assert_eq!(lane.a.best_idx, u32::MAX, "inert NN untouched");
+            assert!(lane.b.a.best.is_empty(), "inert kNN untouched");
+        }
+    }
+
+    #[test]
+    fn no_op_lane_truncates_immediately() {
+        let (pts, tree, _) = setup(64, 75);
+        let kernel = fused_ops_kernel(&tree);
+        let mut lanes: Vec<FusedOpsPoint<3>> = vec![fused_ops_point(pts[0], false, None, &[])];
+        let rep = autoropes::run(&kernel, &mut lanes, &GpuConfig::default());
+        assert_eq!(rep.stats.per_point_nodes[0], 1, "root visit only");
+    }
+}

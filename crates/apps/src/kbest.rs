@@ -28,6 +28,18 @@ impl KBest {
         }
     }
 
+    /// A zero-capacity set that is permanently full with a `-inf` bound:
+    /// it rejects every offer and prunes every subtree. Fused traversals
+    /// use this as the *inert* kNN constituent for lanes that did not ask
+    /// for kNN — it never updates and never widens the union prune bound.
+    pub fn inactive() -> Self {
+        KBest {
+            k: 0,
+            d2: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+
     /// Capacity.
     pub fn k(&self) -> usize {
         self.k
@@ -49,10 +61,11 @@ impl KBest {
     }
 
     /// Current pruning bound: the k-th best squared distance, or infinity
-    /// while the set is not yet full.
+    /// while the set is not yet full. An [`inactive`](Self::inactive) set
+    /// reports `-inf` (always prune).
     pub fn bound(&self) -> f32 {
         if self.full() {
-            *self.d2.last().expect("full implies non-empty")
+            self.d2.last().copied().unwrap_or(f32::NEG_INFINITY)
         } else {
             f32::INFINITY
         }
@@ -138,5 +151,44 @@ mod tests {
     #[should_panic(expected = "k = 0")]
     fn zero_k_rejected() {
         let _ = KBest::new(0);
+    }
+
+    #[test]
+    fn inactive_rejects_everything_and_prunes_always() {
+        let mut kb = KBest::inactive();
+        assert!(kb.full());
+        assert_eq!(kb.bound(), f32::NEG_INFINITY);
+        assert!(!kb.offer(0.0, 0));
+        assert!(kb.is_empty());
+        assert_eq!(kb.bound(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn prefix_property_smaller_k_is_a_prefix_of_larger_k() {
+        // The fused kernel serves several k's from one k_max-capacity set
+        // by taking prefixes; that is sound because KBest(j) equals the j
+        // smallest offers under (d2, arrival) order — including ties.
+        let offers = [
+            (2.0, 0),
+            (1.0, 1),
+            (2.0, 2),
+            (0.5, 3),
+            (1.0, 4),
+            (3.0, 5),
+            (0.5, 6),
+        ];
+        let mut big = KBest::new(5);
+        for &(d, i) in &offers {
+            big.offer(d, i);
+        }
+        for j in 1..=5usize {
+            let mut small = KBest::new(j);
+            for &(d, i) in &offers {
+                small.offer(d, i);
+            }
+            let n = small.len();
+            assert_eq!(small.distances(), &big.distances()[..n], "k = {j}");
+            assert_eq!(small.ids(), &big.ids()[..n], "k = {j}");
+        }
     }
 }

@@ -17,6 +17,7 @@
 //! | [`nn`] | kd (midpoint) | yes | 2 | split-plane pruning, variant argument; [`nn::NnAabbKernel`] swaps in box pruning for the stackless skip walk |
 //! | [`vp`] | vantage-point | yes | 2 | metric-shell pruning |
 //! | [`wald`] | left-balanced implicit kd | — | — | NN/kNN/PC via the stack-free Wald walk ([`gts_runtime::gpu::stackless::run_wald`]) |
+//! | [`fused`] | kd (either) | yes | 2 | NN + kNN + PC in one walk under the union prune bound ([`gts_runtime::FusedKernel`]); per-op answers bit-identical to the solo kernels |
 //!
 //! All three guided kernels carry the §4.3 `CALL_SETS_EQUIVALENT`
 //! annotation: their call sets reorder the search but cannot change the
@@ -30,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bh;
+pub mod fused;
 pub mod kbest;
 pub mod knn;
 pub mod nn;

@@ -52,6 +52,10 @@ pub fn render_service(s: &MetricsSnapshot) -> String {
         "", s.profile_cache_hits, s.profile_cache_misses, s.profile_cache_evictions
     ));
     out.push_str(&format!(
+        " fusion            {:>12}   fused batches / {} lanes / {} node visits saved\n",
+        s.fused_batches, s.fused_lanes, s.fusion_saved_visits
+    ));
+    out.push_str(&format!(
         " modeled time      {:>12.3} ms total\n",
         s.model_ms
     ));
@@ -252,6 +256,9 @@ mod tests {
             profile_cache_hits: 3,
             profile_cache_misses: 1,
             profile_cache_evictions: 0,
+            fused_ops: 0,
+            fused_lanes: 0,
+            fusion_saved_visits: 0,
         });
         m.on_complete("demo", Duration::from_millis(3), 1, 0);
         let text = render_service(&m.snapshot());
@@ -263,6 +270,10 @@ mod tests {
         assert!(text.contains("mask occupancy"), "{text}");
         assert!(text.contains("2 (query, shard) fan-outs pruned"), "{text}");
         assert!(text.contains("3 hits / 1 misses / 0 evictions"), "{text}");
+        assert!(
+            text.contains("fused batches / 0 lanes / 0 node visits saved"),
+            "{text}"
+        );
         assert!(text.contains("slow log"), "{text}");
         assert!(
             text.contains("exemplars"),

@@ -26,9 +26,9 @@
 
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
-    percentile, Backend, BackendBatches, ExecPolicy, KdIndex, MetricsSnapshot, MutableIndex,
-    MutableIndexBuilder, Mutation, OpKey, Query, QueryKind, QueryResult, Service, ServiceConfig,
-    ShardedIndex, TreeIndex,
+    percentile, Backend, BackendBatches, ExecPolicy, FusedLane, FusionMode, KdIndex,
+    MetricsSnapshot, MutableIndex, MutableIndexBuilder, Mutation, OpKey, Query, QueryKind,
+    QueryResult, Service, ServiceConfig, ShardedIndex, TreeIndex,
 };
 use gts_trees::{PointN, SplitPolicy};
 use rand::{Rng, SeedableRng};
@@ -82,6 +82,14 @@ pub struct LoadgenConfig {
     pub churn: usize,
     /// Churn report JSON path (`BENCH_epoch.json`).
     pub churn_out: String,
+    /// Mixed workload: every sampled position asks NN + kNN + PC against
+    /// one index (the shape fusion coalesces into a single tree walk),
+    /// instead of the default one-op-per-query mix over two indices.
+    pub mixed: bool,
+    /// Fusion mode for the batched service phase (`--fusion`).
+    pub fusion: FusionMode,
+    /// Fused-vs-unfused comparison JSON path (`BENCH_fused.json`).
+    pub fused_out: String,
 }
 
 impl Default for LoadgenConfig {
@@ -104,6 +112,9 @@ impl Default for LoadgenConfig {
             stackless_out: "BENCH_stackless.json".into(),
             churn: 0,
             churn_out: "BENCH_epoch.json".into(),
+            mixed: false,
+            fusion: FusionMode::default(),
+            fused_out: "BENCH_fused.json".into(),
         }
     }
 }
@@ -163,6 +174,15 @@ pub struct BenchReport {
     pub stack_bytes_peak: u64,
     /// Total rope-stack memory transactions of the batched phase.
     pub stack_transactions: u64,
+    /// Fusion mode the batched phase ran under (`auto`/`on`/`off`).
+    pub fusion: String,
+    /// Fused dispatches the service coalesced (drain windows where
+    /// same-index queries of different ops shared one tree walk).
+    pub fused_batches: u64,
+    /// Deduped query lanes across those fused dispatches.
+    pub fused_lanes: u64,
+    /// Modeled node visits fusion saved vs running each op separately.
+    pub fusion_saved_visits: u64,
 }
 
 /// Sequential-vs-parallel sharded dispatch comparison
@@ -287,6 +307,42 @@ pub struct EpochBenchReport {
     pub churn_over_static: f64,
 }
 
+/// Fused-vs-unfused comparison (`BENCH_fused.json`): the same seeded
+/// request stream replayed in batch windows twice — once through the
+/// fused multi-op path (one union-pruned tree walk per deduped lane),
+/// once as today's per-op batches — with every per-query answer checked
+/// bit-identical between the paths. The node-visit ratio is the
+/// headline: with a mixed workload (`--mixed`) one walk answers
+/// NN + kNN + PC, so fused visits land well under the per-op sum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusedBenchReport {
+    /// Requests replayed per path.
+    pub queries: u64,
+    /// Fused dispatches the comparison ran (one per batch window
+    /// holding at least one query).
+    pub fused_batches: u64,
+    /// Deduped lanes across the fused dispatches (identical positions
+    /// carrying several ops share a lane).
+    pub fused_lanes: u64,
+    /// Total tree-node visits of the fused path.
+    pub fused_node_visits: u64,
+    /// Total tree-node visits of the per-op path.
+    pub unfused_node_visits: u64,
+    /// `fused_node_visits / unfused_node_visits` (CI gates this ≤ 0.75
+    /// for the mixed workload).
+    pub visit_ratio: f64,
+    /// p50 per-window wall ms, fused path.
+    pub fused_p50_ms: f64,
+    /// p50 per-window wall ms, per-op path.
+    pub unfused_p50_ms: f64,
+    /// Per-query answers diverging between the paths (must be 0 —
+    /// fusion is bit-exact by construction and CI gates on it).
+    pub mismatches: u64,
+    /// Fused dispatches the *service* phase coalesced under its own
+    /// fusion mode (0 with `--fusion off`).
+    pub service_fused_batches: u64,
+}
+
 /// Observability summary of one loadgen run (`BENCH_obs.json`): how the
 /// trace ring and histogram metrics lined up. The invariant the
 /// acceptance test checks — one batch span per dispatched batch — is
@@ -377,6 +433,42 @@ pub(crate) fn synth_mix(
             Request { index, pos, kind }
         })
         .collect()
+}
+
+/// Mixed-op client mix (`--mixed`): every sampled position asks all
+/// three ops — NN, kNN, PC — against index 0, interleaved in arrival
+/// order. Identical positions are what the fusion coalescer dedups into
+/// one multi-op lane, so this is the workload one tree walk answers.
+pub(crate) fn synth_mixed(
+    data: &[Vec<f32>],
+    radius: f32,
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<Request> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xf05ed);
+    let positions = (n / 3).max(1);
+    let jitter = radius * 0.5;
+    let mut out = Vec::with_capacity(positions * 3);
+    for _ in 0..positions {
+        let anchor = &data[rng.gen_range(0..data.len())];
+        let pos: Vec<f32> = anchor
+            .iter()
+            .map(|&c| c + rng.gen_range(-jitter..jitter))
+            .collect();
+        for kind in [
+            QueryKind::Nn,
+            QueryKind::Knn { k },
+            QueryKind::Pc { radius },
+        ] {
+            out.push(Request {
+                index: 0,
+                pos: pos.clone(),
+                kind,
+            });
+        }
+    }
+    out
 }
 
 /// Group a request stream by `(index, op)` the way the batcher coalesces,
@@ -573,11 +665,148 @@ fn churn_phase(cfg: &LoadgenConfig) -> EpochBenchReport {
     }
 }
 
+/// Fused-vs-unfused comparison: replay the request stream in windows of
+/// `batch` requests; each window's same-index queries become deduped
+/// multi-op lanes for one fused dispatch, then rerun as today's per-op
+/// batches, every answer compared bit-for-bit. Both paths force
+/// autoropes so the node-visit comparison is executor-for-executor.
+fn fused_phase(
+    indices: &[Arc<dyn TreeIndex>],
+    requests: &[Request],
+    cfg: &LoadgenConfig,
+    service_fused_batches: u64,
+) -> FusedBenchReport {
+    let policy = ExecPolicy::forced(Backend::Autoropes);
+    let mut fused_batches = 0u64;
+    let mut fused_lanes = 0u64;
+    let (mut fused_visits, mut unfused_visits) = (0u64, 0u64);
+    let mut fused_ms = Vec::new();
+    let mut unfused_ms = Vec::new();
+    let mut mismatches = 0u64;
+    for window in requests.chunks(cfg.batch.max(1)) {
+        // Same-index queries of one window share a fused dispatch,
+        // arrival order preserved.
+        let mut by_index: Vec<(usize, Vec<&Request>)> = Vec::new();
+        for r in window {
+            match by_index.iter_mut().find(|(ix, _)| *ix == r.index) {
+                Some((_, v)) => v.push(r),
+                None => by_index.push((r.index, vec![r])),
+            }
+        }
+        for (ix, reqs) in by_index {
+            // Build lanes the way the service coalescer does: dedup on
+            // exact position bit patterns, accumulate ops per lane.
+            let mut lanes: Vec<FusedLane> = Vec::new();
+            let mut lane_of: Vec<usize> = Vec::with_capacity(reqs.len());
+            for r in &reqs {
+                let li = match lanes.iter().position(|l| l.pos == r.pos) {
+                    Some(li) => li,
+                    None => {
+                        lanes.push(FusedLane::empty(r.pos.clone()));
+                        lanes.len() - 1
+                    }
+                };
+                match r.kind.op_key().expect("valid kinds") {
+                    OpKey::Nn => lanes[li].nn = true,
+                    OpKey::Knn(k) => {
+                        if let Err(at) = lanes[li].knn_ks.binary_search(&k) {
+                            lanes[li].knn_ks.insert(at, k);
+                        }
+                    }
+                    OpKey::Pc(bits) => {
+                        if let Err(at) = lanes[li].pc_radii.binary_search(&bits) {
+                            lanes[li].pc_radii.insert(at, bits);
+                        }
+                    }
+                }
+                lane_of.push(li);
+            }
+            let t0 = Instant::now();
+            let fused = indices[ix]
+                .run_fused(&lanes, &policy)
+                .expect("loadgen indices support fused dispatch");
+            fused_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            fused_batches += 1;
+            fused_lanes += lanes.len() as u64;
+            fused_visits += fused.outcome.node_visits;
+
+            // The per-op path: group the same queries by op and run each
+            // as its own batch, exactly today's unfused dispatch.
+            let mut by_op: Vec<(OpKey, Vec<Vec<f32>>, Vec<usize>)> = Vec::new();
+            for (qi, r) in reqs.iter().enumerate() {
+                let op = r.kind.op_key().expect("valid kinds");
+                match by_op.iter_mut().find(|(o, _, _)| *o == op) {
+                    Some((_, pos, qis)) => {
+                        pos.push(r.pos.clone());
+                        qis.push(qi);
+                    }
+                    None => by_op.push((op, vec![r.pos.clone()], vec![qi])),
+                }
+            }
+            let mut unfused: Vec<Option<QueryResult>> = vec![None; reqs.len()];
+            let t0 = Instant::now();
+            for (op, pos, qis) in &by_op {
+                let out = indices[ix].run_batch(*op, pos, &policy);
+                unfused_visits += out.node_visits;
+                for (res, &qi) in out.results.into_iter().zip(qis) {
+                    unfused[qi] = Some(res);
+                }
+            }
+            unfused_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+
+            // Scatter the fused answers back per query and compare.
+            for (qi, r) in reqs.iter().enumerate() {
+                let lane = &lanes[lane_of[qi]];
+                let lr = &fused.lanes[lane_of[qi]];
+                let got = match r.kind.op_key().expect("valid kinds") {
+                    OpKey::Nn => lr.nn.clone().expect("lane asked NN"),
+                    OpKey::Knn(k) => {
+                        let slot = lane
+                            .knn_ks
+                            .iter()
+                            .position(|&x| x == k)
+                            .expect("lane asked this k");
+                        lr.knn[slot].clone()
+                    }
+                    OpKey::Pc(bits) => {
+                        let slot = lane
+                            .pc_radii
+                            .iter()
+                            .position(|&x| x == bits)
+                            .expect("lane asked this radius");
+                        lr.pc[slot].clone()
+                    }
+                };
+                if Some(&got) != unfused[qi].as_ref() {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    FusedBenchReport {
+        queries: requests.len() as u64,
+        fused_batches,
+        fused_lanes,
+        fused_node_visits: fused_visits,
+        unfused_node_visits: unfused_visits,
+        visit_ratio: if unfused_visits > 0 {
+            fused_visits as f64 / unfused_visits as f64
+        } else {
+            0.0
+        },
+        fused_p50_ms: percentile(&fused_ms, 50.0),
+        unfused_p50_ms: percentile(&unfused_ms, 50.0),
+        mismatches,
+        service_fused_batches,
+    }
+}
+
 /// Run the loadgen and return (human report, machine report,
 /// observability artifacts, sequential-vs-parallel comparison, per-backend
-/// stackless comparison, churn comparison). The parallel comparison is
-/// `Some` only for sharded runs (`shards > 1`), the churn comparison only
-/// with `--churn N`; the stackless comparison always runs.
+/// stackless comparison, fused-vs-unfused comparison, churn comparison).
+/// The parallel comparison is `Some` only for sharded runs (`shards > 1`),
+/// the churn comparison only with `--churn N`; the stackless and fused
+/// comparisons always run.
 pub fn run(
     cfg: &LoadgenConfig,
 ) -> (
@@ -586,6 +815,7 @@ pub fn run(
     ObsArtifacts,
     Option<ParallelBenchReport>,
     StacklessBenchReport,
+    FusedBenchReport,
     Option<EpochBenchReport>,
 ) {
     // Two indices of different dimension and split policy.
@@ -628,7 +858,12 @@ pub fn run(
             )),
         ]
     };
-    let requests = synth_mix(&[data3, data2], &radii, cfg.queries, 8, cfg.seed);
+    let requests = if cfg.mixed {
+        synth_mixed(&data3, radii[0], cfg.queries, 8, cfg.seed)
+    } else {
+        synth_mix(&[data3, data2], &radii, cfg.queries, 8, cfg.seed)
+    };
+    let n_queries = requests.len();
 
     // Batched phase. A long deadline makes flushes size-triggered, so the
     // batch composition — and therefore the modeled totals — depend only
@@ -640,6 +875,7 @@ pub fn run(
         policy: ExecPolicy {
             force: cfg.backend,
             stackless: cfg.stackless,
+            fusion: cfg.fusion,
             ..ExecPolicy::default()
         },
         // Room for every query's full lifecycle (submit + enqueue +
@@ -807,7 +1043,7 @@ pub fn run(
                 backend: backend.name().to_string(),
                 model_ms,
                 qps_model: if model_ms > 0.0 {
-                    cfg.queries as f64 / (model_ms / 1e3)
+                    n_queries as f64 / (model_ms / 1e3)
                 } else {
                     0.0
                 },
@@ -819,24 +1055,28 @@ pub fn run(
             });
         }
         StacklessBenchReport {
-            queries: cfg.queries as u64,
+            queries: n_queries as u64,
             batches: replay_batches.len() as u64,
             results_identical: true,
             backends: rows,
         }
     };
 
+    // Fused-vs-unfused comparison: one union-pruned walk per deduped
+    // lane vs today's per-op batches, answers checked bit-identical.
+    let fused = fused_phase(&indices, &requests, cfg, snapshot.fused_batches);
+
     // Churn phase: live mutation under query load, differentially pinned.
     let churn = (cfg.churn > 0).then(|| churn_phase(cfg));
 
-    let batched_qps = cfg.queries as f64 / (snapshot.model_ms / 1e3);
+    let batched_qps = n_queries as f64 / (snapshot.model_ms / 1e3);
     let single_qps = if single_model_ms > 0.0 {
-        cfg.queries as f64 / (single_model_ms / 1e3)
+        n_queries as f64 / (single_model_ms / 1e3)
     } else {
         0.0
     };
     let report = BenchReport {
-        queries: cfg.queries as u64,
+        queries: n_queries as u64,
         seed: cfg.seed,
         indices: indices.len() as u64,
         shards: cfg.shards.max(1) as u64,
@@ -867,6 +1107,10 @@ pub fn run(
         backend_batches: snapshot.backend_batches.clone(),
         stack_bytes_peak: snapshot.stack_bytes_peak,
         stack_transactions: snapshot.stack_transactions,
+        fusion: cfg.fusion.name().to_string(),
+        fused_batches: snapshot.fused_batches,
+        fused_lanes: snapshot.fused_lanes,
+        fusion_saved_visits: snapshot.fusion_saved_visits,
     };
     let artifacts = ObsArtifacts {
         obs: ObsReport {
@@ -893,7 +1137,7 @@ pub fn run(
     let mut text = String::new();
     text.push_str(&format!(
         "loadgen: {} queries over {} indices ({} pts each), seed {}, batch {}, {} workers, {} shard(s)\n",
-        cfg.queries,
+        n_queries,
         indices.len(),
         cfg.points,
         cfg.seed,
@@ -974,6 +1218,22 @@ pub fn run(
             row.backend, row.model_ms, row.qps_model, row.stack_bytes_peak, row.stack_transactions
         ));
     }
+    text.push_str(&format!(
+        "  fusion : {} mode; service fused {} batches ({} lanes, {} visits saved)\n",
+        cfg.fusion.name(),
+        report.fused_batches,
+        report.fused_lanes,
+        report.fusion_saved_visits
+    ));
+    text.push_str(&format!(
+        "  fusion : replay {} fused dispatches ({} lanes): {} visits vs {} unfused ({:.2}x), {} mismatches\n",
+        fused.fused_batches,
+        fused.fused_lanes,
+        fused.fused_node_visits,
+        fused.unfused_node_visits,
+        fused.visit_ratio,
+        fused.mismatches
+    ));
     if let Some(c) = &churn {
         text.push_str(&format!(
             "  churn  : {} mutation batches ({} mutations), {} merges → epoch {}, shards {} → {}, live {}\n",
@@ -994,7 +1254,7 @@ pub fn run(
             c.churn_over_static
         ));
     }
-    (text, report, artifacts, parallel, stackless, churn)
+    (text, report, artifacts, parallel, stackless, fused, churn)
 }
 
 /// CLI entry: parse `args` (everything after the subcommand) and run.
@@ -1013,7 +1273,8 @@ pub fn main_loadgen(args: &[String]) {
              [--workers N] [--batch N] [--shards N] [--shard-threads N] [--out PATH] \
              [--skip-single] [--trace-file PATH] [--metrics-file PATH] [--obs-out PATH] \
              [--backend auto|lockstep|autoropes|stackless-kd|stackless-bvh|cpu] \
-             [--stackless] [--stackless-out PATH] [--churn N] [--churn-out PATH]\n\
+             [--stackless] [--stackless-out PATH] [--churn N] [--churn-out PATH] \
+             [--mixed] [--fusion auto|on|off] [--fused-out PATH]\n\
              \n\
              networked mode:\n\
              gts-harness loadgen --connect HOST:PORT [--connections N] [--frame-queries N] \
@@ -1103,6 +1364,18 @@ pub fn main_loadgen(args: &[String]) {
                 cfg.churn_out = need(i).to_string();
                 i += 2;
             }
+            "--mixed" => {
+                cfg.mixed = true;
+                i += 1;
+            }
+            "--fusion" => {
+                cfg.fusion = FusionMode::from_name(need(i)).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--fused-out" => {
+                cfg.fused_out = need(i).to_string();
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -1112,7 +1385,7 @@ pub fn main_loadgen(args: &[String]) {
         cfg.out = "BENCH_sharded.json".into();
     }
 
-    let (text, report, artifacts, parallel, stackless, churn) = run(&cfg);
+    let (text, report, artifacts, parallel, stackless, fused, churn) = run(&cfg);
     print!("{text}");
     let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
     let mut f = std::fs::File::create(&cfg.out).expect("create bench json");
@@ -1126,6 +1399,9 @@ pub fn main_loadgen(args: &[String]) {
     let json = serde_json::to_string_pretty(&stackless).expect("serialize stackless report");
     std::fs::write(&cfg.stackless_out, json).expect("write stackless json");
     eprintln!("wrote {}", cfg.stackless_out);
+    let json = serde_json::to_string_pretty(&fused).expect("serialize fused report");
+    std::fs::write(&cfg.fused_out, json).expect("write fused json");
+    eprintln!("wrote {}", cfg.fused_out);
     if let Some(c) = &churn {
         let json = serde_json::to_string_pretty(c).expect("serialize churn report");
         std::fs::write(&cfg.churn_out, json).expect("write churn json");
@@ -1229,8 +1505,8 @@ mod tests {
             workers: 2,
             ..LoadgenConfig::default()
         };
-        let (_, a, obs_a, par, sl, churn) = run(&cfg);
-        let (_, b, _, _, sl_b, _) = run(&cfg);
+        let (_, a, obs_a, par, sl, fused, churn) = run(&cfg);
+        let (_, b, _, _, sl_b, _, _) = run(&cfg);
         assert!(churn.is_none(), "churn phase only runs with --churn");
         assert!(par.is_none(), "flat runs have no parallel comparison");
         // Modeled numbers are reproducible under a fixed seed.
@@ -1242,6 +1518,14 @@ mod tests {
             a.backend_batches.iter().map(|b| b.batches).sum::<u64>(),
             a.lockstep_batches + a.autoropes_batches
         );
+        // Default mix on the auto fusion mode: drain windows holding
+        // several ops against one index coalesce into fused dispatches,
+        // and the fused-vs-unfused replay stays bit-identical.
+        assert_eq!(a.fusion, "auto");
+        assert!(a.fused_batches > 0, "auto mode never fused a window");
+        assert!(fused.fused_batches > 0);
+        assert_eq!(fused.mismatches, 0, "fused replay diverged");
+        assert!(fused.unfused_node_visits > 0);
         // The per-backend comparison ran with bit-identical results;
         // stackless rows moved zero rope-stack bytes, autoropes paid.
         assert!(sl.results_identical);
@@ -1315,8 +1599,12 @@ mod tests {
             skip_single: true,
             ..LoadgenConfig::default()
         };
-        let (_, a, obs, par_a, sl, _) = run(&cfg);
-        let (_, b, _, _, _, _) = run(&cfg);
+        let (_, a, obs, par_a, sl, fused, _) = run(&cfg);
+        let (_, b, _, _, _, _, _) = run(&cfg);
+        // The fused replay also runs sharded: union admission must hold
+        // through per-shard fan-out and exact merging.
+        assert_eq!(fused.mismatches, 0, "sharded fused replay diverged");
+        assert!(fused.fused_batches > 0);
         // The stackless comparison also runs sharded; zero stack traffic
         // must survive the sub-batch aggregation.
         assert!(sl.results_identical);
@@ -1342,6 +1630,56 @@ mod tests {
             p.profile_cache_hits + p.profile_cache_misses > 0,
             "parallel phase never consulted the profile cache"
         );
+    }
+
+    #[test]
+    fn mixed_workload_fusion_saves_visits_and_stays_exact() {
+        let cfg = LoadgenConfig {
+            queries: 192,
+            points: 512,
+            batch: 48,
+            mixed: true,
+            ..LoadgenConfig::default()
+        };
+        let pts: Vec<PointN<3>> = uniform::<3>(cfg.points, cfg.seed);
+        let data: Vec<Vec<f32>> = pts.iter().map(|p| p.0.to_vec()).collect();
+        let radius = 0.04 * bbox_diag(&data);
+        let requests = synth_mixed(&data, radius, cfg.queries, 8, cfg.seed);
+        assert_eq!(requests.len(), 192, "3 ops per sampled position");
+
+        let flat: Vec<Arc<dyn TreeIndex>> = vec![Arc::new(KdIndex::build(
+            "uniform3d",
+            &pts,
+            8,
+            SplitPolicy::MedianCycle,
+        ))];
+        let fused = fused_phase(&flat, &requests, &cfg, 0);
+        assert!(fused.fused_batches > 0);
+        assert_eq!(
+            fused.fused_lanes * 3,
+            fused.queries,
+            "every lane carries all three ops"
+        );
+        assert_eq!(fused.mismatches, 0, "fused answers diverged");
+        // One union-pruned walk per position replaces three per-op
+        // walks — the ISSUE's headline saving.
+        assert!(
+            fused.visit_ratio <= 0.75,
+            "expected ≥25% node-visit saving, got ratio {:.3}",
+            fused.visit_ratio
+        );
+
+        // Same invariants through the sharded fan-out path.
+        let sharded: Vec<Arc<dyn TreeIndex>> = vec![Arc::new(ShardedIndex::build(
+            "uniform3d",
+            &pts,
+            2,
+            8,
+            SplitPolicy::MedianCycle,
+        ))];
+        let fused = fused_phase(&sharded, &requests, &cfg, 0);
+        assert_eq!(fused.mismatches, 0, "sharded fused answers diverged");
+        assert!(fused.visit_ratio <= 0.75, "ratio {:.3}", fused.visit_ratio);
     }
 
     #[test]

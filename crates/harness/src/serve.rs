@@ -37,8 +37,8 @@
 use gts_net::NetServer;
 use gts_points::gen::{geocity_like, uniform};
 use gts_service::{
-    Backend, ExecPolicy, KdIndex, MutableIndexBuilder, Mutation, Query, QueryKind, QueryResult,
-    Service, ServiceConfig, ShardedIndex, TraceStream, TreeIndex,
+    Backend, ExecPolicy, FusionMode, KdIndex, MutableIndexBuilder, Mutation, Query, QueryKind,
+    QueryResult, Service, ServiceConfig, ShardedIndex, TraceStream, TreeIndex,
 };
 use gts_trees::SplitPolicy;
 use std::io::BufRead as _;
@@ -120,6 +120,7 @@ pub fn main_serve(args: &[String]) {
     let mut admission_budget_us: Option<u64> = None;
     let mut backend: Option<Backend> = None;
     let mut stackless = false;
+    let mut fusion = FusionMode::Auto;
     let mut mutable = false;
     let usage = || -> ! {
         eprintln!(
@@ -128,7 +129,7 @@ pub fn main_serve(args: &[String]) {
              [--slow-log PATH] [--slow-log-percentile P] [--slow-log-capacity N] \
              [--listen ADDR] [--port-file PATH] [--admission-budget-us N] \
              [--backend auto|lockstep|autoropes|stackless-kd|stackless-bvh|cpu] \
-             [--stackless] [--mutable]"
+             [--stackless] [--fusion auto|on|off] [--mutable]"
         );
         std::process::exit(2)
     };
@@ -200,6 +201,10 @@ pub fn main_serve(args: &[String]) {
                 stackless = true;
                 i += 1;
             }
+            "--fusion" => {
+                fusion = FusionMode::from_name(need(i)).unwrap_or_else(|| usage());
+                i += 2;
+            }
             "--mutable" => {
                 mutable = true;
                 i += 1;
@@ -218,6 +223,7 @@ pub fn main_serve(args: &[String]) {
             shard_parallelism: shard_threads,
             force: backend,
             stackless,
+            fusion,
             ..ExecPolicy::default()
         },
         ..ServiceConfig::default()

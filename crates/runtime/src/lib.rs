@@ -27,11 +27,13 @@
 
 pub mod cpu;
 pub mod cpu_blocked;
+pub mod fused;
 pub mod gpu;
 pub mod kernel;
 pub mod report;
 pub mod stack;
 
+pub use fused::{FusedKernel, FusedPoint, FusedWaldKernel};
 pub use gpu::stackless::WaldKernel;
 pub use kernel::{Child, ChildBuf, TraversalKernel, VisitOutcome};
 pub use report::{CpuReport, GpuReport, TraversalStats};

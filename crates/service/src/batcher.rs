@@ -64,8 +64,10 @@ impl<T> Batcher<T> {
         }
     }
 
-    /// Take the next batch id (ascending in flush order).
-    fn take_id(&mut self) -> u64 {
+    /// Take the next batch id (ascending in flush order). The service's
+    /// fusion coalescer also draws ids here, so fused dispatches share
+    /// one id space with per-op batches.
+    pub fn take_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         id
@@ -135,6 +137,39 @@ impl<T> Batcher<T> {
     /// lets the driver sleep exactly long enough.
     pub fn next_deadline(&self) -> Option<Instant> {
         self.buckets.iter().map(|b| b.oldest + self.max_wait).min()
+    }
+
+    /// Ops of the non-empty buckets currently accumulating for `index` —
+    /// what the fusion coalescer inspects before deciding to pull
+    /// companions into a fused dispatch.
+    pub fn pending_ops(&self, index: usize) -> Vec<crate::query::OpKey> {
+        self.buckets
+            .iter()
+            .filter(|b| b.key.index == index)
+            .map(|b| b.key.op)
+            .collect()
+    }
+
+    /// Flush every bucket of `index` regardless of size or age — the
+    /// fusion coalescer pulls same-index companion buckets into the
+    /// fused dispatch a full or due bucket just triggered.
+    pub fn flush_index(&mut self, index: usize) -> Vec<ReadyBatch<T>> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.buckets.len() {
+            if self.buckets[i].key.index == index {
+                let b = self.buckets.remove(i);
+                let id = self.take_id();
+                out.push(ReadyBatch {
+                    id,
+                    key: b.key,
+                    entries: b.entries,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        out
     }
 
     /// Flush everything regardless of size or age (shutdown drain).

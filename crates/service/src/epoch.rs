@@ -39,10 +39,12 @@
 //! or gets reused, so a result id always names the same point — the
 //! invariant the differential oracle and the churn stress tests lean on.
 
-use crate::index::{BatchOutcome, KdIndex, TreeIndex};
+use crate::index::{
+    distinct_ops, BatchOutcome, FusedLane, FusedLaneResult, FusedOutcome, KdIndex, TreeIndex,
+};
 use crate::policy::ExecPolicy;
 use crate::query::{OpKey, QueryResult};
-use crate::shard::{Acc, StatAgg, SubRun};
+use crate::shard::{Acc, FusedAcc, StatAgg, SubRun};
 use gts_apps::kbest::KBest;
 use gts_points::sort::morton_order;
 use gts_trees::{Aabb, PointN, SplitPolicy};
@@ -714,6 +716,10 @@ impl<const D: usize> TreeIndex for MutableIndex<D> {
         run_state_batch(&self.pin(), op, positions, policy)
     }
 
+    fn run_fused(&self, lanes: &[FusedLane], policy: &ExecPolicy) -> Option<FusedOutcome> {
+        Some(run_state_fused(&self.pin(), lanes, policy))
+    }
+
     fn mutate(&self, muts: &[Mutation]) -> Result<MutationAck, MutateError> {
         MutableIndex::mutate(self, muts)
     }
@@ -1205,6 +1211,195 @@ fn run_state_batch<const D: usize>(
         }
     }
     agg.finish(results, 0)
+}
+
+/// Execute one fused batch against a pinned epoch snapshot: a fused tree
+/// sweep over every shard (per-lane kNN heaps widened by the pending
+/// tree-delete count, exactly like the unfused path widens its `k`), then
+/// the delta-window corrections applied *per constituent op* — so every
+/// constituent's answer matches its unfused mutable run bit for bit.
+fn run_state_fused<const D: usize>(
+    state: &EpochState<D>,
+    lanes: &[FusedLane],
+    policy: &ExecPolicy,
+) -> FusedOutcome {
+    let started = Instant::now();
+    let n = lanes.len();
+    let digest = DeltaDigest::new(state);
+    let n_del_tree = digest.del_tree.len();
+
+    // Widen every requested k so each top-k survives the delete filter.
+    let tree_lanes: Vec<FusedLane> = if n_del_tree == 0 {
+        lanes.to_vec()
+    } else {
+        lanes
+            .iter()
+            .map(|l| FusedLane {
+                knn_ks: l.knn_ks.iter().map(|&k| k + n_del_tree).collect(),
+                ..l.clone()
+            })
+            .collect()
+    };
+
+    let mut agg = StatAgg::default();
+    let mut saved = 0u64;
+    let mut accs: Vec<FusedAcc> = tree_lanes.iter().map(FusedAcc::new).collect();
+    for (si, shard) in state.shards.iter().enumerate() {
+        let off = started.elapsed().as_micros() as u64;
+        let sub0 = Instant::now();
+        let fused = shard.index.run_fused_profiled(&tree_lanes, policy, None);
+        let dur = sub0.elapsed().as_micros() as u64;
+        for (acc, r) in accs.iter_mut().zip(&fused.lanes) {
+            acc.absorb(r, &shard.ids);
+        }
+        saved += fused.outcome.fusion_saved_visits;
+        agg.add(&SubRun {
+            shard: si as u32,
+            round: 0,
+            queries: n as u32,
+            out: fused.outcome,
+            offset_us: off,
+            dur_us: dur,
+        });
+    }
+    let mut lane_results: Vec<FusedLaneResult> = accs.into_iter().map(FusedAcc::finish).collect();
+
+    if !digest.is_empty() {
+        let mut nn_retry: Vec<usize> = Vec::new();
+        for (qi, lane) in lanes.iter().enumerate() {
+            let q = to_point::<D>(&lane.pos);
+            let res = &mut lane_results[qi];
+            if let Some(QueryResult::Nn { dist2, id }) = res.nn.as_mut() {
+                if *id != u32::MAX && digest.deleted.contains(id) {
+                    nn_retry.push(qi);
+                    *dist2 = f32::INFINITY;
+                    *id = u32::MAX;
+                }
+                for &(iid, ip) in &digest.live_inserts {
+                    let d = ip.dist2(&q);
+                    if d > 0.0 && d < *dist2 {
+                        *dist2 = d;
+                        *id = iid;
+                    }
+                }
+            }
+            for (slot, &k) in lane.knn_ks.iter().enumerate() {
+                let QueryResult::Knn { dist2, ids } = &res.knn[slot] else {
+                    unreachable!("fused lane answered with a different op")
+                };
+                let mut kb = KBest::new(k);
+                for (&d2, &id) in dist2.iter().zip(ids) {
+                    if !digest.deleted.contains(&id) {
+                        kb.offer(d2, id);
+                    }
+                }
+                for &(iid, ip) in &digest.live_inserts {
+                    kb.offer(ip.dist2(&q), iid);
+                }
+                res.knn[slot] = QueryResult::Knn {
+                    dist2: kb.distances().to_vec(),
+                    ids: kb.ids().to_vec(),
+                };
+            }
+            for (slot, &bits) in lane.pc_radii.iter().enumerate() {
+                let r = f32::from_bits(bits);
+                let r2 = r * r;
+                let QueryResult::Pc { count } = res.pc[slot] else {
+                    unreachable!("fused lane answered with a different op")
+                };
+                let minus = digest
+                    .del_tree
+                    .iter()
+                    .filter(|(_, p)| p.dist2(&q) <= r2)
+                    .count() as u32;
+                let plus = digest
+                    .live_inserts
+                    .iter()
+                    .filter(|(_, p)| p.dist2(&q) <= r2)
+                    .count() as u32;
+                res.pc[slot] = QueryResult::Pc {
+                    count: count - minus + plus,
+                };
+            }
+        }
+
+        // NN retry: the tree answer was deleted — the same widening kNN
+        // probe as the unfused path (a correction, so unfused sub-batches
+        // are fine here).
+        if !nn_retry.is_empty() {
+            let tree_total = state.tree_points();
+            let mut k_probe = n_del_tree + 2;
+            let mut open = nn_retry;
+            let mut round = 1u32;
+            while !open.is_empty() {
+                let subset: Vec<Vec<f32>> = open.iter().map(|&qi| lanes[qi].pos.clone()).collect();
+                let mut kbs: Vec<KBest> = (0..open.len()).map(|_| KBest::new(k_probe)).collect();
+                for (si, shard) in state.shards.iter().enumerate() {
+                    let off = started.elapsed().as_micros() as u64;
+                    let sub0 = Instant::now();
+                    let out =
+                        shard
+                            .index
+                            .run_batch_profiled(OpKey::Knn(k_probe), &subset, policy, None);
+                    let dur = sub0.elapsed().as_micros() as u64;
+                    for (kb, r) in kbs.iter_mut().zip(&out.results) {
+                        let QueryResult::Knn { dist2, ids } = r else {
+                            unreachable!("knn probe answered with a different op")
+                        };
+                        for (&d2, &id) in dist2.iter().zip(ids) {
+                            kb.offer(d2, shard.ids[id as usize]);
+                        }
+                    }
+                    agg.add(&SubRun {
+                        shard: si as u32,
+                        round,
+                        queries: subset.len() as u32,
+                        out,
+                        offset_us: off,
+                        dur_us: dur,
+                    });
+                }
+                let exhaustive = k_probe >= tree_total;
+                let mut still_open = Vec::new();
+                for (i, &qi) in open.iter().enumerate() {
+                    let found = kbs[i]
+                        .distances()
+                        .iter()
+                        .zip(kbs[i].ids())
+                        .find(|&(&d2, &id)| d2 > 0.0 && !digest.deleted.contains(&id));
+                    match found {
+                        Some((&d2, &id)) => {
+                            if let Some(QueryResult::Nn { dist2, id: best }) =
+                                lane_results[qi].nn.as_mut()
+                            {
+                                if d2 < *dist2 {
+                                    *dist2 = d2;
+                                    *best = id;
+                                }
+                            }
+                        }
+                        None if exhaustive => {} // truly no tree answer
+                        None => still_open.push(qi),
+                    }
+                }
+                if exhaustive {
+                    break;
+                }
+                open = still_open;
+                k_probe *= 2;
+                round += 1;
+            }
+        }
+    }
+
+    let mut outcome = agg.finish(Vec::new(), 0);
+    outcome.fused_ops = distinct_ops(lanes);
+    outcome.fused_lanes = n as u64;
+    outcome.fusion_saved_visits = saved;
+    FusedOutcome {
+        lanes: lane_results,
+        outcome,
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 use crate::epoch::{EpochObserverFn, EpochStats, MutateError, Mutation, MutationAck};
 use crate::policy::{Backend, ExecPolicy};
 use crate::query::{OpKey, QueryResult};
+use gts_apps::fused::{fused_ops_kernel, fused_ops_point, fused_ops_wald_kernel, FusedOpsPoint};
 use gts_apps::knn::{KnnKernel, KnnPoint};
 use gts_apps::nn::{NnAabbKernel, NnKernel, NnPoint};
 use gts_apps::pc::{PcKernel, PcPoint};
@@ -60,6 +61,15 @@ pub struct BatchOutcome {
     pub stack_bytes_peak: u64,
     /// Memory transactions on rope-stack regions (0 for stackless/CPU).
     pub stack_transactions: u64,
+    /// Distinct constituent op keys a fused batch served (0 = unfused).
+    pub fused_ops: u32,
+    /// Deduplicated lanes a fused batch dispatched (0 = unfused).
+    pub fused_lanes: u64,
+    /// Modeled node visits the fusion saved vs running each constituent
+    /// op as its own batch: per-lane solo CPU replays minus the fused
+    /// walk's visits (an estimate — it under-reports the extra savings
+    /// from lane dedup). 0 for unfused batches.
+    pub fusion_saved_visits: u64,
 }
 
 /// One shard's sub-batch inside a sharded batch execution — the unit the
@@ -85,6 +95,65 @@ pub struct ShardVisit {
     pub offset_us: u64,
     /// Wall duration of the sub-batch, microseconds.
     pub dur_us: u64,
+}
+
+/// One deduplicated lane of a fused multi-op batch: a query position plus
+/// every operation requested at that position in the drain window. A lane
+/// walks the tree once under the union prune bound; each constituent's
+/// answer is bit-identical to an unfused run of that op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedLane {
+    /// Query position (length = the index's dimension).
+    pub pos: Vec<f32>,
+    /// Serve nearest-neighbor at this position?
+    pub nn: bool,
+    /// kNN `k`s to serve, ascending and distinct (all answered from one
+    /// heap sized to the largest via the k-best prefix property).
+    pub knn_ks: Vec<usize>,
+    /// PC radii to serve, as normalized `f32::to_bits` patterns (the
+    /// [`crate::query::OpKey::Pc`] encoding), ascending by value.
+    pub pc_radii: Vec<u32>,
+}
+
+impl FusedLane {
+    /// A lane serving no ops at all (useful as a builder seed).
+    pub fn empty(pos: Vec<f32>) -> Self {
+        FusedLane {
+            pos,
+            nn: false,
+            knn_ks: Vec::new(),
+            pc_radii: Vec::new(),
+        }
+    }
+
+    /// Number of per-lane operations this lane answers.
+    pub fn ops(&self) -> usize {
+        usize::from(self.nn) + self.knn_ks.len() + self.pc_radii.len()
+    }
+}
+
+/// Per-lane answers of a fused batch, aligned with the lane's request:
+/// `knn[i]` answers `knn_ks[i]`, `pc[i]` answers `pc_radii[i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedLaneResult {
+    /// NN answer, when the lane asked for it.
+    pub nn: Option<QueryResult>,
+    /// One kNN answer per requested `k`.
+    pub knn: Vec<QueryResult>,
+    /// One PC answer per requested radius.
+    pub pc: Vec<QueryResult>,
+}
+
+/// Execution record of one fused multi-op batch: per-lane results plus the
+/// usual [`BatchOutcome`] accounting (whose `results` vec is empty — the
+/// per-op answers live in `lanes`).
+#[derive(Debug, Clone)]
+pub struct FusedOutcome {
+    /// Per-lane answers, in the order the lanes were handed in.
+    pub lanes: Vec<FusedLaneResult>,
+    /// Batch accounting; `fused_ops`/`fused_lanes`/`fusion_saved_visits`
+    /// are populated, `results` is empty.
+    pub outcome: BatchOutcome,
 }
 
 /// A profile-cache consultation context: where to memoize this batch's
@@ -115,6 +184,14 @@ pub trait TreeIndex: Send + Sync {
     /// Execute one homogeneous batch. `positions` all have length
     /// [`TreeIndex::dim`]; results come back in the same order.
     fn run_batch(&self, op: OpKey, positions: &[Vec<f32>], policy: &ExecPolicy) -> BatchOutcome;
+    /// Execute one fused multi-op batch: every lane walks the tree once
+    /// under the union prune bound, answering all its constituent ops
+    /// bit-identically to unfused runs. Indices that cannot fuse return
+    /// `None` (the default) and the worker falls back to one unfused
+    /// batch per constituent op.
+    fn run_fused(&self, _lanes: &[FusedLane], _policy: &ExecPolicy) -> Option<FusedOutcome> {
+        None
+    }
     /// Apply a mutation batch. Static indices (the default) refuse with
     /// [`MutateError::Immutable`]; [`crate::MutableIndex`] overrides.
     fn mutate(&self, _muts: &[Mutation]) -> Result<MutationAck, MutateError> {
@@ -204,7 +281,7 @@ impl<const D: usize> KdIndex<D> {
         profile: Option<&ProfileCtx<'_>>,
     ) -> BatchOutcome {
         let pts: Vec<PointN<D>> = positions.iter().map(|p| self.to_point(p)).collect();
-        match op {
+        let (results, outcome) = match op {
             OpKey::Nn => {
                 // The plane-pruning NN kernel carries a traversal-variant
                 // argument the skip walk cannot replay, so the stackless
@@ -213,8 +290,8 @@ impl<const D: usize> KdIndex<D> {
                 let kernel = NnKernel::new(&self.tree);
                 let skip_kernel = NnAabbKernel::new(&self.tree);
                 let wald_kernel = WaldNnKernel::new(&self.lb);
-                let make = |p: PointN<D>| NnPoint::new(p);
-                let conv = |r: &NnPoint<D>| QueryResult::Nn {
+                let make = |_i: usize, p: PointN<D>| NnPoint::new(p);
+                let conv = |_i: usize, r: &NnPoint<D>| QueryResult::Nn {
                     dist2: r.best_d2,
                     id: self.original_id(r.best_idx),
                 };
@@ -235,8 +312,8 @@ impl<const D: usize> KdIndex<D> {
                 // it); k > n is fine — the set just never fills.
                 let kernel = KnnKernel::new(&self.tree);
                 let wald_kernel = WaldKnnKernel::new(&self.lb);
-                let make = |p: PointN<D>| KnnPoint::new(p, k);
-                let conv = |r: &KnnPoint<D>| QueryResult::Knn {
+                let make = |_i: usize, p: PointN<D>| KnnPoint::new(p, k);
+                let conv = |_i: usize, r: &KnnPoint<D>| QueryResult::Knn {
                     dist2: r.best.distances().to_vec(),
                     ids: r.best.ids().iter().map(|&i| self.original_id(i)).collect(),
                 };
@@ -258,8 +335,8 @@ impl<const D: usize> KdIndex<D> {
                 let radius = f32::from_bits(radius_bits);
                 let kernel = PcKernel::new(&self.tree, radius);
                 let wald_kernel = WaldPcKernel::new(&self.lb, radius);
-                let make = |p: PointN<D>| PcPoint::new(p);
-                let conv = |r: &PcPoint<D>| QueryResult::Pc { count: r.count };
+                let make = |_i: usize, p: PointN<D>| PcPoint::new(p);
+                let conv = |_i: usize, r: &PcPoint<D>| QueryResult::Pc { count: r.count };
                 execute(
                     &kernel,
                     &kernel,
@@ -272,8 +349,128 @@ impl<const D: usize> KdIndex<D> {
                     conv,
                 )
             }
+        };
+        BatchOutcome { results, ..outcome }
+    }
+
+    /// [`TreeIndex::run_fused`] with an optional [`ProfileCtx`]: one tree
+    /// walk per lane answers every constituent op under the union prune
+    /// bound, with the §4.4 pipeline (sort → profile once → dispatch)
+    /// applied to the fused batch as a whole. Per-op answers are
+    /// bit-identical to unfused runs of the same ops.
+    pub fn run_fused_profiled(
+        &self,
+        lanes: &[FusedLane],
+        policy: &ExecPolicy,
+        profile: Option<&ProfileCtx<'_>>,
+    ) -> FusedOutcome {
+        let pts: Vec<PointN<D>> = lanes.iter().map(|l| self.to_point(&l.pos)).collect();
+        // Box pruning everywhere (`Args = ()`), so the same fused kernel
+        // rides the rope-stack executors and the skip walk.
+        let kernel = fused_ops_kernel(&self.tree);
+        let wald_kernel = fused_ops_wald_kernel(&self.lb);
+        let make = |i: usize, p: PointN<D>| {
+            let lane = &lanes[i];
+            let radii: Vec<f32> = lane.pc_radii.iter().map(|&b| f32::from_bits(b)).collect();
+            // One heap sized to the lane's largest k serves every smaller
+            // k as a prefix (`KBest`'s prefix property).
+            fused_ops_point(p, lane.nn, lane.knn_ks.last().copied(), &radii)
+        };
+        let conv = |i: usize, pt: &FusedOpsPoint<D>| {
+            let lane = &lanes[i];
+            let nn = lane.nn.then(|| QueryResult::Nn {
+                dist2: pt.a.best_d2,
+                id: self.original_id(pt.a.best_idx),
+            });
+            let kb = &pt.b.a.best;
+            let knn = lane
+                .knn_ks
+                .iter()
+                .map(|&k| {
+                    let take = k.min(kb.len());
+                    QueryResult::Knn {
+                        dist2: kb.distances()[..take].to_vec(),
+                        ids: kb.ids()[..take]
+                            .iter()
+                            .map(|&i| self.original_id(i))
+                            .collect(),
+                    }
+                })
+                .collect();
+            let pc =
+                pt.b.b
+                    .slots
+                    .iter()
+                    .map(|s| QueryResult::Pc { count: s.count })
+                    .collect();
+            FusedLaneResult { nn, knn, pc }
+        };
+        let (results, mut outcome) = execute(
+            &kernel,
+            &kernel,
+            &wald_kernel,
+            &self.tree.skip,
+            &pts,
+            policy,
+            profile,
+            make,
+            conv,
+        );
+        outcome.fused_lanes = lanes.len() as u64;
+        outcome.fused_ops = distinct_ops(lanes);
+        outcome.fusion_saved_visits = self
+            .solo_replay_visits(lanes, &pts)
+            .saturating_sub(outcome.node_visits);
+        FusedOutcome {
+            lanes: results,
+            outcome,
         }
     }
+
+    /// Modeled cost of running each lane's constituent ops as separate
+    /// unfused batches: one cheap CPU traversal per (lane, op) with that
+    /// op's canonical solo kernel. The same per-lane walk the executors
+    /// perform, so the delta vs the fused run's `node_visits` is exactly
+    /// the traversal work fusion saved (modulo lane dedup, which saves
+    /// more than this counts).
+    fn solo_replay_visits(&self, lanes: &[FusedLane], pts: &[PointN<D>]) -> u64 {
+        let nn_kernel = NnKernel::new(&self.tree);
+        let knn_kernel = KnnKernel::new(&self.tree);
+        let mut visits = 0u64;
+        for (lane, &p) in lanes.iter().zip(pts) {
+            if lane.nn {
+                visits += u64::from(cpu::traverse_one(&nn_kernel, &mut NnPoint::new(p)));
+            }
+            for &k in &lane.knn_ks {
+                visits += u64::from(cpu::traverse_one(&knn_kernel, &mut KnnPoint::new(p, k)));
+            }
+            for &bits in &lane.pc_radii {
+                let kernel = PcKernel::new(&self.tree, f32::from_bits(bits));
+                visits += u64::from(cpu::traverse_one(&kernel, &mut PcPoint::new(p)));
+            }
+        }
+        visits
+    }
+}
+
+/// Distinct constituent op keys across a fused batch (NN counts once,
+/// each distinct `k` once, each distinct radius once).
+pub(crate) fn distinct_ops(lanes: &[FusedLane]) -> u32 {
+    let mut ops = u32::from(lanes.iter().any(|l| l.nn));
+    let mut ks: Vec<usize> = lanes
+        .iter()
+        .flat_map(|l| l.knn_ks.iter().copied())
+        .collect();
+    ks.sort_unstable();
+    ks.dedup();
+    ops += ks.len() as u32;
+    let mut radii: Vec<u32> = lanes
+        .iter()
+        .flat_map(|l| l.pc_radii.iter().copied())
+        .collect();
+    radii.sort_unstable();
+    radii.dedup();
+    ops + radii.len() as u32
 }
 
 impl<const D: usize> TreeIndex for KdIndex<D> {
@@ -292,6 +489,10 @@ impl<const D: usize> TreeIndex for KdIndex<D> {
     fn run_batch(&self, op: OpKey, positions: &[Vec<f32>], policy: &ExecPolicy) -> BatchOutcome {
         self.run_batch_profiled(op, positions, policy, None)
     }
+
+    fn run_fused(&self, lanes: &[FusedLane], policy: &ExecPolicy) -> Option<FusedOutcome> {
+        Some(self.run_fused_profiled(lanes, policy, None))
+    }
 }
 
 /// Shared execution path: sort → profile (optionally through the caller's
@@ -302,8 +503,14 @@ impl<const D: usize> TreeIndex for KdIndex<D> {
 /// sibling for the skip-link walk — often the same object), and
 /// `wald_kernel` (the left-balanced implicit tree). All share one point
 /// type, so sort/un-sort and result conversion are backend-agnostic.
+///
+/// `make`/`conv` receive the query's *submission-order* index alongside
+/// the point, so heterogeneous batches (fused lanes with per-lane op
+/// specs) can build and read back per-lane state; homogeneous ops ignore
+/// it. The returned [`BatchOutcome`] carries the accounting with an empty
+/// `results` vec — the typed results ride the first tuple slot.
 #[allow(clippy::too_many_arguments)]
-fn execute<const D: usize, K, S, W, M, C>(
+fn execute<const D: usize, K, S, W, M, C, R>(
     kernel: &K,
     skip_kernel: &S,
     wald_kernel: &W,
@@ -313,14 +520,14 @@ fn execute<const D: usize, K, S, W, M, C>(
     profile: Option<&ProfileCtx<'_>>,
     make: M,
     conv: C,
-) -> BatchOutcome
+) -> (Vec<R>, BatchOutcome)
 where
     K: TraversalKernel,
     K::Point: Clone,
     S: TraversalKernel<Point = K::Point>,
     W: WaldKernel<Point = K::Point>,
-    M: Fn(PointN<D>) -> K::Point,
-    C: Fn(&K::Point) -> QueryResult,
+    M: Fn(usize, PointN<D>) -> K::Point,
+    C: Fn(usize, &K::Point) -> R,
 {
     let n = pts.len();
     // §4.4 step 1: spatial sort, so nearby queries share warps.
@@ -330,8 +537,12 @@ where
         None
     };
     let mut work: Vec<K::Point> = match &perm {
-        Some(p) => apply_perm(pts, p).into_iter().map(&make).collect(),
-        None => pts.iter().map(|&p| make(p)).collect(),
+        Some(p) => apply_perm(pts, p)
+            .into_iter()
+            .enumerate()
+            .map(|(sorted_i, pt)| make(p[sorted_i] as usize, pt))
+            .collect(),
+        None => pts.iter().enumerate().map(|(i, &p)| make(i, p)).collect(),
     };
 
     // §4.4 step 2: sample neighboring traversals; lockstep only when they
@@ -441,24 +652,26 @@ where
         };
 
     // Undo the sort: callers see submission order.
-    let mut results: Vec<Option<QueryResult>> = vec![None; n];
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     match &perm {
         Some(p) => {
             for (sorted_i, point) in work.iter().enumerate() {
-                results[p[sorted_i] as usize] = Some(conv(point));
+                let orig = p[sorted_i] as usize;
+                results[orig] = Some(conv(orig, point));
             }
         }
         None => {
             for (i, point) in work.iter().enumerate() {
-                results[i] = Some(conv(point));
+                results[i] = Some(conv(i, point));
             }
         }
     }
-    BatchOutcome {
-        results: results
-            .into_iter()
-            .map(|r| r.expect("permutation covers all"))
-            .collect(),
+    let results: Vec<R> = results
+        .into_iter()
+        .map(|r| r.expect("permutation covers all"))
+        .collect();
+    let outcome = BatchOutcome {
+        results: Vec::new(),
         backend,
         mean_similarity,
         node_visits,
@@ -473,7 +686,11 @@ where
         profile_cache_evictions: cache_outcome.map_or(0, |o| o.evictions),
         stack_bytes_peak: stack_peak,
         stack_transactions: stack_tx,
-    }
+        fused_ops: 0,
+        fused_lanes: 0,
+        fusion_saved_visits: 0,
+    };
+    (results, outcome)
 }
 
 #[cfg(test)]

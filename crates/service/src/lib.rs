@@ -66,12 +66,15 @@ pub use epoch::{
     Mutation, MutationAck,
 };
 pub use hist::{Histogram, HistogramSnapshot};
-pub use index::{BatchOutcome, KdIndex, ProfileCtx, ShardVisit, TreeIndex};
+pub use index::{
+    BatchOutcome, FusedLane, FusedLaneResult, FusedOutcome, KdIndex, ProfileCtx, ShardVisit,
+    TreeIndex,
+};
 pub use metrics::{
     percentile, BackendBatches, BatchRecord, IndexMetricsSnapshot, KindDropped, LatencyExemplar,
     Metrics, MetricsSnapshot,
 };
-pub use policy::{Backend, ExecPolicy};
+pub use policy::{Backend, ExecPolicy, FusionMode};
 pub use query::{BatchKey, IndexId, OpKey, Query, QueryKind, QueryResult};
 pub use service::{CompletionFn, Service, ServiceConfig, ServiceError, Ticket};
 pub use shard::{merge_kbest, ShardedIndex, ShardedIndexBuilder, DEFAULT_PROFILE_TTL};
@@ -79,6 +82,7 @@ pub use slowlog::{
     QueryRecord, ShardVisitRecord, SlowLog, SlowLogDump, SlowLogStats, SLOW_LOG_WARMUP,
 };
 pub use trace::{
-    merge_snapshots, EventKind, TraceContext, TraceEvent, TraceRecorder, TraceSnapshot,
-    TraceStream, TraceStreamStats, KIND_COUNT, KIND_NAMES,
+    fused_ops_name, merge_snapshots, EventKind, TraceContext, TraceEvent, TraceRecorder,
+    TraceSnapshot, TraceStream, TraceStreamStats, FUSED_OP_KNN, FUSED_OP_NN, FUSED_OP_PC,
+    KIND_COUNT, KIND_NAMES,
 };

@@ -59,6 +59,13 @@ pub struct BatchRecord {
     pub stack_bytes_peak: u64,
     /// Rope-stack memory transactions the batch paid.
     pub stack_transactions: u64,
+    /// Distinct constituent ops if this was a fused multi-op batch
+    /// (0 for an unfused batch).
+    pub fused_ops: u32,
+    /// Deduplicated lanes the fused walk carried (0 for unfused).
+    pub fused_lanes: u64,
+    /// Node visits fusion saved vs. modeled per-op solo walks.
+    pub fusion_saved_visits: u64,
 }
 
 impl BatchRecord {
@@ -86,6 +93,9 @@ impl BatchRecord {
             profile_cache_evictions: outcome.profile_cache_evictions,
             stack_bytes_peak: outcome.stack_bytes_peak,
             stack_transactions: outcome.stack_transactions,
+            fused_ops: outcome.fused_ops,
+            fused_lanes: outcome.fused_lanes,
+            fusion_saved_visits: outcome.fusion_saved_visits,
         }
     }
 }
@@ -113,6 +123,9 @@ struct Inner {
     profile_cache_hits: u64,
     profile_cache_misses: u64,
     profile_cache_evictions: u64,
+    fused_batches: u64,
+    fused_lanes: u64,
+    fusion_saved_visits: u64,
     admission_rejected: u64,
     // Network front-end counters, recorded by the socket server through
     // `Service::metrics_registry` so one snapshot covers the full path.
@@ -195,6 +208,11 @@ impl Metrics {
         m.profile_cache_hits += rec.profile_cache_hits;
         m.profile_cache_misses += rec.profile_cache_misses;
         m.profile_cache_evictions += rec.profile_cache_evictions;
+        if rec.fused_lanes > 0 {
+            m.fused_batches += 1;
+        }
+        m.fused_lanes += rec.fused_lanes;
+        m.fusion_saved_visits += rec.fusion_saved_visits;
         m.model_ms.record(rec.model_ms);
         m.work_expansion.record(rec.work_expansion);
         m.mask_occupancy.record(rec.mask_occupancy);
@@ -370,6 +388,9 @@ impl Metrics {
             profile_cache_hits: m.profile_cache_hits,
             profile_cache_misses: m.profile_cache_misses,
             profile_cache_evictions: m.profile_cache_evictions,
+            fused_batches: m.fused_batches,
+            fused_lanes: m.fused_lanes,
+            fusion_saved_visits: m.fusion_saved_visits,
             admission_rejected: m.admission_rejected,
             net_connections: m.net_connections,
             net_frames_rx: m.net_frames_rx,
@@ -490,6 +511,13 @@ pub struct MetricsSnapshot {
     pub profile_cache_misses: u64,
     /// Profile-cache entries dropped (TTL or capacity).
     pub profile_cache_evictions: u64,
+    /// Fused multi-op batches dispatched (same-index queries of different
+    /// ops answered by one tree walk under the union prune bound).
+    pub fused_batches: u64,
+    /// Deduplicated lanes carried by fused batches.
+    pub fused_lanes: u64,
+    /// Node visits fusion saved vs. modeled per-op solo walks.
+    pub fusion_saved_visits: u64,
     /// Queries rejected by latency-budget admission control (a subset of
     /// `rejected`).
     pub admission_rejected: u64,
@@ -641,7 +669,7 @@ impl MetricsSnapshot {
     /// for every histogram.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 26] = [
+        let counters: [(&str, u64); 29] = [
             ("gts_queries_submitted_total", self.submitted),
             ("gts_queries_completed_total", self.completed),
             ("gts_queries_rejected_total", self.rejected),
@@ -657,6 +685,12 @@ impl MetricsSnapshot {
             (
                 "gts_profile_cache_evictions_total",
                 self.profile_cache_evictions,
+            ),
+            ("gts_fused_batches_total", self.fused_batches),
+            ("gts_fused_lanes_total", self.fused_lanes),
+            (
+                "gts_fusion_node_visits_saved_total",
+                self.fusion_saved_visits,
             ),
             ("gts_admission_rejected_total", self.admission_rejected),
             ("gts_net_connections_total", self.net_connections),
@@ -838,6 +872,9 @@ mod tests {
             profile_cache_evictions: 0,
             stack_bytes_peak: 0,
             stack_transactions: 0,
+            fused_ops: 0,
+            fused_lanes: 0,
+            fusion_saved_visits: 0,
         }
     }
 
@@ -975,10 +1012,10 @@ mod tests {
         ] {
             assert!(text.contains(series), "missing `{series}` in:\n{text}");
         }
-        // One `# TYPE` header per exported metric family: 26 counters,
+        // One `# TYPE` header per exported metric family: 29 counters,
         // 11 gauges, 8 aggregate histograms, the per-backend choice and
         // per-kind trace-drop families, and 4 per-index families.
-        assert_eq!(text.matches("# TYPE").count(), 26 + 11 + 8 + 2 + 4);
+        assert_eq!(text.matches("# TYPE").count(), 29 + 11 + 8 + 2 + 4);
     }
 
     #[test]
@@ -1098,6 +1135,33 @@ mod tests {
             "gts_epoch 1",
             "gts_epoch_delta_depth 2",
             "gts_epoch_merge_ms_count 1",
+        ] {
+            assert!(text.contains(series), "missing `{series}`");
+        }
+    }
+
+    #[test]
+    fn fused_counters_accumulate_and_export() {
+        let m = Metrics::default();
+        // An unfused batch leaves the fusion counters untouched.
+        m.on_batch(&batch(4, Backend::Lockstep, 100, 0.1, 1.0, 0, 0));
+        let mut fused = batch(0, Backend::Autoropes, 60, 0.2, 1.0, 0, 0);
+        fused.size = 96;
+        fused.fused_ops = 3;
+        fused.fused_lanes = 40;
+        fused.fusion_saved_visits = 120;
+        m.on_batch(&fused);
+        m.on_batch(&fused);
+        let s = m.snapshot();
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.fused_batches, 2, "only fused batches count");
+        assert_eq!(s.fused_lanes, 80);
+        assert_eq!(s.fusion_saved_visits, 240);
+        let text = s.to_prometheus();
+        for series in [
+            "gts_fused_batches_total 2",
+            "gts_fused_lanes_total 80",
+            "gts_fusion_node_visits_saved_total 240",
         ] {
             assert!(text.contains(series), "missing `{series}`");
         }

@@ -59,6 +59,44 @@ impl Backend {
     }
 }
 
+/// When the batcher may coalesce same-index queries of *different* ops
+/// (NN / kNN / PC) into one fused traversal (one tree walk under the
+/// union prune bound, per-op answers bit-identical to unfused runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionMode {
+    /// Fuse only when it plausibly saves work: a drain window must hold
+    /// at least two *distinct* ops against the same index. Single-op
+    /// windows keep today's per-op batches.
+    #[default]
+    Auto,
+    /// Fuse every same-index group in a drain window, even single-op
+    /// ones (still exercises lane dedup; mostly for tests and A/B runs).
+    On,
+    /// Never fuse — reproduces per-op batching exactly.
+    Off,
+}
+
+impl FusionMode {
+    /// Stable lowercase name for CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusionMode::Auto => "auto",
+            FusionMode::On => "on",
+            FusionMode::Off => "off",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<FusionMode> {
+        match name {
+            "auto" => Some(FusionMode::Auto),
+            "on" => Some(FusionMode::On),
+            "off" => Some(FusionMode::Off),
+            _ => None,
+        }
+    }
+}
+
 /// How a batch chooses its executor.
 #[derive(Debug, Clone)]
 pub struct ExecPolicy {
@@ -94,6 +132,9 @@ pub struct ExecPolicy {
     /// it wins exactly where lockstep loses. High-similarity batches still
     /// go to lockstep.
     pub stackless: bool,
+    /// When the batcher may fuse same-index multi-op drain windows into
+    /// one traversal (see [`FusionMode`]).
+    pub fusion: FusionMode,
 }
 
 impl Default for ExecPolicy {
@@ -108,6 +149,7 @@ impl Default for ExecPolicy {
             shard_parallelism: 0,
             profile_cache: true,
             stackless: false,
+            fusion: FusionMode::default(),
         }
     }
 }

@@ -94,9 +94,19 @@ impl QueryKind {
         match *self {
             QueryKind::Nn => Some(OpKey::Nn),
             QueryKind::Knn { k } => (k > 0).then_some(OpKey::Knn(k)),
-            QueryKind::Pc { radius } => {
-                (radius.is_finite() && radius >= 0.0).then_some(OpKey::Pc(radius.to_bits()))
-            }
+            QueryKind::Pc { radius } => (radius.is_finite() && radius >= 0.0).then_some({
+                // Key on the *numeric value*, not the raw bit pattern:
+                // `-0.0 == 0.0` yet their bit patterns differ, so a
+                // recomputed-but-equal radius must not land in a separate
+                // batch. For every other admissible radius (finite, > 0)
+                // value equality and bit equality coincide.
+                let bits = if radius == 0.0 {
+                    0.0f32.to_bits()
+                } else {
+                    radius.to_bits()
+                };
+                OpKey::Pc(bits)
+            }),
         }
     }
 }
@@ -123,5 +133,20 @@ mod tests {
         }
         .op_key();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pc_keys_coalesce_numerically_equal_radii() {
+        // `-0.0` and `+0.0` compare equal but differ in bit pattern; the
+        // key must normalize them so equal radii share one batch.
+        let pos = QueryKind::Pc { radius: 0.0 }.op_key();
+        let neg = QueryKind::Pc { radius: -0.0 }.op_key();
+        assert_eq!(pos, neg);
+        assert_eq!(pos, Some(OpKey::Pc(0.0f32.to_bits())));
+        // A radius recomputed through arithmetic that lands on the same
+        // value keys identically.
+        let direct = QueryKind::Pc { radius: 0.25 }.op_key();
+        let recomputed = QueryKind::Pc { radius: 0.5 * 0.5 }.op_key();
+        assert_eq!(direct, recomputed);
     }
 }

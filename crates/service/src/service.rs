@@ -19,13 +19,17 @@
 
 use crate::batcher::{BatchEntry, Batcher, ReadyBatch};
 use crate::epoch::{EpochEvent, EpochStats, MutateError, Mutation, MutationAck};
-use crate::index::TreeIndex;
+use crate::index::{FusedLane, FusedLaneResult, FusedOutcome, TreeIndex};
 use crate::metrics::{BatchRecord, KindDropped, Metrics, MetricsSnapshot};
-use crate::policy::ExecPolicy;
+use crate::policy::{ExecPolicy, FusionMode};
 use crate::query::{BatchKey, IndexId, OpKey, Query, QueryResult};
 use crate::slowlog::{PendingQuery, QueryRecord, ShardVisitRecord, SlowLog};
-use crate::trace::{EventKind, TraceContext, TraceRecorder, TraceSnapshot, NO_ID};
+use crate::trace::{
+    EventKind, TraceContext, TraceRecorder, TraceSnapshot, FUSED_OP_KNN, FUSED_OP_NN, FUSED_OP_PC,
+    NO_ID,
+};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, HashSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -334,6 +338,149 @@ struct Submission {
     tag: Tag,
 }
 
+/// One constituent per-op batch riding a fused dispatch: the original
+/// ready batch's key and id, each entry annotated with the index of the
+/// fused lane serving it.
+struct FusedPart<T> {
+    key: BatchKey,
+    batch_id: u64,
+    entries: Vec<(BatchEntry<T>, u32)>,
+}
+
+/// A fused multi-op dispatch: deduplicated per-position lanes for one
+/// index, plus the per-op parts whose tickets the worker scatters the
+/// lane answers back to.
+struct FusedReady<T> {
+    id: u64,
+    index: IndexId,
+    lanes: Vec<FusedLane>,
+    parts: Vec<FusedPart<T>>,
+}
+
+/// What travels the dispatch channel: a plain per-op batch or a fused
+/// multi-op dispatch the coalescer built from several of them.
+enum Dispatch<T> {
+    Single(ReadyBatch<T>),
+    Fused(FusedReady<T>),
+}
+
+/// Should a same-index group spanning `distinct_ops` distinct op keys
+/// fuse into one dispatch?
+fn should_fuse(fusion: FusionMode, distinct_ops: usize) -> bool {
+    match fusion {
+        FusionMode::Off => false,
+        FusionMode::On => true,
+        // The auto heuristic: fusion only pays when ≥ 2 ops share the
+        // index in the drain window — a lone op's "fused" walk is the
+        // solo walk with extra bookkeeping.
+        FusionMode::Auto => distinct_ops >= 2,
+    }
+}
+
+/// Group a drain window's ready batches by index and fuse the groups the
+/// policy admits; everything else passes through unfused. Lanes dedup on
+/// exact position bit patterns, so N ops at one position traverse once.
+fn coalesce<T>(
+    burst: Vec<ReadyBatch<T>>,
+    fusion: FusionMode,
+    batcher: &mut Batcher<T>,
+) -> Vec<Dispatch<T>> {
+    if fusion == FusionMode::Off {
+        return burst.into_iter().map(Dispatch::Single).collect();
+    }
+    let mut groups: Vec<(IndexId, Vec<ReadyBatch<T>>)> = Vec::new();
+    for b in burst {
+        match groups.iter_mut().find(|(ix, _)| *ix == b.key.index) {
+            Some((_, v)) => v.push(b),
+            None => groups.push((b.key.index, vec![b])),
+        }
+    }
+    let mut out = Vec::new();
+    for (index, batches) in groups {
+        let distinct: HashSet<OpKey> = batches.iter().map(|b| b.key.op).collect();
+        if should_fuse(fusion, distinct.len()) {
+            out.push(Dispatch::Fused(fuse_group(
+                index,
+                batches,
+                batcher.take_id(),
+            )));
+        } else {
+            out.extend(batches.into_iter().map(Dispatch::Single));
+        }
+    }
+    out
+}
+
+/// Build one fused dispatch from same-index per-op batches: one lane per
+/// distinct query position (keyed on exact f32 bit patterns), each lane
+/// accumulating every op requested at that position.
+fn fuse_group<T>(index: IndexId, batches: Vec<ReadyBatch<T>>, id: u64) -> FusedReady<T> {
+    let mut lane_of: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut lanes: Vec<FusedLane> = Vec::new();
+    let mut parts = Vec::with_capacity(batches.len());
+    for b in batches {
+        let mut entries = Vec::with_capacity(b.entries.len());
+        for e in b.entries {
+            let bits: Vec<u32> = e.pos.iter().map(|v| v.to_bits()).collect();
+            let lane = *lane_of.entry(bits).or_insert_with(|| {
+                lanes.push(FusedLane::empty(e.pos.clone()));
+                (lanes.len() - 1) as u32
+            });
+            let l = &mut lanes[lane as usize];
+            match b.key.op {
+                OpKey::Nn => l.nn = true,
+                OpKey::Knn(k) => {
+                    if let Err(i) = l.knn_ks.binary_search(&k) {
+                        l.knn_ks.insert(i, k);
+                    }
+                }
+                // Radii are normalized positive-float bit patterns, so
+                // bit order is value order.
+                OpKey::Pc(r) => {
+                    if let Err(i) = l.pc_radii.binary_search(&r) {
+                        l.pc_radii.insert(i, r);
+                    }
+                }
+            }
+            entries.push((e, lane));
+        }
+        parts.push(FusedPart {
+            key: b.key,
+            batch_id: b.id,
+            entries,
+        });
+    }
+    FusedReady {
+        id,
+        index,
+        lanes,
+        parts,
+    }
+}
+
+/// The per-op answer for `op` out of a fused lane's aligned results.
+fn extract_fused_result(lane: &FusedLane, r: &FusedLaneResult, op: OpKey) -> QueryResult {
+    match op {
+        OpKey::Nn => r.nn.clone().expect("fused lane served nn"),
+        OpKey::Knn(k) => {
+            let slot = lane
+                .knn_ks
+                .iter()
+                .position(|&x| x == k)
+                .expect("fused lane served this k");
+            r.knn[slot].clone()
+        }
+        OpKey::Pc(bits) => {
+            let slot = lane
+                .pc_radii
+                .iter()
+                .position(|&x| x == bits)
+                .expect("fused lane served this radius");
+            r.pc[slot].clone()
+        }
+    }
+}
+
 struct Shared {
     indices: RwLock<Vec<Arc<dyn TreeIndex>>>,
     metrics: Metrics,
@@ -415,14 +562,14 @@ impl Service {
             policy: config.policy.clone(),
         });
         let (submit_tx, submit_rx) = bounded::<Submission>(config.queue_capacity.max(1));
-        let (dispatch_tx, dispatch_rx) =
-            bounded::<ReadyBatch<Tag>>(config.dispatch_capacity.max(1));
+        let (dispatch_tx, dispatch_rx) = bounded::<Dispatch<Tag>>(config.dispatch_capacity.max(1));
 
         let batch_queries = config.batch_queries;
         let max_wait = config.max_wait;
+        let fusion = config.policy.fusion;
         let batcher = std::thread::Builder::new()
             .name("gts-service-batcher".into())
-            .spawn(move || run_batcher(submit_rx, dispatch_tx, batch_queries, max_wait))
+            .spawn(move || run_batcher(submit_rx, dispatch_tx, batch_queries, max_wait, fusion))
             .expect("spawn batcher");
 
         let workers = (0..config.workers.max(1))
@@ -918,20 +1065,28 @@ impl Drop for Service {
 
 fn run_batcher(
     rx: Receiver<Submission>,
-    tx: Sender<ReadyBatch<Tag>>,
+    tx: Sender<Dispatch<Tag>>,
     batch_queries: usize,
     max_wait: Duration,
+    fusion: FusionMode,
 ) {
     let mut batcher: Batcher<Tag> = Batcher::new(batch_queries, max_wait);
     // A failed dispatch (workers gone early — only happens on a worker
     // panic) must still resolve the batch's tickets or `wait` would hang.
-    let send = |ready: ReadyBatch<Tag>| -> bool {
-        match tx.send(ready) {
+    let send = |d: Dispatch<Tag>| -> bool {
+        match tx.send(d) {
             Ok(()) => true,
             Err(err) => {
-                for e in err.0.entries {
-                    e.tag
-                        .ticket
+                let tags: Vec<Tag> = match err.0 {
+                    Dispatch::Single(b) => b.entries.into_iter().map(|e| e.tag).collect(),
+                    Dispatch::Fused(f) => f
+                        .parts
+                        .into_iter()
+                        .flat_map(|p| p.entries.into_iter().map(|(e, _)| e.tag))
+                        .collect(),
+                };
+                for tag in tags {
+                    tag.ticket
                         .resolve(Err(ServiceError::Internal("dispatch queue closed".into())));
                 }
                 false
@@ -944,6 +1099,10 @@ fn run_batcher(
             Some(d) => d.saturating_duration_since(Instant::now()),
             None => Duration::from_millis(50),
         };
+        // Collect everything this tick releases — the drain window the
+        // fusion coalescer groups over.
+        let mut burst: Vec<ReadyBatch<Tag>> = Vec::new();
+        let mut disconnected = false;
         match rx.recv_timeout(timeout) {
             Ok(sub) => {
                 let entry = BatchEntry {
@@ -951,26 +1110,65 @@ fn run_batcher(
                     tag: sub.tag,
                 };
                 if let Some(ready) = batcher.push(sub.key, entry, Instant::now()) {
-                    send(ready);
+                    burst.push(ready);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => {
-                // Shutdown: drain every bucket before exiting.
-                for ready in batcher.flush_all() {
-                    send(ready);
+            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+        burst.extend(batcher.flush_due(Instant::now()));
+        if disconnected {
+            // Shutdown: drain every bucket before exiting.
+            burst.extend(batcher.flush_all());
+        }
+        if !burst.is_empty() {
+            // Pull same-index companion buckets into the window when the
+            // group will actually fuse: a full NN bucket should carry the
+            // half-full kNN/PC buckets along rather than leave them to
+            // age out into separate walks. Never under `Off`; under
+            // `Auto` only when the union spans ≥ 2 distinct ops (a
+            // non-fusing drain must leave companion buckets untouched so
+            // unfused timing is exactly today's).
+            if fusion != FusionMode::Off {
+                let mut indices: Vec<IndexId> = Vec::new();
+                for b in &burst {
+                    if !indices.contains(&b.key.index) {
+                        indices.push(b.key.index);
+                    }
                 }
-                return;
+                for ix in indices {
+                    let mut ops: HashSet<OpKey> = burst
+                        .iter()
+                        .filter(|b| b.key.index == ix)
+                        .map(|b| b.key.op)
+                        .collect();
+                    ops.extend(batcher.pending_ops(ix));
+                    if should_fuse(fusion, ops.len()) {
+                        burst.extend(batcher.flush_index(ix));
+                    }
+                }
+            }
+            for d in coalesce(burst, fusion, &mut batcher) {
+                send(d);
             }
         }
-        for ready in batcher.flush_due(Instant::now()) {
-            send(ready);
+        if disconnected {
+            return;
         }
     }
 }
 
-fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
-    while let Ok(batch) = rx.recv() {
+fn run_worker(rx: Receiver<Dispatch<Tag>>, shared: Arc<Shared>) {
+    while let Ok(d) = rx.recv() {
+        match d {
+            Dispatch::Single(batch) => handle_single(batch, &shared),
+            Dispatch::Fused(fused) => handle_fused(fused, &shared),
+        }
+    }
+}
+
+fn handle_single(batch: ReadyBatch<Tag>, shared: &Arc<Shared>) {
+    {
         let dispatched = Instant::now();
         let ReadyBatch { id, key, entries } = batch;
         let trace = &shared.trace;
@@ -1138,6 +1336,246 @@ fn run_worker(rx: Receiver<ReadyBatch<Tag>>, shared: Arc<Shared>) {
                             trace_id: pending.ctx.trace_id,
                             span_id: pending.ctx.span_id,
                             index: index_name.to_string(),
+                            op: pending.op,
+                            outcome: "rejected",
+                            reason: Some(reason),
+                            backend: None,
+                            batch: Some(id),
+                            submitted_us: pending.submitted_us,
+                            queue_wait_us: dispatched.duration_since(e.tag.submitted).as_micros()
+                                as u64,
+                            exec_us: 0,
+                            latency_us: now_us.saturating_sub(pending.submitted_us),
+                            threshold_us: shared.slow_log.stats().threshold_us,
+                            node_visits: 0,
+                            stack_bytes_peak: 0,
+                            shards_pruned: 0,
+                            shard_visits: Vec::new(),
+                            epoch: None,
+                            pending_deltas: None,
+                        });
+                    }
+                    let Tag { ticket, _depth, .. } = e.tag;
+                    drop(_depth);
+                    ticket.resolve(Err(err.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Execute one fused multi-op dispatch: run the index's fused path once,
+/// then scatter each lane's per-op answers back to the constituent
+/// batches' tickets. An index without a fused path (`run_fused` → `None`)
+/// falls back to running each part unfused — same answers, no fusion win.
+fn handle_fused(fused: FusedReady<Tag>, shared: &Arc<Shared>) {
+    let dispatched = Instant::now();
+    let FusedReady {
+        id,
+        index: index_id,
+        lanes,
+        parts,
+    } = fused;
+    let trace = &shared.trace;
+    let dispatch_us = trace.us_of(dispatched);
+    let index = {
+        let indices = shared.indices.read().unwrap_or_else(|e| e.into_inner());
+        indices.get(index_id).cloned()
+    };
+    let outcome = match &index {
+        Some(index) => {
+            std::panic::catch_unwind(AssertUnwindSafe(|| index.run_fused(&lanes, &shared.policy)))
+                .map_err(|_| ServiceError::Internal("kernel panicked".into()))
+        }
+        None => Err(ServiceError::UnknownIndex(index_id)),
+    };
+    match outcome {
+        Ok(Some(FusedOutcome {
+            lanes: lane_results,
+            outcome: out,
+        })) => {
+            let index_name = index
+                .as_ref()
+                .map(|i| i.name().to_string())
+                .unwrap_or_else(|| "unknown".to_string());
+            let size: usize = parts.iter().map(|p| p.entries.len()).sum();
+            let queue_wait = parts
+                .iter()
+                .flat_map(|p| &p.entries)
+                .map(|(e, _)| dispatched.duration_since(e.tag.submitted))
+                .max()
+                .unwrap_or(Duration::ZERO);
+            let done = Instant::now();
+            let exec = done.duration_since(dispatched);
+            // The fused outcome's `results` is empty (answers live in
+            // `lane_results`) — the record's size is the query count the
+            // dispatch served.
+            let mut rec = BatchRecord::from_outcome(&out, queue_wait, exec, &index_name);
+            rec.size = size;
+            shared.metrics.on_batch(&rec);
+            let done_us = trace.us_of(done);
+            let mut ops_mask = 0u32;
+            for l in &lanes {
+                if l.nn {
+                    ops_mask |= FUSED_OP_NN;
+                }
+                if !l.knn_ks.is_empty() {
+                    ops_mask |= FUSED_OP_KNN;
+                }
+                if !l.pc_radii.is_empty() {
+                    ops_mask |= FUSED_OP_PC;
+                }
+            }
+            // One FusedBatch span per fused dispatch, naming the
+            // constituent ops — the fused counterpart of the Batch span.
+            trace.span(
+                dispatch_us,
+                done_us.saturating_sub(dispatch_us),
+                NO_ID,
+                id,
+                EventKind::FusedBatch {
+                    lanes: lanes.len() as u32,
+                    parts: parts.len() as u32,
+                    ops: ops_mask,
+                    backend: out.backend,
+                    node_visits: out.node_visits,
+                    saved_visits: out.fusion_saved_visits,
+                },
+            );
+            trace.instant(
+                done_us,
+                NO_ID,
+                id,
+                EventKind::BackendChoice {
+                    backend: out.backend,
+                    similarity: out.mean_similarity,
+                },
+            );
+            for v in &out.shard_visits {
+                trace.span(
+                    dispatch_us + v.offset_us,
+                    v.dur_us,
+                    NO_ID,
+                    id,
+                    EventKind::ShardVisit {
+                        shard: v.shard,
+                        round: v.round,
+                        queries: v.queries,
+                        node_visits: v.node_visits,
+                    },
+                );
+            }
+            let threshold_us = shared
+                .metrics
+                .slow_threshold_us(shared.slow_log.percentile());
+            let epoch_stats = index.as_ref().and_then(|i| i.epoch_stats());
+            let shard_visits: Vec<ShardVisitRecord> = out
+                .shard_visits
+                .iter()
+                .map(|v| ShardVisitRecord {
+                    shard: v.shard,
+                    round: v.round,
+                    queries: v.queries,
+                    node_visits: v.node_visits,
+                    pruned: v.pruned,
+                })
+                .collect();
+            for part in parts {
+                for (e, lane) in part.entries {
+                    let lane_i = lane as usize;
+                    let r =
+                        extract_fused_result(&lanes[lane_i], &lane_results[lane_i], part.key.op);
+                    let latency = done.duration_since(e.tag.submitted);
+                    shared.metrics.on_complete(
+                        &index_name,
+                        latency,
+                        e.tag.query,
+                        e.tag.ctx.trace_id,
+                    );
+                    if let Some(pending) = shared.slow_log.finish(e.tag.query) {
+                        let latency_us = latency.as_micros() as u64;
+                        let (commit, outcome, threshold) =
+                            shared.slow_log.decide(latency_us, threshold_us);
+                        if commit {
+                            shared.slow_log.commit(QueryRecord {
+                                query: pending.query,
+                                trace_id: pending.ctx.trace_id,
+                                span_id: pending.ctx.span_id,
+                                index: index_name.clone(),
+                                op: pending.op,
+                                outcome,
+                                reason: None,
+                                backend: Some(out.backend.name()),
+                                batch: Some(id),
+                                submitted_us: pending.submitted_us,
+                                queue_wait_us: dispatched
+                                    .duration_since(e.tag.submitted)
+                                    .as_micros()
+                                    as u64,
+                                exec_us: exec.as_micros() as u64,
+                                latency_us,
+                                threshold_us: threshold,
+                                node_visits: out.node_visits,
+                                stack_bytes_peak: out.stack_bytes_peak,
+                                shards_pruned: out.shards_pruned,
+                                shard_visits: shard_visits.clone(),
+                                epoch: epoch_stats.as_ref().map(|s| s.epoch),
+                                pending_deltas: epoch_stats.as_ref().map(|s| s.pending),
+                            });
+                        }
+                    }
+                    let start_us = trace.us_of(e.tag.submitted);
+                    trace.span_traced(
+                        start_us,
+                        done_us.saturating_sub(start_us),
+                        e.tag.query,
+                        id,
+                        e.tag.ctx.trace_id,
+                        EventKind::Complete,
+                    );
+                    let Tag { ticket, _depth, .. } = e.tag;
+                    drop(_depth);
+                    ticket.resolve(Ok(r));
+                }
+            }
+        }
+        Ok(None) => {
+            // The index has no fused path — run each constituent batch
+            // unfused. Per-op answers are identical; only the fusion win
+            // is forfeited.
+            for p in parts {
+                handle_single(
+                    ReadyBatch {
+                        id: p.batch_id,
+                        key: p.key,
+                        entries: p.entries.into_iter().map(|(e, _)| e).collect(),
+                    },
+                    shared,
+                );
+            }
+        }
+        Err(err) => {
+            let index_name = index
+                .as_ref()
+                .map(|i| i.name().to_string())
+                .unwrap_or_else(|| "unknown".to_string());
+            let reason = reject_reason(&err);
+            let now_us = trace.now_us();
+            for part in parts {
+                for (e, _) in part.entries {
+                    trace.instant_traced(
+                        now_us,
+                        e.tag.query,
+                        id,
+                        e.tag.ctx.trace_id,
+                        EventKind::Reject { reason },
+                    );
+                    if let Some(pending) = shared.slow_log.finish(e.tag.query) {
+                        shared.slow_log.commit(QueryRecord {
+                            query: pending.query,
+                            trace_id: pending.ctx.trace_id,
+                            span_id: pending.ctx.span_id,
+                            index: index_name.clone(),
                             op: pending.op,
                             outcome: "rejected",
                             reason: Some(reason),

@@ -66,7 +66,10 @@
 //! * **PC** — sum the per-shard counts (shards partition the points, so
 //!   counts are exact).
 
-use crate::index::{BatchOutcome, KdIndex, ProfileCtx, ShardVisit, TreeIndex};
+use crate::index::{
+    distinct_ops, BatchOutcome, FusedLane, FusedLaneResult, FusedOutcome, KdIndex, ProfileCtx,
+    ShardVisit, TreeIndex,
+};
 use crate::policy::{Backend, ExecPolicy};
 use crate::query::{OpKey, QueryResult};
 use gts_apps::kbest::KBest;
@@ -590,6 +593,70 @@ impl Acc {
     }
 }
 
+/// Per-lane merge accumulator for a fused batch: one [`Acc`] per
+/// constituent op, so each op folds per-shard answers with exactly the
+/// strict-improvement rules of its unfused path. A shard is dispatched
+/// for the lane iff *any* constituent could still improve — the union
+/// admission rule. Union-extra shards (where some constituent was
+/// unimprovable) cannot corrupt that constituent: every candidate they
+/// produce fails its strict merge rule (NN: `d2 ≥ lb ≥ best`; kNN: set
+/// full and `d2 ≥ lb ≥ bound`; PC: `d2 ≥ lb > r²` counts nothing).
+pub(crate) struct FusedAcc {
+    nn: Option<Acc>,
+    knn: Vec<Acc>,
+    /// `(radius², accumulator)` per requested radius.
+    pc: Vec<(f32, Acc)>,
+}
+
+impl FusedAcc {
+    pub(crate) fn new(lane: &FusedLane) -> FusedAcc {
+        FusedAcc {
+            nn: lane.nn.then(|| Acc::new(OpKey::Nn)),
+            knn: lane
+                .knn_ks
+                .iter()
+                .map(|&k| Acc::new(OpKey::Knn(k)))
+                .collect(),
+            pc: lane
+                .pc_radii
+                .iter()
+                .map(|&bits| {
+                    let r = f32::from_bits(bits);
+                    (r * r, Acc::new(OpKey::Pc(bits)))
+                })
+                .collect(),
+        }
+    }
+
+    /// Union admission: can a shard at lower bound `lb` still change any
+    /// constituent's answer?
+    fn improvable(&self, lb: f32) -> bool {
+        self.nn.as_ref().is_some_and(|a| a.improvable(lb, 0.0))
+            || self.knn.iter().any(|a| a.improvable(lb, 0.0))
+            || self.pc.iter().any(|(r2, a)| a.improvable(lb, *r2))
+    }
+
+    pub(crate) fn absorb(&mut self, r: &FusedLaneResult, ids: &[u32]) {
+        if let (Some(acc), Some(res)) = (self.nn.as_mut(), r.nn.as_ref()) {
+            acc.absorb(res, ids);
+        }
+        for (acc, res) in self.knn.iter_mut().zip(&r.knn) {
+            acc.absorb(res, ids);
+        }
+        for ((_, acc), res) in self.pc.iter_mut().zip(&r.pc) {
+            acc.absorb(res, ids);
+        }
+    }
+
+    pub(crate) fn finish(self) -> FusedLaneResult {
+        FusedLaneResult {
+            nn: self.nn.map(Acc::finish),
+            knn: self.knn.into_iter().map(Acc::finish).collect(),
+            pc: self.pc.into_iter().map(|(_, a)| a.finish()).collect(),
+        }
+    }
+}
+
 /// Merge per-shard k-best lists (each `(distances, ids)`, ascending) into
 /// the global k-best. Equivalent to taking the k-best of the concatenated
 /// lists — the invariant the sharded kNN merge relies on, re-checked by
@@ -802,6 +869,9 @@ impl StatAgg {
             profile_cache_evictions: self.cache_evictions,
             stack_bytes_peak: self.stack_bytes_peak,
             stack_transactions: self.stack_transactions,
+            fused_ops: 0,
+            fused_lanes: 0,
+            fusion_saved_visits: 0,
         }
     }
 }
@@ -817,6 +887,11 @@ impl<const D: usize> TreeIndex for ShardedIndex<D> {
 
     fn n_points(&self) -> usize {
         self.n_points
+    }
+
+    fn run_fused(&self, lanes: &[FusedLane], policy: &ExecPolicy) -> Option<FusedOutcome> {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
+        Some(self.run_fused_rounds(lanes, policy, epoch))
     }
 
     fn run_batch(&self, op: OpKey, positions: &[Vec<f32>], policy: &ExecPolicy) -> BatchOutcome {
@@ -887,6 +962,120 @@ impl<const D: usize> ShardedIndex<D> {
             }
         }
         agg.finish(acc.into_iter().map(Acc::finish).collect(), shards_pruned)
+    }
+
+    /// Fused path: sequential round-by-round fan-out under the *union*
+    /// admission rule — a round dispatches a lane's next shard iff any
+    /// constituent op could still improve there. Per-shard sub-runs start
+    /// with fresh lane state (exactly like the unfused per-shard runs)
+    /// and fold back through [`FusedAcc`]'s per-op strict-improvement
+    /// merges, so every constituent's answer is bit-identical to its
+    /// unfused sharded run. Always sequential regardless of
+    /// `shard_parallelism`: correctness of the union prune depends on the
+    /// running accumulator, and the fused batch is already the coalesced
+    /// form of several per-op batches.
+    fn run_fused_rounds(
+        &self,
+        lanes: &[FusedLane],
+        policy: &ExecPolicy,
+        epoch: u64,
+    ) -> FusedOutcome {
+        let n = lanes.len();
+        let n_shards = self.shards.len();
+        let qpts: Vec<PointN<D>> = lanes.iter().map(|l| Self::to_point(&l.pos)).collect();
+        let visit = self.visit_orders(&qpts);
+
+        let mut acc: Vec<FusedAcc> = lanes.iter().map(FusedAcc::new).collect();
+        let mut shards_pruned = 0u64;
+        let mut saved_visits = 0u64;
+        let mut agg = StatAgg::default();
+        let started = Instant::now();
+
+        for round in 0..n_shards {
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+            for (q, order) in visit.iter().enumerate() {
+                let (lb, s) = order[round];
+                if self.prune && !acc[q].improvable(lb) {
+                    shards_pruned += 1;
+                    agg.note_pruned(s, round as u32);
+                } else {
+                    groups[s as usize].push(q);
+                }
+            }
+            for (s, qs) in groups.iter().enumerate() {
+                if qs.is_empty() {
+                    continue;
+                }
+                let (run, lane_results) =
+                    self.run_fused_sub(s, round as u32, qs, lanes, policy, epoch, &started);
+                for (&q, r) in qs.iter().zip(&lane_results) {
+                    acc[q].absorb(r, &self.shards[s].ids);
+                }
+                saved_visits += run.out.fusion_saved_visits;
+                agg.add(&run);
+            }
+        }
+        let mut outcome = agg.finish(Vec::new(), shards_pruned);
+        outcome.fused_ops = distinct_ops(lanes);
+        outcome.fused_lanes = n as u64;
+        outcome.fusion_saved_visits = saved_visits;
+        FusedOutcome {
+            lanes: acc.into_iter().map(FusedAcc::finish).collect(),
+            outcome,
+        }
+    }
+
+    /// Run the fused sub-batch of lanes `qs` against shard `shard_i`,
+    /// consulting the shard's profile cache under a fused-specific key
+    /// tag (fused batches mix ops, so their §4.4 decisions must not
+    /// alias any single op's).
+    #[allow(clippy::too_many_arguments)]
+    fn run_fused_sub(
+        &self,
+        shard_i: usize,
+        round: u32,
+        qs: &[usize],
+        lanes: &[FusedLane],
+        policy: &ExecPolicy,
+        epoch: u64,
+        started: &Instant,
+    ) -> (SubRun, Vec<FusedLaneResult>) {
+        let shard = &self.shards[shard_i];
+        let sub: Vec<FusedLane> = qs.iter().map(|&q| lanes[q].clone()).collect();
+        let use_cache = self.profile_ttl > 0
+            && policy.profile_cache
+            && policy.force.is_none()
+            && sub.len() >= 2;
+        let offset_us = started.elapsed().as_micros() as u64;
+        let fused = if use_cache {
+            let mut octants = 0u64;
+            for lane in &sub {
+                octants |= 1 << (morton_prefix(&Self::to_point(&lane.pos), &shard.bbox, 1) & 63);
+            }
+            let bucket = u64::from(sub.len().ilog2());
+            let key = profile_key(
+                policy.profile_seed,
+                &[3, u64::from(distinct_ops(&sub)), bucket, octants],
+            );
+            let ctx = ProfileCtx {
+                cache: &shard.profile,
+                key,
+                epoch,
+            };
+            shard.index.run_fused_profiled(&sub, policy, Some(&ctx))
+        } else {
+            shard.index.run_fused_profiled(&sub, policy, None)
+        };
+        let dur_us = (started.elapsed().as_micros() as u64).saturating_sub(offset_us);
+        let run = SubRun {
+            shard: shard_i as u32,
+            round,
+            queries: qs.len() as u32,
+            out: fused.outcome,
+            offset_us,
+            dur_us,
+        };
+        (run, fused.lanes)
     }
 
     /// Latency-optimal parallel path (`shard_threads == n_shards`): two

@@ -57,6 +57,24 @@ pub enum EventKind {
         /// Mean live-lane fraction per warp pop.
         mask_occupancy: f64,
     },
+    /// One fused multi-op batch executed on a worker (span: dispatch →
+    /// tickets resolved). `ops` is a bitmask naming the constituent op
+    /// families (1 = nn, 2 = knn, 4 = pc), rendered as `"nn+knn+pc"` in
+    /// the Chrome args.
+    FusedBatch {
+        /// Deduplicated lanes the fused walk carried.
+        lanes: u32,
+        /// Constituent per-op batches coalesced into the dispatch.
+        parts: u32,
+        /// Op-family bitmask (1 = nn, 2 = knn, 4 = pc).
+        ops: u32,
+        /// Executor that ran it.
+        backend: Backend,
+        /// Tree-node visits across the fused batch.
+        node_visits: u64,
+        /// Node visits saved vs. modeled per-op solo walks.
+        saved_visits: u64,
+    },
     /// The §4.4 profiler's (or forced policy's) executor decision.
     BackendChoice {
         /// Chosen executor.
@@ -152,7 +170,7 @@ pub enum EventKind {
 }
 
 /// Number of [`EventKind`] variants (size of the per-kind drop counters).
-pub const KIND_COUNT: usize = 15;
+pub const KIND_COUNT: usize = 16;
 
 impl EventKind {
     /// Stable short tag, used as the `kind` label on
@@ -179,6 +197,7 @@ impl EventKind {
             EventKind::ClientSpan { .. } => 12,
             EventKind::FlowOut { .. } => 13,
             EventKind::FlowIn { .. } => 14,
+            EventKind::FusedBatch { .. } => 15,
         }
     }
 }
@@ -200,10 +219,38 @@ pub const KIND_NAMES: [&str; KIND_COUNT] = [
     "client_span",
     "flow_out",
     "flow_in",
+    "fused_batch",
 ];
 
 /// Marker for "no query/batch id" on events that lack one.
 pub const NO_ID: u64 = u64::MAX;
+
+/// NN bit of [`EventKind::FusedBatch`]'s op-family mask.
+pub const FUSED_OP_NN: u32 = 1;
+/// kNN bit of [`EventKind::FusedBatch`]'s op-family mask.
+pub const FUSED_OP_KNN: u32 = 2;
+/// PC bit of [`EventKind::FusedBatch`]'s op-family mask.
+pub const FUSED_OP_PC: u32 = 4;
+
+/// Stable `+`-joined name of an op-family mask (`"nn+knn+pc"`) — how a
+/// fused batch's constituent ops read in the Chrome trace args.
+pub fn fused_ops_name(mask: u32) -> String {
+    let mut parts = Vec::new();
+    if mask & FUSED_OP_NN != 0 {
+        parts.push("nn");
+    }
+    if mask & FUSED_OP_KNN != 0 {
+        parts.push("knn");
+    }
+    if mask & FUSED_OP_PC != 0 {
+        parts.push("pc");
+    }
+    if parts.is_empty() {
+        "none".to_string()
+    } else {
+        parts.join("+")
+    }
+}
 
 /// Wire-propagated trace context: the client's per-connection trace id
 /// plus a per-frame span id. Carried by v2 `Submit`/`BatchSubmit` frames
@@ -492,11 +539,19 @@ pub struct TraceSnapshot {
 }
 
 impl TraceSnapshot {
-    /// Number of batch-execution spans in the snapshot.
+    /// Number of batch-execution spans in the snapshot. Fused dispatches
+    /// record a [`EventKind::FusedBatch`] span instead of a plain batch
+    /// span, and both shapes count here — the invariant is one span per
+    /// dispatched batch, fused or not.
     pub fn batch_spans(&self) -> usize {
         self.events
             .iter()
-            .filter(|e| matches!(e.kind, EventKind::Batch { .. }))
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Batch { .. } | EventKind::FusedBatch { .. }
+                )
+            })
             .count()
     }
 
@@ -590,6 +645,7 @@ fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
         EventKind::Submit => ("submit", "i", QUERY_PID, ev.query),
         EventKind::Enqueue => ("enqueue", "i", QUERY_PID, ev.query),
         EventKind::Batch { .. } => ("batch", "X", BATCH_PID, ev.batch),
+        EventKind::FusedBatch { .. } => ("fused_batch", "X", BATCH_PID, ev.batch),
         EventKind::BackendChoice { .. } => ("backend", "i", BATCH_PID, ev.batch),
         EventKind::ShardVisit { shard, .. } => ("shard_visit", "X", SHARD_PID, u64::from(*shard)),
         EventKind::Complete => ("query", "X", QUERY_PID, ev.query),
@@ -655,6 +711,22 @@ fn write_chrome_event(ev: &TraceEvent, out: &mut String) {
                 ",\"size\":{size},\"backend\":\"{}\",\"node_visits\":{node_visits},\
                  \"model_ms\":{model_ms},\"work_expansion\":{work_expansion},\
                  \"mask_occupancy\":{mask_occupancy}",
+                backend.name()
+            ));
+        }
+        EventKind::FusedBatch {
+            lanes,
+            parts,
+            ops,
+            backend,
+            node_visits,
+            saved_visits,
+        } => {
+            out.push_str(&format!(
+                ",\"lanes\":{lanes},\"parts\":{parts},\"ops\":\"{}\",\
+                 \"backend\":\"{}\",\"node_visits\":{node_visits},\
+                 \"saved_visits\":{saved_visits}",
+                fused_ops_name(*ops),
                 backend.name()
             ));
         }
